@@ -1,0 +1,72 @@
+//! BestInterval scaling benchmarks — §7 claims
+//! `O(M·N(log N + m·bs))` for the beam search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_subgroup::{BestInterval, BiParams, SubgroupDiscovery};
+
+fn band_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn(
+        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
+        m,
+        |x| {
+            if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    )
+    .expect("valid shape")
+}
+
+fn bench_bi_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bi/vs_n");
+    for n in [400usize, 1600, 6400] {
+        let d = band_data(n, 10, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            let bi = BestInterval::default();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| bi.discover(d, d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bi_beam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bi/vs_beam");
+    let d = band_data(1000, 10, 3);
+    for bs in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            let bi = BestInterval::new(BiParams {
+                beam_size: bs,
+                ..Default::default()
+            });
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| bi.discover(&d, &d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bi_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bi/vs_depth");
+    let d = band_data(1000, 10, 5);
+    for depth in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let bi = BestInterval::new(BiParams {
+                max_restricted: Some(depth),
+                ..Default::default()
+            });
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| bi.discover(&d, &d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bi_vs_n, bench_bi_beam, bench_bi_depth);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Metamodel training/prediction benchmarks — §7 claims quasi-linear
+//! training for forests (`O(ψ(M)·N log N)`) and boosting
+//! (`O(M·N log N)`) versus super-linear SVM (`O(M·N²)`–`O(M·N³)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_metamodel::{
+    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, Svm, SvmParams,
+};
+
+fn disc_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn(
+        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
+        m,
+        |x| {
+            if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    )
+    .expect("valid shape")
+}
+
+fn bench_training_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metamodel/train_vs_n");
+    group.sample_size(10);
+    for n in [200usize, 400, 800] {
+        let d = disc_data(n, 8, 1);
+        group.bench_with_input(BenchmarkId::new("forest", n), &d, |b, d| {
+            let params = RandomForestParams {
+                n_trees: 100,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| RandomForest::fit(d, &params, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("gbdt", n), &d, |b, d| {
+            let params = GbdtParams {
+                n_rounds: 100,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| Gbdt::fit(d, &params, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("svm", n), &d, |b, d| {
+            let params = SvmParams::default();
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| Svm::fit(d, &params, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metamodel/predict_10k");
+    let d = disc_data(400, 8, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let forest = RandomForest::fit(
+        &d,
+        &RandomForestParams {
+            n_trees: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let gbdt = Gbdt::fit(
+        &d,
+        &GbdtParams {
+            n_rounds: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let svm = Svm::fit(&d, &SvmParams::default(), &mut rng);
+    let query: Vec<f64> = (0..10_000 * 8).map(|_| rng.gen::<f64>()).collect();
+    group.bench_function("forest", |b| b.iter(|| forest.predict_batch(&query, 8)));
+    group.bench_function("gbdt", |b| b.iter(|| gbdt.predict_batch(&query, 8)));
+    group.bench_function("svm", |b| b.iter(|| svm.predict_batch(&query, 8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_vs_n, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! PRIM scaling benchmarks — §7 claims `O(M·N(log N + 1/α))` for the
+//! peeling phase and a `Q`-fold multiplier for bumping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_subgroup::{Prim, PrimBumping, PrimBumpingParams, PrimParams, SubgroupDiscovery};
+
+fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn(
+        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
+        m,
+        |x| if x[0] > 0.6 && x[1] > 0.6 { 1.0 } else { 0.0 },
+    )
+    .expect("valid shape")
+}
+
+fn bench_prim_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim/peel_vs_n");
+    for n in [400usize, 1600, 6400] {
+        let d = corner_data(n, 10, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            let prim = Prim::default();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| prim.discover(d, d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prim_scaling_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim/peel_vs_m");
+    for m in [5usize, 10, 20, 40] {
+        let d = corner_data(1000, m, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &d, |b, d| {
+            let prim = Prim::default();
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| prim.discover(d, d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prim_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim/peel_vs_alpha");
+    let d = corner_data(2000, 10, 5);
+    for alpha in [0.03f64, 0.05, 0.1, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &alpha,
+            |b, &alpha| {
+                let prim = Prim::new(PrimParams {
+                    alpha,
+                    ..Default::default()
+                });
+                let mut rng = StdRng::seed_from_u64(6);
+                b.iter(|| prim.discover(&d, &d, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bumping_q(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim/bumping_vs_q");
+    group.sample_size(10);
+    let d = corner_data(400, 10, 7);
+    for q in [10usize, 25, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let pb = PrimBumping::new(PrimBumpingParams {
+                q,
+                ..Default::default()
+            });
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| pb.discover(&d, &d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prim_scaling_n,
+    bench_prim_scaling_m,
+    bench_prim_alpha,
+    bench_bumping_q
+);
+criterion_main!(benches);

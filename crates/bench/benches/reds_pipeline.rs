@@ -1,0 +1,66 @@
+//! End-to-end REDS pipeline benchmarks: total cost versus the
+//! pseudo-label volume `L` (the dominant term of §7's
+//! `O(M(N log N + L log L + L/α))`) and an ablation of hard versus
+//! probability pseudo-labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_core::{Reds, RedsConfig};
+use reds_data::Dataset;
+use reds_metamodel::GbdtParams;
+use reds_subgroup::Prim;
+
+fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn(
+        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
+        m,
+        |x| if x[0] > 0.6 && x[1] > 0.6 { 1.0 } else { 0.0 },
+    )
+    .expect("valid shape")
+}
+
+fn gbdt() -> GbdtParams {
+    GbdtParams {
+        n_rounds: 50,
+        ..Default::default()
+    }
+}
+
+fn bench_vs_l(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reds/vs_l");
+    group.sample_size(10);
+    let d = corner_data(400, 10, 1);
+    for l in [5_000usize, 20_000, 80_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let reds = Reds::xgboost(gbdt(), RedsConfig::default().with_l(l));
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| reds.run(&d, &Prim::default(), &mut rng).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_label_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reds/labels");
+    group.sample_size(10);
+    let d = corner_data(400, 10, 3);
+    group.bench_function("hard", |b| {
+        let reds = Reds::xgboost(gbdt(), RedsConfig::default().with_l(20_000));
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| reds.run(&d, &Prim::default(), &mut rng).expect("runs"));
+    });
+    group.bench_function("probability", |b| {
+        let reds = Reds::xgboost(
+            gbdt(),
+            RedsConfig::default().with_l(20_000).with_probability_labels(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| reds.run(&d, &Prim::default(), &mut rng).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_l, bench_label_ablation);
+criterion_main!(benches);

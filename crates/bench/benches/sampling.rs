@@ -1,0 +1,35 @@
+//! Sampling-design benchmarks: cost per point of LHS, Halton, Sobol,
+//! uniform, and logit-normal generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds_sampling::{halton, latin_hypercube, logit_normal, sobol, uniform};
+
+fn bench_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/10k_points");
+    for m in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("lhs", m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| latin_hypercube(10_000, m, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("halton", m), &m, |b, &m| {
+            b.iter(|| halton(10_000, m));
+        });
+        group.bench_with_input(BenchmarkId::new("sobol", m), &m, |b, &m| {
+            b.iter(|| sobol(10_000, m));
+        });
+        group.bench_with_input(BenchmarkId::new("uniform", m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| uniform(10_000, m, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("logit_normal", m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| logit_normal(10_000, m, 0.0, 1.0, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Reproduces **Figure 6** (Example 8.1): why evaluations need
+//! hyperparameter optimisation and independent test data. Runs BI and
+//! BIc on `morris` datasets and reports WRAcc measured on the *training*
+//! data ("tBI", "tBIc") versus the held-out test data ("BI", "BIc").
+//!
+//! Expected shape: hyperparameter optimisation helps (BIc > BI on test);
+//! training-data evaluation is overly optimistic (tBI > BI) and flips
+//! the ranking (tBI > tBIc but BIc > BI).
+//!
+//! ```text
+//! cargo run --release -p reds-bench --bin fig6 -- [--reps 50] [--n 400]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds_bench::Args;
+use reds_eval::{run_method, MethodOpts};
+use reds_functions::by_name;
+use reds_metrics::wracc;
+use reds_sampling::{latin_hypercube, uniform};
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.get_usize("reps", 50);
+    let n = args.get_usize("n", 400);
+    let test_size = args.get_usize("test", 20_000);
+    let f = by_name("morris").expect("registry");
+    let mut test_rng = StdRng::seed_from_u64(0xF166);
+    let test_points = uniform(test_size, f.m(), &mut test_rng);
+    let test = f
+        .label_dataset(test_points, &mut test_rng)
+        .expect("consistent shape");
+    let opts = MethodOpts::default();
+
+    let mut stats: Vec<(String, Vec<f64>)> = ["BI", "BIc", "tBI", "tBIc"]
+        .iter()
+        .map(|s| (s.to_string(), Vec::new()))
+        .collect();
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(1000 + rep as u64);
+        let design = latin_hypercube(n, f.m(), &mut rng);
+        let d = f.label_dataset(design, &mut rng).expect("consistent shape");
+        for (name, optimized) in [("BI", false), ("BIc", true)] {
+            let mut method_rng = StdRng::seed_from_u64(2000 + rep as u64);
+            let method = if optimized { "BIc" } else { "BI" };
+            let result = run_method(method, &d, &opts, &mut method_rng).expect("valid method");
+            let b = result.last_box().expect("BI returns one box");
+            let on_test = 100.0 * wracc(b, &test);
+            let on_train = 100.0 * wracc(b, &d);
+            stats
+                .iter_mut()
+                .find(|(k, _)| k == name)
+                .expect("registered")
+                .1
+                .push(on_test);
+            stats
+                .iter_mut()
+                .find(|(k, _)| *k == format!("t{name}"))
+                .expect("registered")
+                .1
+                .push(on_train);
+        }
+        eprintln!("rep {}/{reps}", rep + 1);
+    }
+
+    println!("Figure 6: WRAcc (%) of BI variants on morris, N = {n}, {reps} repetitions");
+    println!("| variant | mean | q25 | median | q75 |");
+    println!("|---|---|---|---|---|");
+    for (name, vals) in &mut stats {
+        vals.sort_by(f64::total_cmp);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let q = |p: f64| vals[((vals.len() - 1) as f64 * p) as usize];
+        println!(
+            "| {name} | {mean:.2} | {:.2} | {:.2} | {:.2} |",
+            q(0.25),
+            q(0.5),
+            q(0.75)
+        );
+    }
+}

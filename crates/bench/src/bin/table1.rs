@@ -1,0 +1,46 @@
+//! Reproduces **Table 1**: the function inventory — name, number of
+//! inputs `M`, number of influential inputs `I`, and the share of
+//! interesting (`y = 1`) outcomes under uniform inputs.
+//!
+//! ```text
+//! cargo run --release -p reds-bench --bin table1 [-- --points 20000]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds_bench::Args;
+use reds_functions::{all_functions, lake_dataset, tgl_dataset};
+
+fn main() {
+    let args = Args::parse();
+    let points = args.get_usize("points", 20_000);
+    println!("Table 1: data sources (share estimated from {points} Monte-Carlo points)\n");
+    println!("| function | M | I | share (%) |");
+    println!("|---|---|---|---|");
+    for f in all_functions() {
+        // DSGC simulations are expensive; a smaller sample suffices for
+        // a two-decimal share estimate.
+        let n = if f.name() == "dsgc" {
+            points.min(2_000)
+        } else {
+            points
+        };
+        let mut rng = StdRng::seed_from_u64(0x7AB1E);
+        let share = 100.0 * f.estimate_share(n, &mut rng);
+        println!(
+            "| {} | {} | {} | {:.1} |",
+            f.name(),
+            f.m(),
+            f.n_active(),
+            share
+        );
+    }
+    let tgl = tgl_dataset();
+    println!("| TGL | {} | na | {:.1} |", tgl.m(), 100.0 * tgl.pos_rate());
+    let lake = lake_dataset();
+    println!(
+        "| lake | {} | na | {:.1} |",
+        lake.m(),
+        100.0 * lake.pos_rate()
+    );
+}

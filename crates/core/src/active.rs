@@ -1,0 +1,263 @@
+//! Active-learning REDS — the future-work direction of §10: instead of
+//! spending the whole simulation budget on one up-front space-filling
+//! design, spend part of it iteratively on the points where the
+//! intermediate metamodel is most *uncertain*, then run REDS as usual.
+//!
+//! The loop is classic pool-based uncertainty sampling (Settles 2009,
+//! [86] in the paper): train `AM` on the labeled set, score a large
+//! candidate pool by `|f^am(x) − ½|` (distance from the decision
+//! boundary), simulate the most uncertain batch, repeat. The paper
+//! suggests exactly this combination ("Combining REDS with active
+//! learning is another future research direction").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use reds_data::Dataset;
+use reds_sampling::latin_hypercube;
+use reds_subgroup::{SdResult, SubgroupDiscovery};
+
+use crate::{Reds, RedsError};
+
+/// A simulation model: the expensive labeling oracle of scenario
+/// discovery. Implemented by any closure `(point, rng) -> label`.
+pub trait Simulator {
+    /// Runs one simulation at `x`, returning the binary outcome.
+    fn simulate(&self, x: &[f64], rng: &mut StdRng) -> f64;
+}
+
+impl<F> Simulator for F
+where
+    F: Fn(&[f64], &mut StdRng) -> f64,
+{
+    fn simulate(&self, x: &[f64], rng: &mut StdRng) -> f64 {
+        self(x, rng)
+    }
+}
+
+/// Budget split of the active-learning loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveConfig {
+    /// Simulations spent on the initial Latin-hypercube design.
+    pub initial_n: usize,
+    /// Simulations added per uncertainty-sampling round.
+    pub batch_size: usize,
+    /// Number of uncertainty-sampling rounds.
+    pub rounds: usize,
+    /// Size of the uniform candidate pool scored each round.
+    pub pool_size: usize,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        Self {
+            initial_n: 200,
+            batch_size: 50,
+            rounds: 4,
+            pool_size: 5_000,
+        }
+    }
+}
+
+impl ActiveConfig {
+    /// Total number of simulations the loop will run.
+    pub fn total_budget(&self) -> usize {
+        self.initial_n + self.batch_size * self.rounds
+    }
+}
+
+/// Active-learning REDS: an uncertainty-sampling acquisition loop
+/// wrapped around a [`Reds`] pipeline.
+pub struct ActiveReds {
+    reds: Reds,
+    config: ActiveConfig,
+}
+
+impl ActiveReds {
+    /// Combines a REDS pipeline with an acquisition configuration.
+    pub fn new(reds: Reds, config: ActiveConfig) -> Self {
+        assert!(config.initial_n >= 2, "need at least two initial runs");
+        assert!(config.pool_size > 0, "candidate pool must be non-empty");
+        Self { reds, config }
+    }
+
+    /// The acquisition configuration.
+    pub fn config(&self) -> &ActiveConfig {
+        &self.config
+    }
+
+    /// Runs the acquisition loop, returning the labeled dataset it
+    /// assembled (callers can inspect how the budget was spent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RedsError::EmptyTrainingData`] (cannot happen with a
+    /// valid config, but metamodel training is fallible by contract).
+    pub fn acquire(
+        &self,
+        m: usize,
+        sim: &dyn Simulator,
+        rng: &mut StdRng,
+    ) -> Result<Dataset, RedsError> {
+        let design = latin_hypercube(self.config.initial_n, m, rng);
+        let mut data = Dataset::from_fn(design, m, |x| {
+            // Split borrows: labeling needs &mut rng while from_fn holds
+            // the closure, so thread a local binding through.
+            sim.simulate(x, rng)
+        })
+        .expect("LHS design has consistent shape");
+        for _ in 0..self.config.rounds {
+            if self.config.batch_size == 0 {
+                break;
+            }
+            let model = self.reds.train_metamodel(&data, rng)?;
+            // Score a fresh uniform pool by decision-boundary distance.
+            let pool: Vec<f64> = (0..self.config.pool_size * m).map(|_| rng.gen()).collect();
+            let mut scored: Vec<(f64, usize)> = pool
+                .chunks_exact(m)
+                .enumerate()
+                .map(|(i, x)| ((model.predict(x) - 0.5).abs(), i))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(_, i) in scored.iter().take(self.config.batch_size) {
+                let x = &pool[i * m..(i + 1) * m];
+                let y = sim.simulate(x, rng);
+                data.push(x, y);
+            }
+        }
+        Ok(data)
+    }
+
+    /// Full pipeline: acquire simulations actively, then run REDS with
+    /// the given subgroup-discovery algorithm on the assembled data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RedsError`] from the inner pipeline.
+    pub fn run(
+        &self,
+        m: usize,
+        sim: &dyn Simulator,
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+    ) -> Result<(SdResult, Dataset), RedsError> {
+        let data = self.acquire(m, sim, rng)?;
+        let result = self.reds.run(&data, sd, rng)?;
+        Ok((result, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedsConfig;
+    use rand::SeedableRng;
+    use reds_metamodel::RandomForestParams;
+    use reds_subgroup::Prim;
+
+    fn corner(x: &[f64], _rng: &mut StdRng) -> f64 {
+        if x[0] > 0.6 && x[1] > 0.6 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quick_reds(l: usize) -> Reds {
+        Reds::random_forest(
+            RandomForestParams {
+                n_trees: 50,
+                ..Default::default()
+            },
+            RedsConfig::default().with_l(l),
+        )
+    }
+
+    fn quick_config() -> ActiveConfig {
+        ActiveConfig {
+            initial_n: 60,
+            batch_size: 20,
+            rounds: 3,
+            pool_size: 1_000,
+        }
+    }
+
+    #[test]
+    fn budget_accounting_is_exact() {
+        let cfg = quick_config();
+        assert_eq!(cfg.total_budget(), 120);
+        let active = ActiveReds::new(quick_reds(1_000), cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        assert_eq!(data.n(), 120);
+    }
+
+    #[test]
+    fn acquisition_concentrates_near_the_boundary() {
+        let active = ActiveReds::new(quick_reds(1_000), quick_config());
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        // The actively chosen tail of the dataset should lie closer to
+        // the corner boundary (0.6, 0.6) than uniform points would.
+        let boundary_dist = |x: &[f64]| {
+            let dx = (x[0] - 0.6).abs();
+            let dy = (x[1] - 0.6).abs();
+            dx.min(dy)
+        };
+        let initial: Vec<f64> = (0..60).map(|i| boundary_dist(data.point(i))).collect();
+        let acquired: Vec<f64> = (60..120).map(|i| boundary_dist(data.point(i))).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&acquired) < mean(&initial),
+            "acquired points ({:.3}) should hug the boundary better than LHS ({:.3})",
+            mean(&acquired),
+            mean(&initial)
+        );
+    }
+
+    #[test]
+    fn full_active_pipeline_finds_the_corner() {
+        let active = ActiveReds::new(quick_reds(3_000), quick_config());
+        let mut rng = StdRng::seed_from_u64(3);
+        let (result, data) = active
+            .run(2, &corner, &Prim::default(), &mut rng)
+            .expect("pipeline runs");
+        assert_eq!(data.n(), 120);
+        let b = result.last_box().expect("non-empty");
+        // Evaluate on a fresh uniform grid.
+        let mut hits = 0.0;
+        let mut covered = 0.0;
+        for i in 0..50 {
+            for j in 0..50 {
+                let x = [i as f64 / 49.0, j as f64 / 49.0];
+                if b.contains(&x) {
+                    covered += 1.0;
+                    hits += corner(&x, &mut rng);
+                }
+            }
+        }
+        assert!(covered > 0.0);
+        assert!(hits / covered > 0.8, "precision {}", hits / covered);
+    }
+
+    #[test]
+    fn zero_rounds_degenerates_to_plain_lhs() {
+        let cfg = ActiveConfig {
+            rounds: 0,
+            ..quick_config()
+        };
+        let active = ActiveReds::new(quick_reds(500), cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        assert_eq!(data.n(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "two initial runs")]
+    fn degenerate_config_panics() {
+        let cfg = ActiveConfig {
+            initial_n: 1,
+            ..Default::default()
+        };
+        let _ = ActiveReds::new(quick_reds(100), cfg);
+    }
+}

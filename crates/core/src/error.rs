@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors of the REDS pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedsError {
+    /// Training data is empty — no metamodel can be fitted.
+    EmptyTrainingData,
+    /// The requested pseudo-label sample size is zero.
+    ZeroNewPoints,
+    /// The unlabeled pool handed to the semi-supervised entry point has
+    /// the wrong width.
+    PoolShapeMismatch {
+        /// Width implied by the pool buffer.
+        pool_len: usize,
+        /// Expected number of columns.
+        m: usize,
+    },
+}
+
+impl fmt::Display for RedsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTrainingData => write!(f, "cannot run REDS on empty training data"),
+            Self::ZeroNewPoints => write!(f, "REDS needs L > 0 new points"),
+            Self::PoolShapeMismatch { pool_len, m } => write!(
+                f,
+                "unlabeled pool of {pool_len} values is not a multiple of m = {m}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RedsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(RedsError::EmptyTrainingData.to_string().contains("empty"));
+        assert!(RedsError::ZeroNewPoints.to_string().contains("L > 0"));
+        assert!(RedsError::PoolShapeMismatch { pool_len: 7, m: 2 }
+            .to_string()
+            .contains("7"));
+    }
+}

@@ -1,0 +1,360 @@
+//! The REDS pipeline (Algorithm 4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_metamodel::{GbdtParams, Metamodel, RandomForestParams, SvmParams, Trainer};
+use reds_sampling::{logit_normal, mixed_design, uniform};
+use reds_subgroup::{SdResult, SubgroupDiscovery};
+
+use crate::RedsError;
+
+/// Distribution from which REDS draws the `L` new points (Algorithm 4,
+/// line 3). Must match the distribution `p(x)` of the original data —
+/// the statistical argument of §6.2 relies on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NewPointSampler {
+    /// i.i.d. uniform on `[0,1]^M` — the deep-uncertainty default.
+    Uniform,
+    /// Even-indexed inputs on the discrete grid `{0.1,…,0.9}`, odd ones
+    /// continuous (the mixed-inputs experiment, §9.1.2).
+    MixedEven,
+    /// i.i.d. logit-normal per coordinate (the semi-supervised
+    /// experiment, §9.4).
+    LogitNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl NewPointSampler {
+    fn sample(&self, n: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+        match *self {
+            Self::Uniform => uniform(n, m, rng),
+            Self::MixedEven => mixed_design(n, m, rng),
+            Self::LogitNormal { mu, sigma } => logit_normal(n, m, mu, sigma, rng),
+        }
+    }
+}
+
+/// REDS configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedsConfig {
+    /// Number of pseudo-labelled points `L` (paper defaults: 10⁵ with
+    /// PRIM, 10⁴ with BI — Table 2).
+    pub l: usize,
+    /// Hard-label threshold `bnd` on the metamodel output.
+    pub bnd: f64,
+    /// Use raw metamodel probabilities instead of hard labels — the "p"
+    /// variants (`y_new = f^am(x)`, §6.1).
+    pub probability_labels: bool,
+    /// Distribution of the new points.
+    pub sampler: NewPointSampler,
+}
+
+impl Default for RedsConfig {
+    fn default() -> Self {
+        Self {
+            l: 100_000,
+            bnd: 0.5,
+            probability_labels: false,
+            sampler: NewPointSampler::Uniform,
+        }
+    }
+}
+
+impl RedsConfig {
+    /// Sets the number of new points `L`.
+    pub fn with_l(mut self, l: usize) -> Self {
+        self.l = l;
+        self
+    }
+
+    /// Switches to probability pseudo-labels (the "p" variants).
+    pub fn with_probability_labels(mut self) -> Self {
+        self.probability_labels = true;
+        self
+    }
+
+    /// Sets the new-point distribution.
+    pub fn with_sampler(mut self, sampler: NewPointSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+}
+
+/// The REDS scenario-discovery pipeline: a metamodel trainer plus a
+/// resampling configuration, applied to any subgroup-discovery
+/// algorithm.
+pub struct Reds {
+    trainer: Box<dyn Trainer>,
+    config: RedsConfig,
+}
+
+impl Reds {
+    /// REDS with an arbitrary metamodel trainer.
+    pub fn new(trainer: Box<dyn Trainer>, config: RedsConfig) -> Self {
+        Self { trainer, config }
+    }
+
+    /// REDS with a random-forest metamodel ("Rf" family).
+    pub fn random_forest(params: RandomForestParams, config: RedsConfig) -> Self {
+        Self::new(Box::new(params), config)
+    }
+
+    /// REDS with an XGBoost-style boosted-tree metamodel ("Rx" family).
+    pub fn xgboost(params: GbdtParams, config: RedsConfig) -> Self {
+        Self::new(Box::new(params), config)
+    }
+
+    /// REDS with an RBF-SVM metamodel ("Rs" family; hard labels only).
+    pub fn svm(params: SvmParams, config: RedsConfig) -> Self {
+        Self::new(Box::new(params), config)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RedsConfig {
+        &self.config
+    }
+
+    /// Metamodel family tag ("f", "x", or "s").
+    pub fn metamodel_tag(&self) -> &'static str {
+        self.trainer.tag()
+    }
+
+    /// Trains the metamodel on `d` (Algorithm 4, line 2). Exposed so
+    /// callers can inspect or reuse `f^am`.
+    pub fn train_metamodel(
+        &self,
+        d: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn Metamodel>, RedsError> {
+        if d.is_empty() {
+            return Err(RedsError::EmptyTrainingData);
+        }
+        Ok(self.trainer.train(d, rng))
+    }
+
+    /// Pseudo-labels `points` with a fitted metamodel (lines 4–6).
+    fn pseudo_label(
+        &self,
+        model: &dyn Metamodel,
+        points: Vec<f64>,
+        m: usize,
+    ) -> Result<Dataset, RedsError> {
+        if !points.len().is_multiple_of(m) {
+            return Err(RedsError::PoolShapeMismatch {
+                pool_len: points.len(),
+                m,
+            });
+        }
+        let dataset = Dataset::from_fn(points, m, |x| {
+            let p = model.predict(x);
+            if self.config.probability_labels {
+                p.clamp(0.0, 1.0)
+            } else if p > self.config.bnd {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .expect("shape checked above");
+        Ok(dataset)
+    }
+
+    /// Runs the full REDS pipeline (Algorithm 4): train `AM` on `d`,
+    /// pseudo-label `L` fresh points, run `sd` on them.
+    ///
+    /// # Errors
+    ///
+    /// [`RedsError::EmptyTrainingData`] when `d` is empty;
+    /// [`RedsError::ZeroNewPoints`] when `config.l == 0`.
+    pub fn run(
+        &self,
+        d: &Dataset,
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+    ) -> Result<SdResult, RedsError> {
+        if self.config.l == 0 {
+            return Err(RedsError::ZeroNewPoints);
+        }
+        let model = self.train_metamodel(d, rng)?;
+        let points = self.config.sampler.sample(self.config.l, d.m(), rng);
+        let d_new = self.pseudo_label(model.as_ref(), points, d.m())?;
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        // The validation data stays the *original* simulated dataset
+        // (`D_val = D`, §8.5): PRIM's stopping rule and best-box choice
+        // are anchored to real labels, so the pseudo-labelled search
+        // cannot shrink the box below the support of the evidence.
+        Ok(sd.discover(&d_new, d, &mut sd_rng))
+    }
+
+    /// Semi-supervised REDS (§6.1, §9.4): instead of sampling fresh
+    /// points, pseudo-labels a caller-provided unlabeled pool drawn from
+    /// the same `p(x)` as `d` and runs `sd` on it.
+    ///
+    /// # Errors
+    ///
+    /// [`RedsError::EmptyTrainingData`] when `d` is empty;
+    /// [`RedsError::ZeroNewPoints`] when the pool is empty;
+    /// [`RedsError::PoolShapeMismatch`] when the pool width disagrees
+    /// with `d.m()`.
+    pub fn run_on_pool(
+        &self,
+        d: &Dataset,
+        pool: &[f64],
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+    ) -> Result<SdResult, RedsError> {
+        if pool.is_empty() {
+            return Err(RedsError::ZeroNewPoints);
+        }
+        let model = self.train_metamodel(d, rng)?;
+        let d_new = self.pseudo_label(model.as_ref(), pool.to_vec(), d.m())?;
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        Ok(sd.discover(&d_new, d, &mut sd_rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reds_subgroup::{BestInterval, Prim};
+
+    fn corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| if x[0] > 0.55 && x[1] > 0.55 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    fn quick_forest() -> RandomForestParams {
+        RandomForestParams {
+            n_trees: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reds_with_prim_finds_the_corner() {
+        let d = corner_data(200, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(3_000));
+        let result = reds.run(&d, &Prim::default(), &mut rng).unwrap();
+        let b = result.last_box().unwrap();
+        let test = corner_data(2_000, 3);
+        let precision = b.mean_inside(&test).unwrap();
+        assert!(precision > 0.8, "test precision {precision}");
+    }
+
+    #[test]
+    fn probability_labels_produce_soft_dataset_behaviour() {
+        let d = corner_data(150, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let reds = Reds::random_forest(
+            quick_forest(),
+            RedsConfig::default().with_l(2_000).with_probability_labels(),
+        );
+        let result = reds.run(&d, &Prim::default(), &mut rng).unwrap();
+        assert!(!result.boxes.is_empty());
+    }
+
+    #[test]
+    fn reds_with_bi_returns_single_box() {
+        let d = corner_data(200, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let reds = Reds::xgboost(
+            GbdtParams {
+                n_rounds: 40,
+                ..Default::default()
+            },
+            RedsConfig::default().with_l(2_000),
+        );
+        let result = reds.run(&d, &BestInterval::default(), &mut rng).unwrap();
+        assert_eq!(result.boxes.len(), 1);
+    }
+
+    #[test]
+    fn svm_variant_runs() {
+        let d = corner_data(150, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let reds = Reds::svm(SvmParams::default(), RedsConfig::default().with_l(1_000));
+        let result = reds.run(&d, &Prim::default(), &mut rng).unwrap();
+        assert!(!result.boxes.is_empty());
+        assert_eq!(reds.metamodel_tag(), "s");
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let d = Dataset::empty(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default());
+        assert!(matches!(
+            reds.run(&d, &Prim::default(), &mut rng),
+            Err(RedsError::EmptyTrainingData)
+        ));
+    }
+
+    #[test]
+    fn zero_l_errors() {
+        let d = corner_data(50, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(0));
+        assert!(matches!(
+            reds.run(&d, &Prim::default(), &mut rng),
+            Err(RedsError::ZeroNewPoints)
+        ));
+    }
+
+    #[test]
+    fn pool_entry_point_validates_shape() {
+        let d = corner_data(80, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default());
+        let bad_pool = vec![0.5; 5]; // not a multiple of m = 2
+        assert!(matches!(
+            reds.run_on_pool(&d, &bad_pool, &Prim::default(), &mut rng),
+            Err(RedsError::PoolShapeMismatch { .. })
+        ));
+        let pool = uniform(500, 2, &mut rng);
+        let result = reds
+            .run_on_pool(&d, &pool, &Prim::default(), &mut rng)
+            .unwrap();
+        assert!(!result.boxes.is_empty());
+    }
+
+    #[test]
+    fn mixed_sampler_respects_discrete_grid() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let pts = NewPointSampler::MixedEven.sample(100, 4, &mut rng);
+        for row in pts.chunks_exact(4) {
+            assert!(reds_sampling::DISCRETE_LEVELS
+                .iter()
+                .any(|&l| (row[0] - l).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn seeded_pipeline_is_deterministic() {
+        let d = corner_data(120, 16);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(1_000));
+        let a = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        let b = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        assert_eq!(a.boxes.len(), b.boxes.len());
+        assert_eq!(
+            a.last_box().unwrap().bounds(),
+            b.last_box().unwrap().bounds()
+        );
+    }
+}

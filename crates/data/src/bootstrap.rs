@@ -1,0 +1,62 @@
+use rand::Rng;
+
+use crate::Dataset;
+
+/// Draws a bootstrap sample: `data.n()` rows sampled uniformly with
+/// replacement (Algorithm 2, line 4 — the `D^bs` of PRIM with bumping).
+///
+/// Returns an empty dataset when `data` is empty.
+pub fn bootstrap_sample(data: &Dataset, rng: &mut impl Rng) -> Dataset {
+    let n = data.n();
+    if n == 0 {
+        return data.clone();
+    }
+    let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    data.select_rows(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_preserves_size_and_columns() {
+        let data =
+            Dataset::from_fn((0..40).map(|i| i as f64 / 40.0).collect(), 2, |x| x[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let bs = bootstrap_sample(&data, &mut rng);
+        assert_eq!(bs.n(), data.n());
+        assert_eq!(bs.m(), data.m());
+    }
+
+    #[test]
+    fn sample_draws_with_replacement() {
+        // With 100 rows the expected number of distinct rows is ~63; any
+        // seed giving all-distinct rows would indicate sampling without
+        // replacement.
+        let data = Dataset::from_fn((0..100).map(|i| i as f64).collect(), 1, |_| 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bs = bootstrap_sample(&data, &mut rng);
+        let mut values: Vec<f64> = bs.points().to_vec();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        assert!(values.len() < 100, "bootstrap must duplicate some rows");
+    }
+
+    #[test]
+    fn empty_data_stays_empty() {
+        let data = Dataset::empty(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(bootstrap_sample(&data, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let data = Dataset::from_fn((0..20).map(|i| i as f64).collect(), 1, |_| 1.0).unwrap();
+        let a = bootstrap_sample(&data, &mut StdRng::seed_from_u64(4));
+        let b = bootstrap_sample(&data, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a.points(), b.points());
+    }
+}

@@ -1,0 +1,332 @@
+use crate::DataError;
+
+/// A tabular dataset: `n` rows of `m` input columns plus one label column.
+///
+/// Points are stored row-major in a single contiguous buffer, which keeps
+/// PRIM's per-dimension quantile scans and the tree learners cache-friendly.
+/// Labels are `f64`: hard labels are exactly `0.0`/`1.0`, soft pseudo-labels
+/// (REDS "p" variants) lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    points: Vec<f64>,
+    labels: Vec<f64>,
+    m: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a row-major point buffer and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ShapeMismatch`] when `points.len()` is not a
+    /// multiple of `m` or the row count disagrees with `labels.len()`, and
+    /// [`DataError::ZeroDimensional`] when `m == 0`.
+    pub fn new(points: Vec<f64>, labels: Vec<f64>, m: usize) -> Result<Self, DataError> {
+        if m == 0 {
+            return Err(DataError::ZeroDimensional);
+        }
+        if !points.len().is_multiple_of(m) || points.len() / m != labels.len() {
+            return Err(DataError::ShapeMismatch {
+                points: points.len(),
+                labels: labels.len(),
+                m,
+            });
+        }
+        Ok(Self { points, labels, m })
+    }
+
+    /// Creates an empty dataset with `m` input columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ZeroDimensional`] when `m == 0`.
+    pub fn empty(m: usize) -> Result<Self, DataError> {
+        Self::new(Vec::new(), Vec::new(), m)
+    }
+
+    /// Builds a dataset by labeling `points` with `f`.
+    ///
+    /// This is the paper's step (2) of scenario discovery: run the
+    /// simulation (or a metamodel) on each sampled point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shape errors of [`Dataset::new`].
+    pub fn from_fn(
+        points: Vec<f64>,
+        m: usize,
+        f: impl FnMut(&[f64]) -> f64,
+    ) -> Result<Self, DataError> {
+        if m == 0 {
+            return Err(DataError::ZeroDimensional);
+        }
+        let labels = points.chunks_exact(m).map(f).collect();
+        Self::new(points, labels, m)
+    }
+
+    /// Number of rows `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of input columns `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `true` when the dataset has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The `i`-th point (input row). Panics when `i >= n()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.m..(i + 1) * self.m]
+    }
+
+    /// The `i`-th label. Panics when `i >= n()`.
+    #[inline]
+    pub fn label(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    #[inline]
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Raw row-major point buffer.
+    #[inline]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Value of input column `j` in row `i`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.points[i * self.m + j]
+    }
+
+    /// Iterator over `(point, label)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        self.points
+            .chunks_exact(self.m)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Appends a row. Panics when `point.len() != m()`.
+    pub fn push(&mut self, point: &[f64], label: f64) {
+        assert_eq!(point.len(), self.m, "point dimensionality mismatch");
+        self.points.extend_from_slice(point);
+        self.labels.push(label);
+    }
+
+    /// Sum of labels, `N⁺` in the paper's notation.
+    ///
+    /// With hard labels this is the count of interesting examples; with
+    /// soft labels it is the expected count.
+    pub fn n_pos(&self) -> f64 {
+        self.labels.iter().sum()
+    }
+
+    /// Mean label, the global positive rate `N⁺ / N` (0 for empty data).
+    pub fn pos_rate(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.n_pos() / self.n() as f64
+        }
+    }
+
+    /// New dataset containing the rows at `indices` (duplicates allowed,
+    /// which is what bootstrap resampling needs). Panics on out-of-range
+    /// indices.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut points = Vec::with_capacity(indices.len() * self.m);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            points.extend_from_slice(self.point(i));
+            labels.push(self.labels[i]);
+        }
+        Self {
+            points,
+            labels,
+            m: self.m,
+        }
+    }
+
+    /// New dataset keeping only the input columns in `columns`
+    /// (PRIM-with-bumping's random feature subsets, Algorithm 2, line 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ColumnOutOfRange`] when any index is `>= m()`
+    /// and [`DataError::ZeroDimensional`] when `columns` is empty.
+    pub fn select_columns(&self, columns: &[usize]) -> Result<Self, DataError> {
+        if columns.is_empty() {
+            return Err(DataError::ZeroDimensional);
+        }
+        if let Some(&bad) = columns.iter().find(|&&c| c >= self.m) {
+            return Err(DataError::ColumnOutOfRange { column: bad, m: self.m });
+        }
+        let mut points = Vec::with_capacity(self.n() * columns.len());
+        for i in 0..self.n() {
+            let row = self.point(i);
+            points.extend(columns.iter().map(|&c| row[c]));
+        }
+        Ok(Self {
+            points,
+            labels: self.labels.clone(),
+            m: columns.len(),
+        })
+    }
+
+    /// Replaces every label with `1.0` when it exceeds `threshold`, else
+    /// `0.0`. This is the binarization step of §8.3 (`y = 1` iff the raw
+    /// output is *below* `thr` in the paper; callers choose the comparison
+    /// by pre-negating, we binarize on `> threshold` for pseudo-labels as
+    /// in Algorithm 4, line 5).
+    pub fn binarize(&mut self, threshold: f64) {
+        for y in &mut self.labels {
+            *y = if *y > threshold { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Column-wise minimum and maximum over all rows, or `None` when empty.
+    ///
+    /// Needed by the consistency metric (§4) to replace unbounded box
+    /// edges with the observed input ranges.
+    pub fn column_ranges(&self) -> Option<Vec<(f64, f64)>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); self.m];
+        for row in self.points.chunks_exact(self.m) {
+            for (j, &v) in row.iter().enumerate() {
+                if v < ranges[j].0 {
+                    ranges[j].0 = v;
+                }
+                if v > ranges[j].1 {
+                    ranges[j].1 = v;
+                }
+            }
+        }
+        Some(ranges)
+    }
+
+    /// Consumes the dataset, returning `(points, labels, m)`.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>, usize) {
+        (self.points, self.labels, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert!(matches!(
+            Dataset::new(vec![1.0, 2.0, 3.0], vec![0.0], 2),
+            Err(DataError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![1.0, 2.0], vec![0.0, 1.0], 2),
+            Err(DataError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![], vec![], 0),
+            Err(DataError::ZeroDimensional)
+        ));
+    }
+
+    #[test]
+    fn accessors_agree_with_layout() {
+        let d = toy();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.m(), 2);
+        assert_eq!(d.point(2), &[0.0, 1.0]);
+        assert_eq!(d.value(2, 1), 1.0);
+        assert_eq!(d.label(3), 1.0);
+        assert_eq!(d.n_pos(), 2.0);
+        assert!((d.pos_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_labels_each_row() {
+        let d = Dataset::from_fn(vec![0.2, 0.8, 0.9, 0.1], 2, |x| {
+            if x[0] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        assert_eq!(d.labels(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn select_rows_allows_duplicates() {
+        let d = toy();
+        let s = d.select_rows(&[3, 3, 0]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.point(0), &[1.0, 1.0]);
+        assert_eq!(s.point(1), &[1.0, 1.0]);
+        assert_eq!(s.label(2), 0.0);
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let d = toy();
+        let s = d.select_columns(&[1]).unwrap();
+        assert_eq!(s.m(), 1);
+        assert_eq!(s.points(), &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(s.labels(), d.labels());
+        assert!(matches!(
+            d.select_columns(&[2]),
+            Err(DataError::ColumnOutOfRange { column: 2, m: 2 })
+        ));
+        assert!(d.select_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn binarize_thresholds_labels() {
+        let mut d = Dataset::new(vec![0.0, 1.0, 2.0], vec![0.2, 0.5, 0.9], 1).unwrap();
+        d.binarize(0.5);
+        assert_eq!(d.labels(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn column_ranges_cover_all_rows() {
+        let d = toy();
+        assert_eq!(d.column_ranges().unwrap(), vec![(0.0, 1.0), (0.0, 1.0)]);
+        assert!(Dataset::empty(3).unwrap().column_ranges().is_none());
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut d = Dataset::empty(2).unwrap();
+        d.push(&[0.5, 0.5], 1.0);
+        assert_eq!(d.n(), 1);
+        assert!((d.pos_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pos_rate_is_zero() {
+        assert_eq!(Dataset::empty(1).unwrap().pos_rate(), 0.0);
+    }
+}

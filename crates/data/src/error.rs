@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Point buffer, label vector, and `m` disagree about the row count.
+    ShapeMismatch {
+        /// Length of the flat point buffer.
+        points: usize,
+        /// Number of labels.
+        labels: usize,
+        /// Declared number of input columns.
+        m: usize,
+    },
+    /// A dataset must have at least one input column.
+    ZeroDimensional,
+    /// A column index exceeded the dataset width.
+    ColumnOutOfRange {
+        /// Offending column index.
+        column: usize,
+        /// Dataset width.
+        m: usize,
+    },
+    /// Fewer rows than cross-validation folds.
+    TooFewRows {
+        /// Number of rows available.
+        rows: usize,
+        /// Number of folds / parts requested.
+        required: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { points, labels, m } => write!(
+                f,
+                "shape mismatch: {points} point values with m={m} cannot match {labels} labels"
+            ),
+            Self::ZeroDimensional => write!(f, "dataset must have at least one input column"),
+            Self::ColumnOutOfRange { column, m } => {
+                write!(f, "column {column} out of range for m={m}")
+            }
+            Self::TooFewRows { rows, required } => {
+                write!(f, "need at least {required} rows, got {rows}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::ShapeMismatch {
+            points: 7,
+            labels: 3,
+            m: 2,
+        };
+        assert!(e.to_string().contains("shape mismatch"));
+        assert!(DataError::ZeroDimensional.to_string().contains("column"));
+        assert!(DataError::ColumnOutOfRange { column: 5, m: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(DataError::TooFewRows { rows: 1, required: 5 }
+            .to_string()
+            .contains('5'));
+    }
+}

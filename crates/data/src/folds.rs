@@ -1,0 +1,117 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DataError, Dataset};
+
+/// Shuffled k-fold cross-validation indices.
+///
+/// Used for the hyperparameter optimisation of §8.4 (selecting PRIM's α
+/// and the `m` of bumping/BI via 5-fold CV) and for the `TGL`/`lake`
+/// third-party experiments of §9.3 (5-fold CV repeated 10 times).
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Shuffles `0..n` and deals the indices into `k` folds whose sizes
+    /// differ by at most one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::TooFewRows`] when `n < k` or `k < 2`.
+    pub fn new(n: usize, k: usize, rng: &mut impl Rng) -> Result<Self, DataError> {
+        if k < 2 || n < k {
+            return Err(DataError::TooFewRows { rows: n, required: k.max(2) });
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+        for (pos, idx) in indices.into_iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+        Ok(Self { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Row indices of fold `i`. Panics when `i >= k()`.
+    pub fn fold(&self, i: usize) -> &[usize] {
+        &self.folds[i]
+    }
+
+    /// Materialises the train/test datasets for fold `i` (test = fold `i`,
+    /// train = all other folds). Panics when `i >= k()`.
+    pub fn split(&self, data: &Dataset, i: usize) -> (Dataset, Dataset) {
+        let test = data.select_rows(&self.folds[i]);
+        let train_idx: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (data.select_rows(&train_idx), test)
+    }
+
+    /// Iterator over `(train, test)` pairs for every fold.
+    pub fn splits<'a>(
+        &'a self,
+        data: &'a Dataset,
+    ) -> impl Iterator<Item = (Dataset, Dataset)> + 'a {
+        (0..self.k()).map(move |i| self.split(data, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_the_index_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kf = KFold::new(23, 5, &mut rng).unwrap();
+        let mut all: Vec<usize> = (0..5).flat_map(|i| kf.fold(i).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for i in 0..5 {
+            let len = kf.fold(i).len();
+            assert!(len == 4 || len == 5, "fold sizes differ by at most one");
+        }
+    }
+
+    #[test]
+    fn split_materialises_complement() {
+        let data =
+            Dataset::from_fn((0..10).map(|i| i as f64).collect(), 1, |x| x[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let kf = KFold::new(10, 5, &mut rng).unwrap();
+        let (train, test) = kf.split(&data, 0);
+        assert_eq!(train.n(), 8);
+        assert_eq!(test.n(), 2);
+        let mut union: Vec<f64> = train.points().iter().chain(test.points()).copied().collect();
+        union.sort_by(f64::total_cmp);
+        assert_eq!(union, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(KFold::new(3, 5, &mut rng).is_err());
+        assert!(KFold::new(10, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn splits_iterator_covers_all_folds() {
+        let data = Dataset::from_fn((0..12).map(|i| i as f64).collect(), 1, |_| 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kf = KFold::new(12, 4, &mut rng).unwrap();
+        let total_test: usize = kf.splits(&data).map(|(_, t)| t.n()).sum();
+        assert_eq!(total_test, 12);
+    }
+}

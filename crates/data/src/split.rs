@@ -1,0 +1,96 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DataError, Dataset};
+
+/// A train/test partition of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training part.
+    pub train: Dataset,
+    /// Held-out part.
+    pub test: Dataset,
+}
+
+/// Randomly partitions `data` into a training part with a `train_fraction`
+/// share of the rows and a test part with the rest.
+///
+/// The row order inside each part is the shuffled order, so downstream
+/// consumers see i.i.d.-looking data regardless of how `data` was built.
+///
+/// # Errors
+///
+/// Returns [`DataError::TooFewRows`] when either side would be empty
+/// (requires `n >= 2` and `0 < train_fraction < 1` to produce two
+/// non-empty parts).
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<Split, DataError> {
+    let n = data.n();
+    let n_train = (n as f64 * train_fraction).round() as usize;
+    if n < 2 || n_train == 0 || n_train >= n {
+        return Err(DataError::TooFewRows { rows: n, required: 2 });
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let train = data.select_rows(&indices[..n_train]);
+    let test = data.select_rows(&indices[n_train..]);
+    Ok(Split { train, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> Dataset {
+        Dataset::from_fn((0..n).map(|i| i as f64).collect(), 1, |x| x[0] % 2.0).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let d = line(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = train_test_split(&d, 0.8, &mut rng).unwrap();
+        assert_eq!(s.train.n(), 80);
+        assert_eq!(s.test.n(), 20);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = line(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = train_test_split(&d, 0.5, &mut rng).unwrap();
+        let mut seen: Vec<f64> = s
+            .train
+            .points()
+            .iter()
+            .chain(s.test.points())
+            .copied()
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn degenerate_splits_error() {
+        let d = line(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_test_split(&d, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&d, 1.0, &mut rng).is_err());
+        assert!(train_test_split(&line(1), 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn seeded_split_is_deterministic() {
+        let d = line(30);
+        let a = train_test_split(&d, 0.7, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = train_test_split(&d, 0.7, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.train.points(), b.train.points());
+        assert_eq!(a.test.points(), b.test.points());
+    }
+}

@@ -1,0 +1,188 @@
+//! Hyperparameter optimisation for the subgroup-discovery algorithms —
+//! the "c" suffix of the paper's method names (§8.4, Table 2).
+//!
+//! * PRIM's `α` is selected from `{0.03, 0.05, 0.07, 0.1, 0.13, 0.16,
+//!   0.2}` by 5-fold CV on the PR AUC of the discovered trajectory;
+//! * the feature-count `m` of PRIM-with-bumping and of BI is selected
+//!   from `{M − k⌈M/6⌉}` by 5-fold CV (PR AUC for bumping, WRAcc for
+//!   BI).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::{Dataset, KFold};
+use reds_metrics::{pr_auc, wracc};
+use reds_subgroup::{
+    BestInterval, BiParams, Prim, PrimBumping, PrimBumpingParams, PrimParams, SubgroupDiscovery,
+};
+
+/// The α grid of Table 2.
+pub const ALPHA_GRID: [f64; 7] = [0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2];
+
+/// Number of folds of the paper's CV (§8.4).
+const FOLDS: usize = 5;
+
+/// The `m` grid `{M − k⌈M/6⌉ : k ≥ 0, result > 0}` of Table 2.
+pub fn m_grid(m: usize) -> Vec<usize> {
+    let step = m.div_ceil(6);
+    let mut grid = Vec::new();
+    let mut v = m as isize;
+    while v > 0 {
+        grid.push(v as usize);
+        v -= step as isize;
+    }
+    grid
+}
+
+/// Mean CV score of an SD algorithm built by `make` for each fold.
+fn cv_score(
+    d: &Dataset,
+    rng: &mut StdRng,
+    make: &dyn Fn() -> Box<dyn SubgroupDiscovery>,
+    score: &dyn Fn(&reds_subgroup::SdResult, &Dataset) -> f64,
+) -> f64 {
+    let k = FOLDS.min(d.n());
+    if k < 2 {
+        return f64::NEG_INFINITY;
+    }
+    let Ok(folds) = KFold::new(d.n(), k, rng) else {
+        return f64::NEG_INFINITY;
+    };
+    let mut total = 0.0;
+    let mut count = 0;
+    for (train, test) in folds.splits(d) {
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let mut run_rng = StdRng::seed_from_u64(rng.gen());
+        let result = make().discover(&train, &train, &mut run_rng);
+        total += score(&result, &test);
+        count += 1;
+    }
+    if count == 0 {
+        f64::NEG_INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// Selects PRIM's peeling fraction `α` by CV on trajectory PR AUC.
+pub fn select_prim_alpha(d: &Dataset, rng: &mut StdRng) -> f64 {
+    let mut best = (f64::NEG_INFINITY, PrimParams::default().alpha);
+    for &alpha in &ALPHA_GRID {
+        let make = move || -> Box<dyn SubgroupDiscovery> {
+            Box::new(Prim::new(PrimParams {
+                alpha,
+                ..Default::default()
+            }))
+        };
+        let s = cv_score(d, rng, &make, &|result, test| pr_auc(&result.boxes, test));
+        if s > best.0 {
+            best = (s, alpha);
+        }
+    }
+    best.1
+}
+
+/// Selects the feature-subset size `m` of PRIM with bumping by CV on
+/// PR AUC. `alpha` is the (already selected) peeling fraction; the CV
+/// runs use a reduced `Q` to keep the search tractable (the selection
+/// only needs a ranking, not final-quality boxes).
+pub fn select_bumping_m(d: &Dataset, alpha: f64, rng: &mut StdRng) -> usize {
+    let mut best = (f64::NEG_INFINITY, d.m());
+    for m in m_grid(d.m()) {
+        let make = move || -> Box<dyn SubgroupDiscovery> {
+            Box::new(PrimBumping::new(PrimBumpingParams {
+                prim: PrimParams {
+                    alpha,
+                    ..Default::default()
+                },
+                q: 15,
+                m_features: Some(m),
+            }))
+        };
+        let s = cv_score(d, rng, &make, &|result, test| pr_auc(&result.boxes, test));
+        if s > best.0 {
+            best = (s, m);
+        }
+    }
+    best.1
+}
+
+/// Selects BI's depth limit `m` by CV on WRAcc of the returned box.
+pub fn select_bi_m(d: &Dataset, beam_size: usize, rng: &mut StdRng) -> usize {
+    let mut best = (f64::NEG_INFINITY, d.m());
+    for m in m_grid(d.m()) {
+        let make = move || -> Box<dyn SubgroupDiscovery> {
+            Box::new(BestInterval::new(BiParams {
+                max_restricted: Some(m),
+                beam_size,
+                ..Default::default()
+            }))
+        };
+        let s = cv_score(d, rng, &make, &|result, test| {
+            result
+                .last_box()
+                .map_or(f64::NEG_INFINITY, |b| wracc(b, test))
+        });
+        if s > best.0 {
+            best = (s, m);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_grid_follows_table2() {
+        // M = 20: ⌈20/6⌉ = 4 → {20, 16, 12, 8, 4}.
+        assert_eq!(m_grid(20), vec![20, 16, 12, 8, 4]);
+        // M = 5: ⌈5/6⌉ = 1 → {5, 4, 3, 2, 1}.
+        assert_eq!(m_grid(5), vec![5, 4, 3, 2, 1]);
+        assert_eq!(m_grid(1), vec![1]);
+    }
+
+    fn corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
+            3,
+            |x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alpha_selection_returns_grid_member() {
+        let d = corner_data(200, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let alpha = select_prim_alpha(&d, &mut rng);
+        assert!(ALPHA_GRID.contains(&alpha));
+    }
+
+    #[test]
+    fn bi_m_selection_returns_grid_member() {
+        let d = corner_data(200, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = select_bi_m(&d, 1, &mut rng);
+        assert!(m_grid(3).contains(&m));
+    }
+
+    #[test]
+    fn bumping_m_selection_returns_grid_member() {
+        let d = corner_data(150, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = select_bumping_m(&d, 0.05, &mut rng);
+        assert!(m_grid(3).contains(&m));
+    }
+
+    #[test]
+    fn tiny_data_falls_back_to_defaults() {
+        let d = corner_data(3, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Must not panic; any grid member is acceptable.
+        let _ = select_prim_alpha(&d, &mut rng);
+    }
+}

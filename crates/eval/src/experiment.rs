@@ -1,0 +1,323 @@
+//! The repeated-run experiment driver behind every table and figure of
+//! §9: generate a training design, label it with a benchmark function,
+//! run each method, score on a large held-out test set, and aggregate
+//! over repetitions — in parallel across repetitions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds_core::NewPointSampler;
+use reds_functions::BenchmarkFunction;
+use reds_metrics::{consistency, n_irrelevantly_restricted, pr_auc, score_box};
+use reds_sampling::{halton_offset, latin_hypercube, logit_normal, mixed_design, uniform};
+use reds_subgroup::HyperBox;
+
+use crate::methods::{run_method, MethodOpts};
+
+/// Training-design family of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Latin hypercube sampling (the default of §8.5).
+    Lhs,
+    /// Halton sequence (used for `dsgc`).
+    Halton,
+    /// Mixed continuous/discrete design (§9.1.2).
+    MixedEven,
+    /// Logit-normal i.i.d. inputs (§9.4).
+    LogitNormal,
+}
+
+impl Design {
+    /// The paper's design for a given function name.
+    pub fn for_function(name: &str) -> Self {
+        if name == "dsgc" {
+            Self::Halton
+        } else {
+            Self::Lhs
+        }
+    }
+
+    fn sample(&self, n: usize, m: usize, rep: usize, rng: &mut StdRng) -> Vec<f64> {
+        match self {
+            Self::Lhs => latin_hypercube(n, m, rng),
+            Self::Halton => halton_offset(n, m, 1 + (rep * n) as u64),
+            Self::MixedEven => mixed_design(n, m, rng),
+            Self::LogitNormal => logit_normal(n, m, 0.0, 1.0, rng),
+        }
+    }
+
+    /// REDS must resample from the same input distribution (§6.1).
+    fn sampler(&self) -> NewPointSampler {
+        match self {
+            Self::Lhs | Self::Halton => NewPointSampler::Uniform,
+            Self::MixedEven => NewPointSampler::MixedEven,
+            Self::LogitNormal => NewPointSampler::LogitNormal { mu: 0.0, sigma: 1.0 },
+        }
+    }
+
+    /// Test data follows the same distribution as the training design
+    /// (i.i.d. rather than space-filling).
+    fn sample_test(&self, n: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+        match self {
+            Self::Lhs | Self::Halton => uniform(n, m, rng),
+            Self::MixedEven => mixed_design(n, m, rng),
+            Self::LogitNormal => logit_normal(n, m, 0.0, 1.0, rng),
+        }
+    }
+}
+
+/// One experiment: a function, a training size, methods, repetitions.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Benchmark function under study.
+    pub function: &'static BenchmarkFunction,
+    /// Training-set size `N`.
+    pub n: usize,
+    /// Number of repetitions (the paper uses 50).
+    pub reps: usize,
+    /// Paper-style method names to compare.
+    pub methods: Vec<String>,
+    /// Shared method options (`L`, `Q`, …).
+    pub opts: MethodOpts,
+    /// Training design.
+    pub design: Design,
+    /// Held-out test size (the paper uses 20 000).
+    pub test_size: usize,
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl ExperimentSpec {
+    /// A spec with the paper's structure but scaled-down driver defaults.
+    pub fn new(function: &'static BenchmarkFunction, n: usize, methods: &[&str]) -> Self {
+        Self {
+            function,
+            n,
+            reps: 10,
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            opts: MethodOpts::default(),
+            design: Design::for_function(function.name()),
+            test_size: 20_000,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
+    }
+}
+
+/// Scores of one method in one repetition.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// PR AUC of the returned box sequence on the test data.
+    pub pr_auc: f64,
+    /// Test precision of the final box.
+    pub precision: f64,
+    /// Test recall of the final box.
+    pub recall: f64,
+    /// Test WRAcc of the final box.
+    pub wracc: f64,
+    /// Restricted inputs of the final box.
+    pub n_restricted: usize,
+    /// Irrelevantly restricted inputs of the final box.
+    pub n_irrel: usize,
+    /// Wall-clock runtime of the method, milliseconds.
+    pub runtime_ms: f64,
+    /// The final box (consistency is computed across repetitions).
+    pub last_box: HyperBox,
+}
+
+/// Aggregated scores of one method across repetitions.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Method name.
+    pub method: String,
+    /// Mean PR AUC (%).
+    pub pr_auc: f64,
+    /// Mean final-box precision (%).
+    pub precision: f64,
+    /// Mean final-box WRAcc (%).
+    pub wracc: f64,
+    /// Mean pairwise consistency across repetitions (%).
+    pub consistency: f64,
+    /// Mean number of restricted inputs.
+    pub n_restricted: f64,
+    /// Mean number of irrelevantly restricted inputs.
+    pub n_irrel: f64,
+    /// Mean runtime (ms).
+    pub runtime_ms: f64,
+    /// Raw per-repetition scores (for statistical tests).
+    pub per_rep: Vec<Evaluation>,
+}
+
+/// Runs the experiment: every method on every repetition's dataset, in
+/// parallel over repetitions. Returns one summary per method, in the
+/// order of `spec.methods`.
+///
+/// # Panics
+///
+/// Panics when a method name is invalid (validate names with
+/// [`run_method`] first when handling user input).
+pub fn run_experiment(spec: &ExperimentSpec) -> Vec<MethodSummary> {
+    let m = spec.function.m();
+    // One shared test set per experiment, drawn from the design's
+    // distribution with a seed decoupled from the training reps.
+    let mut test_rng = StdRng::seed_from_u64(spec.seed ^ 0x7E57_DA7A);
+    let test_points = spec
+        .design
+        .sample_test(spec.test_size, m, &mut test_rng);
+    let test = spec
+        .function
+        .label_dataset(test_points, &mut test_rng)
+        .expect("test design shape is consistent");
+    let mut opts = spec.opts.clone();
+    opts.sampler = spec.design.sampler();
+
+    let results: Vec<Mutex<Vec<Option<Evaluation>>>> = spec
+        .methods
+        .iter()
+        .map(|_| Mutex::new(vec![None; spec.reps]))
+        .collect();
+    let next_rep = AtomicUsize::new(0);
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        spec.threads
+    }
+    .min(spec.reps.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let rep = next_rep.fetch_add(1, Ordering::Relaxed);
+                if rep >= spec.reps {
+                    break;
+                }
+                let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(rep as u64));
+                let design = spec.design.sample(spec.n, m, rep, &mut rng);
+                let d = spec
+                    .function
+                    .label_dataset(design, &mut rng)
+                    .expect("training design shape is consistent");
+                for (mi, name) in spec.methods.iter().enumerate() {
+                    let mut method_rng =
+                        StdRng::seed_from_u64(spec.seed.wrapping_add((rep * 7919 + mi) as u64));
+                    let start = Instant::now();
+                    let result = run_method(name, &d, &opts, &mut method_rng)
+                        .unwrap_or_else(|e| panic!("method {name}: {e}"));
+                    let runtime_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let last = result
+                        .last_box()
+                        .cloned()
+                        .unwrap_or_else(|| HyperBox::unbounded(m));
+                    let s = score_box(&last, &test);
+                    let eval = Evaluation {
+                        pr_auc: pr_auc(&result.boxes, &test),
+                        precision: s.precision,
+                        recall: s.recall,
+                        wracc: s.wracc,
+                        n_restricted: s.n_restricted,
+                        n_irrel: n_irrelevantly_restricted(
+                            &last,
+                            spec.function.active_inputs(),
+                        ),
+                        runtime_ms,
+                        last_box: last,
+                    };
+                    results[mi].lock().expect("no poisoned locks")[rep] = Some(eval);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let ranges = vec![(0.0, 1.0); m];
+    spec.methods
+        .iter()
+        .zip(results)
+        .map(|(name, cell)| {
+            let per_rep: Vec<Evaluation> = cell
+                .into_inner()
+                .expect("no poisoned locks")
+                .into_iter()
+                .map(|e| e.expect("every repetition completed"))
+                .collect();
+            let k = per_rep.len() as f64;
+            let boxes: Vec<HyperBox> = per_rep.iter().map(|e| e.last_box.clone()).collect();
+            MethodSummary {
+                method: name.clone(),
+                pr_auc: 100.0 * per_rep.iter().map(|e| e.pr_auc).sum::<f64>() / k,
+                precision: 100.0 * per_rep.iter().map(|e| e.precision).sum::<f64>() / k,
+                wracc: 100.0 * per_rep.iter().map(|e| e.wracc).sum::<f64>() / k,
+                consistency: 100.0 * consistency(&boxes, &ranges),
+                n_restricted: per_rep.iter().map(|e| e.n_restricted as f64).sum::<f64>() / k,
+                n_irrel: per_rep.iter().map(|e| e.n_irrel as f64).sum::<f64>() / k,
+                runtime_ms: per_rep.iter().map(|e| e.runtime_ms).sum::<f64>() / k,
+                per_rep,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reds_functions::by_name;
+
+    fn tiny_spec(methods: &[&str]) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(by_name("2").unwrap(), 100, methods);
+        spec.reps = 3;
+        spec.test_size = 2_000;
+        spec.opts = MethodOpts {
+            l_prim: 1_500,
+            l_bi: 1_500,
+            bumping_q: 5,
+            ..Default::default()
+        };
+        spec
+    }
+
+    #[test]
+    fn experiment_produces_summaries_in_method_order() {
+        let spec = tiny_spec(&["P", "RPx"]);
+        let summaries = run_experiment(&spec);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].method, "P");
+        assert_eq!(summaries[1].method, "RPx");
+        for s in &summaries {
+            assert_eq!(s.per_rep.len(), 3);
+            assert!(s.pr_auc > 0.0 && s.pr_auc <= 100.0, "{}", s.pr_auc);
+            assert!((0.0..=100.0).contains(&s.consistency));
+            assert!(s.runtime_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn experiment_is_reproducible() {
+        let spec = tiny_spec(&["P"]);
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a[0].pr_auc, b[0].pr_auc);
+        assert_eq!(a[0].precision, b[0].precision);
+    }
+
+    #[test]
+    fn irrelevant_restrictions_use_ground_truth() {
+        // Function "2" has 2 active of 5 inputs; any restriction beyond
+        // the first two is irrelevant and must be counted.
+        let spec = tiny_spec(&["P"]);
+        let summaries = run_experiment(&spec);
+        for e in &summaries[0].per_rep {
+            assert!(e.n_irrel <= e.n_restricted);
+        }
+    }
+
+    #[test]
+    fn design_for_function_uses_halton_for_dsgc() {
+        assert_eq!(Design::for_function("dsgc"), Design::Halton);
+        assert_eq!(Design::for_function("morris"), Design::Lhs);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness reproducing the paper's evaluation (§8–§9).
+//!
+//! * [`methods`] — the method registry (paper naming scheme: `P`, `Pc`,
+//!   `PB`, `PBc`, `RPf`, `RPx`, `RPs`, `RPxp`, `BI`, `BIc`, `RBIcxp`, …);
+//! * [`cv`] — hyperparameter optimisation of SD algorithms (the "c"
+//!   suffix, Table 2);
+//! * [`experiment`] — the repeated-run driver with per-repetition
+//!   parallelism and consistency aggregation;
+//! * [`stats`] — Wilcoxon rank-sum / signed-rank, Friedman, Spearman;
+//! * [`report`] — markdown rendering of experiment summaries;
+//! * [`savings`] — the "X % fewer simulations" analysis from learning
+//!   curves (the paper's headline number).
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod experiment;
+pub mod methods;
+pub mod report;
+pub mod savings;
+pub mod stats;
+
+pub use experiment::{run_experiment, Design, Evaluation, ExperimentSpec, MethodSummary};
+pub use methods::{run_method, MethodOpts, UnknownMethod, BI_FAMILY, PRIM_FAMILY};

@@ -1,0 +1,173 @@
+//! Markdown rendering of experiment results — the row format used by
+//! EXPERIMENTS.md and the reproduction binaries.
+
+use std::fmt::Write as _;
+
+use crate::experiment::MethodSummary;
+
+/// The metric columns a summary table can show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Mean PR AUC (%).
+    PrAuc,
+    /// Mean final-box precision (%).
+    Precision,
+    /// Mean final-box WRAcc (%).
+    Wracc,
+    /// Mean pairwise consistency (%).
+    Consistency,
+    /// Mean number of restricted inputs.
+    Restricted,
+    /// Mean number of irrelevantly restricted inputs.
+    Irrelevant,
+    /// Mean runtime in milliseconds.
+    RuntimeMs,
+}
+
+impl Column {
+    /// Column header text.
+    pub fn header(&self) -> &'static str {
+        match self {
+            Self::PrAuc => "PR AUC",
+            Self::Precision => "precision",
+            Self::Wracc => "WRAcc",
+            Self::Consistency => "consistency",
+            Self::Restricted => "# restricted",
+            Self::Irrelevant => "# irrel",
+            Self::RuntimeMs => "runtime (ms)",
+        }
+    }
+
+    /// Extracts the column value from a summary.
+    pub fn value(&self, s: &MethodSummary) -> f64 {
+        match self {
+            Self::PrAuc => s.pr_auc,
+            Self::Precision => s.precision,
+            Self::Wracc => s.wracc,
+            Self::Consistency => s.consistency,
+            Self::Restricted => s.n_restricted,
+            Self::Irrelevant => s.n_irrel,
+            Self::RuntimeMs => s.runtime_ms,
+        }
+    }
+}
+
+/// Renders one experiment's summaries as a markdown table with methods
+/// as rows and the requested metrics as columns.
+pub fn markdown_table(summaries: &[MethodSummary], columns: &[Column]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "| method |");
+    for c in columns {
+        let _ = write!(out, " {} |", c.header());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in columns {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for s in summaries {
+        let _ = write!(out, "| {} |", s.method);
+        for c in columns {
+            let _ = write!(out, " {:.2} |", c.value(s));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the relative change (%) of each summary against a baseline
+/// method for one metric — the Figure 7/8/10/14 row format.
+///
+/// # Panics
+///
+/// Panics when `baseline` is not among the summaries.
+pub fn relative_change_row(
+    summaries: &[MethodSummary],
+    baseline: &str,
+    column: Column,
+) -> String {
+    let base = summaries
+        .iter()
+        .find(|s| s.method == baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline} not in summaries"));
+    let base_value = column.value(base);
+    let mut out = String::new();
+    for s in summaries {
+        let change = 100.0 * (column.value(s) - base_value) / base_value.abs().max(1e-9);
+        let _ = write!(out, "| {:+.1} ", change);
+    }
+    out.push('|');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Evaluation;
+    use reds_subgroup::HyperBox;
+
+    fn summary(method: &str, pr_auc: f64, precision: f64) -> MethodSummary {
+        MethodSummary {
+            method: method.to_string(),
+            pr_auc,
+            precision,
+            wracc: 1.0,
+            consistency: 50.0,
+            n_restricted: 3.0,
+            n_irrel: 0.1,
+            runtime_ms: 10.0,
+            per_rep: vec![Evaluation {
+                pr_auc: pr_auc / 100.0,
+                precision: precision / 100.0,
+                recall: 0.5,
+                wracc: 0.01,
+                n_restricted: 3,
+                n_irrel: 0,
+                runtime_ms: 10.0,
+                last_box: HyperBox::unbounded(2),
+            }],
+        }
+    }
+
+    #[test]
+    fn table_renders_headers_and_rows() {
+        let s = vec![summary("P", 40.0, 60.0), summary("RPx", 50.0, 80.0)];
+        let table = markdown_table(&s, &[Column::PrAuc, Column::Precision]);
+        assert!(table.contains("| method | PR AUC | precision |"));
+        assert!(table.contains("| P | 40.00 | 60.00 |"));
+        assert!(table.contains("| RPx | 50.00 | 80.00 |"));
+    }
+
+    #[test]
+    fn relative_changes_are_computed_against_the_baseline() {
+        let s = vec![summary("P", 40.0, 60.0), summary("RPx", 50.0, 80.0)];
+        let row = relative_change_row(&s, "P", Column::PrAuc);
+        assert!(row.contains("+0.0"), "{row}");
+        assert!(row.contains("+25.0"), "{row}");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn missing_baseline_panics() {
+        let s = vec![summary("P", 40.0, 60.0)];
+        let _ = relative_change_row(&s, "Pc", Column::PrAuc);
+    }
+
+    #[test]
+    fn every_column_extracts_a_value() {
+        let s = summary("P", 40.0, 60.0);
+        for c in [
+            Column::PrAuc,
+            Column::Precision,
+            Column::Wracc,
+            Column::Consistency,
+            Column::Restricted,
+            Column::Irrelevant,
+            Column::RuntimeMs,
+        ] {
+            assert!(c.value(&s).is_finite());
+            assert!(!c.header().is_empty());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation-savings analysis: the paper's headline claim is that REDS
+//! needs "50–75 % fewer simulations" for the same scenario quality
+//! (§1, §9.1.1). Given the learning curves of two methods — quality as
+//! a function of the number of simulations `N` — this module computes
+//! how many simulations the better method saves.
+
+/// One point of a learning curve: `(n, quality)`.
+pub type CurvePoint = (f64, f64);
+
+/// Linearly interpolates the number of simulations a method described
+/// by `curve` needs to reach `quality`. The curve must be sorted by
+/// `n`; non-monotone quality dips are handled by taking the *first*
+/// crossing. Returns `None` when the quality is never reached.
+pub fn n_required(curve: &[CurvePoint], quality: f64) -> Option<f64> {
+    if curve.is_empty() {
+        return None;
+    }
+    if curve[0].1 >= quality {
+        return Some(curve[0].0);
+    }
+    for w in curve.windows(2) {
+        let (n0, q0) = w[0];
+        let (n1, q1) = w[1];
+        if q0 < quality && q1 >= quality {
+            let t = (quality - q0) / (q1 - q0);
+            return Some(n0 + t * (n1 - n0));
+        }
+    }
+    None
+}
+
+/// Fraction of simulations saved by `fast` relative to `slow` at the
+/// quality level `slow` reaches with `n_reference` simulations:
+/// `1 − N_fast(q) / n_reference`. Returns `None` when either curve
+/// cannot answer (reference point missing or quality unreachable).
+pub fn savings_at(
+    slow: &[CurvePoint],
+    fast: &[CurvePoint],
+    n_reference: f64,
+) -> Option<f64> {
+    // Quality the slow method attains at the reference budget.
+    let quality = interpolate(slow, n_reference)?;
+    let n_fast = n_required(fast, quality)?;
+    Some(1.0 - n_fast / n_reference)
+}
+
+/// Mean savings over every curve point of `slow` that `fast` can match —
+/// the aggregate "REDS needs X % fewer simulations on average" number.
+pub fn mean_savings(slow: &[CurvePoint], fast: &[CurvePoint]) -> Option<f64> {
+    let vals: Vec<f64> = slow
+        .iter()
+        .filter_map(|&(n, _)| savings_at(slow, fast, n))
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Quality of a curve at budget `n` (linear interpolation; `None`
+/// outside the observed range).
+fn interpolate(curve: &[CurvePoint], n: f64) -> Option<f64> {
+    if curve.is_empty() || n < curve[0].0 || n > curve[curve.len() - 1].0 {
+        return None;
+    }
+    for w in curve.windows(2) {
+        let (n0, q0) = w[0];
+        let (n1, q1) = w[1];
+        if n >= n0 && n <= n1 {
+            if n1 == n0 {
+                return Some(q0);
+            }
+            let t = (n - n0) / (n1 - n0);
+            return Some(q0 + t * (q1 - q0));
+        }
+    }
+    curve.last().map(|&(_, q)| q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A slow learner: quality q(n) = n / 100.
+    fn slow() -> Vec<CurvePoint> {
+        vec![(100.0, 1.0), (200.0, 2.0), (400.0, 4.0), (800.0, 8.0)]
+    }
+
+    /// Twice as fast: reaches the same quality with half the budget.
+    fn fast() -> Vec<CurvePoint> {
+        vec![(50.0, 1.0), (100.0, 2.0), (200.0, 4.0), (400.0, 8.0)]
+    }
+
+    #[test]
+    fn n_required_interpolates() {
+        assert_eq!(n_required(&slow(), 2.0), Some(200.0));
+        assert_eq!(n_required(&slow(), 3.0), Some(300.0));
+        assert_eq!(n_required(&slow(), 1.0), Some(100.0));
+        assert_eq!(n_required(&slow(), 9.0), None);
+        assert_eq!(n_required(&[], 1.0), None);
+    }
+
+    #[test]
+    fn savings_of_a_double_speed_learner_is_half() {
+        let s = savings_at(&slow(), &fast(), 400.0).expect("within range");
+        assert!((s - 0.5).abs() < 1e-9, "savings {s}");
+        let mean = mean_savings(&slow(), &fast()).expect("computable");
+        assert!((mean - 0.5).abs() < 1e-9, "mean savings {mean}");
+    }
+
+    #[test]
+    fn identical_curves_save_nothing() {
+        let s = savings_at(&slow(), &slow(), 400.0).expect("within range");
+        assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_quality_yields_none() {
+        let weak = vec![(100.0, 0.5), (800.0, 1.5)];
+        assert_eq!(savings_at(&slow(), &weak, 800.0), None);
+    }
+
+    #[test]
+    fn out_of_range_reference_yields_none() {
+        assert_eq!(savings_at(&slow(), &fast(), 50.0), None);
+        assert_eq!(savings_at(&slow(), &fast(), 10_000.0), None);
+    }
+}

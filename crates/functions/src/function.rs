@@ -1,0 +1,229 @@
+use rand::Rng;
+use reds_data::{DataError, Dataset};
+
+/// How a benchmark source maps a point to the binary output.
+#[derive(Clone)]
+pub enum FunctionKind {
+    /// Deterministic raw output; `y = 1` iff `raw(x) < thr` (§8.3).
+    Thresholded {
+        /// Raw real-valued simulation output.
+        raw: fn(&[f64]) -> f64,
+        /// Binarization threshold (`thr` column of Table 1).
+        thr: f64,
+    },
+    /// Stochastic simulation: the function *is* `P(y = 1 | x)`
+    /// (the Dalal et al. "noisy" functions 1–8 and 102).
+    Probabilistic {
+        /// Conditional positive probability.
+        prob: fn(&[f64]) -> f64,
+    },
+}
+
+/// One data source of Table 1: a named function on `[0,1]^M` together
+/// with its active-input set and binarization rule.
+#[derive(Clone)]
+pub struct BenchmarkFunction {
+    name: &'static str,
+    m: usize,
+    active: &'static [usize],
+    kind: FunctionKind,
+}
+
+impl BenchmarkFunction {
+    /// Builds a function descriptor. `active` lists the zero-based input
+    /// indices that influence the output (the `I` column of Table 1).
+    pub const fn new(
+        name: &'static str,
+        m: usize,
+        active: &'static [usize],
+        kind: FunctionKind,
+    ) -> Self {
+        Self {
+            name,
+            m,
+            active,
+            kind,
+        }
+    }
+
+    /// Function name as used throughout the paper ("morris", "dsgc", …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of inputs `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Zero-based indices of inputs that affect the output.
+    pub fn active_inputs(&self) -> &'static [usize] {
+        self.active
+    }
+
+    /// Number of active inputs (`I` of Table 1).
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` when input `j` has no influence on the output — the ground
+    /// truth behind the `#irrel` metric (§4).
+    pub fn is_irrelevant(&self, j: usize) -> bool {
+        !self.active.contains(&j)
+    }
+
+    /// `P(y = 1 | x)` — `0.0`/`1.0` for deterministic functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.m()`.
+    pub fn prob_positive(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.m, "{}: wrong input dimension", self.name);
+        match &self.kind {
+            FunctionKind::Thresholded { raw, thr } => {
+                if raw(x) < *thr {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            FunctionKind::Probabilistic { prob } => prob(x).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Raw (pre-binarization) output for thresholded functions, or
+    /// `P(y = 1 | x)` for probabilistic ones.
+    pub fn raw(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.m, "{}: wrong input dimension", self.name);
+        match &self.kind {
+            FunctionKind::Thresholded { raw, .. } => raw(x),
+            FunctionKind::Probabilistic { prob } => prob(x),
+        }
+    }
+
+    /// One simulated binary label: deterministic threshold test, or a
+    /// Bernoulli draw for stochastic functions.
+    pub fn label(&self, x: &[f64], rng: &mut impl Rng) -> f64 {
+        let p = self.prob_positive(x);
+        // Deterministic outcomes skip the RNG draw so labeling a
+        // deterministic function never consumes randomness.
+        if p <= 0.0 {
+            0.0
+        } else if p >= 1.0 || rng.gen::<f64>() < p {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Labels a row-major design into a [`Dataset`] — the "run the
+    /// simulations" step of scenario discovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DataError`] when `points.len()` is not a multiple of
+    /// `self.m()`.
+    pub fn label_dataset(
+        &self,
+        points: Vec<f64>,
+        rng: &mut impl Rng,
+    ) -> Result<Dataset, DataError> {
+        Dataset::from_fn(points, self.m, |x| self.label(x, rng))
+    }
+
+    /// Expected positive share under uniform inputs, estimated from `n`
+    /// Monte-Carlo points (the "share" column of Table 1).
+    pub fn estimate_share(&self, n: usize, rng: &mut impl Rng) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut x = vec![0.0; self.m];
+        for _ in 0..n {
+            for v in &mut x {
+                *v = rng.gen();
+            }
+            sum += self.prob_positive(&x);
+        }
+        sum / n as f64
+    }
+}
+
+impl std::fmt::Debug for BenchmarkFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkFunction")
+            .field("name", &self.name)
+            .field("m", &self.m)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn halfline(x: &[f64]) -> f64 {
+        x[0]
+    }
+
+    fn coin(_: &[f64]) -> f64 {
+        0.5
+    }
+
+    const DET: BenchmarkFunction = BenchmarkFunction::new(
+        "det",
+        2,
+        &[0],
+        FunctionKind::Thresholded { raw: halfline, thr: 0.5 },
+    );
+    const STO: BenchmarkFunction =
+        BenchmarkFunction::new("sto", 1, &[0], FunctionKind::Probabilistic { prob: coin });
+
+    #[test]
+    fn deterministic_labeling_thresholds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DET.prob_positive(&[0.2, 0.9]), 1.0);
+        assert_eq!(DET.prob_positive(&[0.7, 0.1]), 0.0);
+        assert_eq!(DET.label(&[0.2, 0.9], &mut rng), 1.0);
+    }
+
+    #[test]
+    fn stochastic_labeling_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let pos: f64 = (0..n).map(|_| STO.label(&[0.3], &mut rng)).sum();
+        let rate = pos / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn irrelevance_is_complement_of_active() {
+        assert!(!DET.is_irrelevant(0));
+        assert!(DET.is_irrelevant(1));
+        assert_eq!(DET.n_active(), 1);
+    }
+
+    #[test]
+    fn label_dataset_has_right_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DET.label_dataset(vec![0.1, 0.5, 0.9, 0.5], &mut rng).unwrap();
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.labels(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn estimate_share_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let share = DET.estimate_share(20_000, &mut rng);
+        assert!((share - 0.5).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input dimension")]
+    fn wrong_dimension_panics() {
+        DET.prob_positive(&[0.1]);
+    }
+}

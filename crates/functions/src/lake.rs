@@ -1,0 +1,212 @@
+//! The shallow-lake eutrophication model — the source of the paper's
+//! "lake" third-party dataset (§8.3, citing Kwakkel's exploratory
+//! modeling workbench).
+//!
+//! Phosphorus dynamics follow the classic Carpenter et al. recurrence
+//!
+//! ```text
+//! X_{t+1} = X_t + a + X_t^q / (1 + X_t^q) − b·X_t + ε_t
+//! ```
+//!
+//! with lognormal natural inflows `ε_t`. The lake *flips* into the
+//! eutrophic state when phosphorus exceeds the critical level at which
+//! recycling outpaces removal. Scenario discovery asks for the region of
+//! the five uncertain inputs (`b`, `q`, inflow mean, inflow stdev,
+//! discount factor `δ`; `δ` affects utility only, not the dynamics) in
+//! which the lake flips.
+//!
+//! The paper uses the first 1000 rows of a published dataset; we
+//! regenerate a fixed 1000-row dataset from the model with a pinned seed
+//! — same size, same input semantics, same code path (a finite dataset
+//! with no simulator available to the discovery algorithms).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_sampling::{latin_hypercube, standard_normal};
+
+/// Number of inputs of the lake model.
+pub const LAKE_M: usize = 5;
+
+/// Number of rows of the regenerated dataset.
+pub const LAKE_N: usize = 1000;
+
+/// Simulation horizon (years).
+const YEARS: usize = 100;
+
+/// Constant anthropogenic phosphorus release policy.
+const RELEASE: f64 = 0.02;
+
+/// Uncertain parameters of one lake simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LakeParams {
+    /// Phosphorus removal rate `b ∈ [0.1, 0.45]`.
+    pub b: f64,
+    /// Recycling steepness `q ∈ [2, 4.5]`.
+    pub q: f64,
+    /// Mean of the natural inflow `∈ [0.01, 0.05]`.
+    pub mean: f64,
+    /// Standard deviation of the natural inflow `∈ [0.001, 0.005]`.
+    pub stdev: f64,
+    /// Utility discount factor `δ ∈ [0.93, 0.99]` (inert for pollution).
+    pub delta: f64,
+}
+
+impl LakeParams {
+    /// Decodes a unit-cube point into physical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != LAKE_M`.
+    pub fn from_unit(x: &[f64]) -> Self {
+        assert_eq!(x.len(), LAKE_M, "lake model expects {LAKE_M} inputs");
+        Self {
+            b: 0.1 + 0.35 * x[0],
+            q: 2.0 + 2.5 * x[1],
+            mean: 0.01 + 0.04 * x[2],
+            stdev: 0.001 + 0.004 * x[3],
+            delta: 0.93 + 0.06 * x[4],
+        }
+    }
+
+    /// Critical phosphorus level: the largest fixed point of
+    /// `x^q/(1+x^q) = b·x`, located by bisection on `(0.01, 4)`.
+    pub fn critical_p(&self) -> f64 {
+        // g(x) = x^q/(1+x^q) - b x; the unstable threshold is the middle
+        // root; the flip is detected against it.
+        let g = |x: f64| x.powf(self.q) / (1.0 + x.powf(self.q)) - self.b * x;
+        // Scan for the first sign change after the origin.
+        let mut prev = 0.05;
+        let mut prev_v = g(prev);
+        let mut x = prev + 0.01;
+        while x < 4.0 {
+            let v = g(x);
+            if prev_v < 0.0 && v >= 0.0 {
+                // bisect [prev, x]
+                let (mut lo, mut hi) = (prev, x);
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    if g(mid) < 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                return 0.5 * (lo + hi);
+            }
+            prev = x;
+            prev_v = v;
+            x += 0.01;
+        }
+        // No unstable root: removal dominates everywhere in range.
+        f64::INFINITY
+    }
+}
+
+/// Runs one stochastic lake trajectory and returns the maximal
+/// phosphorus level reached.
+pub fn simulate_lake(p: &LakeParams, rng: &mut impl Rng) -> f64 {
+    // Lognormal inflow with the requested mean/stdev.
+    let var_ratio = (p.stdev / p.mean).powi(2);
+    let sigma2 = (1.0 + var_ratio).ln();
+    let mu = p.mean.ln() - 0.5 * sigma2;
+    let sigma = sigma2.sqrt();
+    let mut x = 0.0f64;
+    let mut max_p = 0.0f64;
+    for _ in 0..YEARS {
+        let inflow = (mu + sigma * standard_normal(rng)).exp();
+        let recycling = if x > 0.0 {
+            x.powf(p.q) / (1.0 + x.powf(p.q))
+        } else {
+            0.0
+        };
+        x = (x + RELEASE + recycling - p.b * x + inflow).max(0.0);
+        max_p = max_p.max(x);
+    }
+    max_p
+}
+
+/// The fixed 1000-row "lake" dataset: LHS inputs, `y = 1` when the lake
+/// flips (maximal phosphorus exceeds the critical level). Deterministic
+/// across calls (pinned seed).
+pub fn lake_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x1A4E);
+    let points = latin_hypercube(LAKE_N, LAKE_M, &mut rng);
+    Dataset::from_fn(points, LAKE_M, |x| {
+        let p = LakeParams::from_unit(x);
+        let crit = p.critical_p();
+        if simulate_lake(&p, &mut rng) > crit {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .expect("static lake dataset construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_deterministic_and_sized() {
+        let a = lake_dataset();
+        let b = lake_dataset();
+        assert_eq!(a, b);
+        assert_eq!(a.n(), LAKE_N);
+        assert_eq!(a.m(), LAKE_M);
+    }
+
+    #[test]
+    fn share_is_moderate() {
+        // Table 1 reports 33.5 % interesting examples; the regenerated
+        // dataset should be in the same regime (neither degenerate nor
+        // majority-positive beyond ~0.5).
+        let share = lake_dataset().pos_rate();
+        assert!(
+            (0.1..=0.6).contains(&share),
+            "lake share {share} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn strong_removal_rarely_flips() {
+        let p = LakeParams {
+            b: 0.45,
+            q: 2.0,
+            mean: 0.01,
+            stdev: 0.001,
+            delta: 0.97,
+        };
+        let crit = p.critical_p();
+        let mut rng = StdRng::seed_from_u64(1);
+        let flips = (0..50)
+            .filter(|_| simulate_lake(&p, &mut rng) > crit)
+            .count();
+        assert!(flips <= 5, "{flips}/50 flips with strong removal");
+    }
+
+    #[test]
+    fn weak_removal_with_strong_recycling_flips() {
+        let p = LakeParams {
+            b: 0.1,
+            q: 4.5,
+            mean: 0.05,
+            stdev: 0.005,
+            delta: 0.97,
+        };
+        let crit = p.critical_p();
+        let mut rng = StdRng::seed_from_u64(2);
+        let flips = (0..50)
+            .filter(|_| simulate_lake(&p, &mut rng) > crit)
+            .count();
+        assert!(flips >= 45, "{flips}/50 flips with weak removal");
+    }
+
+    #[test]
+    fn critical_p_is_positive_and_finite_for_typical_params() {
+        let p = LakeParams::from_unit(&[0.5; 5]);
+        let crit = p.critical_p();
+        assert!(crit > 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The function registry: every data source of Table 1 by name.
+
+use crate::dalal::*;
+use crate::dsgc::dsgc_raw;
+use crate::function::{BenchmarkFunction, FunctionKind};
+use crate::surjanovic::*;
+
+const A2: &[usize] = &[0, 1];
+const A3: &[usize] = &[0, 1, 2];
+const A4: &[usize] = &[0, 1, 2, 3];
+const A5: &[usize] = &[0, 1, 2, 3, 4];
+const A6: &[usize] = &[0, 1, 2, 3, 4, 5];
+const A7: &[usize] = &[0, 1, 2, 3, 4, 5, 6];
+const A8: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7];
+const A9: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7, 8];
+const A10: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+const A12: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+const A15: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
+const A20: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+];
+/// welchetal92: inputs 8 and 16 (1-based) are inert.
+const WELCH_ACTIVE: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 16, 17, 18, 19];
+/// soblev99: input 20 (1-based) is inert.
+const SOBLEV_ACTIVE: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+];
+
+const fn thresholded(
+    name: &'static str,
+    m: usize,
+    active: &'static [usize],
+    raw: fn(&[f64]) -> f64,
+    thr: f64,
+) -> BenchmarkFunction {
+    BenchmarkFunction::new(name, m, active, FunctionKind::Thresholded { raw, thr })
+}
+
+const fn probabilistic(
+    name: &'static str,
+    m: usize,
+    active: &'static [usize],
+    prob: fn(&[f64]) -> f64,
+) -> BenchmarkFunction {
+    BenchmarkFunction::new(name, m, active, FunctionKind::Probabilistic { prob })
+}
+
+/// All 33 experiment functions, in Table 1 order.
+pub const ALL_FUNCTIONS: [BenchmarkFunction; 33] = [
+    probabilistic("1", 5, A2, dalal1),
+    probabilistic("2", 5, A2, dalal2),
+    probabilistic("3", 5, A2, dalal3),
+    probabilistic("4", 5, A2, dalal4),
+    probabilistic("5", 5, A2, dalal5),
+    probabilistic("6", 5, A2, dalal6),
+    probabilistic("7", 5, A2, dalal7),
+    probabilistic("8", 5, A2, dalal8),
+    probabilistic("102", 15, A9, dalal102),
+    thresholded("borehole", 8, A8, borehole, 1000.0),
+    thresholded("dsgc", 12, A12, dsgc_raw, 0.0),
+    thresholded("ellipse", 15, A10, ellipse, 0.8),
+    thresholded("hart3", 3, A3, hart3, -1.0),
+    thresholded("hart4", 4, A4, hart4, -0.5),
+    thresholded("hart6sc", 6, A6, hart6sc, 1.0),
+    thresholded("ishigami", 3, A3, ishigami, 1.0),
+    thresholded("linketal06dec", 10, A8, linketal06dec, 0.15),
+    thresholded("linketal06simple", 10, A4, linketal06simple, 0.33),
+    thresholded("linketal06sin", 10, A2, linketal06sin, 0.0),
+    thresholded("loepetal13", 10, A7, loepetal13, 9.0),
+    thresholded("moon10hd", 20, A20, moon10hd, 0.0),
+    thresholded("moon10hdc1", 20, A5, moon10hdc1, 0.0),
+    thresholded("moon10low", 3, A3, moon10low, 1.5),
+    thresholded("morretal06", 30, A10, morretal06, -330.0),
+    thresholded("morris", 20, A20, morris, 20.0),
+    thresholded("oakoh04", 15, A15, oakoh04, 10.0),
+    thresholded("otlcircuit", 6, A6, otlcircuit, 4.5),
+    thresholded("piston", 7, A7, piston, 0.4),
+    thresholded("soblev99", 20, SOBLEV_ACTIVE, soblev99, 2000.0),
+    thresholded("sobol", 8, A8, sobol_g, 0.7),
+    thresholded("welchetal92", 20, WELCH_ACTIVE, welchetal92, 0.0),
+    thresholded("willetal06", 3, A2, willetal06, -1.0),
+    thresholded("wingweight", 10, A10, wingweight, 250.0),
+];
+
+/// Names of all functions in Table 1 order.
+pub const FUNCTION_NAMES: [&str; 33] = [
+    "1",
+    "2",
+    "3",
+    "4",
+    "5",
+    "6",
+    "7",
+    "8",
+    "102",
+    "borehole",
+    "dsgc",
+    "ellipse",
+    "hart3",
+    "hart4",
+    "hart6sc",
+    "ishigami",
+    "linketal06dec",
+    "linketal06simple",
+    "linketal06sin",
+    "loepetal13",
+    "moon10hd",
+    "moon10hdc1",
+    "moon10low",
+    "morretal06",
+    "morris",
+    "oakoh04",
+    "otlcircuit",
+    "piston",
+    "soblev99",
+    "sobol",
+    "welchetal92",
+    "willetal06",
+    "wingweight",
+];
+
+/// All experiment functions in Table 1 order.
+pub fn all_functions() -> &'static [BenchmarkFunction] {
+    &ALL_FUNCTIONS
+}
+
+/// Looks up a function by its Table 1 name.
+pub fn by_name(name: &str) -> Option<&'static BenchmarkFunction> {
+    ALL_FUNCTIONS.iter().find(|f| f.name() == name)
+}
+
+impl BenchmarkFunction {
+    /// Convenience alias for [`by_name`] usable through the facade crate.
+    pub fn by_name(name: &str) -> Option<&'static BenchmarkFunction> {
+        by_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        assert_eq!(ALL_FUNCTIONS.len(), 33);
+        for (f, &name) in ALL_FUNCTIONS.iter().zip(FUNCTION_NAMES.iter()) {
+            assert_eq!(f.name(), name);
+            assert!(f.n_active() <= f.m());
+            assert!(f.active_inputs().iter().all(|&j| j < f.m()));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("morris").is_some());
+        assert_eq!(by_name("morris").unwrap().m(), 20);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn table1_dimensions_match() {
+        // Spot-check the M column of Table 1.
+        for (name, m) in [
+            ("1", 5),
+            ("102", 15),
+            ("borehole", 8),
+            ("dsgc", 12),
+            ("ellipse", 15),
+            ("hart3", 3),
+            ("morretal06", 30),
+            ("morris", 20),
+            ("wingweight", 10),
+        ] {
+            assert_eq!(by_name(name).unwrap().m(), m, "{name}");
+        }
+    }
+
+    #[test]
+    fn table1_active_counts_match() {
+        // Spot-check the I column of Table 1.
+        for (name, i) in [
+            ("1", 2),
+            ("102", 9),
+            ("linketal06dec", 8),
+            ("linketal06simple", 4),
+            ("linketal06sin", 2),
+            ("loepetal13", 7),
+            ("moon10hdc1", 5),
+            ("morretal06", 10),
+            ("soblev99", 19),
+            ("welchetal92", 18),
+            ("willetal06", 2),
+        ] {
+            assert_eq!(by_name(name).unwrap().n_active(), i, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_function_evaluates_at_the_center() {
+        for f in all_functions() {
+            let x = vec![0.5; f.m()];
+            let p = f.prob_positive(&x);
+            assert!((0.0..=1.0).contains(&p), "{}: p = {p}", f.name());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Random forest (Breiman 2001): bagged CART trees with per-split random
+//! feature subsets. The forest's mean prediction over 0/1 labels is an
+//! estimate of `P(y = 1 | x)` — exactly the `f^am` the REDS "p" variants
+//! feed to the subgroup-discovery step (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+
+use crate::tree::{RegressionTree, TreeParams};
+use crate::{Metamodel, Trainer};
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Features per split; `None` = `ceil(sqrt(M))` (the classification
+    /// default of Breiman and of R's `randomForest`).
+    pub mtry: Option<usize>,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 200,
+            mtry: None,
+            min_samples_leaf: 1,
+            max_depth: 30,
+        }
+    }
+}
+
+/// A fitted random forest.
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    m: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest on `data` (bootstrap sample + feature subsampling
+    /// per tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or `params.n_trees == 0`.
+    pub fn fit(data: &Dataset, params: &RandomForestParams, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot train a forest on empty data");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let n = data.n();
+        let m = data.m();
+        let mtry = params
+            .mtry
+            .unwrap_or_else(|| (m as f64).sqrt().ceil() as usize)
+            .clamp(1, m);
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_samples_leaf: params.min_samples_leaf,
+            min_samples_split: 2 * params.min_samples_leaf.max(1),
+            mtry: Some(mtry),
+        };
+        // Independent seeded RNG streams keep training deterministic even
+        // if tree construction order ever changes.
+        let seeds: Vec<u64> = (0..params.n_trees).map(|_| rng.gen()).collect();
+        let trees = seeds
+            .into_iter()
+            .map(|seed| {
+                let mut trng = StdRng::seed_from_u64(seed);
+                let indices: Vec<usize> = (0..n).map(|_| trng.gen_range(0..n)).collect();
+                RegressionTree::fit(
+                    data.points(),
+                    data.labels(),
+                    m,
+                    &indices,
+                    &tree_params,
+                    &mut trng,
+                )
+            })
+            .collect();
+        Self { trees, m }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input columns.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl Metamodel for RandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+impl Trainer for RandomForestParams {
+    fn train(&self, data: &Dataset, rng: &mut StdRng) -> Box<dyn Metamodel> {
+        Box::new(RandomForest::fit(data, self, rng))
+    }
+
+    fn tag(&self) -> &'static str {
+        "f"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| {
+                let d = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+                if d < 0.09 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forest_learns_a_disc_better_than_chance() {
+        let train = ring_data(400, 1);
+        let test = ring_data(1000, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let forest = RandomForest::fit(&train, &RandomForestParams::default(), &mut rng);
+        let correct = test
+            .iter()
+            .filter(|(x, y)| (forest.predict(x) > 0.5) == (*y > 0.5))
+            .count();
+        let acc = correct as f64 / test.n() as f64;
+        assert!(acc > 0.9, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let train = ring_data(200, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let forest = RandomForest::fit(&train, &RandomForestParams::default(), &mut rng);
+        for i in 0..50 {
+            let x = [i as f64 / 50.0, 0.5];
+            let p = forest.predict(&x);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let train = ring_data(150, 6);
+        let params = RandomForestParams {
+            n_trees: 20,
+            ..Default::default()
+        };
+        let f1 = RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(7));
+        let f2 = RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(7));
+        let x = [0.3, 0.8];
+        assert_eq!(f1.predict(&x), f2.predict(&x));
+    }
+
+    #[test]
+    fn forest_variance_is_lower_than_single_tree() {
+        // Train many models on different resamples; the spread of the
+        // forest's prediction at a fixed point should not exceed a single
+        // tree's (the low-variance property REDS relies on, §6.2).
+        let x = [0.62, 0.62];
+        let tree_params = RandomForestParams {
+            n_trees: 1,
+            ..Default::default()
+        };
+        let forest_params = RandomForestParams {
+            n_trees: 60,
+            ..Default::default()
+        };
+        let spread = |params: &RandomForestParams| {
+            let preds: Vec<f64> = (0..12)
+                .map(|s| {
+                    let d = ring_data(150, 100 + s);
+                    let mut rng = StdRng::seed_from_u64(200 + s);
+                    RandomForest::fit(&d, params, &mut rng).predict(&x)
+                })
+                .collect();
+            let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+            preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64
+        };
+        assert!(spread(&forest_params) <= spread(&tree_params) + 1e-9);
+    }
+
+    #[test]
+    fn trainer_trait_object_works() {
+        let train = ring_data(100, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
+        let model = params.train(&train, &mut rng);
+        assert!(model.predict(&[0.5, 0.5]) > 0.4);
+        assert_eq!(params.tag(), "f");
+        let batch = model.predict_batch(&[0.5, 0.5, 0.0, 0.0], 2);
+        assert_eq!(batch.len(), 2);
+    }
+}

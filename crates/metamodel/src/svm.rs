@@ -1,0 +1,325 @@
+//! Soft-margin support vector machine with an RBF kernel, trained by
+//! sequential minimal optimisation (Platt 1998) — the "s" metamodel.
+//!
+//! The SVM produces hard decisions, so REDS uses it only with the
+//! hard-label variant (Algorithm 4, line 5 with `bnd = 0` on the decision
+//! function); there is no "sp" probability variant in the paper.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use reds_data::Dataset;
+
+use crate::{Metamodel, Trainer};
+
+/// SVM hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmParams {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// RBF kernel width `γ` in `exp(−γ‖x−x'‖²)`; `None` = `1/M`.
+    pub gamma: Option<f64>,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Passes without any multiplier update before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimisation sweeps.
+    pub max_iter: usize,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self {
+            c: 10.0,
+            gamma: None,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iter: 200,
+        }
+    }
+}
+
+/// A fitted RBF-kernel SVM.
+pub struct Svm {
+    support_points: Vec<f64>,
+    support_coef: Vec<f64>, // α_i y_i
+    bias: f64,
+    gamma: f64,
+    m: usize,
+}
+
+#[inline]
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+impl Svm {
+    /// Trains the SVM with simplified SMO on 0/1-labelled data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty.
+    pub fn fit(data: &Dataset, params: &SvmParams, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot train an SVM on empty data");
+        let n = data.n();
+        let m = data.m();
+        let gamma = params.gamma.unwrap_or(1.0 / m as f64);
+        let y: Vec<f64> = data
+            .labels()
+            .iter()
+            .map(|&l| if l > 0.5 { 1.0 } else { -1.0 })
+            .collect();
+        // Degenerate single-class data: constant decision.
+        if y.iter().all(|&v| v > 0.0) || y.iter().all(|&v| v < 0.0) {
+            return Self {
+                support_points: Vec::new(),
+                support_coef: Vec::new(),
+                bias: y[0],
+                gamma,
+                m,
+            };
+        }
+        // Full kernel matrix: the metamodel trains on the small initial
+        // dataset D (N ≤ a few thousand), so O(N²) memory is fine.
+        let mut kernel = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = rbf(data.point(i), data.point(j), gamma);
+                kernel[i * n + j] = k;
+                kernel[j * n + i] = k;
+            }
+        }
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let decision = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * kernel[j * n + i];
+                }
+            }
+            s
+        };
+        let mut passes = 0;
+        let mut iter = 0;
+        while passes < params.max_passes && iter < params.max_iter {
+            let mut changed = 0;
+            for i in 0..n {
+                let e_i = decision(&alpha, b, i) - y[i];
+                let violates = (y[i] * e_i < -params.tol && alpha[i] < params.c)
+                    || (y[i] * e_i > params.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Second-choice heuristic: random partner distinct from i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = decision(&alpha, b, j) - y[j];
+                let (alpha_i_old, alpha_j_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    (
+                        (alpha[j] - alpha[i]).max(0.0),
+                        (params.c + alpha[j] - alpha[i]).min(params.c),
+                    )
+                } else {
+                    (
+                        (alpha[i] + alpha[j] - params.c).max(0.0),
+                        (alpha[i] + alpha[j]).min(params.c),
+                    )
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * kernel[i * n + j] - kernel[i * n + i] - kernel[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = alpha_j_old - y[j] * (e_i - e_j) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - alpha_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = alpha_i_old + y[i] * y[j] * (alpha_j_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = b - e_i
+                    - y[i] * (ai - alpha_i_old) * kernel[i * n + i]
+                    - y[j] * (aj - alpha_j_old) * kernel[i * n + j];
+                let b2 = b - e_j
+                    - y[i] * (ai - alpha_i_old) * kernel[i * n + j]
+                    - y[j] * (aj - alpha_j_old) * kernel[j * n + j];
+                b = if ai > 0.0 && ai < params.c {
+                    b1
+                } else if aj > 0.0 && aj < params.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+            iter += 1;
+        }
+        // Keep only the support vectors.
+        let mut support_points = Vec::new();
+        let mut support_coef = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-10 {
+                support_points.extend_from_slice(data.point(i));
+                support_coef.push(alpha[i] * y[i]);
+            }
+        }
+        Self {
+            support_points,
+            support_coef,
+            bias: b,
+            gamma,
+            m,
+        }
+    }
+
+    /// Signed decision value `Σ α_i y_i K(x_i, x) + b`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
+        let mut s = self.bias;
+        for (coef, sv) in self
+            .support_coef
+            .iter()
+            .zip(self.support_points.chunks_exact(self.m))
+        {
+            s += coef * rbf(sv, x, self.gamma);
+        }
+        s
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support(&self) -> usize {
+        self.support_coef.len()
+    }
+}
+
+impl Metamodel for Svm {
+    /// Hard 0/1 decision (the SVM provides no calibrated probability).
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision(x) > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Trainer for SvmParams {
+    fn train(&self, data: &Dataset, rng: &mut StdRng) -> Box<dyn Metamodel> {
+        Box::new(Svm::fit(data, self, rng))
+    }
+
+    fn tag(&self) -> &'static str {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn halfspace_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| if x[0] + x[1] > 1.0 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    fn disc_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| {
+                if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_a_linear_boundary() {
+        let train = halfspace_data(300, 1);
+        let test = halfspace_data(600, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let svm = Svm::fit(&train, &SvmParams::default(), &mut rng);
+        let acc = test
+            .iter()
+            .filter(|(x, y)| (svm.predict(x) > 0.5) == (*y > 0.5))
+            .count() as f64
+            / test.n() as f64;
+        assert!(acc > 0.93, "SVM accuracy {acc}");
+    }
+
+    #[test]
+    fn rbf_kernel_learns_a_nonlinear_disc() {
+        let train = disc_data(400, 4);
+        let test = disc_data(800, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = SvmParams {
+            gamma: Some(4.0),
+            ..Default::default()
+        };
+        let svm = Svm::fit(&train, &params, &mut rng);
+        let acc = test
+            .iter()
+            .filter(|(x, y)| (svm.predict(x) > 0.5) == (*y > 0.5))
+            .count() as f64
+            / test.n() as f64;
+        assert!(acc > 0.9, "SVM disc accuracy {acc}");
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Dataset::from_fn(
+            (0..60).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |_| 1.0,
+        )
+        .unwrap();
+        let svm = Svm::fit(&d, &SvmParams::default(), &mut rng);
+        assert_eq!(svm.predict(&[0.5, 0.5]), 1.0);
+        assert_eq!(svm.n_support(), 0);
+    }
+
+    #[test]
+    fn predictions_are_hard_labels() {
+        let train = halfspace_data(100, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let svm = Svm::fit(&train, &SvmParams::default(), &mut rng);
+        for i in 0..20 {
+            let p = svm.predict(&[i as f64 / 20.0, 0.5]);
+            assert!(p == 0.0 || p == 1.0);
+        }
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let train = halfspace_data(200, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let svm = Svm::fit(&train, &SvmParams::default(), &mut rng);
+        assert!(svm.n_support() > 0);
+        assert!(svm.n_support() <= train.n());
+    }
+}

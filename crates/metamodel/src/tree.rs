@@ -1,0 +1,443 @@
+//! CART regression tree — the building block of the forest metamodel.
+//!
+//! Splits minimise the within-node sum of squared errors (variance
+//! reduction), which for 0/1 targets coincides with the Gini-style purity
+//! gain, so the same tree serves probability regression and
+//! classification. Nodes are stored in a flat arena for cache-friendly
+//! prediction.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyperparameters of a single CART tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features considered per split; `None` = all features.
+    pub mtry: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 30,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            mtry: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    m: usize,
+}
+
+struct Builder<'a> {
+    points: &'a [f64],
+    targets: &'a [f64],
+    m: usize,
+    params: &'a TreeParams,
+    nodes: Vec<Node>,
+    feature_pool: Vec<usize>,
+}
+
+impl<'a> Builder<'a> {
+    fn target_sum(&self, idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| self.targets[i]).sum()
+    }
+
+    /// Finds the best SSE-reducing split of `idx` along `feature`.
+    /// Returns `(threshold, gain, n_left)` or `None` when no admissible
+    /// split exists.
+    fn best_split_on(
+        &self,
+        idx: &mut [usize],
+        feature: usize,
+        total_sum: f64,
+    ) -> Option<(f64, f64, usize)> {
+        let n = idx.len();
+        idx.sort_unstable_by(|&a, &b| {
+            self.points[a * self.m + feature].total_cmp(&self.points[b * self.m + feature])
+        });
+        let min_leaf = self.params.min_samples_leaf;
+        let mut left_sum = 0.0;
+        let mut best: Option<(f64, f64, usize)> = None;
+        for k in 0..n - 1 {
+            left_sum += self.targets[idx[k]];
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let v_here = self.points[idx[k] * self.m + feature];
+            let v_next = self.points[idx[k + 1] * self.m + feature];
+            if v_next <= v_here {
+                continue; // cannot separate equal values
+            }
+            // SSE reduction = left_sum²/n_l + right_sum²/n_r − total²/n
+            // (constant term dropped — same for every candidate).
+            let right_sum = total_sum - left_sum;
+            let gain = left_sum * left_sum / n_left as f64
+                + right_sum * right_sum / n_right as f64;
+            if best.is_none_or(|(_, g, _)| gain > g) {
+                best = Some((0.5 * (v_here + v_next), gain, n_left));
+            }
+        }
+        // Convert the proxy score into a true gain relative to no split.
+        best.map(|(thr, score, nl)| (thr, score - total_sum * total_sum / n as f64, nl))
+    }
+
+    fn build(&mut self, idx: &mut [usize], depth: usize, rng: &mut impl Rng) -> u32 {
+        let n = idx.len();
+        let sum = self.target_sum(idx);
+        let mean = sum / n as f64;
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            (nodes.len() - 1) as u32
+        };
+        if depth >= self.params.max_depth || n < self.params.min_samples_split {
+            return make_leaf(&mut self.nodes);
+        }
+        // Candidate features: all, or a fresh random subset per split
+        // (random forest's per-node feature subsampling).
+        let n_candidates = self.params.mtry.unwrap_or(self.m).clamp(1, self.m);
+        if n_candidates < self.m {
+            self.feature_pool.shuffle(rng);
+        }
+        let mut best: Option<(usize, f64, f64)> = None;
+        for ci in 0..n_candidates {
+            let feature = self.feature_pool[ci];
+            if let Some((thr, gain, _)) = self.best_split_on(idx, feature, sum) {
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((feature, thr, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        // Partition in place around the chosen threshold.
+        let split_at = itertools_partition(idx, |&i| {
+            self.points[i * self.m + feature] <= threshold
+        });
+        debug_assert!(split_at > 0 && split_at < n);
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
+        let (left_idx, right_idx) = idx.split_at_mut(split_at);
+        let left = self.build(left_idx, depth + 1, rng);
+        let right = self.build(right_idx, depth + 1, rng);
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id as usize]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+}
+
+/// Stable-order in-place partition; returns the number of elements
+/// satisfying the predicate, which end up in the prefix.
+fn itertools_partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(slice.len());
+    let mut n_true = 0;
+    for &v in slice.iter() {
+        if pred(&v) {
+            n_true += 1;
+        }
+    }
+    buf.extend(slice.iter().copied().filter(|v| pred(v)));
+    buf.extend(slice.iter().copied().filter(|v| !pred(v)));
+    slice.copy_from_slice(&buf);
+    n_true
+}
+
+impl RegressionTree {
+    /// Fits a tree to `targets` over the row-major `points` buffer with
+    /// `m` columns, using rows `indices` (duplicates allowed — bootstrap
+    /// samples pass repeated indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `indices` is empty or buffers disagree on shape.
+    pub fn fit(
+        points: &[f64],
+        targets: &[f64],
+        m: usize,
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree to zero rows");
+        assert_eq!(points.len(), targets.len() * m, "shape mismatch");
+        let mut builder = Builder {
+            points,
+            targets,
+            m,
+            params,
+            nodes: Vec::new(),
+            feature_pool: (0..m).collect(),
+        };
+        let mut idx = indices.to_vec();
+        let root = builder.build(&mut idx, 0, rng);
+        debug_assert_eq!(root, 0);
+        Self {
+            nodes: builder.nodes,
+            m,
+        }
+    }
+
+    /// Predicted value at `x` (the mean target of the matched leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.m()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of input columns the tree was fitted on.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Every leaf as `(per-dimension bounds, leaf value)`, where bounds
+    /// use `±∞` for unconstrained sides. The regions partition the input
+    /// space — the representation CART-based scenario discovery
+    /// (Lempert, Bryant & Bankes 2008) extracts boxes from.
+    pub fn leaf_regions(&self) -> Vec<(Vec<(f64, f64)>, f64)> {
+        let mut out = Vec::with_capacity(self.n_leaves());
+        let root_bounds = vec![(f64::NEG_INFINITY, f64::INFINITY); self.m];
+        self.collect_leaves(0, root_bounds, &mut out);
+        out
+    }
+
+    fn collect_leaves(
+        &self,
+        node: usize,
+        bounds: Vec<(f64, f64)>,
+        out: &mut Vec<(Vec<(f64, f64)>, f64)>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { value } => out.push((bounds, *value)),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let mut lb = bounds.clone();
+                lb[*feature].1 = lb[*feature].1.min(*threshold);
+                self.collect_leaves(*left as usize, lb, out);
+                let mut rb = bounds;
+                rb[*feature].0 = rb[*feature].0.max(*threshold);
+                self.collect_leaves(*right as usize, rb, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_corner() -> (Vec<f64>, Vec<f64>) {
+        // Corner concept on a 20×20 grid: needs depth 2 but every split
+        // has positive greedy gain (unlike symmetric XOR, which defeats
+        // any greedy CART).
+        let mut pts = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = i as f64 / 19.0;
+                let y = j as f64 / 19.0;
+                pts.extend_from_slice(&[x, y]);
+                ys.push(if x > 0.5 && y > 0.5 { 1.0 } else { 0.0 });
+            }
+        }
+        (pts, ys)
+    }
+
+    #[test]
+    fn fits_corner_exactly() {
+        let (pts, ys) = grid_corner();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..ys.len()).collect();
+        let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &TreeParams::default(), &mut rng);
+        for (row, &y) in pts.chunks_exact(2).zip(&ys) {
+            assert_eq!(tree.predict(row), y);
+        }
+    }
+
+    #[test]
+    fn depth_zero_returns_global_mean() {
+        let (pts, ys) = grid_corner();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..ys.len()).collect();
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &params, &mut rng);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((tree.predict(&[0.3, 0.7]) - mean).abs() < 1e-12);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let pts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i < 9 { 0.0 } else { 1.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..10).collect();
+        let params = TreeParams {
+            min_samples_leaf: 3,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&pts, &ys, 1, &idx, &params, &mut rng);
+        // The best pure split (9 vs 1) is forbidden; the chosen leaf
+        // containing the positive example must hold ≥ 3 samples, so its
+        // mean is at most 1/3.
+        assert!(tree.predict(&[9.0]) <= 1.0 / 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let pts: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys = vec![0.7; 50];
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..50).collect();
+        let tree = RegressionTree::fit(&pts, &ys, 1, &idx, &TreeParams::default(), &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict(&[25.0]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_feature_values_cannot_be_split_apart() {
+        // All x identical: no admissible split, single leaf.
+        let pts = vec![1.0; 20];
+        let ys: Vec<f64> = (0..20).map(|i| (i % 2) as f64).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..20).collect();
+        let tree = RegressionTree::fit(&pts, &ys, 1, &idx, &TreeParams::default(), &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict(&[1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_indices_with_duplicates_work() {
+        let (pts, ys) = grid_corner();
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx: Vec<usize> = (0..ys.len()).map(|i| i % 100).collect(); // duplicates
+        let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &TreeParams::default(), &mut rng);
+        assert!(tree.n_nodes() >= 1);
+    }
+
+    #[test]
+    fn mtry_one_still_learns_axis_aligned_concept() {
+        // y depends only on x1; with mtry = 1 the tree must eventually
+        // pick feature 0 at some node and reach low error.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200;
+        let pts: Vec<f64> = (0..n * 2).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+        let ys: Vec<f64> = pts
+            .chunks_exact(2)
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let idx: Vec<usize> = (0..n).collect();
+        let params = TreeParams {
+            mtry: Some(1),
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &params, &mut rng);
+        let errors: usize = pts
+            .chunks_exact(2)
+            .zip(&ys)
+            .filter(|(r, &y)| (tree.predict(r) - y).abs() > 0.5)
+            .count();
+        assert!(errors < n / 10, "{errors} errors of {n}");
+    }
+
+    #[test]
+    fn leaf_regions_partition_the_space() {
+        let (pts, ys) = grid_corner();
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx: Vec<usize> = (0..ys.len()).collect();
+        let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &TreeParams::default(), &mut rng);
+        let regions = tree.leaf_regions();
+        assert_eq!(regions.len(), tree.n_leaves());
+        // Every training point falls into exactly one region, and that
+        // region's value equals the tree's prediction.
+        for row in pts.chunks_exact(2) {
+            let matches: Vec<&(Vec<(f64, f64)>, f64)> = regions
+                .iter()
+                .filter(|(b, _)| {
+                    b.iter()
+                        .zip(row)
+                        .all(|(&(lo, hi), &v)| v <= hi && (v > lo || lo.is_infinite()))
+                })
+                .collect();
+            assert!(!matches.is_empty(), "point {row:?} in no region");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Grid-search hyperparameter tuning via k-fold cross-validation.
+//!
+//! The paper uses `caret`'s default tuning for the metamodels (§8.4.3):
+//! a small grid per family, scored by CV accuracy. This module mirrors
+//! that: each `tune_*` function evaluates a compact grid with 5-fold CV
+//! and returns the best parameter set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::{Dataset, KFold};
+
+use crate::{Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, Svm, SvmParams};
+
+/// Number of CV folds used by all tuners (the paper's 5-fold CV).
+pub const TUNE_FOLDS: usize = 5;
+
+/// Mean CV accuracy of `fit` over the folds of `data`.
+fn cv_accuracy<M: Metamodel>(
+    data: &Dataset,
+    rng: &mut StdRng,
+    mut fit: impl FnMut(&Dataset, &mut StdRng) -> M,
+) -> f64 {
+    let k = TUNE_FOLDS.min(data.n());
+    if k < 2 {
+        return 0.0;
+    }
+    let Ok(folds) = KFold::new(data.n(), k, rng) else {
+        return 0.0;
+    };
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (train, test) in folds.splits(data) {
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let mut fit_rng = StdRng::seed_from_u64(rng.gen());
+        let model = fit(&train, &mut fit_rng);
+        for (x, y) in test.iter() {
+            if (model.predict(x) > 0.5) == (y > 0.5) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Tunes the random forest's `mtry` over `{√M, M/3, M/2}` (caret's
+/// default RF grid tunes exactly `mtry`).
+pub fn tune_random_forest(data: &Dataset, rng: &mut StdRng) -> RandomForestParams {
+    let m = data.m();
+    let mut candidates: Vec<usize> = vec![
+        (m as f64).sqrt().ceil() as usize,
+        (m / 3).max(1),
+        (m / 2).max(1),
+    ];
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut best = (f64::NEG_INFINITY, RandomForestParams::default());
+    for mtry in candidates {
+        let params = RandomForestParams {
+            mtry: Some(mtry),
+            ..RandomForestParams::default()
+        };
+        let acc = cv_accuracy(data, rng, |train, r| RandomForest::fit(train, &params, r));
+        if acc > best.0 {
+            best = (acc, params);
+        }
+    }
+    best.1
+}
+
+/// Tunes GBDT rounds and depth over a compact grid
+/// (`rounds ∈ {50, 150}`, `depth ∈ {3, 5}`), as caret tunes
+/// `nrounds`/`max_depth` for XGBoost.
+pub fn tune_gbdt(data: &Dataset, rng: &mut StdRng) -> GbdtParams {
+    let mut best = (f64::NEG_INFINITY, GbdtParams::default());
+    for &n_rounds in &[50usize, 150] {
+        for &max_depth in &[3usize, 5] {
+            let params = GbdtParams {
+                n_rounds,
+                max_depth,
+                ..GbdtParams::default()
+            };
+            let acc = cv_accuracy(data, rng, |train, r| Gbdt::fit(train, &params, r));
+            if acc > best.0 {
+                best = (acc, params);
+            }
+        }
+    }
+    best.1
+}
+
+/// Tunes the SVM's `C` and kernel width over `C ∈ {1, 10, 100}` ×
+/// `γ ∈ {1/M, 2/M}` (caret's `svmRadial` grid tunes `C` and `sigma`).
+pub fn tune_svm(data: &Dataset, rng: &mut StdRng) -> SvmParams {
+    let m = data.m() as f64;
+    let mut best = (f64::NEG_INFINITY, SvmParams::default());
+    for &c in &[1.0, 10.0, 100.0] {
+        for &gamma in &[1.0 / m, 2.0 / m] {
+            let params = SvmParams {
+                c,
+                gamma: Some(gamma),
+                ..SvmParams::default()
+            };
+            let acc = cv_accuracy(data, rng, |train, r| Svm::fit(train, &params, r));
+            if acc > best.0 {
+                best = (acc, params);
+            }
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band_data(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * m).map(|_| rng.gen::<f64>()).collect(),
+            m,
+            |x| if x[0] > 0.4 && x[0] < 0.9 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tuned_forest_performs_well() {
+        let data = band_data(250, 4, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = tune_random_forest(&data, &mut rng);
+        let model = RandomForest::fit(&data, &params, &mut rng);
+        let test = band_data(500, 4, 3);
+        let acc = test
+            .iter()
+            .filter(|(x, y)| (model.predict(x) > 0.5) == (*y > 0.5))
+            .count() as f64
+            / test.n() as f64;
+        assert!(acc > 0.85, "tuned RF accuracy {acc}");
+    }
+
+    #[test]
+    fn tuned_gbdt_returns_grid_member() {
+        let data = band_data(150, 3, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = tune_gbdt(&data, &mut rng);
+        assert!([50, 150].contains(&params.n_rounds));
+        assert!([3, 5].contains(&params.max_depth));
+    }
+
+    #[test]
+    fn tuned_svm_returns_grid_member() {
+        let data = band_data(120, 3, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = tune_svm(&data, &mut rng);
+        assert!([1.0, 10.0, 100.0].contains(&params.c));
+        assert!(params.gamma.is_some());
+    }
+
+    #[test]
+    fn cv_accuracy_handles_tiny_data() {
+        let data = band_data(4, 2, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Must not panic with n < folds.
+        let _ = tune_random_forest(&data, &mut rng);
+    }
+}

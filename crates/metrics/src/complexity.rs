@@ -1,0 +1,163 @@
+//! Boundary-complexity measures — the paper's §10 proposes studying how
+//! the complexity of the `y = 1` boundary drives REDS's advantage, using
+//! dimensionality only as a proxy. This module provides two
+//! nonparametric complexity estimates computable from a labeled sample:
+//!
+//! * [`nn_disagreement`] — the fraction of points whose nearest
+//!   neighbour carries a different label. Smooth, compact boundaries
+//!   give low values; fragmented or high-curvature boundaries give high
+//!   values.
+//! * [`boundary_fraction`] — the fraction of ε-boxes around sample
+//!   points that contain both labels, a box-counting style estimate of
+//!   the boundary's volume.
+
+use reds_data::Dataset;
+
+/// Squared Euclidean distance between two points.
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Fraction of examples whose nearest neighbour (in the same dataset)
+/// has a different hard label. Returns 0 for datasets with fewer than
+/// two rows. Labels are binarized at `0.5`.
+///
+/// O(n²) — intended for the ≤ 20 000-point evaluation sets of the
+/// experiments, not for production-scale data.
+pub fn nn_disagreement(d: &Dataset) -> f64 {
+    let n = d.n();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut disagreements = 0usize;
+    for i in 0..n {
+        let mut best = f64::INFINITY;
+        let mut best_j = i;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let dist = dist2(d.point(i), d.point(j));
+            if dist < best {
+                best = dist;
+                best_j = j;
+            }
+        }
+        if (d.label(i) > 0.5) != (d.label(best_j) > 0.5) {
+            disagreements += 1;
+        }
+    }
+    disagreements as f64 / n as f64
+}
+
+/// Fraction of examples whose ε-neighbourhood (an axis-aligned box of
+/// half-width `epsilon`) contains at least one example of each label —
+/// an estimate of how much of the sampled space is "boundary".
+///
+/// Returns 0 for datasets with fewer than two rows.
+pub fn boundary_fraction(d: &Dataset, epsilon: f64) -> f64 {
+    let n = d.n();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut mixed = 0usize;
+    for i in 0..n {
+        let yi = d.label(i) > 0.5;
+        let has_opposite = (0..n).any(|j| {
+            j != i
+                && (d.label(j) > 0.5) != yi
+                && d.point(i)
+                    .iter()
+                    .zip(d.point(j))
+                    .all(|(a, b)| (a - b).abs() <= epsilon)
+        });
+        if has_opposite {
+            mixed += 1;
+        }
+    }
+    mixed as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clean halfspace: boundary only at x = 0.5.
+    fn halfspace(n: usize) -> Dataset {
+        Dataset::from_fn(
+            (0..n).map(|i| i as f64 / n as f64).collect(),
+            1,
+            |x| if x[0] >= 0.5 { 1.0 } else { 0.0 },
+        )
+        .expect("valid shape")
+    }
+
+    /// Maximally fragmented: alternating labels along the line.
+    fn checker(n: usize) -> Dataset {
+        Dataset::from_fn(
+            (0..n).map(|i| i as f64 / n as f64).collect(),
+            1,
+            |x| {
+                if ((x[0] * n as f64) as usize).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .expect("valid shape")
+    }
+
+    #[test]
+    fn smooth_boundary_scores_low() {
+        let c = nn_disagreement(&halfspace(200));
+        assert!(c < 0.02, "halfspace complexity {c}");
+    }
+
+    #[test]
+    fn fragmented_boundary_scores_high() {
+        let c = nn_disagreement(&checker(200));
+        assert!(c > 0.9, "checker complexity {c}");
+    }
+
+    #[test]
+    fn complexity_orders_boundaries() {
+        assert!(nn_disagreement(&checker(100)) > nn_disagreement(&halfspace(100)));
+        assert!(
+            boundary_fraction(&checker(100), 0.02)
+                > boundary_fraction(&halfspace(100), 0.02)
+        );
+    }
+
+    #[test]
+    fn boundary_fraction_grows_with_epsilon() {
+        let d = halfspace(100);
+        let tight = boundary_fraction(&d, 0.005);
+        let loose = boundary_fraction(&d, 0.2);
+        assert!(loose >= tight);
+        assert!((0.0..=1.0).contains(&tight));
+        assert!((0.0..=1.0).contains(&loose));
+    }
+
+    #[test]
+    fn degenerate_datasets_score_zero() {
+        let single = Dataset::new(vec![0.5], vec![1.0], 1).expect("valid");
+        assert_eq!(nn_disagreement(&single), 0.0);
+        assert_eq!(boundary_fraction(&single, 0.1), 0.0);
+        let empty = Dataset::empty(2).expect("valid");
+        assert_eq!(nn_disagreement(&empty), 0.0);
+    }
+
+    #[test]
+    fn single_class_data_has_no_boundary() {
+        let d = Dataset::from_fn(
+            (0..50).map(|i| i as f64).collect(),
+            1,
+            |_| 1.0,
+        )
+        .expect("valid");
+        assert_eq!(nn_disagreement(&d), 0.0);
+        assert_eq!(boundary_fraction(&d, 10.0), 0.0);
+    }
+}

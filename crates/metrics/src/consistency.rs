@@ -1,0 +1,119 @@
+//! The consistency measure (Definition 2): how similar are the boxes an
+//! algorithm discovers from independent datasets of the same model?
+
+use reds_subgroup::HyperBox;
+
+/// Overlap-over-union volume of two boxes with unbounded sides clipped
+/// to `ranges` (the observed input ranges, per §4).
+///
+/// Returns 1.0 when both clipped boxes have zero volume (two identical
+/// degenerate boxes are maximally consistent); 0.0 when exactly one is
+/// degenerate or the boxes are disjoint.
+///
+/// # Panics
+///
+/// Panics when dimensionalities disagree.
+pub fn pairwise_consistency(b1: &HyperBox, b2: &HyperBox, ranges: &[(f64, f64)]) -> f64 {
+    assert_eq!(b1.m(), b2.m(), "box dimensionality mismatch");
+    assert_eq!(b1.m(), ranges.len(), "ranges length mismatch");
+    let v1 = b1.clipped_volume(ranges);
+    let v2 = b2.clipped_volume(ranges);
+    if v1 == 0.0 && v2 == 0.0 {
+        return 1.0;
+    }
+    let vo = match b1.intersect(b2) {
+        Some(overlap) => overlap.clipped_volume(ranges),
+        None => 0.0,
+    };
+    let vu = v1 + v2 - vo;
+    if vu <= 0.0 {
+        0.0
+    } else {
+        vo / vu
+    }
+}
+
+/// Mean pairwise consistency over all distinct pairs of `boxes` — the
+/// experiment estimate of `E[V_o/V_u]` (§8.5, following the stability
+/// estimation of Domingos's CMM).
+///
+/// Returns 1.0 for fewer than two boxes (nothing to disagree).
+pub fn consistency(boxes: &[HyperBox], ranges: &[(f64, f64)]) -> f64 {
+    if boxes.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..boxes.len() {
+        for j in (i + 1)..boxes.len() {
+            sum += pairwise_consistency(&boxes[i], &boxes[j], ranges);
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: [(f64, f64); 2] = [(0.0, 1.0), (0.0, 1.0)];
+
+    #[test]
+    fn identical_boxes_are_fully_consistent() {
+        let b = HyperBox::from_bounds(vec![(0.2, 0.6), (0.1, 0.9)]);
+        assert!((pairwise_consistency(&b, &b, &UNIT) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_boxes_have_zero_consistency() {
+        let a = HyperBox::from_bounds(vec![(0.0, 0.3), (0.0, 1.0)]);
+        let b = HyperBox::from_bounds(vec![(0.5, 1.0), (0.0, 1.0)]);
+        assert_eq!(pairwise_consistency(&a, &b, &UNIT), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_matches_hand_computation() {
+        // [0, 0.5] vs [0.25, 0.75] in dim 0: overlap 0.25, union 0.75.
+        let a = HyperBox::from_bounds(vec![(0.0, 0.5), (0.0, 1.0)]);
+        let b = HyperBox::from_bounds(vec![(0.25, 0.75), (0.0, 1.0)]);
+        let c = pairwise_consistency(&a, &b, &UNIT);
+        assert!((c - 1.0 / 3.0).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn infinities_are_clipped_to_ranges() {
+        let mut a = HyperBox::unbounded(2);
+        a.set_lower(0, 0.5);
+        let b = HyperBox::unbounded(2);
+        // a clipped = [0.5,1]×[0,1] (vol 0.5); b clipped = unit square.
+        let c = pairwise_consistency(&a, &b, &UNIT);
+        assert!((c - 0.5).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let a = HyperBox::from_bounds(vec![(0.0, 0.5), (0.0, 1.0)]);
+        let b = HyperBox::from_bounds(vec![(0.0, 0.5), (0.0, 1.0)]);
+        let c = HyperBox::from_bounds(vec![(0.5, 1.0), (0.0, 1.0)]);
+        // pairs: (a,b)=1, (a,c)=0, (b,c)=0 → mean 1/3.
+        let v = consistency(&[a, b, c], &UNIT);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn single_box_is_trivially_consistent() {
+        let a = HyperBox::unbounded(2);
+        assert_eq!(consistency(&[a], &UNIT), 1.0);
+        assert_eq!(consistency(&[], &UNIT), 1.0);
+    }
+
+    #[test]
+    fn degenerate_pair_convention() {
+        let a = HyperBox::from_bounds(vec![(0.5, 0.5), (0.0, 1.0)]);
+        let b = HyperBox::from_bounds(vec![(0.5, 0.5), (0.0, 1.0)]);
+        assert_eq!(pairwise_consistency(&a, &b, &UNIT), 1.0);
+        let c = HyperBox::from_bounds(vec![(0.2, 0.8), (0.0, 1.0)]);
+        assert_eq!(pairwise_consistency(&a, &c, &UNIT), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Pareto dominance between boxes (Definition 1).
+
+/// `true` when score vector `a` is dominated by `b`: `b` is at least as
+/// good everywhere and strictly better somewhere (all measures
+/// maximised).
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths.
+pub fn dominates(b: &[f64], a: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    b.iter().zip(a).all(|(x, y)| x >= y) && b.iter().zip(a).any(|(x, y)| x > y)
+}
+
+/// Indices of the non-dominated entries of `scores` (each row one
+/// candidate's measure vector).
+pub fn pareto_front(scores: &[Vec<f64>]) -> Vec<usize> {
+    (0..scores.len())
+        .filter(|&i| {
+            !scores
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &scores[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_domination() {
+        assert!(dominates(&[1.0, 1.0], &[0.5, 1.0]));
+        assert!(dominates(&[1.0, 1.0], &[0.5, 0.5]));
+        assert!(!dominates(&[1.0, 0.4], &[0.5, 0.5]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal is not dominated");
+    }
+
+    #[test]
+    fn front_extraction() {
+        let scores = vec![
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.1, 0.9],
+            vec![0.4, 0.4], // dominated by [0.5, 0.5]
+        ];
+        assert_eq!(pareto_front(&scores), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_both_survive() {
+        let scores = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert_eq!(pareto_front(&scores), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Quality metrics for discovered scenarios (§4 of the paper).
+//!
+//! * [`precision`], [`recall`], [`wracc`] — the classic subgroup scores;
+//! * [`BoxScore`] / [`score_box`] — all per-box measures at once;
+//! * [`trajectory`] — precision–recall points of a box sequence and the
+//!   paper's PR AUC for ranking peeling trajectories;
+//! * [`n_restricted`], [`n_irrelevantly_restricted`] — the
+//!   interpretability counts;
+//! * [`consistency`] — expected overlap/union volume of boxes discovered
+//!   from independent datasets (Definition 2);
+//! * [`dominates`], [`pareto_front`] — Pareto dominance (Definition 1);
+//! * [`nn_disagreement`], [`boundary_fraction`] — boundary-complexity
+//!   estimates for the §10 complexity study.
+
+#![warn(missing_docs)]
+
+mod complexity;
+mod consistency;
+mod dominance;
+mod score;
+mod trajectory;
+
+pub use complexity::{boundary_fraction, nn_disagreement};
+pub use consistency::{consistency, pairwise_consistency};
+pub use dominance::{dominates, pareto_front};
+pub use score::{n_irrelevantly_restricted, n_restricted, precision, recall, score_box, wracc, BoxScore};
+pub use trajectory::{pr_auc, pr_points, PrPoint};

@@ -1,0 +1,157 @@
+//! Per-box quality measures (§4).
+
+use reds_data::Dataset;
+use reds_subgroup::HyperBox;
+
+/// All per-box measures evaluated on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxScore {
+    /// Covered examples `n`.
+    pub n: f64,
+    /// Covered label mass `n⁺`.
+    pub n_pos: f64,
+    /// `n⁺/n` (0 for an empty box).
+    pub precision: f64,
+    /// `n⁺/N⁺` (0 when the data has no positives).
+    pub recall: f64,
+    /// Weighted relative accuracy `(n/N)(n⁺/n − N⁺/N)`.
+    pub wracc: f64,
+    /// Number of restricted inputs.
+    pub n_restricted: usize,
+}
+
+/// Precision `n⁺/n` of `b` on `data` (0 for an empty box).
+pub fn precision(b: &HyperBox, data: &Dataset) -> f64 {
+    let (n, np) = b.count(data);
+    if n > 0.0 {
+        np / n
+    } else {
+        0.0
+    }
+}
+
+/// Recall `n⁺/N⁺` of `b` on `data` (0 when `N⁺ = 0`).
+pub fn recall(b: &HyperBox, data: &Dataset) -> f64 {
+    let total = data.n_pos();
+    if total > 0.0 {
+        b.count(data).1 / total
+    } else {
+        0.0
+    }
+}
+
+/// Weighted relative accuracy of `b` on `data` (0 for empty data).
+pub fn wracc(b: &HyperBox, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n_total = data.n() as f64;
+    let (n, np) = b.count(data);
+    (np - n * data.pos_rate()) / n_total
+}
+
+/// The `#restricted` interpretability measure.
+pub fn n_restricted(b: &HyperBox) -> usize {
+    b.n_restricted()
+}
+
+/// The `#irrel` measure: restricted inputs that have no influence on the
+/// output. `active` lists the influential input indices (ground truth
+/// from the benchmark function).
+pub fn n_irrelevantly_restricted(b: &HyperBox, active: &[usize]) -> usize {
+    (0..b.m())
+        .filter(|&j| b.is_restricted(j) && !active.contains(&j))
+        .count()
+}
+
+/// Evaluates every per-box measure of §4 at once.
+pub fn score_box(b: &HyperBox, data: &Dataset) -> BoxScore {
+    let (n, n_pos) = b.count(data);
+    let total_pos = data.n_pos();
+    BoxScore {
+        n,
+        n_pos,
+        precision: if n > 0.0 { n_pos / n } else { 0.0 },
+        recall: if total_pos > 0.0 { n_pos / total_pos } else { 0.0 },
+        wracc: wracc(b, data),
+        n_restricted: b.n_restricted(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Dataset, HyperBox) {
+        // 10 points on a line, positives at x ≥ 0.6 (4 of them).
+        let d = Dataset::from_fn(
+            (0..10).map(|i| i as f64 / 10.0).collect(),
+            1,
+            |x| if x[0] >= 0.6 { 1.0 } else { 0.0 },
+        )
+        .unwrap();
+        let b = HyperBox::from_bounds(vec![(0.5, 1.0)]);
+        (d, b)
+    }
+
+    #[test]
+    fn precision_recall_match_hand_computation() {
+        let (d, b) = toy();
+        // Box covers x ∈ {0.5..0.9}: 5 points, 4 positive.
+        assert!((precision(&b, &d) - 0.8).abs() < 1e-12);
+        assert!((recall(&b, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wracc_matches_formula() {
+        let (d, b) = toy();
+        // n=5, n+=4, N=10, N+=4: (5/10)(4/5 − 4/10) = 0.2
+        assert!((wracc(&b, &d) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wracc_of_full_box_is_zero() {
+        let (d, _) = toy();
+        let full = HyperBox::unbounded(1);
+        assert!(wracc(&full, &d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_box_scores_zero() {
+        let (d, _) = toy();
+        let b = HyperBox::from_bounds(vec![(2.0, 3.0)]);
+        assert_eq!(precision(&b, &d), 0.0);
+        assert_eq!(recall(&b, &d), 0.0);
+    }
+
+    #[test]
+    fn irrelevant_restriction_counting() {
+        let mut b = HyperBox::unbounded(4);
+        b.set_lower(0, 0.1); // active
+        b.set_lower(2, 0.1); // irrelevant
+        b.set_upper(3, 0.9); // irrelevant
+        assert_eq!(n_restricted(&b), 3);
+        assert_eq!(n_irrelevantly_restricted(&b, &[0, 1]), 2);
+        assert_eq!(n_irrelevantly_restricted(&b, &[0, 2, 3]), 0);
+    }
+
+    #[test]
+    fn score_box_is_consistent_with_individual_measures() {
+        let (d, b) = toy();
+        let s = score_box(&b, &d);
+        assert_eq!(s.precision, precision(&b, &d));
+        assert_eq!(s.recall, recall(&b, &d));
+        assert_eq!(s.wracc, wracc(&b, &d));
+        assert_eq!(s.n, 5.0);
+        assert_eq!(s.n_pos, 4.0);
+        assert_eq!(s.n_restricted, 1);
+    }
+
+    #[test]
+    fn soft_labels_are_supported() {
+        let d = Dataset::new(vec![0.2, 0.8], vec![0.3, 0.9], 1).unwrap();
+        let b = HyperBox::from_bounds(vec![(0.5, 1.0)]);
+        assert!((precision(&b, &d) - 0.9).abs() < 1e-12);
+        assert!((recall(&b, &d) - 0.75).abs() < 1e-12);
+    }
+}

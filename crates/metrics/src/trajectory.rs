@@ -1,0 +1,140 @@
+//! Peeling-trajectory evaluation: precision–recall points and the PR AUC
+//! the paper introduces for ranking PRIM outputs (§4, Figure 5).
+
+use reds_data::Dataset;
+use reds_subgroup::HyperBox;
+
+use crate::score::{precision, recall};
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall `n⁺/N⁺`.
+    pub recall: f64,
+    /// Precision `n⁺/n`.
+    pub precision: f64,
+}
+
+/// Precision–recall point of every box in a trajectory, evaluated on
+/// `data` (typically the held-out test set, per the evaluation
+/// principles of §8.1).
+pub fn pr_points(boxes: &[HyperBox], data: &Dataset) -> Vec<PrPoint> {
+    boxes
+        .iter()
+        .map(|b| PrPoint {
+            recall: recall(b, data),
+            precision: precision(b, data),
+        })
+        .collect()
+}
+
+/// Area under the precision–recall curve traced by a peeling trajectory
+/// (the paper's PR AUC, Figure 5).
+///
+/// The curve is formed by the trajectory's points sorted by recall; it is
+/// closed on the right at recall 1 with the trajectory's starting
+/// precision (the unrestricted box: recall 1, precision `N⁺/N`) and on
+/// the left by extending the highest-precision end to recall 0 — the
+/// areas ABEF/ACDF of Figure 5. Trapezoidal integration over recall.
+///
+/// Returns 0 for an empty trajectory.
+pub fn pr_auc(boxes: &[HyperBox], data: &Dataset) -> f64 {
+    let mut points = pr_points(boxes, data);
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.sort_by(|a, b| {
+        a.recall
+            .total_cmp(&b.recall)
+            .then(a.precision.total_cmp(&b.precision))
+    });
+    // Close on the left: constant precision from recall 0 to the
+    // lowest-recall point.
+    let first = points[0];
+    let mut area = first.precision * first.recall;
+    for w in points.windows(2) {
+        area += 0.5 * (w[0].precision + w[1].precision) * (w[1].recall - w[0].recall);
+    }
+    // Close on the right up to recall 1 with the last (highest-recall)
+    // precision — for a full trajectory this point is the unrestricted
+    // box itself, so the extension has zero width.
+    let last = points[points.len() - 1];
+    area += last.precision * (1.0 - last.recall);
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Dataset {
+        // Positives at x ≥ 0.5 (50 of 100).
+        Dataset::from_fn(
+            (0..100).map(|i| i as f64 / 100.0).collect(),
+            1,
+            |x| if x[0] >= 0.5 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    fn nested_boxes() -> Vec<HyperBox> {
+        vec![
+            HyperBox::unbounded(1),
+            HyperBox::from_bounds(vec![(0.25, f64::INFINITY)]),
+            HyperBox::from_bounds(vec![(0.6, f64::INFINITY)]),
+        ]
+    }
+
+    #[test]
+    fn points_follow_the_trajectory() {
+        let d = line_data();
+        let pts = pr_points(&nested_boxes(), &d);
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].recall - 1.0).abs() < 1e-12);
+        assert!((pts[0].precision - 0.5).abs() < 1e-12);
+        assert!((pts[2].precision - 1.0).abs() < 1e-12);
+        // The tightest box cuts into the positives: recall 0.8.
+        assert!((pts[2].recall - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_trajectory_has_unit_auc() {
+        let d = line_data();
+        // A single box capturing exactly the positives: precision 1 at
+        // recall 1 → AUC 1.
+        let boxes = vec![HyperBox::from_bounds(vec![(0.5, f64::INFINITY)])];
+        assert!((pr_auc(&boxes, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_trajectory_has_base_rate_auc() {
+        let d = line_data();
+        let boxes = vec![HyperBox::unbounded(1)];
+        assert!((pr_auc(&boxes, &d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_trajectories_score_higher() {
+        let d = line_data();
+        let good = nested_boxes();
+        let bad = vec![
+            HyperBox::unbounded(1),
+            // Peeling from the wrong side: loses positives, precision drops.
+            HyperBox::from_bounds(vec![(f64::NEG_INFINITY, 0.75)]),
+        ];
+        assert!(pr_auc(&good, &d) > pr_auc(&bad, &d));
+    }
+
+    #[test]
+    fn empty_trajectory_scores_zero() {
+        let d = line_data();
+        assert_eq!(pr_auc(&[], &d), 0.0);
+    }
+
+    #[test]
+    fn auc_is_bounded_by_one() {
+        let d = line_data();
+        let auc = pr_auc(&nested_boxes(), &d);
+        assert!(auc > 0.5 && auc <= 1.0, "auc {auc}");
+    }
+}

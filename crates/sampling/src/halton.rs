@@ -1,0 +1,109 @@
+/// The first 30 primes — bases for the Halton sequence dimensions.
+const PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Radical inverse of `index` in base `base` (van der Corput sequence).
+fn radical_inverse(mut index: u64, base: u64) -> f64 {
+    let mut result = 0.0;
+    let mut fraction = 1.0 / base as f64;
+    while index > 0 {
+        result += (index % base) as f64 * fraction;
+        index /= base;
+        fraction /= base as f64;
+    }
+    result
+}
+
+/// First `n` points of the `m`-dimensional Halton sequence (row-major),
+/// skipping the initial zero point.
+///
+/// The paper uses Halton sampling for the `dsgc` simulation model (§8.5,
+/// citing Halton's Algorithm 247). Dimension `j` uses the `j`-th prime as
+/// its base. Supports up to 30 dimensions; panics beyond that (the paper's
+/// functions have at most 30 inputs).
+pub fn halton(n: usize, m: usize) -> Vec<f64> {
+    halton_offset(n, m, 1)
+}
+
+/// Halton points with indices `start .. start + n` — lets repeated
+/// experiment runs use disjoint, deterministic slices of the sequence.
+///
+/// Panics when `m > 30` or `start == 0` would be degenerate is allowed
+/// (index 0 maps to the all-zeros point, which is a valid but poorly
+/// space-filling start; prefer `start >= 1`).
+pub fn halton_offset(n: usize, m: usize, start: u64) -> Vec<f64> {
+    assert!(
+        m <= PRIMES.len(),
+        "halton sequence supports at most {} dimensions, got {m}",
+        PRIMES.len()
+    );
+    let mut out = Vec::with_capacity(n * m);
+    for i in 0..n as u64 {
+        for &base in &PRIMES[..m] {
+            out.push(radical_inverse(start + i, base));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base2_prefix_matches_van_der_corput() {
+        // indices 1..=6 in base 2: 0.5, 0.25, 0.75, 0.125, 0.625, 0.375
+        let pts = halton(6, 1);
+        let expected = [0.5, 0.25, 0.75, 0.125, 0.625, 0.375];
+        for (p, e) in pts.iter().zip(expected) {
+            assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn base3_second_dimension() {
+        // indices 1..=4 in base 3: 1/3, 2/3, 1/9, 4/9
+        let pts = halton(4, 2);
+        let expected = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0];
+        for (i, e) in expected.iter().enumerate() {
+            assert!((pts[i * 2 + 1] - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let pts = halton(500, 12);
+        assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn offset_slices_are_disjoint_continuations() {
+        let all = halton(10, 3);
+        let head = halton_offset(5, 3, 1);
+        let tail = halton_offset(5, 3, 6);
+        assert_eq!(&all[..15], head.as_slice());
+        assert_eq!(&all[15..], tail.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_dimensions_panics() {
+        let _ = halton(1, 31);
+    }
+
+    #[test]
+    fn low_discrepancy_coverage() {
+        // Each of the 10 deciles of dim 0 should receive roughly n/10 of
+        // the first 1000 points — Halton is far more even than i.i.d.
+        let pts = halton(1000, 2);
+        let mut counts = [0usize; 10];
+        for i in 0..1000 {
+            counts[(pts[i * 2] * 10.0) as usize % 10] += 1;
+        }
+        for c in counts {
+            assert!((95..=105).contains(&c), "decile count {c} too uneven");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Latin hypercube sample of `n` points in `[0,1]^m` (row-major).
+///
+/// Each dimension is divided into `n` equal strata; every stratum receives
+/// exactly one point at a uniformly random position, and strata are paired
+/// across dimensions by independent random permutations. This is the
+/// "maximin-free" classic LHS the paper uses to form the dataset `D`
+/// (§8.5, following Kleijnen's design-of-experiments recommendation).
+///
+/// Returns an empty vector when `n == 0` or `m == 0`.
+pub fn latin_hypercube(n: usize, m: usize, rng: &mut impl Rng) -> Vec<f64> {
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; n * m];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for j in 0..m {
+        perm.shuffle(rng);
+        for (i, &stratum) in perm.iter().enumerate() {
+            let jitter: f64 = rng.gen();
+            out[i * m + j] = (stratum as f64 + jitter) / n as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_point_per_stratum_in_every_dimension() {
+        let n = 64;
+        let m = 5;
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = latin_hypercube(n, m, &mut rng);
+        for j in 0..m {
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let stratum = (pts[i * m + j] * n as f64).floor() as usize;
+                assert!(stratum < n);
+                assert!(!seen[stratum], "stratum {stratum} hit twice in dim {j}");
+                seen[stratum] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = latin_hypercube(100, 3, &mut rng);
+        assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_requests_return_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(latin_hypercube(0, 4, &mut rng).is_empty());
+        assert!(latin_hypercube(4, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn seeded_design_is_deterministic() {
+        let a = latin_hypercube(16, 2, &mut StdRng::seed_from_u64(5));
+        let b = latin_hypercube(16, 2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

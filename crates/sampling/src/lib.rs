@@ -1,0 +1,28 @@
+//! Experimental designs for scenario discovery.
+//!
+//! The paper samples simulation inputs with space-filling designs (§8.5):
+//! Latin hypercube sampling on `[0,1]^M` for most functions, the Halton
+//! sequence for the `dsgc` simulator, plain i.i.d. uniform points for the
+//! REDS resampling step (`D_new`, Algorithm 4 line 3), a logit-normal
+//! design for the semi-supervised experiments (§9.4), and a mixed design
+//! that snaps even-indexed inputs to the discrete grid
+//! `{0.1, 0.3, 0.5, 0.7, 0.9}` (§9.1.2).
+//!
+//! All generators return a row-major `Vec<f64>` with `n·m` values in
+//! `[0,1]`, ready for labeling into a `reds_data::Dataset`.
+
+#![warn(missing_docs)]
+
+mod halton;
+mod lhs;
+mod logit_normal;
+mod mixed;
+mod sobol;
+mod uniform;
+
+pub use halton::{halton, halton_offset};
+pub use lhs::latin_hypercube;
+pub use logit_normal::{logit_normal, standard_normal};
+pub use mixed::{discretize_even_columns, mixed_design, DISCRETE_LEVELS};
+pub use sobol::{sobol, SOBOL_MAX_DIM};
+pub use uniform::uniform;

@@ -1,0 +1,69 @@
+use rand::Rng;
+
+/// One standard normal draw via the Box–Muller transform.
+///
+/// Hand-rolled so the workspace does not need `rand_distr`; the polar
+/// rejection variant is avoided to keep the per-call cost deterministic.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` i.i.d. points in `(0,1)^m` whose coordinates follow a
+/// logit-normal distribution: `x = sigmoid(z)`, `z ~ N(mu, sigma²)`.
+///
+/// The semi-supervised experiments of §9.4 sample every input
+/// independently from a logit-normal with `mu = 0`, `sigma = 1` — a
+/// non-uniform `p(x)` that still has full support on the unit cube, which
+/// is the only property REDS requires of the input distribution.
+pub fn logit_normal(n: usize, m: usize, mu: f64, sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
+    (0..n * m)
+        .map(|_| {
+            let z = mu + sigma * standard_normal(rng);
+            1.0 / (1.0 + (-z).exp())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn logit_normal_stays_in_open_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = logit_normal(5_000, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(pts.len(), 15_000);
+        assert!(pts.iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn mu_zero_is_symmetric_around_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = logit_normal(40_000, 1, 0.0, 1.0, &mut rng);
+        let mean = pts.iter().sum::<f64>() / pts.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn positive_mu_shifts_mass_up() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = logit_normal(10_000, 1, 1.5, 0.5, &mut rng);
+        let above = pts.iter().filter(|&&v| v > 0.5).count();
+        assert!(above > 9_000, "{above} of 10000 above 0.5");
+    }
+}

@@ -1,0 +1,80 @@
+use rand::Rng;
+
+use crate::latin_hypercube;
+
+/// The discrete grid used for even-indexed inputs in the mixed-inputs
+/// experiment (§9.1.2).
+pub const DISCRETE_LEVELS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Replaces the values of every even-indexed column (0, 2, 4, …) with
+/// i.i.d. draws from [`DISCRETE_LEVELS`], in place.
+///
+/// `points` is a row-major `n × m` buffer.
+pub fn discretize_even_columns(points: &mut [f64], m: usize, rng: &mut impl Rng) {
+    if m == 0 {
+        return;
+    }
+    for row in points.chunks_exact_mut(m) {
+        for j in (0..m).step_by(2) {
+            row[j] = DISCRETE_LEVELS[rng.gen_range(0..DISCRETE_LEVELS.len())];
+        }
+    }
+}
+
+/// Mixed continuous/discrete design: Latin hypercube on the odd columns,
+/// i.i.d. draws from [`DISCRETE_LEVELS`] on the even columns — the exact
+/// setup of the mixed-inputs experiment (§9.1.2).
+pub fn mixed_design(n: usize, m: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut pts = latin_hypercube(n, m, rng);
+    discretize_even_columns(&mut pts, m, rng);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn even_columns_are_discrete_odd_stay_continuous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = 5;
+        let pts = mixed_design(200, m, &mut rng);
+        for row in pts.chunks_exact(m) {
+            for j in (0..m).step_by(2) {
+                assert!(
+                    DISCRETE_LEVELS.iter().any(|&l| (row[j] - l).abs() < 1e-12),
+                    "even column value {} not on the grid",
+                    row[j]
+                );
+            }
+        }
+        // With 200 LHS points the chance any odd column lands exactly on a
+        // grid level is negligible; check at least one value is off-grid.
+        let off_grid = pts
+            .chunks_exact(m)
+            .any(|row| DISCRETE_LEVELS.iter().all(|&l| (row[1] - l).abs() > 1e-9));
+        assert!(off_grid);
+    }
+
+    #[test]
+    fn all_levels_appear() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = mixed_design(500, 2, &mut rng);
+        for &level in &DISCRETE_LEVELS {
+            assert!(
+                pts.chunks_exact(2).any(|r| (r[0] - level).abs() < 1e-12),
+                "level {level} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empty: Vec<f64> = Vec::new();
+        discretize_even_columns(&mut empty, 0, &mut rng);
+        assert!(empty.is_empty());
+    }
+}

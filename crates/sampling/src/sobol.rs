@@ -1,0 +1,160 @@
+//! Sobol low-discrepancy sequence (digital base-2 construction with Gray
+//! code ordering).
+//!
+//! The paper's designs are LHS and Halton; Sobol is provided as the third
+//! standard space-filling design of the metamodeling literature so users
+//! can swap it in for `D` or `D_new`. The implementation follows the
+//! classic direction-number construction: dimension 0 is the van der
+//! Corput sequence, higher dimensions use primitive polynomials over GF(2)
+//! with initial direction numbers from the Joe–Kuo tables. Any odd
+//! `m_i < 2^i` initialization yields a valid digital sequence; the tabled
+//! values additionally give good two-dimensional projections.
+
+/// Maximum supported dimensionality of [`sobol`].
+pub const SOBOL_MAX_DIM: usize = 21;
+
+/// Bits of precision in the generated fractions.
+const BITS: usize = 52;
+
+/// `(degree s, coefficient bits a, initial direction numbers)` per
+/// dimension, starting at dimension index 1 (Joe–Kuo `new-joe-kuo-6`).
+const POLY: [(u32, u32, &[u64]); 20] = [
+    (1, 0, &[1]),
+    (2, 1, &[1, 3]),
+    (3, 1, &[1, 3, 1]),
+    (3, 2, &[1, 1, 1]),
+    (4, 1, &[1, 1, 3, 3]),
+    (4, 4, &[1, 3, 5, 13]),
+    (5, 2, &[1, 1, 5, 5, 17]),
+    (5, 4, &[1, 1, 5, 5, 5]),
+    (5, 7, &[1, 1, 7, 11, 19]),
+    (5, 11, &[1, 1, 5, 1, 1]),
+    (5, 13, &[1, 1, 1, 3, 11]),
+    (5, 14, &[1, 3, 5, 5, 31]),
+    (6, 1, &[1, 3, 3, 9, 7, 49]),
+    (6, 13, &[1, 1, 1, 15, 21, 21]),
+    (6, 16, &[1, 3, 1, 13, 27, 49]),
+    (6, 19, &[1, 1, 1, 15, 7, 5]),
+    (6, 22, &[1, 3, 1, 15, 13, 25]),
+    (6, 25, &[1, 1, 5, 5, 19, 61]),
+    (7, 1, &[1, 3, 7, 11, 23, 15, 103]),
+    (7, 4, &[1, 3, 7, 13, 13, 15, 69]),
+];
+
+/// Direction numbers `v_1..v_BITS` for one dimension, scaled to integers
+/// with an implicit binary point after bit `BITS`.
+fn direction_numbers(dim: usize) -> Vec<u64> {
+    let mut v = vec![0u64; BITS];
+    if dim == 0 {
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = 1u64 << (BITS - 1 - i);
+        }
+        return v;
+    }
+    let (s, a, m_init) = POLY[dim - 1];
+    let s = s as usize;
+    let mut m = vec![0u64; BITS];
+    m[..s].copy_from_slice(m_init);
+    for i in s..BITS {
+        // recurrence: m_i = 2 a_1 m_{i-1} ^ 4 a_2 m_{i-2} ^ ... ^ 2^s m_{i-s} ^ m_{i-s}
+        let mut val = m[i - s] ^ (m[i - s] << s);
+        for k in 1..s {
+            let a_k = (a >> (s - 1 - k)) & 1;
+            if a_k == 1 {
+                val ^= m[i - k] << k;
+            }
+        }
+        m[i] = val;
+    }
+    for i in 0..BITS {
+        v[i] = m[i] << (BITS - 1 - i);
+    }
+    v
+}
+
+/// First `n` points of the `m`-dimensional Sobol sequence (row-major),
+/// skipping the all-zeros point at index 0.
+///
+/// # Panics
+///
+/// Panics when `m > SOBOL_MAX_DIM`.
+pub fn sobol(n: usize, m: usize) -> Vec<f64> {
+    assert!(
+        m <= SOBOL_MAX_DIM,
+        "sobol sequence supports at most {SOBOL_MAX_DIM} dimensions, got {m}"
+    );
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let dirs: Vec<Vec<u64>> = (0..m).map(direction_numbers).collect();
+    let scale = (1u64 << BITS) as f64;
+    let mut state = vec![0u64; m];
+    let mut out = Vec::with_capacity(n * m);
+    // Gray-code ordering: point k flips the bit at the position of the
+    // lowest zero bit of k-1; we emit indices 1..=n.
+    for k in 1..=n as u64 {
+        let c = (k - 1).trailing_ones() as usize;
+        for (j, s) in state.iter_mut().enumerate() {
+            *s ^= dirs[j][c];
+            out.push(*s as f64 / scale);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_zero_is_van_der_corput() {
+        let pts = sobol(4, 1);
+        // Gray-code order of base-2 radical inverses: 0.5, 0.75, 0.25, 0.375
+        let expected = [0.5, 0.75, 0.25, 0.375];
+        for (p, e) in pts.iter().zip(expected) {
+            assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn first_points_of_dimension_two_match_reference() {
+        // Classic Sobol dim 2 (poly x^2+x+1, m = [1,3]) in Gray order:
+        // 0.5, 0.25, 0.75, 0.375 ...
+        let pts = sobol(4, 2);
+        let dim2: Vec<f64> = (0..4).map(|i| pts[i * 2 + 1]).collect();
+        let expected = [0.5, 0.25, 0.75, 0.375];
+        for (p, e) in dim2.iter().zip(expected) {
+            assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn values_in_unit_interval_and_distinct_from_zero() {
+        let pts = sobol(1 << 10, SOBOL_MAX_DIM);
+        assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn power_of_two_prefix_is_balanced_in_every_dimension() {
+        // A (t,m,s)-net property: each half [0,0.5), [0.5,1) of every
+        // dimension receives exactly half of any 2^k prefix.
+        let n = 256;
+        let m = 8;
+        let pts = sobol(n, m);
+        // We skip the all-zeros point at index 0, so a 2^k-point window is
+        // shifted by one: each half receives n/2 ± 1 points.
+        for j in 0..m {
+            let low = (0..n).filter(|&i| pts[i * m + j] < 0.5).count();
+            assert!(
+                (n / 2 - 1..=n / 2 + 1).contains(&low),
+                "dimension {j} unbalanced: {low} of {n} in the lower half"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_dimensions_panics() {
+        let _ = sobol(1, SOBOL_MAX_DIM + 1);
+    }
+}

@@ -1,0 +1,41 @@
+use rand::Rng;
+
+/// `n` i.i.d. uniform points in `[0,1)^m` (row-major).
+///
+/// This is the sampling step of REDS itself (Algorithm 4, line 3): under
+/// deep uncertainty the input distribution `p(x)` is uniform, so the
+/// pseudo-labeled set `D_new` is drawn i.i.d. uniform rather than with a
+/// space-filling design.
+pub fn uniform(n: usize, m: usize, rng: &mut impl Rng) -> Vec<f64> {
+    (0..n * m).map(|_| rng.gen::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = uniform(50, 4, &mut rng);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = uniform(20_000, 1, &mut rng);
+        let mean: f64 = pts.iter().sum::<f64>() / pts.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform(10, 2, &mut StdRng::seed_from_u64(3));
+        let b = uniform(10, 2, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,272 @@
+//! The BestInterval (BI) algorithm of Mampaey, Nijssen, Feelders &
+//! Knobbe (2012) — Algorithm 3 of the paper: beam search over hyperboxes
+//! maximising Weighted Relative Accuracy, refining one dimension at a
+//! time with an exact linear-time best-interval subroutine.
+//!
+//! For a fixed dataset, `WRAcc(B) = (n⁺_B − n_B · N⁺/N) / N`, so the best
+//! interval along a dimension is the contiguous value range maximising
+//! `Σ (y_i − N⁺/N)` over the covered points — a maximum-sum subarray
+//! problem solved by Kadane's algorithm over the value-sorted points
+//! (ties grouped so the interval never splits equal values).
+
+use rand::rngs::StdRng;
+use reds_data::Dataset;
+
+use crate::{HyperBox, SdResult, SubgroupDiscovery};
+
+/// BI hyperparameters (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiParams {
+    /// Maximum number of restricted inputs (`m`, "depth"); `None` = all.
+    pub max_restricted: Option<usize>,
+    /// Beam size `bs` (paper uses 1 and 5).
+    pub beam_size: usize,
+    /// Safety cap on beam iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for BiParams {
+    fn default() -> Self {
+        Self {
+            max_restricted: None,
+            beam_size: 1,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// The BI beam-search algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct BestInterval {
+    params: BiParams,
+}
+
+impl BestInterval {
+    /// Creates BI with the given hyperparameters.
+    pub fn new(params: BiParams) -> Self {
+        assert!(params.beam_size > 0, "beam size must be positive");
+        Self { params }
+    }
+
+    /// WRAcc of `b` on `d` (also exposed through `reds-metrics`; kept
+    /// here so the search needs no cross-crate call).
+    fn wracc(b: &HyperBox, d: &Dataset, pos_rate: f64) -> f64 {
+        let (n, np) = b.count(d);
+        (np - n * pos_rate) / d.n() as f64
+    }
+
+    /// The exact best WRAcc refinement of `b` along `dim`: the interval
+    /// maximising the sum of centred labels over points that satisfy all
+    /// *other* dimension constraints.
+    fn best_interval(b: &HyperBox, d: &Dataset, dim: usize, pos_rate: f64) -> HyperBox {
+        // Points inside the box with `dim` relaxed.
+        let mut slab = b.clone();
+        slab.set_lower(dim, f64::NEG_INFINITY);
+        slab.set_upper(dim, f64::INFINITY);
+        let mut vals: Vec<(f64, f64)> = d
+            .iter()
+            .filter(|(x, _)| slab.contains(x))
+            .map(|(x, y)| (x[dim], y - pos_rate))
+            .collect();
+        if vals.is_empty() {
+            return b.clone();
+        }
+        vals.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        // Group ties: an interval boundary cannot separate equal values.
+        let mut groups: Vec<(f64, f64)> = Vec::with_capacity(vals.len());
+        for (v, w) in vals {
+            match groups.last_mut() {
+                Some((gv, gw)) if *gv == v => *gw += w,
+                _ => groups.push((v, w)),
+            }
+        }
+        // Kadane over groups, tracking the value range of the best run.
+        let mut best_sum = f64::NEG_INFINITY;
+        let mut best_range = (groups[0].0, groups[0].0);
+        let mut run_sum = 0.0;
+        let mut run_start = 0usize;
+        for (idx, &(v, w)) in groups.iter().enumerate() {
+            if run_sum <= 0.0 {
+                run_sum = w;
+                run_start = idx;
+            } else {
+                run_sum += w;
+            }
+            if run_sum > best_sum {
+                best_sum = run_sum;
+                best_range = (groups[run_start].0, v);
+            }
+        }
+        let mut refined = b.clone();
+        // The refinement replaces this dimension's bounds; when the best
+        // interval spans all observed values the dimension stays
+        // unrestricted (equivalently: BI never restricts without gain).
+        if best_range.0 > groups[0].0 {
+            refined.set_lower(dim, best_range.0);
+        } else {
+            refined.set_lower(dim, f64::NEG_INFINITY);
+        }
+        if best_range.1 < groups[groups.len() - 1].0 {
+            refined.set_upper(dim, best_range.1);
+        } else {
+            refined.set_upper(dim, f64::INFINITY);
+        }
+        refined
+    }
+}
+
+impl SubgroupDiscovery for BestInterval {
+    fn discover(&self, d: &Dataset, _d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+        let m = d.m();
+        let max_restricted = self.params.max_restricted.unwrap_or(m).min(m);
+        let pos_rate = d.pos_rate();
+        let start = HyperBox::unbounded(m);
+        if d.is_empty() {
+            return SdResult { boxes: vec![start] };
+        }
+        let mut beam: Vec<HyperBox> = vec![start];
+        for _ in 0..self.params.max_iterations {
+            // Candidate pool: current beam plus every one-dimension
+            // refinement obeying the depth limit (Algorithm 3, lines 5–12).
+            let mut candidates: Vec<HyperBox> = beam.clone();
+            for b in &beam {
+                for dim in 0..m {
+                    let refined = Self::best_interval(b, d, dim, pos_rate);
+                    if refined.n_restricted() <= max_restricted
+                        && candidates.iter().all(|c| c.bounds() != refined.bounds())
+                    {
+                        candidates.push(refined);
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| {
+                Self::wracc(b, d, pos_rate).total_cmp(&Self::wracc(a, d, pos_rate))
+            });
+            candidates.truncate(self.params.beam_size);
+            if candidates == beam {
+                break;
+            }
+            beam = candidates;
+        }
+        SdResult {
+            boxes: vec![beam.into_iter().next().expect("beam is never empty")],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn band_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| {
+                if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bi_returns_a_single_box_with_positive_wracc() {
+        let d = band_data(500, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+        let b = &result.boxes[0];
+        let (n, np) = b.count(&d);
+        let wracc = (np - n * d.pos_rate()) / d.n() as f64;
+        assert!(wracc > 0.05, "WRAcc {wracc}");
+    }
+
+    #[test]
+    fn bi_recovers_interior_interval() {
+        let d = band_data(800, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        let b = &result.boxes[0];
+        let (l0, r0) = b.bound(0);
+        assert!((l0 - 0.3).abs() < 0.08, "x0 lower {l0}");
+        assert!((r0 - 0.7).abs() < 0.08, "x0 upper {r0}");
+        let (l1, r1) = b.bound(1);
+        assert!((l1 - 0.5).abs() < 0.08, "x1 lower {l1}");
+        assert_eq!(r1, f64::INFINITY, "x1 upper should stay open");
+    }
+
+    #[test]
+    fn depth_limit_caps_restrictions() {
+        let d = band_data(400, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let bi = BestInterval::new(BiParams {
+            max_restricted: Some(1),
+            ..Default::default()
+        });
+        let result = bi.discover(&d, &d, &mut rng);
+        assert!(result.boxes[0].n_restricted() <= 1);
+    }
+
+    #[test]
+    fn wider_beam_never_hurts_wracc() {
+        let d = band_data(400, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut wracc_of = |bs: usize| {
+            let bi = BestInterval::new(BiParams {
+                beam_size: bs,
+                ..Default::default()
+            });
+            let result = bi.discover(&d, &d, &mut rng);
+            let b = &result.boxes[0];
+            let (n, np) = b.count(&d);
+            (np - n * d.pos_rate()) / d.n() as f64
+        };
+        assert!(wracc_of(5) >= wracc_of(1) - 1e-9);
+    }
+
+    #[test]
+    fn uniform_labels_keep_the_box_unrestricted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Dataset::from_fn(
+            (0..200).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |_| 1.0,
+        )
+        .unwrap();
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        // With all labels equal, no interval improves WRAcc beyond 0.
+        assert_eq!(result.boxes[0].n_restricted(), 0);
+    }
+
+    #[test]
+    fn empty_data_is_handled() {
+        let d = Dataset::empty(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+    }
+
+    #[test]
+    fn kadane_groups_ties_correctly() {
+        // Discrete x with a positive middle level; the interval must
+        // cover the whole level, never split it.
+        let points = vec![0.1, 0.1, 0.5, 0.5, 0.5, 0.9, 0.9];
+        let labels = vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let d = Dataset::new(points, labels, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        let (l, r) = result.boxes[0].bound(0);
+        assert_eq!((l, r), (0.5, 0.5));
+    }
+}

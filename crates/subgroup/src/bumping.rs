@@ -1,0 +1,222 @@
+//! PRIM with bumping (Kwakkel & Cunningham 2016) — Algorithm 2 of the
+//! paper: run PRIM `Q` times on bootstrap samples restricted to random
+//! feature subsets, pool every trajectory box, and keep only the boxes
+//! that are Pareto-optimal in (precision, recall) on the validation data.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use reds_data::{bootstrap_sample, Dataset};
+
+use crate::{HyperBox, Prim, PrimParams, SdResult, SubgroupDiscovery};
+
+/// Hyperparameters of PRIM with bumping (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimBumpingParams {
+    /// Parameters of the inner PRIM runs.
+    pub prim: PrimParams,
+    /// Number of bootstrap repetitions `Q` (paper default 50).
+    pub q: usize,
+    /// Number of inputs `m` in each random feature subset;
+    /// `None` = all inputs.
+    pub m_features: Option<usize>,
+}
+
+impl Default for PrimBumpingParams {
+    fn default() -> Self {
+        Self {
+            prim: PrimParams::default(),
+            q: 50,
+            m_features: None,
+        }
+    }
+}
+
+/// PRIM with bumping.
+#[derive(Debug, Clone, Default)]
+pub struct PrimBumping {
+    params: PrimBumpingParams,
+}
+
+impl PrimBumping {
+    /// Creates the algorithm with the given hyperparameters.
+    pub fn new(params: PrimBumpingParams) -> Self {
+        assert!(params.q > 0, "need at least one bootstrap repetition");
+        Self { params }
+    }
+}
+
+/// Keeps the boxes not dominated by any other box in (precision, recall)
+/// on `d_val` (Definition 1), ordered by decreasing recall.
+fn pareto_filter(boxes: Vec<HyperBox>, d_val: &Dataset) -> Vec<HyperBox> {
+    let n_pos_total = d_val.n_pos();
+    let scored: Vec<(HyperBox, f64, f64)> = boxes
+        .into_iter()
+        .map(|b| {
+            let (n, np) = b.count(d_val);
+            let precision = if n > 0.0 { np / n } else { 0.0 };
+            let recall = if n_pos_total > 0.0 {
+                np / n_pos_total
+            } else {
+                0.0
+            };
+            (b, precision, recall)
+        })
+        .collect();
+    let mut keep: Vec<(HyperBox, f64, f64)> = Vec::new();
+    for (b, p, r) in scored.iter().cloned() {
+        let dominated = scored
+            .iter()
+            .any(|(_, op, or)| *op >= p && *or >= r && (*op > p || *or > r));
+        if dominated {
+            continue;
+        }
+        // Deduplicate identical bound sets (bootstrap runs often rediscover
+        // the same box).
+        if keep.iter().all(|(kb, _, _)| kb.bounds() != b.bounds()) {
+            keep.push((b, p, r));
+        }
+    }
+    keep.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.1.total_cmp(&b.1)));
+    keep.into_iter().map(|(b, _, _)| b).collect()
+}
+
+impl SubgroupDiscovery for PrimBumping {
+    fn discover(&self, d: &Dataset, d_val: &Dataset, rng: &mut StdRng) -> SdResult {
+        let m_full = d.m();
+        let m_sub = self
+            .params
+            .m_features
+            .unwrap_or(m_full)
+            .clamp(1, m_full);
+        let prim = Prim::new(self.params.prim.clone());
+        let mut all_boxes: Vec<HyperBox> = Vec::new();
+        let mut columns: Vec<usize> = (0..m_full).collect();
+        for _ in 0..self.params.q {
+            let bs = bootstrap_sample(d, rng);
+            columns.shuffle(rng);
+            let mut subset = columns[..m_sub].to_vec();
+            subset.sort_unstable();
+            let projected = bs
+                .select_columns(&subset)
+                .expect("subset indices are valid by construction");
+            let mut run_rng = StdRng::seed_from_u64(rng.gen());
+            let result = prim.discover(&projected, &projected, &mut run_rng);
+            all_boxes.extend(
+                result
+                    .boxes
+                    .into_iter()
+                    .map(|b| b.embed(&subset, m_full)),
+            );
+        }
+        let boxes = pareto_filter(all_boxes, d_val);
+        debug_assert!(!boxes.is_empty());
+        SdResult { boxes }
+    }
+
+    fn name(&self) -> &'static str {
+        "PB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 4).map(|_| rng.gen::<f64>()).collect(),
+            4,
+            |x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    fn small_params() -> PrimBumpingParams {
+        PrimBumpingParams {
+            q: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bumping_returns_a_pareto_front() {
+        let d = corner_data(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = PrimBumping::new(small_params()).discover(&d, &d, &mut rng);
+        assert!(!result.boxes.is_empty());
+        // Verify pairwise non-domination on the validation data.
+        let n_pos = d.n_pos();
+        let scores: Vec<(f64, f64)> = result
+            .boxes
+            .iter()
+            .map(|b| {
+                let (n, np) = b.count(&d);
+                (if n > 0.0 { np / n } else { 0.0 }, np / n_pos)
+            })
+            .collect();
+        for (i, &(p1, r1)) in scores.iter().enumerate() {
+            for (j, &(p2, r2)) in scores.iter().enumerate() {
+                if i != j {
+                    let dominated = p2 >= p1 && r2 >= r1 && (p2 > p1 || r2 > r1);
+                    assert!(!dominated, "box {i} dominated by {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_subsets_restrict_box_dimensions() {
+        let d = corner_data(300, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = PrimBumpingParams {
+            m_features: Some(2),
+            q: 8,
+            ..Default::default()
+        };
+        let result = PrimBumping::new(params).discover(&d, &d, &mut rng);
+        for b in &result.boxes {
+            assert!(b.n_restricted() <= 2, "box restricts {}", b.n_restricted());
+        }
+    }
+
+    #[test]
+    fn recall_ordering_resembles_a_trajectory() {
+        let d = corner_data(400, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = PrimBumping::new(small_params()).discover(&d, &d, &mut rng);
+        let n_pos = d.n_pos();
+        let recalls: Vec<f64> = result.boxes.iter().map(|b| b.count(&d).1 / n_pos).collect();
+        for w in recalls.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "recalls not descending: {recalls:?}");
+        }
+    }
+
+    #[test]
+    fn bumping_precision_is_competitive() {
+        let d = corner_data(500, 7);
+        let test = corner_data(2000, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = PrimBumping::new(small_params()).discover(&d, &d, &mut rng);
+        let best_precision = result
+            .boxes
+            .iter()
+            .filter_map(|b| b.mean_inside(&test))
+            .fold(0.0f64, f64::max);
+        assert!(best_precision > 0.85, "best precision {best_precision}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = corner_data(200, 10);
+        let a = PrimBumping::new(small_params()).discover(&d, &d, &mut StdRng::seed_from_u64(11));
+        let b = PrimBumping::new(small_params()).discover(&d, &d, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a.boxes.len(), b.boxes.len());
+        for (x, y) in a.boxes.iter().zip(&b.boxes) {
+            assert_eq!(x.bounds(), y.bounds());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! CART-based scenario discovery — the classic comparator of Lempert,
+//! Bryant & Bankes (2008), *Comparing algorithms for scenario discovery*
+//! ([61] in the paper, §2.1): fit a classification tree and read
+//! scenarios off its high-precision leaves.
+//!
+//! Unlike PRIM's patient peeling, CART splits greedily and produces a
+//! partition; the scenario boxes are the leaves ordered by purity. The
+//! first box of the returned sequence is the highest-recall leaf, the
+//! last the highest-precision one, so the output plugs into the same
+//! trajectory metrics as PRIM.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_metamodel::{RegressionTree, TreeParams};
+
+use crate::{HyperBox, SdResult, SubgroupDiscovery};
+
+/// Hyperparameters of CART scenario discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CartSdParams {
+    /// Maximum tree depth — bounds `#restricted` of every leaf box.
+    pub max_depth: usize,
+    /// Minimum samples per leaf (CART's pruning surrogate; Lempert et
+    /// al. use cost-complexity pruning, min-leaf achieves the same
+    /// support control).
+    pub min_samples_leaf: usize,
+}
+
+impl Default for CartSdParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_samples_leaf: 20,
+        }
+    }
+}
+
+/// CART scenario discovery.
+#[derive(Debug, Clone, Default)]
+pub struct CartSd {
+    params: CartSdParams,
+}
+
+impl CartSd {
+    /// Creates the algorithm with the given hyperparameters.
+    pub fn new(params: CartSdParams) -> Self {
+        Self { params }
+    }
+}
+
+impl SubgroupDiscovery for CartSd {
+    fn discover(&self, d: &Dataset, _d_val: &Dataset, rng: &mut StdRng) -> SdResult {
+        let m = d.m();
+        if d.is_empty() {
+            return SdResult {
+                boxes: vec![HyperBox::unbounded(m)],
+            };
+        }
+        let tree_params = TreeParams {
+            max_depth: self.params.max_depth,
+            min_samples_leaf: self.params.min_samples_leaf,
+            min_samples_split: 2 * self.params.min_samples_leaf,
+            mtry: None,
+        };
+        let indices: Vec<usize> = (0..d.n()).collect();
+        let mut fit_rng = StdRng::seed_from_u64(rng.gen());
+        let tree = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            m,
+            &indices,
+            &tree_params,
+            &mut fit_rng,
+        );
+        // Leaves with above-base-rate purity, best (purest) last.
+        let base_rate = d.pos_rate();
+        let mut leaves: Vec<(HyperBox, f64)> = tree
+            .leaf_regions()
+            .into_iter()
+            .filter(|(_, value)| *value > base_rate)
+            .map(|(bounds, value)| (HyperBox::from_bounds(bounds), value))
+            .collect();
+        leaves.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut boxes: Vec<HyperBox> = vec![HyperBox::unbounded(m)];
+        boxes.extend(leaves.into_iter().map(|(b, _)| b));
+        SdResult { boxes }
+    }
+
+    fn name(&self) -> &'static str {
+        "CART"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
+            3,
+            |x| if x[0] > 0.6 && x[1] > 0.7 { 1.0 } else { 0.0 },
+        )
+        .expect("valid shape")
+    }
+
+    #[test]
+    fn cart_finds_the_corner_leaf() {
+        let d = corner_data(800, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = CartSd::default().discover(&d, &d, &mut rng);
+        let last = result.last_box().expect("non-empty");
+        let precision = last.mean_inside(&d).expect("leaf covers points");
+        assert!(precision > 0.9, "leaf precision {precision}");
+        assert!(last.contains(&[0.8, 0.9, 0.5]));
+        assert!(!last.contains(&[0.1, 0.1, 0.5]));
+    }
+
+    #[test]
+    fn depth_bounds_restrictions() {
+        let d = corner_data(500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cart = CartSd::new(CartSdParams {
+            max_depth: 2,
+            ..Default::default()
+        });
+        let result = cart.discover(&d, &d, &mut rng);
+        for b in &result.boxes {
+            assert!(b.n_restricted() <= 2, "{} restrictions", b.n_restricted());
+        }
+    }
+
+    #[test]
+    fn boxes_are_ordered_by_increasing_purity() {
+        let d = corner_data(600, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = CartSd::default().discover(&d, &d, &mut rng);
+        let purities: Vec<f64> = result
+            .boxes
+            .iter()
+            .filter_map(|b| b.mean_inside(&d))
+            .collect();
+        for w in purities.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "purities not ascending: {purities:?}");
+        }
+    }
+
+    #[test]
+    fn all_negative_data_returns_only_the_root_box() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Dataset::from_fn(
+            (0..100).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |_| 0.0,
+        )
+        .expect("valid shape");
+        let result = CartSd::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+        assert_eq!(result.boxes[0].n_restricted(), 0);
+    }
+
+    #[test]
+    fn empty_data_is_handled() {
+        let d = Dataset::empty(2).expect("valid");
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = CartSd::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+    }
+}

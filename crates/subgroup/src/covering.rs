@@ -1,0 +1,118 @@
+//! The covering approach (§3.2.1): to find several subgroups, repeatedly
+//! run a subgroup-discovery algorithm on the data that no previously
+//! discovered box covers.
+
+use rand::rngs::StdRng;
+use reds_data::Dataset;
+
+use crate::{SdResult, SubgroupDiscovery};
+
+/// Runs `sd` up to `k` times, removing the rows covered by each run's
+/// final box before the next run. Stops early when the data runs dry or
+/// a run restricts nothing (no further subgroup found).
+pub fn covering(
+    sd: &dyn SubgroupDiscovery,
+    d: &Dataset,
+    d_val: &Dataset,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<SdResult> {
+    let mut results = Vec::with_capacity(k);
+    let mut train = d.clone();
+    let mut val = d_val.clone();
+    for _ in 0..k {
+        if train.n() < 2 || train.n_pos() == 0.0 {
+            break;
+        }
+        let result = sd.discover(&train, &val, rng);
+        let Some(last) = result.last_box() else { break };
+        if last.n_restricted() == 0 {
+            results.push(result);
+            break;
+        }
+        let keep_train: Vec<usize> = (0..train.n())
+            .filter(|&i| !last.contains(train.point(i)))
+            .collect();
+        let keep_val: Vec<usize> = (0..val.n())
+            .filter(|&i| !last.contains(val.point(i)))
+            .collect();
+        let covered_any = keep_train.len() < train.n();
+        train = train.select_rows(&keep_train);
+        val = val.select_rows(&keep_val);
+        results.push(result);
+        if !covered_any {
+            break;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Prim, PrimParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two disjoint interesting corners.
+    fn two_corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| {
+                let a = x[0] < 0.25 && x[1] < 0.25;
+                let b = x[0] > 0.75 && x[1] > 0.75;
+                if a || b {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covering_finds_both_corners() {
+        let d = two_corner_data(800, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let prim = Prim::new(PrimParams::default());
+        let results = covering(&prim, &d, &d, 2, &mut rng);
+        assert_eq!(results.len(), 2);
+        let b1 = results[0].last_box().unwrap();
+        let b2 = results[1].last_box().unwrap();
+        // The two boxes should land in different corners: one contains
+        // (0.1, 0.1), the other (0.9, 0.9).
+        let covers = |b: &crate::HyperBox| {
+            (b.contains(&[0.1, 0.1]), b.contains(&[0.9, 0.9]))
+        };
+        let (c1, c2) = (covers(b1), covers(b2));
+        assert_ne!(c1, c2, "boxes cover the same corner: {c1:?} {c2:?}");
+        assert!(c1.0 || c1.1);
+        assert!(c2.0 || c2.1);
+    }
+
+    #[test]
+    fn covering_stops_on_empty_positives() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dataset::from_fn(
+            (0..100).map(|_| rng.gen::<f64>()).collect(),
+            1,
+            |_| 0.0,
+        )
+        .unwrap();
+        let prim = Prim::default();
+        let results = covering(&prim, &d, &d, 5, &mut rng);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn covering_respects_the_requested_count() {
+        let d = two_corner_data(600, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let prim = Prim::default();
+        let results = covering(&prim, &d, &d, 1, &mut rng);
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The hyperbox `B = Π_{j=1}^M [a_j^l, a_j^r]` of §3.1.
+
+use reds_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box over the input space; unbounded sides are `±∞`.
+///
+/// Serializable with `serde`, so discovered scenarios can be persisted
+/// and reloaded (infinities round-trip as JSON `null` per serde's f64
+/// handling is lossy — prefer a binary format or the finite clipped
+/// form for JSON interchange).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyperBox {
+    bounds: Vec<(f64, f64)>,
+}
+
+impl HyperBox {
+    /// The unrestricted box `Π [−∞, +∞]` over `m` inputs — the starting
+    /// point of PRIM and BI.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m == 0`.
+    pub fn unbounded(m: usize) -> Self {
+        assert!(m > 0, "a box needs at least one dimension");
+        Self {
+            bounds: vec![(f64::NEG_INFINITY, f64::INFINITY); m],
+        }
+    }
+
+    /// Builds a box from explicit per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or any lower bound exceeds its
+    /// upper bound.
+    pub fn from_bounds(bounds: Vec<(f64, f64)>) -> Self {
+        assert!(!bounds.is_empty(), "a box needs at least one dimension");
+        assert!(
+            bounds.iter().all(|&(l, r)| l <= r),
+            "lower bound above upper bound"
+        );
+        Self { bounds }
+    }
+
+    /// Number of dimensions.
+    pub fn m(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Per-dimension `(lower, upper)` bounds.
+    pub fn bounds(&self) -> &[(f64, f64)] {
+        &self.bounds
+    }
+
+    /// Bounds of dimension `j`.
+    pub fn bound(&self, j: usize) -> (f64, f64) {
+        self.bounds[j]
+    }
+
+    /// Sets the lower bound of dimension `j`.
+    pub fn set_lower(&mut self, j: usize, v: f64) {
+        self.bounds[j].0 = v;
+    }
+
+    /// Sets the upper bound of dimension `j`.
+    pub fn set_upper(&mut self, j: usize, v: f64) {
+        self.bounds[j].1 = v;
+    }
+
+    /// Membership test (inclusive on both sides, matching the paper's
+    /// closed intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.m()`.
+    #[inline]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        debug_assert_eq!(x.len(), self.bounds.len());
+        self.bounds
+            .iter()
+            .zip(x)
+            .all(|(&(l, r), &v)| v >= l && v <= r)
+    }
+
+    /// `true` when input `j` is restricted (`a_j^l ≠ −∞ ∨ a_j^r ≠ +∞`).
+    pub fn is_restricted(&self, j: usize) -> bool {
+        let (l, r) = self.bounds[j];
+        l != f64::NEG_INFINITY || r != f64::INFINITY
+    }
+
+    /// The `#restricted` interpretability measure of §4.
+    pub fn n_restricted(&self) -> usize {
+        (0..self.m()).filter(|&j| self.is_restricted(j)).count()
+    }
+
+    /// Subgroup statistics on `data`: `(n, n⁺)` — size and label mass of
+    /// the covered examples. With soft labels `n⁺` is the expected count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.m() != self.m()`.
+    pub fn count(&self, data: &Dataset) -> (f64, f64) {
+        assert_eq!(data.m(), self.m(), "box/data dimensionality mismatch");
+        let mut n = 0.0;
+        let mut n_pos = 0.0;
+        for (x, y) in data.iter() {
+            if self.contains(x) {
+                n += 1.0;
+                n_pos += y;
+            }
+        }
+        (n, n_pos)
+    }
+
+    /// Mean label inside the box (`n⁺/n`), or `None` when empty.
+    pub fn mean_inside(&self, data: &Dataset) -> Option<f64> {
+        let (n, n_pos) = self.count(data);
+        (n > 0.0).then(|| n_pos / n)
+    }
+
+    /// Volume of the box after clipping to `ranges` (per-dimension
+    /// `(min, max)` of the data) — the consistency metric replaces
+    /// infinities with the observed input ranges (§4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ranges.len() != self.m()`.
+    pub fn clipped_volume(&self, ranges: &[(f64, f64)]) -> f64 {
+        assert_eq!(ranges.len(), self.m());
+        self.bounds
+            .iter()
+            .zip(ranges)
+            .map(|(&(l, r), &(lo, hi))| (r.min(hi) - l.max(lo)).max(0.0))
+            .product()
+    }
+
+    /// Intersection with another box of the same dimensionality, or
+    /// `None` when the boxes are disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensionalities differ.
+    pub fn intersect(&self, other: &HyperBox) -> Option<HyperBox> {
+        assert_eq!(self.m(), other.m(), "box dimensionality mismatch");
+        let mut bounds = Vec::with_capacity(self.m());
+        for (&(l1, r1), &(l2, r2)) in self.bounds.iter().zip(&other.bounds) {
+            let l = l1.max(l2);
+            let r = r1.min(r2);
+            if l > r {
+                return None;
+            }
+            bounds.push((l, r));
+        }
+        Some(HyperBox { bounds })
+    }
+
+    /// Embeds a box defined over a column subset back into full
+    /// dimensionality (PRIM with bumping trains on projected data;
+    /// Algorithm 2, line 6). `columns[j]` is the full-space index of the
+    /// projected dimension `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `columns.len() != self.m()` or any index is `>= m_full`.
+    pub fn embed(&self, columns: &[usize], m_full: usize) -> HyperBox {
+        assert_eq!(columns.len(), self.m(), "column map length mismatch");
+        let mut full = HyperBox::unbounded(m_full);
+        for (j, &col) in columns.iter().enumerate() {
+            assert!(col < m_full, "column {col} out of range");
+            full.bounds[col] = self.bounds[j];
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_box_contains_everything() {
+        let b = HyperBox::unbounded(3);
+        assert!(b.contains(&[1e12, -1e12, 0.0]));
+        assert_eq!(b.n_restricted(), 0);
+    }
+
+    #[test]
+    fn restriction_counting() {
+        let mut b = HyperBox::unbounded(4);
+        b.set_lower(1, 0.2);
+        b.set_upper(3, 0.9);
+        assert_eq!(b.n_restricted(), 2);
+        assert!(b.is_restricted(1));
+        assert!(!b.is_restricted(0));
+    }
+
+    #[test]
+    fn membership_is_inclusive() {
+        let b = HyperBox::from_bounds(vec![(0.2, 0.8)]);
+        assert!(b.contains(&[0.2]));
+        assert!(b.contains(&[0.8]));
+        assert!(!b.contains(&[0.19]));
+        assert!(!b.contains(&[0.81]));
+    }
+
+    #[test]
+    fn counting_with_soft_labels() {
+        let d = Dataset::new(
+            vec![0.1, 0.5, 0.9],
+            vec![0.25, 0.75, 1.0],
+            1,
+        )
+        .unwrap();
+        let b = HyperBox::from_bounds(vec![(0.4, 1.0)]);
+        let (n, np) = b.count(&d);
+        assert_eq!(n, 2.0);
+        assert!((np - 1.75).abs() < 1e-12);
+        assert!((b.mean_inside(&d).unwrap() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipped_volume_replaces_infinities() {
+        let mut b = HyperBox::unbounded(2);
+        b.set_lower(0, 0.25);
+        let v = b.clipped_volume(&[(0.0, 1.0), (0.0, 2.0)]);
+        assert!((v - 0.75 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_and_disjointness() {
+        let a = HyperBox::from_bounds(vec![(0.0, 0.5), (0.0, 1.0)]);
+        let b = HyperBox::from_bounds(vec![(0.25, 1.0), (0.5, 2.0)]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.bound(0), (0.25, 0.5));
+        assert_eq!(i.bound(1), (0.5, 1.0));
+        let c = HyperBox::from_bounds(vec![(0.6, 1.0), (0.0, 1.0)]);
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn embedding_into_full_space() {
+        let small = HyperBox::from_bounds(vec![(0.1, 0.4), (0.5, 0.9)]);
+        let full = small.embed(&[3, 1], 5);
+        assert_eq!(full.bound(3), (0.1, 0.4));
+        assert_eq!(full.bound(1), (0.5, 0.9));
+        assert!(!full.is_restricted(0));
+        assert_eq!(full.n_restricted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound above upper bound")]
+    fn invalid_bounds_panic() {
+        let _ = HyperBox::from_bounds(vec![(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn empty_box_mean_is_none() {
+        let d = Dataset::new(vec![0.5], vec![1.0], 1).unwrap();
+        let b = HyperBox::from_bounds(vec![(2.0, 3.0)]);
+        assert!(b.mean_inside(&d).is_none());
+    }
+}

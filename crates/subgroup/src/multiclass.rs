@@ -1,0 +1,154 @@
+//! Scenario discovery for multinomial outcomes — Kwakkel & Jaxa-Rozen
+//! (2016), cited by the paper (§2.1) for "handling heterogeneous
+//! uncertainties and multinomial classified outcomes".
+//!
+//! Many simulation studies classify outcomes into more than two classes
+//! (e.g. *stable / oscillating / collapsed*). The one-vs-rest reduction
+//! runs a subgroup-discovery algorithm once per class of interest on
+//! binarized labels, yielding one scenario per class.
+
+use rand::rngs::StdRng;
+use reds_data::Dataset;
+
+use crate::{SdResult, SubgroupDiscovery};
+
+/// A per-class scenario discovered by [`discover_classes`].
+#[derive(Debug, Clone)]
+pub struct ClassScenario {
+    /// The class label this scenario isolates.
+    pub class: u32,
+    /// Share of examples carrying this class.
+    pub share: f64,
+    /// The discovery result on the one-vs-rest binarization.
+    pub result: SdResult,
+}
+
+/// Runs `sd` once per distinct class in `classes` (one-vs-rest),
+/// skipping classes rarer than `min_share`. Returns scenarios ordered
+/// by class label.
+///
+/// # Panics
+///
+/// Panics when `classes.len() != points.len() / m` or `m == 0`.
+pub fn discover_classes(
+    points: &[f64],
+    m: usize,
+    classes: &[u32],
+    sd: &dyn SubgroupDiscovery,
+    min_share: f64,
+    rng: &mut StdRng,
+) -> Vec<ClassScenario> {
+    assert!(m > 0, "need at least one input column");
+    assert_eq!(
+        classes.len(),
+        points.len() / m,
+        "one class label per point required"
+    );
+    let n = classes.len();
+    let mut distinct: Vec<u32> = classes.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut out = Vec::with_capacity(distinct.len());
+    for class in distinct {
+        let share =
+            classes.iter().filter(|&&c| c == class).count() as f64 / n.max(1) as f64;
+        if share < min_share {
+            continue;
+        }
+        let labels: Vec<f64> = classes
+            .iter()
+            .map(|&c| if c == class { 1.0 } else { 0.0 })
+            .collect();
+        let d = Dataset::new(points.to_vec(), labels, m).expect("shape checked above");
+        let result = sd.discover(&d, &d, rng);
+        out.push(ClassScenario {
+            class,
+            share,
+            result,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prim;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three-class outcome on the unit square: left / middle / right band.
+    fn three_bands(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<f64> = (0..n * 2).map(|_| rng.gen::<f64>()).collect();
+        let classes = points
+            .chunks_exact(2)
+            .map(|x| {
+                if x[0] < 0.33 {
+                    0
+                } else if x[0] < 0.66 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        (points, classes)
+    }
+
+    #[test]
+    fn one_scenario_per_class() {
+        let (points, classes) = three_bands(600, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let prim = Prim::default();
+        let scenarios = discover_classes(&points, 2, &classes, &prim, 0.0, &mut rng);
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(
+            scenarios.iter().map(|s| s.class).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let total: f64 = scenarios.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenarios_isolate_their_bands() {
+        let (points, classes) = three_bands(900, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let prim = Prim::default();
+        let scenarios = discover_classes(&points, 2, &classes, &prim, 0.0, &mut rng);
+        let probes = [[0.15, 0.5], [0.5, 0.5], [0.85, 0.5]];
+        for s in &scenarios {
+            let b = s.result.last_box().expect("non-empty");
+            assert!(
+                b.contains(&probes[s.class as usize]),
+                "class {} box misses its own band",
+                s.class
+            );
+        }
+    }
+
+    #[test]
+    fn rare_classes_are_skipped() {
+        let (points, mut classes) = three_bands(300, 5);
+        // Make class 2 a singleton.
+        for c in classes.iter_mut() {
+            if *c == 2 {
+                *c = 1;
+            }
+        }
+        classes[0] = 2;
+        let mut rng = StdRng::seed_from_u64(6);
+        let prim = Prim::default();
+        let scenarios = discover_classes(&points, 2, &classes, &prim, 0.05, &mut rng);
+        assert!(scenarios.iter().all(|s| s.class != 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one class label per point")]
+    fn mismatched_lengths_panic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let prim = Prim::default();
+        let _ = discover_classes(&[0.1, 0.2], 1, &[0, 1, 2], &prim, 0.0, &mut rng);
+    }
+}

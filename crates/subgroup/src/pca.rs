@@ -1,0 +1,369 @@
+//! PCA-PRIM (Dalal et al. 2013, [22] in the paper): rotate the input
+//! space with a principal-component analysis of the interesting cases,
+//! then run PRIM in the rotated coordinates. The paper lists PCA-PRIM as
+//! compatible with — and orthogonal to — REDS (§2.1); this module makes
+//! the combination available.
+//!
+//! The linear-algebra substrate (covariance matrix + cyclic Jacobi
+//! eigendecomposition for symmetric matrices) is hand-rolled; no BLAS.
+
+use rand::rngs::StdRng;
+use reds_data::Dataset;
+
+use crate::{HyperBox, Prim, PrimParams, SubgroupDiscovery};
+
+/// Covariance matrix (row-major `m × m`) of row-major `points`.
+/// Returns the zero matrix for fewer than two rows.
+pub fn covariance_matrix(points: &[f64], m: usize) -> Vec<f64> {
+    let n = points.len() / m.max(1);
+    let mut cov = vec![0.0; m * m];
+    if n < 2 {
+        return cov;
+    }
+    let mut mean = vec![0.0; m];
+    for row in points.chunks_exact(m) {
+        for (j, &v) in row.iter().enumerate() {
+            mean[j] += v;
+        }
+    }
+    for v in &mut mean {
+        *v /= n as f64;
+    }
+    for row in points.chunks_exact(m) {
+        for i in 0..m {
+            for j in i..m {
+                cov[i * m + j] += (row[i] - mean[i]) * (row[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..m {
+        for j in i..m {
+            let v = cov[i * m + j] / (n - 1) as f64;
+            cov[i * m + j] = v;
+            cov[j * m + i] = v;
+        }
+    }
+    cov
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors stored as the
+/// *columns* of the returned row-major matrix, sorted by decreasing
+/// eigenvalue.
+pub fn jacobi_eigen(mat: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(mat.len(), m * m, "square matrix expected");
+    let mut a = mat.to_vec();
+    let mut v = vec![0.0; m * m];
+    for i in 0..m {
+        v[i * m + i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let off: f64 = (0..m)
+            .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+            .map(|(i, j)| a[i * m + j] * a[i * m + j])
+            .sum();
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..m {
+            for q in (p + 1)..m {
+                let apq = a[p * m + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * m + p];
+                let aqq = a[q * m + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of `a`.
+                for k in 0..m {
+                    let akp = a[k * m + p];
+                    let akq = a[k * m + q];
+                    a[k * m + p] = c * akp - s * akq;
+                    a[k * m + q] = s * akp + c * akq;
+                }
+                for k in 0..m {
+                    let apk = a[p * m + k];
+                    let aqk = a[q * m + k];
+                    a[p * m + k] = c * apk - s * aqk;
+                    a[q * m + k] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..m {
+                    let vkp = v[k * m + p];
+                    let vkq = v[k * m + q];
+                    v[k * m + p] = c * vkp - s * vkq;
+                    v[k * m + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| a[j * m + j].total_cmp(&a[i * m + i]));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i * m + i]).collect();
+    let mut eigenvectors = vec![0.0; m * m];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for k in 0..m {
+            eigenvectors[k * m + new_col] = v[k * m + old_col];
+        }
+    }
+    (eigenvalues, eigenvectors)
+}
+
+/// An orthonormal rotation of the input space fitted by PCA.
+#[derive(Debug, Clone)]
+pub struct PcaRotation {
+    mean: Vec<f64>,
+    /// Row-major `m × m`; column `j` is the `j`-th principal axis.
+    components: Vec<f64>,
+    m: usize,
+}
+
+impl PcaRotation {
+    /// Fits the rotation to row-major `points` (typically only the
+    /// interesting cases, following Dalal et al.).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m == 0` or `points.len()` is not a multiple of `m`.
+    pub fn fit(points: &[f64], m: usize) -> Self {
+        assert!(m > 0, "need at least one dimension");
+        assert_eq!(points.len() % m, 0, "row-major buffer expected");
+        let n = points.len() / m;
+        let mut mean = vec![0.0; m];
+        for row in points.chunks_exact(m) {
+            for (j, &v) in row.iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        if n > 0 {
+            for v in &mut mean {
+                *v /= n as f64;
+            }
+        }
+        let cov = covariance_matrix(points, m);
+        let (_, components) = jacobi_eigen(&cov, m);
+        Self {
+            mean,
+            components,
+            m,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Projects a point into the rotated (principal-axis) coordinates.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.m, "dimensionality mismatch");
+        (0..self.m)
+            .map(|j| {
+                (0..self.m)
+                    .map(|k| (x[k] - self.mean[k]) * self.components[k * self.m + j])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Maps a rotated point back into the original coordinates.
+    pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.m, "dimensionality mismatch");
+        (0..self.m)
+            .map(|k| {
+                self.mean[k]
+                    + (0..self.m)
+                        .map(|j| z[j] * self.components[k * self.m + j])
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Rotates a whole dataset (labels unchanged).
+    pub fn transform_dataset(&self, d: &Dataset) -> Dataset {
+        let mut points = Vec::with_capacity(d.points().len());
+        for (x, _) in d.iter() {
+            points.extend(self.transform(x));
+        }
+        Dataset::new(points, d.labels().to_vec(), self.m).expect("shape preserved")
+    }
+}
+
+/// A scenario discovered in rotated coordinates: the rotation plus the
+/// boxes PRIM found there. Membership tests rotate the query point, so
+/// the scenario behaves like an oblique box in the original space.
+#[derive(Debug, Clone)]
+pub struct RotatedScenario {
+    /// The fitted rotation.
+    pub rotation: PcaRotation,
+    /// PRIM's peeling trajectory in rotated coordinates.
+    pub boxes: Vec<HyperBox>,
+}
+
+impl RotatedScenario {
+    /// The most refined box.
+    pub fn last_box(&self) -> Option<&HyperBox> {
+        self.boxes.last()
+    }
+
+    /// Membership of an *original-space* point in the final box.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        match self.last_box() {
+            Some(b) => b.contains(&self.rotation.transform(x)),
+            None => false,
+        }
+    }
+
+    /// `(n, n⁺)` of the final box on an original-space dataset.
+    pub fn count(&self, d: &Dataset) -> (f64, f64) {
+        let mut n = 0.0;
+        let mut np = 0.0;
+        for (x, y) in d.iter() {
+            if self.contains(x) {
+                n += 1.0;
+                np += y;
+            }
+        }
+        (n, np)
+    }
+}
+
+/// PCA-PRIM: fit a PCA rotation on the interesting examples, run PRIM in
+/// the rotated space.
+#[derive(Debug, Clone, Default)]
+pub struct PcaPrim {
+    params: PrimParams,
+}
+
+impl PcaPrim {
+    /// Creates PCA-PRIM with the given PRIM hyperparameters.
+    pub fn new(params: PrimParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs the algorithm. The rotation is fitted on the `y = 1`
+    /// examples of `d` (falling back to all points when fewer than two
+    /// positives exist), exactly as Dalal et al. rotate toward the
+    /// interesting class.
+    pub fn discover(&self, d: &Dataset, rng: &mut StdRng) -> RotatedScenario {
+        let positives: Vec<f64> = d
+            .iter()
+            .filter(|(_, y)| *y > 0.5)
+            .flat_map(|(x, _)| x.to_vec())
+            .collect();
+        let rotation = if positives.len() >= 2 * d.m() {
+            PcaRotation::fit(&positives, d.m())
+        } else {
+            PcaRotation::fit(d.points(), d.m())
+        };
+        let rotated = rotation.transform_dataset(d);
+        let prim = Prim::new(self.params.clone());
+        let result = prim.discover(&rotated, &rotated, rng);
+        RotatedScenario {
+            rotation,
+            boxes: result.boxes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn jacobi_diagonalises_a_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+        // (1,1)/√2 and (1,−1)/√2.
+        let (vals, vecs) = jacobi_eigen(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        let inv_sqrt2 = 1.0 / 2.0f64.sqrt();
+        assert!((vecs[0].abs() - inv_sqrt2).abs() < 1e-10);
+        assert!((vecs[2].abs() - inv_sqrt2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mat = [4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0];
+        let (_, v) = jacobi_eigen(&mat, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|k| v[k * 3 + i] * v[k * 3 + j]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9, "col {i}·col {j} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_independent_axes_is_diagonal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let pts: Vec<f64> = (0..n * 2).map(|_| rng.gen::<f64>()).collect();
+        let cov = covariance_matrix(&pts, 2);
+        assert!((cov[0] - 1.0 / 12.0).abs() < 0.005, "var {}", cov[0]);
+        assert!(cov[1].abs() < 0.005, "cov {}", cov[1]);
+    }
+
+    #[test]
+    fn transform_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let rot = PcaRotation::fit(&pts, 3);
+        let x = [0.3, 0.7, 0.1];
+        let back = rot.inverse_transform(&rot.transform(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pca_prim_finds_an_oblique_band() {
+        // Interesting region: a diagonal band 0.9 < x0 + x1 < 1.3 —
+        // axis-aligned PRIM needs many cuts, PCA-PRIM one rotated axis.
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dataset::from_fn(
+            (0..2_000).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |x| {
+                let s = x[0] + x[1];
+                if s > 0.9 && s < 1.3 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .expect("valid shape");
+        let scenario = PcaPrim::default().discover(&d, &mut rng);
+        let (n, np) = scenario.count(&d);
+        assert!(n > 0.0);
+        let precision = np / n;
+        assert!(
+            precision > 0.8,
+            "PCA-PRIM precision {precision} on the oblique band"
+        );
+        // Sanity: the box must cover a nontrivial share of the band.
+        let recall = np / d.n_pos();
+        assert!(recall > 0.4, "recall {recall}");
+    }
+
+    #[test]
+    fn degenerate_positive_sets_fall_back_to_all_points() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Dataset::from_fn(
+            (0..100).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |_| 0.0,
+        )
+        .expect("valid shape");
+        // No positives at all: must not panic.
+        let scenario = PcaPrim::default().discover(&d, &mut rng);
+        assert!(!scenario.boxes.is_empty());
+    }
+}

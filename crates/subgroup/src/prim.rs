@@ -1,0 +1,470 @@
+//! The Patient Rule Induction Method (Friedman & Fisher 1999) —
+//! Algorithm 1 of the paper: top-down peeling plus the optional
+//! bottom-up pasting phase.
+//!
+//! Each peeling step removes the `α` fraction of in-box points with the
+//! lowest or highest values of one input, choosing the cut that leaves
+//! the highest mean label `n⁺/n` inside the shrunken box. The run yields
+//! a nested sequence of boxes (the *peeling trajectory*); following
+//! Algorithm 1, the trajectory is truncated at the box with the best
+//! validation precision.
+
+use rand::rngs::StdRng;
+use reds_data::Dataset;
+
+use crate::{HyperBox, SdResult, SubgroupDiscovery};
+
+/// Objective guiding each peeling step. The paper uses the classic mean
+/// target (§3.2.1); Kwakkel & Jaxa-Rozen's alternative target functions
+/// (§2.1) trade purity against the mass removed — both are compatible
+/// with REDS and exposed for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeelCriterion {
+    /// Maximise the mean label of the surviving box (Friedman & Fisher).
+    #[default]
+    MeanLabel,
+    /// Maximise the mean-label *gain per point removed* — a "lenient"
+    /// objective that prefers cuts removing few points, in the spirit of
+    /// Kwakkel & Jaxa-Rozen's LENIENT targets.
+    GainPerPoint,
+}
+
+/// PRIM hyperparameters (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimParams {
+    /// Peeling fraction `α` removed per step (paper default 0.05).
+    pub alpha: f64,
+    /// Minimum number of points (`mp`) that must remain inside the box
+    /// on both the training and validation data (paper default 20).
+    pub min_points: usize,
+    /// Run the bottom-up pasting phase after peeling. The paper found
+    /// pasting's effect negligible (§3.2.1) and leaves it off.
+    pub paste: bool,
+    /// Objective of each peeling step.
+    pub criterion: PeelCriterion,
+}
+
+impl Default for PrimParams {
+    fn default() -> Self {
+        Self {
+            alpha: 0.05,
+            min_points: 20,
+            paste: false,
+            criterion: PeelCriterion::MeanLabel,
+        }
+    }
+}
+
+/// The PRIM algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Prim {
+    params: PrimParams,
+}
+
+/// One peeling candidate: cut dimension `dim` from below (`low = true`)
+/// or above, moving the bound to `new_bound`.
+struct Candidate {
+    dim: usize,
+    low: bool,
+    new_bound: f64,
+    score: f64,
+    n_after: usize,
+}
+
+impl Prim {
+    /// Creates PRIM with the given hyperparameters.
+    pub fn new(params: PrimParams) -> Self {
+        assert!(
+            params.alpha > 0.0 && params.alpha < 1.0,
+            "peeling fraction must be in (0, 1)"
+        );
+        Self { params }
+    }
+
+    /// Peeling fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.params.alpha
+    }
+
+    /// The full peeling trajectory on `d`, *not* truncated at the best
+    /// validation box. Exposed for trajectory plots (Figure 11).
+    pub fn peel_trajectory(&self, d: &Dataset) -> Vec<HyperBox> {
+        self.peel(d, d)
+    }
+
+    fn peel(&self, d: &Dataset, d_val: &Dataset) -> Vec<HyperBox> {
+        let m = d.m();
+        let mut boxes = vec![HyperBox::unbounded(m)];
+        if d.is_empty() {
+            return boxes;
+        }
+        let mut in_idx: Vec<usize> = (0..d.n()).collect();
+        let mut val_count = d_val.n();
+        let mut current = HyperBox::unbounded(m);
+        loop {
+            if in_idx.len() < self.params.min_points.max(2)
+                || val_count < self.params.min_points
+            {
+                break;
+            }
+            let Some(best) = self.best_peel(d, &in_idx, m) else {
+                break;
+            };
+            if best.low {
+                current.set_lower(best.dim, best.new_bound);
+            } else {
+                current.set_upper(best.dim, best.new_bound);
+            }
+            in_idx.retain(|&i| {
+                let v = d.value(i, best.dim);
+                if best.low {
+                    v >= best.new_bound
+                } else {
+                    v <= best.new_bound
+                }
+            });
+            debug_assert_eq!(in_idx.len(), best.n_after);
+            val_count = d_val
+                .iter()
+                .filter(|(x, _)| current.contains(x))
+                .count();
+            boxes.push(current.clone());
+        }
+        boxes
+    }
+
+    /// Evaluates all `2M` peeling candidates and returns the one with the
+    /// highest post-cut mean label, or `None` when no dimension can be
+    /// cut (all in-box values equal everywhere).
+    fn best_peel(&self, d: &Dataset, in_idx: &[usize], m: usize) -> Option<Candidate> {
+        let n_in = in_idx.len();
+        let k = ((self.params.alpha * n_in as f64).floor() as usize).max(1);
+        if k >= n_in {
+            return None;
+        }
+        let total_pos: f64 = in_idx.iter().map(|&i| d.label(i)).sum();
+        let mean_before = total_pos / n_in as f64;
+        let score_of = |mean_after: f64, removed: usize| match self.params.criterion {
+            PeelCriterion::MeanLabel => mean_after,
+            PeelCriterion::GainPerPoint => (mean_after - mean_before) / removed as f64,
+        };
+        let mut values: Vec<(f64, f64)> = Vec::with_capacity(n_in);
+        let mut best: Option<Candidate> = None;
+        for dim in 0..m {
+            values.clear();
+            values.extend(in_idx.iter().map(|&i| (d.value(i, dim), d.label(i))));
+            values.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            // Low cut: the new lower bound is the value at rank k; every
+            // point strictly below it is peeled off. Ties never straddle
+            // the bound, so the removed count can exceed... no: points
+            // equal to the bound stay, points below go.
+            let low_bound = values[k].0;
+            let removed_low = values.iter().take_while(|&&(v, _)| v < low_bound).count();
+            if removed_low > 0 && removed_low < n_in {
+                let removed_pos: f64 = values[..removed_low].iter().map(|&(_, y)| y).sum();
+                let n_after = n_in - removed_low;
+                let mean_after = (total_pos - removed_pos) / n_after as f64;
+                let score = score_of(mean_after, removed_low);
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(Candidate {
+                        dim,
+                        low: true,
+                        new_bound: low_bound,
+                        score,
+                        n_after,
+                    });
+                }
+            }
+            // High cut, mirrored.
+            let high_bound = values[n_in - 1 - k].0;
+            let removed_high = values
+                .iter()
+                .rev()
+                .take_while(|&&(v, _)| v > high_bound)
+                .count();
+            if removed_high > 0 && removed_high < n_in {
+                let removed_pos: f64 = values[n_in - removed_high..]
+                    .iter()
+                    .map(|&(_, y)| y)
+                    .sum();
+                let n_after = n_in - removed_high;
+                let mean_after = (total_pos - removed_pos) / n_after as f64;
+                let score = score_of(mean_after, removed_high);
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(Candidate {
+                        dim,
+                        low: false,
+                        new_bound: high_bound,
+                        score,
+                        n_after,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Bottom-up pasting (Friedman & Fisher §8.2): repeatedly re-expand
+    /// the box face whose re-inclusion of ≈ `α·n` points raises the mean
+    /// label the most, as long as some expansion raises it.
+    fn paste(&self, d: &Dataset, b: &HyperBox) -> HyperBox {
+        let m = d.m();
+        let mut current = b.clone();
+        loop {
+            let in_idx: Vec<usize> = (0..d.n())
+                .filter(|&i| current.contains(d.point(i)))
+                .collect();
+            if in_idx.is_empty() {
+                return current;
+            }
+            let n_in = in_idx.len() as f64;
+            let pos_in: f64 = in_idx.iter().map(|&i| d.label(i)).sum();
+            let mean_in = pos_in / n_in;
+            let k = ((self.params.alpha * n_in).floor() as usize).max(1);
+            let mut best: Option<(usize, bool, f64, f64)> = None; // dim, low, bound, mean
+            for dim in 0..m {
+                let (lo, hi) = current.bound(dim);
+                // Points outside only through this face, inside on all
+                // other dimensions.
+                let mut slab = current.clone();
+                slab.set_lower(dim, f64::NEG_INFINITY);
+                slab.set_upper(dim, f64::INFINITY);
+                for low in [true, false] {
+                    let mut outside: Vec<(f64, f64)> = (0..d.n())
+                        .filter_map(|i| {
+                            let x = d.point(i);
+                            if !slab.contains(x) {
+                                return None;
+                            }
+                            let v = d.value(i, dim);
+                            let beyond = if low { v < lo } else { v > hi };
+                            beyond.then_some((v, d.label(i)))
+                        })
+                        .collect();
+                    if outside.is_empty() {
+                        continue;
+                    }
+                    // Nearest k points beyond the face.
+                    outside.sort_unstable_by(|a, b| {
+                        if low {
+                            b.0.total_cmp(&a.0)
+                        } else {
+                            a.0.total_cmp(&b.0)
+                        }
+                    });
+                    let take = k.min(outside.len());
+                    let add_pos: f64 = outside[..take].iter().map(|&(_, y)| y).sum();
+                    let new_bound = outside[take - 1].0;
+                    let new_mean = (pos_in + add_pos) / (n_in + take as f64);
+                    if new_mean > mean_in
+                        && best.is_none_or(|(_, _, _, bm)| new_mean > bm)
+                    {
+                        best = Some((dim, low, new_bound, new_mean));
+                    }
+                }
+            }
+            let Some((dim, low, bound, _)) = best else {
+                return current;
+            };
+            if low {
+                current.set_lower(dim, bound);
+            } else {
+                current.set_upper(dim, bound);
+            }
+        }
+    }
+}
+
+impl SubgroupDiscovery for Prim {
+    fn discover(&self, d: &Dataset, d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+        let mut boxes = self.peel(d, d_val);
+        // Algorithm 1, line 5: keep the box with the highest validation
+        // precision and all preceding boxes.
+        // Ties on validation precision favour the earlier (larger) box:
+        // equal purity at higher recall dominates.
+        let best = boxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.mean_inside(d_val).map(|p| (i, p)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(boxes.len() - 1);
+        boxes.truncate(best + 1);
+        if self.params.paste {
+            if let Some(last) = boxes.pop() {
+                boxes.push(self.paste(d, &last));
+            }
+        }
+        SdResult { boxes }
+    }
+
+    fn name(&self) -> &'static str {
+        "P"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Corner concept: y = 1 iff x0 > 0.6 and x1 > 0.7.
+    fn corner_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_fn(
+            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
+            3,
+            |x| if x[0] > 0.6 && x[1] > 0.7 { 1.0 } else { 0.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prim_finds_the_corner() {
+        let d = corner_data(600, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        let last = result.last_box().unwrap();
+        let precision = last.mean_inside(&d).unwrap();
+        assert!(precision > 0.9, "precision {precision}");
+        let (lo0, _) = last.bound(0);
+        let (lo1, _) = last.bound(1);
+        assert!((lo0 - 0.6).abs() < 0.1, "x0 lower bound {lo0}");
+        assert!((lo1 - 0.7).abs() < 0.1, "x1 lower bound {lo1}");
+    }
+
+    #[test]
+    fn trajectory_is_nested_and_starts_unbounded() {
+        let d = corner_data(400, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes[0], HyperBox::unbounded(3));
+        for w in result.boxes.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            for j in 0..3 {
+                assert!(next.bound(j).0 >= prev.bound(j).0);
+                assert!(next.bound(j).1 <= prev.bound(j).1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_points_bounds_the_final_box() {
+        let d = corner_data(300, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let prim = Prim::new(PrimParams {
+            min_points: 50,
+            ..Default::default()
+        });
+        // Full (untruncated) trajectory: every box on it respects mp.
+        let result = prim.discover(&d, &d, &mut rng);
+        for b in &result.boxes {
+            let (n, _) = b.count(&d);
+            // A box is only pushed when ≥ mp points remained before the
+            // cut; after the cut at most α·n + ties are gone, so the
+            // count cannot collapse below (1−α)·mp − 1 in one step.
+            assert!(n >= 30.0, "box with {n} points");
+        }
+    }
+
+    #[test]
+    fn pure_data_yields_trivial_trajectory() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Dataset::from_fn(
+            (0..120).map(|_| rng.gen::<f64>()).collect(),
+            2,
+            |_| 1.0,
+        )
+        .unwrap();
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        // Everything is interesting: the unrestricted box already has
+        // precision 1, so truncation keeps the first box.
+        assert_eq!(result.boxes.len(), 1);
+        assert_eq!(result.boxes[0].n_restricted(), 0);
+    }
+
+    #[test]
+    fn soft_labels_guide_peeling() {
+        // Probability ramp in x: PRIM on soft labels should cut from the
+        // low-x side first.
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Dataset::from_fn(
+            (0..500).map(|_| rng.gen::<f64>()).collect(),
+            1,
+            |x| x[0],
+        )
+        .unwrap();
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        let last = result.last_box().unwrap();
+        assert!(last.bound(0).0 > 0.5, "lower bound {}", last.bound(0).0);
+        assert_eq!(last.bound(0).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn pasting_recovers_an_overshrunk_box() {
+        let d = corner_data(500, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let plain = Prim::default().discover(&d, &d, &mut rng);
+        let pasted = Prim::new(PrimParams {
+            paste: true,
+            ..Default::default()
+        })
+        .discover(&d, &d, &mut rng);
+        let recall = |b: &HyperBox| b.count(&d).1;
+        // Pasting can only re-include points, never lose them.
+        assert!(
+            recall(pasted.last_box().unwrap()) >= recall(plain.last_box().unwrap())
+        );
+    }
+
+    #[test]
+    fn empty_data_returns_unbounded_box() {
+        let d = Dataset::empty(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+        assert_eq!(result.boxes[0].n_restricted(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peeling fraction")]
+    fn invalid_alpha_panics() {
+        let _ = Prim::new(PrimParams {
+            alpha: 1.5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn gain_per_point_criterion_also_finds_the_corner() {
+        let d = corner_data(600, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let prim = Prim::new(PrimParams {
+            criterion: PeelCriterion::GainPerPoint,
+            ..Default::default()
+        });
+        let result = prim.discover(&d, &d, &mut rng);
+        let precision = result.last_box().unwrap().mean_inside(&d).unwrap();
+        assert!(precision > 0.85, "precision {precision}");
+    }
+
+    #[test]
+    fn criteria_produce_valid_nested_trajectories() {
+        let d = corner_data(300, 14);
+        for criterion in [PeelCriterion::MeanLabel, PeelCriterion::GainPerPoint] {
+            let mut rng = StdRng::seed_from_u64(15);
+            let prim = Prim::new(PrimParams {
+                criterion,
+                ..Default::default()
+            });
+            let result = prim.discover(&d, &d, &mut rng);
+            for w in result.boxes.windows(2) {
+                for j in 0..3 {
+                    assert!(w[1].bound(j).0 >= w[0].bound(j).0, "{criterion:?}");
+                    assert!(w[1].bound(j).1 <= w[0].bound(j).1, "{criterion:?}");
+                }
+            }
+        }
+    }
+}

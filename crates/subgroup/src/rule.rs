@@ -1,0 +1,133 @@
+//! Human-readable rendering of a scenario as the paper's IF–THEN rule
+//! (§1): `IF a₁ˡ ≤ a₁ ≤ a₁ʳ AND … THEN y = 1`.
+
+use std::fmt;
+
+use crate::HyperBox;
+
+/// A displayable rule: a box plus optional input names and an optional
+/// rescaling of the unit-cube bounds into physical units.
+#[derive(Debug, Clone)]
+pub struct Rule<'a> {
+    hyperbox: &'a HyperBox,
+    names: Option<&'a [&'a str]>,
+    ranges: Option<&'a [(f64, f64)]>,
+}
+
+impl<'a> Rule<'a> {
+    /// Renders the box with generic input names `a1..aM`.
+    pub fn new(hyperbox: &'a HyperBox) -> Self {
+        Self {
+            hyperbox,
+            names: None,
+            ranges: None,
+        }
+    }
+
+    /// Uses the given input names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `names.len() != hyperbox.m()`.
+    pub fn with_names(mut self, names: &'a [&'a str]) -> Self {
+        assert_eq!(names.len(), self.hyperbox.m(), "one name per input");
+        self.names = Some(names);
+        self
+    }
+
+    /// Rescales unit-cube bounds to physical ranges before printing
+    /// (`u ↦ lo + u·(hi − lo)`, clamped to the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ranges.len() != hyperbox.m()`.
+    pub fn with_ranges(mut self, ranges: &'a [(f64, f64)]) -> Self {
+        assert_eq!(ranges.len(), self.hyperbox.m(), "one range per input");
+        self.ranges = Some(ranges);
+        self
+    }
+
+    fn rescale(&self, j: usize, u: f64) -> f64 {
+        match self.ranges {
+            Some(ranges) => {
+                let (lo, hi) = ranges[j];
+                lo + u.clamp(0.0, 1.0) * (hi - lo)
+            }
+            None => u,
+        }
+    }
+}
+
+impl fmt::Display for Rule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let restricted: Vec<usize> = (0..self.hyperbox.m())
+            .filter(|&j| self.hyperbox.is_restricted(j))
+            .collect();
+        if restricted.is_empty() {
+            return write!(f, "IF true THEN y = 1");
+        }
+        write!(f, "IF ")?;
+        for (k, &j) in restricted.iter().enumerate() {
+            if k > 0 {
+                write!(f, " AND ")?;
+            }
+            let default_name = format!("a{}", j + 1);
+            let name = self.names.map_or(default_name.as_str(), |n| n[j]);
+            let (lo, hi) = self.hyperbox.bound(j);
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => write!(
+                    f,
+                    "{:.3} <= {name} <= {:.3}",
+                    self.rescale(j, lo),
+                    self.rescale(j, hi)
+                )?,
+                (true, false) => write!(f, "{name} >= {:.3}", self.rescale(j, lo))?,
+                (false, true) => write!(f, "{name} <= {:.3}", self.rescale(j, hi))?,
+                (false, false) => unreachable!("restricted input has a finite bound"),
+            }
+        }
+        write!(f, " THEN y = 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_box_is_trivially_true() {
+        let b = HyperBox::unbounded(3);
+        assert_eq!(Rule::new(&b).to_string(), "IF true THEN y = 1");
+    }
+
+    #[test]
+    fn bounded_and_half_open_intervals_render() {
+        let mut b = HyperBox::unbounded(3);
+        b.set_lower(0, 0.25);
+        b.set_upper(0, 0.75);
+        b.set_lower(2, 0.5);
+        let s = Rule::new(&b).to_string();
+        assert_eq!(s, "IF 0.250 <= a1 <= 0.750 AND a3 >= 0.500 THEN y = 1");
+    }
+
+    #[test]
+    fn names_and_ranges_apply() {
+        let mut b = HyperBox::unbounded(2);
+        b.set_upper(1, 0.5);
+        let names = ["tau", "gamma"];
+        let ranges = [(0.5, 6.0), (0.05, 1.0)];
+        let s = Rule::new(&b)
+            .with_names(&names)
+            .with_ranges(&ranges)
+            .to_string();
+        assert_eq!(s, "IF gamma <= 0.525 THEN y = 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per input")]
+    fn wrong_name_count_panics() {
+        let b = HyperBox::unbounded(2);
+        let names = ["only-one"];
+        let _ = Rule::new(&b).with_names(&names);
+    }
+}

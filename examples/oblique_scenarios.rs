@@ -1,0 +1,117 @@
+//! PCA-PRIM + REDS on an oblique scenario (§2.1 of the paper lists
+//! PCA-PRIM as compatible with and orthogonal to REDS): when the
+//! interesting region is a diagonal band, axis-aligned boxes waste
+//! precision, while PRIM in PCA-rotated coordinates captures it in one
+//! interval — and REDS supplies the pseudo-labels both ways.
+//!
+//! Also demonstrates the IF–THEN rule rendering of scenarios.
+//!
+//! ```text
+//! cargo run --release --example oblique_scenarios
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::core::{Reds, RedsConfig};
+use reds::data::Dataset;
+use reds::metamodel::GbdtParams;
+use reds::sampling::{latin_hypercube, uniform};
+use reds::subgroup::{PcaPrim, Prim, Rule, SubgroupDiscovery};
+
+/// Ground truth: a diagonal band in the first two of four inputs.
+fn band(x: &[f64]) -> f64 {
+    let s = x[0] + x[1];
+    if s > 0.85 && s < 1.25 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let m = 4;
+    // Few "simulations" of the band model.
+    let design = latin_hypercube(300, m, &mut rng);
+    let data = Dataset::from_fn(design, m, band).expect("consistent shape");
+    println!(
+        "{} runs, {:.1}% interesting (oblique band x1 + x2 in (0.85, 1.25))",
+        data.n(),
+        100.0 * data.pos_rate()
+    );
+
+    // REDS pseudo-labels a large pool once; both discoverers use it.
+    let reds = Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(30_000));
+    let model = reds.train_metamodel(&data, &mut rng).expect("training runs");
+    let pool = uniform(30_000, m, &mut rng);
+    let d_new = Dataset::from_fn(pool, m, |x| {
+        if model.predict(x) > 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .expect("consistent shape");
+
+    // Honest test data.
+    let test_points = uniform(20_000, m, &mut rng);
+    let test = Dataset::from_fn(test_points, m, band).expect("consistent shape");
+
+    // F1 of a box on a dataset — the compromise a domain expert picks
+    // from the trajectory (§5).
+    let f1_of = |n: f64, np: f64, total_pos: f64| {
+        let p = if n > 0.0 { np / n } else { 0.0 };
+        let r = if total_pos > 0.0 { np / total_pos } else { 0.0 };
+        2.0 * p * r / (p + r).max(1e-9)
+    };
+
+    // Axis-aligned PRIM on the pseudo-labels.
+    let axis = Prim::default().discover(&d_new, &data, &mut rng);
+    let axis_box = axis
+        .boxes
+        .iter()
+        .max_by(|a, b| {
+            let score = |bx: &reds::subgroup::HyperBox| {
+                let (n, np) = bx.count(&test);
+                f1_of(n, np, test.n_pos())
+            };
+            score(a).total_cmp(&score(b))
+        })
+        .expect("non-empty trajectory");
+    let (n, np) = axis_box.count(&test);
+    println!(
+        "\naxis-aligned PRIM : precision {:.3}, recall {:.3}",
+        np / n.max(1.0),
+        np / test.n_pos()
+    );
+    println!("  {}", Rule::new(axis_box));
+
+    // PCA-PRIM on the same pseudo-labels: the rotation lines up with the
+    // band, so one rotated interval captures it. Score every trajectory
+    // box on the rotated test set and pick the F1 compromise.
+    let rotated = PcaPrim::default().discover(&d_new, &mut rng);
+    let rotated_test = rotated.rotation.transform_dataset(&test);
+    let pca_box = rotated
+        .boxes
+        .iter()
+        .max_by(|a, b| {
+            let score = |bx: &reds::subgroup::HyperBox| {
+                let (n, np) = bx.count(&rotated_test);
+                f1_of(n, np, rotated_test.n_pos())
+            };
+            score(a).total_cmp(&score(b))
+        })
+        .expect("non-empty trajectory");
+    let (n, np) = pca_box.count(&rotated_test);
+    println!(
+        "\nPCA-PRIM          : precision {:.3}, recall {:.3}",
+        np / n.max(1.0),
+        np / rotated_test.n_pos()
+    );
+    println!("  (in rotated coordinates) {}", Rule::new(pca_box));
+    println!(
+        "  restricted axes: {} (axis-aligned PRIM used {})",
+        pca_box.n_restricted(),
+        axis_box.n_restricted()
+    );
+}

@@ -1,0 +1,61 @@
+//! # REDS — Rule Extraction for Discovering Scenarios
+//!
+//! A from-scratch Rust reproduction of *"REDS: Rule Extraction for
+//! Discovering Scenarios"* (Arzamasov & Böhm, SIGMOD 2021).
+//!
+//! Scenario discovery searches for interpretable hyperbox regions of a
+//! simulation model's input space in which an outcome of interest occurs.
+//! REDS cuts the number of expensive simulation runs needed by training an
+//! intermediate machine-learning metamodel on the few available runs and
+//! using it to pseudo-label a much larger sample for a conventional
+//! subgroup-discovery algorithm (PRIM, PRIM with bumping, or BestInterval).
+//!
+//! This facade crate re-exports the entire public API:
+//!
+//! * [`data`] — datasets, splits, bootstrap, k-fold CV;
+//! * [`sampling`] — Latin hypercube, Halton, Sobol, uniform and
+//!   logit-normal designs;
+//! * [`functions`] — the paper's 33 benchmark functions, the DSGC grid
+//!   simulator and third-party dataset stand-ins;
+//! * [`metamodel`] — CART, random forest, gradient boosting, RBF-SVM;
+//! * [`subgroup`] — PRIM, PRIM with bumping, BestInterval;
+//! * [`metrics`] — precision/recall, PR AUC, WRAcc, consistency,
+//!   interpretability counts;
+//! * [`core`] — the REDS pipeline itself;
+//! * [`eval`] — the experiment harness and statistical tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use reds::core::{Reds, RedsConfig};
+//! use reds::functions::BenchmarkFunction;
+//! use reds::metamodel::RandomForestParams;
+//! use reds::sampling::latin_hypercube;
+//! use reds::subgroup::{Prim, PrimParams};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let f = BenchmarkFunction::by_name("ellipse").unwrap();
+//!
+//! // 1. few expensive "simulations"
+//! let design = latin_hypercube(200, f.m(), &mut rng);
+//! let data = f.label_dataset(design, &mut rng).unwrap();
+//!
+//! // 2-4. REDS: metamodel -> pseudo-label L new points -> PRIM
+//! let config = RedsConfig::default().with_l(2_000);
+//! let reds = Reds::random_forest(RandomForestParams::default(), config);
+//! let result = reds
+//!     .run(&data, &Prim::new(PrimParams::default()), &mut rng)
+//!     .unwrap();
+//! assert!(!result.boxes.is_empty());
+//! ```
+
+pub use reds_core as core;
+pub use reds_data as data;
+pub use reds_eval as eval;
+pub use reds_functions as functions;
+pub use reds_metamodel as metamodel;
+pub use reds_metrics as metrics;
+pub use reds_sampling as sampling;
+pub use reds_subgroup as subgroup;

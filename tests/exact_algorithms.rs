@@ -1,0 +1,81 @@
+//! Exactness tests: the optimised search subroutines must agree with
+//! brute-force reference implementations on random instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::data::Dataset;
+use reds::metrics::wracc;
+use reds::subgroup::{BestInterval, HyperBox, SubgroupDiscovery};
+
+/// Brute-force best single-dimension interval by WRAcc: try every pair
+/// of observed values as (lower, upper) plus the half-open and
+/// unrestricted variants. O(n²) — reference only.
+fn brute_force_best_interval_wracc(d: &Dataset) -> f64 {
+    let mut values: Vec<f64> = d.points().to_vec();
+    values.sort_by(f64::total_cmp);
+    values.dedup();
+    let mut best = 0.0f64; // the unrestricted box has WRAcc 0
+    let mut candidates: Vec<(f64, f64)> = Vec::new();
+    for (i, &lo) in values.iter().enumerate() {
+        for &hi in &values[i..] {
+            candidates.push((lo, hi));
+        }
+        candidates.push((lo, f64::INFINITY));
+        candidates.push((f64::NEG_INFINITY, lo));
+    }
+    for (lo, hi) in candidates {
+        let b = HyperBox::from_bounds(vec![(lo, hi)]);
+        best = best.max(wracc(&b, d));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bi_matches_brute_force_in_one_dimension(
+        raw in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 5..40),
+    ) {
+        let points: Vec<f64> = raw.iter().map(|r| r.0).collect();
+        let labels: Vec<f64> = raw.iter().map(|r| if r.1 { 1.0 } else { 0.0 }).collect();
+        let d = Dataset::new(points, labels, 1).expect("valid shape");
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        let bi_wracc = wracc(&result.boxes[0], &d);
+        let reference = brute_force_best_interval_wracc(&d);
+        prop_assert!(
+            (bi_wracc - reference).abs() < 1e-9,
+            "BI WRAcc {} vs brute force {}",
+            bi_wracc,
+            reference
+        );
+    }
+
+    #[test]
+    fn bi_in_two_dims_is_at_least_single_dim_optimal(
+        raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, prop::bool::ANY), 10..40),
+    ) {
+        // The beam search refines dimension by dimension; its result must
+        // be at least as good as the best single-dimension interval of
+        // either axis.
+        let points: Vec<f64> = raw.iter().flat_map(|r| [r.0, r.1]).collect();
+        let labels: Vec<f64> = raw.iter().map(|r| if r.2 { 1.0 } else { 0.0 }).collect();
+        let d = Dataset::new(points, labels.clone(), 2).expect("valid shape");
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        let bi_wracc = wracc(&result.boxes[0], &d);
+        for dim in 0..2 {
+            let proj = d.select_columns(&[dim]).expect("valid column");
+            let reference = brute_force_best_interval_wracc(&proj);
+            prop_assert!(
+                bi_wracc >= reference - 1e-9,
+                "2-D BI WRAcc {} below single-dim optimum {} of dim {}",
+                bi_wracc,
+                reference,
+                dim
+            );
+        }
+    }
+}

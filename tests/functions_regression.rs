@@ -1,0 +1,121 @@
+//! Regression tests pinning the Table 1 calibration of every benchmark
+//! function: positive shares under uniform inputs must stay close to
+//! the published column (tolerances loose enough for Monte-Carlo error,
+//! tight enough to catch any accidental change to the formulas).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::functions::{all_functions, by_name, lake_dataset, tgl_dataset};
+
+/// (name, Table 1 share %) for all functions cheap enough to estimate
+/// in a test (the DSGC simulator is covered separately).
+const TABLE1_SHARES: [(&str, f64); 32] = [
+    ("1", 47.6),
+    ("2", 25.7),
+    ("3", 8.2),
+    ("4", 18.0),
+    ("5", 8.0),
+    ("6", 8.1),
+    ("7", 35.0),
+    ("8", 10.9),
+    ("102", 67.2),
+    ("borehole", 30.9),
+    ("ellipse", 22.5),
+    ("hart3", 33.5),
+    ("hart4", 30.1),
+    ("hart6sc", 22.6),
+    ("ishigami", 25.5),
+    ("linketal06dec", 25.3),
+    ("linketal06simple", 28.5),
+    ("linketal06sin", 27.2),
+    ("loepetal13", 38.9),
+    ("moon10hd", 42.1),
+    ("moon10hdc1", 34.2),
+    ("moon10low", 45.6),
+    ("morretal06", 34.5),
+    ("morris", 30.1),
+    ("oakoh04", 24.9),
+    ("otlcircuit", 22.5),
+    ("piston", 36.8),
+    ("soblev99", 41.3),
+    ("sobol", 39.2),
+    ("welchetal92", 35.6),
+    ("willetal06", 24.9),
+    ("wingweight", 37.8),
+];
+
+#[test]
+fn all_shares_match_table1_within_tolerance() {
+    for (name, target) in TABLE1_SHARES {
+        let f = by_name(name).unwrap_or_else(|| panic!("{name} missing from registry"));
+        let mut rng = StdRng::seed_from_u64(0x7AB1E);
+        let share = 100.0 * f.estimate_share(20_000, &mut rng);
+        assert!(
+            (share - target).abs() < 3.0,
+            "{name}: measured share {share:.1}% vs Table 1 {target}%"
+        );
+    }
+}
+
+#[test]
+fn dsgc_share_is_calibrated() {
+    let f = by_name("dsgc").expect("registry");
+    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    // 300 simulations keep the test under a few seconds in release mode.
+    let share = 100.0 * f.estimate_share(300, &mut rng);
+    assert!(
+        (40.0..=62.0).contains(&share),
+        "dsgc stable share {share:.1}% drifted from the ~50% calibration"
+    );
+}
+
+#[test]
+fn registry_covers_exactly_table1() {
+    assert_eq!(all_functions().len(), 33);
+    // Every tabled name resolves; `dsgc` completes the set of 33.
+    for (name, _) in TABLE1_SHARES {
+        assert!(by_name(name).is_some(), "{name}");
+    }
+    assert!(by_name("dsgc").is_some());
+}
+
+#[test]
+fn third_party_datasets_are_pinned() {
+    let tgl = tgl_dataset();
+    assert_eq!((tgl.n(), tgl.m()), (882, 9));
+    let share = 100.0 * tgl.pos_rate();
+    assert!((6.0..=15.0).contains(&share), "TGL share {share:.1}%");
+    let lake = lake_dataset();
+    assert_eq!((lake.n(), lake.m()), (1000, 5));
+    let share = 100.0 * lake.pos_rate();
+    assert!((25.0..=55.0).contains(&share), "lake share {share:.1}%");
+}
+
+#[test]
+fn active_input_declarations_are_truthful() {
+    // Perturbing a declared-inactive input must never change the output;
+    // checked on a probe grid for every function except the expensive
+    // DSGC simulator (whose 12 inputs are all active by construction).
+    for f in all_functions() {
+        if f.name() == "dsgc" {
+            continue;
+        }
+        let mut base = vec![0.3; f.m()];
+        let y0 = f.raw(&base);
+        for j in 0..f.m() {
+            if f.active_inputs().contains(&j) {
+                continue;
+            }
+            for v in [0.05, 0.5, 0.95] {
+                base[j] = v;
+                let y = f.raw(&base);
+                assert!(
+                    (y - y0).abs() < 1e-9,
+                    "{}: inactive input {j} changed output ({y0} -> {y})",
+                    f.name()
+                );
+            }
+            base[j] = 0.3;
+        }
+    }
+}

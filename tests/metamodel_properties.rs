@@ -1,0 +1,119 @@
+//! Property-based tests of the metamodel substrate: predictions stay in
+//! range, training tolerates degenerate data, determinism under seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::data::Dataset;
+use reds::metamodel::{
+    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, RegressionTree, Svm,
+    SvmParams, TreeParams,
+};
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..4, 20usize..80).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0.0f64..1.0, n * m),
+            prop::collection::vec(prop::bool::ANY, n),
+            Just(m),
+        )
+            .prop_map(|(points, labels, m)| {
+                let labels = labels
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect();
+                Dataset::new(points, labels, m).expect("valid shape")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_predictions_interpolate_the_label_range(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx: Vec<usize> = (0..d.n()).collect();
+        let tree = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            d.m(),
+            &idx,
+            &TreeParams::default(),
+            &mut rng,
+        );
+        // Leaf values are means of 0/1 labels: always inside [0, 1].
+        for (x, _) in d.iter() {
+            let p = tree.predict(x);
+            prop_assert!((0.0..=1.0).contains(&p), "tree prediction {}", p);
+        }
+    }
+
+    #[test]
+    fn unlimited_tree_memorises_distinct_points(d in dataset_strategy()) {
+        // With min_samples_leaf = 1 and unlimited depth, a tree fitted on
+        // points with distinct coordinates reproduces its training labels.
+        let mut rng = StdRng::seed_from_u64(2);
+        let idx: Vec<usize> = (0..d.n()).collect();
+        let tree = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            d.m(),
+            &idx,
+            &TreeParams { max_depth: 64, ..Default::default() },
+            &mut rng,
+        );
+        // Points can collide by construction; only check rows whose
+        // coordinates are unique in the dataset.
+        'rows: for i in 0..d.n() {
+            for j in 0..d.n() {
+                if i != j && d.point(i) == d.point(j) {
+                    continue 'rows;
+                }
+            }
+            prop_assert!((tree.predict(d.point(i)) - d.label(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forest_predictions_are_probabilities(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = RandomForestParams { n_trees: 15, ..Default::default() };
+        let forest = RandomForest::fit(&d, &params, &mut rng);
+        for (x, _) in d.iter() {
+            let p = forest.predict(x);
+            prop_assert!((0.0..=1.0).contains(&p), "forest prediction {}", p);
+        }
+    }
+
+    #[test]
+    fn gbdt_predictions_are_probabilities(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = GbdtParams { n_rounds: 10, ..Default::default() };
+        let model = Gbdt::fit(&d, &params, &mut rng);
+        for (x, _) in d.iter() {
+            let p = model.predict(x);
+            prop_assert!((0.0..=1.0).contains(&p), "gbdt prediction {}", p);
+        }
+    }
+
+    #[test]
+    fn svm_predictions_are_hard_labels(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = SvmParams { max_iter: 30, ..Default::default() };
+        let svm = Svm::fit(&d, &params, &mut rng);
+        for (x, _) in d.iter() {
+            let p = svm.predict(x);
+            prop_assert!(p == 0.0 || p == 1.0, "svm prediction {}", p);
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_under_seed(d in dataset_strategy()) {
+        let params = RandomForestParams { n_trees: 8, ..Default::default() };
+        let a = RandomForest::fit(&d, &params, &mut StdRng::seed_from_u64(6));
+        let b = RandomForest::fit(&d, &params, &mut StdRng::seed_from_u64(6));
+        let x = vec![0.5; d.m()];
+        prop_assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

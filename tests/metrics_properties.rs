@@ -1,0 +1,132 @@
+//! Property-based tests of the quality metrics (§4 invariants).
+
+use proptest::prelude::*;
+use reds::data::Dataset;
+use reds::metrics::{
+    consistency, dominates, pairwise_consistency, pareto_front, pr_auc, precision, recall,
+    wracc,
+};
+use reds::subgroup::HyperBox;
+
+fn boxes_strategy(m: usize) -> impl Strategy<Value = HyperBox> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), m).prop_map(|pairs| {
+        HyperBox::from_bounds(
+            pairs
+                .into_iter()
+                .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                .collect(),
+        )
+    })
+}
+
+fn dataset_strategy(m: usize) -> impl Strategy<Value = Dataset> {
+    (30usize..100).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(0.0f64..1.0, n * m),
+            prop::collection::vec(0.0f64..=1.0, n),
+        )
+            .prop_map(move |(points, labels)| {
+                Dataset::new(points, labels, m).expect("valid shape")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn precision_recall_are_probabilities(
+        b in boxes_strategy(3),
+        d in dataset_strategy(3),
+    ) {
+        let p = precision(&b, &d);
+        let r = recall(&b, &d);
+        prop_assert!((0.0..=1.0).contains(&p), "precision {}", p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r), "recall {}", r);
+    }
+
+    #[test]
+    fn wracc_is_bounded_by_quarter(
+        b in boxes_strategy(3),
+        d in dataset_strategy(3),
+    ) {
+        // WRAcc = (n/N)(p − p0) ∈ [−0.25, 0.25] for any box.
+        let w = wracc(&b, &d);
+        prop_assert!(w.abs() <= 0.25 + 1e-12, "wracc {}", w);
+    }
+
+    #[test]
+    fn full_box_has_zero_wracc_and_unit_recall(d in dataset_strategy(4)) {
+        let full = HyperBox::unbounded(4);
+        prop_assert!(wracc(&full, &d).abs() < 1e-12);
+        if d.n_pos() > 0.0 {
+            prop_assert!((recall(&full, &d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pr_auc_is_bounded(
+        b1 in boxes_strategy(3),
+        b2 in boxes_strategy(3),
+        d in dataset_strategy(3),
+    ) {
+        let auc = pr_auc(&[HyperBox::unbounded(3), b1, b2], &d);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc), "auc {}", auc);
+    }
+
+    #[test]
+    fn consistency_is_symmetric_and_bounded(
+        a in boxes_strategy(3),
+        b in boxes_strategy(3),
+    ) {
+        let ranges = vec![(0.0, 1.0); 3];
+        let ab = pairwise_consistency(&a, &b, &ranges);
+        let ba = pairwise_consistency(&b, &a, &ranges);
+        prop_assert!((ab - ba).abs() < 1e-12, "not symmetric: {} vs {}", ab, ba);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn self_consistency_is_one(a in boxes_strategy(3)) {
+        let ranges = vec![(0.0, 1.0); 3];
+        let c = pairwise_consistency(&a, &a, &ranges);
+        prop_assert!((c - 1.0).abs() < 1e-9, "self-consistency {}", c);
+    }
+
+    #[test]
+    fn mean_consistency_within_pair_bounds(
+        a in boxes_strategy(2),
+        b in boxes_strategy(2),
+        c in boxes_strategy(2),
+    ) {
+        let ranges = vec![(0.0, 1.0); 2];
+        let v = consistency(&[a, b, c], &ranges);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_asymmetric(
+        s in prop::collection::vec(0.0f64..1.0, 3),
+        t in prop::collection::vec(0.0f64..1.0, 3),
+    ) {
+        prop_assert!(!dominates(&s, &s), "a vector cannot dominate itself");
+        if dominates(&s, &t) {
+            prop_assert!(!dominates(&t, &s), "domination must be asymmetric");
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_nondominated(
+        scores in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2), 1..12),
+    ) {
+        let front = pareto_front(&scores);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            for (j, other) in scores.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(other, &scores[i]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the subgroup-discovery invariants, spanning
+//! `reds-subgroup`, `reds-data`, and `reds-metrics`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::data::Dataset;
+use reds::metrics::{precision, recall};
+use reds::subgroup::{
+    BestInterval, BiParams, HyperBox, Prim, PrimBumping, PrimBumpingParams, PrimParams,
+    SubgroupDiscovery,
+};
+
+/// Arbitrary small dataset: n points in [0,1]^m with random hard labels.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 40usize..120).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0.0f64..1.0, n * m),
+            prop::collection::vec(prop::bool::ANY, n),
+            Just(m),
+        )
+            .prop_map(|(points, labels, m)| {
+                let labels = labels.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+                Dataset::new(points, labels, m).expect("valid shape")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prim_trajectory_is_nested_and_anchored(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        prop_assert!(!result.boxes.is_empty());
+        prop_assert_eq!(result.boxes[0].clone(), HyperBox::unbounded(d.m()));
+        for w in result.boxes.windows(2) {
+            for j in 0..d.m() {
+                prop_assert!(w[1].bound(j).0 >= w[0].bound(j).0);
+                prop_assert!(w[1].bound(j).1 <= w[0].bound(j).1);
+            }
+        }
+    }
+
+    #[test]
+    fn prim_recall_never_increases_along_trajectory(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        let recalls: Vec<f64> = result.boxes.iter().map(|b| recall(b, &d)).collect();
+        for w in recalls.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "recall increased: {:?}", recalls);
+        }
+    }
+
+    #[test]
+    fn prim_last_box_precision_beats_base_rate(d in dataset_strategy()) {
+        // The chosen box maximises validation precision, so it can never
+        // be worse than the unrestricted box (= base rate).
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        let last = result.last_box().expect("non-empty");
+        prop_assert!(precision(last, &d) >= d.pos_rate() - 1e-12);
+    }
+
+    #[test]
+    fn prim_smaller_alpha_peels_more_patiently(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fine = Prim::new(PrimParams { alpha: 0.03, ..Default::default() });
+        let coarse = Prim::new(PrimParams { alpha: 0.2, ..Default::default() });
+        let fine_steps = fine.peel_trajectory(&d).len();
+        let coarse_steps = coarse.peel_trajectory(&d).len();
+        let _ = &mut rng;
+        // Patient peeling takes at least as many steps as aggressive peeling.
+        prop_assert!(fine_steps >= coarse_steps);
+    }
+
+    #[test]
+    fn bumping_boxes_are_mutually_nondominated(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pb = PrimBumping::new(PrimBumpingParams { q: 6, ..Default::default() });
+        let result = pb.discover(&d, &d, &mut rng);
+        let scores: Vec<(f64, f64)> = result
+            .boxes
+            .iter()
+            .map(|b| (precision(b, &d), recall(b, &d)))
+            .collect();
+        for (i, &(p1, r1)) in scores.iter().enumerate() {
+            for (j, &(p2, r2)) in scores.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !(p2 >= p1 && r2 >= r1 && (p2 > p1 || r2 > r1)),
+                        "box {} dominated by {}", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bi_wracc_is_nonnegative(d in dataset_strategy()) {
+        // BI starts from the unrestricted box (WRAcc 0) and only accepts
+        // refinements with higher WRAcc.
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = BestInterval::default().discover(&d, &d, &mut rng);
+        let b = result.last_box().expect("BI returns a box");
+        prop_assert!(reds::metrics::wracc(b, &d) >= -1e-12);
+    }
+
+    #[test]
+    fn bi_depth_limit_is_respected(d in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let limit = 1;
+        let bi = BestInterval::new(BiParams {
+            max_restricted: Some(limit),
+            ..Default::default()
+        });
+        let result = bi.discover(&d, &d, &mut rng);
+        prop_assert!(result.boxes[0].n_restricted() <= limit);
+    }
+}

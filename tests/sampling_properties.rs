@@ -1,0 +1,79 @@
+//! Property-based tests of the sampling designs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reds::sampling::{
+    halton, latin_hypercube, logit_normal, mixed_design, sobol, uniform, DISCRETE_LEVELS,
+    SOBOL_MAX_DIM,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lhs_is_stratified_for_any_size(n in 1usize..200, m in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = latin_hypercube(n, m, &mut rng);
+        prop_assert_eq!(pts.len(), n * m);
+        for j in 0..m {
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let stratum = ((pts[i * m + j] * n as f64) as usize).min(n - 1);
+                prop_assert!(!seen[stratum], "stratum {} reused", stratum);
+                seen[stratum] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn halton_values_in_unit_interval(n in 1usize..500, m in 1usize..20) {
+        let pts = halton(n, m);
+        prop_assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sobol_values_in_unit_interval(n in 1usize..500, m in 1usize..=SOBOL_MAX_DIM) {
+        let pts = sobol(n, m);
+        prop_assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn uniform_shape_and_range(n in 0usize..100, m in 1usize..6, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = uniform(n, m, &mut rng);
+        prop_assert_eq!(pts.len(), n * m);
+        prop_assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn logit_normal_in_open_interval(
+        n in 1usize..200,
+        mu in -2.0f64..2.0,
+        sigma in 0.1f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = logit_normal(n, 2, mu, sigma, &mut rng);
+        prop_assert!(pts.iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn mixed_design_snaps_even_columns(n in 1usize..100, m in 1usize..7, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = mixed_design(n, m, &mut rng);
+        for row in pts.chunks_exact(m) {
+            for j in (0..m).step_by(2) {
+                prop_assert!(
+                    DISCRETE_LEVELS.iter().any(|&l| (row[j] - l).abs() < 1e-12),
+                    "even column value {} off the grid", row[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halton_is_deterministic(n in 1usize..100, m in 1usize..10) {
+        prop_assert_eq!(halton(n, m), halton(n, m));
+    }
+}

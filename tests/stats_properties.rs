@@ -1,0 +1,109 @@
+//! Property-based tests of the statistical machinery in `reds-eval`.
+
+use proptest::prelude::*;
+use reds::eval::stats::{
+    average_ranks, chi2_sf, friedman_test, norm_cdf, spearman, wilcoxon_rank_sum,
+    wilcoxon_signed_rank,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranks_are_a_permutation_mass(values in prop::collection::vec(-10.0f64..10.0, 1..40)) {
+        let ranks = average_ranks(&values);
+        // Sum of ranks is always n(n+1)/2 regardless of ties.
+        let n = values.len() as f64;
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        prop_assert!(ranks.iter().all(|&r| r >= 1.0 && r <= n));
+    }
+
+    #[test]
+    fn rank_order_respects_value_order(
+        mut values in prop::collection::vec(-10.0f64..10.0, 2..30),
+    ) {
+        values.dedup();
+        let ranks = average_ranks(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norm_cdf_is_monotone_and_bounded(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&norm_cdf(a)));
+        // Symmetry Φ(−z) = 1 − Φ(z).
+        prop_assert!((norm_cdf(-a) - (1.0 - norm_cdf(a))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rank_sum_p_is_valid_and_symmetric(
+        a in prop::collection::vec(0.0f64..1.0, 5..25),
+        b in prop::collection::vec(0.0f64..1.0, 5..25),
+    ) {
+        let p_ab = wilcoxon_rank_sum(&a, &b);
+        let p_ba = wilcoxon_rank_sum(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&p_ab), "p = {}", p_ab);
+        prop_assert!((p_ab - p_ba).abs() < 1e-9, "two-sided test must be symmetric");
+    }
+
+    #[test]
+    fn signed_rank_p_is_valid(
+        pairs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6..30),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let p = wilcoxon_signed_rank(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+        // Identical samples are maximally insignificant.
+        prop_assert!((wilcoxon_signed_rank(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone_decreasing(x in 0.0f64..50.0, k in 1usize..10) {
+        let p1 = chi2_sf(x, k);
+        let p2 = chi2_sf(x + 1.0, k);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 <= p1 + 1e-9);
+    }
+
+    #[test]
+    fn friedman_p_is_valid(
+        scores in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 2..20),
+    ) {
+        let (chi2, p) = friedman_test(&scores);
+        prop_assert!(chi2.is_finite());
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(
+        pairs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..30),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let rho = spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {}", rho);
+        prop_assert!((rho - spearman(&b, &a)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn hyperbox_serde_roundtrip() {
+    // Scenario persistence: a discovered box survives a serde round
+    // trip through a self-describing binary-ish format (JSON loses
+    // infinities, so test the finite part there and the full box via
+    // serde_json's Value for structure).
+    use reds::subgroup::HyperBox;
+    let finite = HyperBox::from_bounds(vec![(0.1, 0.9), (0.25, 0.75)]);
+    let json = serde_json::to_string(&finite).expect("serializable");
+    let back: HyperBox = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(finite, back);
+}
