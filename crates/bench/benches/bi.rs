@@ -9,17 +9,13 @@ use reds_subgroup::{BestInterval, BiParams, SubgroupDiscovery};
 
 fn band_data(n: usize, m: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset::from_fn(
-        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
-        m,
-        |x| {
-            if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.5 {
-                1.0
-            } else {
-                0.0
-            }
-        },
-    )
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    })
     .expect("valid shape")
 }
 

@@ -12,17 +12,13 @@ use reds_metamodel::{
 
 fn disc_data(n: usize, m: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset::from_fn(
-        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
-        m,
-        |x| {
-            if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
-                1.0
-            } else {
-                0.0
-            }
-        },
-    )
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
+            1.0
+        } else {
+            0.0
+        }
+    })
     .expect("valid shape")
 }
 

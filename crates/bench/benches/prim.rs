@@ -9,11 +9,13 @@ use reds_subgroup::{Prim, PrimBumping, PrimBumpingParams, PrimParams, SubgroupDi
 
 fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset::from_fn(
-        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
-        m,
-        |x| if x[0] > 0.6 && x[1] > 0.6 { 1.0 } else { 0.0 },
-    )
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x[0] > 0.6 && x[1] > 0.6 {
+            1.0
+        } else {
+            0.0
+        }
+    })
     .expect("valid shape")
 }
 
@@ -47,18 +49,14 @@ fn bench_prim_alpha(c: &mut Criterion) {
     let mut group = c.benchmark_group("prim/peel_vs_alpha");
     let d = corner_data(2000, 10, 5);
     for alpha in [0.03f64, 0.05, 0.1, 0.2] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alpha),
-            &alpha,
-            |b, &alpha| {
-                let prim = Prim::new(PrimParams {
-                    alpha,
-                    ..Default::default()
-                });
-                let mut rng = StdRng::seed_from_u64(6);
-                b.iter(|| prim.discover(&d, &d, &mut rng));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let prim = Prim::new(PrimParams {
+                alpha,
+                ..Default::default()
+            });
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| prim.discover(&d, &d, &mut rng));
+        });
     }
     group.finish();
 }

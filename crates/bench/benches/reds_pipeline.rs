@@ -13,11 +13,13 @@ use reds_subgroup::Prim;
 
 fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset::from_fn(
-        (0..n * m).map(|_| rng.gen::<f64>()).collect(),
-        m,
-        |x| if x[0] > 0.6 && x[1] > 0.6 { 1.0 } else { 0.0 },
-    )
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x[0] > 0.6 && x[1] > 0.6 {
+            1.0
+        } else {
+            0.0
+        }
+    })
     .expect("valid shape")
 }
 
@@ -54,7 +56,9 @@ fn bench_label_ablation(c: &mut Criterion) {
     group.bench_function("probability", |b| {
         let reds = Reds::xgboost(
             gbdt(),
-            RedsConfig::default().with_l(20_000).with_probability_labels(),
+            RedsConfig::default()
+                .with_l(20_000)
+                .with_probability_labels(),
         );
         let mut rng = StdRng::seed_from_u64(5);
         b.iter(|| reds.run(&d, &Prim::default(), &mut rng).expect("runs"));

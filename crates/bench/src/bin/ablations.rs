@@ -85,19 +85,25 @@ fn main() {
         let reds = Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(20_000));
         let mut rng = StdRng::seed_from_u64(500 + rep as u64);
         // Anchored: the shipped behaviour (D_val = D).
-        let r = reds.run(&d, &Prim::default(), &mut rng).expect("pipeline runs");
+        let r = reds
+            .run(&d, &Prim::default(), &mut rng)
+            .expect("pipeline runs");
         anchored.push(precision(r.last_box().expect("non-empty"), &test));
         // Unanchored: rebuild D_new manually and validate on it.
         let mut rng = StdRng::seed_from_u64(500 + rep as u64);
         let model = reds.train_metamodel(&d, &mut rng).expect("training runs");
         let pool = uniform(20_000, f.m(), &mut rng);
-        let d_new = Dataset::from_fn(pool, f.m(), |x| {
-            if model.predict(x) > 0.5 {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        let d_new = Dataset::from_fn(
+            pool,
+            f.m(),
+            |x| {
+                if model.predict(x) > 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
         .expect("consistent shape");
         let r = Prim::default().discover(&d_new, &d_new, &mut rng);
         unanchored.push(precision(r.last_box().expect("non-empty"), &test));
@@ -170,7 +176,9 @@ fn main() {
         let d = train_data(f, 1_200 + rep as u64, n);
         let reds = Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(20_000));
         let mut rng = StdRng::seed_from_u64(1_300 + rep as u64);
-        let r = reds.run(&d, &Prim::default(), &mut rng).expect("pipeline runs");
+        let r = reds
+            .run(&d, &Prim::default(), &mut rng)
+            .expect("pipeline runs");
         passive.push(pr_auc(&r.boxes, &test));
         // Active: half the budget up front, half by uncertainty sampling.
         let config = ActiveConfig {

@@ -33,7 +33,9 @@ fn main() {
         let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
         let mut test_rng = StdRng::seed_from_u64(0xBA5E);
         let test_pts = uniform(args.get_usize("test", 10_000), f.m(), &mut test_rng);
-        let test = f.label_dataset(test_pts, &mut test_rng).expect("consistent shape");
+        let test = f
+            .label_dataset(test_pts, &mut test_rng)
+            .expect("consistent shape");
         let mut scores = vec![0.0; variants.len()];
         for rep in 0..reps {
             let mut rng = StdRng::seed_from_u64(1_000 + rep as u64);
@@ -48,8 +50,7 @@ fn main() {
                 scores[vi] += pr_auc(&result.boxes, &test);
             }
             for (vi, sd) in sds.iter().enumerate() {
-                let reds =
-                    Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(l));
+                let reds = Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(l));
                 let mut r = StdRng::seed_from_u64(3_000 + rep as u64);
                 let result = reds.run(&d, *sd, &mut r).expect("pipeline runs");
                 scores[2 + vi] += pr_auc(&result.boxes, &test);

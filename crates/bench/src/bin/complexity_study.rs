@@ -49,10 +49,7 @@ fn main() {
         spec.opts = opts.clone();
         let s = run_experiment(&spec);
         let gain = 100.0 * (s[1].pr_auc - s[0].pr_auc) / s[0].pr_auc.max(1e-9);
-        println!(
-            "| {fname} | {} | {complexity:.3} | {gain:+.1} |",
-            f.m()
-        );
+        println!("| {fname} | {} | {complexity:.3} | {gain:+.1} |", f.m());
         dims.push(f.m() as f64);
         complexities.push(complexity);
         gains.push(gain);

@@ -67,7 +67,11 @@ fn main() {
                 }
             })
             .collect();
-        println!("| {lo:.2}–{:.2} | {} |", lo + 1.0 / BINS as f64, cells.join(" | "));
+        println!(
+            "| {lo:.2}–{:.2} | {} |",
+            lo + 1.0 / BINS as f64,
+            cells.join(" | ")
+        );
     }
 
     println!("\nFigure 11 (right): PR AUC distribution over {reps} repetitions");

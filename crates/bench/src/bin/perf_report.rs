@@ -1,0 +1,250 @@
+//! Machine-readable perf report for the presorted-column engine.
+//!
+//! Reproduces the `reds/vs_l` pipeline configuration (default
+//! [`RedsConfig`] + PRIM) on both the optimized and the naive paths in
+//! the same process, verifies the discovered boxes are **bit-identical**,
+//! and emits `BENCH_prim.json` / `BENCH_forest.json`.
+//!
+//! ```text
+//! cargo run --release -p reds-bench --bin perf_report -- \
+//!     [--l 80000] [--n 400] [--m 10] [--reps 2] [--out-dir .]
+//! ```
+//!
+//! The naive path is the pre-optimization implementation kept as the
+//! reference oracle: per-step re-sorting PRIM, serial naive-builder
+//! forest training, and per-point virtual-dispatch pseudo-labeling.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_bench::Args;
+use reds_core::RedsConfig;
+use reds_data::Dataset;
+use reds_json::Json;
+use reds_metamodel::{Metamodel, NaiveRandomForest, RandomForest, RandomForestParams};
+use reds_sampling::uniform;
+use reds_subgroup::{HyperBox, NaivePrim, Prim, SdResult, SubgroupDiscovery};
+
+fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x[0] > 0.6 && x[1] > 0.6 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .expect("valid shape")
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, plus its result.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn boxes_bits_equal(a: &SdResult, b: &SdResult) -> bool {
+    a.boxes.len() == b.boxes.len()
+        && a.boxes.iter().zip(&b.boxes).all(|(x, y)| {
+            x.m() == y.m()
+                && (0..x.m()).all(|j| {
+                    let ((la, ha), (lb, hb)) = (x.bound(j), y.bound(j));
+                    la.to_bits() == lb.to_bits() && ha.to_bits() == hb.to_bits()
+                })
+        })
+}
+
+/// One REDS pipeline run, replicating `Reds::run`'s exact RNG stream so
+/// the optimized and naive paths see identical training draws, sampled
+/// points, and subgroup-search seeds.
+fn run_pipeline(d: &Dataset, config: &RedsConfig, naive: bool, seed: u64) -> SdResult {
+    let params = RandomForestParams::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = d.m();
+    if naive {
+        // Pre-optimization path: serial enum-arena forest, L
+        // virtual-dispatch predictions, re-sorting PRIM.
+        let forest = NaiveRandomForest::fit(d, &params, &mut rng);
+        let model: &dyn Metamodel = &forest;
+        let points = uniform(config.l, m, &mut rng);
+        let labels: Vec<f64> = points
+            .chunks_exact(m)
+            .map(|x| {
+                if model.predict(x) > config.bnd {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let d_new = Dataset::new(points, labels, m).expect("valid shape");
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        NaivePrim::default().discover(&d_new, d, &mut sd_rng)
+    } else {
+        let forest = RandomForest::fit(d, &params, &mut rng);
+        let points = uniform(config.l, m, &mut rng);
+        let labels: Vec<f64> = forest
+            .predict_batch(&points, m)
+            .into_iter()
+            .map(|p| if p > config.bnd { 1.0 } else { 0.0 })
+            .collect();
+        let d_new = Dataset::new(points, labels, m).expect("valid shape");
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        Prim::default().discover(&d_new, d, &mut sd_rng)
+    }
+}
+
+fn box_summary(b: &HyperBox) -> Json {
+    Json::arr((0..b.m()).map(|j| {
+        let (lo, hi) = b.bound(j);
+        Json::arr([Json::num(lo), Json::num(hi)])
+    }))
+}
+
+fn main() {
+    let args = Args::parse();
+    let l = args.get_usize("l", 80_000);
+    let n = args.get_usize("n", 400);
+    let m = args.get_usize("m", 10);
+    let reps = args.get_usize("reps", 2);
+    let out_dir = args.get_str("out-dir", ".");
+
+    // ---------------- PRIM: naive vs presorted peeling ----------------
+    let mut prim_rows = Vec::new();
+    for peel_n in [l / 4, l] {
+        let d = corner_data(peel_n, m, 11);
+        let (naive_ms, naive_result) = time_best(reps, || {
+            NaivePrim::default().discover(&d, &d, &mut StdRng::seed_from_u64(12))
+        });
+        let (fast_ms, fast_result) = time_best(reps, || {
+            Prim::default().discover(&d, &d, &mut StdRng::seed_from_u64(12))
+        });
+        let identical = boxes_bits_equal(&naive_result, &fast_result);
+        assert!(identical, "PRIM paths diverged at n = {peel_n}");
+        println!(
+            "prim/peel n={peel_n} m={m}: naive {naive_ms:.1} ms, presorted {fast_ms:.1} ms \
+             ({:.1}x), identical boxes: {identical}",
+            naive_ms / fast_ms
+        );
+        prim_rows.push(Json::obj([
+            ("n", Json::num(peel_n as f64)),
+            ("m", Json::num(m as f64)),
+            ("naive_ms", Json::num(naive_ms)),
+            ("presorted_ms", Json::num(fast_ms)),
+            ("speedup", Json::num(naive_ms / fast_ms)),
+            ("identical_boxes", Json::Bool(identical)),
+        ]));
+    }
+
+    // -------- Pipeline acceptance: reds/vs_l at the default config --------
+    let config = RedsConfig::default().with_l(l);
+    let train = corner_data(n, m, 1);
+    let (naive_ms, naive_result) = time_best(reps, || run_pipeline(&train, &config, true, 2));
+    let (fast_ms, fast_result) = time_best(reps, || run_pipeline(&train, &config, false, 2));
+    let identical = boxes_bits_equal(&naive_result, &fast_result);
+    let speedup = naive_ms / fast_ms;
+    println!(
+        "reds/vs_l l={l}: naive {naive_ms:.0} ms, optimized {fast_ms:.0} ms ({speedup:.1}x), \
+         identical boxes: {identical} ({} boxes)",
+        fast_result.boxes.len()
+    );
+    assert!(identical, "pipeline paths diverged");
+    let pipeline = Json::obj([
+        ("bench", Json::str("reds/vs_l")),
+        ("l", Json::num(l as f64)),
+        ("n_train", Json::num(n as f64)),
+        ("m", Json::num(m as f64)),
+        ("naive_ms", Json::num(naive_ms)),
+        ("optimized_ms", Json::num(fast_ms)),
+        ("speedup", Json::num(speedup)),
+        ("identical_boxes", Json::Bool(identical)),
+        ("n_boxes", Json::num(fast_result.boxes.len() as f64)),
+        (
+            "last_box",
+            fast_result
+                .last_box()
+                .map(box_summary)
+                .unwrap_or(Json::Null),
+        ),
+    ]);
+    let prim_doc = Json::obj([("peel", Json::Arr(prim_rows)), ("pipeline", pipeline)]);
+    let prim_path = format!("{out_dir}/BENCH_prim.json");
+    std::fs::write(&prim_path, prim_doc.to_string_pretty()).expect("write BENCH_prim.json");
+    println!("wrote {prim_path}");
+
+    // ---------------- Forest: fit and predict paths ----------------
+    let params = RandomForestParams::default();
+    let (fit_naive_ms, slow_forest) = time_best(reps, || {
+        NaiveRandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(3))
+    });
+    let (fit_ms, fast_forest) = time_best(reps, || {
+        RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(3))
+    });
+    let query = uniform(l, m, &mut StdRng::seed_from_u64(4));
+    let (point_ms, point_preds) = time_best(reps, || {
+        query
+            .chunks_exact(m)
+            .map(|x| slow_forest.predict(x))
+            .collect::<Vec<f64>>()
+    });
+    let (batch_ms, batch_preds) = time_best(reps, || fast_forest.predict_batch(&query, m));
+    let preds_identical = point_preds.len() == batch_preds.len()
+        && point_preds
+            .iter()
+            .zip(&batch_preds)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(preds_identical, "forest prediction paths diverged");
+    println!(
+        "forest/fit n={n} trees={}: naive-serial {fit_naive_ms:.0} ms, presorted-parallel \
+         {fit_ms:.0} ms ({:.1}x)",
+        params.n_trees,
+        fit_naive_ms / fit_ms
+    );
+    println!(
+        "forest/predict l={l}: per-point {point_ms:.0} ms, batch {batch_ms:.0} ms ({:.1}x), \
+         identical: {preds_identical}",
+        point_ms / batch_ms
+    );
+    let forest_doc = Json::obj([
+        (
+            "fit",
+            Json::obj([
+                ("n_train", Json::num(n as f64)),
+                ("m", Json::num(m as f64)),
+                ("n_trees", Json::num(params.n_trees as f64)),
+                ("naive_serial_ms", Json::num(fit_naive_ms)),
+                ("presorted_parallel_ms", Json::num(fit_ms)),
+                ("speedup", Json::num(fit_naive_ms / fit_ms)),
+                ("threads", Json::num(reds_par::max_threads() as f64)),
+            ]),
+        ),
+        (
+            "predict",
+            Json::obj([
+                ("l", Json::num(l as f64)),
+                ("per_point_ms", Json::num(point_ms)),
+                ("batch_tree_major_ms", Json::num(batch_ms)),
+                ("speedup", Json::num(point_ms / batch_ms)),
+                ("identical_predictions", Json::Bool(preds_identical)),
+            ]),
+        ),
+    ]);
+    let forest_path = format!("{out_dir}/BENCH_forest.json");
+    std::fs::write(&forest_path, forest_doc.to_string_pretty()).expect("write BENCH_forest.json");
+    println!("wrote {forest_path}");
+
+    // The 3x acceptance gate applies at the benchmark's reference size;
+    // reduced-size CI runs only check equivalence.
+    if l >= 80_000 && speedup < 3.0 {
+        eprintln!("WARNING: pipeline speedup {speedup:.2}x below the 3x acceptance target");
+        std::process::exit(1);
+    }
+}

@@ -3,14 +3,20 @@ fn main() {
     use reds_eval::{run_experiment, ExperimentSpec, MethodOpts};
     use reds_functions::by_name;
     for l in [4_000usize, 20_000] {
-        let mut spec = ExperimentSpec::new(by_name("2").unwrap(), 200, &["RPx", "RPxp", "RPf", "RPfp"]);
+        let mut spec =
+            ExperimentSpec::new(by_name("2").unwrap(), 200, &["RPx", "RPxp", "RPf", "RPfp"]);
         spec.reps = 8;
         spec.test_size = 5_000;
-        spec.opts = MethodOpts { l_prim: l, ..Default::default() };
+        spec.opts = MethodOpts {
+            l_prim: l,
+            ..Default::default()
+        };
         println!("L = {l}");
         for s in run_experiment(&spec) {
-            println!("  {:5} PR AUC {:5.1} prec {:5.1} #restr {:4.2} #irrel {:4.2}",
-                s.method, s.pr_auc, s.precision, s.n_restricted, s.n_irrel);
+            println!(
+                "  {:5} PR AUC {:5.1} prec {:5.1} #restr {:4.2} #irrel {:4.2}",
+                s.method, s.pr_auc, s.precision, s.n_restricted, s.n_irrel
+            );
         }
     }
 }

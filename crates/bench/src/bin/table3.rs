@@ -17,9 +17,8 @@ use reds_bench::{function_names, Args};
 use reds_eval::stats::{friedman_test, spearman, wilcoxon_signed_rank};
 use reds_eval::{run_experiment, ExperimentSpec, MethodOpts, MethodSummary, PRIM_FAMILY};
 use reds_functions::by_name;
-use serde::Serialize;
+use reds_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     function: String,
     n: usize,
@@ -67,8 +66,14 @@ fn main() {
             let summaries = run_experiment(&spec);
             if *n == stat_n {
                 per_function_auc.push(summaries.iter().map(|s| s.pr_auc).collect());
-                let pc = summaries.iter().find(|s| s.method == "Pc").expect("Pc runs");
-                let rpx = summaries.iter().find(|s| s.method == "RPx").expect("RPx runs");
+                let pc = summaries
+                    .iter()
+                    .find(|s| s.method == "Pc")
+                    .expect("Pc runs");
+                let rpx = summaries
+                    .iter()
+                    .find(|s| s.method == "RPx")
+                    .expect("RPx runs");
                 dims.push(f.m() as f64);
                 gains.push((rpx.pr_auc - pc.pr_auc) / pc.pr_auc.max(1e-9));
             }
@@ -102,8 +107,13 @@ fn main() {
         ("(a) Average PR AUC", |r| r.pr_auc),
         ("(b) Average precision", |r| r.precision),
         ("(c) Average consistency", |r| r.consistency),
-        ("(d) Average number of restricted inputs", |r| r.n_restricted),
-        ("(e) Average number of irrelevantly restricted inputs", |r| r.n_irrel),
+        ("(d) Average number of restricted inputs", |r| {
+            r.n_restricted
+        }),
+        (
+            "(e) Average number of irrelevantly restricted inputs",
+            |r| r.n_irrel,
+        ),
     ];
     for (title, metric) in metric_tables {
         println!("\nTable 3 {title}");
@@ -154,7 +164,10 @@ fn main() {
                     .iter()
                     .find(|r| r.n == stat_n && &r.function == fname && &r.method == m)
                     .expect("row exists");
-                format!("{:+.1}", 100.0 * (r.pr_auc - pc.pr_auc) / pc.pr_auc.max(1e-9))
+                format!(
+                    "{:+.1}",
+                    100.0 * (r.pr_auc - pc.pr_auc) / pc.pr_auc.max(1e-9)
+                )
             })
             .collect();
         println!("| {fname} | {} |", cells.join(" | "));
@@ -163,7 +176,12 @@ fn main() {
     // Statistics of §9.1.1.
     let (chi2, p) = friedman_test(&per_function_auc);
     println!("\nFriedman test over PR AUC at N = {stat_n}: chi2 = {chi2:.2}, p = {p:.2e}");
-    let idx = |name: &str| methods.iter().position(|m| *m == name).expect("method in family");
+    let idx = |name: &str| {
+        methods
+            .iter()
+            .position(|m| *m == name)
+            .expect("method in family")
+    };
     let rpx: Vec<f64> = per_function_auc.iter().map(|r| r[idx("RPx")]).collect();
     let pc: Vec<f64> = per_function_auc.iter().map(|r| r[idx("Pc")]).collect();
     let p_posthoc = wilcoxon_signed_rank(&rpx, &pc);
@@ -174,8 +192,20 @@ fn main() {
     );
 
     if let Some(path) = args_json(&args) {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("serializable"))
-            .expect("write json");
+        let doc = Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("function", Json::str(r.function.clone())),
+                ("n", Json::num(r.n as f64)),
+                ("method", Json::str(r.method.clone())),
+                ("pr_auc", Json::num(r.pr_auc)),
+                ("precision", Json::num(r.precision)),
+                ("consistency", Json::num(r.consistency)),
+                ("n_restricted", Json::num(r.n_restricted)),
+                ("n_irrel", Json::num(r.n_irrel)),
+                ("runtime_ms", Json::num(r.runtime_ms)),
+            ])
+        }));
+        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
         eprintln!("rows written to {path}");
     }
 }

@@ -56,8 +56,13 @@ fn main() {
     let tables: [(&str, Metric); 4] = [
         ("(a) Average WRAcc", |s| s.wracc),
         ("(b) Average consistency", |s| s.consistency),
-        ("(c) Average number of restricted inputs", |s| s.n_restricted),
-        ("(d) Average number of irrelevantly restricted inputs", |s| s.n_irrel),
+        ("(c) Average number of restricted inputs", |s| {
+            s.n_restricted
+        }),
+        (
+            "(d) Average number of irrelevantly restricted inputs",
+            |s| s.n_irrel,
+        ),
     ];
     for (title, metric) in tables {
         println!("\nTable 4 {title}");

@@ -40,7 +40,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -48,7 +51,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -122,7 +128,9 @@ mod tests {
     #[test]
     fn function_names_resolves_custom_list() {
         let args = Args::from_tokens(
-            ["--functions", "morris, sobol"].iter().map(|s| s.to_string()),
+            ["--functions", "morris, sobol"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert_eq!(function_names(&args), vec!["morris", "sobol"]);
     }

@@ -187,7 +187,9 @@ mod tests {
         assert_eq!(cfg.total_budget(), 120);
         let active = ActiveReds::new(quick_reds(1_000), cfg);
         let mut rng = StdRng::seed_from_u64(1);
-        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        let data = active
+            .acquire(2, &corner, &mut rng)
+            .expect("acquisition runs");
         assert_eq!(data.n(), 120);
     }
 
@@ -195,7 +197,9 @@ mod tests {
     fn acquisition_concentrates_near_the_boundary() {
         let active = ActiveReds::new(quick_reds(1_000), quick_config());
         let mut rng = StdRng::seed_from_u64(2);
-        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        let data = active
+            .acquire(2, &corner, &mut rng)
+            .expect("acquisition runs");
         // The actively chosen tail of the dataset should lie closer to
         // the corner boundary (0.6, 0.6) than uniform points would.
         let boundary_dist = |x: &[f64]| {
@@ -247,7 +251,9 @@ mod tests {
         };
         let active = ActiveReds::new(quick_reds(500), cfg);
         let mut rng = StdRng::seed_from_u64(4);
-        let data = active.acquire(2, &corner, &mut rng).expect("acquisition runs");
+        let data = active
+            .acquire(2, &corner, &mut rng)
+            .expect("acquisition runs");
         assert_eq!(data.n(), 60);
     }
 

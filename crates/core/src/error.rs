@@ -15,6 +15,14 @@ pub enum RedsError {
         /// Expected number of columns.
         m: usize,
     },
+    /// A point handed to the pipeline contains NaN (datasets reject
+    /// NaN input coordinates).
+    NanInPoints {
+        /// Row of the offending coordinate.
+        row: usize,
+        /// Column of the offending coordinate.
+        column: usize,
+    },
 }
 
 impl fmt::Display for RedsError {
@@ -26,6 +34,9 @@ impl fmt::Display for RedsError {
                 f,
                 "unlabeled pool of {pool_len} values is not a multiple of m = {m}"
             ),
+            Self::NanInPoints { row, column } => {
+                write!(f, "NaN input coordinate at row {row}, column {column}")
+            }
         }
     }
 }

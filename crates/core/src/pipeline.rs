@@ -138,6 +138,12 @@ impl Reds {
     }
 
     /// Pseudo-labels `points` with a fitted metamodel (lines 4–6).
+    ///
+    /// Labeling all `L` points is a single [`Metamodel::predict_batch`]
+    /// call rather than `L` virtual dispatches: ensemble models override
+    /// `predict_batch` with cache-friendly tree-major kernels that fan
+    /// out across threads, which is the hot path at the paper's default
+    /// `L = 10⁵`.
     fn pseudo_label(
         &self,
         model: &dyn Metamodel,
@@ -150,18 +156,29 @@ impl Reds {
                 m,
             });
         }
-        let dataset = Dataset::from_fn(points, m, |x| {
-            let p = model.predict(x);
-            if self.config.probability_labels {
-                p.clamp(0.0, 1.0)
-            } else if p > self.config.bnd {
-                1.0
-            } else {
-                0.0
-            }
-        })
-        .expect("shape checked above");
-        Ok(dataset)
+        // Datasets reject NaN coordinates; surface that as a pipeline
+        // error instead of panicking below (user-supplied pools can
+        // contain anything).
+        if let Some(at) = points.iter().position(|v| v.is_nan()) {
+            return Err(RedsError::NanInPoints {
+                row: at / m,
+                column: at % m,
+            });
+        }
+        let labels = model
+            .predict_batch(&points, m)
+            .into_iter()
+            .map(|p| {
+                if self.config.probability_labels {
+                    p.clamp(0.0, 1.0)
+                } else if p > self.config.bnd {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Ok(Dataset::new(points, labels, m).expect("shape and finiteness checked above"))
     }
 
     /// Runs the full REDS pipeline (Algorithm 4): train `AM` on `d`,
@@ -227,11 +244,13 @@ mod tests {
 
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| if x[0] > 0.55 && x[1] > 0.55 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] > 0.55 && x[1] > 0.55 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -260,7 +279,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let reds = Reds::random_forest(
             quick_forest(),
-            RedsConfig::default().with_l(2_000).with_probability_labels(),
+            RedsConfig::default()
+                .with_l(2_000)
+                .with_probability_labels(),
         );
         let result = reds.run(&d, &Prim::default(), &mut rng).unwrap();
         assert!(!result.boxes.is_empty());
@@ -310,6 +331,19 @@ mod tests {
         assert!(matches!(
             reds.run(&d, &Prim::default(), &mut rng),
             Err(RedsError::ZeroNewPoints)
+        ));
+    }
+
+    #[test]
+    fn pool_with_nan_returns_an_error_not_a_panic() {
+        let d = corner_data(60, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default());
+        let mut pool = vec![0.5; 10];
+        pool[3] = f64::NAN;
+        assert!(matches!(
+            reds.run_on_pool(&d, &pool, &Prim::default(), &mut rng),
+            Err(RedsError::NanInPoints { row: 1, column: 1 })
         ));
     }
 

@@ -19,8 +19,11 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns [`DataError::ShapeMismatch`] when `points.len()` is not a
-    /// multiple of `m` or the row count disagrees with `labels.len()`, and
-    /// [`DataError::ZeroDimensional`] when `m == 0`.
+    /// multiple of `m` or the row count disagrees with `labels.len()`,
+    /// [`DataError::ZeroDimensional`] when `m == 0`, and
+    /// [`DataError::NanPoint`] when any input coordinate is NaN (the
+    /// presorted hot paths require a NaN-free input matrix; infinities
+    /// are allowed).
     pub fn new(points: Vec<f64>, labels: Vec<f64>, m: usize) -> Result<Self, DataError> {
         if m == 0 {
             return Err(DataError::ZeroDimensional);
@@ -30,6 +33,12 @@ impl Dataset {
                 points: points.len(),
                 labels: labels.len(),
                 m,
+            });
+        }
+        if let Some(at) = points.iter().position(|v| v.is_nan()) {
+            return Err(DataError::NanPoint {
+                row: at / m,
+                column: at % m,
             });
         }
         Ok(Self { points, labels, m })
@@ -119,9 +128,14 @@ impl Dataset {
             .zip(self.labels.iter().copied())
     }
 
-    /// Appends a row. Panics when `point.len() != m()`.
+    /// Appends a row. Panics when `point.len() != m()` or the point
+    /// contains NaN (see [`Dataset::new`]).
     pub fn push(&mut self, point: &[f64], label: f64) {
         assert_eq!(point.len(), self.m, "point dimensionality mismatch");
+        assert!(
+            point.iter().all(|v| !v.is_nan()),
+            "NaN input coordinate in pushed point"
+        );
         self.points.extend_from_slice(point);
         self.labels.push(label);
     }
@@ -172,7 +186,10 @@ impl Dataset {
             return Err(DataError::ZeroDimensional);
         }
         if let Some(&bad) = columns.iter().find(|&&c| c >= self.m) {
-            return Err(DataError::ColumnOutOfRange { column: bad, m: self.m });
+            return Err(DataError::ColumnOutOfRange {
+                column: bad,
+                m: self.m,
+            });
         }
         let mut points = Vec::with_capacity(self.n() * columns.len());
         for i in 0..self.n() {
@@ -252,6 +269,15 @@ mod tests {
             Dataset::new(vec![], vec![], 0),
             Err(DataError::ZeroDimensional)
         ));
+    }
+
+    #[test]
+    fn new_rejects_nan_points_but_accepts_infinities() {
+        assert!(matches!(
+            Dataset::new(vec![0.1, f64::NAN, 0.3, 0.4], vec![0.0, 1.0], 2),
+            Err(DataError::NanPoint { row: 0, column: 1 })
+        ));
+        assert!(Dataset::new(vec![f64::INFINITY, f64::NEG_INFINITY], vec![0.0, 1.0], 1).is_ok());
     }
 
     #[test]

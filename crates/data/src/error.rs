@@ -28,6 +28,16 @@ pub enum DataError {
         /// Number of folds / parts requested.
         required: usize,
     },
+    /// An input coordinate was NaN. NaN has no place on the presorted
+    /// columns the hot paths rely on (its ordering under `total_cmp`
+    /// disagrees with the `<`/`>=` comparisons box membership uses), so
+    /// datasets reject it at construction.
+    NanPoint {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        column: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -43,6 +53,9 @@ impl fmt::Display for DataError {
             }
             Self::TooFewRows { rows, required } => {
                 write!(f, "need at least {required} rows, got {rows}")
+            }
+            Self::NanPoint { row, column } => {
+                write!(f, "NaN input value at row {row}, column {column}")
             }
         }
     }
@@ -66,8 +79,11 @@ mod tests {
         assert!(DataError::ColumnOutOfRange { column: 5, m: 3 }
             .to_string()
             .contains('5'));
-        assert!(DataError::TooFewRows { rows: 1, required: 5 }
-            .to_string()
-            .contains('5'));
+        assert!(DataError::TooFewRows {
+            rows: 1,
+            required: 5
+        }
+        .to_string()
+        .contains('5'));
     }
 }

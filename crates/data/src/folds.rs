@@ -22,7 +22,10 @@ impl KFold {
     /// Returns [`DataError::TooFewRows`] when `n < k` or `k < 2`.
     pub fn new(n: usize, k: usize, rng: &mut impl Rng) -> Result<Self, DataError> {
         if k < 2 || n < k {
-            return Err(DataError::TooFewRows { rows: n, required: k.max(2) });
+            return Err(DataError::TooFewRows {
+                rows: n,
+                required: k.max(2),
+            });
         }
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(rng);
@@ -87,14 +90,18 @@ mod tests {
 
     #[test]
     fn split_materialises_complement() {
-        let data =
-            Dataset::from_fn((0..10).map(|i| i as f64).collect(), 1, |x| x[0]).unwrap();
+        let data = Dataset::from_fn((0..10).map(|i| i as f64).collect(), 1, |x| x[0]).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let kf = KFold::new(10, 5, &mut rng).unwrap();
         let (train, test) = kf.split(&data, 0);
         assert_eq!(train.n(), 8);
         assert_eq!(test.n(), 2);
-        let mut union: Vec<f64> = train.points().iter().chain(test.points()).copied().collect();
+        let mut union: Vec<f64> = train
+            .points()
+            .iter()
+            .chain(test.points())
+            .copied()
+            .collect();
         union.sort_by(f64::total_cmp);
         assert_eq!(union, (0..10).map(|i| i as f64).collect::<Vec<_>>());
     }

@@ -18,10 +18,12 @@ mod bootstrap;
 mod dataset;
 mod error;
 mod folds;
+mod sorted;
 mod split;
 
 pub use bootstrap::bootstrap_sample;
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use folds::KFold;
+pub use sorted::SortedView;
 pub use split::{train_test_split, Split};

@@ -31,7 +31,10 @@ pub fn train_test_split(
     let n = data.n();
     let n_train = (n as f64 * train_fraction).round() as usize;
     if n < 2 || n_train == 0 || n_train >= n {
-        return Err(DataError::TooFewRows { rows: n, required: 2 });
+        return Err(DataError::TooFewRows {
+            rows: n,
+            required: 2,
+        });
     }
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);

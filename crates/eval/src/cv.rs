@@ -146,11 +146,13 @@ mod tests {
 
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
-            3,
-            |x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+            if x[0] > 0.5 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 

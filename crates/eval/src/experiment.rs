@@ -54,7 +54,10 @@ impl Design {
         match self {
             Self::Lhs | Self::Halton => NewPointSampler::Uniform,
             Self::MixedEven => NewPointSampler::MixedEven,
-            Self::LogitNormal => NewPointSampler::LogitNormal { mu: 0.0, sigma: 1.0 },
+            Self::LogitNormal => NewPointSampler::LogitNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
         }
     }
 
@@ -166,9 +169,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Vec<MethodSummary> {
     // One shared test set per experiment, drawn from the design's
     // distribution with a seed decoupled from the training reps.
     let mut test_rng = StdRng::seed_from_u64(spec.seed ^ 0x7E57_DA7A);
-    let test_points = spec
-        .design
-        .sample_test(spec.test_size, m, &mut test_rng);
+    let test_points = spec.design.sample_test(spec.test_size, m, &mut test_rng);
     let test = spec
         .function
         .label_dataset(test_points, &mut test_rng)
@@ -189,9 +190,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Vec<MethodSummary> {
     }
     .min(spec.reps.max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let rep = next_rep.fetch_add(1, Ordering::Relaxed);
                 if rep >= spec.reps {
                     break;
@@ -220,10 +221,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Vec<MethodSummary> {
                         recall: s.recall,
                         wracc: s.wracc,
                         n_restricted: s.n_restricted,
-                        n_irrel: n_irrelevantly_restricted(
-                            &last,
-                            spec.function.active_inputs(),
-                        ),
+                        n_irrel: n_irrelevantly_restricted(&last, spec.function.active_inputs()),
                         runtime_ms,
                         last_box: last,
                     };
@@ -231,8 +229,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Vec<MethodSummary> {
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     let ranges = vec![(0.0, 1.0); m];
     spec.methods

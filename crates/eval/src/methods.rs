@@ -145,12 +145,7 @@ fn parse(name: &str) -> Option<Parsed> {
     })
 }
 
-fn make_trainer(
-    tag: char,
-    d: &Dataset,
-    tune: bool,
-    rng: &mut StdRng,
-) -> Box<dyn Trainer> {
+fn make_trainer(tag: char, d: &Dataset, tune: bool, rng: &mut StdRng) -> Box<dyn Trainer> {
     match tag {
         'f' => {
             let params = if tune {
@@ -239,9 +234,7 @@ pub fn run_method(
         SdKind::Bi { .. } => opts.l_bi,
         _ => opts.l_prim,
     };
-    let mut config = RedsConfig::default()
-        .with_l(l)
-        .with_sampler(opts.sampler);
+    let mut config = RedsConfig::default().with_l(l).with_sampler(opts.sampler);
     if parsed.probability {
         config = config.with_probability_labels();
     }
@@ -300,11 +293,13 @@ mod tests {
 
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] > 0.5 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -324,7 +319,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(2);
             let result = run_method(name, &d, &fast_opts(), &mut rng);
             assert!(result.is_ok(), "{name} failed: {result:?}");
-            assert!(!result.unwrap().boxes.is_empty(), "{name} returned no boxes");
+            assert!(
+                !result.unwrap().boxes.is_empty(),
+                "{name} returned no boxes"
+            );
         }
     }
 
@@ -377,8 +375,8 @@ mod tune_tests {
         };
         for name in ["RPf", "RPx", "RPs"] {
             let mut run_rng = StdRng::seed_from_u64(2);
-            let result = run_method(name, &d, &opts, &mut run_rng)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let result =
+                run_method(name, &d, &opts, &mut run_rng).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!result.boxes.is_empty(), "{name}");
         }
     }

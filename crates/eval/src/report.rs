@@ -82,11 +82,7 @@ pub fn markdown_table(summaries: &[MethodSummary], columns: &[Column]) -> String
 /// # Panics
 ///
 /// Panics when `baseline` is not among the summaries.
-pub fn relative_change_row(
-    summaries: &[MethodSummary],
-    baseline: &str,
-    column: Column,
-) -> String {
+pub fn relative_change_row(summaries: &[MethodSummary], baseline: &str, column: Column) -> String {
     let base = summaries
         .iter()
         .find(|s| s.method == baseline)

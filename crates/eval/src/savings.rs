@@ -33,11 +33,7 @@ pub fn n_required(curve: &[CurvePoint], quality: f64) -> Option<f64> {
 /// quality level `slow` reaches with `n_reference` simulations:
 /// `1 − N_fast(q) / n_reference`. Returns `None` when either curve
 /// cannot answer (reference point missing or quality unreachable).
-pub fn savings_at(
-    slow: &[CurvePoint],
-    fast: &[CurvePoint],
-    n_reference: f64,
-) -> Option<f64> {
+pub fn savings_at(slow: &[CurvePoint], fast: &[CurvePoint], n_reference: f64) -> Option<f64> {
     // Quality the slow method attains at the reference budget.
     let quality = interpolate(slow, n_reference)?;
     let n_fast = n_required(fast, quality)?;

@@ -177,7 +177,10 @@ mod tests {
         "det",
         2,
         &[0],
-        FunctionKind::Thresholded { raw: halfline, thr: 0.5 },
+        FunctionKind::Thresholded {
+            raw: halfline,
+            thr: 0.5,
+        },
     );
     const STO: BenchmarkFunction =
         BenchmarkFunction::new("sto", 1, &[0], FunctionKind::Probabilistic { prob: coin });
@@ -209,7 +212,9 @@ mod tests {
     #[test]
     fn label_dataset_has_right_shape() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = DET.label_dataset(vec![0.1, 0.5, 0.9, 0.5], &mut rng).unwrap();
+        let d = DET
+            .label_dataset(vec![0.1, 0.5, 0.9, 0.5], &mut rng)
+            .unwrap();
         assert_eq!(d.n(), 2);
         assert_eq!(d.labels(), &[1.0, 0.0]);
     }

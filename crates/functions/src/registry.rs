@@ -20,7 +20,9 @@ const A20: &[usize] = &[
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
 ];
 /// welchetal92: inputs 8 and 16 (1-based) are inert.
-const WELCH_ACTIVE: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 16, 17, 18, 19];
+const WELCH_ACTIVE: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 16, 17, 18, 19,
+];
 /// soblev99: input 20 (1-based) is inert.
 const SOBLEV_ACTIVE: &[usize] = &[
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,

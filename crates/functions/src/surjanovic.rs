@@ -115,10 +115,7 @@ pub fn sobol_g(x: &[f64]) -> f64 {
 /// Inputs 8 and 16 (1-based) are inactive.
 pub fn welchetal92(x: &[f64]) -> f64 {
     let z: Vec<f64> = x.iter().map(|&u| u - 0.5).collect();
-    5.0 * z[11] / (1.0 + z[0])
-        + 5.0 * (z[3] - z[19]).powi(2)
-        + z[4]
-        + 40.0 * z[18].powi(3)
+    5.0 * z[11] / (1.0 + z[0]) + 5.0 * (z[3] - z[19]).powi(2) + z[4] + 40.0 * z[18].powi(3)
         - 5.0 * z[18]
         + 0.05 * z[1]
         + 0.08 * z[2]
@@ -220,7 +217,11 @@ pub fn linketal06sin(x: &[f64]) -> f64 {
 /// Loeppky, Sacks & Welch (2013) function: seven active inputs with
 /// strongly unequal linear weights and three pairwise interactions.
 pub fn loepetal13(x: &[f64]) -> f64 {
-    6.0 * x[0] + 4.0 * x[1] + 5.5 * x[2] + 3.0 * x[0] * x[1] + 2.2 * x[0] * x[2]
+    6.0 * x[0]
+        + 4.0 * x[1]
+        + 5.5 * x[2]
+        + 3.0 * x[0] * x[1]
+        + 2.2 * x[0] * x[2]
         + 1.4 * x[1] * x[2]
         + x[3]
         + 0.5 * x[4]
@@ -287,7 +288,11 @@ pub fn morris(x: &[f64]) -> f64 {
     let mut y = 0.0;
     #[allow(clippy::needless_range_loop)] // index couples w with the coefficient rule
     for i in 0..20 {
-        let beta = if i < 10 { 20.0 } else { (-1.0f64).powi(i as i32 + 1) };
+        let beta = if i < 10 {
+            20.0
+        } else {
+            (-1.0f64).powi(i as i32 + 1)
+        };
         y += beta * w[i];
     }
     for i in 0..20 {
@@ -487,7 +492,10 @@ mod tests {
         let base = ellipse(&x);
         for j in 10..15 {
             x[j] = 0.9;
-            assert!((ellipse(&x) - base).abs() < 1e-12, "input {j} must be inert");
+            assert!(
+                (ellipse(&x) - base).abs() < 1e-12,
+                "input {j} must be inert"
+            );
         }
     }
 

@@ -2,12 +2,24 @@
 //! feature subsets. The forest's mean prediction over 0/1 labels is an
 //! estimate of `P(y = 1 | x)` — exactly the `f^am` the REDS "p" variants
 //! feed to the subgroup-discovery step (§6.1).
+//!
+//! ## Performance
+//!
+//! Trees are embarrassingly parallel: every tree draws its own seeded
+//! RNG stream up front, so training fans out across threads via
+//! `reds-par` with **bit-identical** output to the serial loop.
+//! [`Metamodel::predict_batch`] is overridden with a tree-major kernel:
+//! the outer loop walks trees, the inner loop walks points, so each
+//! tree's node arena stays hot in cache across the whole batch — the
+//! shape that dominates REDS's `L`-point pseudo-labeling. Per-point
+//! tree sums still accumulate in tree order, so batched and one-by-one
+//! prediction agree bit for bit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use reds_data::Dataset;
+use reds_data::{Dataset, SortedView};
 
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{NaiveTree, RegressionTree, TreeParams};
 use crate::{Metamodel, Trainer};
 
 /// Random forest hyperparameters.
@@ -51,37 +63,28 @@ impl RandomForest {
     pub fn fit(data: &Dataset, params: &RandomForestParams, rng: &mut impl Rng) -> Self {
         assert!(!data.is_empty(), "cannot train a forest on empty data");
         assert!(params.n_trees > 0, "need at least one tree");
-        let n = data.n();
-        let m = data.m();
-        let mtry = params
-            .mtry
-            .unwrap_or_else(|| (m as f64).sqrt().ceil() as usize)
-            .clamp(1, m);
-        let tree_params = TreeParams {
-            max_depth: params.max_depth,
-            min_samples_leaf: params.min_samples_leaf,
-            min_samples_split: 2 * params.min_samples_leaf.max(1),
-            mtry: Some(mtry),
-        };
-        // Independent seeded RNG streams keep training deterministic even
-        // if tree construction order ever changes.
-        let seeds: Vec<u64> = (0..params.n_trees).map(|_| rng.gen()).collect();
-        let trees = seeds
-            .into_iter()
-            .map(|seed| {
-                let mut trng = StdRng::seed_from_u64(seed);
-                let indices: Vec<usize> = (0..n).map(|_| trng.gen_range(0..n)).collect();
-                RegressionTree::fit(
-                    data.points(),
-                    data.labels(),
-                    m,
-                    &indices,
-                    &tree_params,
-                    &mut trng,
-                )
-            })
-            .collect();
-        Self { trees, m }
+        let (seeds, tree_params) = prepare(data, params, rng);
+        // Argsort every feature once for the whole forest; each tree
+        // derives its bootstrap's sorted columns from this in linear
+        // time (`SortedView` orders by `(value, row)`, the tie order
+        // the builders share).
+        let orders: Vec<Vec<u32>> = SortedView::new(data).into_columns();
+        // Independent seeded RNG streams keep training deterministic —
+        // and embarrassingly parallel — regardless of construction
+        // order or thread count.
+        let trees = reds_par::par_map(&seeds, |&seed| {
+            let (indices, mut trng) = bootstrap_for_seed(data.n(), seed);
+            RegressionTree::fit_with_orders(
+                data.points(),
+                data.labels(),
+                data.m(),
+                &indices,
+                &tree_params,
+                &orders,
+                &mut trng,
+            )
+        });
+        Self { trees, m: data.m() }
     }
 
     /// Number of trees in the ensemble.
@@ -97,6 +100,108 @@ impl RandomForest {
 
 impl Metamodel for RandomForest {
     fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Tree-major batched prediction: for each chunk of rows, the outer
+    /// loop walks trees and the inner loop walks the chunk, keeping one
+    /// tree's arena in cache across many points. Per-point sums still
+    /// accumulate in tree order, so the result is bit-identical to
+    /// per-point [`Metamodel::predict`]; chunks fan out across threads.
+    fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
+        assert_eq!(m, self.m, "prediction dimensionality mismatch");
+        assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let n = points.len() / m.max(1);
+        let mut out = vec![0.0f64; n];
+        // ~4k rows per chunk: large enough to amortise the per-tree
+        // pass, small enough to stay cache-resident and spread over
+        // workers.
+        let chunk_rows = 4096usize;
+        reds_par::par_fill_chunks(&mut out, chunk_rows, |start, acc| {
+            let rows = &points[start * m..(start + acc.len()) * m];
+            for tree in &self.trees {
+                tree.predict_into(rows, m, acc);
+            }
+            let n_trees = self.trees.len() as f64;
+            for v in acc.iter_mut() {
+                *v /= n_trees;
+            }
+        });
+        out
+    }
+}
+
+fn prepare(
+    data: &Dataset,
+    params: &RandomForestParams,
+    rng: &mut impl Rng,
+) -> (Vec<u64>, TreeParams) {
+    let m = data.m();
+    let mtry = params
+        .mtry
+        .unwrap_or_else(|| (m as f64).sqrt().ceil() as usize)
+        .clamp(1, m);
+    let tree_params = TreeParams {
+        max_depth: params.max_depth,
+        min_samples_leaf: params.min_samples_leaf,
+        min_samples_split: 2 * params.min_samples_leaf.max(1),
+        mtry: Some(mtry),
+    };
+    let seeds: Vec<u64> = (0..params.n_trees).map(|_| rng.gen()).collect();
+    (seeds, tree_params)
+}
+
+fn bootstrap_for_seed(n: usize, seed: u64) -> (Vec<usize>, StdRng) {
+    let mut trng = StdRng::seed_from_u64(seed);
+    let indices: Vec<usize> = (0..n).map(|_| trng.gen_range(0..n)).collect();
+    (indices, trng)
+}
+
+/// The pre-optimization forest: a serial loop over [`NaiveTree`]s with
+/// per-point enum-arena prediction (and the default serial
+/// `predict_batch`). Bit-identical predictions to [`RandomForest`];
+/// reference oracle for the equivalence tests and the baseline of the
+/// `presort` benchmarks only.
+#[doc(hidden)]
+pub struct NaiveRandomForest {
+    trees: Vec<NaiveTree>,
+    m: usize,
+}
+
+impl NaiveRandomForest {
+    /// Serial pre-optimization training; same RNG consumption as
+    /// [`RandomForest::fit`].
+    pub fn fit(data: &Dataset, params: &RandomForestParams, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot train a forest on empty data");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let (seeds, tree_params) = prepare(data, params, rng);
+        let trees = seeds
+            .into_iter()
+            .map(|seed| {
+                let (indices, mut trng) = bootstrap_for_seed(data.n(), seed);
+                NaiveTree::fit(
+                    data.points(),
+                    data.labels(),
+                    data.m(),
+                    &indices,
+                    &tree_params,
+                    &mut trng,
+                )
+            })
+            .collect();
+        Self { trees, m: data.m() }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Metamodel for NaiveRandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
         let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
         sum / self.trees.len() as f64
     }
@@ -120,18 +225,14 @@ mod tests {
 
     fn ring_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| {
-                let d = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
-                if d < 0.09 {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            let d = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+            if d < 0.09 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -178,8 +279,10 @@ mod tests {
     fn forest_variance_is_lower_than_single_tree() {
         // Train many models on different resamples; the spread of the
         // forest's prediction at a fixed point should not exceed a single
-        // tree's (the low-variance property REDS relies on, §6.2).
-        let x = [0.62, 0.62];
+        // tree's (the low-variance property REDS relies on, §6.2). The
+        // probe sits just inside the ring boundary, where individual
+        // trees genuinely disagree across resamples.
+        let x = [0.77, 0.6];
         let tree_params = RandomForestParams {
             n_trees: 1,
             ..Default::default()
@@ -189,7 +292,7 @@ mod tests {
             ..Default::default()
         };
         let spread = |params: &RandomForestParams| {
-            let preds: Vec<f64> = (0..12)
+            let preds: Vec<f64> = (0..24)
                 .map(|s| {
                     let d = ring_data(150, 100 + s);
                     let mut rng = StdRng::seed_from_u64(200 + s);
@@ -199,7 +302,55 @@ mod tests {
             let mean = preds.iter().sum::<f64>() / preds.len() as f64;
             preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64
         };
-        assert!(spread(&forest_params) <= spread(&tree_params) + 1e-9);
+        let (sf, st) = (spread(&forest_params), spread(&tree_params));
+        assert!(sf <= st + 1e-9, "forest spread {sf} vs tree spread {st}");
+    }
+
+    #[test]
+    fn parallel_fit_and_batch_predict_match_naive_bitwise() {
+        let train = ring_data(200, 21);
+        let params = RandomForestParams {
+            n_trees: 40,
+            ..Default::default()
+        };
+        let fast = RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(22));
+        let slow = NaiveRandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(22));
+        let query: Vec<f64> = (0..400).map(|i| (i % 29) as f64 / 29.0).collect();
+        let batch_fast = fast.predict_batch(&query, 2);
+        let batch_slow = slow.predict_batch(&query, 2);
+        for (i, x) in query.chunks_exact(2).enumerate() {
+            let point = fast.predict(x);
+            assert_eq!(
+                point.to_bits(),
+                slow.predict(x).to_bits(),
+                "fit mismatch at {i}"
+            );
+            assert_eq!(
+                point.to_bits(),
+                batch_fast[i].to_bits(),
+                "batch mismatch at {i}"
+            );
+            assert_eq!(point.to_bits(), batch_slow[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_predictions() {
+        let train = ring_data(150, 23);
+        let params = RandomForestParams {
+            n_trees: 16,
+            ..Default::default()
+        };
+        reds_par::set_max_threads(Some(1));
+        let serial = RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(24));
+        reds_par::set_max_threads(Some(4));
+        let parallel = RandomForest::fit(&train, &params, &mut StdRng::seed_from_u64(24));
+        reds_par::set_max_threads(None);
+        let query: Vec<f64> = (0..200).map(|i| (i % 17) as f64 / 17.0).collect();
+        assert_eq!(
+            serial.predict_batch(&query, 2),
+            parallel.predict_batch(&query, 2)
+        );
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
 //! w    = −G / (H + λ)
 //! ```
+//!
+//! Like the CART builder, each round's tree grows on presorted columns
+//! (dataset argsorted once per fit, subsample columns derived by an
+//! `O(m·n)` filter, stable partition per split), and the per-round
+//! margin refresh over all `N` rows fans out across threads.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use reds_data::Dataset;
+use reds_data::{Dataset, SortedView};
 
 use crate::{Metamodel, Trainer};
 
@@ -92,6 +97,12 @@ impl GradientTree {
     }
 }
 
+/// Per-round tree builder on presorted columns — the same
+/// stable-partition scheme as the CART builder: the dataset is
+/// argsorted once per fit, each round derives its subsample's sorted
+/// columns by filtering (`O(m·n)`), and every split partitions the
+/// columns in place, so there is no per-node sorting. Subsample rows
+/// are distinct, so rows themselves are the ids.
 struct GradBuilder<'a> {
     points: &'a [f64],
     grad: &'a [f64],
@@ -99,16 +110,31 @@ struct GradBuilder<'a> {
     m: usize,
     params: &'a GbdtParams,
     nodes: Vec<Node>,
+    /// Node-order row array; `build` works on `main[lo..hi]`.
+    main: Vec<u32>,
+    /// Per-feature row arrays sorted by `(value, row)`, subsample only.
+    cols: Vec<Vec<u32>>,
+    /// Scratch buffer for the stable partitions.
+    scratch: Vec<u32>,
+    /// Per-row side flag of the split being applied.
+    goes_left: &'a mut [bool],
 }
 
 impl<'a> GradBuilder<'a> {
-    fn sums(&self, idx: &[usize]) -> (f64, f64) {
-        idx.iter()
-            .fold((0.0, 0.0), |(g, h), &i| (g + self.grad[i], h + self.hess[i]))
+    #[inline]
+    fn value(&self, row: u32, feature: usize) -> f64 {
+        self.points[row as usize * self.m + feature]
     }
 
-    fn build(&mut self, idx: &mut [usize], depth: usize) -> u32 {
-        let (g_total, h_total) = self.sums(idx);
+    fn sums(&self, lo: usize, hi: usize) -> (f64, f64) {
+        self.main[lo..hi].iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + self.grad[i as usize], h + self.hess[i as usize])
+        })
+    }
+
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let n = hi - lo;
+        let (g_total, h_total) = self.sums(lo, hi);
         let leaf_weight = -g_total / (h_total + self.params.lambda);
         let push_leaf = |nodes: &mut Vec<Node>| {
             nodes.push(Node::Leaf {
@@ -116,22 +142,20 @@ impl<'a> GradBuilder<'a> {
             });
             (nodes.len() - 1) as u32
         };
-        if depth >= self.params.max_depth || idx.len() < 2 {
+        if depth >= self.params.max_depth || n < 2 {
             return push_leaf(&mut self.nodes);
         }
         let parent_score = g_total * g_total / (h_total + self.params.lambda);
         let mut best: Option<(usize, f64, f64)> = None;
         for feature in 0..self.m {
-            idx.sort_unstable_by(|&a, &b| {
-                self.points[a * self.m + feature].total_cmp(&self.points[b * self.m + feature])
-            });
+            let col = &self.cols[feature][lo..hi];
             let mut gl = 0.0;
             let mut hl = 0.0;
-            for k in 0..idx.len() - 1 {
-                gl += self.grad[idx[k]];
-                hl += self.hess[idx[k]];
-                let v_here = self.points[idx[k] * self.m + feature];
-                let v_next = self.points[idx[k + 1] * self.m + feature];
+            for k in 0..n - 1 {
+                gl += self.grad[col[k] as usize];
+                hl += self.hess[col[k] as usize];
+                let v_here = self.value(col[k], feature);
+                let v_next = self.value(col[k + 1], feature);
                 if v_next <= v_here {
                     continue;
                 }
@@ -145,13 +169,29 @@ impl<'a> GradBuilder<'a> {
                         - parent_score)
                     - self.params.gamma;
                 if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
-                    best = Some((feature, 0.5 * (v_here + v_next), gain));
+                    best = Some((feature, crate::tree::split_threshold(v_here, v_next), gain));
                 }
             }
         }
         let Some((feature, threshold, _)) = best else {
             return push_leaf(&mut self.nodes);
         };
+        for &row in &self.main[lo..hi] {
+            self.goes_left[row as usize] = self.value(row, feature) <= threshold;
+        }
+        let split_at = crate::tree::stable_partition(
+            self.goes_left,
+            &mut self.scratch,
+            &mut self.main[lo..hi],
+        );
+        debug_assert!(split_at > 0 && split_at < n);
+        for f in 0..self.m {
+            let mut col = std::mem::take(&mut self.cols[f]);
+            let at =
+                crate::tree::stable_partition(self.goes_left, &mut self.scratch, &mut col[lo..hi]);
+            debug_assert_eq!(at, split_at);
+            self.cols[f] = col;
+        }
         let node_id = self.nodes.len() as u32;
         self.nodes.push(Node::Split {
             feature,
@@ -159,17 +199,8 @@ impl<'a> GradBuilder<'a> {
             left: 0,
             right: 0,
         });
-        let mut left_idx: Vec<usize> = Vec::new();
-        let mut right_idx: Vec<usize> = Vec::new();
-        for &i in idx.iter() {
-            if self.points[i * self.m + feature] <= threshold {
-                left_idx.push(i);
-            } else {
-                right_idx.push(i);
-            }
-        }
-        let left = self.build(&mut left_idx, depth + 1);
-        let right = self.build(&mut right_idx, depth + 1);
+        let left = self.build(lo, lo + split_at, depth + 1);
+        let right = self.build(lo + split_at, hi, depth + 1);
         if let Node::Split {
             left: l, right: r, ..
         } = &mut self.nodes[node_id as usize]
@@ -220,6 +251,11 @@ impl Gbdt {
         let mut trees = Vec::with_capacity(params.n_rounds);
         let mut all_rows: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
+        // Argsort every feature once; each round's subsample columns
+        // derive from these by an O(m·n) filter.
+        let global_cols: Vec<Vec<u32>> = SortedView::new(data).into_columns();
+        let mut in_sample = vec![false; n];
+        let mut goes_left = vec![false; n];
         for _ in 0..params.n_rounds {
             for i in 0..n {
                 let p = sigmoid(margins[i]);
@@ -227,7 +263,20 @@ impl Gbdt {
                 hess[i] = (p * (1.0 - p)).max(1e-16);
             }
             all_rows.shuffle(rng);
-            let mut idx = all_rows[..sample_size].to_vec();
+            in_sample.fill(false);
+            for &r in &all_rows[..sample_size] {
+                in_sample[r] = true;
+            }
+            let main: Vec<u32> = (0..n as u32).filter(|&r| in_sample[r as usize]).collect();
+            let cols: Vec<Vec<u32>> = global_cols
+                .iter()
+                .map(|gc| {
+                    gc.iter()
+                        .copied()
+                        .filter(|&r| in_sample[r as usize])
+                        .collect()
+                })
+                .collect();
             let mut builder = GradBuilder {
                 points: data.points(),
                 grad: &grad,
@@ -235,15 +284,24 @@ impl Gbdt {
                 m,
                 params,
                 nodes: Vec::new(),
+                main,
+                cols,
+                scratch: vec![0; sample_size],
+                goes_left: &mut goes_left,
             };
-            builder.build(&mut idx, 0);
+            builder.build(0, sample_size, 0);
             let tree = GradientTree {
                 nodes: builder.nodes,
             };
-            #[allow(clippy::needless_range_loop)] // parallel arrays margins/data
-            for i in 0..n {
-                margins[i] += params.eta * tree.predict(data.point(i));
-            }
+            // The per-round margin refresh walks the whole dataset
+            // through the new tree — the dominant per-round cost at
+            // large N. Rows are independent, so it fans out across
+            // threads with bit-identical results.
+            reds_par::par_fill_chunks(&mut margins, 8192, |start, chunk| {
+                for (k, margin) in chunk.iter_mut().enumerate() {
+                    *margin += params.eta * tree.predict(data.point(start + k));
+                }
+            });
             trees.push(tree);
         }
         Self {
@@ -270,6 +328,28 @@ impl Metamodel for Gbdt {
     fn predict(&self, x: &[f64]) -> f64 {
         sigmoid(self.margin(x))
     }
+
+    /// Tree-major batched prediction (see `RandomForest::predict_batch`
+    /// for the cache rationale): bit-identical to per-point
+    /// [`Metamodel::predict`], parallel over row chunks.
+    fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
+        assert_eq!(m, self.m, "prediction dimensionality mismatch");
+        assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let n = points.len() / m.max(1);
+        let mut out = vec![0.0f64; n];
+        reds_par::par_fill_chunks(&mut out, 4096, |start, acc| {
+            let rows = &points[start * m..(start + acc.len()) * m];
+            for tree in &self.trees {
+                for (slot, x) in rows.chunks_exact(m).enumerate() {
+                    acc[slot] += tree.predict(x);
+                }
+            }
+            for v in acc.iter_mut() {
+                *v = sigmoid(self.base_score + self.eta * *v);
+            }
+        });
+        out
+    }
 }
 
 impl Trainer for GbdtParams {
@@ -290,17 +370,13 @@ mod tests {
 
     fn stripe_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
-            3,
-            |x| {
-                if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.2 {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        Dataset::from_fn((0..n * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+            if x[0] > 0.3 && x[0] < 0.7 && x[1] > 0.2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -366,12 +442,7 @@ mod tests {
     #[test]
     fn constant_labels_predict_the_constant() {
         let mut rng = StdRng::seed_from_u64(8);
-        let d = Dataset::from_fn(
-            (0..100).map(|_| rng.gen::<f64>()).collect(),
-            1,
-            |_| 1.0,
-        )
-        .unwrap();
+        let d = Dataset::from_fn((0..100).map(|_| rng.gen::<f64>()).collect(), 1, |_| 1.0).unwrap();
         let model = Gbdt::fit(&d, &GbdtParams::default(), &mut rng);
         assert!(model.predict(&[0.5]) > 0.99);
     }

@@ -27,10 +27,10 @@ mod svm;
 mod tree;
 pub mod tune;
 
-pub use forest::{RandomForest, RandomForestParams};
+pub use forest::{NaiveRandomForest, RandomForest, RandomForestParams};
 pub use gbdt::{Gbdt, GbdtParams};
 pub use svm::{Svm, SvmParams};
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{NaiveTree, RegressionTree, TreeParams};
 
 use rand::rngs::StdRng;
 use reds_data::Dataset;

@@ -144,10 +144,12 @@ impl Svm {
                 let ai = alpha_i_old + y[i] * y[j] * (alpha_j_old - aj);
                 alpha[i] = ai;
                 alpha[j] = aj;
-                let b1 = b - e_i
+                let b1 = b
+                    - e_i
                     - y[i] * (ai - alpha_i_old) * kernel[i * n + i]
                     - y[j] * (aj - alpha_j_old) * kernel[i * n + j];
-                let b2 = b - e_j
+                let b2 = b
+                    - e_j
                     - y[i] * (ai - alpha_i_old) * kernel[i * n + j]
                     - y[j] * (aj - alpha_j_old) * kernel[j * n + j];
                 b = if ai > 0.0 && ai < params.c {
@@ -213,6 +215,20 @@ impl Metamodel for Svm {
             0.0
         }
     }
+
+    /// Rows are independent, so the kernel expansion fans out across
+    /// threads; per-row arithmetic is unchanged (bit-identical).
+    fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
+        assert_eq!(m, self.m, "prediction dimensionality mismatch");
+        assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let mut out = vec![0.0f64; points.len() / m.max(1)];
+        reds_par::par_fill_chunks(&mut out, 1024, |start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.predict(&points[(start + k) * m..(start + k + 1) * m]);
+            }
+        });
+        out
+    }
 }
 
 impl Trainer for SvmParams {
@@ -233,27 +249,25 @@ mod tests {
 
     fn halfspace_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| if x[0] + x[1] > 1.0 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] + x[1] > 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
     fn disc_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| {
-                if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) < 0.08 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -292,12 +306,7 @@ mod tests {
     #[test]
     fn single_class_data_predicts_that_class() {
         let mut rng = StdRng::seed_from_u64(7);
-        let d = Dataset::from_fn(
-            (0..60).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |_| 1.0,
-        )
-        .unwrap();
+        let d = Dataset::from_fn((0..60).map(|_| rng.gen::<f64>()).collect(), 2, |_| 1.0).unwrap();
         let svm = Svm::fit(&d, &SvmParams::default(), &mut rng);
         assert_eq!(svm.predict(&[0.5, 0.5]), 1.0);
         assert_eq!(svm.n_support(), 0);

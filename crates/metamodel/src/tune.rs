@@ -122,11 +122,13 @@ mod tests {
 
     fn band_data(n: usize, m: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * m).map(|_| rng.gen::<f64>()).collect(),
-            m,
-            |x| if x[0] > 0.4 && x[0] < 0.9 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+            if x[0] > 0.4 && x[0] < 0.9 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 

@@ -85,27 +85,25 @@ mod tests {
 
     /// A clean halfspace: boundary only at x = 0.5.
     fn halfspace(n: usize) -> Dataset {
-        Dataset::from_fn(
-            (0..n).map(|i| i as f64 / n as f64).collect(),
-            1,
-            |x| if x[0] >= 0.5 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n).map(|i| i as f64 / n as f64).collect(), 1, |x| {
+            if x[0] >= 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .expect("valid shape")
     }
 
     /// Maximally fragmented: alternating labels along the line.
     fn checker(n: usize) -> Dataset {
-        Dataset::from_fn(
-            (0..n).map(|i| i as f64 / n as f64).collect(),
-            1,
-            |x| {
-                if ((x[0] * n as f64) as usize).is_multiple_of(2) {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        Dataset::from_fn((0..n).map(|i| i as f64 / n as f64).collect(), 1, |x| {
+            if ((x[0] * n as f64) as usize).is_multiple_of(2) {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .expect("valid shape")
     }
 
@@ -124,10 +122,7 @@ mod tests {
     #[test]
     fn complexity_orders_boundaries() {
         assert!(nn_disagreement(&checker(100)) > nn_disagreement(&halfspace(100)));
-        assert!(
-            boundary_fraction(&checker(100), 0.02)
-                > boundary_fraction(&halfspace(100), 0.02)
-        );
+        assert!(boundary_fraction(&checker(100), 0.02) > boundary_fraction(&halfspace(100), 0.02));
     }
 
     #[test]
@@ -151,12 +146,7 @@ mod tests {
 
     #[test]
     fn single_class_data_has_no_boundary() {
-        let d = Dataset::from_fn(
-            (0..50).map(|i| i as f64).collect(),
-            1,
-            |_| 1.0,
-        )
-        .expect("valid");
+        let d = Dataset::from_fn((0..50).map(|i| i as f64).collect(), 1, |_| 1.0).expect("valid");
         assert_eq!(nn_disagreement(&d), 0.0);
         assert_eq!(boundary_fraction(&d, 10.0), 0.0);
     }

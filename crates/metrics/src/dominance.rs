@@ -34,7 +34,10 @@ mod tests {
         assert!(dominates(&[1.0, 1.0], &[0.5, 1.0]));
         assert!(dominates(&[1.0, 1.0], &[0.5, 0.5]));
         assert!(!dominates(&[1.0, 0.4], &[0.5, 0.5]));
-        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal is not dominated");
+        assert!(
+            !dominates(&[1.0, 1.0], &[1.0, 1.0]),
+            "equal is not dominated"
+        );
     }
 
     #[test]

@@ -23,5 +23,7 @@ mod trajectory;
 pub use complexity::{boundary_fraction, nn_disagreement};
 pub use consistency::{consistency, pairwise_consistency};
 pub use dominance::{dominates, pareto_front};
-pub use score::{n_irrelevantly_restricted, n_restricted, precision, recall, score_box, wracc, BoxScore};
+pub use score::{
+    n_irrelevantly_restricted, n_restricted, precision, recall, score_box, wracc, BoxScore,
+};
 pub use trajectory::{pr_auc, pr_points, PrPoint};

@@ -72,7 +72,11 @@ pub fn score_box(b: &HyperBox, data: &Dataset) -> BoxScore {
         n,
         n_pos,
         precision: if n > 0.0 { n_pos / n } else { 0.0 },
-        recall: if total_pos > 0.0 { n_pos / total_pos } else { 0.0 },
+        recall: if total_pos > 0.0 {
+            n_pos / total_pos
+        } else {
+            0.0
+        },
         wracc: wracc(b, data),
         n_restricted: b.n_restricted(),
     }
@@ -84,11 +88,13 @@ mod tests {
 
     fn toy() -> (Dataset, HyperBox) {
         // 10 points on a line, positives at x ≥ 0.6 (4 of them).
-        let d = Dataset::from_fn(
-            (0..10).map(|i| i as f64 / 10.0).collect(),
-            1,
-            |x| if x[0] >= 0.6 { 1.0 } else { 0.0 },
-        )
+        let d = Dataset::from_fn((0..10).map(|i| i as f64 / 10.0).collect(), 1, |x| {
+            if x[0] >= 0.6 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap();
         let b = HyperBox::from_bounds(vec![(0.5, 1.0)]);
         (d, b)

@@ -69,11 +69,13 @@ mod tests {
 
     fn line_data() -> Dataset {
         // Positives at x ≥ 0.5 (50 of 100).
-        Dataset::from_fn(
-            (0..100).map(|i| i as f64 / 100.0).collect(),
-            1,
-            |x| if x[0] >= 0.5 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..100).map(|i| i as f64 / 100.0).collect(), 1, |x| {
+            if x[0] >= 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 

@@ -84,11 +84,7 @@ fn pareto_filter(boxes: Vec<HyperBox>, d_val: &Dataset) -> Vec<HyperBox> {
 impl SubgroupDiscovery for PrimBumping {
     fn discover(&self, d: &Dataset, d_val: &Dataset, rng: &mut StdRng) -> SdResult {
         let m_full = d.m();
-        let m_sub = self
-            .params
-            .m_features
-            .unwrap_or(m_full)
-            .clamp(1, m_full);
+        let m_sub = self.params.m_features.unwrap_or(m_full).clamp(1, m_full);
         let prim = Prim::new(self.params.prim.clone());
         let mut all_boxes: Vec<HyperBox> = Vec::new();
         let mut columns: Vec<usize> = (0..m_full).collect();
@@ -102,12 +98,7 @@ impl SubgroupDiscovery for PrimBumping {
                 .expect("subset indices are valid by construction");
             let mut run_rng = StdRng::seed_from_u64(rng.gen());
             let result = prim.discover(&projected, &projected, &mut run_rng);
-            all_boxes.extend(
-                result
-                    .boxes
-                    .into_iter()
-                    .map(|b| b.embed(&subset, m_full)),
-            );
+            all_boxes.extend(result.boxes.into_iter().map(|b| b.embed(&subset, m_full)));
         }
         let boxes = pareto_filter(all_boxes, d_val);
         debug_assert!(!boxes.is_empty());
@@ -127,11 +118,13 @@ mod tests {
 
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 4).map(|_| rng.gen::<f64>()).collect(),
-            4,
-            |x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 4).map(|_| rng.gen::<f64>()).collect(), 4, |x| {
+            if x[0] > 0.5 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 

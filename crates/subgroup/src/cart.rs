@@ -100,11 +100,13 @@ mod tests {
 
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
-            3,
-            |x| if x[0] > 0.6 && x[1] > 0.7 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+            if x[0] > 0.6 && x[1] > 0.7 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .expect("valid shape")
     }
 
@@ -152,12 +154,8 @@ mod tests {
     #[test]
     fn all_negative_data_returns_only_the_root_box() {
         let mut rng = StdRng::seed_from_u64(7);
-        let d = Dataset::from_fn(
-            (0..100).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |_| 0.0,
-        )
-        .expect("valid shape");
+        let d = Dataset::from_fn((0..100).map(|_| rng.gen::<f64>()).collect(), 2, |_| 0.0)
+            .expect("valid shape");
         let result = CartSd::default().discover(&d, &d, &mut rng);
         assert_eq!(result.boxes.len(), 1);
         assert_eq!(result.boxes[0].n_restricted(), 0);

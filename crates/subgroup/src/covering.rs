@@ -57,19 +57,15 @@ mod tests {
     /// Two disjoint interesting corners.
     fn two_corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 2).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| {
-                let a = x[0] < 0.25 && x[1] < 0.25;
-                let b = x[0] > 0.75 && x[1] > 0.75;
-                if a || b {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        Dataset::from_fn((0..n * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            let a = x[0] < 0.25 && x[1] < 0.25;
+            let b = x[0] > 0.75 && x[1] > 0.75;
+            if a || b {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -84,9 +80,7 @@ mod tests {
         let b2 = results[1].last_box().unwrap();
         // The two boxes should land in different corners: one contains
         // (0.1, 0.1), the other (0.9, 0.9).
-        let covers = |b: &crate::HyperBox| {
-            (b.contains(&[0.1, 0.1]), b.contains(&[0.9, 0.9]))
-        };
+        let covers = |b: &crate::HyperBox| (b.contains(&[0.1, 0.1]), b.contains(&[0.9, 0.9]));
         let (c1, c2) = (covers(b1), covers(b2));
         assert_ne!(c1, c2, "boxes cover the same corner: {c1:?} {c2:?}");
         assert!(c1.0 || c1.1);
@@ -96,12 +90,7 @@ mod tests {
     #[test]
     fn covering_stops_on_empty_positives() {
         let mut rng = StdRng::seed_from_u64(3);
-        let d = Dataset::from_fn(
-            (0..100).map(|_| rng.gen::<f64>()).collect(),
-            1,
-            |_| 0.0,
-        )
-        .unwrap();
+        let d = Dataset::from_fn((0..100).map(|_| rng.gen::<f64>()).collect(), 1, |_| 0.0).unwrap();
         let prim = Prim::default();
         let results = covering(&prim, &d, &d, 5, &mut rng);
         assert!(results.is_empty());

@@ -1,15 +1,14 @@
 //! The hyperbox `B = Π_{j=1}^M [a_j^l, a_j^r]` of §3.1.
 
 use reds_data::Dataset;
-use serde::{Deserialize, Serialize};
+use reds_json::Json;
 
 /// An axis-aligned box over the input space; unbounded sides are `±∞`.
 ///
-/// Serializable with `serde`, so discovered scenarios can be persisted
-/// and reloaded (infinities round-trip as JSON `null` per serde's f64
-/// handling is lossy — prefer a binary format or the finite clipped
-/// form for JSON interchange).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Persistable as JSON through [`HyperBox::to_json`] /
+/// [`HyperBox::from_json`]; unbounded sides round-trip losslessly as
+/// JSON `null`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HyperBox {
     bounds: Vec<(f64, f64)>,
 }
@@ -155,6 +154,74 @@ impl HyperBox {
         Some(HyperBox { bounds })
     }
 
+    /// JSON representation: `{"bounds": [[lo, hi], ...]}`. The common
+    /// unbounded sides encode as `null` (lower `null` = `−∞`, upper
+    /// `null` = `+∞`); the remaining non-finite values (`+∞` lower,
+    /// `−∞` upper — an empty box — or NaN) encode as the strings
+    /// `"inf"` / `"-inf"` / `"nan"`, so every bound survives the round
+    /// trip losslessly.
+    pub fn to_json(&self) -> Json {
+        fn bound_to_json(v: f64, open_at: f64) -> Json {
+            if v == open_at {
+                Json::Null
+            } else if v.is_finite() {
+                Json::Num(v)
+            } else if v.is_nan() {
+                Json::str("nan")
+            } else if v == f64::INFINITY {
+                Json::str("inf")
+            } else {
+                Json::str("-inf")
+            }
+        }
+        Json::obj([(
+            "bounds",
+            Json::arr(self.bounds.iter().map(|&(lo, hi)| {
+                Json::arr([
+                    bound_to_json(lo, f64::NEG_INFINITY),
+                    bound_to_json(hi, f64::INFINITY),
+                ])
+            })),
+        )])
+    }
+
+    /// Reconstructs a box from [`HyperBox::to_json`] output.
+    ///
+    /// Returns `None` when the document does not have that shape or a
+    /// lower bound exceeds its upper bound.
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        fn bound_from_json(v: &Json, open_at: f64) -> Option<f64> {
+            match v {
+                Json::Null => Some(open_at),
+                Json::Str(s) => match s.as_str() {
+                    "inf" => Some(f64::INFINITY),
+                    "-inf" => Some(f64::NEG_INFINITY),
+                    "nan" => Some(f64::NAN),
+                    _ => None,
+                },
+                other => other.as_f64(),
+            }
+        }
+        let pairs = doc.get("bounds")?.as_array()?;
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut bounds = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let lo = bound_from_json(&pair[0], f64::NEG_INFINITY)?;
+            let hi = bound_from_json(&pair[1], f64::INFINITY)?;
+            if lo > hi {
+                return None;
+            }
+            bounds.push((lo, hi));
+        }
+        Some(Self { bounds })
+    }
+
     /// Embeds a box defined over a column subset back into full
     /// dimensionality (PRIM with bumping trains on projected data;
     /// Algorithm 2, line 6). `columns[j]` is the full-space index of the
@@ -206,12 +273,7 @@ mod tests {
 
     #[test]
     fn counting_with_soft_labels() {
-        let d = Dataset::new(
-            vec![0.1, 0.5, 0.9],
-            vec![0.25, 0.75, 1.0],
-            1,
-        )
-        .unwrap();
+        let d = Dataset::new(vec![0.1, 0.5, 0.9], vec![0.25, 0.75, 1.0], 1).unwrap();
         let b = HyperBox::from_bounds(vec![(0.4, 1.0)]);
         let (n, np) = b.count(&d);
         assert_eq!(n, 2.0);
@@ -252,6 +314,50 @@ mod tests {
     #[should_panic(expected = "lower bound above upper bound")]
     fn invalid_bounds_panic() {
         let _ = HyperBox::from_bounds(vec![(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_infinities() {
+        let mut b = HyperBox::unbounded(3);
+        b.set_lower(0, 0.25);
+        b.set_upper(2, 0.75);
+        let doc = b.to_json();
+        let text = doc.to_string_pretty();
+        let parsed = reds_json::from_str(&text).expect("parses");
+        let back = HyperBox::from_json(&parsed).expect("valid box document");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_all_nonfinite_bounds() {
+        // +∞ lower / −∞ upper describe an empty box; NaN bounds are
+        // degenerate but must not silently widen into ±∞ on reload.
+        let b = HyperBox {
+            bounds: vec![
+                (f64::INFINITY, f64::INFINITY),
+                (f64::NEG_INFINITY, f64::NEG_INFINITY),
+                (f64::NAN, f64::NAN),
+            ],
+        };
+        let parsed = reds_json::from_str(&b.to_json().to_string_compact()).expect("parses");
+        let back = HyperBox::from_json(&parsed).expect("valid box document");
+        assert_eq!(back.bound(0), (f64::INFINITY, f64::INFINITY));
+        assert_eq!(back.bound(1), (f64::NEG_INFINITY, f64::NEG_INFINITY));
+        assert!(back.bound(2).0.is_nan() && back.bound(2).1.is_nan());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            "{}",
+            r#"{"bounds": []}"#,
+            r#"{"bounds": [[0.5]]}"#,
+            r#"{"bounds": [[1.0, 0.0]]}"#,
+            r#"{"bounds": [["a", 1.0]]}"#,
+        ] {
+            let doc = reds_json::from_str(bad).expect("syntactically valid");
+            assert!(HyperBox::from_json(&doc).is_none(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use covering::covering;
 pub use hyperbox::HyperBox;
 pub use multiclass::{discover_classes, ClassScenario};
 pub use pca::{covariance_matrix, jacobi_eigen, PcaPrim, PcaRotation, RotatedScenario};
-pub use prim::{PeelCriterion, Prim, PrimParams};
+pub use prim::{NaivePrim, PeelCriterion, Prim, PrimParams};
 pub use rule::Rule;
 
 use rand::rngs::StdRng;
@@ -50,8 +50,8 @@ use reds_data::Dataset;
 /// first); for BI a single box; for bumping the Pareto-optimal set
 /// ordered by decreasing recall.
 ///
-/// Serializable, so discovered scenario sets can be persisted.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+/// Persistable as JSON via [`SdResult::to_json`] / [`SdResult::from_json`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct SdResult {
     /// Discovered boxes, coarsest (highest recall) first.
     pub boxes: Vec<HyperBox>,
@@ -62,6 +62,26 @@ impl SdResult {
     /// precision, interpretability, and consistency).
     pub fn last_box(&self) -> Option<&HyperBox> {
         self.boxes.last()
+    }
+
+    /// JSON representation: `{"boxes": [...]}` of [`HyperBox::to_json`]
+    /// documents.
+    pub fn to_json(&self) -> reds_json::Json {
+        reds_json::Json::obj([(
+            "boxes",
+            reds_json::Json::arr(self.boxes.iter().map(HyperBox::to_json)),
+        )])
+    }
+
+    /// Reconstructs a result from [`SdResult::to_json`] output.
+    pub fn from_json(doc: &reds_json::Json) -> Option<Self> {
+        let boxes = doc
+            .get("boxes")?
+            .as_array()?
+            .iter()
+            .map(HyperBox::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self { boxes })
     }
 }
 

@@ -50,8 +50,7 @@ pub fn discover_classes(
     distinct.dedup();
     let mut out = Vec::with_capacity(distinct.len());
     for class in distinct {
-        let share =
-            classes.iter().filter(|&&c| c == class).count() as f64 / n.max(1) as f64;
+        let share = classes.iter().filter(|&&c| c == class).count() as f64 / n.max(1) as f64;
         if share < min_share {
             continue;
         }

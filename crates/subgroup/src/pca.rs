@@ -327,18 +327,14 @@ mod tests {
         // Interesting region: a diagonal band 0.9 < x0 + x1 < 1.3 —
         // axis-aligned PRIM needs many cuts, PCA-PRIM one rotated axis.
         let mut rng = StdRng::seed_from_u64(3);
-        let d = Dataset::from_fn(
-            (0..2_000).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |x| {
-                let s = x[0] + x[1];
-                if s > 0.9 && s < 1.3 {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        let d = Dataset::from_fn((0..2_000).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            let s = x[0] + x[1];
+            if s > 0.9 && s < 1.3 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .expect("valid shape");
         let scenario = PcaPrim::default().discover(&d, &mut rng);
         let (n, np) = scenario.count(&d);
@@ -356,12 +352,8 @@ mod tests {
     #[test]
     fn degenerate_positive_sets_fall_back_to_all_points() {
         let mut rng = StdRng::seed_from_u64(4);
-        let d = Dataset::from_fn(
-            (0..100).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |_| 0.0,
-        )
-        .expect("valid shape");
+        let d = Dataset::from_fn((0..100).map(|_| rng.gen::<f64>()).collect(), 2, |_| 0.0)
+            .expect("valid shape");
         // No positives at all: must not panic.
         let scenario = PcaPrim::default().discover(&d, &mut rng);
         assert!(!scenario.boxes.is_empty());

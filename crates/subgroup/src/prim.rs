@@ -8,9 +8,25 @@
 //! a nested sequence of boxes (the *peeling trajectory*); following
 //! Algorithm 1, the trajectory is truncated at the box with the best
 //! validation precision.
+//!
+//! ## Performance
+//!
+//! Peeling runs on a [`SortedView`]: every dimension is argsorted once
+//! (`O(M·N log N)`), each step scans the surviving prefix/suffix of each
+//! presorted column (`O(α·n)` per candidate) and compacts the columns
+//! (`O(M·n)`), matching the paper's §7 bound `O(M·(N log N + N/α))`
+//! instead of re-sorting all `M` columns at every step. The in-box count
+//! on the validation data is maintained incrementally as well — a cut
+//! only ever removes validation rows through the freshly moved face, so
+//! no full `contains` rescan is needed.
+//!
+//! The pre-optimization implementation is kept as [`NaivePrim`] (hidden
+//! from docs): it is the reference oracle for the equivalence tests and
+//! the baseline for the `presort` benchmarks, and produces bit-identical
+//! trajectories.
 
 use rand::rngs::StdRng;
-use reds_data::Dataset;
+use reds_data::{Dataset, SortedView};
 
 use crate::{HyperBox, SdResult, SubgroupDiscovery};
 
@@ -71,6 +87,30 @@ struct Candidate {
     n_after: usize,
 }
 
+impl PrimParams {
+    fn score_of(&self, mean_after: f64, mean_before: f64, removed: usize) -> f64 {
+        match self.criterion {
+            PeelCriterion::MeanLabel => mean_after,
+            PeelCriterion::GainPerPoint => (mean_after - mean_before) / removed as f64,
+        }
+    }
+}
+
+/// Sum of the labels of `rows` (ascending row order, the same
+/// association as a filtered scan over the dataset).
+fn label_sum(d: &Dataset, rows: &[u32]) -> f64 {
+    rows.iter().map(|&i| d.label(i as usize)).sum()
+}
+
+/// Mean label over `rows`, or `None` when empty.
+fn mean_label(d: &Dataset, rows: &[u32]) -> Option<f64> {
+    if rows.is_empty() {
+        None
+    } else {
+        Some(label_sum(d, rows) / rows.len() as f64)
+    }
+}
+
 impl Prim {
     /// Creates PRIM with the given hyperparameters.
     pub fn new(params: PrimParams) -> Self {
@@ -89,116 +129,117 @@ impl Prim {
     /// The full peeling trajectory on `d`, *not* truncated at the best
     /// validation box. Exposed for trajectory plots (Figure 11).
     pub fn peel_trajectory(&self, d: &Dataset) -> Vec<HyperBox> {
-        self.peel(d, d)
+        self.peel(d, d).0
     }
 
-    fn peel(&self, d: &Dataset, d_val: &Dataset) -> Vec<HyperBox> {
+    /// Runs the peeling phase. Returns the trajectory together with the
+    /// validation precision of every box (`None` when the box covers no
+    /// validation rows), computed incrementally alongside the peel.
+    fn peel(&self, d: &Dataset, d_val: &Dataset) -> (Vec<HyperBox>, Vec<Option<f64>>) {
         let m = d.m();
         let mut boxes = vec![HyperBox::unbounded(m)];
+        let mut val_rows: Vec<u32> = (0..d_val.n() as u32).collect();
+        let mut precisions = vec![mean_label(d_val, &val_rows)];
         if d.is_empty() {
-            return boxes;
+            return (boxes, precisions);
         }
-        let mut in_idx: Vec<usize> = (0..d.n()).collect();
-        let mut val_count = d_val.n();
+        let mut view = SortedView::new(d);
+        // Active training rows in ascending order; only used for the
+        // per-step label total, which keeps float summation order
+        // identical to the naive reference.
+        let mut in_rows: Vec<u32> = (0..d.n() as u32).collect();
         let mut current = HyperBox::unbounded(m);
         loop {
-            if in_idx.len() < self.params.min_points.max(2)
-                || val_count < self.params.min_points
+            if in_rows.len() < self.params.min_points.max(2)
+                || val_rows.len() < self.params.min_points
             {
                 break;
             }
-            let Some(best) = self.best_peel(d, &in_idx, m) else {
+            let total_pos = label_sum(d, &in_rows);
+            let Some(best) = self.best_peel(d, &view, total_pos) else {
                 break;
             };
             if best.low {
                 current.set_lower(best.dim, best.new_bound);
+                view.retain_at_least(d, best.dim, best.new_bound);
+                in_rows.retain(|&i| d.value(i as usize, best.dim) >= best.new_bound);
+                val_rows.retain(|&i| d_val.value(i as usize, best.dim) >= best.new_bound);
             } else {
                 current.set_upper(best.dim, best.new_bound);
+                view.retain_at_most(d, best.dim, best.new_bound);
+                in_rows.retain(|&i| d.value(i as usize, best.dim) <= best.new_bound);
+                val_rows.retain(|&i| d_val.value(i as usize, best.dim) <= best.new_bound);
             }
-            in_idx.retain(|&i| {
-                let v = d.value(i, best.dim);
-                if best.low {
-                    v >= best.new_bound
-                } else {
-                    v <= best.new_bound
-                }
-            });
-            debug_assert_eq!(in_idx.len(), best.n_after);
-            val_count = d_val
-                .iter()
-                .filter(|(x, _)| current.contains(x))
-                .count();
+            debug_assert_eq!(in_rows.len(), best.n_after);
+            debug_assert_eq!(view.n_active(), best.n_after);
             boxes.push(current.clone());
+            precisions.push(mean_label(d_val, &val_rows));
         }
-        boxes
+        (boxes, precisions)
     }
 
-    /// Evaluates all `2M` peeling candidates and returns the one with the
-    /// highest post-cut mean label, or `None` when no dimension can be
-    /// cut (all in-box values equal everywhere).
-    fn best_peel(&self, d: &Dataset, in_idx: &[usize], m: usize) -> Option<Candidate> {
-        let n_in = in_idx.len();
+    /// Evaluates all `2M` peeling candidates on the presorted columns
+    /// and returns the one with the highest score, or `None` when no
+    /// dimension can be cut (all in-box values equal everywhere).
+    ///
+    /// Per dimension this touches `O(α·n)` entries plus the tie run at
+    /// the quantile — no sorting.
+    fn best_peel(&self, d: &Dataset, view: &SortedView, total_pos: f64) -> Option<Candidate> {
+        let n_in = view.n_active();
         let k = ((self.params.alpha * n_in as f64).floor() as usize).max(1);
         if k >= n_in {
             return None;
         }
-        let total_pos: f64 = in_idx.iter().map(|&i| d.label(i)).sum();
         let mean_before = total_pos / n_in as f64;
-        let score_of = |mean_after: f64, removed: usize| match self.params.criterion {
-            PeelCriterion::MeanLabel => mean_after,
-            PeelCriterion::GainPerPoint => (mean_after - mean_before) / removed as f64,
-        };
-        let mut values: Vec<(f64, f64)> = Vec::with_capacity(n_in);
         let mut best: Option<Candidate> = None;
-        for dim in 0..m {
-            values.clear();
-            values.extend(in_idx.iter().map(|&i| (d.value(i, dim), d.label(i))));
-            values.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let mut consider = |cand: Candidate| {
+            if best.as_ref().is_none_or(|b| cand.score > b.score) {
+                best = Some(cand);
+            }
+        };
+        for dim in 0..view.m() {
+            let col = view.column(dim);
+            let value = |rank: usize| d.value(col[rank] as usize, dim);
             // Low cut: the new lower bound is the value at rank k; every
-            // point strictly below it is peeled off. Ties never straddle
-            // the bound, so the removed count can exceed... no: points
-            // equal to the bound stay, points below go.
-            let low_bound = values[k].0;
-            let removed_low = values.iter().take_while(|&&(v, _)| v < low_bound).count();
+            // point strictly below it is peeled off, points equal to it
+            // stay. Ties straddling the α-quantile therefore shrink the
+            // removed count below k (possibly to zero, killing the
+            // candidate) — they never split.
+            let low_bound = value(k);
+            let mut removed_low = k;
+            while removed_low > 0 && value(removed_low - 1) == low_bound {
+                removed_low -= 1;
+            }
             if removed_low > 0 && removed_low < n_in {
-                let removed_pos: f64 = values[..removed_low].iter().map(|&(_, y)| y).sum();
+                let removed_pos = label_sum(d, &col[..removed_low]);
                 let n_after = n_in - removed_low;
                 let mean_after = (total_pos - removed_pos) / n_after as f64;
-                let score = score_of(mean_after, removed_low);
-                if best.as_ref().is_none_or(|b| score > b.score) {
-                    best = Some(Candidate {
-                        dim,
-                        low: true,
-                        new_bound: low_bound,
-                        score,
-                        n_after,
-                    });
-                }
+                consider(Candidate {
+                    dim,
+                    low: true,
+                    new_bound: low_bound,
+                    score: self.params.score_of(mean_after, mean_before, removed_low),
+                    n_after,
+                });
             }
-            // High cut, mirrored.
-            let high_bound = values[n_in - 1 - k].0;
-            let removed_high = values
-                .iter()
-                .rev()
-                .take_while(|&&(v, _)| v > high_bound)
-                .count();
+            // High cut, mirrored: remove points strictly above the value
+            // at rank n − 1 − k.
+            let high_bound = value(n_in - 1 - k);
+            let mut removed_high = k;
+            while removed_high > 0 && value(n_in - removed_high) == high_bound {
+                removed_high -= 1;
+            }
             if removed_high > 0 && removed_high < n_in {
-                let removed_pos: f64 = values[n_in - removed_high..]
-                    .iter()
-                    .map(|&(_, y)| y)
-                    .sum();
+                let removed_pos = label_sum(d, &col[n_in - removed_high..]);
                 let n_after = n_in - removed_high;
                 let mean_after = (total_pos - removed_pos) / n_after as f64;
-                let score = score_of(mean_after, removed_high);
-                if best.as_ref().is_none_or(|b| score > b.score) {
-                    best = Some(Candidate {
-                        dim,
-                        low: false,
-                        new_bound: high_bound,
-                        score,
-                        n_after,
-                    });
-                }
+                consider(Candidate {
+                    dim,
+                    low: false,
+                    new_bound: high_bound,
+                    score: self.params.score_of(mean_after, mean_before, removed_high),
+                    n_after,
+                });
             }
         }
         best
@@ -256,9 +297,7 @@ impl Prim {
                     let add_pos: f64 = outside[..take].iter().map(|&(_, y)| y).sum();
                     let new_bound = outside[take - 1].0;
                     let new_mean = (pos_in + add_pos) / (n_in + take as f64);
-                    if new_mean > mean_in
-                        && best.is_none_or(|(_, _, _, bm)| new_mean > bm)
-                    {
+                    if new_mean > mean_in && best.is_none_or(|(_, _, _, bm)| new_mean > bm) {
                         best = Some((dim, low, new_bound, new_mean));
                     }
                 }
@@ -273,19 +312,21 @@ impl Prim {
             }
         }
     }
-}
 
-impl SubgroupDiscovery for Prim {
-    fn discover(&self, d: &Dataset, d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
-        let mut boxes = self.peel(d, d_val);
-        // Algorithm 1, line 5: keep the box with the highest validation
-        // precision and all preceding boxes.
-        // Ties on validation precision favour the earlier (larger) box:
-        // equal purity at higher recall dominates.
-        let best = boxes
+    /// Shared trajectory-truncation and pasting logic of Algorithm 1,
+    /// line 5: keep the box with the highest validation precision and
+    /// all preceding boxes. Ties on validation precision favour the
+    /// earlier (larger) box: equal purity at higher recall dominates.
+    fn finish(
+        &self,
+        d: &Dataset,
+        mut boxes: Vec<HyperBox>,
+        precisions: Vec<Option<f64>>,
+    ) -> SdResult {
+        let best = precisions
             .iter()
             .enumerate()
-            .filter_map(|(i, b)| b.mean_inside(d_val).map(|p| (i, p)))
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i)
             .unwrap_or(boxes.len() - 1);
@@ -297,9 +338,165 @@ impl SubgroupDiscovery for Prim {
         }
         SdResult { boxes }
     }
+}
+
+impl SubgroupDiscovery for Prim {
+    fn discover(&self, d: &Dataset, d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+        let (boxes, precisions) = self.peel(d, d_val);
+        self.finish(d, boxes, precisions)
+    }
 
     fn name(&self) -> &'static str {
         "P"
+    }
+}
+
+/// The pre-optimization PRIM implementation: re-sorts every dimension
+/// at every peeling step (`O(M·N log N)` **per step**) and rescans the
+/// full validation set with `contains` after every cut.
+///
+/// Kept as the reference oracle for the equivalence tests and as the
+/// baseline of the `presort` benchmarks; produces trajectories
+/// bit-identical to [`Prim`]. Not part of the supported API.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct NaivePrim {
+    prim: Prim,
+}
+
+impl NaivePrim {
+    /// Naive PRIM with the given hyperparameters.
+    pub fn new(params: PrimParams) -> Self {
+        Self {
+            prim: Prim::new(params),
+        }
+    }
+
+    /// The full untruncated peeling trajectory, matching
+    /// [`Prim::peel_trajectory`].
+    pub fn peel_trajectory(&self, d: &Dataset) -> Vec<HyperBox> {
+        self.peel(d, d).0
+    }
+
+    fn peel(&self, d: &Dataset, d_val: &Dataset) -> (Vec<HyperBox>, Vec<Option<f64>>) {
+        let params = &self.prim.params;
+        let m = d.m();
+        let mut boxes = vec![HyperBox::unbounded(m)];
+        let all_val: Vec<u32> = (0..d_val.n() as u32).collect();
+        let mut precisions = vec![mean_label(d_val, &all_val)];
+        if d.is_empty() {
+            return (boxes, precisions);
+        }
+        let mut in_idx: Vec<usize> = (0..d.n()).collect();
+        let mut val_count = d_val.n();
+        let mut current = HyperBox::unbounded(m);
+        loop {
+            if in_idx.len() < params.min_points.max(2) || val_count < params.min_points {
+                break;
+            }
+            let Some(best) = self.best_peel(d, &in_idx, m) else {
+                break;
+            };
+            if best.low {
+                current.set_lower(best.dim, best.new_bound);
+            } else {
+                current.set_upper(best.dim, best.new_bound);
+            }
+            in_idx.retain(|&i| {
+                let v = d.value(i, best.dim);
+                if best.low {
+                    v >= best.new_bound
+                } else {
+                    v <= best.new_bound
+                }
+            });
+            debug_assert_eq!(in_idx.len(), best.n_after);
+            let in_val: Vec<u32> = (0..d_val.n() as u32)
+                .filter(|&i| current.contains(d_val.point(i as usize)))
+                .collect();
+            val_count = in_val.len();
+            boxes.push(current.clone());
+            precisions.push(mean_label(d_val, &in_val));
+        }
+        (boxes, precisions)
+    }
+
+    /// Per-step candidate search, re-sorting each dimension from
+    /// scratch. Sorts by `(value, row)` — the same total order the
+    /// presorted columns maintain — so label sums associate identically
+    /// and the produced trajectories match [`Prim`] bit for bit.
+    fn best_peel(&self, d: &Dataset, in_idx: &[usize], m: usize) -> Option<Candidate> {
+        let params = &self.prim.params;
+        let n_in = in_idx.len();
+        let k = ((params.alpha * n_in as f64).floor() as usize).max(1);
+        if k >= n_in {
+            return None;
+        }
+        let total_pos: f64 = in_idx.iter().map(|&i| d.label(i)).sum();
+        let mean_before = total_pos / n_in as f64;
+        let mut values: Vec<(f64, f64, usize)> = Vec::with_capacity(n_in);
+        let mut best: Option<Candidate> = None;
+        for dim in 0..m {
+            values.clear();
+            values.extend(in_idx.iter().map(|&i| (d.value(i, dim), d.label(i), i)));
+            values.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+            let low_bound = values[k].0;
+            let removed_low = values
+                .iter()
+                .take_while(|&&(v, _, _)| v < low_bound)
+                .count();
+            if removed_low > 0 && removed_low < n_in {
+                let removed_pos: f64 = values[..removed_low].iter().map(|&(_, y, _)| y).sum();
+                let n_after = n_in - removed_low;
+                let mean_after = (total_pos - removed_pos) / n_after as f64;
+                let score = params.score_of(mean_after, mean_before, removed_low);
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(Candidate {
+                        dim,
+                        low: true,
+                        new_bound: low_bound,
+                        score,
+                        n_after,
+                    });
+                }
+            }
+            let high_bound = values[n_in - 1 - k].0;
+            let removed_high = values
+                .iter()
+                .rev()
+                .take_while(|&&(v, _, _)| v > high_bound)
+                .count();
+            if removed_high > 0 && removed_high < n_in {
+                let removed_pos: f64 = values[n_in - removed_high..]
+                    .iter()
+                    .map(|&(_, y, _)| y)
+                    .sum();
+                let n_after = n_in - removed_high;
+                let mean_after = (total_pos - removed_pos) / n_after as f64;
+                let score = params.score_of(mean_after, mean_before, removed_high);
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(Candidate {
+                        dim,
+                        low: false,
+                        new_bound: high_bound,
+                        score,
+                        n_after,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+impl SubgroupDiscovery for NaivePrim {
+    fn discover(&self, d: &Dataset, d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+        let (boxes, precisions) = self.peel(d, d_val);
+        self.prim.finish(d, boxes, precisions)
+    }
+
+    fn name(&self) -> &'static str {
+        "P(naive)"
     }
 }
 
@@ -312,11 +509,13 @@ mod tests {
     /// Corner concept: y = 1 iff x0 > 0.6 and x1 > 0.7.
     fn corner_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::from_fn(
-            (0..n * 3).map(|_| rng.gen::<f64>()).collect(),
-            3,
-            |x| if x[0] > 0.6 && x[1] > 0.7 { 1.0 } else { 0.0 },
-        )
+        Dataset::from_fn((0..n * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+            if x[0] > 0.6 && x[1] > 0.7 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .unwrap()
     }
 
@@ -371,12 +570,7 @@ mod tests {
     #[test]
     fn pure_data_yields_trivial_trajectory() {
         let mut rng = StdRng::seed_from_u64(7);
-        let d = Dataset::from_fn(
-            (0..120).map(|_| rng.gen::<f64>()).collect(),
-            2,
-            |_| 1.0,
-        )
-        .unwrap();
+        let d = Dataset::from_fn((0..120).map(|_| rng.gen::<f64>()).collect(), 2, |_| 1.0).unwrap();
         let result = Prim::default().discover(&d, &d, &mut rng);
         // Everything is interesting: the unrestricted box already has
         // precision 1, so truncation keeps the first box.
@@ -389,12 +583,8 @@ mod tests {
         // Probability ramp in x: PRIM on soft labels should cut from the
         // low-x side first.
         let mut rng = StdRng::seed_from_u64(8);
-        let d = Dataset::from_fn(
-            (0..500).map(|_| rng.gen::<f64>()).collect(),
-            1,
-            |x| x[0],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_fn((0..500).map(|_| rng.gen::<f64>()).collect(), 1, |x| x[0]).unwrap();
         let result = Prim::default().discover(&d, &d, &mut rng);
         let last = result.last_box().unwrap();
         assert!(last.bound(0).0 > 0.5, "lower bound {}", last.bound(0).0);
@@ -413,9 +603,7 @@ mod tests {
         .discover(&d, &d, &mut rng);
         let recall = |b: &HyperBox| b.count(&d).1;
         // Pasting can only re-include points, never lose them.
-        assert!(
-            recall(pasted.last_box().unwrap()) >= recall(plain.last_box().unwrap())
-        );
+        assert!(recall(pasted.last_box().unwrap()) >= recall(plain.last_box().unwrap()));
     }
 
     #[test]
@@ -465,6 +653,75 @@ mod tests {
                     assert!(w[1].bound(j).1 <= w[0].bound(j).1, "{criterion:?}");
                 }
             }
+        }
+    }
+
+    /// Regression test for tie handling at the α-quantile cut: a run of
+    /// equal values straddling rank `k` must never be split — the
+    /// removed count shrinks to the strict-inequality prefix, and when
+    /// the tie run reaches the bottom of the column the candidate is
+    /// dropped entirely.
+    #[test]
+    fn ties_straddling_the_quantile_are_never_split() {
+        // 40 points in 1-D: value 0.0 × 10, then 0.5 × 20, then 1.0 × 10.
+        // α = 0.3 → k = 12, which lands inside the 0.5 tie run: the low
+        // cut must remove exactly the ten 0.0 points, keeping every 0.5.
+        let mut points = vec![0.0; 10];
+        points.extend(vec![0.5; 20]);
+        points.extend(vec![1.0; 10]);
+        let labels: Vec<f64> = points
+            .iter()
+            .map(|&v| if v > 0.25 { 1.0 } else { 0.0 })
+            .collect();
+        let d = Dataset::new(points, labels, 1).unwrap();
+        let prim = Prim::new(PrimParams {
+            alpha: 0.3,
+            min_points: 5,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = prim.discover(&d, &d, &mut rng);
+        let last = result.last_box().unwrap();
+        assert_eq!(
+            last.bound(0).0,
+            0.5,
+            "tie run was split: {:?}",
+            last.bound(0)
+        );
+        let (n, np) = last.count(&d);
+        assert_eq!(n, 30.0, "every tied 0.5 point must survive the cut");
+        assert_eq!(np, 30.0);
+        // The naive oracle agrees bit-for-bit on this edge case.
+        let naive = NaivePrim::new(PrimParams {
+            alpha: 0.3,
+            min_points: 5,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let reference = naive.discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes, reference.boxes);
+    }
+
+    /// When *all* values of the peel dimension are tied, no cut exists
+    /// and peeling terminates rather than looping or panicking.
+    #[test]
+    fn all_tied_column_cannot_be_peeled() {
+        let points = vec![0.7; 60];
+        let labels: Vec<f64> = (0..60).map(|i| (i % 2) as f64).collect();
+        let d = Dataset::new(points, labels, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = Prim::default().discover(&d, &d, &mut rng);
+        assert_eq!(result.boxes.len(), 1);
+        assert_eq!(result.boxes[0].n_restricted(), 0);
+    }
+
+    #[test]
+    fn naive_and_presorted_trajectories_match_bitwise() {
+        for seed in 0..8 {
+            let d = corner_data(250, 100 + seed);
+            let full = Prim::default().peel_trajectory(&d);
+            let reference = NaivePrim::default().peel_trajectory(&d);
+            assert_eq!(full, reference, "seed {seed}");
         }
     }
 }

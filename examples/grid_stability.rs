@@ -25,7 +25,9 @@ fn main() {
     // 400 grid simulations on a Halton design (the paper's setup).
     println!("running 400 DSGC simulations...");
     let design = halton(400, dsgc.m());
-    let data = dsgc.label_dataset(design, &mut rng).expect("consistent shape");
+    let data = dsgc
+        .label_dataset(design, &mut rng)
+        .expect("consistent shape");
     println!("stable share in sample: {:.1}%", 100.0 * data.pos_rate());
 
     // REDS with a random forest: pseudo-label 30 000 parameter points
@@ -34,7 +36,9 @@ fn main() {
         RandomForestParams::default(),
         RedsConfig::default().with_l(30_000),
     );
-    let result = reds.run(&data, &Prim::default(), &mut rng).expect("pipeline runs");
+    let result = reds
+        .run(&data, &Prim::default(), &mut rng)
+        .expect("pipeline runs");
     let stable_box = result.last_box().expect("non-empty trajectory");
 
     // Validate the discovered stability scenario with fresh simulations.
@@ -54,8 +58,18 @@ fn main() {
     // Translate unit-cube bounds back to physical grid parameters for
     // the restricted inputs.
     let labels = [
-        "tau_1 (s)", "tau_2 (s)", "tau_3 (s)", "tau_4 (s)", "gamma_1", "gamma_2", "gamma_3",
-        "gamma_4", "P_1", "P_2", "P_3", "K",
+        "tau_1 (s)",
+        "tau_2 (s)",
+        "tau_3 (s)",
+        "tau_4 (s)",
+        "gamma_1",
+        "gamma_2",
+        "gamma_3",
+        "gamma_4",
+        "P_1",
+        "P_2",
+        "P_3",
+        "K",
     ];
     println!("\nstability conditions (physical units):");
     for (j, &(lo, hi)) in stable_box.bounds().iter().enumerate() {

@@ -42,16 +42,12 @@ fn main() {
 
     // REDS pseudo-labels a large pool once; both discoverers use it.
     let reds = Reds::xgboost(GbdtParams::default(), RedsConfig::default().with_l(30_000));
-    let model = reds.train_metamodel(&data, &mut rng).expect("training runs");
+    let model = reds
+        .train_metamodel(&data, &mut rng)
+        .expect("training runs");
     let pool = uniform(30_000, m, &mut rng);
-    let d_new = Dataset::from_fn(pool, m, |x| {
-        if model.predict(x) > 0.5 {
-            1.0
-        } else {
-            0.0
-        }
-    })
-    .expect("consistent shape");
+    let d_new = Dataset::from_fn(pool, m, |x| if model.predict(x) > 0.5 { 1.0 } else { 0.0 })
+        .expect("consistent shape");
 
     // Honest test data.
     let test_points = uniform(20_000, m, &mut rng);

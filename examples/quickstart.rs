@@ -24,11 +24,16 @@ fn main() {
     let n = 300;
     let design = latin_hypercube(n, f.m(), &mut rng);
     let data = f.label_dataset(design, &mut rng).expect("consistent shape");
-    println!("simulated {n} runs; {:.1}% interesting", 100.0 * data.pos_rate());
+    println!(
+        "simulated {n} runs; {:.1}% interesting",
+        100.0 * data.pos_rate()
+    );
 
     // A large test set stands in for ground truth.
     let test_points = uniform(20_000, f.m(), &mut rng);
-    let test = f.label_dataset(test_points, &mut rng).expect("consistent shape");
+    let test = f
+        .label_dataset(test_points, &mut rng)
+        .expect("consistent shape");
 
     // Conventional scenario discovery: PRIM directly on the data.
     let prim = Prim::default();

@@ -46,7 +46,9 @@ fn main() {
 
     // Honest evaluation data from the same distribution.
     let test_points = logit_normal(20_000, f.m(), 0.0, 1.0, &mut rng);
-    let test = f.label_dataset(test_points, &mut rng).expect("consistent shape");
+    let test = f
+        .label_dataset(test_points, &mut rng)
+        .expect("consistent shape");
     for (name, result) in [("PRIM (labeled only)", &plain), ("REDS (semi-sup.)", &semi)] {
         // Pick the F1-optimal compromise box from the trajectory — the
         // choice a domain expert makes interactively (§5).

@@ -35,9 +35,13 @@ fn main() {
         RandomForestParams::default(),
         // "RPfp": probability pseudo-labels — the best performer on
         // third-party data in the paper (Table 5).
-        RedsConfig::default().with_l(20_000).with_probability_labels(),
+        RedsConfig::default()
+            .with_l(20_000)
+            .with_probability_labels(),
     );
-    let boosted = reds.run(&split.train, &prim, &mut rng).expect("pipeline runs");
+    let boosted = reds
+        .run(&split.train, &prim, &mut rng)
+        .expect("pipeline runs");
 
     println!("\nwhich conditions flip the lake into the eutrophic state?");
     for (name, result) in [("PRIM", &plain), ("REDS(RPfp)", &boosted)] {
@@ -52,9 +56,21 @@ fn main() {
         );
     }
     let b = boosted.last_box().expect("non-empty trajectory");
-    let names = ["b (removal)", "q (recycling)", "inflow mean", "inflow stdev", "delta"];
+    let names = [
+        "b (removal)",
+        "q (recycling)",
+        "inflow mean",
+        "inflow stdev",
+        "delta",
+    ];
     println!("\nREDS scenario in lake-model units:");
-    let ranges = [(0.1, 0.45), (2.0, 4.5), (0.01, 0.05), (0.001, 0.005), (0.93, 0.99)];
+    let ranges = [
+        (0.1, 0.45),
+        (2.0, 4.5),
+        (0.01, 0.05),
+        (0.001, 0.005),
+        (0.93, 0.99),
+    ];
     for (j, &(lo, hi)) in b.bounds().iter().enumerate() {
         if b.is_restricted(j) {
             let (a, z) = ranges[j];

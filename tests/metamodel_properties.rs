@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reds::data::Dataset;
 use reds::metamodel::{
-    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, RegressionTree, Svm,
-    SvmParams, TreeParams,
+    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, RegressionTree, Svm, SvmParams,
+    TreeParams,
 };
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {

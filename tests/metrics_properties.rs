@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use reds::data::Dataset;
 use reds::metrics::{
-    consistency, dominates, pairwise_consistency, pareto_front, pr_auc, precision, recall,
-    wracc,
+    consistency, dominates, pairwise_consistency, pareto_front, pr_auc, precision, recall, wracc,
 };
 use reds::subgroup::HyperBox;
 
@@ -25,9 +24,7 @@ fn dataset_strategy(m: usize) -> impl Strategy<Value = Dataset> {
             prop::collection::vec(0.0f64..1.0, n * m),
             prop::collection::vec(0.0f64..=1.0, n),
         )
-            .prop_map(move |(points, labels)| {
-                Dataset::new(points, labels, m).expect("valid shape")
-            })
+            .prop_map(move |(points, labels)| Dataset::new(points, labels, m).expect("valid shape"))
     })
 }
 

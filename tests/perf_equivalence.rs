@@ -1,0 +1,299 @@
+//! Equivalence oracle for the presorted/parallel hot paths.
+//!
+//! The `SortedView`-based PRIM, the stable-partition CART builder, the
+//! parallel forest, and the tree-major batched predictors must produce
+//! **bit-identical** results to the pre-optimization reference
+//! implementations (`NaivePrim`, `NaiveTree`, `NaiveRandomForest`,
+//! per-point `predict`). These tests sweep
+//! more than 20 seeded datasets plus the degenerate shapes that break
+//! index bookkeeping: empty data, constant columns, all-ties columns,
+//! soft labels, and tie runs straddling the α-quantile.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::core::{Reds, RedsConfig};
+use reds::data::Dataset;
+use reds::metamodel::{
+    Gbdt, GbdtParams, Metamodel, NaiveRandomForest, NaiveTree, RandomForest, RandomForestParams,
+    RegressionTree, Svm, SvmParams, TreeParams,
+};
+use reds::subgroup::{HyperBox, NaivePrim, PeelCriterion, Prim, PrimParams, SubgroupDiscovery};
+
+/// Bitwise equality of two trajectories (stricter than `==`: `0.0` vs
+/// `-0.0` and NaN payloads count as differences).
+fn assert_boxes_bits_eq(a: &[HyperBox], b: &[HyperBox], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: trajectory lengths differ");
+    for (step, (ba, bb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ba.m(), bb.m(), "{context}: box {step} dimensionality");
+        for j in 0..ba.m() {
+            let ((la, ha), (lb, hb)) = (ba.bound(j), bb.bound(j));
+            assert!(
+                la.to_bits() == lb.to_bits() && ha.to_bits() == hb.to_bits(),
+                "{context}: box {step} dim {j}: ({la}, {ha}) vs ({lb}, {hb})"
+            );
+        }
+    }
+}
+
+/// A randomized dataset family covering hard labels, soft labels,
+/// constant columns, and heavy value ties, keyed by `seed`.
+fn dataset_for_seed(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0xE0_0000 + seed);
+    let m = 2 + (seed as usize % 4); // 2..=5 dims
+    let n = 150 + (seed as usize % 5) * 60;
+    let flavor = seed % 4;
+    let points: Vec<f64> = (0..n * m)
+        .map(|k| {
+            let v: f64 = rng.gen();
+            match flavor {
+                // Continuous values.
+                0 => v,
+                // Quantized: many exact ties in every column.
+                1 => (v * 6.0).floor() / 6.0,
+                // One constant column, rest continuous.
+                2 if k % m == 1 => 0.5,
+                _ => v,
+            }
+        })
+        .collect();
+    let labels: Vec<f64> = points
+        .chunks_exact(m)
+        .map(|x| {
+            if seed % 3 == 2 {
+                // Soft labels in [0, 1].
+                (x[0] * 0.7 + x[m - 1] * 0.3).clamp(0.0, 1.0)
+            } else if x[0] > 0.55 && x[m - 1] > 0.4 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Dataset::new(points, labels, m).expect("valid shape")
+}
+
+#[test]
+fn prim_matches_naive_bitwise_across_twenty_plus_seeds() {
+    for seed in 0..24u64 {
+        let d = dataset_for_seed(seed);
+        let params = PrimParams {
+            alpha: if seed % 2 == 0 { 0.05 } else { 0.13 },
+            min_points: 15,
+            criterion: if seed % 5 == 0 {
+                PeelCriterion::GainPerPoint
+            } else {
+                PeelCriterion::MeanLabel
+            },
+            ..Default::default()
+        };
+        let fast = Prim::new(params.clone());
+        let slow = NaivePrim::new(params);
+        // Full untruncated trajectories.
+        assert_boxes_bits_eq(
+            &fast.peel_trajectory(&d),
+            &slow.peel_trajectory(&d),
+            &format!("trajectory seed {seed}"),
+        );
+        // Truncated discover, with the training data as validation.
+        let a = fast.discover(&d, &d, &mut StdRng::seed_from_u64(seed));
+        let b = slow.discover(&d, &d, &mut StdRng::seed_from_u64(seed));
+        assert_boxes_bits_eq(&a.boxes, &b.boxes, &format!("discover seed {seed}"));
+        // Distinct validation data exercises the incremental tracker.
+        let d_val = dataset_for_seed(seed + 1000);
+        if d_val.m() == d.m() {
+            let a = fast.discover(&d, &d_val, &mut StdRng::seed_from_u64(seed));
+            let b = slow.discover(&d, &d_val, &mut StdRng::seed_from_u64(seed));
+            assert_boxes_bits_eq(&a.boxes, &b.boxes, &format!("val seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn prim_edge_cases_match_naive() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let edge_cases = [
+        // Empty dataset.
+        Dataset::empty(3).unwrap(),
+        // Fewer rows than min_points.
+        Dataset::new(vec![0.1, 0.9, 0.4, 0.6], vec![1.0, 0.0], 2).unwrap(),
+        // Every column constant: nothing can be peeled.
+        Dataset::new(vec![0.5; 80], vec![1.0; 40], 2).unwrap(),
+        // All-ties column next to a continuous one.
+        Dataset::from_fn(
+            (0..200)
+                .map(|k| if k % 2 == 0 { 0.25 } else { rng.gen() })
+                .collect(),
+            2,
+            |x| if x[1] > 0.5 { 1.0 } else { 0.0 },
+        )
+        .unwrap(),
+        // Tie run straddling the quantile cut.
+        {
+            let mut points = vec![0.0; 12];
+            points.extend(vec![0.5; 30]);
+            points.extend(vec![1.0; 8]);
+            let labels = points
+                .iter()
+                .map(|&v| if v > 0.2 { 1.0 } else { 0.0 })
+                .collect();
+            Dataset::new(points, labels, 1).unwrap()
+        },
+    ];
+    for (i, d) in edge_cases.iter().enumerate() {
+        let a = Prim::default().discover(d, d, &mut StdRng::seed_from_u64(2));
+        let b = NaivePrim::default().discover(d, d, &mut StdRng::seed_from_u64(2));
+        assert_boxes_bits_eq(&a.boxes, &b.boxes, &format!("edge case {i}"));
+    }
+}
+
+#[test]
+fn tree_builders_match_bitwise_across_seeds() {
+    for seed in 0..20u64 {
+        let d = dataset_for_seed(seed);
+        let (n, m) = (d.n(), d.m());
+        let mut boot = StdRng::seed_from_u64(seed ^ 0xB007);
+        let indices: Vec<usize> = (0..n).map(|_| boot.gen_range(0..n)).collect();
+        let params = TreeParams {
+            mtry: if seed % 2 == 0 {
+                None
+            } else {
+                Some(1 + seed as usize % m)
+            },
+            min_samples_leaf: 1 + seed as usize % 3,
+            ..TreeParams::default()
+        };
+        let fast = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            m,
+            &indices,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let slow = NaiveTree::fit(
+            d.points(),
+            d.labels(),
+            m,
+            &indices,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(fast.n_nodes(), slow.n_nodes(), "seed {seed}");
+        for i in 0..n {
+            let (a, b) = (fast.predict(d.point(i)), slow.predict(d.point(i)));
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "seed {seed} row {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_parallel_fit_and_batch_predict_match_naive() {
+    for seed in 0..6u64 {
+        let d = dataset_for_seed(seed);
+        let params = RandomForestParams {
+            n_trees: 30,
+            ..Default::default()
+        };
+        let fast = RandomForest::fit(&d, &params, &mut StdRng::seed_from_u64(seed));
+        let slow = NaiveRandomForest::fit(&d, &params, &mut StdRng::seed_from_u64(seed));
+        let query: Vec<f64> = dataset_for_seed(seed + 50)
+            .points()
+            .iter()
+            .copied()
+            .take(40 * d.m())
+            .collect();
+        let batch = fast.predict_batch(&query, d.m());
+        for (i, x) in query.chunks_exact(d.m()).enumerate() {
+            let (a, b) = (fast.predict(x), slow.predict(x));
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "seed {seed} row {i}: {a} vs {b}"
+            );
+            assert!(
+                a.to_bits() == batch[i].to_bits(),
+                "batch seed {seed} row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gbdt_and_svm_batch_predictions_match_per_point() {
+    let d = dataset_for_seed(3);
+    let query: Vec<f64> = dataset_for_seed(53)
+        .points()
+        .iter()
+        .copied()
+        .take(60 * d.m())
+        .collect();
+
+    let gbdt = Gbdt::fit(
+        &d,
+        &GbdtParams {
+            n_rounds: 25,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(4),
+    );
+    let batch = gbdt.predict_batch(&query, d.m());
+    for (i, x) in query.chunks_exact(d.m()).enumerate() {
+        assert_eq!(
+            gbdt.predict(x).to_bits(),
+            batch[i].to_bits(),
+            "gbdt row {i}"
+        );
+    }
+
+    let svm = Svm::fit(&d, &SvmParams::default(), &mut StdRng::seed_from_u64(5));
+    let batch = svm.predict_batch(&query, d.m());
+    for (i, x) in query.chunks_exact(d.m()).enumerate() {
+        assert_eq!(svm.predict(x).to_bits(), batch[i].to_bits(), "svm row {i}");
+    }
+}
+
+#[test]
+fn full_pipeline_matches_naive_subgroup_search() {
+    // The REDS pipeline with the optimized PRIM must reproduce the
+    // naive-PRIM run exactly: metamodel training, sampling, and
+    // pseudo-labeling consume identical RNG streams, and the optimized
+    // peel is bit-equivalent.
+    let d = dataset_for_seed(7);
+    let reds = Reds::random_forest(
+        RandomForestParams {
+            n_trees: 40,
+            ..Default::default()
+        },
+        RedsConfig::default().with_l(4_000),
+    );
+    let fast = reds
+        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(8))
+        .unwrap();
+    let slow = reds
+        .run(&d, &NaivePrim::default(), &mut StdRng::seed_from_u64(8))
+        .unwrap();
+    assert_boxes_bits_eq(&fast.boxes, &slow.boxes, "pipeline");
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let d = dataset_for_seed(11);
+    let params = RandomForestParams {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let query: Vec<f64> = dataset_for_seed(61).points().to_vec();
+    let mut reference: Option<Vec<f64>> = None;
+    for threads in [1usize, 2, 5] {
+        reds_par::set_max_threads(Some(threads));
+        let forest = RandomForest::fit(&d, &params, &mut StdRng::seed_from_u64(12));
+        let preds = forest.predict_batch(&query[..(query.len() / d.m()) * d.m()], d.m());
+        match &reference {
+            None => reference = Some(preds),
+            Some(r) => assert_eq!(r, &preds, "threads {threads}"),
+        }
+    }
+    reds_par::set_max_threads(None);
+}

@@ -20,7 +20,10 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
             Just(m),
         )
             .prop_map(|(points, labels, m)| {
-                let labels = labels.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+                let labels = labels
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect();
                 Dataset::new(points, labels, m).expect("valid shape")
             })
     })

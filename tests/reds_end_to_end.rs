@@ -76,8 +76,8 @@ fn every_paper_method_runs_on_a_real_function() {
     let design = latin_hypercube(120, f.m(), &mut rng);
     let d = f.label_dataset(design, &mut rng).expect("consistent shape");
     for name in [
-        "P", "Pc", "PB", "PBc", "RPf", "RPx", "RPs", "RPxp", "RPfp", "RPcxp", "BI", "BI5",
-        "BIc", "RBIcfp", "RBIcxp",
+        "P", "Pc", "PB", "PBc", "RPf", "RPx", "RPs", "RPxp", "RPfp", "RPcxp", "BI", "BI5", "BIc",
+        "RBIcfp", "RBIcxp",
     ] {
         let mut method_rng = StdRng::seed_from_u64(2);
         let result = run_method(name, &d, &fast_opts(), &mut method_rng)
@@ -107,7 +107,9 @@ fn semi_supervised_entry_point_uses_the_pool_distribution() {
         .run_on_pool(&d, &pool, &Prim::default(), &mut rng)
         .expect("pool run succeeds");
     let test_points = reds::sampling::uniform(5_000, f.m(), &mut rng);
-    let test = f.label_dataset(test_points, &mut rng).expect("consistent shape");
+    let test = f
+        .label_dataset(test_points, &mut rng)
+        .expect("consistent shape");
     let auc = pr_auc(&result.boxes, &test);
     assert!(auc > 0.5, "semi-supervised PR AUC {auc:.2} too low");
 }
@@ -129,16 +131,23 @@ fn covering_finds_distinct_scenarios_after_reds() {
             .with_l(8_000)
             .with_sampler(NewPointSampler::Uniform),
     );
-    let model = reds.train_metamodel(&d, &mut rng).expect("training succeeds");
+    let model = reds
+        .train_metamodel(&d, &mut rng)
+        .expect("training succeeds");
     let pool = reds::sampling::uniform(8_000, f.m(), &mut rng);
-    let d_new = reds::data::Dataset::from_fn(pool, f.m(), |x| {
-        if model.predict(x) > 0.5 {
-            1.0
-        } else {
-            0.0
-        }
-    })
-    .expect("consistent shape");
+    let d_new =
+        reds::data::Dataset::from_fn(
+            pool,
+            f.m(),
+            |x| {
+                if model.predict(x) > 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .expect("consistent shape");
     let prim = Prim::default();
     let results = covering(&prim, &d_new, &d_new, 2, &mut rng);
     assert!(!results.is_empty());

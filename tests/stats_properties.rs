@@ -96,14 +96,16 @@ proptest! {
 }
 
 #[test]
-fn hyperbox_serde_roundtrip() {
-    // Scenario persistence: a discovered box survives a serde round
-    // trip through a self-describing binary-ish format (JSON loses
-    // infinities, so test the finite part there and the full box via
-    // serde_json's Value for structure).
+fn hyperbox_json_roundtrip() {
+    // Scenario persistence: a discovered box survives a JSON round trip,
+    // including unbounded sides (encoded as `null` by `to_json`).
     use reds::subgroup::HyperBox;
     let finite = HyperBox::from_bounds(vec![(0.1, 0.9), (0.25, 0.75)]);
-    let json = serde_json::to_string(&finite).expect("serializable");
-    let back: HyperBox = serde_json::from_str(&json).expect("deserializable");
-    assert_eq!(finite, back);
+    let parsed = reds_json::from_str(&finite.to_json().to_string_compact()).expect("parses");
+    assert_eq!(HyperBox::from_json(&parsed).expect("valid"), finite);
+
+    let mut open = HyperBox::unbounded(3);
+    open.set_lower(1, -2.5);
+    let parsed = reds_json::from_str(&open.to_json().to_string_pretty()).expect("parses");
+    assert_eq!(HyperBox::from_json(&parsed).expect("valid"), open);
 }
