@@ -8,209 +8,24 @@
 //! ```text
 //! cargo run --release -p reds-bench --bin table3 -- \
 //!     [--reps 10] [--l 20000] [--q 20] [--test 20000] [--all] \
-//!     [--functions morris,sobol] [--ns 200,400,800] [--json out.json]
+//!     [--functions morris,sobol] [--ns 200,400,800] [--methods P,RPx] \
+//!     [--json out.json] \
+//!     [--shard i/k --checkpoint-dir DIR] [--resume]
 //! ```
 //!
 //! Paper-scale settings: `--all --reps 50 --l 100000 --q 50`.
+//!
+//! Long sweeps can be split across processes/machines with
+//! `--shard i/k` (every shard writes a JSONL checkpoint into
+//! `--checkpoint-dir`, resumable after interruption with `--resume`)
+//! and recombined by the `merge_shards` binary — bit-identically to a
+//! monolithic run; see README "Running paper-scale sweeps".
 
-use reds_bench::{function_names, Args};
-use reds_eval::stats::{friedman_test, spearman, wilcoxon_signed_rank};
-use reds_eval::{run_experiment, ExperimentSpec, MethodOpts, MethodSummary, PRIM_FAMILY};
-use reds_functions::by_name;
-use reds_json::Json;
-
-struct Row {
-    function: String,
-    n: usize,
-    method: String,
-    pr_auc: f64,
-    precision: f64,
-    consistency: f64,
-    n_restricted: f64,
-    n_irrel: f64,
-    runtime_ms: f64,
-}
+use reds_bench::sweep::{run_cli, Sweep};
+use reds_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let reps = args.get_usize("reps", 10);
-    let functions = function_names(&args);
-    let ns: Vec<usize> = args
-        .get_str("ns", "200,400,800")
-        .split(',')
-        .map(|s| s.trim().parse().expect("--ns expects integers"))
-        .collect();
-    let opts = MethodOpts {
-        l_prim: args.get_usize("l", 20_000),
-        l_bi: args.get_usize("l-bi", 10_000),
-        bumping_q: args.get_usize("q", 20),
-        ..Default::default()
-    };
-    let test_size = args.get_usize("test", 20_000);
-    let methods: Vec<&str> = PRIM_FAMILY.to_vec();
-    let mut rows: Vec<Row> = Vec::new();
-    // Per-(function, N): mean per-method scores for aggregation; plus the
-    // per-function PR AUC matrix at N = ns[middle] for the Friedman test.
-    let mut per_function_auc: Vec<Vec<f64>> = Vec::new();
-    let mut dims: Vec<f64> = Vec::new();
-    let mut gains: Vec<f64> = Vec::new();
-    let stat_n = ns.get(1).copied().unwrap_or(ns[0]);
-
-    for n in &ns {
-        for fname in &functions {
-            let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
-            let mut spec = ExperimentSpec::new(f, *n, &methods);
-            spec.reps = reps;
-            spec.test_size = test_size;
-            spec.opts = opts.clone();
-            let summaries = run_experiment(&spec);
-            if *n == stat_n {
-                per_function_auc.push(summaries.iter().map(|s| s.pr_auc).collect());
-                let pc = summaries
-                    .iter()
-                    .find(|s| s.method == "Pc")
-                    .expect("Pc runs");
-                let rpx = summaries
-                    .iter()
-                    .find(|s| s.method == "RPx")
-                    .expect("RPx runs");
-                dims.push(f.m() as f64);
-                gains.push((rpx.pr_auc - pc.pr_auc) / pc.pr_auc.max(1e-9));
-            }
-            for s in &summaries {
-                rows.push(Row {
-                    function: fname.clone(),
-                    n: *n,
-                    method: s.method.clone(),
-                    pr_auc: s.pr_auc,
-                    precision: s.precision,
-                    consistency: s.consistency,
-                    n_restricted: s.n_restricted,
-                    n_irrel: s.n_irrel,
-                    runtime_ms: s.runtime_ms,
-                });
-            }
-            eprintln!("done: {fname} N={n}");
-        }
-    }
-
-    // "mor800": morris at N = 800, always included (Table 3's extra row).
-    let mut mor_spec = ExperimentSpec::new(by_name("morris").expect("registry"), 800, &methods);
-    mor_spec.reps = reps;
-    mor_spec.test_size = test_size;
-    mor_spec.opts = opts.clone();
-    let mor800: Vec<MethodSummary> = run_experiment(&mor_spec);
-
-    // ---- printing -------------------------------------------------
-    type Metric = fn(&Row) -> f64;
-    let metric_tables: [(&str, Metric); 5] = [
-        ("(a) Average PR AUC", |r| r.pr_auc),
-        ("(b) Average precision", |r| r.precision),
-        ("(c) Average consistency", |r| r.consistency),
-        ("(d) Average number of restricted inputs", |r| {
-            r.n_restricted
-        }),
-        (
-            "(e) Average number of irrelevantly restricted inputs",
-            |r| r.n_irrel,
-        ),
-    ];
-    for (title, metric) in metric_tables {
-        println!("\nTable 3 {title}");
-        println!("| N | {} |", methods.join(" | "));
-        println!("|---|{}|", "---|".repeat(methods.len()));
-        for n in &ns {
-            let cells: Vec<String> = methods
-                .iter()
-                .map(|m| {
-                    let vals: Vec<f64> = rows
-                        .iter()
-                        .filter(|r| r.n == *n && &r.method == m)
-                        .map(metric)
-                        .collect();
-                    format!("{:.1}", vals.iter().sum::<f64>() / vals.len().max(1) as f64)
-                })
-                .collect();
-            println!("| {n} | {} |", cells.join(" | "));
-        }
-        let mor_cells: Vec<String> = mor800
-            .iter()
-            .map(|s| {
-                let v = match title.chars().nth(1) {
-                    Some('a') => s.pr_auc,
-                    Some('b') => s.precision,
-                    Some('c') => s.consistency,
-                    Some('d') => s.n_restricted,
-                    _ => s.n_irrel,
-                };
-                format!("{v:.1}")
-            })
-            .collect();
-        println!("| mor800 | {} |", mor_cells.join(" | "));
-    }
-
-    // Figure 7 data: per-function quality change relative to Pc, N = stat_n.
-    println!("\nFigure 7: PR AUC change (%) relative to Pc at N = {stat_n} (per function)");
-    println!("| function | {} |", methods.join(" | "));
-    for fname in &functions {
-        let pc = rows
-            .iter()
-            .find(|r| r.n == stat_n && &r.function == fname && r.method == "Pc")
-            .expect("Pc row exists");
-        let cells: Vec<String> = methods
-            .iter()
-            .map(|m| {
-                let r = rows
-                    .iter()
-                    .find(|r| r.n == stat_n && &r.function == fname && &r.method == m)
-                    .expect("row exists");
-                format!(
-                    "{:+.1}",
-                    100.0 * (r.pr_auc - pc.pr_auc) / pc.pr_auc.max(1e-9)
-                )
-            })
-            .collect();
-        println!("| {fname} | {} |", cells.join(" | "));
-    }
-
-    // Statistics of §9.1.1.
-    let (chi2, p) = friedman_test(&per_function_auc);
-    println!("\nFriedman test over PR AUC at N = {stat_n}: chi2 = {chi2:.2}, p = {p:.2e}");
-    let idx = |name: &str| {
-        methods
-            .iter()
-            .position(|m| *m == name)
-            .expect("method in family")
-    };
-    let rpx: Vec<f64> = per_function_auc.iter().map(|r| r[idx("RPx")]).collect();
-    let pc: Vec<f64> = per_function_auc.iter().map(|r| r[idx("Pc")]).collect();
-    let p_posthoc = wilcoxon_signed_rank(&rpx, &pc);
-    println!("post-hoc RPx vs Pc (Wilcoxon signed-rank): p = {p_posthoc:.2e}");
-    println!(
-        "Spearman correlation (M vs relative PR AUC gain of RPx over Pc): {:.2}",
-        spearman(&dims, &gains)
-    );
-
-    if let Some(path) = args_json(&args) {
-        let doc = Json::arr(rows.iter().map(|r| {
-            Json::obj([
-                ("function", Json::str(r.function.clone())),
-                ("n", Json::num(r.n as f64)),
-                ("method", Json::str(r.method.clone())),
-                ("pr_auc", Json::num(r.pr_auc)),
-                ("precision", Json::num(r.precision)),
-                ("consistency", Json::num(r.consistency)),
-                ("n_restricted", Json::num(r.n_restricted)),
-                ("n_irrel", Json::num(r.n_irrel)),
-                ("runtime_ms", Json::num(r.runtime_ms)),
-            ])
-        }));
-        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
-        eprintln!("rows written to {path}");
-    }
-}
-
-fn args_json(args: &Args) -> Option<String> {
-    let p = args.get_str("json", "");
-    (!p.is_empty()).then_some(p)
+    let sweep = Sweep::table3(&args);
+    run_cli(&sweep, &args);
 }

@@ -6,115 +6,18 @@
 //! ```text
 //! cargo run --release -p reds-bench --bin table4 -- \
 //!     [--reps 10] [--l-bi 10000] [--test 20000] [--all] \
-//!     [--functions ...] [--ns 200,400,800]
+//!     [--functions ...] [--ns 200,400,800] [--methods BI,BIc] \
+//!     [--shard i/k --checkpoint-dir DIR] [--resume]
 //! ```
+//!
+//! Supports the same sharding/checkpoint/resume workflow as `table3`;
+//! see README "Running paper-scale sweeps".
 
-use reds_bench::{function_names, Args};
-use reds_eval::stats::{spearman, wilcoxon_signed_rank};
-use reds_eval::{run_experiment, ExperimentSpec, MethodOpts, BI_FAMILY};
-use reds_functions::by_name;
+use reds_bench::sweep::{run_cli, Sweep};
+use reds_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let reps = args.get_usize("reps", 10);
-    let functions = function_names(&args);
-    let ns: Vec<usize> = args
-        .get_str("ns", "200,400,800")
-        .split(',')
-        .map(|s| s.trim().parse().expect("--ns expects integers"))
-        .collect();
-    let opts = MethodOpts {
-        l_prim: args.get_usize("l", 20_000),
-        l_bi: args.get_usize("l-bi", 10_000),
-        bumping_q: args.get_usize("q", 20),
-        ..Default::default()
-    };
-    let test_size = args.get_usize("test", 20_000);
-    let methods: Vec<&str> = BI_FAMILY.to_vec();
-    let stat_n = ns.get(1).copied().unwrap_or(ns[0]);
-
-    // rows[(n, function)][method] summary
-    let mut summaries_by = Vec::new();
-    for n in &ns {
-        for fname in &functions {
-            let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
-            let mut spec = ExperimentSpec::new(f, *n, &methods);
-            spec.reps = reps;
-            spec.test_size = test_size;
-            spec.opts = opts.clone();
-            summaries_by.push((*n, fname.clone(), run_experiment(&spec)));
-            eprintln!("done: {fname} N={n}");
-        }
-    }
-    let mut mor_spec = ExperimentSpec::new(by_name("morris").expect("registry"), 800, &methods);
-    mor_spec.reps = reps;
-    mor_spec.test_size = test_size;
-    mor_spec.opts = opts;
-    let mor800 = run_experiment(&mor_spec);
-
-    type Metric = fn(&reds_eval::MethodSummary) -> f64;
-    let tables: [(&str, Metric); 4] = [
-        ("(a) Average WRAcc", |s| s.wracc),
-        ("(b) Average consistency", |s| s.consistency),
-        ("(c) Average number of restricted inputs", |s| {
-            s.n_restricted
-        }),
-        (
-            "(d) Average number of irrelevantly restricted inputs",
-            |s| s.n_irrel,
-        ),
-    ];
-    for (title, metric) in tables {
-        println!("\nTable 4 {title}");
-        println!("| N | {} |", methods.join(" | "));
-        println!("|---|{}|", "---|".repeat(methods.len()));
-        for n in &ns {
-            let cells: Vec<String> = (0..methods.len())
-                .map(|mi| {
-                    let vals: Vec<f64> = summaries_by
-                        .iter()
-                        .filter(|(rn, _, _)| rn == n)
-                        .map(|(_, _, s)| metric(&s[mi]))
-                        .collect();
-                    format!("{:.2}", vals.iter().sum::<f64>() / vals.len().max(1) as f64)
-                })
-                .collect();
-            println!("| {n} | {} |", cells.join(" | "));
-        }
-        let cells: Vec<String> = mor800.iter().map(|s| format!("{:.2}", metric(s))).collect();
-        println!("| mor800 | {} |", cells.join(" | "));
-    }
-
-    // Figure 8 data + §9.1.1 statistics at N = stat_n.
-    println!("\nFigure 8: WRAcc change (%) relative to BIc at N = {stat_n}");
-    let idx = |name: &str| methods.iter().position(|m| *m == name).expect("in family");
-    let mut rbicxp = Vec::new();
-    let mut bic = Vec::new();
-    let mut dims = Vec::new();
-    let mut gains = Vec::new();
-    println!("| function | BI | RBIcxp |");
-    for fname in &functions {
-        let (_, _, s) = summaries_by
-            .iter()
-            .find(|(n, f, _)| *n == stat_n && f == fname)
-            .expect("row exists");
-        let base = s[idx("BIc")].wracc;
-        println!(
-            "| {fname} | {:+.1} | {:+.1} |",
-            100.0 * (s[idx("BI")].wracc - base) / base.abs().max(1e-9),
-            100.0 * (s[idx("RBIcxp")].wracc - base) / base.abs().max(1e-9),
-        );
-        rbicxp.push(s[idx("RBIcxp")].wracc);
-        bic.push(base);
-        dims.push(by_name(fname).expect("registry").m() as f64);
-        gains.push((s[idx("RBIcxp")].wracc - base) / base.abs().max(1e-9));
-    }
-    println!(
-        "\npost-hoc RBIcxp vs BIc (Wilcoxon signed-rank): p = {:.2e}",
-        wilcoxon_signed_rank(&rbicxp, &bic)
-    );
-    println!(
-        "Spearman correlation (M vs relative WRAcc gain of RBIcxp over BIc): {:.2}",
-        spearman(&dims, &gains)
-    );
+    let sweep = Sweep::table4(&args);
+    run_cli(&sweep, &args);
 }

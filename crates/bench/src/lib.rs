@@ -1,7 +1,10 @@
 //! Shared plumbing for the table/figure reproduction binaries: a tiny
-//! `--flag value` argument parser, result-row printing, and JSON output.
+//! `--flag value` argument parser, result-row printing, JSON output,
+//! and the sharded/checkpointable [`sweep`] driver.
 
 #![warn(missing_docs)]
+
+pub mod sweep;
 
 use std::collections::HashMap;
 

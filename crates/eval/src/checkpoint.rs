@@ -1,0 +1,638 @@
+//! JSONL shard checkpoints for long experiment sweeps.
+//!
+//! A checkpoint file records the completed [`WorkUnit`]s of one shard
+//! of a sweep so an interrupted run can resume and so shards executed
+//! on different machines can be recombined by `merge_shards`. The
+//! format is line-delimited JSON:
+//!
+//! ```text
+//! {"schema_version":1,"fingerprint":"d3b0…","shard":0,"of":2}   ← header
+//! {"spec":"9a41…","unit":{…},"eval":{…}}                        ← one per unit
+//! ```
+//!
+//! * **Atomic appends** — each completed unit is serialized and written
+//!   as a single `write_all` of one full line, then flushed. A crash
+//!   can leave at most one partial trailing line, which
+//!   [`load_checkpoint`] detects and drops (`truncated`); resuming
+//!   rewrites the file from its valid prefix via a temp-file rename
+//!   before appending again.
+//! * **Fingerprints** — the header carries the producing run's
+//!   fingerprint and each record its spec's fingerprint (see
+//!   [`crate::workunit::spec_fingerprint`]), so partial results from a
+//!   different configuration are rejected instead of merged silently.
+//! * **Exact floats** — `reds-json` serializes `f64` with
+//!   shortest-round-trip formatting, so every score survives
+//!   serialize → parse → merge bit-for-bit.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use reds_json::{from_str, Json};
+use reds_subgroup::HyperBox;
+
+use crate::experiment::Evaluation;
+use crate::workunit::WorkUnit;
+
+/// Version of the checkpoint file layout; bump on incompatible change.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// First line of a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// File-layout version ([`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Fingerprint of the producing run's full configuration.
+    pub fingerprint: String,
+    /// Shard index, `0 .. of`.
+    pub shard: usize,
+    /// Total number of shards (1 = monolithic).
+    pub of: usize,
+}
+
+impl CheckpointHeader {
+    /// A header for shard `shard` of `of` of a run with `fingerprint`.
+    pub fn new(fingerprint: impl Into<String>, shard: usize, of: usize) -> Self {
+        Self {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            fingerprint: fingerprint.into(),
+            shard,
+            of,
+        }
+    }
+}
+
+/// One completed work unit with its result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRecord {
+    /// Fingerprint of the [`ExperimentSpec`](crate::ExperimentSpec) the
+    /// unit belongs to (a sweep checkpoints many specs into one file).
+    pub spec: String,
+    /// The grid cell.
+    pub unit: WorkUnit,
+    /// Its result.
+    pub eval: Evaluation,
+}
+
+/// A parsed checkpoint file.
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    /// The header line.
+    pub header: CheckpointHeader,
+    /// All fully-written unit records, in append order.
+    pub records: Vec<UnitRecord>,
+    /// `true` when a partial trailing line (interrupted final append)
+    /// was dropped.
+    pub truncated: bool,
+}
+
+/// Failure to read, validate, or merge checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A fully-written line does not parse as the expected record shape.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file was written by an incompatible layout version.
+    SchemaMismatch {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file belongs to a differently-configured run.
+    FingerprintMismatch {
+        /// Fingerprint of the current configuration.
+        expected: String,
+        /// Fingerprint found in the header.
+        found: String,
+    },
+    /// The file's shard coordinates differ from the resuming run's.
+    ShardMismatch {
+        /// Header of the resuming run.
+        expected: CheckpointHeader,
+        /// Header found in the file.
+        found: CheckpointHeader,
+    },
+    /// The same grid cell appears more than once across the merged
+    /// checkpoints.
+    DuplicateUnit {
+        /// Spec fingerprint of the duplicated unit.
+        spec: String,
+        /// Method name of the duplicated unit.
+        method: String,
+        /// Repetition of the duplicated unit.
+        rep: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Corrupt { line, message } => {
+                write!(f, "corrupt checkpoint at line {line}: {message}")
+            }
+            Self::SchemaMismatch { found } => write!(
+                f,
+                "checkpoint schema version {found} is not {CHECKPOINT_SCHEMA_VERSION}"
+            ),
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found} does not match this run's configuration \
+                 ({expected}) — it was produced with different settings"
+            ),
+            Self::ShardMismatch { expected, found } => write!(
+                f,
+                "checkpoint is shard {}/{} but this run is shard {}/{}",
+                found.shard, found.of, expected.shard, expected.of
+            ),
+            Self::DuplicateUnit { spec, method, rep } => write!(
+                f,
+                "unit (spec {spec}, method {method}, rep {rep}) appears more than once"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+// ---- JSON conversions -------------------------------------------------
+
+fn u64_to_json(v: u64) -> Json {
+    // u64 does not fit f64 losslessly; decimal strings do.
+    Json::str(v.to_string())
+}
+
+fn u64_from_json(v: &Json) -> Result<u64, String> {
+    v.as_str()
+        .ok_or_else(|| "expected a decimal string".to_string())?
+        .parse()
+        .map_err(|e| format!("bad u64: {e}"))
+}
+
+fn usize_from_json(v: &Json, what: &str) -> Result<usize, String> {
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("{what}: expected a number"))?;
+    if f < 0.0 || f.fract() != 0.0 || f > (1u64 << 53) as f64 {
+        return Err(format!("{what}: {f} is not a valid count"));
+    }
+    Ok(f as usize)
+}
+
+fn f64_from_json(v: &Json, what: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("{what}: expected a number"))
+}
+
+fn header_to_json(h: &CheckpointHeader) -> Json {
+    Json::obj([
+        ("schema_version", Json::num(h.schema_version as f64)),
+        ("fingerprint", Json::str(h.fingerprint.clone())),
+        ("shard", Json::num(h.shard as f64)),
+        ("of", Json::num(h.of as f64)),
+    ])
+}
+
+fn header_from_json(doc: &Json) -> Result<CheckpointHeader, String> {
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("header missing '{k}'"));
+    Ok(CheckpointHeader {
+        schema_version: usize_from_json(field("schema_version")?, "schema_version")? as u32,
+        fingerprint: field("fingerprint")?
+            .as_str()
+            .ok_or("fingerprint: expected a string")?
+            .to_string(),
+        shard: usize_from_json(field("shard")?, "shard")?,
+        of: usize_from_json(field("of")?, "of")?,
+    })
+}
+
+fn unit_to_json(u: &WorkUnit) -> Json {
+    Json::obj([
+        ("function", Json::str(u.function.clone())),
+        ("n", Json::num(u.n as f64)),
+        ("method", Json::str(u.method.clone())),
+        ("method_index", Json::num(u.method_index as f64)),
+        ("rep", Json::num(u.rep as f64)),
+        ("rep_seed", u64_to_json(u.rep_seed)),
+        ("method_seed", u64_to_json(u.method_seed)),
+    ])
+}
+
+fn unit_from_json(doc: &Json) -> Result<WorkUnit, String> {
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("unit missing '{k}'"));
+    Ok(WorkUnit {
+        function: field("function")?
+            .as_str()
+            .ok_or("function: expected a string")?
+            .to_string(),
+        n: usize_from_json(field("n")?, "n")?,
+        method: field("method")?
+            .as_str()
+            .ok_or("method: expected a string")?
+            .to_string(),
+        method_index: usize_from_json(field("method_index")?, "method_index")?,
+        rep: usize_from_json(field("rep")?, "rep")?,
+        rep_seed: u64_from_json(field("rep_seed")?).map_err(|e| format!("rep_seed: {e}"))?,
+        method_seed: u64_from_json(field("method_seed")?)
+            .map_err(|e| format!("method_seed: {e}"))?,
+    })
+}
+
+fn eval_to_json(e: &Evaluation) -> Json {
+    Json::obj([
+        ("pr_auc", Json::Num(e.pr_auc)),
+        ("precision", Json::Num(e.precision)),
+        ("recall", Json::Num(e.recall)),
+        ("wracc", Json::Num(e.wracc)),
+        ("n_restricted", Json::num(e.n_restricted as f64)),
+        ("n_irrel", Json::num(e.n_irrel as f64)),
+        ("runtime_ms", Json::Num(e.runtime_ms)),
+        ("last_box", e.last_box.to_json()),
+    ])
+}
+
+fn eval_from_json(doc: &Json) -> Result<Evaluation, String> {
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("eval missing '{k}'"));
+    Ok(Evaluation {
+        pr_auc: f64_from_json(field("pr_auc")?, "pr_auc")?,
+        precision: f64_from_json(field("precision")?, "precision")?,
+        recall: f64_from_json(field("recall")?, "recall")?,
+        wracc: f64_from_json(field("wracc")?, "wracc")?,
+        n_restricted: usize_from_json(field("n_restricted")?, "n_restricted")?,
+        n_irrel: usize_from_json(field("n_irrel")?, "n_irrel")?,
+        runtime_ms: f64_from_json(field("runtime_ms")?, "runtime_ms")?,
+        last_box: HyperBox::from_json(field("last_box")?).ok_or("last_box: bad shape")?,
+    })
+}
+
+/// JSON form of one record line (public for property tests).
+pub fn record_to_json(r: &UnitRecord) -> Json {
+    Json::obj([
+        ("spec", Json::str(r.spec.clone())),
+        ("unit", unit_to_json(&r.unit)),
+        ("eval", eval_to_json(&r.eval)),
+    ])
+}
+
+/// Parses one record line (public for property tests).
+pub fn record_from_json(doc: &Json) -> Result<UnitRecord, String> {
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("record missing '{k}'"));
+    Ok(UnitRecord {
+        spec: field("spec")?
+            .as_str()
+            .ok_or("spec: expected a string")?
+            .to_string(),
+        unit: unit_from_json(field("unit")?)?,
+        eval: eval_from_json(field("eval")?)?,
+    })
+}
+
+// ---- file I/O ---------------------------------------------------------
+
+/// Appends completed units to a checkpoint file, one line per unit.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Creates (or truncates) the file and writes the header line.
+    pub fn create(path: &Path, header: &CheckpointHeader) -> Result<Self, CheckpointError> {
+        let mut file = File::create(path)?;
+        let mut line = header_to_json(header).to_string_compact();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        Ok(Self { file })
+    }
+
+    /// Reopens an interrupted checkpoint: validates the header against
+    /// `header`, rewrites the file from its valid prefix (dropping a
+    /// partial trailing line) via a temp-file rename, and returns the
+    /// writer positioned for appending plus the already-completed
+    /// records.
+    pub fn resume(
+        path: &Path,
+        header: &CheckpointHeader,
+    ) -> Result<(Self, Vec<UnitRecord>), CheckpointError> {
+        let ck = load_checkpoint(path)?;
+        if ck.header.schema_version != header.schema_version {
+            return Err(CheckpointError::SchemaMismatch {
+                found: ck.header.schema_version,
+            });
+        }
+        if ck.header.fingerprint != header.fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: header.fingerprint.clone(),
+                found: ck.header.fingerprint,
+            });
+        }
+        if (ck.header.shard, ck.header.of) != (header.shard, header.of) {
+            return Err(CheckpointError::ShardMismatch {
+                expected: header.clone(),
+                found: ck.header,
+            });
+        }
+        // Rewrite the valid prefix so a dropped partial line can never
+        // corrupt subsequent appends; the rename is atomic.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut text = header_to_json(&ck.header).to_string_compact();
+            text.push('\n');
+            for r in &ck.records {
+                text.push_str(&record_to_json(r).to_string_compact());
+                text.push('\n');
+            }
+            f.write_all(text.as_bytes())?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((Self { file }, ck.records))
+    }
+
+    /// Appends one completed unit as a single atomic line write.
+    pub fn append(&mut self, record: &UnitRecord) -> Result<(), CheckpointError> {
+        let mut line = record_to_json(record).to_string_compact();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Parses a checkpoint file. A partial trailing line (no terminating
+/// newline — an append interrupted mid-write) is dropped and flagged via
+/// [`ShardCheckpoint::truncated`]; any other malformed line is an
+/// error.
+pub fn load_checkpoint(path: &Path) -> Result<ShardCheckpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let complete = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let parse_line = |i: usize, line: &str| -> Result<Json, CheckpointError> {
+        from_str(line).map_err(|e| CheckpointError::Corrupt {
+            line: i + 1,
+            message: e.to_string(),
+        })
+    };
+    let Some((first, rest)) = lines.split_first() else {
+        return Err(CheckpointError::Corrupt {
+            line: 1,
+            message: "empty file".to_string(),
+        });
+    };
+    let header = header_from_json(&parse_line(0, first)?)
+        .map_err(|message| CheckpointError::Corrupt { line: 1, message })?;
+    let mut records = Vec::with_capacity(rest.len());
+    let mut truncated = false;
+    for (i, line) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        let parsed = parse_line(i + 1, line).and_then(|doc| {
+            record_from_json(&doc).map_err(|message| CheckpointError::Corrupt {
+                line: i + 2,
+                message,
+            })
+        });
+        match parsed {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                if last && !complete {
+                    // Interrupted final append — recoverable.
+                    truncated = true;
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(ShardCheckpoint {
+        header,
+        records,
+        truncated,
+    })
+}
+
+/// Validates and concatenates the records of several shard checkpoints:
+/// every header must carry the current schema version and
+/// `expected_fingerprint`, and no grid cell may appear twice. Shards
+/// may arrive in any order; completeness is checked downstream by
+/// [`aggregate_units`](crate::aggregate_units).
+pub fn merge_records(
+    expected_fingerprint: &str,
+    shards: &[ShardCheckpoint],
+) -> Result<Vec<UnitRecord>, CheckpointError> {
+    let mut seen: HashSet<(String, String, usize)> = HashSet::new();
+    let mut merged = Vec::new();
+    for shard in shards {
+        if shard.header.schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CheckpointError::SchemaMismatch {
+                found: shard.header.schema_version,
+            });
+        }
+        if shard.header.fingerprint != expected_fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: expected_fingerprint.to_string(),
+                found: shard.header.fingerprint.clone(),
+            });
+        }
+        for r in &shard.records {
+            let key = (r.spec.clone(), r.unit.method.clone(), r.unit.rep);
+            if !seen.insert(key) {
+                return Err(CheckpointError::DuplicateUnit {
+                    spec: r.spec.clone(),
+                    method: r.unit.method.clone(),
+                    rep: r.unit.rep,
+                });
+            }
+            merged.push(r.clone());
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn record(rep: usize, score: f64) -> UnitRecord {
+        UnitRecord {
+            spec: "00000000deadbeef".to_string(),
+            unit: WorkUnit {
+                function: "2".to_string(),
+                n: 100,
+                method: "P".to_string(),
+                method_index: 0,
+                rep,
+                rep_seed: u64::MAX - rep as u64,
+                method_seed: 0x1234_5678_9abc_def0 + rep as u64,
+            },
+            eval: Evaluation {
+                pr_auc: score,
+                precision: 0.75,
+                recall: 1e-300,
+                wracc: -0.0,
+                n_restricted: 3,
+                n_irrel: 0,
+                runtime_ms: 12.5,
+                last_box: HyperBox::from_bounds(vec![(0.25, f64::INFINITY), (-0.5, 0.5)]),
+            },
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("reds-ckpt-test-{}-{name}", std::process::id()))
+    }
+
+    fn bitwise_eq(a: &UnitRecord, b: &UnitRecord) -> bool {
+        a.spec == b.spec
+            && a.unit == b.unit
+            && a.eval.pr_auc.to_bits() == b.eval.pr_auc.to_bits()
+            && a.eval.precision.to_bits() == b.eval.precision.to_bits()
+            && a.eval.recall.to_bits() == b.eval.recall.to_bits()
+            && a.eval.wracc.to_bits() == b.eval.wracc.to_bits()
+            && a.eval.n_restricted == b.eval.n_restricted
+            && a.eval.n_irrel == b.eval.n_irrel
+            && a.eval.runtime_ms.to_bits() == b.eval.runtime_ms.to_bits()
+            && a.eval.last_box == b.eval.last_box
+    }
+
+    #[test]
+    fn file_round_trip_is_bitwise_exact() {
+        let path = tmp_path("roundtrip.jsonl");
+        let header = CheckpointHeader::new("cafe", 1, 3);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        let records: Vec<UnitRecord> = (0..4).map(|r| record(r, 0.1 + 0.2 * r as f64)).collect();
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+        let ck = load_checkpoint(&path).expect("load");
+        assert_eq!(ck.header, header);
+        assert!(!ck.truncated);
+        assert_eq!(ck.records.len(), records.len());
+        for (a, b) in ck.records.iter().zip(&records) {
+            assert!(bitwise_eq(a, b), "{a:?}\n!=\n{b:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_trailing_line_is_dropped_and_flagged() {
+        let path = tmp_path("truncated.jsonl");
+        let header = CheckpointHeader::new("cafe", 0, 1);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        w.append(&record(0, 0.5)).expect("append");
+        drop(w);
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"spec\":\"00000000deadbeef\",\"unit\":{\"function\":");
+        std::fs::write(&path, &text).unwrap();
+
+        let ck = load_checkpoint(&path).expect("load tolerates the tail");
+        assert!(ck.truncated);
+        assert_eq!(ck.records.len(), 1);
+
+        // Resume rewrites the valid prefix and appends cleanly after it.
+        let (mut w, done) = CheckpointWriter::resume(&path, &header).expect("resume");
+        assert_eq!(done.len(), 1);
+        w.append(&record(1, 0.75)).expect("append after resume");
+        drop(w);
+        let ck = load_checkpoint(&path).expect("reload");
+        assert!(!ck.truncated);
+        assert_eq!(ck.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = tmp_path("corrupt.jsonl");
+        let header = CheckpointHeader::new("cafe", 0, 1);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        w.append(&record(0, 0.5)).expect("append");
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n");
+        text.push_str(&record_to_json(&record(1, 0.75)).to_string_compact());
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt { line: 3, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_headers() {
+        let path = tmp_path("foreign.jsonl");
+        let header = CheckpointHeader::new("cafe", 0, 2);
+        CheckpointWriter::create(&path, &header).expect("create");
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &CheckpointHeader::new("beef", 0, 2)),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &CheckpointHeader::new("cafe", 1, 2)),
+            Err(CheckpointError::ShardMismatch { .. })
+        ));
+        let mut wrong_schema = header.clone();
+        wrong_schema.schema_version = 99;
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &wrong_schema),
+            Err(CheckpointError::SchemaMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_validates_fingerprints_and_duplicates() {
+        let a = ShardCheckpoint {
+            header: CheckpointHeader::new("cafe", 0, 2),
+            records: vec![record(0, 0.5)],
+            truncated: false,
+        };
+        let b = ShardCheckpoint {
+            header: CheckpointHeader::new("cafe", 1, 2),
+            records: vec![record(1, 0.6)],
+            truncated: false,
+        };
+        let merged = merge_records("cafe", &[b.clone(), a.clone()]).expect("merges");
+        assert_eq!(merged.len(), 2);
+
+        assert!(matches!(
+            merge_records("beef", std::slice::from_ref(&a)),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            merge_records("cafe", &[a.clone(), a.clone()]),
+            Err(CheckpointError::DuplicateUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_shard_round_trips() {
+        let path = tmp_path("empty.jsonl");
+        let header = CheckpointHeader::new("cafe", 2, 5);
+        CheckpointWriter::create(&path, &header).expect("create");
+        let ck = load_checkpoint(&path).expect("load");
+        assert_eq!(ck.header, header);
+        assert!(ck.records.is_empty() && !ck.truncated);
+        assert!(merge_records("cafe", &[ck]).expect("merges").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

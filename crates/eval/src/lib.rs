@@ -4,8 +4,12 @@
 //!   `PB`, `PBc`, `RPf`, `RPx`, `RPs`, `RPxp`, `BI`, `BIc`, `RBIcxp`, …);
 //! * [`cv`] — hyperparameter optimisation of SD algorithms (the "c"
 //!   suffix, Table 2);
-//! * [`experiment`] — the repeated-run driver with per-repetition
+//! * [`experiment`] — the repeated-run driver with grid-level
 //!   parallelism and consistency aggregation;
+//! * [`workunit`] — the deterministic rep × method work-unit
+//!   decomposition (stable seeding, spec fingerprints, sharding);
+//! * [`checkpoint`] — JSONL shard checkpoints: atomic appends,
+//!   crash-tolerant loading, fingerprint-validated merging;
 //! * [`stats`] — Wilcoxon rank-sum / signed-rank, Friedman, Spearman;
 //! * [`report`] — markdown rendering of experiment summaries;
 //! * [`savings`] — the "X % fewer simulations" analysis from learning
@@ -13,12 +17,23 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cv;
 pub mod experiment;
 pub mod methods;
 pub mod report;
 pub mod savings;
 pub mod stats;
+pub mod workunit;
 
-pub use experiment::{run_experiment, Design, Evaluation, ExperimentSpec, MethodSummary};
+pub use checkpoint::{
+    load_checkpoint, merge_records, CheckpointError, CheckpointHeader, CheckpointWriter,
+    ShardCheckpoint, UnitRecord, CHECKPOINT_SCHEMA_VERSION,
+};
+pub use experiment::{
+    aggregate_units, execute_unit, execute_units, execute_units_with, experiment_test_set,
+    run_experiment, strip_runtimes, AggregationError, Design, Evaluation, ExperimentSpec,
+    MethodSummary,
+};
 pub use methods::{run_method, MethodOpts, UnknownMethod, BI_FAMILY, PRIM_FAMILY};
+pub use workunit::{enumerate_units, shard_units, spec_fingerprint, WorkUnit};

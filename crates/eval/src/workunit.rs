@@ -1,0 +1,305 @@
+//! Deterministic work-unit decomposition of an experiment's
+//! rep × method grid.
+//!
+//! [`run_experiment`](crate::run_experiment) at paper scale
+//! (`--all --reps 50`) runs for hours; to split it across processes or
+//! machines, the grid is enumerated as self-describing [`WorkUnit`]s
+//! that any worker can execute independently and any consumer can merge
+//! back into the monolithic [`MethodSummary`](crate::MethodSummary)
+//! aggregation.
+//!
+//! Two invariants make the decomposition safe:
+//!
+//! * **Stable seeding.** Every RNG seed is a stable FNV-1a hash of the
+//!   experiment's identity (function, `N`, base seed) and the unit's
+//!   coordinates (`rep`, method name) — never of loop positions, thread
+//!   ids, or execution order. Results are therefore bit-identical under
+//!   any shard decomposition, any resume order, and any thread count;
+//!   raising `reps` or appending methods extends a grid without
+//!   changing already-computed units.
+//! * **Fingerprinting.** [`spec_fingerprint`] condenses every
+//!   result-affecting field of an [`ExperimentSpec`] into a hex token.
+//!   Checkpoints record it so that partial results from *different*
+//!   configurations can never be merged silently.
+
+use reds_core::NewPointSampler;
+
+use crate::experiment::{Design, ExperimentSpec};
+
+/// Version tag mixed into every derived seed; bump when the meaning of
+/// the derivation changes so old checkpoints are rejected rather than
+/// silently reinterpreted.
+const SEED_DOMAIN: &str = "reds-workunit-v1";
+
+/// One cell of the rep × method grid: everything a worker needs to
+/// reproduce the cell's result bit-for-bit, independent of which
+/// process executes it or in which order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Benchmark-function name (resolves via `reds_functions::by_name`).
+    pub function: String,
+    /// Training-set size `N`.
+    pub n: usize,
+    /// Paper-style method name.
+    pub method: String,
+    /// Position of the method in `spec.methods` (summary ordering).
+    pub method_index: usize,
+    /// Repetition index, `0 .. spec.reps`.
+    pub rep: usize,
+    /// Seed of the training-design RNG — shared by all methods of the
+    /// same repetition so they see the same dataset.
+    pub rep_seed: u64,
+    /// Seed of the method RNG — unique per (rep, method name).
+    pub method_seed: u64,
+}
+
+/// FNV-1a over separator-delimited parts (a separator is mixed in
+/// between parts so `["ab", "c"]` and `["a", "bc"]` hash differently).
+/// The single hash definition behind every seed and fingerprint in the
+/// sharding machinery — checkpoint compatibility depends on it, so
+/// derive new digests from this function rather than re-implementing
+/// the loop.
+pub fn stable_hash(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0x1F;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The experiment-identity prefix shared by all seed derivations: only
+/// fields that select *which data* a repetition sees belong here, so
+/// that e.g. adding a method or raising `reps` leaves existing units'
+/// seeds untouched.
+fn seed_scope(spec: &ExperimentSpec) -> [String; 4] {
+    [
+        SEED_DOMAIN.to_string(),
+        spec.function.name().to_string(),
+        spec.n.to_string(),
+        spec.seed.to_string(),
+    ]
+}
+
+fn derive(scope: &[String; 4], tail: &[&str]) -> u64 {
+    let mut parts: Vec<&str> = scope.iter().map(String::as_str).collect();
+    parts.extend_from_slice(tail);
+    stable_hash(&parts)
+}
+
+/// Seed of the training-design RNG of repetition `rep`.
+pub fn rep_seed(spec: &ExperimentSpec, rep: usize) -> u64 {
+    derive(&seed_scope(spec), &["rep", &rep.to_string()])
+}
+
+/// Seed of the RNG handed to `method` in repetition `rep`. Depends on
+/// the method *name*, not its position, so reordering or extending
+/// `spec.methods` never shifts other methods' streams.
+pub fn method_seed(spec: &ExperimentSpec, rep: usize, method: &str) -> u64 {
+    derive(&seed_scope(spec), &["method", method, &rep.to_string()])
+}
+
+/// Seed of the shared held-out test set RNG.
+pub fn test_seed(spec: &ExperimentSpec) -> u64 {
+    derive(&seed_scope(spec), &["test"])
+}
+
+/// Enumerates the full rep × method grid in canonical order
+/// (repetition-major, methods in `spec.methods` order).
+pub fn enumerate_units(spec: &ExperimentSpec) -> Vec<WorkUnit> {
+    let mut units = Vec::with_capacity(spec.reps * spec.methods.len());
+    for rep in 0..spec.reps {
+        let rs = rep_seed(spec, rep);
+        for (method_index, method) in spec.methods.iter().enumerate() {
+            units.push(WorkUnit {
+                function: spec.function.name().to_string(),
+                n: spec.n,
+                method: method.clone(),
+                method_index,
+                rep,
+                rep_seed: rs,
+                method_seed: method_seed(spec, rep, method),
+            });
+        }
+    }
+    units
+}
+
+/// The subset of `units` assigned to `shard` of `of` (round-robin over
+/// the canonical enumeration order, so shards are load-balanced across
+/// repetitions and methods).
+///
+/// # Panics
+///
+/// Panics when `of == 0` or `shard >= of`.
+pub fn shard_units(units: &[WorkUnit], shard: usize, of: usize) -> Vec<WorkUnit> {
+    assert!(of > 0, "shard count must be positive");
+    assert!(shard < of, "shard index {shard} out of range 0..{of}");
+    units
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % of == shard)
+        .map(|(_, u)| u.clone())
+        .collect()
+}
+
+fn sampler_token(s: &NewPointSampler) -> String {
+    match s {
+        NewPointSampler::Uniform => "uniform".to_string(),
+        NewPointSampler::MixedEven => "mixed-even".to_string(),
+        NewPointSampler::LogitNormal { mu, sigma } => {
+            // Bit patterns, so the encoding is exact for any parameters.
+            format!(
+                "logit-normal:{:016x}:{:016x}",
+                mu.to_bits(),
+                sigma.to_bits()
+            )
+        }
+    }
+}
+
+fn design_token(d: Design) -> &'static str {
+    match d {
+        Design::Lhs => "lhs",
+        Design::Halton => "halton",
+        Design::MixedEven => "mixed-even",
+        Design::LogitNormal => "logit-normal",
+    }
+}
+
+/// A 16-hex-digit digest of every result-affecting field of the spec
+/// (`threads` is deliberately excluded: results are thread-count
+/// invariant). Two specs with equal fingerprints produce bit-identical
+/// grids; checkpoints refuse to merge across differing fingerprints.
+pub fn spec_fingerprint(spec: &ExperimentSpec) -> String {
+    let parts: Vec<String> = vec![
+        SEED_DOMAIN.to_string(),
+        spec.function.name().to_string(),
+        spec.n.to_string(),
+        spec.reps.to_string(),
+        spec.methods.join(","),
+        spec.opts.l_prim.to_string(),
+        spec.opts.l_bi.to_string(),
+        spec.opts.bumping_q.to_string(),
+        sampler_token(&spec.opts.sampler),
+        spec.opts.tune_metamodel.to_string(),
+        design_token(spec.design).to_string(),
+        spec.test_size.to_string(),
+        spec.seed.to_string(),
+    ];
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    format!("{:016x}", stable_hash(&refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodOpts;
+    use reds_functions::by_name;
+
+    fn spec() -> ExperimentSpec {
+        let mut s = ExperimentSpec::new(by_name("2").unwrap(), 100, &["P", "RPx"]);
+        s.reps = 3;
+        s
+    }
+
+    #[test]
+    fn enumeration_is_rep_major_and_complete() {
+        let s = spec();
+        let units = enumerate_units(&s);
+        assert_eq!(units.len(), 6);
+        assert_eq!((units[0].rep, units[0].method.as_str()), (0, "P"));
+        assert_eq!((units[1].rep, units[1].method.as_str()), (0, "RPx"));
+        assert_eq!((units[5].rep, units[5].method.as_str()), (2, "RPx"));
+        for u in &units {
+            assert_eq!(u.function, "2");
+            assert_eq!(u.n, 100);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_under_grid_extension() {
+        let s = spec();
+        let mut wider = s.clone();
+        wider.reps = 7;
+        wider.methods.push("RPf".to_string());
+        let a = enumerate_units(&s);
+        let b = enumerate_units(&wider);
+        // Every original unit reappears in the extended grid with
+        // identical seeds.
+        for u in &a {
+            assert!(
+                b.iter().any(|v| v.method == u.method
+                    && v.rep == u.rep
+                    && v.rep_seed == u.rep_seed
+                    && v.method_seed == u.method_seed),
+                "unit {u:?} lost by extension"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_reps_and_methods() {
+        let s = spec();
+        let units = enumerate_units(&s);
+        let mut seeds: Vec<u64> = units.iter().map(|u| u.method_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), units.len(), "method seed collision");
+        assert_ne!(rep_seed(&s, 0), rep_seed(&s, 1));
+        assert_ne!(test_seed(&s), rep_seed(&s, 0));
+    }
+
+    #[test]
+    fn sharding_partitions_the_grid() {
+        let s = spec();
+        let units = enumerate_units(&s);
+        for of in [1, 2, 3, 7] {
+            let mut seen = Vec::new();
+            for shard in 0..of {
+                seen.extend(shard_units(&units, shard, of));
+            }
+            assert_eq!(seen.len(), units.len());
+            for u in &units {
+                assert_eq!(seen.iter().filter(|v| *v == u).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let s = spec();
+        let units = enumerate_units(&s);
+        let _ = shard_units(&units, 2, 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_fields() {
+        let s = spec();
+        let base = spec_fingerprint(&s);
+        assert_eq!(base.len(), 16);
+        assert_eq!(base, spec_fingerprint(&s.clone()), "deterministic");
+
+        let mut threads = s.clone();
+        threads.threads = 3;
+        assert_eq!(base, spec_fingerprint(&threads), "threads are excluded");
+
+        let mut reps = s.clone();
+        reps.reps = 4;
+        assert_ne!(base, spec_fingerprint(&reps));
+        let mut opts = s.clone();
+        opts.opts = MethodOpts {
+            l_prim: 123,
+            ..s.opts.clone()
+        };
+        assert_ne!(base, spec_fingerprint(&opts));
+        let mut seed = s.clone();
+        seed.seed = 1;
+        assert_ne!(base, spec_fingerprint(&seed));
+    }
+}

@@ -148,6 +148,12 @@ fn write_number(out: &mut String, v: f64) {
         // Integral values print without a trailing ".0", like serde_json.
         // Negative zero takes the float path so its sign survives.
         out.push_str(&format!("{}", v as i64));
+    } else if v != 0.0 && !(1e-5..1e16).contains(&v.abs()) {
+        // Extreme magnitudes: `Display` is shortest-round-trip but always
+        // positional, so 1e-300 would print as "0.000…001" with 300
+        // digits. `LowerExp` keeps the same exactness guarantee in
+        // JSON-valid scientific notation ("1e-300").
+        out.push_str(&format!("{v:e}"));
     } else {
         out.push_str(&format!("{v}"));
     }
@@ -493,6 +499,53 @@ mod tests {
     fn non_finite_serializes_as_null() {
         assert_eq!(Json::num(f64::INFINITY), Json::Null);
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        // Adversarial values: extreme magnitudes, the integer-precision
+        // boundary 2^53 ± 1 (2^53 + 1 rounds to 2^53 as f64), negative
+        // zero, subnormals, and accumulated-error decimals.
+        let two53 = (1u64 << 53) as f64;
+        for v in [
+            1e-300,
+            -1e-300,
+            two53 - 1.0,
+            two53,
+            two53 + 1.0,
+            -0.0,
+            0.1 + 0.2,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1e16,
+            -1.7e308,
+            std::f64::consts::PI,
+        ] {
+            let text = Json::Num(v).to_string_compact();
+            let back = from_str(&text)
+                .unwrap_or_else(|e| panic!("reparse of {text}: {e}"))
+                .as_f64()
+                .expect("numeric");
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "value {v:e} serialized as {text} round-tripped to {back:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_floats_serialize_compactly() {
+        // The positional form of 1e-300 would be 300+ characters; the
+        // writer must use scientific notation instead.
+        assert_eq!(Json::Num(1e-300).to_string_compact(), "1e-300");
+        assert_eq!(Json::Num(5e-324).to_string_compact(), "5e-324");
+        assert!(Json::Num(f64::MAX).to_string_compact().len() < 30);
+        // … but ordinary magnitudes keep the familiar positional form.
+        assert_eq!(Json::Num(0.5).to_string_compact(), "0.5");
+        assert_eq!(Json::Num(1234.25).to_string_compact(), "1234.25");
     }
 
     #[test]

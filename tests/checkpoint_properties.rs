@@ -1,0 +1,241 @@
+//! Property-based tests of the shard-checkpoint layer: arbitrary unit
+//! records — including adversarial (NaN-free) float extremes, empty
+//! shards, and duplicate units — survive serialize → parse → merge
+//! unchanged, bit for bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use reds::eval::checkpoint::{
+    load_checkpoint, merge_records, record_from_json, record_to_json, CheckpointError,
+    CheckpointHeader, CheckpointWriter, ShardCheckpoint, UnitRecord,
+};
+use reds::eval::{Evaluation, WorkUnit};
+use reds::subgroup::HyperBox;
+use reds_json::from_str;
+
+/// Float values that have historically broken naive JSON formatters:
+/// extreme magnitudes, subnormals, the 2^53 integer-precision boundary,
+/// negative zero, and accumulated-rounding decimals.
+const EXTREMES: [f64; 14] = [
+    0.0,
+    -0.0,
+    1e-300,
+    -1e-300,
+    5e-324,
+    -5e-324,
+    f64::MAX,
+    f64::MIN,
+    f64::MIN_POSITIVE,
+    9007199254740991.0,
+    9007199254740992.0,
+    -9007199254740991.0,
+    0.30000000000000004,
+    1.0,
+];
+
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    (0usize..EXTREMES.len(), -1e3f64..1e3, prop::bool::ANY).prop_map(|(i, random, extreme)| {
+        if extreme {
+            EXTREMES[i]
+        } else {
+            random
+        }
+    })
+}
+
+fn arb_box() -> impl Strategy<Value = HyperBox> {
+    prop::collection::vec((adversarial_f64(), adversarial_f64(), 0usize..4), 1..4usize).prop_map(
+        |dims| {
+            let bounds: Vec<(f64, f64)> = dims
+                .into_iter()
+                .map(|(a, b, kind)| match kind {
+                    // Unbounded / half-open sides exercise the null/"inf"
+                    // encodings of `HyperBox::to_json`.
+                    0 => (f64::NEG_INFINITY, f64::INFINITY),
+                    1 => (f64::NEG_INFINITY, a.max(b)),
+                    2 => (a.min(b), f64::INFINITY),
+                    _ => (a.min(b), a.max(b)),
+                })
+                .collect();
+            HyperBox::from_bounds(bounds)
+        },
+    )
+}
+
+fn arb_record() -> impl Strategy<Value = UnitRecord> {
+    (
+        (0u64..u64::MAX, 0u64..u64::MAX, 0usize..64, 0usize..8),
+        (
+            adversarial_f64(),
+            adversarial_f64(),
+            adversarial_f64(),
+            adversarial_f64(),
+            adversarial_f64(),
+        ),
+        (0usize..40, 0usize..40),
+        arb_box(),
+    )
+        .prop_map(
+            |((rs, ms, rep, mi), (pr, prec, rec, wr, rt), (nr, ni), last_box)| UnitRecord {
+                spec: format!("{:016x}", rs ^ ms),
+                unit: WorkUnit {
+                    function: "fn-π \"quoted\\name\"".to_string(),
+                    n: 200,
+                    method: format!("M{mi}"),
+                    method_index: mi,
+                    rep,
+                    rep_seed: rs,
+                    method_seed: ms,
+                },
+                eval: Evaluation {
+                    pr_auc: pr,
+                    precision: prec,
+                    recall: rec,
+                    wracc: wr,
+                    n_restricted: nr,
+                    n_irrel: ni,
+                    runtime_ms: rt,
+                    last_box,
+                },
+            },
+        )
+}
+
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn record_eq(a: &UnitRecord, b: &UnitRecord) -> bool {
+    a.spec == b.spec
+        && a.unit == b.unit
+        && bits_eq(a.eval.pr_auc, b.eval.pr_auc)
+        && bits_eq(a.eval.precision, b.eval.precision)
+        && bits_eq(a.eval.recall, b.eval.recall)
+        && bits_eq(a.eval.wracc, b.eval.wracc)
+        && bits_eq(a.eval.runtime_ms, b.eval.runtime_ms)
+        && a.eval.n_restricted == b.eval.n_restricted
+        && a.eval.n_irrel == b.eval.n_irrel
+        && a.eval.last_box.bounds().len() == b.eval.last_box.bounds().len()
+        && a.eval
+            .last_box
+            .bounds()
+            .iter()
+            .zip(b.eval.last_box.bounds())
+            .all(|(x, y)| bits_eq(x.0, y.0) && bits_eq(x.1, y.1))
+}
+
+fn tmp_file(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "reds-ckpt-prop-{}-{}-{tag}.jsonl",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Deduplicates by merge key so duplicate-rejection never fires on
+/// honestly-generated inputs.
+fn distinct(records: Vec<UnitRecord>) -> Vec<UnitRecord> {
+    let mut seen = std::collections::HashSet::new();
+    records
+        .into_iter()
+        .filter(|r| seen.insert((r.spec.clone(), r.unit.method.clone(), r.unit.rep)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_json_round_trip_is_bitwise_exact(record in arb_record()) {
+        let text = record_to_json(&record).to_string_compact();
+        let doc = from_str(&text).expect("reparse");
+        let back = record_from_json(&doc).expect("record shape");
+        prop_assert!(record_eq(&record, &back), "{record:?}\n-> {text}\n-> {back:?}");
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_preserves_all_records(
+        records in prop::collection::vec(arb_record(), 0..12),
+        shard in 0usize..4,
+    ) {
+        let records = distinct(records);
+        let path = tmp_file("roundtrip");
+        let header = CheckpointHeader::new("feedf00d", shard, 4);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+        let ck = load_checkpoint(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&ck.header, &header);
+        prop_assert!(!ck.truncated);
+        prop_assert_eq!(ck.records.len(), records.len());
+        for (a, b) in ck.records.iter().zip(&records) {
+            prop_assert!(record_eq(a, b), "{:?} != {:?}", a, b);
+        }
+        // Merging an empty or populated single shard is the identity.
+        let merged = merge_records("feedf00d", &[ck]).expect("merge");
+        prop_assert_eq!(merged.len(), records.len());
+    }
+
+    #[test]
+    fn merge_is_invariant_to_shard_arrival_order(
+        records in prop::collection::vec(arb_record(), 2..16),
+        rotate in 1usize..4,
+    ) {
+        let records = distinct(records);
+        let k = 3usize;
+        let shards: Vec<ShardCheckpoint> = (0..k)
+            .map(|s| ShardCheckpoint {
+                header: CheckpointHeader::new("ab", s, k),
+                records: records
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % k == s)
+                    .map(|(_, r)| r.clone())
+                    .collect(),
+                truncated: false,
+            })
+            .collect();
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotate % k);
+        let a = merge_records("ab", &shards).expect("merge");
+        let b = merge_records("ab", &rotated).expect("merge rotated");
+        prop_assert_eq!(a.len(), records.len());
+        // Same multiset of units either way.
+        for r in &a {
+            prop_assert!(b.iter().any(|x| record_eq(x, r)));
+        }
+    }
+
+    #[test]
+    fn duplicate_units_are_rejected(records in prop::collection::vec(arb_record(), 1..8)) {
+        let mut records = distinct(records);
+        records.push(records[0].clone());
+        let shard = ShardCheckpoint {
+            header: CheckpointHeader::new("cc", 0, 1),
+            records,
+            truncated: false,
+        };
+        prop_assert!(matches!(
+            merge_records("cc", &[shard]),
+            Err(CheckpointError::DuplicateUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_fingerprints_are_rejected(records in prop::collection::vec(arb_record(), 0..4)) {
+        let shard = ShardCheckpoint {
+            header: CheckpointHeader::new("aaaa", 0, 1),
+            records: distinct(records),
+            truncated: false,
+        };
+        prop_assert!(matches!(
+            merge_records("bbbb", &[shard]),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+    }
+}

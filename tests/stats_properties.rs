@@ -95,6 +95,86 @@ proptest! {
     }
 }
 
+// ---- paired-comparison edge cases (ties, single rep, identical
+// methods) — the degenerate shapes a sharded sweep can feed the
+// post-hoc tests when a grid is tiny. All must stay well-defined.
+
+#[test]
+fn signed_rank_identical_methods_are_inconclusive() {
+    // Two methods with bit-identical per-rep scores: every difference is
+    // zero, Wilcoxon's rule drops them all, p must be 1 (never NaN).
+    let a = vec![0.52, 0.61, 0.7, 0.44, 0.8, 0.9, 0.31];
+    let p = wilcoxon_signed_rank(&a, &a.clone());
+    assert_eq!(p, 1.0);
+}
+
+#[test]
+fn signed_rank_single_rep_is_inconclusive() {
+    assert_eq!(wilcoxon_signed_rank(&[0.7], &[0.2]), 1.0);
+    assert_eq!(wilcoxon_signed_rank(&[], &[]), 1.0);
+}
+
+#[test]
+fn signed_rank_handles_fully_tied_magnitudes() {
+    // All non-zero differences share the same magnitude — the rank
+    // vector is one big tie. p stays finite and in range.
+    let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+    let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+    let p = wilcoxon_signed_rank(&a, &b);
+    assert!((0.0..=1.0).contains(&p), "p = {p}");
+    assert!(p < 0.05, "a uniform shift over 7 pairs is significant");
+}
+
+#[test]
+fn rank_sum_all_tied_values_are_inconclusive() {
+    // Identical constant samples: the tie-corrected variance collapses
+    // to zero; the test must answer 1, not divide by zero.
+    let a = vec![0.5; 8];
+    assert_eq!(wilcoxon_rank_sum(&a, &a.clone()), 1.0);
+    assert_eq!(wilcoxon_rank_sum(&[], &a), 1.0);
+}
+
+#[test]
+fn rank_sum_single_observations() {
+    let p = wilcoxon_rank_sum(&[1.0], &[2.0]);
+    assert!((0.0..=1.0).contains(&p), "p = {p}");
+}
+
+#[test]
+fn friedman_degenerate_shapes_are_inconclusive() {
+    // Single block (one function), single treatment, ragged rows, and
+    // fully tied scores all degrade to (0-ish, 1) rather than NaN.
+    let (_, p) = friedman_test(&[vec![1.0, 2.0, 3.0]]);
+    assert!((0.0..=1.0).contains(&p), "single block: p = {p}");
+    assert_eq!(friedman_test(&[vec![1.0], vec![2.0]]), (0.0, 1.0));
+    assert_eq!(friedman_test(&[]), (0.0, 1.0));
+    assert_eq!(
+        friedman_test(&[vec![1.0, 2.0], vec![1.0, 2.0, 3.0]]),
+        (0.0, 1.0),
+        "ragged input"
+    );
+    let (chi2, p) = friedman_test(&[vec![0.5; 4], vec![0.5; 4], vec![0.5; 4]]);
+    assert!(chi2 <= 1e-9, "all-tied chi2 = {chi2}");
+    assert!(p > 0.99, "all-tied p = {p}");
+}
+
+#[test]
+fn average_ranks_of_identical_values_share_the_mean_rank() {
+    let r = average_ranks(&[7.0; 5]);
+    assert_eq!(r, vec![3.0; 5]);
+    assert_eq!(average_ranks(&[1.0]), vec![1.0]);
+}
+
+#[test]
+fn spearman_with_heavy_ties_stays_bounded() {
+    let a = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+    let b = vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+    let rho = spearman(&a, &b);
+    assert!((-1.0..=1.0).contains(&rho), "rho = {rho}");
+    // A constant sample has zero rank variance: defined as 0.
+    assert_eq!(spearman(&[4.0; 6], &a), 0.0);
+}
+
 #[test]
 fn hyperbox_json_roundtrip() {
     // Scenario persistence: a discovered box survives a JSON round trip,
