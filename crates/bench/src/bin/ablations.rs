@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use reds_core::{ActiveConfig, ActiveReds, Reds, RedsConfig};
 use reds_data::Dataset;
 use reds_eval::stats::wilcoxon_signed_rank;
-use reds_functions::{by_name, BenchmarkFunction};
+use reds_functions::BenchmarkFunction;
 use reds_metamodel::GbdtParams;
 use reds_metrics::{pr_auc, precision};
 use reds_sampling::{latin_hypercube, uniform};
@@ -44,7 +44,7 @@ fn main() {
     let args = Args::parse();
     let reps = args.get_usize("reps", 10);
     let n = args.get_usize("n", 400);
-    let f = by_name(&args.get_str("function", "morris")).expect("registered function");
+    let f = reds_bench::resolve_function(&args.get_str("function", "morris"));
     let test = test_data(f, 0xAB1A, args.get_usize("test", 10_000));
 
     // ---------------------------------------------------------------

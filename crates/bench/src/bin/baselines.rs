@@ -9,10 +9,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use reds_bench::resolve_function;
 use reds_bench::{function_names, Args};
 use reds_core::{Reds, RedsConfig};
 use reds_eval::stats::wilcoxon_signed_rank;
-use reds_functions::by_name;
 use reds_metamodel::GbdtParams;
 use reds_metrics::pr_auc;
 use reds_sampling::{latin_hypercube, uniform};
@@ -30,7 +30,7 @@ fn main() {
     println!("|---|{}|", "---|".repeat(variants.len()));
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for fname in &functions {
-        let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
+        let f = resolve_function(fname);
         let mut test_rng = StdRng::seed_from_u64(0xBA5E);
         let test_pts = uniform(args.get_usize("test", 10_000), f.m(), &mut test_rng);
         let test = f

@@ -12,10 +12,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use reds_bench::resolve_function;
 use reds_bench::{function_names, Args};
 use reds_eval::stats::spearman;
 use reds_eval::{run_experiment, ExperimentSpec, MethodOpts};
-use reds_functions::by_name;
 use reds_metrics::nn_disagreement;
 use reds_sampling::uniform;
 
@@ -36,7 +36,7 @@ fn main() {
     let mut complexities = Vec::new();
     let mut gains = Vec::new();
     for fname in &functions {
-        let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
+        let f = resolve_function(fname);
         // Boundary complexity from a moderate labeled sample.
         let mut rng = StdRng::seed_from_u64(0xC0);
         let pts = uniform(sample, f.m(), &mut rng);

@@ -8,6 +8,30 @@ pub mod sweep;
 
 use std::collections::HashMap;
 
+/// Prints a CLI error (plus optional usage text) to stderr and exits
+/// with status 2 — bad invocations must not produce panic backtraces.
+pub fn cli_fail(message: impl std::fmt::Display, usage: &str) -> ! {
+    eprintln!("error: {message}");
+    if !usage.is_empty() {
+        eprintln!("\n{usage}");
+    }
+    std::process::exit(2)
+}
+
+/// Looks up a benchmark function by name, exiting with a helpful
+/// message (instead of a panic) when it does not exist.
+pub fn resolve_function(name: &str) -> &'static reds_functions::BenchmarkFunction {
+    reds_functions::by_name(name).unwrap_or_else(|| {
+        cli_fail(
+            format!(
+                "unknown function '{name}' — valid names: {}",
+                reds_functions::FUNCTION_NAMES.join(", ")
+            ),
+            "",
+        )
+    })
+}
+
 /// Minimal `--key value` command-line parser (no positional arguments).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -39,24 +63,28 @@ impl Args {
         Self { values, flags }
     }
 
-    /// Integer option with default.
+    /// Integer option with default; a malformed value exits with a
+    /// message and status 2 (no panic backtrace).
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
             .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+                v.parse().unwrap_or_else(|_| {
+                    cli_fail(format!("--{key} expects an integer, got '{v}'"), "")
+                })
             })
             .unwrap_or(default)
     }
 
-    /// Float option with default.
+    /// Float option with default; a malformed value exits with a
+    /// message and status 2 (no panic backtrace).
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
             .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+                v.parse().unwrap_or_else(|_| {
+                    cli_fail(format!("--{key} expects a number, got '{v}'"), "")
+                })
             })
             .unwrap_or(default)
     }

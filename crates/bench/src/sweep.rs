@@ -27,7 +27,21 @@ use reds_eval::{
 use reds_functions::by_name;
 use reds_json::Json;
 
-use crate::{function_names, Args};
+use crate::{cli_fail, function_names, resolve_function, Args};
+
+/// Usage text shared by the sweep binaries' CLI error paths.
+pub const SWEEP_USAGE: &str = "sweep flags:
+  --functions a,b,c     benchmark functions (--all for all 33)
+  --ns 200,400,800      training sizes
+  --reps N              repetitions per cell
+  --l N / --l-bi N      pseudo-label sample sizes
+  --q N                 bumping ensemble size
+  --test N              held-out test size
+  --methods P,RPf,...   method columns
+  --json PATH           machine-readable rows
+  --shard i/k           run shard i of k (requires --checkpoint-dir)
+  --checkpoint-dir DIR  JSONL checkpoint directory
+  --resume              skip units already checkpointed";
 
 /// Which table's grid and report a sweep reproduces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,11 +88,21 @@ impl Sweep {
     fn build(kind: TableKind, args: &Args, family: &[&str]) -> Self {
         let reps = args.get_usize("reps", 10);
         let functions = function_names(args);
-        let ns: Vec<usize> = args
-            .get_str("ns", "200,400,800")
+        let raw_ns = args.get_str("ns", "200,400,800");
+        let ns: Vec<usize> = raw_ns
             .split(',')
-            .map(|s| s.trim().parse().expect("--ns expects integers"))
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    cli_fail(
+                        format!("--ns expects comma-separated integers, got '{raw_ns}'"),
+                        SWEEP_USAGE,
+                    )
+                })
+            })
             .collect();
+        if ns.is_empty() {
+            cli_fail("--ns needs at least one training size", SWEEP_USAGE);
+        }
         let opts = MethodOpts {
             l_prim: args.get_usize("l", 20_000),
             l_bi: args.get_usize("l-bi", 10_000),
@@ -95,7 +119,7 @@ impl Sweep {
         let method_refs: Vec<&str> = methods.iter().map(String::as_str).collect();
 
         let make_spec = |fname: &str, n: usize| {
-            let f = by_name(fname).unwrap_or_else(|| panic!("unknown function {fname}"));
+            let f = resolve_function(fname);
             let mut spec = ExperimentSpec::new(f, n, &method_refs);
             spec.reps = reps;
             spec.test_size = test_size;
@@ -514,15 +538,22 @@ pub fn rows_json(sweep: &Sweep, results: &[Vec<MethodSummary>]) -> Json {
     Json::Arr(rows)
 }
 
-/// Parses `--shard i/k` (default `0/1` — the monolithic run).
-pub fn parse_shard(args: &Args) -> (usize, usize) {
+/// Parses `--shard i/k` (default `0/1` — the monolithic run),
+/// returning a message suitable for the CLI on malformed input.
+pub fn try_parse_shard(args: &Args) -> Result<(usize, usize), String> {
     let raw = args.get_str("shard", "0/1");
     let parse = || -> Option<(usize, usize)> {
         let (i, k) = raw.split_once('/')?;
         let (i, k) = (i.trim().parse().ok()?, k.trim().parse().ok()?);
         (k > 0 && i < k).then_some((i, k))
     };
-    parse().unwrap_or_else(|| panic!("--shard expects i/k with i < k, got {raw}"))
+    parse().ok_or_else(|| format!("--shard expects i/k with i < k, got '{raw}'"))
+}
+
+/// CLI wrapper of [`try_parse_shard`]: exits with status 2 and the
+/// usage text on malformed input instead of panicking.
+pub fn parse_shard(args: &Args) -> (usize, usize) {
+    try_parse_shard(args).unwrap_or_else(|e| cli_fail(e, SWEEP_USAGE))
 }
 
 /// The shared CLI driver of `table3` and `table4`: executes this
@@ -534,14 +565,20 @@ pub fn run_cli(sweep: &Sweep, args: &Args) {
     let checkpoint_dir = (!dir.is_empty()).then(|| PathBuf::from(&dir));
     let resume = args.has_flag("resume");
     if resume && checkpoint_dir.is_none() {
-        panic!("--resume requires --checkpoint-dir");
+        cli_fail("--resume requires --checkpoint-dir", SWEEP_USAGE);
     }
     if of > 1 && checkpoint_dir.is_none() {
-        panic!("--shard {shard}/{of} requires --checkpoint-dir to store partial results");
+        cli_fail(
+            format!("--shard {shard}/{of} requires --checkpoint-dir to store partial results"),
+            SWEEP_USAGE,
+        );
     }
 
-    let outcome = run_shard(sweep, shard, of, checkpoint_dir.as_deref(), resume)
-        .unwrap_or_else(|e| panic!("shard execution failed: {e}"));
+    let outcome =
+        run_shard(sweep, shard, of, checkpoint_dir.as_deref(), resume).unwrap_or_else(|e| {
+            eprintln!("error: shard execution failed: {e}");
+            std::process::exit(1)
+        });
     eprintln!(
         "shard {shard}/{of}: executed {} unit(s), resumed {} (of {} total in the sweep)",
         outcome.executed,
@@ -550,13 +587,18 @@ pub fn run_cli(sweep: &Sweep, args: &Args) {
     );
 
     if of == 1 {
-        let results = aggregate(sweep, &outcome.records)
-            .unwrap_or_else(|e| panic!("aggregation failed: {e}"));
+        let results = aggregate(sweep, &outcome.records).unwrap_or_else(|e| {
+            eprintln!("error: aggregation failed: {e}");
+            std::process::exit(1)
+        });
         print!("{}", render(sweep, &results));
         let json_path = args.get_str("json", "");
         if !json_path.is_empty() {
             std::fs::write(&json_path, rows_json(sweep, &results).to_string_pretty())
-                .expect("write json");
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {json_path}: {e}");
+                    std::process::exit(1)
+                });
             eprintln!("rows written to {json_path}");
         }
     } else {
@@ -766,9 +808,12 @@ mod tests {
     #[test]
     fn shard_parsing_accepts_valid_and_rejects_invalid() {
         let args = Args::from_tokens(["--shard", "1/3"].iter().map(|s| s.to_string()));
-        assert_eq!(parse_shard(&args), (1, 3));
-        assert_eq!(parse_shard(&Args::default()), (0, 1));
-        let bad = Args::from_tokens(["--shard", "3/3"].iter().map(|s| s.to_string()));
-        assert!(std::panic::catch_unwind(|| parse_shard(&bad)).is_err());
+        assert_eq!(try_parse_shard(&args), Ok((1, 3)));
+        assert_eq!(try_parse_shard(&Args::default()), Ok((0, 1)));
+        for bad in ["3/3", "4/3", "x/3", "2", "1/0", "-1/3"] {
+            let args = Args::from_tokens(["--shard", bad].iter().map(|s| s.to_string()));
+            let err = try_parse_shard(&args).expect_err(bad);
+            assert!(err.contains("--shard"), "{bad} → {err}");
+        }
     }
 }

@@ -1,0 +1,96 @@
+//! Regression tests for the CLI hardening: bad invocations must exit
+//! with status 2 and a readable message — never a panic backtrace.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .env("RUST_BACKTRACE", "1") // a panic would be loud and detectable
+        .output()
+        .expect("binary runs")
+}
+
+fn assert_usage_error(out: &Output, expect_in_stderr: &str, context: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{context}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{context}: stderr missing '{expect_in_stderr}':\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{context}: panic backtrace leaked to the user:\n{stderr}"
+    );
+}
+
+#[test]
+fn table3_rejects_malformed_shard_without_panicking() {
+    let out = run(env!("CARGO_BIN_EXE_table3"), &["--shard", "3/3"]);
+    assert_usage_error(&out, "--shard", "shard out of range");
+    let out = run(env!("CARGO_BIN_EXE_table3"), &["--shard", "banana"]);
+    assert_usage_error(&out, "--shard", "non-numeric shard");
+    // Sharding without a checkpoint directory is a usage error too.
+    let out = run(
+        env!("CARGO_BIN_EXE_table3"),
+        &[
+            "--shard",
+            "0/2",
+            "--functions",
+            "2",
+            "--ns",
+            "60",
+            "--reps",
+            "1",
+        ],
+    );
+    assert_usage_error(&out, "--checkpoint-dir", "shard without checkpoint dir");
+}
+
+#[test]
+fn table3_rejects_malformed_ns_and_reps() {
+    let out = run(env!("CARGO_BIN_EXE_table3"), &["--ns", "2x0,400"]);
+    assert_usage_error(&out, "--ns", "malformed --ns");
+    let out = run(env!("CARGO_BIN_EXE_table3"), &["--reps", "many"]);
+    assert_usage_error(&out, "--reps", "malformed --reps");
+}
+
+#[test]
+fn table4_rejects_unknown_function_names() {
+    let out = run(
+        env!("CARGO_BIN_EXE_table4"),
+        &["--functions", "no-such-function"],
+    );
+    assert_usage_error(&out, "unknown function", "unknown function");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("morris"),
+        "error should list valid names:\n{stderr}"
+    );
+}
+
+#[test]
+fn fit_model_requires_its_flags_and_validates_them() {
+    let out = run(env!("CARGO_BIN_EXE_fit_model"), &[]);
+    assert_usage_error(&out, "--function", "missing --function");
+    let out = run(
+        env!("CARGO_BIN_EXE_fit_model"),
+        &["--function", "nope", "--out", "/tmp/x.json"],
+    );
+    assert_usage_error(&out, "unknown function", "unknown function");
+    let out = run(
+        env!("CARGO_BIN_EXE_fit_model"),
+        &["--function", "2", "--out", "/tmp/x.json", "--family", "q"],
+    );
+    assert_usage_error(&out, "unknown family", "unknown family");
+    let out = run(
+        env!("CARGO_BIN_EXE_fit_model"),
+        &["--function", "2", "--out", "/tmp/x.json", "--n", "0"],
+    );
+    assert_usage_error(&out, "--n", "zero n");
+}

@@ -233,11 +233,21 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per open array/object, so without a cap
+/// an adversarial `[[[[…` document overflows the stack; 128 levels is
+/// far beyond any REDS artifact (which nest a handful deep) while
+/// keeping the worst-case stack bounded.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
+///
+/// Documents nested deeper than [`MAX_DEPTH`] containers are rejected
+/// with a parse error rather than overflowing the stack.
 pub fn from_str(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters after document"));
@@ -267,7 +277,7 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -276,6 +286,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b'[') => {
+            if depth >= MAX_DEPTH {
+                return Err(err(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -284,7 +297,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -297,6 +310,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_DEPTH {
+                return Err(err(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+            }
             *pos += 1;
             let mut pairs = Vec::new();
             skip_ws(bytes, pos);
@@ -309,7 +325,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -578,6 +594,44 @@ mod tests {
         ] {
             assert!(from_str(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn adversarially_deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // Before the MAX_DEPTH check, each of these ~10k-deep documents
+        // crashed the process with a stack overflow.
+        let deep_arrays = "[".repeat(10_000);
+        let deep_closed = format!("{}0{}", "[".repeat(10_000), "]".repeat(10_000));
+        let deep_objects = "{\"a\":".repeat(10_000);
+        for bad in [deep_arrays, deep_closed, deep_objects] {
+            let e = from_str(&bad).expect_err("deep nesting must be rejected");
+            assert!(e.message.contains("nesting"), "message: {}", e.message);
+        }
+        // Mixed array/object nesting counts combined depth.
+        let mixed = "[{\"a\":".repeat(5_000);
+        assert!(from_str(&mixed).is_err());
+    }
+
+    #[test]
+    fn nesting_below_the_limit_still_parses() {
+        let depth = MAX_DEPTH - 1;
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let parsed = from_str(&doc).expect("within-limit nesting parses");
+        let mut v = &parsed;
+        let mut seen = 0usize;
+        while let Json::Arr(items) = v {
+            v = &items[0];
+            seen += 1;
+        }
+        assert_eq!(seen, depth);
+        assert_eq!(v.as_f64(), Some(0.0));
+        // One past the limit fails.
+        let doc = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(from_str(&doc).is_err());
     }
 
     #[test]

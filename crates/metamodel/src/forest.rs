@@ -96,6 +96,46 @@ impl RandomForest {
     pub fn m(&self) -> usize {
         self.m
     }
+
+    /// Serializes the fitted forest: `{"m": …, "trees": […]}` of
+    /// [`RegressionTree::to_json`] documents, in ensemble order (the
+    /// order matters — per-point sums accumulate in tree order, so
+    /// preserving it keeps round-tripped predictions bit-identical).
+    pub fn to_json(&self) -> reds_json::Json {
+        reds_json::Json::obj([
+            ("m", reds_json::Json::num(self.m as f64)),
+            (
+                "trees",
+                reds_json::Json::arr(self.trees.iter().map(RegressionTree::to_json)),
+            ),
+        ])
+    }
+
+    /// Reconstructs a forest from [`RandomForest::to_json`] output,
+    /// validating every tree (see [`RegressionTree::from_json`]).
+    pub fn from_json(doc: &reds_json::Json) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::{bad, field, usize_from_json};
+        let m = usize_from_json(field(doc, "m")?, "'m'")?;
+        if m == 0 {
+            return Err(bad("'m' must be positive"));
+        }
+        let trees = field(doc, "trees")?
+            .as_array()
+            .ok_or_else(|| bad("'trees' must be an array"))?
+            .iter()
+            .map(RegressionTree::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if trees.is_empty() {
+            return Err(bad("forest has no trees"));
+        }
+        if let Some(t) = trees.iter().find(|t| t.m() != m) {
+            return Err(bad(format!(
+                "tree fitted on {} columns inside a forest with m = {m}",
+                t.m()
+            )));
+        }
+        Ok(Self { trees, m })
+    }
 }
 
 impl Metamodel for RandomForest {

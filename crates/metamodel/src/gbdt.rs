@@ -322,6 +322,115 @@ impl Gbdt {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Number of input columns the ensemble was fitted on.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Serializes the fitted ensemble: each tree is an array of nodes —
+    /// leaves `[weight]`, splits `[feature, threshold, left, right]`.
+    pub fn to_json(&self) -> reds_json::Json {
+        use crate::persist::f64_to_json;
+        use reds_json::Json;
+        let tree_to_json = |tree: &GradientTree| {
+            Json::arr(tree.nodes.iter().map(|n| match n {
+                Node::Leaf { weight } => Json::arr([f64_to_json(*weight)]),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Json::arr([
+                    Json::num(*feature as f64),
+                    f64_to_json(*threshold),
+                    Json::num(*left as f64),
+                    Json::num(*right as f64),
+                ]),
+            }))
+        };
+        Json::obj([
+            ("m", Json::num(self.m as f64)),
+            ("base_score", f64_to_json(self.base_score)),
+            ("eta", f64_to_json(self.eta)),
+            ("trees", Json::arr(self.trees.iter().map(tree_to_json))),
+        ])
+    }
+
+    /// Reconstructs an ensemble from [`Gbdt::to_json`] output. Both
+    /// children of every split must lie strictly after it in the arena
+    /// (traversal terminates) and inside it; feature ids must be `< m`.
+    pub fn from_json(doc: &reds_json::Json) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::{bad, f64_from_json, field, usize_from_json};
+        let m = usize_from_json(field(doc, "m")?, "'m'")?;
+        if m == 0 {
+            return Err(bad("'m' must be positive"));
+        }
+        let base_score = f64_from_json(field(doc, "base_score")?)?;
+        let eta = f64_from_json(field(doc, "eta")?)?;
+        let tree_docs = field(doc, "trees")?
+            .as_array()
+            .ok_or_else(|| bad("'trees' must be an array"))?;
+        let mut trees = Vec::with_capacity(tree_docs.len());
+        for (ti, tree_doc) in tree_docs.iter().enumerate() {
+            let arr = tree_doc
+                .as_array()
+                .ok_or_else(|| bad(format!("tree {ti} must be an array of nodes")))?;
+            if arr.is_empty() {
+                return Err(bad(format!("tree {ti} has no nodes")));
+            }
+            let len = arr.len();
+            if len > u32::MAX as usize {
+                return Err(bad(format!("tree {ti} has too many nodes")));
+            }
+            let mut nodes = Vec::with_capacity(len);
+            for (i, node) in arr.iter().enumerate() {
+                let parts = node
+                    .as_array()
+                    .ok_or_else(|| bad(format!("tree {ti} node {i} must be an array")))?;
+                match parts.len() {
+                    1 => nodes.push(Node::Leaf {
+                        weight: f64_from_json(&parts[0])?,
+                    }),
+                    4 => {
+                        let feature = usize_from_json(&parts[0], "split feature")?;
+                        if feature >= m {
+                            return Err(bad(format!(
+                                "tree {ti} node {i}: feature {feature} out of range (m = {m})"
+                            )));
+                        }
+                        let threshold = f64_from_json(&parts[1])?;
+                        let left = usize_from_json(&parts[2], "left child")?;
+                        let right = usize_from_json(&parts[3], "right child")?;
+                        if left <= i || right <= i || left >= len || right >= len {
+                            return Err(bad(format!(
+                                "tree {ti} node {i}: children must lie strictly forward \
+                                 in the arena (left = {left}, right = {right}, len = {len})"
+                            )));
+                        }
+                        nodes.push(Node::Split {
+                            feature,
+                            threshold,
+                            left: left as u32,
+                            right: right as u32,
+                        });
+                    }
+                    k => {
+                        return Err(bad(format!(
+                            "tree {ti} node {i} has {k} fields (expected 1 or 4)"
+                        )))
+                    }
+                }
+            }
+            trees.push(GradientTree { nodes });
+        }
+        Ok(Self {
+            trees,
+            base_score,
+            eta,
+            m,
+        })
+    }
 }
 
 impl Metamodel for Gbdt {

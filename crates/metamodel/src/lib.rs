@@ -23,12 +23,14 @@
 
 mod forest;
 mod gbdt;
+pub mod persist;
 mod svm;
 mod tree;
 pub mod tune;
 
 pub use forest::{NaiveRandomForest, RandomForest, RandomForestParams};
 pub use gbdt::{Gbdt, GbdtParams};
+pub use persist::{PersistError, SavedModel};
 pub use svm::{Svm, SvmParams};
 pub use tree::{NaiveTree, RegressionTree, TreeParams};
 

@@ -204,6 +204,67 @@ impl Svm {
     pub fn n_support(&self) -> usize {
         self.support_coef.len()
     }
+
+    /// Number of input columns the SVM was fitted on.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Serializes the fitted SVM: kernel width, bias, coefficients
+    /// `α_i y_i`, and the flat row-major support-vector buffer.
+    pub fn to_json(&self) -> reds_json::Json {
+        use crate::persist::f64_to_json;
+        use reds_json::Json;
+        Json::obj([
+            ("m", Json::num(self.m as f64)),
+            ("gamma", f64_to_json(self.gamma)),
+            ("bias", f64_to_json(self.bias)),
+            (
+                "coef",
+                Json::arr(self.support_coef.iter().map(|&c| f64_to_json(c))),
+            ),
+            (
+                "points",
+                Json::arr(self.support_points.iter().map(|&v| f64_to_json(v))),
+            ),
+        ])
+    }
+
+    /// Reconstructs an SVM from [`Svm::to_json`] output, validating that
+    /// the support-point buffer is exactly `coef.len() × m` wide.
+    pub fn from_json(doc: &reds_json::Json) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::{bad, f64_from_json, field, usize_from_json};
+        let m = usize_from_json(field(doc, "m")?, "'m'")?;
+        if m == 0 {
+            return Err(bad("'m' must be positive"));
+        }
+        let gamma = f64_from_json(field(doc, "gamma")?)?;
+        let bias = f64_from_json(field(doc, "bias")?)?;
+        let floats = |key: &str| -> Result<Vec<f64>, crate::persist::PersistError> {
+            field(doc, key)?
+                .as_array()
+                .ok_or_else(|| bad(format!("'{key}' must be an array")))?
+                .iter()
+                .map(f64_from_json)
+                .collect()
+        };
+        let support_coef = floats("coef")?;
+        let support_points = floats("points")?;
+        if support_points.len() != support_coef.len() * m {
+            return Err(bad(format!(
+                "support buffer of {} values does not match {} coefficients × m = {m}",
+                support_points.len(),
+                support_coef.len()
+            )));
+        }
+        Ok(Self {
+            support_points,
+            support_coef,
+            bias,
+            gamma,
+            m,
+        })
+    }
 }
 
 impl Metamodel for Svm {

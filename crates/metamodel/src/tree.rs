@@ -479,6 +479,83 @@ impl RegressionTree {
         self.m
     }
 
+    /// Node arena as JSON: leaves `[value]`, splits
+    /// `[feature, threshold, right]` (left child implicit at the next
+    /// index, mirroring the in-memory layout).
+    pub(crate) fn nodes_to_json(&self) -> reds_json::Json {
+        use crate::persist::f64_to_json;
+        use reds_json::Json;
+        Json::arr(self.nodes.iter().map(|n| {
+            if n.feature == LEAF {
+                Json::arr([f64_to_json(n.value_or_threshold)])
+            } else {
+                Json::arr([
+                    Json::num(n.feature as f64),
+                    f64_to_json(n.value_or_threshold),
+                    Json::num(n.right as f64),
+                ])
+            }
+        }))
+    }
+
+    /// Rebuilds the arena from [`RegressionTree::nodes_to_json`] output,
+    /// rejecting any structure whose traversal could fail to terminate:
+    /// both children of a split must lie strictly after it (left at
+    /// `i + 1`, right beyond the left subtree), inside the arena, and
+    /// every feature id must be `< m`.
+    pub(crate) fn nodes_from_json(
+        doc: &reds_json::Json,
+        m: usize,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::{bad, f64_from_json, usize_from_json};
+        let arr = doc
+            .as_array()
+            .ok_or_else(|| bad("'nodes' must be an array"))?;
+        if arr.is_empty() {
+            return Err(bad("tree has no nodes"));
+        }
+        let len = arr.len();
+        if len > u32::MAX as usize {
+            return Err(bad("tree has too many nodes"));
+        }
+        let mut nodes = Vec::with_capacity(len);
+        for (i, node) in arr.iter().enumerate() {
+            let parts = node
+                .as_array()
+                .ok_or_else(|| bad(format!("node {i} must be an array")))?;
+            match parts.len() {
+                1 => nodes.push(CompactNode {
+                    value_or_threshold: f64_from_json(&parts[0])?,
+                    feature: LEAF,
+                    right: 0,
+                }),
+                3 => {
+                    let feature = usize_from_json(&parts[0], "split feature")?;
+                    if feature >= m {
+                        return Err(bad(format!(
+                            "node {i}: feature {feature} out of range (m = {m})"
+                        )));
+                    }
+                    let threshold = f64_from_json(&parts[1])?;
+                    let right = usize_from_json(&parts[2], "right child")?;
+                    if i + 1 >= len || right <= i + 1 || right >= len {
+                        return Err(bad(format!(
+                            "node {i}: children must lie strictly forward in the arena \
+                             (right = {right}, len = {len})"
+                        )));
+                    }
+                    nodes.push(CompactNode {
+                        value_or_threshold: threshold,
+                        feature: feature as u32,
+                        right: right as u32,
+                    });
+                }
+                k => return Err(bad(format!("node {i} has {k} fields (expected 1 or 3)"))),
+            }
+        }
+        Ok(Self { nodes, m })
+    }
+
     /// Number of nodes (leaves + splits).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()

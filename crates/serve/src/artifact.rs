@@ -1,0 +1,288 @@
+//! The serving artifact: a fitted metamodel `f^am` bundled with the
+//! training dataset `D` it was fitted on.
+//!
+//! `D` rides along because `discover` anchors its validation to the
+//! *original* simulated labels (the paper's `D_val = D`, §8.5): PRIM's
+//! stopping rule and best-box choice must not float on pseudo-labels.
+//! Keeping the pair in one document makes a served `discover` fully
+//! reproducible from the artifact file alone.
+
+use std::fmt;
+use std::path::Path;
+
+use reds_data::Dataset;
+use reds_json::Json;
+use reds_metamodel::persist::{f64_from_json, f64_to_json};
+use reds_metamodel::SavedModel;
+
+/// Current artifact schema version; bumped on incompatible changes.
+pub const ARTIFACT_SCHEMA_VERSION: usize = 1;
+
+/// Document-type marker distinguishing artifacts from other REDS JSON.
+pub const ARTIFACT_KIND: &str = "reds-model-artifact";
+
+/// A fitted metamodel plus its training data, ready to serve.
+pub struct ModelArtifact {
+    /// Name of the benchmark function (or data source) `D` came from.
+    pub function: String,
+    /// Seed the training run used (provenance; not consumed when
+    /// serving).
+    pub seed: u64,
+    /// The fitted metamodel.
+    pub model: SavedModel,
+    /// The training dataset `D` — the validation anchor for `discover`.
+    pub train: Dataset,
+}
+
+/// Why an artifact failed to load.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Parse(reds_json::ParseError),
+    /// The document is valid JSON but not a valid artifact.
+    Format(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read artifact: {e}"),
+            Self::Parse(e) => write!(f, "artifact is not valid JSON: {e}"),
+            Self::Format(m) => write!(f, "invalid artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn format_err(message: impl Into<String>) -> ArtifactError {
+    ArtifactError::Format(message.into())
+}
+
+impl ModelArtifact {
+    /// Serializes the artifact (model, training data, provenance).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str(ARTIFACT_KIND)),
+            ("schema_version", Json::num(ARTIFACT_SCHEMA_VERSION as f64)),
+            ("function", Json::str(self.function.clone())),
+            // u64 seeds exceed the exact-integer range of f64; a decimal
+            // string survives losslessly.
+            ("seed", Json::str(self.seed.to_string())),
+            ("family", Json::str(self.model.family())),
+            ("m", Json::num(self.train.m() as f64)),
+            ("model", self.model.to_json()),
+            (
+                "train",
+                Json::obj([
+                    (
+                        "points",
+                        Json::arr(self.train.points().iter().map(|&v| f64_to_json(v))),
+                    ),
+                    (
+                        "labels",
+                        Json::arr(self.train.labels().iter().map(|&v| f64_to_json(v))),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes and validates an artifact document.
+    pub fn from_json(doc: &Json) -> Result<Self, ArtifactError> {
+        let str_field = |key: &str| -> Result<&str, ArtifactError> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format_err(format!("missing string field '{key}'")))
+        };
+        let kind = str_field("kind")?;
+        if kind != ARTIFACT_KIND {
+            return Err(format_err(format!(
+                "document kind '{kind}' is not '{ARTIFACT_KIND}'"
+            )));
+        }
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format_err("missing 'schema_version'"))?;
+        if version != ARTIFACT_SCHEMA_VERSION as f64 {
+            return Err(format_err(format!(
+                "schema version {version} (this build reads {ARTIFACT_SCHEMA_VERSION})"
+            )));
+        }
+        let function = str_field("function")?.to_string();
+        let seed: u64 = str_field("seed")?
+            .parse()
+            .map_err(|_| format_err("'seed' must be a decimal u64 string"))?;
+        let m = doc
+            .get("m")
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 1.0 && v.fract() == 0.0)
+            .ok_or_else(|| format_err("'m' must be a positive integer"))? as usize;
+        let model = SavedModel::from_json(
+            doc.get("model")
+                .ok_or_else(|| format_err("missing 'model'"))?,
+        )
+        .map_err(|e| format_err(e.to_string()))?;
+        if model.m() != m {
+            return Err(format_err(format!(
+                "model expects {} input columns but the artifact declares m = {m}",
+                model.m()
+            )));
+        }
+        let family = str_field("family")?;
+        if family != model.family() {
+            return Err(format_err(format!(
+                "artifact declares family '{family}' but the embedded model is '{}'",
+                model.family()
+            )));
+        }
+        let train_doc = doc
+            .get("train")
+            .ok_or_else(|| format_err("missing 'train'"))?;
+        let floats = |key: &str| -> Result<Vec<f64>, ArtifactError> {
+            train_doc
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format_err(format!("'train.{key}' must be an array")))?
+                .iter()
+                .map(|v| f64_from_json(v).map_err(|e| format_err(e.to_string())))
+                .collect()
+        };
+        let points = floats("points")?;
+        let labels = floats("labels")?;
+        let train = Dataset::new(points, labels, m).map_err(|e| format_err(e.to_string()))?;
+        if train.is_empty() {
+            return Err(format_err("training data is empty"));
+        }
+        Ok(Self {
+            function,
+            seed,
+            model,
+            train,
+        })
+    }
+
+    /// Writes the artifact as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Reads and validates an artifact file.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let text = std::fs::read_to_string(path)?;
+        let doc = reds_json::from_str(&text).map_err(ArtifactError::Parse)?;
+        Self::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use reds_metamodel::{RandomForest, RandomForestParams};
+
+    pub(crate) fn tiny_artifact(seed: u64) -> ModelArtifact {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = Dataset::from_fn((0..120 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] > 0.5 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let params = RandomForestParams {
+            n_trees: 12,
+            ..Default::default()
+        };
+        let model = RandomForest::fit(&train, &params, &mut rng);
+        ModelArtifact {
+            function: "corner".to_string(),
+            seed,
+            model: SavedModel::Forest(model),
+            train,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_a_file() {
+        use reds_metamodel::Metamodel;
+        let artifact = tiny_artifact(1);
+        let dir = std::env::temp_dir().join(format!("reds-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        artifact.save(&path).expect("save");
+        let loaded = ModelArtifact::load(&path).expect("load");
+        assert_eq!(loaded.function, "corner");
+        assert_eq!(loaded.seed, 1);
+        assert_eq!(loaded.train, artifact.train);
+        let q: Vec<f64> = (0..64).map(|i| (i % 13) as f64 / 13.0).collect();
+        let a = artifact.model.predict_batch(&q, 2);
+        let b = loaded.model.predict_batch(&q, 2);
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn u64_seed_survives_beyond_f64_precision() {
+        let mut artifact = tiny_artifact(2);
+        artifact.seed = u64::MAX - 3;
+        let doc = reds_json::from_str(&artifact.to_json().to_string_compact()).unwrap();
+        let loaded = ModelArtifact::from_json(&doc).expect("round trip");
+        assert_eq!(loaded.seed, u64::MAX - 3);
+    }
+
+    #[test]
+    fn mismatched_m_is_rejected() {
+        let artifact = tiny_artifact(3);
+        let mut doc = artifact.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "m" {
+                    *v = Json::num(7.0);
+                }
+            }
+        }
+        assert!(ModelArtifact::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn mismatched_family_is_rejected() {
+        let artifact = tiny_artifact(4);
+        let mut doc = artifact.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "family" {
+                    *v = Json::str("s");
+                }
+            }
+        }
+        let err = match ModelArtifact::from_json(&doc) {
+            Err(e) => e,
+            Ok(_) => panic!("family disagreeing with the model must be rejected"),
+        };
+        assert!(err.to_string().contains("family"), "{err}");
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let doc = reds_json::from_str(r#"{"kind":"something-else"}"#).unwrap();
+        assert!(matches!(
+            ModelArtifact::from_json(&doc),
+            Err(ArtifactError::Format(_))
+        ));
+    }
+}

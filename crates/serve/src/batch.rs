@@ -1,0 +1,245 @@
+//! Micro-batching prediction worker.
+//!
+//! All connections funnel their `predict_batch` work through one
+//! worker thread that owns the model. The worker drains every request
+//! queued at that moment, concatenates their query rows into a single
+//! buffer, and makes **one** `predict_batch` call — the ensemble
+//! models' tree-major kernels then fan the combined batch out across
+//! the `reds-par` workers, so `k` concurrent small requests cost one
+//! cache-friendly pass over the trees instead of `k`.
+//!
+//! Correctness does not depend on how requests coalesce: every model's
+//! `predict_batch` is row-independent and bit-identical under any
+//! chunking, so a request's answers are the same whether it was served
+//! alone or inside a batch (the equivalence tests assert this against
+//! in-process calls).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use reds_metamodel::{Metamodel, SavedModel};
+
+use crate::protocol::ServeError;
+
+struct Job {
+    points: Vec<f64>,
+    reply: mpsc::Sender<Vec<f64>>,
+}
+
+/// Counters the `info` command reports.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Requests served.
+    pub requests: AtomicU64,
+    /// Kernel calls made (requests ÷ batches ≥ 1 under concurrency).
+    pub batches: AtomicU64,
+    /// Largest number of requests coalesced into one kernel call.
+    pub max_batched: AtomicU64,
+}
+
+/// Handle to the prediction worker; cheap to clone, one per connection.
+/// `mpsc::Sender` is `Sync`, so concurrent sends need no lock — the
+/// only serialization point is the worker itself.
+#[derive(Clone)]
+pub struct Batcher {
+    tx: mpsc::Sender<Job>,
+    stats: Arc<BatchStats>,
+    m: usize,
+}
+
+impl Batcher {
+    /// Spawns the worker thread owning `model`. The thread exits when
+    /// the last `Batcher` clone is dropped.
+    pub fn spawn(model: Arc<SavedModel>) -> Self {
+        let m = model.m();
+        Self::spawn_with(move |points, m| model.predict_batch(points, m), m)
+    }
+
+    /// Spawns the worker around an arbitrary batch-prediction function
+    /// (the server passes a closure borrowing the model through its
+    /// shared artifact).
+    pub fn spawn_with(
+        predict: impl Fn(&[f64], usize) -> Vec<f64> + Send + 'static,
+        m: usize,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let stats = Arc::new(BatchStats::default());
+        let worker_stats = Arc::clone(&stats);
+        std::thread::spawn(move || {
+            while let Ok(first) = rx.recv() {
+                let mut jobs = vec![first];
+                // Everything already queued joins this batch; later
+                // arrivals form the next one.
+                while let Ok(next) = rx.try_recv() {
+                    jobs.push(next);
+                }
+                worker_stats
+                    .requests
+                    .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                worker_stats.batches.fetch_add(1, Ordering::Relaxed);
+                worker_stats
+                    .max_batched
+                    .fetch_max(jobs.len() as u64, Ordering::Relaxed);
+                // A panic inside the model must not kill the worker —
+                // that would brick every future request on a server
+                // whose contract is per-request errors. Catch it, drop
+                // this batch's reply channels (each waiter gets an
+                // `internal` error), and keep serving.
+                let rows_per_job: Vec<usize> = jobs.iter().map(|j| j.points.len() / m).collect();
+                let combined: Vec<f64> = if jobs.len() == 1 {
+                    std::mem::take(&mut jobs[0].points)
+                } else {
+                    let total: usize = jobs.iter().map(|j| j.points.len()).sum();
+                    let mut buf = Vec::with_capacity(total);
+                    for job in &jobs {
+                        buf.extend_from_slice(&job.points);
+                    }
+                    buf
+                };
+                let total_rows: usize = rows_per_job.iter().sum();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    predict(&combined, m)
+                }));
+                let preds = match outcome {
+                    Ok(preds) if preds.len() == total_rows => preds,
+                    // Panic or a short/long prediction vector: drop the
+                    // replies rather than mis-slice answers.
+                    _ => continue,
+                };
+                if jobs.len() == 1 {
+                    let job = jobs.pop().expect("one job");
+                    let _ = job.reply.send(preds);
+                } else {
+                    let mut offset = 0usize;
+                    for (job, rows) in jobs.into_iter().zip(rows_per_job) {
+                        let _ = job.reply.send(preds[offset..offset + rows].to_vec());
+                        offset += rows;
+                    }
+                }
+            }
+        });
+        Self { tx, stats, m }
+    }
+
+    /// Number of input columns the model expects.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Worker counters.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Queues `points` (row-major, already validated to `m` columns)
+    /// and blocks for the predictions.
+    pub fn predict(&self, points: Vec<f64>) -> Result<Vec<f64>, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Job {
+                points,
+                reply: reply_tx,
+            })
+            .map_err(|_| ServeError::internal("prediction worker exited"))?;
+        reply_rx
+            .recv()
+            .map_err(|_| ServeError::internal("prediction worker dropped the request"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use reds_data::Dataset;
+    use reds_metamodel::{RandomForest, RandomForestParams};
+
+    fn model() -> Arc<SavedModel> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = Dataset::from_fn((0..200).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] + x[1] > 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
+        Arc::new(SavedModel::Forest(RandomForest::fit(
+            &train, &params, &mut rng,
+        )))
+    }
+
+    #[test]
+    fn batched_predictions_match_direct_calls_bitwise() {
+        let model = model();
+        let batcher = Batcher::spawn(Arc::clone(&model));
+        let queries: Vec<Vec<f64>> = (0..16)
+            .map(|k| {
+                (0..((k % 5) + 1) * 2)
+                    .map(|i| (i + k) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for q in &queries {
+            let b = batcher.clone();
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || b.predict(q).expect("predicts")));
+        }
+        for (handle, q) in handles.into_iter().zip(&queries) {
+            let got = handle.join().expect("thread");
+            let want = model.predict_batch(q, 2);
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 16);
+        assert!(stats.batches.load(Ordering::Relaxed) <= 16);
+    }
+
+    #[test]
+    fn empty_request_yields_empty_predictions() {
+        let batcher = Batcher::spawn(model());
+        assert_eq!(batcher.predict(Vec::new()).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_model() {
+        // A panic inside predict must fail only the in-flight request
+        // (structured internal error) and leave the worker serving.
+        let batcher = Batcher::spawn_with(
+            |points, m| {
+                assert!(
+                    !points.contains(&-1.0),
+                    "poison value triggers a model panic"
+                );
+                vec![0.5; points.len() / m]
+            },
+            2,
+        );
+        let err = batcher
+            .predict(vec![-1.0, 0.0])
+            .expect_err("poisoned request fails");
+        assert_eq!(err.code, crate::protocol::ErrorCode::Internal);
+        // The next request is served normally.
+        assert_eq!(batcher.predict(vec![0.1, 0.2]).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn worker_rejects_a_misbehaving_prediction_length() {
+        // A model returning the wrong number of predictions must not
+        // mis-slice answers across coalesced requests.
+        let batcher = Batcher::spawn_with(|_, _| vec![0.5; 999], 2);
+        let err = batcher
+            .predict(vec![0.1, 0.2])
+            .expect_err("length mismatch");
+        assert_eq!(err.code, crate::protocol::ErrorCode::Internal);
+    }
+}

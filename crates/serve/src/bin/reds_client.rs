@@ -1,0 +1,125 @@
+//! Command-line client for a running `reds_serve` process.
+//!
+//! ```text
+//! reds_client --addr 127.0.0.1:7878 --cmd info
+//! reds_client --addr … --cmd predict_batch --m 2 --points 0.1,0.9,0.4,0.2
+//! reds_client --addr … --cmd discover --l 2000 --seed 7 --algorithm prim
+//! reds_client --addr … --cmd shutdown
+//! ```
+//!
+//! Prints the server's `result` object as compact JSON on stdout.
+//! Exits 0 on success, 1 on a server/transport error, 2 on bad usage.
+
+use std::process::exit;
+
+use reds_serve::{Algorithm, Client, DiscoverParams};
+
+const USAGE: &str =
+    "usage: reds_client --addr HOST:PORT --cmd <info|predict_batch|discover|shutdown> \
+[--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X]";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut cmd = String::new();
+    let mut m = 0usize;
+    let mut points: Vec<f64> = Vec::new();
+    let mut params = DiscoverParams::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format!("{flag} expects {what}")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("host:port"),
+            "--cmd" => cmd = value("a command"),
+            "--m" => {
+                let raw = value("an integer");
+                m = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--m expects an integer, got '{raw}'")));
+            }
+            "--points" => {
+                let raw = value("a comma-separated list");
+                points = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            fail(format!("--points expects numbers, got '{s}'"))
+                        })
+                    })
+                    .collect();
+            }
+            "--l" => {
+                let raw = value("an integer");
+                params.l = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--l expects an integer, got '{raw}'")));
+            }
+            "--seed" => {
+                let raw = value("an integer");
+                params.seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--seed expects a u64, got '{raw}'")));
+            }
+            "--algorithm" => {
+                params.algorithm = match value("prim|bi").as_str() {
+                    "prim" => Algorithm::Prim,
+                    "bi" => Algorithm::BestInterval,
+                    other => fail(format!("unknown algorithm '{other}'")),
+                }
+            }
+            "--bnd" => {
+                let raw = value("a number");
+                params.bnd = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--bnd expects a number, got '{raw}'")));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    if addr.is_empty() {
+        fail("--addr is required");
+    }
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    let outcome = match cmd.as_str() {
+        "info" => client.info().map(|j| j.to_string_compact()),
+        "predict_batch" => {
+            if m == 0 {
+                fail("predict_batch needs --m and --points");
+            }
+            client.predict_batch(&points, m).map(|preds| {
+                reds_json::Json::arr(preds.into_iter().map(reds_json::Json::num))
+                    .to_string_compact()
+            })
+        }
+        "discover" => client
+            .discover(&params)
+            .map(|r| r.to_json().to_string_compact()),
+        "shutdown" => client
+            .shutdown()
+            .map(|()| "{\"shutdown\":true}".to_string()),
+        "" => fail("--cmd is required"),
+        other => fail(format!("unknown command '{other}'")),
+    };
+    match outcome {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}

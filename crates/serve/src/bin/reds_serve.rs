@@ -1,0 +1,70 @@
+//! The serving binary: load a model artifact, serve it over TCP until
+//! a client sends `shutdown` (or the process is killed).
+//!
+//! ```text
+//! cargo run --release -p reds-serve --bin reds_serve -- \
+//!     --model model.json [--addr 127.0.0.1:7878] \
+//!     [--max-frame-bytes N] [--max-rows N] [--max-discover-l N]
+//! ```
+//!
+//! Prints `listening on <addr>` on stdout once ready, so scripts can
+//! wait for the line before connecting.
+
+use std::path::Path;
+use std::process::exit;
+
+use reds_serve::{serve, ModelArtifact, ServeLimits};
+
+const USAGE: &str = "usage: reds_serve --model <artifact.json> [--addr HOST:PORT] \
+[--max-frame-bytes N] [--max-rows N] [--max-discover-l N]";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut model_path = String::new();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut limits = ServeLimits::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format!("{flag} expects {what}")))
+        };
+        match flag.as_str() {
+            "--model" => model_path = value("a file path"),
+            "--addr" => addr = value("host:port"),
+            "--max-frame-bytes" => limits.max_frame_bytes = parse_usize(&flag, &value("a size")),
+            "--max-rows" => limits.max_rows_per_request = parse_usize(&flag, &value("a count")),
+            "--max-discover-l" => limits.max_discover_l = parse_usize(&flag, &value("a count")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    if model_path.is_empty() {
+        fail("--model is required");
+    }
+    let artifact = ModelArtifact::load(Path::new(&model_path)).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "loaded {} metamodel for '{}' (m = {}, n_train = {})",
+        artifact.model.family(),
+        artifact.function,
+        artifact.train.m(),
+        artifact.train.n(),
+    );
+    let handle = serve(artifact, &addr, limits).unwrap_or_else(|e| fail(e));
+    println!("listening on {}", handle.addr());
+    handle.join();
+    eprintln!("shutdown complete");
+}
+
+fn parse_usize(flag: &str, raw: &str) -> usize {
+    raw.parse()
+        .unwrap_or_else(|_| fail(format!("{flag} expects an integer, got '{raw}'")))
+}

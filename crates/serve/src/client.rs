@@ -1,0 +1,182 @@
+//! A small blocking client for the serving protocol, used by the
+//! integration tests, the CI smoke test, and the `reds_client` CLI.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use reds_json::Json;
+use reds_subgroup::SdResult;
+
+use crate::protocol::{DiscoverParams, Request};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's reply could not be understood.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server {
+        /// Wire error code ("parse", "bad_request", …).
+        code: String,
+        /// Server-provided description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One connection to a serving process.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Sets a read timeout on replies (`None` blocks indefinitely).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one raw line and reads one raw response line — the escape
+    /// hatch the malformed-frame tests use.
+    pub fn send_raw_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        reds_json::from_str(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+
+    /// Sends a request and returns the `result` object of a successful
+    /// response, or the structured server error.
+    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let sent_id = request.id();
+        let mut text = request.to_json().to_string_compact();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        let doc = self.read_response()?;
+        let id = doc.get("id").and_then(Json::as_f64).unwrap_or(-1.0);
+        if id != sent_id as f64 {
+            return Err(ClientError::Protocol(format!(
+                "response id {id} does not match request id {sent_id}"
+            )));
+        }
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => doc
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("missing 'result'".to_string())),
+            Some(false) => {
+                let error = doc.get("error");
+                let get = |key: &str| {
+                    error
+                        .and_then(|e| e.get(key))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    code: get("code"),
+                    message: get("message"),
+                })
+            }
+            None => Err(ClientError::Protocol("missing 'ok'".to_string())),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Predicts every row of a row-major buffer with `m` columns.
+    pub fn predict_batch(&mut self, points: &[f64], m: usize) -> Result<Vec<f64>, ClientError> {
+        let id = self.fresh_id();
+        let result = self.call(&Request::PredictBatch {
+            id,
+            points: points.to_vec(),
+            m,
+        })?;
+        let arr = result
+            .get("predictions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'predictions'".to_string()))?;
+        arr.iter()
+            .map(|v| {
+                // Numbers plus the "inf"/"-inf"/"nan" markers, matching
+                // the server's (and the model files') encoding.
+                reds_metamodel::persist::f64_from_json(v)
+                    .map_err(|_| ClientError::Protocol("non-numeric prediction".to_string()))
+            })
+            .collect()
+    }
+
+    /// Runs scenario discovery on the server.
+    pub fn discover(&mut self, params: &DiscoverParams) -> Result<SdResult, ClientError> {
+        let id = self.fresh_id();
+        let result = self.call(&Request::Discover {
+            id,
+            params: params.clone(),
+        })?;
+        SdResult::from_json(&result)
+            .ok_or_else(|| ClientError::Protocol("unparseable 'boxes'".to_string()))
+    }
+
+    /// Fetches the model/server description.
+    pub fn info(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        self.call(&Request::Info { id })
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.call(&Request::Shutdown { id }).map(|_| ())
+    }
+}

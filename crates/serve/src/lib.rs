@@ -1,0 +1,37 @@
+//! `reds-serve`: the long-lived scenario-discovery service.
+//!
+//! The REDS pipeline trains an accurate metamodel `f^am` once and then
+//! uses it to pseudo-label arbitrarily many points (Algorithm 4). This
+//! crate turns that asymmetry into a serving layer: a fitted model is
+//! saved to a JSON [`artifact`](crate::artifact::ModelArtifact)
+//! together with its training data, loaded once by a threaded TCP
+//! server, and queried many times over a newline-delimited JSON
+//! [`protocol`] — `predict_batch`, `discover`, `info`, `shutdown`.
+//!
+//! Three properties the tests pin down:
+//!
+//! * **Bit-identical serving.** Saving, loading, and serving a model
+//!   changes no prediction bit: a socket `predict_batch` equals the
+//!   in-process `Metamodel::predict_batch`, and a served `discover`
+//!   equals the in-process run with the same seed.
+//! * **Micro-batching.** Concurrent `predict_batch` requests are
+//!   coalesced by a single [`batch::Batcher`] worker into one
+//!   tree-major kernel call that fans out across the `reds-par`
+//!   workers (see `RandomForest::predict_batch`).
+//! * **Hardened boundary.** Frames are size-capped, requests are
+//!   validated (width, NaN, limits) before touching the kernels, and
+//!   every failure — including a handler panic — becomes a structured
+//!   per-request error, never a dead server.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod batch;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{ArtifactError, ModelArtifact};
+pub use client::{Client, ClientError};
+pub use protocol::{Algorithm, DiscoverParams, ErrorCode, Request, ServeError, ServeLimits};
+pub use server::{run_discover, serve, validate_points, ServerHandle, Service};

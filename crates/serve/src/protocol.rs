@@ -1,0 +1,498 @@
+//! The wire protocol: newline-delimited JSON request/response frames.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry a client-chosen integer
+//! `id` that the response echoes, so a client may pipeline several
+//! requests on one connection.
+//!
+//! ```text
+//! → {"id":1,"cmd":"predict_batch","m":2,"points":[0.1,0.9,0.4,0.2]}
+//! ← {"id":1,"ok":true,"result":{"predictions":[0.92,0.04]}}
+//! → {"id":2,"cmd":"discover","l":2000,"seed":7,"algorithm":"prim"}
+//! ← {"id":2,"ok":true,"result":{"boxes":[…]}}
+//! → {"id":3,"cmd":"info"}
+//! → {"id":4,"cmd":"shutdown"}
+//! ← {"id":4,"ok":true,"result":{"shutdown":true}}
+//! ```
+//!
+//! Failures are **structured, per-request errors** — the server never
+//! answers a malformed or invalid frame with a panic or a dropped
+//! connection (the one exception: an oversized frame closes the
+//! connection after the error response, because the remainder of the
+//! over-long line cannot be resynchronized safely):
+//!
+//! ```text
+//! ← {"id":5,"ok":false,"error":{"code":"bad_request","message":"…"}}
+//! ```
+
+use reds_json::Json;
+
+/// Resource bounds the server enforces at the trust boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLimits {
+    /// Maximum bytes in one request frame (one line). Larger frames get
+    /// a `too_large` error and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Maximum number of query rows in one `predict_batch` request.
+    pub max_rows_per_request: usize,
+    /// Maximum pseudo-label sample size `L` a `discover` request may
+    /// ask for.
+    pub max_discover_l: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: 8 * 1024 * 1024,
+            max_rows_per_request: 262_144,
+            max_discover_l: 1_000_000,
+        }
+    }
+}
+
+/// Machine-readable error category of a failed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame is not valid JSON, or not a valid request object.
+    Parse,
+    /// The request is well-formed but semantically invalid for this
+    /// model (wrong width, NaN coordinates, unknown algorithm, …).
+    BadRequest,
+    /// The request exceeds a configured limit.
+    TooLarge,
+    /// The server failed internally; the request may be retried.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::BadRequest => "bad_request",
+            Self::TooLarge => "too_large",
+            Self::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_str`] (unknown strings map to
+    /// [`ErrorCode::Internal`]).
+    pub fn from_wire(s: &str) -> Self {
+        match s {
+            "parse" => Self::Parse,
+            "bad_request" => Self::BadRequest,
+            "too_large" => Self::TooLarge,
+            _ => Self::Internal,
+        }
+    }
+}
+
+/// A structured request failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Constructor shorthand.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A `parse` error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Parse, message)
+    }
+
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    /// A `too_large` error.
+    pub fn too_large(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::TooLarge, message)
+    }
+
+    /// An `internal` error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+}
+
+/// Subgroup-discovery algorithm a `discover` request selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// PRIM peeling + pasting (the paper's default SD step).
+    Prim,
+    /// Best Interval beam search.
+    BestInterval,
+}
+
+impl Algorithm {
+    /// Wire name ("prim" / "bi").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Prim => "prim",
+            Self::BestInterval => "bi",
+        }
+    }
+}
+
+/// Parameters of a served `discover` request (Algorithm 4 with the
+/// already-fitted metamodel standing in for lines 1–2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoverParams {
+    /// Number of pseudo-labelled points `L`.
+    pub l: usize,
+    /// Seed of the uniform sample and the SD algorithm's RNG; the same
+    /// seed always returns the same boxes.
+    pub seed: u64,
+    /// Subgroup-discovery algorithm to run.
+    pub algorithm: Algorithm,
+    /// Hard-label threshold `bnd` on the metamodel output.
+    pub bnd: f64,
+}
+
+impl Default for DiscoverParams {
+    fn default() -> Self {
+        Self {
+            l: 20_000,
+            seed: 0,
+            algorithm: Algorithm::Prim,
+            bnd: 0.5,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Pseudo-label a batch of query points.
+    PredictBatch {
+        /// Echoed request id.
+        id: u64,
+        /// Row-major query buffer.
+        points: Vec<f64>,
+        /// Declared number of columns.
+        m: usize,
+    },
+    /// Run scenario discovery with the loaded model.
+    Discover {
+        /// Echoed request id.
+        id: u64,
+        /// Discovery parameters.
+        params: DiscoverParams,
+    },
+    /// Describe the loaded model and server counters.
+    Info {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Stop accepting connections and exit the server loop.
+    Shutdown {
+        /// Echoed request id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request id (0 when the client sent none).
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::PredictBatch { id, .. }
+            | Self::Discover { id, .. }
+            | Self::Info { id }
+            | Self::Shutdown { id } => *id,
+        }
+    }
+
+    /// Serializes the request to its wire object (used by the client).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::PredictBatch { id, points, m } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("predict_batch")),
+                ("m", Json::num(*m as f64)),
+                // Datasets (and validate_points) allow ±∞ coordinates,
+                // and JSON numbers cannot carry them — reuse the
+                // persistence layer's marker-string encoding so typed
+                // clients can send exactly what an in-process call
+                // accepts. NaN travels too, and is then rejected at the
+                // boundary with its row/column.
+                (
+                    "points",
+                    Json::arr(
+                        points
+                            .iter()
+                            .map(|&v| reds_metamodel::persist::f64_to_json(v)),
+                    ),
+                ),
+            ]),
+            Self::Discover { id, params } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("discover")),
+                ("l", Json::num(params.l as f64)),
+                ("seed", Json::str(params.seed.to_string())),
+                ("algorithm", Json::str(params.algorithm.as_str())),
+                ("bnd", Json::num(params.bnd)),
+            ]),
+            Self::Info { id } => {
+                Json::obj([("id", Json::num(*id as f64)), ("cmd", Json::str("info"))])
+            }
+            Self::Shutdown { id } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("shutdown")),
+            ]),
+        }
+    }
+
+    /// Decodes one request frame. Structural problems (bad JSON shape,
+    /// unknown command, non-numeric points) are `parse` errors; the
+    /// caller layers semantic validation (width, NaN, limits) on top.
+    pub fn from_json(doc: &Json) -> Result<Self, ServeError> {
+        let id = match doc.get("id") {
+            None => 0,
+            Some(v) => small_uint(v)
+                .ok_or_else(|| ServeError::parse("'id' must be a small non-negative integer"))?,
+        };
+        let cmd = doc
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::parse("missing string field 'cmd'"))?;
+        let get_usize = |key: &str, default: Option<usize>| -> Result<usize, ServeError> {
+            match doc.get(key) {
+                None => default
+                    .ok_or_else(|| ServeError::parse(format!("missing numeric field '{key}'"))),
+                Some(v) => small_uint(v).map(|x| x as usize).ok_or_else(|| {
+                    ServeError::parse(format!("'{key}' must be a non-negative integer"))
+                }),
+            }
+        };
+        match cmd {
+            "predict_batch" => {
+                let m = get_usize("m", None)?;
+                let arr = doc
+                    .get("points")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ServeError::parse("'points' must be an array of numbers"))?;
+                let mut points = Vec::with_capacity(arr.len());
+                for (i, v) in arr.iter().enumerate() {
+                    // Numbers, plus the "inf"/"-inf"/"nan" markers the
+                    // writer side emits for non-finite coordinates.
+                    points.push(reds_metamodel::persist::f64_from_json(v).map_err(|_| {
+                        ServeError::parse(format!(
+                            "points[{i}] must be a number (or \"inf\"/\"-inf\"/\"nan\")"
+                        ))
+                    })?);
+                }
+                Ok(Self::PredictBatch { id, points, m })
+            }
+            "discover" => {
+                let seed = match doc.get("seed") {
+                    None => 0,
+                    // Accept both a JSON integer and the lossless
+                    // decimal-string form.
+                    Some(Json::Str(s)) => s.parse().map_err(|_| {
+                        ServeError::parse("'seed' must be a u64 (number or decimal string)")
+                    })?,
+                    // Numeric seeds above 2^53 would already have been
+                    // rounded by f64 parsing — rejecting them (instead
+                    // of silently serving a *different* seed) protects
+                    // the "same seed, same boxes" contract; the string
+                    // form carries the full u64 range.
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64)
+                        .ok_or_else(|| {
+                            ServeError::parse(
+                                "'seed' must be a non-negative integer ≤ 2^53 \
+                                 (use the decimal-string form for larger seeds)",
+                            )
+                        })? as u64,
+                };
+                let algorithm = match doc.get("algorithm").map(|v| v.as_str()) {
+                    None => Algorithm::Prim,
+                    Some(Some("prim")) => Algorithm::Prim,
+                    Some(Some("bi")) => Algorithm::BestInterval,
+                    Some(other) => {
+                        return Err(ServeError::bad_request(format!(
+                            "unknown algorithm {other:?} (expected \"prim\" or \"bi\")"
+                        )))
+                    }
+                };
+                let bnd = match doc.get("bnd") {
+                    None => 0.5,
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| ServeError::parse("'bnd' must be a finite number"))?,
+                };
+                let params = DiscoverParams {
+                    l: get_usize("l", Some(DiscoverParams::default().l))?,
+                    seed,
+                    algorithm,
+                    bnd,
+                };
+                Ok(Self::Discover { id, params })
+            }
+            "info" => Ok(Self::Info { id }),
+            "shutdown" => Ok(Self::Shutdown { id }),
+            other => Err(ServeError::parse(format!(
+                "unknown command '{other}' (expected predict_batch, discover, info, shutdown)"
+            ))),
+        }
+    }
+}
+
+/// Decodes a small non-negative integer (`0..=u32::MAX`) from a JSON
+/// number — the shared predicate behind request ids and count fields,
+/// including the server's best-effort id extraction for error frames
+/// (one definition keeps error correlation consistent with parsing).
+pub fn small_uint(v: &Json) -> Option<u64> {
+    v.as_f64()
+        .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64)
+        .map(|x| x as u64)
+}
+
+/// Builds a success response frame.
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::obj([
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// Builds an error response frame.
+pub fn error_response(id: u64, error: &ServeError) -> Json {
+    Json::obj([
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(error.code.as_str())),
+                ("message", Json::str(error.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let reqs = [
+            Request::PredictBatch {
+                id: 7,
+                points: vec![0.25, 0.5, 0.75, 1.0],
+                m: 2,
+            },
+            Request::Discover {
+                id: 8,
+                params: DiscoverParams {
+                    l: 5_000,
+                    seed: u64::MAX - 1,
+                    algorithm: Algorithm::BestInterval,
+                    bnd: 0.25,
+                },
+            },
+            Request::Info { id: 9 },
+            Request::Shutdown { id: 10 },
+        ];
+        for req in reqs {
+            let text = req.to_json().to_string_compact();
+            let doc = reds_json::from_str(&text).expect("request serializes to valid JSON");
+            assert_eq!(Request::from_json(&doc).expect("decodes"), req, "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_points_travel_as_marker_strings() {
+        // ±∞ coordinates are legal inputs (datasets allow them), so the
+        // wire format must carry them — and a NaN must arrive as a real
+        // NaN so the boundary check can report its row and column.
+        let req = Request::PredictBatch {
+            id: 1,
+            points: vec![f64::INFINITY, 0.5, f64::NEG_INFINITY, 1.0],
+            m: 2,
+        };
+        let text = req.to_json().to_string_compact();
+        assert!(
+            text.contains("\"inf\"") && text.contains("\"-inf\""),
+            "{text}"
+        );
+        let back = Request::from_json(&reds_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+        let doc =
+            reds_json::from_str(r#"{"cmd":"predict_batch","m":2,"points":[0.5,"nan"]}"#).unwrap();
+        let Request::PredictBatch { points, .. } = Request::from_json(&doc).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert!(points[1].is_nan());
+    }
+
+    #[test]
+    fn malformed_requests_are_parse_errors() {
+        for (text, expect) in [
+            (r#"{"cmd":"predict_batch"}"#, "m"),
+            (r#"{"cmd":"predict_batch","m":2,"points":"zzz"}"#, "points"),
+            (
+                r#"{"cmd":"predict_batch","m":2,"points":[1,null]}"#,
+                "points[1]",
+            ),
+            (r#"{"cmd":"nope"}"#, "unknown command"),
+            (r#"{"id":-4,"cmd":"info"}"#, "id"),
+            (r#"{"points":[1]}"#, "cmd"),
+            (r#"{"cmd":"discover","seed":1.5}"#, "seed"),
+            // Above 2^53, f64 parsing has already rounded the value; a
+            // silently different seed would break reproducibility.
+            (r#"{"cmd":"discover","seed":9007199254740994}"#, "seed"),
+            (r#"{"cmd":"discover","seed":1e300}"#, "seed"),
+            (r#"{"cmd":"discover","bnd":"x"}"#, "bnd"),
+        ] {
+            let doc = reds_json::from_str(text).expect("valid JSON");
+            let err = Request::from_json(&doc).expect_err(text);
+            assert_eq!(err.code, ErrorCode::Parse, "{text}");
+            assert!(err.message.contains(expect), "{text} → {}", err.message);
+        }
+        // Unknown algorithm is semantic, not structural.
+        let doc = reds_json::from_str(r#"{"cmd":"discover","algorithm":"xgboost"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&doc).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn response_builders_emit_the_documented_shape() {
+        let ok = ok_response(3, Json::obj([("x", Json::num(1.0))]));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("id").and_then(Json::as_f64), Some(3.0));
+        let err = error_response(4, &ServeError::bad_request("boom"));
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+}

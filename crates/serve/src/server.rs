@@ -1,0 +1,678 @@
+//! The threaded TCP server.
+//!
+//! One accept loop, one thread per connection, one shared
+//! [`Batcher`](crate::batch::Batcher) worker owning the model. Every
+//! request is answered with a structured response — handler panics are
+//! caught and converted to `internal` errors, so a serving process
+//! never dies on a request.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds_data::Dataset;
+use reds_json::Json;
+use reds_metamodel::Metamodel;
+use reds_subgroup::{BestInterval, Prim, SdResult, SubgroupDiscovery};
+
+use crate::artifact::ModelArtifact;
+use crate::batch::Batcher;
+use crate::protocol::{
+    error_response, ok_response, Algorithm, DiscoverParams, Request, ServeError, ServeLimits,
+};
+
+/// How often blocked reads wake up to check the shutdown flag; bounds
+/// how long a clean shutdown can take.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Validates a query buffer at the request boundary: declared width
+/// must match the model, the buffer must tile into whole rows, no
+/// coordinate may be NaN, and the row count must respect the limit.
+///
+/// The pipeline's `pseudo_label` performs the same checks for library
+/// callers; repeating them here means a *served* request can never
+/// reach the kernels with data the pipeline would have rejected.
+pub fn validate_points(
+    points: &[f64],
+    m: usize,
+    model_m: usize,
+    limits: &ServeLimits,
+) -> Result<(), ServeError> {
+    if m != model_m {
+        return Err(ServeError::bad_request(format!(
+            "request declares m = {m} but the loaded model expects {model_m} columns"
+        )));
+    }
+    if m == 0 || !points.len().is_multiple_of(m) {
+        return Err(ServeError::bad_request(format!(
+            "points buffer of {} values does not tile into rows of m = {m}",
+            points.len()
+        )));
+    }
+    if points.len() / m > limits.max_rows_per_request {
+        return Err(ServeError::too_large(format!(
+            "{} rows exceed the per-request limit of {}",
+            points.len() / m,
+            limits.max_rows_per_request
+        )));
+    }
+    if let Some(at) = points.iter().position(|v| v.is_nan()) {
+        return Err(ServeError::bad_request(format!(
+            "NaN coordinate at row {}, column {}",
+            at / m,
+            at % m
+        )));
+    }
+    Ok(())
+}
+
+/// Serves one `discover` request against an already-fitted metamodel:
+/// pseudo-label `L` uniform points (Algorithm 4 lines 3–6 with the
+/// loaded `f^am`), then run the chosen SD algorithm validated on the
+/// artifact's original training data (`D_val = D`, §8.5).
+///
+/// `predict` abstracts over the direct model call (tests, offline use)
+/// and the server's shared batching worker — both produce identical
+/// bits, so served and in-process discovery agree exactly.
+pub fn run_discover(
+    predict: impl Fn(Vec<f64>) -> Result<Vec<f64>, ServeError>,
+    m: usize,
+    train: &Dataset,
+    params: &DiscoverParams,
+) -> Result<SdResult, ServeError> {
+    if params.l == 0 {
+        return Err(ServeError::bad_request("discover needs l > 0"));
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let points = reds_sampling::uniform(params.l, m, &mut rng);
+    let preds = predict(points.clone())?;
+    let labels: Vec<f64> = preds
+        .iter()
+        .map(|&p| if p > params.bnd { 1.0 } else { 0.0 })
+        .collect();
+    let d_new = Dataset::new(points, labels, m)
+        .map_err(|e| ServeError::internal(format!("pseudo-labelled sample invalid: {e}")))?;
+    let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+    let result = match params.algorithm {
+        Algorithm::Prim => Prim::default().discover(&d_new, train, &mut sd_rng),
+        Algorithm::BestInterval => BestInterval::default().discover(&d_new, train, &mut sd_rng),
+    };
+    Ok(result)
+}
+
+/// The request handler shared by every connection.
+pub struct Service {
+    artifact: Arc<ModelArtifact>,
+    batcher: Batcher,
+    limits: ServeLimits,
+    connections: AtomicU64,
+}
+
+impl Service {
+    /// Builds the service and spawns its prediction worker.
+    pub fn new(artifact: ModelArtifact, limits: ServeLimits) -> Self {
+        let artifact = Arc::new(artifact);
+        // The batching worker needs its own handle to the model; clone
+        // through the Arc'd artifact is not possible (SavedModel is not
+        // Clone), so the artifact is shared and the worker borrows the
+        // model through it.
+        let model_ref = Arc::clone(&artifact);
+        let batcher = Batcher::spawn_with(
+            move |points, m| model_ref.model.predict_batch(points, m),
+            artifact.train.m(),
+        );
+        Self {
+            artifact,
+            batcher,
+            limits,
+            connections: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &ServeLimits {
+        &self.limits
+    }
+
+    /// The served artifact.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Validated prediction through the shared batching worker.
+    pub fn predict(&self, points: Vec<f64>, m: usize) -> Result<Vec<f64>, ServeError> {
+        validate_points(&points, m, self.artifact.train.m(), &self.limits)?;
+        self.batcher.predict(points)
+    }
+
+    /// Served scenario discovery (see [`run_discover`]).
+    pub fn discover(&self, params: &DiscoverParams) -> Result<SdResult, ServeError> {
+        if params.l > self.limits.max_discover_l {
+            return Err(ServeError::too_large(format!(
+                "l = {} exceeds the limit of {}",
+                params.l, self.limits.max_discover_l
+            )));
+        }
+        run_discover(
+            |points| self.batcher.predict(points),
+            self.artifact.train.m(),
+            &self.artifact.train,
+            params,
+        )
+    }
+
+    /// The `info` result object.
+    pub fn info(&self) -> Json {
+        let stats = self.batcher.stats();
+        Json::obj([
+            ("function", Json::str(self.artifact.function.clone())),
+            ("family", Json::str(self.artifact.model.family())),
+            ("m", Json::num(self.artifact.train.m() as f64)),
+            ("n_train", Json::num(self.artifact.train.n() as f64)),
+            ("seed", Json::str(self.artifact.seed.to_string())),
+            (
+                "requests",
+                Json::num(stats.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "batches",
+                Json::num(stats.batches.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "max_batched",
+                Json::num(stats.max_batched.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections",
+                Json::num(self.connections.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+
+    /// Handles one raw frame. Returns the response and whether the
+    /// frame asked the server to shut down. Never panics: handler
+    /// panics become `internal` error responses carrying the request's
+    /// id, so pipelining clients keep their response correlation.
+    pub fn handle_frame(&self, line: &str) -> (Json, bool) {
+        let doc = match reds_json::from_str(line) {
+            Ok(doc) => doc,
+            Err(e) => return (error_response(0, &ServeError::parse(e.to_string())), false),
+        };
+        // Pull the id out even when the rest of the request is bad, so
+        // the client can correlate the failure.
+        let id = doc
+            .get("id")
+            .and_then(crate::protocol::small_uint)
+            .unwrap_or(0);
+        let request = match Request::from_json(&doc) {
+            Ok(r) => r,
+            Err(e) => return (error_response(id, &e), false),
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(request)));
+        match outcome {
+            Ok(reply) => reply,
+            Err(_) => (
+                error_response(
+                    id,
+                    &ServeError::internal("request handler panicked; see server log"),
+                ),
+                false,
+            ),
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> (Json, bool) {
+        match request {
+            Request::PredictBatch { id, points, m } => match self.predict(points, m) {
+                Ok(preds) => (
+                    ok_response(
+                        id,
+                        // Marker-encoded like the request side: a loaded
+                        // model with non-finite leaves must answer the
+                        // same values over the socket as in-process
+                        // (Json::num would collapse them to null).
+                        Json::obj([(
+                            "predictions",
+                            Json::arr(preds.into_iter().map(reds_metamodel::persist::f64_to_json)),
+                        )]),
+                    ),
+                    false,
+                ),
+                Err(e) => (error_response(id, &e), false),
+            },
+            Request::Discover { id, params } => match self.discover(&params) {
+                Ok(result) => (ok_response(id, result.to_json()), false),
+                Err(e) => (error_response(id, &e), false),
+            },
+            Request::Info { id } => (ok_response(id, self.info()), false),
+            Request::Shutdown { id } => (
+                ok_response(id, Json::obj([("shutdown", Json::Bool(true))])),
+                true,
+            ),
+        }
+    }
+}
+
+/// Outcome of reading one frame.
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(Vec<u8>),
+    /// Peer closed the connection.
+    Eof,
+    /// The line exceeded the frame limit.
+    TooLarge,
+}
+
+/// Reads one newline-terminated frame with a size cap, waking every
+/// [`POLL_INTERVAL`] to check `stop`.
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+    stop: &AtomicBool,
+) -> io::Result<Option<Frame>> {
+    let mut line = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(Some(if line.is_empty() {
+                Frame::Eof
+            } else {
+                // Trailing frame without a final newline: accept it.
+                Frame::Line(std::mem::take(&mut line))
+            }));
+        }
+        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..at]);
+            reader.consume(at + 1);
+            if line.len() > max_bytes {
+                return Ok(Some(Frame::TooLarge));
+            }
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(Frame::Line(line)));
+        }
+        let chunk = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(chunk);
+        if line.len() > max_bytes {
+            return Ok(Some(Frame::TooLarge));
+        }
+    }
+}
+
+/// Discards the tail of a rejected over-long line up to its newline,
+/// EOF, `max_drain` bytes, or the first read timeout (a quiet peer has
+/// finished writing). Lets the peer's blocked write complete so the
+/// already-queued error response arrives intact instead of being
+/// destroyed by a connection reset.
+fn drain_oversized_line(reader: &mut BufReader<TcpStream>, max_drain: usize) -> io::Result<()> {
+    let mut drained = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
+            reader.consume(at + 1);
+            return Ok(());
+        }
+        let chunk = buf.len();
+        reader.consume(chunk);
+        drained += chunk;
+        if drained > max_drain {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let frame = match read_frame(&mut reader, service.limits().max_frame_bytes, &stop)? {
+            None | Some(Frame::Eof) => return Ok(()),
+            Some(Frame::TooLarge) => {
+                // The rest of the over-long line cannot be resynchronized
+                // safely, so answer once and drop the connection.
+                let err = ServeError::too_large(format!(
+                    "frame exceeds {} bytes",
+                    service.limits().max_frame_bytes
+                ));
+                let mut text = error_response(0, &err).to_string_compact();
+                text.push('\n');
+                writer.write_all(text.as_bytes())?;
+                writer.flush()?;
+                // Consume (and discard) the remainder of the over-long
+                // line before closing: the peer is typically still
+                // blocked writing it, and closing with unread data in
+                // the receive buffer resets the connection, destroying
+                // the error response we just queued. Bounded so an
+                // endless line cannot pin the thread.
+                drain_oversized_line(
+                    &mut reader,
+                    service.limits().max_frame_bytes.saturating_mul(8),
+                )?;
+                return Ok(());
+            }
+            Some(Frame::Line(line)) => line,
+        };
+        let text = String::from_utf8_lossy(&frame);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = service.handle_frame(&text);
+        let mut out = response.to_string_compact();
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Nudge the accept loop out of its blocking accept.
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] or send the `shutdown` command.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process equivalence tests).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// `true` once the server has stopped accepting connections.
+    pub fn is_shut_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for the accept loop and all
+    /// connection threads to finish.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits for the server to stop on its own (a client's `shutdown`
+    /// command), joining every thread.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+/// spawns the accept loop.
+pub fn serve(artifact: ModelArtifact, addr: &str, limits: ServeLimits) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(artifact, limits));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_service = Arc::clone(&service);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            accept_service.connections.fetch_add(1, Ordering::Relaxed);
+            let svc = Arc::clone(&accept_service);
+            let conn_stop = Arc::clone(&accept_stop);
+            workers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, svc, conn_stop, addr);
+            }));
+            // Reap finished connection threads so a long-lived server
+            // does not accumulate handles.
+            workers.retain(|h| !h.is_finished());
+        }
+        // Connection threads observe the stop flag within POLL_INTERVAL.
+        for h in workers {
+            let _ = h.join();
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use reds_metamodel::{RandomForest, RandomForestParams, SavedModel};
+
+    fn tiny_service() -> Service {
+        let mut rng = StdRng::seed_from_u64(41);
+        let train = Dataset::from_fn((0..160 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+            if x[0] > 0.5 && x[1] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
+        let model = RandomForest::fit(&train, &params, &mut rng);
+        Service::new(
+            ModelArtifact {
+                function: "corner".to_string(),
+                seed: 41,
+                model: SavedModel::Forest(model),
+                train,
+            },
+            ServeLimits {
+                max_rows_per_request: 64,
+                max_discover_l: 4_000,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn validate_points_rejects_what_the_pipeline_would() {
+        let limits = ServeLimits::default();
+        // Wrong declared width.
+        assert_eq!(
+            validate_points(&[0.0; 4], 3, 2, &limits).unwrap_err().code,
+            crate::protocol::ErrorCode::BadRequest
+        );
+        // Ragged buffer: len % m != 0.
+        let err = validate_points(&[0.0; 5], 2, 2, &limits).unwrap_err();
+        assert_eq!(err.code, crate::protocol::ErrorCode::BadRequest);
+        assert!(err.message.contains("tile"), "{}", err.message);
+        // NaN coordinate, reported by row and column.
+        let mut pts = vec![0.5; 6];
+        pts[3] = f64::NAN;
+        let err = validate_points(&pts, 2, 2, &limits).unwrap_err();
+        assert!(err.message.contains("row 1"), "{}", err.message);
+        assert!(err.message.contains("column 1"), "{}", err.message);
+        // Infinities are legal (datasets allow them).
+        assert!(validate_points(&[f64::INFINITY, 0.0], 2, 2, &limits).is_ok());
+        // Row cap.
+        let tight = ServeLimits {
+            max_rows_per_request: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            validate_points(&[0.0; 6], 2, 2, &tight).unwrap_err().code,
+            crate::protocol::ErrorCode::TooLarge
+        );
+    }
+
+    #[test]
+    fn service_predict_matches_direct_model_call_bitwise() {
+        let service = tiny_service();
+        let query: Vec<f64> = (0..40).map(|i| (i % 7) as f64 / 7.0).collect();
+        let served = service.predict(query.clone(), 2).expect("serves");
+        let direct = service.artifact().model.predict_batch(&query, 2);
+        assert_eq!(served.len(), direct.len());
+        for (a, b) in served.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn service_discover_matches_run_discover() {
+        let service = tiny_service();
+        let params = DiscoverParams {
+            l: 2_000,
+            seed: 9,
+            ..Default::default()
+        };
+        let served = service.discover(&params).expect("discovers");
+        let direct = run_discover(
+            |pts| Ok(service.artifact().model.predict_batch(&pts, 2)),
+            2,
+            &service.artifact().train,
+            &params,
+        )
+        .expect("runs");
+        assert_eq!(served, direct);
+        assert!(!served.boxes.is_empty());
+    }
+
+    #[test]
+    fn handle_frame_returns_structured_errors_never_panics() {
+        let service = tiny_service();
+        for (line, code) in [
+            ("not json at all", "parse"),
+            ("{\"cmd\":\"zap\"}", "parse"),
+            (
+                "{\"id\":3,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[1,2,3]}",
+                "bad_request",
+            ),
+            (
+                "{\"id\":4,\"cmd\":\"predict_batch\",\"m\":5,\"points\":[1,2,3,4,5]}",
+                "bad_request",
+            ),
+            (
+                "{\"id\":5,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[1,null]}",
+                "parse",
+            ),
+            ("{\"id\":6,\"cmd\":\"discover\",\"l\":100000}", "too_large"),
+            ("{\"id\":7,\"cmd\":\"discover\",\"l\":0}", "bad_request"),
+        ] {
+            let (resp, shutdown) = service.handle_frame(line);
+            assert!(!shutdown, "{line}");
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line} → {resp}"
+            );
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some(code),
+                "{line} → {resp}"
+            );
+        }
+        // Oversized predict_batch rows → too_large (limit is 64 rows).
+        let big: Vec<String> = (0..65 * 2).map(|_| "0.5".to_string()).collect();
+        let line = format!(
+            "{{\"id\":8,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[{}]}}",
+            big.join(",")
+        );
+        let (resp, _) = service.handle_frame(&line);
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("too_large")
+        );
+    }
+
+    #[test]
+    fn handle_frame_serves_requests_and_flags_shutdown() {
+        let service = tiny_service();
+        let (resp, _) = service.handle_frame(
+            "{\"id\":1,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[0.9,0.9,0.1,0.1]}",
+        );
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        let preds = resp
+            .get("result")
+            .and_then(|r| r.get("predictions"))
+            .and_then(Json::as_array)
+            .expect("predictions");
+        assert_eq!(preds.len(), 2);
+        let (resp, _) = service.handle_frame("{\"id\":2,\"cmd\":\"info\"}");
+        assert_eq!(
+            resp.get("result")
+                .and_then(|r| r.get("family"))
+                .and_then(Json::as_str),
+            Some("f")
+        );
+        let (resp, shutdown) = service.handle_frame("{\"id\":3,\"cmd\":\"shutdown\"}");
+        assert!(shutdown);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

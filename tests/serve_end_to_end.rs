@@ -1,0 +1,357 @@
+//! End-to-end tests of the serving layer over a real TCP socket.
+//!
+//! The acceptance bar of the serving PR: a saved metamodel round-trips
+//! through `reds-json` with bit-identical `predict_batch` output, and
+//! N concurrent socket clients receive answers identical to in-process
+//! calls — plus the hardening behaviours at the trust boundary
+//! (malformed frames, oversized frames, invalid points, clean shutdown
+//! mid-stream).
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::data::Dataset;
+use reds::metamodel::{Metamodel, RandomForest, RandomForestParams, SavedModel};
+use reds_json::Json;
+use reds_serve::{
+    run_discover, serve, Algorithm, Client, ClientError, DiscoverParams, ModelArtifact,
+    ServeLimits, ServerHandle,
+};
+
+fn corner_artifact(seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = Dataset::from_fn((0..150 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+        if x[0] > 0.55 && x[1] > 0.55 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .unwrap();
+    let params = RandomForestParams {
+        n_trees: 20,
+        ..Default::default()
+    };
+    let model = RandomForest::fit(&train, &params, &mut rng);
+    ModelArtifact {
+        function: "corner".to_string(),
+        seed,
+        model: SavedModel::Forest(model),
+        train,
+    }
+}
+
+/// Saves the artifact, loads it back, and serves the **loaded** copy —
+/// so every socket test doubles as a save→load→serve determinism test
+/// against the in-process original.
+fn spawn_served_copy(artifact: &ModelArtifact, limits: ServeLimits) -> ServerHandle {
+    let dir = std::env::temp_dir().join(format!(
+        "reds-serve-test-{}-{:x}",
+        std::process::id(),
+        artifact.seed
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    artifact.save(&path).expect("artifact saves");
+    let loaded = ModelArtifact::load(&path).expect("artifact loads");
+    std::fs::remove_dir_all(&dir).ok();
+    serve(loaded, "127.0.0.1:0", limits).expect("server binds")
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: row {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn concurrent_clients_get_answers_identical_to_in_process_calls() {
+    let artifact = corner_artifact(1);
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 5;
+    let mut threads = Vec::new();
+    for c in 0..CLIENTS {
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connects");
+            let mut out = Vec::new();
+            for r in 0..REQUESTS {
+                // Varying batch sizes so the micro-batcher sees ragged
+                // concurrent loads.
+                let rows = 1 + (c * REQUESTS + r) % 7;
+                let query: Vec<f64> = (0..rows * 2)
+                    .map(|i| ((i * 13 + c * 7 + r * 3) % 29) as f64 / 29.0)
+                    .collect();
+                let preds = client.predict_batch(&query, 2).expect("prediction served");
+                out.push((query, preds));
+            }
+            out
+        }));
+    }
+    for t in threads {
+        for (query, served) in t.join().expect("client thread") {
+            let direct = artifact.model.predict_batch(&query, 2);
+            assert_bits_eq(&served, &direct, "socket vs in-process");
+        }
+    }
+
+    // The server coalesced at least some of the concurrent requests.
+    let mut client = Client::connect(addr).expect("connects");
+    let info = client.info().expect("info");
+    let requests = info.get("requests").and_then(Json::as_f64).unwrap();
+    let batches = info.get("batches").and_then(Json::as_f64).unwrap();
+    assert_eq!(requests as usize, CLIENTS * REQUESTS);
+    assert!(batches >= 1.0 && batches <= requests);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn discover_over_the_socket_matches_the_in_process_run() {
+    let artifact = corner_artifact(2);
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    for algorithm in [Algorithm::Prim, Algorithm::BestInterval] {
+        let params = DiscoverParams {
+            l: 2_000,
+            seed: 11,
+            algorithm,
+            bnd: 0.5,
+        };
+        let served = client.discover(&params).expect("discover served");
+        let direct = run_discover(
+            |pts| Ok(artifact.model.predict_batch(&pts, 2)),
+            2,
+            &artifact.train,
+            &params,
+        )
+        .expect("in-process discover");
+        assert_eq!(served, direct, "{algorithm:?}");
+        assert!(!served.boxes.is_empty());
+        // Same seed, same boxes: the served path is deterministic.
+        let again = client.discover(&params).expect("repeat discover");
+        assert_eq!(again, served);
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn malformed_and_invalid_frames_get_structured_errors_and_the_connection_survives() {
+    let artifact = corner_artifact(3);
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let cases: [(&str, &str); 7] = [
+        ("this is not json", "parse"),
+        (r#"{"id":1,"cmd":"frobnicate"}"#, "parse"),
+        // len % m != 0.
+        (
+            r#"{"id":2,"cmd":"predict_batch","m":2,"points":[1,2,3]}"#,
+            "bad_request",
+        ),
+        // Declared width disagrees with the model.
+        (
+            r#"{"id":3,"cmd":"predict_batch","m":4,"points":[1,2,3,4]}"#,
+            "bad_request",
+        ),
+        // NaN cannot be a JSON number; a null in its place is a
+        // structural error…
+        (
+            r#"{"id":4,"cmd":"predict_batch","m":2,"points":[0.5,null]}"#,
+            "parse",
+        ),
+        // …while the "nan" marker decodes to a real NaN and is
+        // rejected at the boundary with its position.
+        (
+            r#"{"id":5,"cmd":"predict_batch","m":2,"points":[0.5,0.5,0.5,"nan"]}"#,
+            "bad_request",
+        ),
+        (r#"{"id":6,"cmd":"discover","l":0}"#, "bad_request"),
+    ];
+    for (line, code) in cases {
+        let resp = client.send_raw_line(line).expect("error response arrives");
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line}"
+        );
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(code),
+            "{line} → {resp}"
+        );
+    }
+
+    // A typed client sending a NaN point gets the structured boundary
+    // error, with the offending row and column named.
+    match client.predict_batch(&[0.5, f64::NAN], 2) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "bad_request");
+            assert!(message.contains("row 0"), "{message}");
+            assert!(message.contains("column 1"), "{message}");
+        }
+        other => panic!("expected a structured NaN rejection, got {other:?}"),
+    }
+
+    // Infinite coordinates are legal in-process, so they must be legal
+    // over the wire too — and answered identically.
+    let inf_query = [f64::NEG_INFINITY, 0.9, f64::INFINITY, 0.9];
+    let served = client
+        .predict_batch(&inf_query, 2)
+        .expect("infinities serve");
+    assert_bits_eq(
+        &served,
+        &artifact.model.predict_batch(&inf_query, 2),
+        "infinite coordinates",
+    );
+
+    // The connection is still usable after every rejected frame.
+    let preds = client.predict_batch(&[0.9, 0.9], 2).expect("still serving");
+    assert_bits_eq(
+        &preds,
+        &artifact.model.predict_batch(&[0.9, 0.9], 2),
+        "post-error request",
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn oversized_frames_are_answered_then_the_connection_closes() {
+    let artifact = corner_artifact(4);
+    let limits = ServeLimits {
+        max_frame_bytes: 4_096,
+        ..Default::default()
+    };
+    let handle = spawn_served_copy(&artifact, limits);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let huge = format!(
+        r#"{{"id":9,"cmd":"predict_batch","m":2,"points":[{}]}}"#,
+        vec!["0.5"; 4_000].join(",")
+    );
+    assert!(huge.len() > 4_096);
+    let resp = client.send_raw_line(&huge).expect("too_large response");
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("too_large")
+    );
+    // The over-long line cannot be resynchronized; the server closes
+    // this connection…
+    match client.send_raw_line(r#"{"id":10,"cmd":"info"}"#) {
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected a closed connection, got {other:?}"),
+    }
+    // …but keeps accepting new ones.
+    let mut fresh = Client::connect(handle.addr()).expect("reconnects");
+    fresh.info().expect("fresh connection serves");
+
+    fresh.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn shutdown_mid_stream_stops_the_server_cleanly() {
+    let artifact = corner_artifact(5);
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let addr = handle.addr();
+
+    // A streaming client mid-conversation…
+    let mut streaming = Client::connect(addr).expect("connects");
+    streaming
+        .predict_batch(&[0.2, 0.8], 2)
+        .expect("first request");
+
+    // …while a second client shuts the server down.
+    let mut controller = Client::connect(addr).expect("connects");
+    controller.shutdown().expect("shutdown acknowledged");
+
+    // The accept loop and every connection thread must wind down —
+    // watchdogged so a regression hangs the test for 10 s, not forever.
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.join();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server shut down within the deadline");
+
+    // The streaming client's next request fails (connection closed)
+    // instead of hanging.
+    let outcome = streaming.predict_batch(&[0.3, 0.3], 2);
+    assert!(outcome.is_err(), "server kept serving after shutdown");
+
+    // New connections are refused or immediately closed.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            c.set_timeout(Some(Duration::from_secs(2))).unwrap();
+            assert!(c.info().is_err(), "server accepted work after shutdown");
+        }
+    }
+}
+
+#[test]
+fn saved_model_round_trip_is_bit_identical_for_every_family() {
+    use reds::metamodel::{Gbdt, GbdtParams, Svm, SvmParams};
+    let mut rng = StdRng::seed_from_u64(6);
+    let train = Dataset::from_fn((0..200 * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+        if x[0] > 0.3 && x[1] < 0.8 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .unwrap();
+    let models = [
+        SavedModel::Forest(RandomForest::fit(
+            &train,
+            &RandomForestParams {
+                n_trees: 15,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(7),
+        )),
+        SavedModel::Gbdt(Gbdt::fit(
+            &train,
+            &GbdtParams {
+                n_rounds: 20,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(8),
+        )),
+        SavedModel::Svm(Svm::fit(
+            &train,
+            &SvmParams::default(),
+            &mut StdRng::seed_from_u64(9),
+        )),
+    ];
+    let query: Vec<f64> = (0..123 * 3)
+        .map(|i| ((i * 17) % 31) as f64 / 31.0)
+        .collect();
+    for model in models {
+        let text = model.to_json().to_string_compact();
+        let loaded =
+            SavedModel::from_json(&reds_json::from_str(&text).expect("parses")).expect("decodes");
+        assert_bits_eq(
+            &model.predict_batch(&query, 3),
+            &loaded.predict_batch(&query, 3),
+            model.family(),
+        );
+    }
+}
