@@ -16,7 +16,7 @@
 use std::path::Path;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use reds_bench::{cli_fail, resolve_function, Args};
 use reds_metamodel::{
     Gbdt, GbdtParams, RandomForest, RandomForestParams, SavedModel, Svm, SvmParams,
@@ -73,9 +73,17 @@ fn main() {
         ),
     };
 
+    // Drawn from the *continuation* of the training RNG stream, then
+    // frozen into the artifact: a `discover_streaming` served without
+    // an explicit seed streams exactly this pool, so the served run is
+    // reproducible from the artifact file alone.
+    let pool_seed = rng.gen::<u64>();
+
     let artifact = ModelArtifact {
         function: f.name().to_string(),
         seed,
+        pool_seed,
+        pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
         model,
         train,
     };

@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod rss;
 pub mod sweep;
 
 use std::collections::HashMap;

@@ -43,6 +43,48 @@ impl fmt::Display for RedsError {
 
 impl std::error::Error for RedsError {}
 
+/// Errors of the streaming pipeline entry points
+/// (`Reds::discover_streaming`): either an ordinary pipeline error or a
+/// failure of the bounded-memory machinery (spill I/O, corrupt runs,
+/// an unstreamable sampling design, …).
+#[derive(Debug)]
+pub enum StreamingError {
+    /// The pipeline-level failure the in-memory path would also report.
+    Pipeline(RedsError),
+    /// A failure specific to the streaming machinery.
+    Stream(reds_stream::StreamError),
+}
+
+impl std::fmt::Display for StreamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Pipeline(e) => e.fmt(f),
+            Self::Stream(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Pipeline(e) => Some(e),
+            Self::Stream(e) => Some(e),
+        }
+    }
+}
+
+impl From<RedsError> for StreamingError {
+    fn from(e: RedsError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<reds_stream::StreamError> for StreamingError {
+    fn from(e: reds_stream::StreamError) -> Self {
+        Self::Stream(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,5 +29,8 @@ mod error;
 mod pipeline;
 
 pub use active::{ActiveConfig, ActiveReds, Simulator};
-pub use error::RedsError;
+pub use error::{RedsError, StreamingError};
 pub use pipeline::{NewPointSampler, Reds, RedsConfig};
+// Streaming configuration re-exported so `Reds::discover_streaming`
+// callers need no direct `reds-stream` dependency.
+pub use reds_stream::{StreamConfig, StreamError, DEFAULT_CHUNK_ROWS};

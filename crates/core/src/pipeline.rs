@@ -5,9 +5,12 @@ use rand::{Rng, SeedableRng};
 use reds_data::Dataset;
 use reds_metamodel::{GbdtParams, Metamodel, RandomForestParams, SvmParams, Trainer};
 use reds_sampling::{logit_normal, mixed_design, uniform};
+use reds_stream::{
+    stream_pool, Labeling, SamplerSource, SliceSource, StreamConfig, StreamError, StreamSampler,
+};
 use reds_subgroup::{SdResult, SubgroupDiscovery};
 
-use crate::RedsError;
+use crate::{RedsError, StreamingError};
 
 /// Distribution from which REDS draws the `L` new points (Algorithm 4,
 /// line 3). Must match the distribution `p(x)` of the original data —
@@ -35,6 +38,20 @@ impl NewPointSampler {
             Self::Uniform => uniform(n, m, rng),
             Self::MixedEven => mixed_design(n, m, rng),
             Self::LogitNormal { mu, sigma } => logit_normal(n, m, mu, sigma, rng),
+        }
+    }
+
+    /// The chunkable equivalent of this sampler, when one exists.
+    /// `MixedEven` has none: its Latin-hypercube half stratifies over
+    /// the *total* row count, so chunked generation cannot reproduce
+    /// the monolithic design.
+    fn streamable(&self) -> Result<StreamSampler, StreamError> {
+        match *self {
+            Self::Uniform => Ok(StreamSampler::Uniform),
+            Self::LogitNormal { mu, sigma } => Ok(StreamSampler::LogitNormal { mu, sigma }),
+            Self::MixedEven => Err(StreamError::UnstreamableSampler {
+                name: "mixed-inputs (Latin hypercube)",
+            }),
         }
     }
 }
@@ -165,18 +182,14 @@ impl Reds {
                 column: at % m,
             });
         }
+        // One definition of the label mapping, shared with the
+        // streaming path — the bit-identity contract between `run` and
+        // `discover_streaming` hangs on these two paths never drifting.
+        let labeling = self.labeling();
         let labels = model
             .predict_batch(&points, m)
             .into_iter()
-            .map(|p| {
-                if self.config.probability_labels {
-                    p.clamp(0.0, 1.0)
-                } else if p > self.config.bnd {
-                    1.0
-                } else {
-                    0.0
-                }
-            })
+            .map(|p| labeling.apply(p))
             .collect();
         Ok(Dataset::new(points, labels, m).expect("shape and finiteness checked above"))
     }
@@ -206,6 +219,103 @@ impl Reds {
         // are anchored to real labels, so the pseudo-labelled search
         // cannot shrink the box below the support of the evidence.
         Ok(sd.discover(&d_new, d, &mut sd_rng))
+    }
+
+    /// The labeling rule of this configuration (hard threshold or the
+    /// probability "p" variant), shared with the streaming path so
+    /// both produce bit-identical pseudo-labels.
+    fn labeling(&self) -> Labeling {
+        if self.config.probability_labels {
+            Labeling::Probability
+        } else {
+            Labeling::Hard {
+                bnd: self.config.bnd,
+            }
+        }
+    }
+
+    /// Streaming REDS (Algorithm 4 in bounded memory): identical to
+    /// [`Reds::run`] — bit for bit, for every chunk size — but the `L`
+    /// new points are generated, pseudo-labeled, and argsorted in
+    /// chunks of `stream.chunk_rows` rows, with the per-column sort
+    /// runs spilled to disk and k-way merged. The full `L × M` point
+    /// buffer is materialized only once, at the final hand-off to the
+    /// subgroup-discovery algorithm (which needs random access to the
+    /// values); the construction pipeline itself never holds more than
+    /// one chunk plus `O(runs)` merge state.
+    ///
+    /// The discovered boxes are bit-identical to [`Reds::run`] with the
+    /// same `rng` because (1) the streamable samplers draw
+    /// element-sequentially, so chunked generation replays the
+    /// monolithic draw stream and leaves `rng` in the same state;
+    /// (2) `predict_batch` outputs are per-row, independent of batch
+    /// composition; (3) the out-of-core merge reproduces
+    /// `SortedView::new`'s `(value, row)` order exactly, and the
+    /// algorithms consume it through
+    /// [`SubgroupDiscovery::discover_presorted`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Reds::run`] reports (wrapped in
+    /// [`StreamingError::Pipeline`]), plus
+    /// [`reds_stream::StreamError::UnstreamableSampler`] for the
+    /// mixed-inputs design and spill-store failures
+    /// ([`StreamingError::Stream`]).
+    pub fn discover_streaming(
+        &self,
+        d: &Dataset,
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+        stream: &StreamConfig,
+    ) -> Result<SdResult, StreamingError> {
+        if self.config.l == 0 {
+            return Err(RedsError::ZeroNewPoints.into());
+        }
+        let model = self.train_metamodel(d, rng)?;
+        let sampler = self.config.sampler.streamable()?;
+        let mut source = SamplerSource::new(sampler, self.config.l, d.m(), rng.clone());
+        let pool = stream_pool(
+            &mut source,
+            &mut |points, m| Ok(model.predict_batch(points, m)),
+            self.labeling(),
+            stream,
+        )?;
+        // Adopt the advanced generator state so the SD seed below (and
+        // anything the caller draws later) matches the monolithic path.
+        *rng = source.into_rng();
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        Ok(sd.discover_presorted(&pool.dataset, pool.view, d, &mut sd_rng))
+    }
+
+    /// Streaming variant of [`Reds::run_on_pool`]: pseudo-labels a
+    /// caller-provided pool chunk by chunk with the out-of-core sort.
+    /// Bit-identical to [`Reds::run_on_pool`] for every chunk size.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reds::run_on_pool`], with shape/NaN problems reported
+    /// through [`StreamingError::Stream`].
+    pub fn discover_streaming_on_pool(
+        &self,
+        d: &Dataset,
+        pool: &[f64],
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+        stream: &StreamConfig,
+    ) -> Result<SdResult, StreamingError> {
+        if pool.is_empty() {
+            return Err(RedsError::ZeroNewPoints.into());
+        }
+        let model = self.train_metamodel(d, rng)?;
+        let mut source = SliceSource::new(pool, d.m())?;
+        let streamed = stream_pool(
+            &mut source,
+            &mut |points, m| Ok(model.predict_batch(points, m)),
+            self.labeling(),
+            stream,
+        )?;
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        Ok(sd.discover_presorted(&streamed.dataset, streamed.view, d, &mut sd_rng))
     }
 
     /// Semi-supervised REDS (§6.1, §9.4): instead of sampling fresh
@@ -373,6 +483,121 @@ mod tests {
                 .iter()
                 .any(|&l| (row[0] - l).abs() < 1e-12));
         }
+    }
+
+    fn bounds_bits(result: &SdResult) -> Vec<(u64, u64)> {
+        result
+            .boxes
+            .iter()
+            .flat_map(|b| {
+                (0..b.m()).map(|j| {
+                    let (lo, hi) = b.bound(j);
+                    (lo.to_bits(), hi.to_bits())
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_discover_is_bit_identical_to_run() {
+        let d = corner_data(150, 30);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(2_000));
+        let reference = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(31))
+            .unwrap();
+        for chunk in [1usize, 97, 2_000, 5_000] {
+            let cfg = StreamConfig::new().with_chunk_rows(chunk);
+            let streamed = reds
+                .discover_streaming(&d, &Prim::default(), &mut StdRng::seed_from_u64(31), &cfg)
+                .unwrap();
+            assert_eq!(
+                bounds_bits(&reference),
+                bounds_bits(&streamed),
+                "chunk = {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_leaves_the_rng_in_the_monolithic_state() {
+        let d = corner_data(100, 40);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(500));
+        let mut rng_a = StdRng::seed_from_u64(41);
+        let mut rng_b = StdRng::seed_from_u64(41);
+        reds.run(&d, &Prim::default(), &mut rng_a).unwrap();
+        reds.discover_streaming(
+            &d,
+            &Prim::default(),
+            &mut rng_b,
+            &StreamConfig::new().with_chunk_rows(37),
+        )
+        .unwrap();
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn streaming_on_pool_matches_run_on_pool() {
+        let d = corner_data(90, 50);
+        let mut rng = StdRng::seed_from_u64(51);
+        let pool = uniform(700, 2, &mut rng);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default());
+        let reference = reds
+            .run_on_pool(&d, &pool, &Prim::default(), &mut StdRng::seed_from_u64(52))
+            .unwrap();
+        let streamed = reds
+            .discover_streaming_on_pool(
+                &d,
+                &pool,
+                &Prim::default(),
+                &mut StdRng::seed_from_u64(52),
+                &StreamConfig::new().with_chunk_rows(64),
+            )
+            .unwrap();
+        assert_eq!(bounds_bits(&reference), bounds_bits(&streamed));
+    }
+
+    #[test]
+    fn mixed_design_is_rejected_as_unstreamable() {
+        let d = corner_data(80, 60);
+        let reds = Reds::random_forest(
+            quick_forest(),
+            RedsConfig::default()
+                .with_l(500)
+                .with_sampler(NewPointSampler::MixedEven),
+        );
+        let err = reds
+            .discover_streaming(
+                &d,
+                &Prim::default(),
+                &mut StdRng::seed_from_u64(61),
+                &StreamConfig::new(),
+            )
+            .expect_err("LHS-based designs cannot stream");
+        assert!(matches!(
+            err,
+            crate::StreamingError::Stream(StreamError::UnstreamableSampler { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_nan_pool_reports_position() {
+        let d = corner_data(60, 70);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default());
+        let mut pool = vec![0.5; 10];
+        pool[7] = f64::NAN;
+        let err = reds
+            .discover_streaming_on_pool(
+                &d,
+                &pool,
+                &Prim::default(),
+                &mut StdRng::seed_from_u64(71),
+                &StreamConfig::new().with_chunk_rows(2),
+            )
+            .expect_err("NaN pool");
+        assert!(matches!(
+            err,
+            crate::StreamingError::Stream(StreamError::NanInPoint { row: 3, column: 1 })
+        ));
     }
 
     #[test]

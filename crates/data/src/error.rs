@@ -28,6 +28,14 @@ pub enum DataError {
         /// Number of folds / parts requested.
         required: usize,
     },
+    /// A presorted column handed to `SortedView::from_presorted_columns`
+    /// is not a permutation of the row ids `0..n` (wrong length, a
+    /// duplicate, or an out-of-range id) — the spilled sort runs it was
+    /// merged from were inconsistent.
+    NotAPermutation {
+        /// Offending column index.
+        column: usize,
+    },
     /// An input coordinate was NaN. NaN has no place on the presorted
     /// columns the hot paths rely on (its ordering under `total_cmp`
     /// disagrees with the `<`/`>=` comparisons box membership uses), so
@@ -53,6 +61,12 @@ impl fmt::Display for DataError {
             }
             Self::TooFewRows { rows, required } => {
                 write!(f, "need at least {required} rows, got {rows}")
+            }
+            Self::NotAPermutation { column } => {
+                write!(
+                    f,
+                    "presorted column {column} is not a permutation of the row ids"
+                )
             }
             Self::NanPoint { row, column } => {
                 write!(f, "NaN input value at row {row}, column {column}")

@@ -25,5 +25,5 @@ pub use bootstrap::bootstrap_sample;
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use folds::KFold;
-pub use sorted::SortedView;
+pub use sorted::{argsort_stable, ord_key, SortedView};
 pub use split::{train_test_split, Split};

@@ -14,7 +14,7 @@
 //! with the same key — the property the `naive`-vs-optimized
 //! equivalence tests rely on.
 
-use crate::Dataset;
+use crate::{DataError, Dataset};
 
 /// Per-dimension argsorted row indices plus a membership bitmask,
 /// built once in `O(M·N log N)` and compacted in `O(M·n)` per
@@ -56,6 +56,43 @@ impl SortedView {
             active: vec![true; n],
             n_active: n,
         }
+    }
+
+    /// Builds the index from externally presorted columns — the
+    /// entry point of out-of-core construction, where each column's
+    /// `(value, row id)` order was produced by merging spilled
+    /// chunk-local runs instead of one in-memory argsort.
+    ///
+    /// `cols[j]` must list **every** row id `0..n` exactly once, in
+    /// ascending `(value_j, row id)` order. The permutation property is
+    /// validated (`O(M·n)`, the same cost as one subsetting step);
+    /// the sort order itself is the caller's contract — it cannot be
+    /// checked without the value buffer, which out-of-core callers
+    /// deliberately do not hold.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::NotAPermutation`] when a column's length is not `n`
+    /// or a row id is missing, duplicated, or out of range.
+    pub fn from_presorted_columns(cols: Vec<Vec<u32>>, n: usize) -> Result<Self, DataError> {
+        let mut seen = vec![false; n];
+        for (j, col) in cols.iter().enumerate() {
+            if col.len() != n {
+                return Err(DataError::NotAPermutation { column: j });
+            }
+            seen.iter_mut().for_each(|s| *s = false);
+            for &row in col {
+                if (row as usize) >= n || seen[row as usize] {
+                    return Err(DataError::NotAPermutation { column: j });
+                }
+                seen[row as usize] = true;
+            }
+        }
+        Ok(Self {
+            cols,
+            active: vec![true; n],
+            n_active: n,
+        })
     }
 
     /// Number of dimensions indexed.
@@ -142,8 +179,13 @@ impl SortedView {
 /// Order-preserving bit mapping: `ord_key(a) < ord_key(b)` iff
 /// `a.total_cmp(&b) == Less` (sign-magnitude flip, the same order
 /// `f64::total_cmp` implements).
+///
+/// Public so out-of-core sorted-run producers (`reds-stream`) key their
+/// spill records with **exactly** the order `SortedView` sorts by — the
+/// k-way merge of chunk runs is then bit-identical to the in-memory
+/// argsort.
 #[inline]
-fn ord_key(v: f64) -> u64 {
+pub fn ord_key(v: f64) -> u64 {
     let b = v.to_bits();
     if b & (1 << 63) != 0 {
         !b
@@ -157,7 +199,10 @@ fn ord_key(v: f64) -> u64 {
 /// which all keys agree — typically 3–5 effective passes on real data,
 /// well below comparison sorting for the `N ≥ 10⁴` columns REDS
 /// presorts.
-fn argsort_stable(keys: &[u64]) -> Vec<u32> {
+///
+/// Public so chunk-local run sorting (`reds-stream`) shares the exact
+/// ordering (and tie-breaking) of [`SortedView::new`].
+pub fn argsort_stable(keys: &[u64]) -> Vec<u32> {
     let n = keys.len();
     let mut idx: Vec<u32> = (0..n as u32).collect();
     if n < 64 {
@@ -288,6 +333,43 @@ mod tests {
         assert_eq!(v.n_active(), 2);
         assert_eq!(v.column(0), &[3, 2]);
         assert_eq!(v.column(1), &[3, 2]);
+    }
+
+    #[test]
+    fn presorted_columns_reconstruct_the_view() {
+        let d = toy();
+        let reference = SortedView::new(&d);
+        let rebuilt =
+            SortedView::from_presorted_columns(reference.cols.clone(), d.n()).expect("valid");
+        assert_eq!(rebuilt.column(0), reference.column(0));
+        assert_eq!(rebuilt.column(1), reference.column(1));
+        assert_eq!(rebuilt.n_active(), d.n());
+        // Cuts behave identically on the rebuilt view.
+        let mut a = reference.clone();
+        let mut b = rebuilt;
+        assert_eq!(a.retain_at_least(&d, 0, 1.0), b.retain_at_least(&d, 0, 1.0));
+        assert_eq!(a.column(1), b.column(1));
+    }
+
+    #[test]
+    fn invalid_presorted_columns_are_rejected() {
+        // Wrong length.
+        assert!(matches!(
+            SortedView::from_presorted_columns(vec![vec![0, 1]], 3),
+            Err(DataError::NotAPermutation { column: 0 })
+        ));
+        // Duplicate id (second column).
+        assert!(matches!(
+            SortedView::from_presorted_columns(vec![vec![0, 1, 2], vec![0, 0, 2]], 3),
+            Err(DataError::NotAPermutation { column: 1 })
+        ));
+        // Out-of-range id.
+        assert!(matches!(
+            SortedView::from_presorted_columns(vec![vec![0, 3, 2]], 3),
+            Err(DataError::NotAPermutation { column: 0 })
+        ));
+        // Empty is fine.
+        assert!(SortedView::from_presorted_columns(vec![Vec::new()], 0).is_ok());
     }
 
     #[test]

@@ -374,7 +374,11 @@ impl RegressionTree {
     /// shared by every tree, which replaces the per-tree
     /// `O(m·s log s)` argsort with an `O(m·(n + s))` merge. Identical
     /// output to [`RegressionTree::fit`].
-    pub(crate) fn fit_with_orders(
+    ///
+    /// Public because the streaming pipeline's out-of-core sort
+    /// produces exactly these orders as a by-product (CART scenario
+    /// discovery reuses them instead of re-argsorting `L` rows).
+    pub fn fit_with_orders(
         points: &[f64],
         targets: &[f64],
         m: usize,

@@ -16,7 +16,14 @@ use reds_metamodel::persist::{f64_from_json, f64_to_json};
 use reds_metamodel::SavedModel;
 
 /// Current artifact schema version; bumped on incompatible changes.
-pub const ARTIFACT_SCHEMA_VERSION: usize = 1;
+/// Version 2 added the pool-generation provenance (`pool_seed`,
+/// `pool_design`); version-1 artifacts still load, with the training
+/// seed standing in as the pool seed.
+pub const ARTIFACT_SCHEMA_VERSION: usize = 2;
+
+/// The only pool design servable right now: i.i.d. uniform on
+/// `[0,1]^M` (Algorithm 4, line 3 under deep uncertainty).
+pub const POOL_DESIGN_UNIFORM: &str = "uniform";
 
 /// Document-type marker distinguishing artifacts from other REDS JSON.
 pub const ARTIFACT_KIND: &str = "reds-model-artifact";
@@ -28,6 +35,14 @@ pub struct ModelArtifact {
     /// Seed the training run used (provenance; not consumed when
     /// serving).
     pub seed: u64,
+    /// Seed of the served pseudo-label pool: a `discover_streaming`
+    /// request without an explicit seed streams exactly this pool, so
+    /// a served run is reproducible from the artifact file alone.
+    pub pool_seed: u64,
+    /// Design of the served pool (currently always
+    /// [`POOL_DESIGN_UNIFORM`]; recorded so future designs cannot be
+    /// confused with old artifacts).
+    pub pool_design: String,
     /// The fitted metamodel.
     pub model: SavedModel,
     /// The training dataset `D` — the validation anchor for `discover`.
@@ -77,6 +92,8 @@ impl ModelArtifact {
             // u64 seeds exceed the exact-integer range of f64; a decimal
             // string survives losslessly.
             ("seed", Json::str(self.seed.to_string())),
+            ("pool_seed", Json::str(self.pool_seed.to_string())),
+            ("pool_design", Json::str(self.pool_design.clone())),
             ("family", Json::str(self.model.family())),
             ("m", Json::num(self.train.m() as f64)),
             ("model", self.model.to_json()),
@@ -113,15 +130,31 @@ impl ModelArtifact {
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or_else(|| format_err("missing 'schema_version'"))?;
-        if version != ARTIFACT_SCHEMA_VERSION as f64 {
+        if version != 1.0 && version != ARTIFACT_SCHEMA_VERSION as f64 {
             return Err(format_err(format!(
-                "schema version {version} (this build reads {ARTIFACT_SCHEMA_VERSION})"
+                "schema version {version} (this build reads 1 and {ARTIFACT_SCHEMA_VERSION})"
             )));
         }
         let function = str_field("function")?.to_string();
         let seed: u64 = str_field("seed")?
             .parse()
             .map_err(|_| format_err("'seed' must be a decimal u64 string"))?;
+        // Version 1 predates pool provenance: fall back to the training
+        // seed, which v1-era tooling reused for served pools.
+        let (pool_seed, pool_design) = if version == 1.0 {
+            (seed, POOL_DESIGN_UNIFORM.to_string())
+        } else {
+            let pool_seed = str_field("pool_seed")?
+                .parse()
+                .map_err(|_| format_err("'pool_seed' must be a decimal u64 string"))?;
+            let pool_design = str_field("pool_design")?.to_string();
+            if pool_design != POOL_DESIGN_UNIFORM {
+                return Err(format_err(format!(
+                    "unsupported pool design '{pool_design}' (this build serves '{POOL_DESIGN_UNIFORM}')"
+                )));
+            }
+            (pool_seed, pool_design)
+        };
         let m = doc
             .get("m")
             .and_then(Json::as_f64)
@@ -166,6 +199,8 @@ impl ModelArtifact {
         Ok(Self {
             function,
             seed,
+            pool_seed,
+            pool_design,
             model,
             train,
         })
@@ -212,6 +247,8 @@ mod tests {
         ModelArtifact {
             function: "corner".to_string(),
             seed,
+            pool_seed: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+            pool_design: POOL_DESIGN_UNIFORM.to_string(),
             model: SavedModel::Forest(model),
             train,
         }
@@ -275,6 +312,55 @@ mod tests {
             Ok(_) => panic!("family disagreeing with the model must be rejected"),
         };
         assert!(err.to_string().contains("family"), "{err}");
+    }
+
+    #[test]
+    fn pool_provenance_round_trips() {
+        let mut artifact = tiny_artifact(8);
+        artifact.pool_seed = u64::MAX - 9;
+        let doc = reds_json::from_str(&artifact.to_json().to_string_compact()).unwrap();
+        let loaded = ModelArtifact::from_json(&doc).expect("round trip");
+        assert_eq!(loaded.pool_seed, u64::MAX - 9);
+        assert_eq!(loaded.pool_design, POOL_DESIGN_UNIFORM);
+    }
+
+    #[test]
+    fn v1_artifacts_still_load_with_derived_pool_seed() {
+        let artifact = tiny_artifact(9);
+        let mut doc = artifact.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "pool_seed" && k != "pool_design");
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::num(1.0);
+                }
+            }
+        }
+        let loaded = ModelArtifact::from_json(&doc).expect("v1 artifacts must load");
+        assert_eq!(loaded.pool_seed, loaded.seed);
+        assert_eq!(loaded.pool_design, POOL_DESIGN_UNIFORM);
+    }
+
+    #[test]
+    fn unknown_pool_design_is_rejected() {
+        let artifact = tiny_artifact(10);
+        let mut doc = artifact.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "pool_design" {
+                    *v = Json::str("sobol");
+                }
+            }
+        }
+        let err = artifact_err(ModelArtifact::from_json(&doc));
+        assert!(err.to_string().contains("pool design"), "{err}");
+    }
+
+    fn artifact_err(r: Result<ModelArtifact, ArtifactError>) -> ArtifactError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected an artifact error"),
+        }
     }
 
     #[test]

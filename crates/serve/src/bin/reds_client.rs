@@ -4,6 +4,7 @@
 //! reds_client --addr 127.0.0.1:7878 --cmd info
 //! reds_client --addr … --cmd predict_batch --m 2 --points 0.1,0.9,0.4,0.2
 //! reds_client --addr … --cmd discover --l 2000 --seed 7 --algorithm prim
+//! reds_client --addr … --cmd discover_streaming --l 2000000 --chunk-rows 65536
 //! reds_client --addr … --cmd shutdown
 //! ```
 //!
@@ -12,11 +13,11 @@
 
 use std::process::exit;
 
-use reds_serve::{Algorithm, Client, DiscoverParams};
+use reds_serve::{Algorithm, Client, DiscoverParams, StreamDiscoverParams};
 
-const USAGE: &str =
-    "usage: reds_client --addr HOST:PORT --cmd <info|predict_batch|discover|shutdown> \
-[--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X]";
+const USAGE: &str = "usage: reds_client --addr HOST:PORT \
+--cmd <info|predict_batch|discover|discover_streaming|shutdown> \
+[--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X] [--chunk-rows N]";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
@@ -30,6 +31,8 @@ fn main() {
     let mut m = 0usize;
     let mut points: Vec<f64> = Vec::new();
     let mut params = DiscoverParams::default();
+    let mut seed_given = false;
+    let mut chunk_rows = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
@@ -67,6 +70,13 @@ fn main() {
                 params.seed = raw
                     .parse()
                     .unwrap_or_else(|_| fail(format!("--seed expects a u64, got '{raw}'")));
+                seed_given = true;
+            }
+            "--chunk-rows" => {
+                let raw = value("an integer");
+                chunk_rows = raw.parse().unwrap_or_else(|_| {
+                    fail(format!("--chunk-rows expects an integer, got '{raw}'"))
+                });
             }
             "--algorithm" => {
                 params.algorithm = match value("prim|bi").as_str() {
@@ -109,6 +119,20 @@ fn main() {
         "discover" => client
             .discover(&params)
             .map(|r| r.to_json().to_string_compact()),
+        "discover_streaming" => {
+            let stream_params = StreamDiscoverParams {
+                l: params.l,
+                // No --seed on the command line = serve the pool the
+                // artifact recorded (reproducible from the file alone).
+                seed: seed_given.then_some(params.seed),
+                algorithm: params.algorithm,
+                bnd: params.bnd,
+                chunk_rows,
+            };
+            client
+                .discover_streaming(&stream_params)
+                .map(|r| r.to_json().to_string_compact())
+        }
         "shutdown" => client
             .shutdown()
             .map(|()| "{\"shutdown\":true}".to_string()),

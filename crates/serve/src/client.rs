@@ -9,7 +9,7 @@ use std::time::Duration;
 use reds_json::Json;
 use reds_subgroup::SdResult;
 
-use crate::protocol::{DiscoverParams, Request};
+use crate::protocol::{DiscoverParams, Request, StreamDiscoverParams};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -161,6 +161,23 @@ impl Client {
     pub fn discover(&mut self, params: &DiscoverParams) -> Result<SdResult, ClientError> {
         let id = self.fresh_id();
         let result = self.call(&Request::Discover {
+            id,
+            params: params.clone(),
+        })?;
+        SdResult::from_json(&result)
+            .ok_or_else(|| ClientError::Protocol("unparseable 'boxes'".to_string()))
+    }
+
+    /// Runs streaming scenario discovery on the server. Omitting the
+    /// seed (`params.seed = None`) asks the server to stream the pool
+    /// recorded in its artifact (`pool_seed`), reproducible from the
+    /// artifact file alone.
+    pub fn discover_streaming(
+        &mut self,
+        params: &StreamDiscoverParams,
+    ) -> Result<SdResult, ClientError> {
+        let id = self.fresh_id();
+        let result = self.call(&Request::DiscoverStreaming {
             id,
             params: params.clone(),
         })?;

@@ -6,7 +6,8 @@
 //! saved to a JSON [`artifact`](crate::artifact::ModelArtifact)
 //! together with its training data, loaded once by a threaded TCP
 //! server, and queried many times over a newline-delimited JSON
-//! [`protocol`] — `predict_batch`, `discover`, `info`, `shutdown`.
+//! [`protocol`] — `predict_batch`, `discover`, `discover_streaming`,
+//! `info`, `shutdown`.
 //!
 //! Three properties the tests pin down:
 //!
@@ -31,7 +32,11 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use artifact::{ArtifactError, ModelArtifact};
+pub use artifact::{ArtifactError, ModelArtifact, POOL_DESIGN_UNIFORM};
 pub use client::{Client, ClientError};
-pub use protocol::{Algorithm, DiscoverParams, ErrorCode, Request, ServeError, ServeLimits};
-pub use server::{run_discover, serve, validate_points, ServerHandle, Service};
+pub use protocol::{
+    Algorithm, DiscoverParams, ErrorCode, Request, ServeError, ServeLimits, StreamDiscoverParams,
+};
+pub use server::{
+    run_discover, run_discover_streaming, serve, validate_points, ServerHandle, Service,
+};

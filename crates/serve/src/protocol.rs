@@ -179,6 +179,38 @@ impl Default for DiscoverParams {
     }
 }
 
+/// Parameters of a served `discover_streaming` request: scenario
+/// discovery through the bounded-memory pipeline (`reds-stream`) —
+/// bit-identical boxes to `discover` with the same resolved seed, at a
+/// working set bounded by `chunk_rows` during construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDiscoverParams {
+    /// Number of pseudo-labelled points `L`.
+    pub l: usize,
+    /// Seed of the uniform pool; `None` uses the artifact's recorded
+    /// `pool_seed`, making the served stream reproducible from the
+    /// artifact file alone.
+    pub seed: Option<u64>,
+    /// Subgroup-discovery algorithm to run.
+    pub algorithm: Algorithm,
+    /// Hard-label threshold `bnd` on the metamodel output.
+    pub bnd: f64,
+    /// Rows per streamed chunk; `0` selects the server default.
+    pub chunk_rows: usize,
+}
+
+impl Default for StreamDiscoverParams {
+    fn default() -> Self {
+        Self {
+            l: 20_000,
+            seed: None,
+            algorithm: Algorithm::Prim,
+            bnd: 0.5,
+            chunk_rows: 0,
+        }
+    }
+}
+
 /// One decoded request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -198,6 +230,13 @@ pub enum Request {
         /// Discovery parameters.
         params: DiscoverParams,
     },
+    /// Run scenario discovery through the streaming pipeline.
+    DiscoverStreaming {
+        /// Echoed request id.
+        id: u64,
+        /// Streaming discovery parameters.
+        params: StreamDiscoverParams,
+    },
     /// Describe the loaded model and server counters.
     Info {
         /// Echoed request id.
@@ -216,6 +255,7 @@ impl Request {
         match self {
             Self::PredictBatch { id, .. }
             | Self::Discover { id, .. }
+            | Self::DiscoverStreaming { id, .. }
             | Self::Info { id }
             | Self::Shutdown { id } => *id,
         }
@@ -251,6 +291,22 @@ impl Request {
                 ("algorithm", Json::str(params.algorithm.as_str())),
                 ("bnd", Json::num(params.bnd)),
             ]),
+            Self::DiscoverStreaming { id, params } => {
+                let mut pairs = vec![
+                    ("id", Json::num(*id as f64)),
+                    ("cmd", Json::str("discover_streaming")),
+                    ("l", Json::num(params.l as f64)),
+                    ("algorithm", Json::str(params.algorithm.as_str())),
+                    ("bnd", Json::num(params.bnd)),
+                    ("chunk_rows", Json::num(params.chunk_rows as f64)),
+                ];
+                // An absent seed means "use the artifact's pool seed";
+                // it must stay absent on the wire.
+                if let Some(seed) = params.seed {
+                    pairs.push(("seed", Json::str(seed.to_string())));
+                }
+                Json::obj(pairs)
+            }
             Self::Info { id } => {
                 Json::obj([("id", Json::num(*id as f64)), ("cmd", Json::str("info"))])
             }
@@ -303,59 +359,82 @@ impl Request {
                 Ok(Self::PredictBatch { id, points, m })
             }
             "discover" => {
-                let seed = match doc.get("seed") {
-                    None => 0,
-                    // Accept both a JSON integer and the lossless
-                    // decimal-string form.
-                    Some(Json::Str(s)) => s.parse().map_err(|_| {
-                        ServeError::parse("'seed' must be a u64 (number or decimal string)")
-                    })?,
-                    // Numeric seeds above 2^53 would already have been
-                    // rounded by f64 parsing — rejecting them (instead
-                    // of silently serving a *different* seed) protects
-                    // the "same seed, same boxes" contract; the string
-                    // form carries the full u64 range.
-                    Some(v) => v
-                        .as_f64()
-                        .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64)
-                        .ok_or_else(|| {
-                            ServeError::parse(
-                                "'seed' must be a non-negative integer ≤ 2^53 \
-                                 (use the decimal-string form for larger seeds)",
-                            )
-                        })? as u64,
-                };
-                let algorithm = match doc.get("algorithm").map(|v| v.as_str()) {
-                    None => Algorithm::Prim,
-                    Some(Some("prim")) => Algorithm::Prim,
-                    Some(Some("bi")) => Algorithm::BestInterval,
-                    Some(other) => {
-                        return Err(ServeError::bad_request(format!(
-                            "unknown algorithm {other:?} (expected \"prim\" or \"bi\")"
-                        )))
-                    }
-                };
-                let bnd = match doc.get("bnd") {
-                    None => 0.5,
-                    Some(v) => v
-                        .as_f64()
-                        .filter(|x| x.is_finite())
-                        .ok_or_else(|| ServeError::parse("'bnd' must be a finite number"))?,
-                };
                 let params = DiscoverParams {
                     l: get_usize("l", Some(DiscoverParams::default().l))?,
-                    seed,
-                    algorithm,
-                    bnd,
+                    seed: decode_seed(doc)?.unwrap_or(0),
+                    algorithm: decode_algorithm(doc)?,
+                    bnd: decode_bnd(doc)?,
                 };
                 Ok(Self::Discover { id, params })
+            }
+            "discover_streaming" => {
+                let params = StreamDiscoverParams {
+                    l: get_usize("l", Some(StreamDiscoverParams::default().l))?,
+                    // `None` (field absent) = the artifact's pool seed.
+                    seed: decode_seed(doc)?,
+                    algorithm: decode_algorithm(doc)?,
+                    bnd: decode_bnd(doc)?,
+                    chunk_rows: get_usize("chunk_rows", Some(0))?,
+                };
+                Ok(Self::DiscoverStreaming { id, params })
             }
             "info" => Ok(Self::Info { id }),
             "shutdown" => Ok(Self::Shutdown { id }),
             other => Err(ServeError::parse(format!(
-                "unknown command '{other}' (expected predict_batch, discover, info, shutdown)"
+                "unknown command '{other}' (expected predict_batch, discover, \
+                 discover_streaming, info, shutdown)"
             ))),
         }
+    }
+}
+
+/// Decodes the optional `seed` field (`None` when absent).
+fn decode_seed(doc: &Json) -> Result<Option<u64>, ServeError> {
+    match doc.get("seed") {
+        None => Ok(None),
+        // Accept both a JSON integer and the lossless decimal-string
+        // form.
+        Some(Json::Str(s)) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| ServeError::parse("'seed' must be a u64 (number or decimal string)")),
+        // Numeric seeds above 2^53 would already have been rounded by
+        // f64 parsing — rejecting them (instead of silently serving a
+        // *different* seed) protects the "same seed, same boxes"
+        // contract; the string form carries the full u64 range.
+        Some(v) => v
+            .as_f64()
+            .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64)
+            .map(|x| Some(x as u64))
+            .ok_or_else(|| {
+                ServeError::parse(
+                    "'seed' must be a non-negative integer ≤ 2^53 \
+                     (use the decimal-string form for larger seeds)",
+                )
+            }),
+    }
+}
+
+/// Decodes the optional `algorithm` field (PRIM when absent).
+fn decode_algorithm(doc: &Json) -> Result<Algorithm, ServeError> {
+    match doc.get("algorithm").map(|v| v.as_str()) {
+        None => Ok(Algorithm::Prim),
+        Some(Some("prim")) => Ok(Algorithm::Prim),
+        Some(Some("bi")) => Ok(Algorithm::BestInterval),
+        Some(other) => Err(ServeError::bad_request(format!(
+            "unknown algorithm {other:?} (expected \"prim\" or \"bi\")"
+        ))),
+    }
+}
+
+/// Decodes the optional `bnd` field (0.5 when absent).
+fn decode_bnd(doc: &Json) -> Result<f64, ServeError> {
+    match doc.get("bnd") {
+        None => Ok(0.5),
+        Some(v) => v
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| ServeError::parse("'bnd' must be a finite number")),
     }
 }
 
@@ -412,6 +491,23 @@ mod tests {
                     seed: u64::MAX - 1,
                     algorithm: Algorithm::BestInterval,
                     bnd: 0.25,
+                },
+            },
+            Request::DiscoverStreaming {
+                id: 11,
+                params: StreamDiscoverParams {
+                    l: 2_000_000,
+                    seed: Some(u64::MAX - 2),
+                    algorithm: Algorithm::Prim,
+                    bnd: 0.5,
+                    chunk_rows: 65_536,
+                },
+            },
+            Request::DiscoverStreaming {
+                id: 12,
+                params: StreamDiscoverParams {
+                    seed: None, // "use the artifact's pool seed"
+                    ..StreamDiscoverParams::default()
                 },
             },
             Request::Info { id: 9 },

@@ -20,10 +20,13 @@ use reds_json::Json;
 use reds_metamodel::Metamodel;
 use reds_subgroup::{BestInterval, Prim, SdResult, SubgroupDiscovery};
 
+use reds_stream::{stream_pool, Labeling, SamplerSource, StreamConfig, StreamSampler};
+
 use crate::artifact::ModelArtifact;
 use crate::batch::Batcher;
 use crate::protocol::{
     error_response, ok_response, Algorithm, DiscoverParams, Request, ServeError, ServeLimits,
+    StreamDiscoverParams,
 };
 
 /// How often blocked reads wake up to check the shutdown flag; bounds
@@ -105,6 +108,67 @@ pub fn run_discover(
     Ok(result)
 }
 
+/// Serves one `discover` request through the bounded-memory streaming
+/// pipeline: the `L` uniform points are generated, pseudo-labeled, and
+/// argsorted in chunks (spilled sort runs, k-way merge), and the
+/// subgroup search consumes the merged order through
+/// `discover_presorted`.
+///
+/// With the same resolved `params` this returns boxes **bit-identical**
+/// to [`run_discover`]: the chunked draws replay the monolithic RNG
+/// stream, `predict_batch` is per-row, and the merge reproduces the
+/// in-memory sort order exactly.
+pub fn run_discover_streaming(
+    predict: impl Fn(Vec<f64>) -> Result<Vec<f64>, ServeError>,
+    m: usize,
+    train: &Dataset,
+    params: &DiscoverParams,
+    stream: &StreamConfig,
+) -> Result<SdResult, ServeError> {
+    if params.l == 0 {
+        return Err(ServeError::bad_request("discover needs l > 0"));
+    }
+    let rng = StdRng::seed_from_u64(params.seed);
+    let mut source = SamplerSource::new(StreamSampler::Uniform, params.l, m, rng);
+    // The streaming layer transports predictor failures as strings;
+    // capture the original typed error so the client still sees the
+    // proper code (`internal` vs `too_large` …) instead of a re-wrap.
+    let captured: std::cell::RefCell<Option<ServeError>> = std::cell::RefCell::new(None);
+    let mut chunk_predict = |points: &[f64], _m: usize| {
+        predict(points.to_vec()).map_err(|e| {
+            let msg = e.to_string();
+            *captured.borrow_mut() = Some(e);
+            reds_stream::StreamError::Predict(msg)
+        })
+    };
+    let outcome = stream_pool(
+        &mut source,
+        &mut chunk_predict,
+        Labeling::Hard { bnd: params.bnd },
+        stream,
+    );
+    let _ = chunk_predict;
+    let pool = match outcome {
+        Ok(pool) => pool,
+        Err(e) => {
+            return Err(captured.into_inner().unwrap_or_else(|| {
+                ServeError::internal(format!("streaming pipeline failed: {e}"))
+            }))
+        }
+    };
+    let mut rng = source.into_rng();
+    let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+    let result = match params.algorithm {
+        Algorithm::Prim => {
+            Prim::default().discover_presorted(&pool.dataset, pool.view, train, &mut sd_rng)
+        }
+        Algorithm::BestInterval => {
+            BestInterval::default().discover_presorted(&pool.dataset, pool.view, train, &mut sd_rng)
+        }
+    };
+    Ok(result)
+}
+
 /// The request handler shared by every connection.
 pub struct Service {
     artifact: Arc<ModelArtifact>,
@@ -166,6 +230,47 @@ impl Service {
         )
     }
 
+    /// Served streaming scenario discovery (see
+    /// [`run_discover_streaming`]). A request without an explicit seed
+    /// streams the artifact's recorded `pool_seed`, so the run is
+    /// reproducible from the artifact file alone.
+    pub fn discover_streaming(
+        &self,
+        params: &StreamDiscoverParams,
+    ) -> Result<SdResult, ServeError> {
+        if params.l > self.limits.max_discover_l {
+            return Err(ServeError::too_large(format!(
+                "l = {} exceeds the limit of {}",
+                params.l, self.limits.max_discover_l
+            )));
+        }
+        let resolved = DiscoverParams {
+            l: params.l,
+            seed: params.seed.unwrap_or(self.artifact.pool_seed),
+            algorithm: params.algorithm,
+            bnd: params.bnd,
+        };
+        // The merge holds one open file + buffered reader per spilled
+        // run, and runs = ⌈l / chunk_rows⌉ — a client asking for
+        // chunk_rows = 1 at l = 10⁶ would exhaust the process's file
+        // descriptors. Chunking never changes the result (bit-identity
+        // holds for any chunk size), so the server is free to raise a
+        // too-small chunk until the run count is bounded.
+        const MAX_RUNS_PER_COLUMN: usize = 1_024;
+        let requested = StreamConfig::new()
+            .with_chunk_rows(params.chunk_rows)
+            .effective_chunk_rows();
+        let floor = params.l.div_ceil(MAX_RUNS_PER_COLUMN);
+        let stream = StreamConfig::new().with_chunk_rows(requested.max(floor));
+        run_discover_streaming(
+            |points| self.batcher.predict(points),
+            self.artifact.train.m(),
+            &self.artifact.train,
+            &resolved,
+            &stream,
+        )
+    }
+
     /// The `info` result object.
     pub fn info(&self) -> Json {
         let stats = self.batcher.stats();
@@ -175,6 +280,8 @@ impl Service {
             ("m", Json::num(self.artifact.train.m() as f64)),
             ("n_train", Json::num(self.artifact.train.n() as f64)),
             ("seed", Json::str(self.artifact.seed.to_string())),
+            ("pool_seed", Json::str(self.artifact.pool_seed.to_string())),
+            ("pool_design", Json::str(self.artifact.pool_design.clone())),
             (
                 "requests",
                 Json::num(stats.requests.load(Ordering::Relaxed) as f64),
@@ -246,6 +353,10 @@ impl Service {
                 Err(e) => (error_response(id, &e), false),
             },
             Request::Discover { id, params } => match self.discover(&params) {
+                Ok(result) => (ok_response(id, result.to_json()), false),
+                Err(e) => (error_response(id, &e), false),
+            },
+            Request::DiscoverStreaming { id, params } => match self.discover_streaming(&params) {
                 Ok(result) => (ok_response(id, result.to_json()), false),
                 Err(e) => (error_response(id, &e), false),
             },
@@ -526,6 +637,8 @@ mod tests {
             ModelArtifact {
                 function: "corner".to_string(),
                 seed: 41,
+                pool_seed: 4100,
+                pool_design: crate::artifact::POOL_DESIGN_UNIFORM.to_string(),
                 model: SavedModel::Forest(model),
                 train,
             },
@@ -598,6 +711,98 @@ mod tests {
         .expect("runs");
         assert_eq!(served, direct);
         assert!(!served.boxes.is_empty());
+    }
+
+    #[test]
+    fn service_discover_streaming_is_bit_identical_to_discover() {
+        let service = tiny_service();
+        let params = DiscoverParams {
+            l: 2_500,
+            seed: 13,
+            ..Default::default()
+        };
+        let monolithic = service.discover(&params).expect("discovers");
+        for chunk_rows in [0usize, 1, 311, 10_000] {
+            let streamed = service
+                .discover_streaming(&StreamDiscoverParams {
+                    l: params.l,
+                    seed: Some(params.seed),
+                    algorithm: params.algorithm,
+                    bnd: params.bnd,
+                    chunk_rows,
+                })
+                .expect("streams");
+            assert_eq!(streamed, monolithic, "chunk_rows = {chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn streaming_without_a_seed_serves_the_artifact_pool() {
+        let service = tiny_service();
+        let from_artifact = service
+            .discover_streaming(&StreamDiscoverParams {
+                l: 1_500,
+                seed: None,
+                ..Default::default()
+            })
+            .expect("streams");
+        // Explicitly requesting the recorded pool seed must reproduce
+        // the same boxes — a served run is recoverable from the
+        // artifact file alone.
+        let explicit = service
+            .discover_streaming(&StreamDiscoverParams {
+                l: 1_500,
+                seed: Some(service.artifact().pool_seed),
+                ..Default::default()
+            })
+            .expect("streams");
+        assert_eq!(from_artifact, explicit);
+        // And it equals the monolithic path at the same resolved seed.
+        let monolithic = service
+            .discover(&DiscoverParams {
+                l: 1_500,
+                seed: service.artifact().pool_seed,
+                ..Default::default()
+            })
+            .expect("discovers");
+        assert_eq!(from_artifact, monolithic);
+    }
+
+    #[test]
+    fn tiny_chunk_requests_are_clamped_but_still_bit_identical() {
+        let service = tiny_service();
+        // chunk_rows = 1 at l = 3000 would mean 3000 spilled runs (and
+        // 3000 open files in the merge); the server clamps the chunk so
+        // runs stay bounded — and the result is unchanged, because
+        // chunking never affects the boxes.
+        let clamped = service
+            .discover_streaming(&StreamDiscoverParams {
+                l: 3_000,
+                seed: Some(5),
+                chunk_rows: 1,
+                ..Default::default()
+            })
+            .expect("clamped stream serves");
+        let monolithic = service
+            .discover(&DiscoverParams {
+                l: 3_000,
+                seed: 5,
+                ..Default::default()
+            })
+            .expect("discovers");
+        assert_eq!(clamped, monolithic);
+    }
+
+    #[test]
+    fn streaming_respects_the_discover_l_limit() {
+        let service = tiny_service();
+        let err = service
+            .discover_streaming(&StreamDiscoverParams {
+                l: 4_001, // limit is 4_000 in tiny_service
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.code, crate::protocol::ErrorCode::TooLarge);
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Chunk-folding construction of the streamed pool.
+//!
+//! [`PoolBuilder`] is the per-column accumulator the ISSUE's pipeline
+//! folds into: each pushed chunk is radix-argsorted locally per column
+//! (`O(chunk)` scratch), spilled as one sorted run per column, and its
+//! raw points/labels appended to the data spill. Nothing proportional
+//! to the total row count `L` is held in memory until the caller picks
+//! a finisher:
+//!
+//! * [`PoolBuilder::finish_pool`] — k-way merge every column into the
+//!   final `SortedView` order and read the points/labels back into a
+//!   [`Dataset`]: the handoff to subgroup discovery (which needs random
+//!   access to values, so `O(L·M)` memory is its floor);
+//! * [`PoolBuilder::finish_stats`] — stream the merge into an FNV-1a
+//!   digest instead: `O(chunk + runs)` peak memory end to end, used by
+//!   the peak-RSS benches and as the cross-mode equivalence witness.
+
+use reds_data::{argsort_stable, ord_key, Dataset, SortedView};
+
+use crate::spill::{ColumnRuns, FloatSpill, RunWriter, SpillDir};
+use crate::{StreamConfig, StreamError};
+
+/// The materialized result of a streamed construction: the
+/// pseudo-labeled dataset plus its presorted view, bit-identical to
+/// what the in-memory path (`Dataset::new` + `SortedView::new`) builds.
+#[derive(Debug)]
+pub struct StreamedPool {
+    /// The pseudo-labeled `D_new`.
+    pub dataset: Dataset,
+    /// `SortedView` over `dataset`, assembled by the out-of-core merge.
+    pub view: SortedView,
+}
+
+/// Summary of a digest-only streamed construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Rows streamed (`L`).
+    pub rows: u64,
+    /// Input columns (`M`).
+    pub m: usize,
+    /// Sum of the pseudo-labels (hard labels: the positive count).
+    pub label_sum: f64,
+    /// Rows with label > 0.5 (hard positives).
+    pub positives: u64,
+    /// FNV-1a digest over every column's merged row order and every
+    /// label's bits — equals [`digest_pool`] of the in-memory result.
+    pub digest: u64,
+    /// Sorted runs spilled per column.
+    pub runs_per_column: usize,
+    /// Total bytes written to the spill store.
+    pub spilled_bytes: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a over little-endian words.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Digest of an in-memory pool: every column's row-id order, then every
+/// label's bit pattern. The streamed [`PoolBuilder::finish_stats`]
+/// computes the same value without materializing either — equality of
+/// digests is the cheap bit-identity witness the benches assert.
+pub fn digest_pool(columns: &[Vec<u32>], labels: &[f64]) -> u64 {
+    let mut fnv = Fnv::new();
+    for col in columns {
+        for &row in col {
+            fnv.update(&row.to_le_bytes());
+        }
+    }
+    for &label in labels {
+        fnv.update(&label.to_bits().to_le_bytes());
+    }
+    fnv.0
+}
+
+/// The streaming accumulator: push chunks, then finish.
+pub struct PoolBuilder {
+    m: usize,
+    rows: usize,
+    spill: SpillDir,
+    columns: Vec<RunWriter>,
+    points: FloatSpill,
+    labels: FloatSpill,
+    label_sum: f64,
+    positives: u64,
+    /// Chunk-local scratch, reused across chunks.
+    keys: Vec<u64>,
+}
+
+impl PoolBuilder {
+    /// Creates the builder and its spill store.
+    pub fn new(m: usize, cfg: &StreamConfig) -> Result<Self, StreamError> {
+        if m == 0 {
+            return Err(StreamError::ShapeMismatch { len: 0, m: 0 });
+        }
+        let spill = SpillDir::create_in(cfg.spill_dir.as_deref())?;
+        let columns = (0..m)
+            .map(|j| RunWriter::create(spill.path(), j))
+            .collect::<Result<Vec<_>, _>>()?;
+        let points = FloatSpill::create(spill.path(), "pool.points")?;
+        let labels = FloatSpill::create(spill.path(), "pool.labels")?;
+        Ok(Self {
+            m,
+            rows: 0,
+            spill,
+            columns,
+            points,
+            labels,
+            label_sum: 0.0,
+            positives: 0,
+            keys: Vec::new(),
+        })
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Folds one pseudo-labeled chunk into the accumulators: NaN
+    /// validation, per-column chunk-local argsort spilled as one run
+    /// each, raw points and labels appended to the data spill.
+    pub fn push_chunk(&mut self, points: &[f64], labels: &[f64]) -> Result<(), StreamError> {
+        let m = self.m;
+        if !points.len().is_multiple_of(m) || points.len() / m != labels.len() {
+            return Err(StreamError::ShapeMismatch {
+                len: points.len(),
+                m,
+            });
+        }
+        let n = labels.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if self.rows + n > u32::MAX as usize {
+            return Err(StreamError::TooManyRows {
+                rows: self.rows + n,
+            });
+        }
+        // Datasets reject NaN coordinates; catch it here with the
+        // *global* row index so streamed and monolithic paths report
+        // the same position.
+        if let Some(at) = points.iter().position(|v| v.is_nan()) {
+            return Err(StreamError::NanInPoint {
+                row: self.rows + at / m,
+                column: at % m,
+            });
+        }
+        let base = self.rows as u32;
+        for (j, writer) in self.columns.iter_mut().enumerate() {
+            self.keys.clear();
+            self.keys
+                .extend(points.iter().skip(j).step_by(m).map(|&v| ord_key(v)));
+            // Local ranks sorted by (key, local rank); adding the chunk
+            // base preserves the tie order globally because all rows of
+            // this chunk follow all previously pushed rows.
+            let order = argsort_stable(&self.keys);
+            let keys = &self.keys;
+            writer.push_run(
+                order
+                    .iter()
+                    .map(|&local| (keys[local as usize], base + local)),
+            )?;
+        }
+        self.points.append(points)?;
+        self.labels.append(labels)?;
+        for &y in labels {
+            self.label_sum += y;
+            if y > 0.5 {
+                self.positives += 1;
+            }
+        }
+        self.rows += n;
+        Ok(())
+    }
+
+    fn merged_columns(
+        columns: Vec<RunWriter>,
+        rows: usize,
+    ) -> Result<(Vec<ColumnRuns>, usize, u64), StreamError> {
+        let mut runs = Vec::with_capacity(columns.len());
+        let mut spilled = 0u64;
+        let mut max_runs = 0usize;
+        for writer in columns {
+            let col = writer.into_runs()?;
+            if col.total_rows() != rows as u64 {
+                return Err(StreamError::CorruptSpill {
+                    column: runs.len(),
+                    detail: format!(
+                        "run store holds {} rows, builder pushed {rows}",
+                        col.total_rows()
+                    ),
+                });
+            }
+            spilled += col.spilled_bytes();
+            max_runs = max_runs.max(col.run_count());
+            runs.push(col);
+        }
+        Ok((runs, max_runs, spilled))
+    }
+
+    /// Merges the spilled runs and materializes the final
+    /// [`Dataset`] + [`SortedView`] — the handoff to subgroup
+    /// discovery. The spill directory is removed on return (and on
+    /// error, via RAII).
+    pub fn finish_pool(self) -> Result<StreamedPool, StreamError> {
+        if self.rows == 0 {
+            return Err(StreamError::ZeroRows);
+        }
+        let rows = self.rows;
+        let (runs, _, _) = Self::merged_columns(self.columns, rows)?;
+        let mut cols = Vec::with_capacity(runs.len());
+        for col in &runs {
+            let mut order = Vec::with_capacity(rows);
+            col.merge(|row, _key| order.push(row))?;
+            cols.push(order);
+        }
+        let view = SortedView::from_presorted_columns(cols, rows)?;
+        let points = self.points.into_vec()?;
+        let labels = self.labels.into_vec()?;
+        let dataset = Dataset::new(points, labels, self.m)?;
+        drop(self.spill); // explicit: spill store gone before returning
+        Ok(StreamedPool { dataset, view })
+    }
+
+    /// Merges the spilled runs into a digest without materializing
+    /// anything of size `O(L)` — peak memory stays bounded by
+    /// `O(chunk + runs)`.
+    pub fn finish_stats(self) -> Result<StreamStats, StreamError> {
+        if self.rows == 0 {
+            return Err(StreamError::ZeroRows);
+        }
+        let rows = self.rows;
+        let (runs, runs_per_column, mut spilled) = Self::merged_columns(self.columns, rows)?;
+        let mut fnv = Fnv::new();
+        for col in &runs {
+            let mut emitted = 0u64;
+            col.merge(|row, _key| {
+                fnv.update(&row.to_le_bytes());
+                emitted += 1;
+            })?;
+            debug_assert_eq!(emitted, rows as u64);
+        }
+        spilled += self.points.spilled_bytes() + self.labels.spilled_bytes();
+        self.labels
+            .for_each(|v| fnv.update(&v.to_bits().to_le_bytes()))?;
+        Ok(StreamStats {
+            rows: rows as u64,
+            m: self.m,
+            label_sum: self.label_sum,
+            positives: self.positives,
+            digest: fnv.0,
+            runs_per_column,
+            spilled_bytes: spilled,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_points(n: usize, m: usize) -> (Vec<f64>, Vec<f64>) {
+        // Deterministic pseudo-random-ish values with ties.
+        let points: Vec<f64> = (0..n * m)
+            .map(|i| ((i * 7919) % 97) as f64 / 97.0)
+            .collect();
+        let labels: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        (points, labels)
+    }
+
+    fn build_chunked(
+        points: &[f64],
+        labels: &[f64],
+        m: usize,
+        chunk: usize,
+    ) -> Result<PoolBuilder, StreamError> {
+        let mut builder = PoolBuilder::new(m, &StreamConfig::new())?;
+        let mut row = 0;
+        while row < labels.len() {
+            let take = chunk.min(labels.len() - row);
+            builder.push_chunk(&points[row * m..(row + take) * m], &labels[row..row + take])?;
+            row += take;
+        }
+        Ok(builder)
+    }
+
+    #[test]
+    fn streamed_pool_matches_in_memory_construction_for_any_chunking() {
+        let m = 3;
+        let n = 157;
+        let (points, labels) = demo_points(n, m);
+        let reference = Dataset::new(points.clone(), labels.clone(), m).unwrap();
+        let ref_view = SortedView::new(&reference);
+        for chunk in [1usize, 2, 13, 64, n, n + 9] {
+            let pool = build_chunked(&points, &labels, m, chunk)
+                .unwrap()
+                .finish_pool()
+                .unwrap();
+            assert_eq!(pool.dataset, reference, "chunk = {chunk}");
+            for j in 0..m {
+                assert_eq!(
+                    pool.view.column(j),
+                    ref_view.column(j),
+                    "chunk = {chunk}, col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_mode_agrees_with_in_memory_digest() {
+        let m = 2;
+        let n = 201;
+        let (points, labels) = demo_points(n, m);
+        let reference = Dataset::new(points.clone(), labels.clone(), m).unwrap();
+        let ref_digest = digest_pool(
+            &SortedView::new(&reference).into_columns(),
+            reference.labels(),
+        );
+        for chunk in [1usize, 37, 500] {
+            let stats = build_chunked(&points, &labels, m, chunk)
+                .unwrap()
+                .finish_stats()
+                .unwrap();
+            assert_eq!(stats.digest, ref_digest, "chunk = {chunk}");
+            assert_eq!(stats.rows, n as u64);
+            assert_eq!(
+                stats.positives,
+                labels.iter().filter(|&&y| y > 0.5).count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn nan_reports_the_global_row() {
+        let m = 2;
+        let mut builder = PoolBuilder::new(m, &StreamConfig::new()).unwrap();
+        builder
+            .push_chunk(&[0.1, 0.2, 0.3, 0.4], &[0.0, 1.0])
+            .unwrap();
+        let err = builder
+            .push_chunk(&[0.5, f64::NAN], &[1.0])
+            .expect_err("NaN must be rejected");
+        assert!(matches!(err, StreamError::NanInPoint { row: 2, column: 1 }));
+    }
+
+    #[test]
+    fn empty_builder_errors_instead_of_building_nothing() {
+        let builder = PoolBuilder::new(2, &StreamConfig::new()).unwrap();
+        assert!(matches!(builder.finish_pool(), Err(StreamError::ZeroRows)));
+        let builder = PoolBuilder::new(2, &StreamConfig::new()).unwrap();
+        assert!(matches!(builder.finish_stats(), Err(StreamError::ZeroRows)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut builder = PoolBuilder::new(3, &StreamConfig::new()).unwrap();
+        assert!(matches!(
+            builder.push_chunk(&[0.0; 7], &[0.0, 0.0]),
+            Err(StreamError::ShapeMismatch { len: 7, m: 3 })
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! The streaming pseudo-labeling loop: source → predict → label → fold.
+
+use crate::build::{PoolBuilder, StreamStats, StreamedPool};
+use crate::{ChunkSource, StreamConfig, StreamError};
+
+/// How raw metamodel outputs become pseudo-labels — must mirror the
+/// in-memory pipeline's mapping exactly (Algorithm 4, lines 4–6; §6.1
+/// for the probability variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Labeling {
+    /// Hard labels `I(f^am(x) > bnd)`.
+    Hard {
+        /// Threshold `bnd` on the metamodel output.
+        bnd: f64,
+    },
+    /// Raw probabilities clamped to `[0,1]` (the "p" variants).
+    Probability,
+}
+
+impl Labeling {
+    /// Maps one metamodel output to its pseudo-label.
+    #[inline]
+    pub fn apply(self, p: f64) -> f64 {
+        match self {
+            Self::Hard { bnd } => {
+                if p > bnd {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::Probability => p.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The type every chunk predictor conforms to: row-major points of the
+/// declared width in, one raw metamodel output per row out. In-process
+/// callers wrap `Metamodel::predict_batch`; the serving layer wraps its
+/// micro-batching worker.
+pub type ChunkPredict<'a> = dyn FnMut(&[f64], usize) -> Result<Vec<f64>, StreamError> + 'a;
+
+fn drive(
+    source: &mut dyn ChunkSource,
+    predict: &mut ChunkPredict<'_>,
+    labeling: Labeling,
+    cfg: &StreamConfig,
+) -> Result<PoolBuilder, StreamError> {
+    let m = source.m();
+    let chunk_rows = cfg.effective_chunk_rows();
+    let mut builder = PoolBuilder::new(m, cfg)?;
+    let mut chunk: Vec<f64> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    loop {
+        chunk.clear();
+        let got = source.next_chunk(chunk_rows, &mut chunk);
+        if got == 0 {
+            break;
+        }
+        let preds = predict(&chunk, m)?;
+        if preds.len() != got {
+            return Err(StreamError::Predict(format!(
+                "predictor returned {} values for a {got}-row chunk",
+                preds.len()
+            )));
+        }
+        labels.clear();
+        labels.extend(preds.into_iter().map(|p| labeling.apply(p)));
+        builder.push_chunk(&chunk, &labels)?;
+    }
+    if builder.rows() == 0 {
+        return Err(StreamError::ZeroRows);
+    }
+    Ok(builder)
+}
+
+/// Streams the whole source through pseudo-labeling and the out-of-core
+/// sort, materializing the final [`StreamedPool`]. Bit-identical to the
+/// monolithic generate → `predict_batch` → `Dataset::new` →
+/// `SortedView::new` path for **any** chunk size.
+pub fn stream_pool(
+    source: &mut dyn ChunkSource,
+    predict: &mut ChunkPredict<'_>,
+    labeling: Labeling,
+    cfg: &StreamConfig,
+) -> Result<StreamedPool, StreamError> {
+    drive(source, predict, labeling, cfg)?.finish_pool()
+}
+
+/// Like [`stream_pool`] but finishes into a digest + stats without
+/// materializing anything of size `O(L)` — the bounded-memory witness
+/// used by the peak-RSS benches.
+pub fn stream_scan(
+    source: &mut dyn ChunkSource,
+    predict: &mut ChunkPredict<'_>,
+    labeling: Labeling,
+    cfg: &StreamConfig,
+) -> Result<StreamStats, StreamError> {
+    drive(source, predict, labeling, cfg)?.finish_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SamplerSource, SliceSource, StreamSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reds_data::{Dataset, SortedView};
+
+    /// A cheap deterministic "metamodel": mean of the coordinates.
+    fn toy_predict(points: &[f64], m: usize) -> Result<Vec<f64>, StreamError> {
+        Ok(points
+            .chunks_exact(m)
+            .map(|row| row.iter().sum::<f64>() / m as f64)
+            .collect())
+    }
+
+    fn monolithic_reference(
+        l: usize,
+        m: usize,
+        seed: u64,
+        labeling: Labeling,
+    ) -> (Dataset, Vec<Vec<u32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = reds_sampling::uniform(l, m, &mut rng);
+        let labels: Vec<f64> = toy_predict(&points, m)
+            .unwrap()
+            .into_iter()
+            .map(|p| labeling.apply(p))
+            .collect();
+        let d = Dataset::new(points, labels, m).unwrap();
+        let cols = SortedView::new(&d).into_columns();
+        (d, cols)
+    }
+
+    #[test]
+    fn stream_pool_matches_monolithic_for_odd_chunkings() {
+        let (l, m, seed) = (311, 4, 21);
+        let labeling = Labeling::Hard { bnd: 0.5 };
+        let (ref_d, ref_cols) = monolithic_reference(l, m, seed, labeling);
+        for chunk in [1usize, 3, 100, l, l + 1] {
+            let mut source =
+                SamplerSource::new(StreamSampler::Uniform, l, m, StdRng::seed_from_u64(seed));
+            let cfg = StreamConfig::new().with_chunk_rows(chunk);
+            let pool = stream_pool(&mut source, &mut toy_predict, labeling, &cfg).unwrap();
+            assert_eq!(pool.dataset, ref_d, "chunk = {chunk}");
+            for (j, ref_col) in ref_cols.iter().enumerate() {
+                assert_eq!(pool.view.column(j), &ref_col[..], "chunk = {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn probability_labeling_streams_identically() {
+        let (l, m, seed) = (97, 2, 5);
+        let labeling = Labeling::Probability;
+        let (ref_d, _) = monolithic_reference(l, m, seed, labeling);
+        let mut source =
+            SamplerSource::new(StreamSampler::Uniform, l, m, StdRng::seed_from_u64(seed));
+        let cfg = StreamConfig::new().with_chunk_rows(10);
+        let pool = stream_pool(&mut source, &mut toy_predict, labeling, &cfg).unwrap();
+        assert_eq!(pool.dataset, ref_d);
+    }
+
+    #[test]
+    fn slice_source_streams_a_caller_pool() {
+        let m = 2;
+        let pool_values: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64 / 17.0).collect();
+        let labeling = Labeling::Hard { bnd: 0.4 };
+        let labels: Vec<f64> = toy_predict(&pool_values, m)
+            .unwrap()
+            .into_iter()
+            .map(|p| labeling.apply(p))
+            .collect();
+        let ref_d = Dataset::new(pool_values.clone(), labels, m).unwrap();
+        let mut source = SliceSource::new(&pool_values, m).unwrap();
+        let cfg = StreamConfig::new().with_chunk_rows(5);
+        let streamed = stream_pool(&mut source, &mut toy_predict, labeling, &cfg).unwrap();
+        assert_eq!(streamed.dataset, ref_d);
+    }
+
+    #[test]
+    fn scan_digest_matches_pool_digest() {
+        let (l, m, seed) = (250, 3, 8);
+        let labeling = Labeling::Hard { bnd: 0.5 };
+        let cfg = StreamConfig::new().with_chunk_rows(33);
+        let mut source =
+            SamplerSource::new(StreamSampler::Uniform, l, m, StdRng::seed_from_u64(seed));
+        let stats = stream_scan(&mut source, &mut toy_predict, labeling, &cfg).unwrap();
+        let (ref_d, ref_cols) = monolithic_reference(l, m, seed, labeling);
+        assert_eq!(stats.digest, crate::digest_pool(&ref_cols, ref_d.labels()));
+        assert_eq!(stats.rows, l as u64);
+        assert_eq!(stats.runs_per_column, l.div_ceil(33));
+    }
+
+    #[test]
+    fn predictor_length_mismatch_is_an_error() {
+        let mut source =
+            SamplerSource::new(StreamSampler::Uniform, 10, 2, StdRng::seed_from_u64(1));
+        let mut bad = |_: &[f64], _: usize| Ok(vec![0.5; 3]);
+        let err = stream_pool(
+            &mut source,
+            &mut bad,
+            Labeling::Hard { bnd: 0.5 },
+            &StreamConfig::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::Predict(_)));
+    }
+
+    #[test]
+    fn empty_source_is_zero_rows() {
+        let mut source = SamplerSource::new(StreamSampler::Uniform, 0, 2, StdRng::seed_from_u64(1));
+        let err = stream_scan(
+            &mut source,
+            &mut toy_predict,
+            Labeling::Hard { bnd: 0.5 },
+            &StreamConfig::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::ZeroRows));
+    }
+}

@@ -128,8 +128,12 @@ impl BestInterval {
     }
 }
 
-impl SubgroupDiscovery for BestInterval {
-    fn discover(&self, d: &Dataset, _d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+impl BestInterval {
+    /// The beam search on an externally built [`SortedView`] of `d` —
+    /// shared by [`SubgroupDiscovery::discover`] (which argsorts here)
+    /// and [`SubgroupDiscovery::discover_presorted`] (which reuses the
+    /// streaming pipeline's out-of-core merge).
+    fn search(&self, d: &Dataset, view: &SortedView) -> SdResult {
         let m = d.m();
         let max_restricted = self.params.max_restricted.unwrap_or(m).min(m);
         let pos_rate = d.pos_rate();
@@ -137,7 +141,6 @@ impl SubgroupDiscovery for BestInterval {
         if d.is_empty() {
             return SdResult { boxes: vec![start] };
         }
-        let view = SortedView::new(d);
         let mut beam: Vec<HyperBox> = vec![start];
         for _ in 0..self.params.max_iterations {
             // Candidate pool: current beam plus every one-dimension
@@ -145,7 +148,7 @@ impl SubgroupDiscovery for BestInterval {
             let mut candidates: Vec<HyperBox> = beam.clone();
             for b in &beam {
                 for dim in 0..m {
-                    let refined = Self::best_interval(b, d, &view, dim, pos_rate);
+                    let refined = Self::best_interval(b, d, view, dim, pos_rate);
                     if refined.n_restricted() <= max_restricted
                         && candidates.iter().all(|c| c.bounds() != refined.bounds())
                     {
@@ -165,6 +168,22 @@ impl SubgroupDiscovery for BestInterval {
         SdResult {
             boxes: vec![beam.into_iter().next().expect("beam is never empty")],
         }
+    }
+}
+
+impl SubgroupDiscovery for BestInterval {
+    fn discover(&self, d: &Dataset, _d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
+        self.search(d, &SortedView::new(d))
+    }
+
+    fn discover_presorted(
+        &self,
+        d: &Dataset,
+        view: SortedView,
+        _d_val: &Dataset,
+        _rng: &mut StdRng,
+    ) -> SdResult {
+        self.search(d, &view)
     }
 
     fn name(&self) -> &'static str {

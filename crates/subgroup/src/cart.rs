@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use reds_data::Dataset;
+use reds_data::{Dataset, SortedView};
 use reds_metamodel::{RegressionTree, TreeParams};
 
 use crate::{HyperBox, SdResult, SubgroupDiscovery};
@@ -49,30 +49,19 @@ impl CartSd {
     }
 }
 
-impl SubgroupDiscovery for CartSd {
-    fn discover(&self, d: &Dataset, _d_val: &Dataset, rng: &mut StdRng) -> SdResult {
-        let m = d.m();
-        if d.is_empty() {
-            return SdResult {
-                boxes: vec![HyperBox::unbounded(m)],
-            };
-        }
-        let tree_params = TreeParams {
+impl CartSd {
+    fn tree_params(&self) -> TreeParams {
+        TreeParams {
             max_depth: self.params.max_depth,
             min_samples_leaf: self.params.min_samples_leaf,
             min_samples_split: 2 * self.params.min_samples_leaf,
             mtry: None,
-        };
-        let indices: Vec<usize> = (0..d.n()).collect();
-        let mut fit_rng = StdRng::seed_from_u64(rng.gen());
-        let tree = RegressionTree::fit(
-            d.points(),
-            d.labels(),
-            m,
-            &indices,
-            &tree_params,
-            &mut fit_rng,
-        );
+        }
+    }
+
+    /// Reads the scenario boxes off a fitted tree's leaves.
+    fn boxes_from_tree(d: &Dataset, tree: &RegressionTree) -> SdResult {
+        let m = d.m();
         // Leaves with above-base-rate purity, best (purest) last.
         let base_rate = d.pos_rate();
         let mut leaves: Vec<(HyperBox, f64)> = tree
@@ -85,6 +74,59 @@ impl SubgroupDiscovery for CartSd {
         let mut boxes: Vec<HyperBox> = vec![HyperBox::unbounded(m)];
         boxes.extend(leaves.into_iter().map(|(b, _)| b));
         SdResult { boxes }
+    }
+}
+
+impl SubgroupDiscovery for CartSd {
+    fn discover(&self, d: &Dataset, _d_val: &Dataset, rng: &mut StdRng) -> SdResult {
+        let m = d.m();
+        if d.is_empty() {
+            return SdResult {
+                boxes: vec![HyperBox::unbounded(m)],
+            };
+        }
+        let indices: Vec<usize> = (0..d.n()).collect();
+        let mut fit_rng = StdRng::seed_from_u64(rng.gen());
+        let tree = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            m,
+            &indices,
+            &self.tree_params(),
+            &mut fit_rng,
+        );
+        Self::boxes_from_tree(d, &tree)
+    }
+
+    fn discover_presorted(
+        &self,
+        d: &Dataset,
+        view: SortedView,
+        _d_val: &Dataset,
+        rng: &mut StdRng,
+    ) -> SdResult {
+        let m = d.m();
+        if d.is_empty() {
+            return SdResult {
+                boxes: vec![HyperBox::unbounded(m)],
+            };
+        }
+        // The view's columns are exactly the per-feature `(value, row)`
+        // argsorts the tree builder's `fit_with_orders` shares across
+        // splits — fitted output is bit-identical to `fit`.
+        let orders = view.into_columns();
+        let indices: Vec<usize> = (0..d.n()).collect();
+        let mut fit_rng = StdRng::seed_from_u64(rng.gen());
+        let tree = RegressionTree::fit_with_orders(
+            d.points(),
+            d.labels(),
+            m,
+            &indices,
+            &self.tree_params(),
+            &orders,
+            &mut fit_rng,
+        );
+        Self::boxes_from_tree(d, &tree)
     }
 
     fn name(&self) -> &'static str {

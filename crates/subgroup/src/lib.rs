@@ -43,7 +43,7 @@ pub use prim::{NaivePrim, PeelCriterion, Prim, PrimParams};
 pub use rule::Rule;
 
 use rand::rngs::StdRng;
-use reds_data::Dataset;
+use reds_data::{Dataset, SortedView};
 
 /// Result of one run of a subgroup-discovery algorithm: an ordered
 /// sequence of boxes. For PRIM this is the peeling trajectory (coarsest
@@ -90,6 +90,27 @@ pub trait SubgroupDiscovery {
     /// Runs the algorithm on training data `d` with validation data
     /// `d_val` (the paper uses `D_val = D`, §8.5).
     fn discover(&self, d: &Dataset, d_val: &Dataset, rng: &mut StdRng) -> SdResult;
+
+    /// Like [`SubgroupDiscovery::discover`], but reuses an
+    /// already-built [`SortedView`] of `d` — the handoff point of the
+    /// streaming pipeline, whose out-of-core merge produces the view as
+    /// a by-product so the algorithm need not argsort `L` rows again.
+    ///
+    /// `view` **must** index exactly `d` (same rows, all active);
+    /// results are then bit-identical to [`SubgroupDiscovery::discover`].
+    /// The default implementation simply drops the view and delegates,
+    /// which is always correct — algorithms that presort internally
+    /// ([`Prim`], [`BestInterval`], [`CartSd`]) override it.
+    fn discover_presorted(
+        &self,
+        d: &Dataset,
+        view: SortedView,
+        d_val: &Dataset,
+        rng: &mut StdRng,
+    ) -> SdResult {
+        let _ = view;
+        self.discover(d, d_val, rng)
+    }
 
     /// Short name for experiment reports ("P", "PB", "BI", …).
     fn name(&self) -> &'static str;

@@ -136,6 +136,18 @@ impl Prim {
     /// validation precision of every box (`None` when the box covers no
     /// validation rows), computed incrementally alongside the peel.
     fn peel(&self, d: &Dataset, d_val: &Dataset) -> (Vec<HyperBox>, Vec<Option<f64>>) {
+        self.peel_with_view(d, SortedView::new(d), d_val)
+    }
+
+    /// The peeling phase on an externally built [`SortedView`] of `d`
+    /// (e.g. the out-of-core merge of the streaming pipeline). The view
+    /// must index exactly `d` with every row active.
+    fn peel_with_view(
+        &self,
+        d: &Dataset,
+        view: SortedView,
+        d_val: &Dataset,
+    ) -> (Vec<HyperBox>, Vec<Option<f64>>) {
         let m = d.m();
         let mut boxes = vec![HyperBox::unbounded(m)];
         let mut val_rows: Vec<u32> = (0..d_val.n() as u32).collect();
@@ -143,7 +155,7 @@ impl Prim {
         if d.is_empty() {
             return (boxes, precisions);
         }
-        let mut view = SortedView::new(d);
+        let mut view = view;
         // Active training rows in ascending order; only used for the
         // per-step label total, which keeps float summation order
         // identical to the naive reference.
@@ -343,6 +355,17 @@ impl Prim {
 impl SubgroupDiscovery for Prim {
     fn discover(&self, d: &Dataset, d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
         let (boxes, precisions) = self.peel(d, d_val);
+        self.finish(d, boxes, precisions)
+    }
+
+    fn discover_presorted(
+        &self,
+        d: &Dataset,
+        view: SortedView,
+        d_val: &Dataset,
+        _rng: &mut StdRng,
+    ) -> SdResult {
+        let (boxes, precisions) = self.peel_with_view(d, view, d_val);
         self.finish(d, boxes, precisions)
     }
 

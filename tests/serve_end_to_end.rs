@@ -17,7 +17,7 @@ use reds::metamodel::{Metamodel, RandomForest, RandomForestParams, SavedModel};
 use reds_json::Json;
 use reds_serve::{
     run_discover, serve, Algorithm, Client, ClientError, DiscoverParams, ModelArtifact,
-    ServeLimits, ServerHandle,
+    ServeLimits, ServerHandle, StreamDiscoverParams,
 };
 
 fn corner_artifact(seed: u64) -> ModelArtifact {
@@ -38,6 +38,8 @@ fn corner_artifact(seed: u64) -> ModelArtifact {
     ModelArtifact {
         function: "corner".to_string(),
         seed,
+        pool_seed: seed.wrapping_add(9_000),
+        pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
         model: SavedModel::Forest(model),
         train,
     }
@@ -139,6 +141,61 @@ fn discover_over_the_socket_matches_the_in_process_run() {
         let again = client.discover(&params).expect("repeat discover");
         assert_eq!(again, served);
     }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn discover_streaming_over_the_socket_matches_the_monolithic_discover() {
+    let artifact = corner_artifact(6);
+    let pool_seed = artifact.pool_seed;
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    for algorithm in [Algorithm::Prim, Algorithm::BestInterval] {
+        // Streaming with an explicit seed ≡ monolithic discover with
+        // the same seed, for any chunking.
+        let monolithic = client
+            .discover(&DiscoverParams {
+                l: 2_000,
+                seed: 17,
+                algorithm,
+                bnd: 0.5,
+            })
+            .expect("monolithic served discover");
+        for chunk_rows in [0usize, 311] {
+            let streamed = client
+                .discover_streaming(&StreamDiscoverParams {
+                    l: 2_000,
+                    seed: Some(17),
+                    algorithm,
+                    bnd: 0.5,
+                    chunk_rows,
+                })
+                .expect("streamed served discover");
+            assert_eq!(streamed, monolithic, "{algorithm:?} chunk {chunk_rows}");
+        }
+    }
+
+    // Seedless streaming serves the artifact's recorded pool — equal to
+    // an explicit request for that seed, so the run is reproducible
+    // from the artifact file alone.
+    let from_artifact = client
+        .discover_streaming(&StreamDiscoverParams {
+            l: 1_500,
+            seed: None,
+            ..Default::default()
+        })
+        .expect("artifact-pool discover");
+    let explicit = client
+        .discover_streaming(&StreamDiscoverParams {
+            l: 1_500,
+            seed: Some(pool_seed),
+            ..Default::default()
+        })
+        .expect("explicit-pool discover");
+    assert_eq!(from_artifact, explicit);
 
     client.shutdown().expect("shutdown");
     handle.join();

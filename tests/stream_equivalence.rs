@@ -1,0 +1,262 @@
+//! Equivalence oracle for the streaming pipeline (`reds-stream`).
+//!
+//! `Reds::discover_streaming` must be **bit-identical** to `Reds::run`
+//! — same boxes, same bounds bits, same post-run RNG state — for every
+//! chunk size, every metamodel family (Rf / Rx / Rs), and every
+//! subgroup-discovery algorithm that consumes the presorted view
+//! (PRIM, BestInterval, CART). These tests sweep 8+ seeds per family,
+//! the degenerate chunkings (chunk = 1, chunk ≥ L), arbitrary
+//! proptest-drawn chunkings, and the caller-pool entry point.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::core::{NewPointSampler, Reds, RedsConfig, StreamConfig};
+use reds::data::Dataset;
+use reds::metamodel::{GbdtParams, RandomForestParams, SvmParams};
+use reds::subgroup::{BestInterval, CartSd, HyperBox, Prim, SubgroupDiscovery};
+
+fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x[0] > 0.55 && x[1] > 0.55 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .expect("valid shape")
+}
+
+fn assert_boxes_bits_eq(a: &[HyperBox], b: &[HyperBox], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: box counts differ");
+    for (step, (ba, bb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ba.m(), bb.m(), "{context}: box {step} dimensionality");
+        for j in 0..ba.m() {
+            let ((la, ha), (lb, hb)) = (ba.bound(j), bb.bound(j));
+            assert!(
+                la.to_bits() == lb.to_bits() && ha.to_bits() == hb.to_bits(),
+                "{context}: box {step} dim {j}: ({la}, {ha}) vs ({lb}, {hb})"
+            );
+        }
+    }
+}
+
+fn quick_forest() -> RandomForestParams {
+    RandomForestParams {
+        n_trees: 40,
+        ..Default::default()
+    }
+}
+
+fn family(tag: &str, l: usize) -> Reds {
+    let config = RedsConfig::default().with_l(l);
+    match tag {
+        "f" => Reds::random_forest(quick_forest(), config),
+        "x" => Reds::xgboost(
+            GbdtParams {
+                n_rounds: 30,
+                ..Default::default()
+            },
+            config,
+        ),
+        "s" => Reds::svm(SvmParams::default(), config),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// Streaming ≡ monolithic for all three metamodel families across 8
+/// seeds, with a chunk size that never divides `L` evenly.
+#[test]
+fn streaming_matches_run_for_all_families_over_eight_seeds() {
+    for tag in ["f", "x", "s"] {
+        let l = if tag == "s" { 1_200 } else { 2_000 };
+        for seed in 0..8u64 {
+            let d = corner_data(110, 2, 1_000 + seed);
+            let reds = family(tag, l);
+            let reference = reds
+                .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(seed))
+                .expect("monolithic run");
+            let streamed = reds
+                .discover_streaming(
+                    &d,
+                    &Prim::default(),
+                    &mut StdRng::seed_from_u64(seed),
+                    &StreamConfig::new().with_chunk_rows(677),
+                )
+                .expect("streaming run");
+            assert_boxes_bits_eq(
+                &reference.boxes,
+                &streamed.boxes,
+                &format!("family {tag}, seed {seed}"),
+            );
+        }
+    }
+}
+
+/// The degenerate chunkings — one row at a time, and one chunk holding
+/// everything — across all three families.
+#[test]
+fn extreme_chunk_sizes_are_bit_identical_for_all_families() {
+    for tag in ["f", "x", "s"] {
+        let l = 400;
+        let d = corner_data(90, 2, 77);
+        let reds = family(tag, l);
+        let reference = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(7))
+            .expect("monolithic run");
+        for chunk in [1usize, l, l + 123] {
+            let streamed = reds
+                .discover_streaming(
+                    &d,
+                    &Prim::default(),
+                    &mut StdRng::seed_from_u64(7),
+                    &StreamConfig::new().with_chunk_rows(chunk),
+                )
+                .expect("streaming run");
+            assert_boxes_bits_eq(
+                &reference.boxes,
+                &streamed.boxes,
+                &format!("family {tag}, chunk {chunk}"),
+            );
+        }
+    }
+}
+
+/// Every presorted consumer — PRIM, BestInterval, and CART — yields
+/// bit-identical boxes when fed the out-of-core merged view.
+#[test]
+fn all_presorted_algorithms_agree_with_the_monolithic_path() {
+    let algorithms: [(&str, &dyn SubgroupDiscovery); 3] = [
+        ("prim", &Prim::default()),
+        ("bi", &BestInterval::default()),
+        ("cart", &CartSd::default()),
+    ];
+    for (name, sd) in algorithms {
+        for seed in 0..3u64 {
+            let d = corner_data(130, 3, 500 + seed);
+            let reds = family("f", 1_500);
+            let reference = reds
+                .run(&d, sd, &mut StdRng::seed_from_u64(30 + seed))
+                .expect("monolithic run");
+            let streamed = reds
+                .discover_streaming(
+                    &d,
+                    sd,
+                    &mut StdRng::seed_from_u64(30 + seed),
+                    &StreamConfig::new().with_chunk_rows(191),
+                )
+                .expect("streaming run");
+            assert_boxes_bits_eq(
+                &reference.boxes,
+                &streamed.boxes,
+                &format!("algorithm {name}, seed {seed}"),
+            );
+        }
+    }
+}
+
+/// A paper-default-scale case: `L = 10⁵` through the forest family.
+#[test]
+fn paper_default_l_is_bit_identical() {
+    let d = corner_data(200, 2, 9_000);
+    let reds = family("f", 100_000);
+    let reference = reds
+        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(90))
+        .expect("monolithic run");
+    for chunk in [8_192usize, 100_000] {
+        let streamed = reds
+            .discover_streaming(
+                &d,
+                &Prim::default(),
+                &mut StdRng::seed_from_u64(90),
+                &StreamConfig::new().with_chunk_rows(chunk),
+            )
+            .expect("streaming run");
+        assert_boxes_bits_eq(&reference.boxes, &streamed.boxes, &format!("chunk {chunk}"));
+    }
+}
+
+/// The logit-normal sampler (semi-supervised experiments) streams too.
+#[test]
+fn logit_normal_sampler_streams_bit_identically() {
+    let d = corner_data(100, 2, 44);
+    let config = RedsConfig::default()
+        .with_l(900)
+        .with_sampler(NewPointSampler::LogitNormal {
+            mu: 0.0,
+            sigma: 1.0,
+        });
+    let reds = Reds::random_forest(quick_forest(), config);
+    let reference = reds
+        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(45))
+        .expect("monolithic run");
+    let streamed = reds
+        .discover_streaming(
+            &d,
+            &Prim::default(),
+            &mut StdRng::seed_from_u64(45),
+            &StreamConfig::new().with_chunk_rows(101),
+        )
+        .expect("streaming run");
+    assert_boxes_bits_eq(&reference.boxes, &streamed.boxes, "logit-normal");
+}
+
+/// The caller-pool entry point (semi-supervised REDS) streams
+/// bit-identically, probability labels included.
+#[test]
+fn pool_streaming_matches_run_on_pool_with_probability_labels() {
+    let d = corner_data(80, 2, 55);
+    let mut pool_rng = StdRng::seed_from_u64(56);
+    let pool = reds::sampling::uniform(800, 2, &mut pool_rng);
+    let reds = Reds::random_forest(
+        quick_forest(),
+        RedsConfig::default().with_probability_labels(),
+    );
+    let reference = reds
+        .run_on_pool(&d, &pool, &Prim::default(), &mut StdRng::seed_from_u64(57))
+        .expect("monolithic pool run");
+    let streamed = reds
+        .discover_streaming_on_pool(
+            &d,
+            &pool,
+            &Prim::default(),
+            &mut StdRng::seed_from_u64(57),
+            &StreamConfig::new().with_chunk_rows(33),
+        )
+        .expect("streaming pool run");
+    assert_boxes_bits_eq(&reference.boxes, &streamed.boxes, "pool + probability");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary chunk sizes (1 ..= beyond-L) against the monolithic
+    /// path — pseudo-labeling, out-of-core sort, and subgroup search
+    /// all bit-identical under proptest-drawn chunkings.
+    #[test]
+    fn any_chunking_is_bit_identical(
+        seed in 0u64..1_000,
+        chunk in 1usize..700,
+        l in 150usize..500,
+    ) {
+        let d = corner_data(70, 2, seed.wrapping_mul(31).wrapping_add(3));
+        let reds = family("f", l);
+        let reference = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(seed))
+            .expect("monolithic run");
+        let streamed = reds
+            .discover_streaming(
+                &d,
+                &Prim::default(),
+                &mut StdRng::seed_from_u64(seed),
+                &StreamConfig::new().with_chunk_rows(chunk),
+            )
+            .expect("streaming run");
+        assert_boxes_bits_eq(
+            &reference.boxes,
+            &streamed.boxes,
+            &format!("seed {seed}, chunk {chunk}, l {l}"),
+        );
+    }
+}
