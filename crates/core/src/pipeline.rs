@@ -159,8 +159,9 @@ impl Reds {
     /// Labeling all `L` points is a single [`Metamodel::predict_batch`]
     /// call rather than `L` virtual dispatches: ensemble models override
     /// `predict_batch` with cache-friendly tree-major kernels that fan
-    /// out across threads, which is the hot path at the paper's default
-    /// `L = 10⁵`.
+    /// out across threads and dispatch per call to the runtime-selected
+    /// SIMD backend (`reds_metamodel::kernels`, scalar ≡ AVX2 bit for
+    /// bit), which is the hot path at the paper's default `L = 10⁵`.
     fn pseudo_label(
         &self,
         model: &dyn Metamodel,

@@ -146,12 +146,16 @@ impl Metamodel for RandomForest {
 
     /// Tree-major batched prediction: for each chunk of rows, the outer
     /// loop walks trees and the inner loop walks the chunk, keeping one
-    /// tree's arena in cache across many points. Per-point sums still
-    /// accumulate in tree order, so the result is bit-identical to
-    /// per-point [`Metamodel::predict`]; chunks fan out across threads.
+    /// tree's arena in cache across many points. The traversal kernel
+    /// (scalar or AVX2) is resolved **once** here and threaded through
+    /// every worker — both backends are bit-identical, and per-point
+    /// sums still accumulate in tree order, so the result matches
+    /// per-point [`Metamodel::predict`] exactly; chunks fan out across
+    /// threads.
     fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
         assert_eq!(m, self.m, "prediction dimensionality mismatch");
         assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let kernel = crate::kernels::active();
         let n = points.len() / m.max(1);
         let mut out = vec![0.0f64; n];
         // ~4k rows per chunk: large enough to amortise the per-tree
@@ -161,7 +165,7 @@ impl Metamodel for RandomForest {
         reds_par::par_fill_chunks(&mut out, chunk_rows, |start, acc| {
             let rows = &points[start * m..(start + acc.len()) * m];
             for tree in &self.trees {
-                tree.predict_into(rows, m, acc);
+                crate::kernels::accumulate_tree(kernel, tree.flat(), rows, m, acc);
             }
             let n_trees = self.trees.len() as f64;
             for v in acc.iter_mut() {

@@ -21,6 +21,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use reds_data::{Dataset, SortedView};
 
+use crate::kernels::{self, FlatTree};
 use crate::{Metamodel, Trainer};
 
 /// GBDT hyperparameters.
@@ -56,44 +57,16 @@ impl Default for GbdtParams {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Node {
-    Leaf {
-        weight: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: u32,
-        right: u32,
-    },
-}
-
+/// One boosting round's tree, flattened into the kernel-ready
+/// structure-of-arrays arena (leaf values are leaf *weights* here).
 #[derive(Debug, Clone)]
 struct GradientTree {
-    nodes: Vec<Node>,
+    flat: FlatTree,
 }
 
 impl GradientTree {
     fn predict(&self, x: &[f64]) -> f64 {
-        let mut node = 0usize;
-        loop {
-            match &self.nodes[node] {
-                Node::Leaf { weight } => return *weight,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    node = if x[*feature] <= *threshold {
-                        *left as usize
-                    } else {
-                        *right as usize
-                    };
-                }
-            }
-        }
+        self.flat.predict(x)
     }
 }
 
@@ -109,7 +82,7 @@ struct GradBuilder<'a> {
     hess: &'a [f64],
     m: usize,
     params: &'a GbdtParams,
-    nodes: Vec<Node>,
+    nodes: FlatTree,
     /// Node-order row array; `build` works on `main[lo..hi]`.
     main: Vec<u32>,
     /// Per-feature row arrays sorted by `(value, row)`, subsample only.
@@ -136,14 +109,8 @@ impl<'a> GradBuilder<'a> {
         let n = hi - lo;
         let (g_total, h_total) = self.sums(lo, hi);
         let leaf_weight = -g_total / (h_total + self.params.lambda);
-        let push_leaf = |nodes: &mut Vec<Node>| {
-            nodes.push(Node::Leaf {
-                weight: leaf_weight,
-            });
-            (nodes.len() - 1) as u32
-        };
         if depth >= self.params.max_depth || n < 2 {
-            return push_leaf(&mut self.nodes);
+            return self.nodes.push_leaf(leaf_weight);
         }
         let parent_score = g_total * g_total / (h_total + self.params.lambda);
         let mut best: Option<(usize, f64, f64)> = None;
@@ -174,7 +141,7 @@ impl<'a> GradBuilder<'a> {
             }
         }
         let Some((feature, threshold, _)) = best else {
-            return push_leaf(&mut self.nodes);
+            return self.nodes.push_leaf(leaf_weight);
         };
         for &row in &self.main[lo..hi] {
             self.goes_left[row as usize] = self.value(row, feature) <= threshold;
@@ -192,22 +159,11 @@ impl<'a> GradBuilder<'a> {
             debug_assert_eq!(at, split_at);
             self.cols[f] = col;
         }
-        let node_id = self.nodes.len() as u32;
-        self.nodes.push(Node::Split {
-            feature,
-            threshold,
-            left: 0,
-            right: 0,
-        });
+        let node_id = self.nodes.push_split(feature as u32, threshold);
         let left = self.build(lo, lo + split_at, depth + 1);
+        debug_assert_eq!(left, node_id + 1, "left child must follow its parent");
         let right = self.build(lo + split_at, hi, depth + 1);
-        if let Node::Split {
-            left: l, right: r, ..
-        } = &mut self.nodes[node_id as usize]
-        {
-            *l = left;
-            *r = right;
-        }
+        self.nodes.set_right(node_id, right);
         node_id
     }
 }
@@ -283,7 +239,7 @@ impl Gbdt {
                 hess: &hess,
                 m,
                 params,
-                nodes: Vec::new(),
+                nodes: FlatTree::with_capacity(2 * sample_size),
                 main,
                 cols,
                 scratch: vec![0; sample_size],
@@ -291,17 +247,30 @@ impl Gbdt {
             };
             builder.build(0, sample_size, 0);
             let tree = GradientTree {
-                nodes: builder.nodes,
+                flat: builder.nodes,
             };
             // The per-round margin refresh walks the whole dataset
             // through the new tree — the dominant per-round cost at
             // large N. Rows are independent, so it fans out across
-            // threads with bit-identical results.
-            reds_par::par_fill_chunks(&mut margins, 8192, |start, chunk| {
-                for (k, margin) in chunk.iter_mut().enumerate() {
-                    *margin += params.eta * tree.predict(data.point(start + k));
-                }
-            });
+            // threads (with a per-worker prediction scratch) through
+            // the dispatched traversal kernel, bit-identically to the
+            // serial per-point walk.
+            let kernel = kernels::active();
+            let points = data.points();
+            reds_par::par_fill_chunks_with(
+                &mut margins,
+                8192,
+                || vec![0.0f64; 8192],
+                |preds, start, chunk| {
+                    let preds = &mut preds[..chunk.len()];
+                    preds.fill(0.0);
+                    let rows = &points[start * m..(start + chunk.len()) * m];
+                    kernels::accumulate_tree(kernel, &tree.flat, rows, m, preds);
+                    for (margin, p) in chunk.iter_mut().zip(preds.iter()) {
+                        *margin += params.eta * p;
+                    }
+                },
+            );
             trees.push(tree);
         }
         Self {
@@ -329,24 +298,25 @@ impl Gbdt {
     }
 
     /// Serializes the fitted ensemble: each tree is an array of nodes —
-    /// leaves `[weight]`, splits `[feature, threshold, left, right]`.
+    /// leaves `[weight]`, splits `[feature, threshold, left, right]`
+    /// (the in-memory layout always has `left == i + 1`, but the wire
+    /// format keeps both children explicit for compatibility).
     pub fn to_json(&self) -> reds_json::Json {
         use crate::persist::f64_to_json;
         use reds_json::Json;
         let tree_to_json = |tree: &GradientTree| {
-            Json::arr(tree.nodes.iter().map(|n| match n {
-                Node::Leaf { weight } => Json::arr([f64_to_json(*weight)]),
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => Json::arr([
-                    Json::num(*feature as f64),
-                    f64_to_json(*threshold),
-                    Json::num(*left as f64),
-                    Json::num(*right as f64),
-                ]),
+            let flat = &tree.flat;
+            Json::arr((0..flat.n_nodes()).map(|i| {
+                if flat.is_leaf(i) {
+                    Json::arr([f64_to_json(flat.value(i))])
+                } else {
+                    Json::arr([
+                        Json::num(flat.feature(i) as f64),
+                        f64_to_json(flat.value(i)),
+                        Json::num((i + 1) as f64),
+                        Json::num(flat.right(i) as f64),
+                    ])
+                }
             }))
         };
         Json::obj([
@@ -383,15 +353,25 @@ impl Gbdt {
             if len > u32::MAX as usize {
                 return Err(bad(format!("tree {ti} has too many nodes")));
             }
-            let mut nodes = Vec::with_capacity(len);
+            // First pass: decode with the original forward-reference
+            // validation (children strictly after their parent and
+            // inside the arena — traversal terminates).
+            enum Parsed {
+                Leaf(f64),
+                Split {
+                    feature: u32,
+                    threshold: f64,
+                    left: u32,
+                    right: u32,
+                },
+            }
+            let mut parsed = Vec::with_capacity(len);
             for (i, node) in arr.iter().enumerate() {
                 let parts = node
                     .as_array()
                     .ok_or_else(|| bad(format!("tree {ti} node {i} must be an array")))?;
                 match parts.len() {
-                    1 => nodes.push(Node::Leaf {
-                        weight: f64_from_json(&parts[0])?,
-                    }),
+                    1 => parsed.push(Parsed::Leaf(f64_from_json(&parts[0])?)),
                     4 => {
                         let feature = usize_from_json(&parts[0], "split feature")?;
                         if feature >= m {
@@ -408,8 +388,8 @@ impl Gbdt {
                                  in the arena (left = {left}, right = {right}, len = {len})"
                             )));
                         }
-                        nodes.push(Node::Split {
-                            feature,
+                        parsed.push(Parsed::Split {
+                            feature: feature as u32,
                             threshold,
                             left: left as u32,
                             right: right as u32,
@@ -422,7 +402,42 @@ impl Gbdt {
                     }
                 }
             }
-            trees.push(GradientTree { nodes });
+            // Second pass: re-lay the arena depth-first so the left
+            // child sits at `i + 1` — the branchless layout the SIMD
+            // kernels traverse. An explicit stack (no recursion) holds
+            // `(old index, parent split to patch)`; pushing the right
+            // subtree first makes the left subtree emit immediately
+            // after its parent. Documents whose nodes form a DAG (two
+            // parents sharing a child) would duplicate subtrees here,
+            // so the emit count is capped at the input length.
+            let mut flat = FlatTree::with_capacity(len);
+            let mut stack: Vec<(u32, Option<u32>)> = vec![(0, None)];
+            while let Some((old, patch)) = stack.pop() {
+                if flat.n_nodes() >= len {
+                    return Err(bad(format!(
+                        "tree {ti}: nodes must form a tree (shared subtrees detected)"
+                    )));
+                }
+                let new_id = match &parsed[old as usize] {
+                    Parsed::Leaf(w) => flat.push_leaf(*w),
+                    Parsed::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        let id = flat.push_split(*feature, *threshold);
+                        stack.push((*right, Some(id)));
+                        stack.push((*left, None));
+                        id
+                    }
+                };
+                if let Some(parent) = patch {
+                    flat.set_right(parent, new_id);
+                }
+            }
+            flat.validate(m).map_err(bad)?;
+            trees.push(GradientTree { flat });
         }
         Ok(Self {
             trees,
@@ -439,19 +454,19 @@ impl Metamodel for Gbdt {
     }
 
     /// Tree-major batched prediction (see `RandomForest::predict_batch`
-    /// for the cache rationale): bit-identical to per-point
-    /// [`Metamodel::predict`], parallel over row chunks.
+    /// for the cache rationale), traversed by the kernel resolved once
+    /// per call: bit-identical to per-point [`Metamodel::predict`],
+    /// parallel over row chunks.
     fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
         assert_eq!(m, self.m, "prediction dimensionality mismatch");
         assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let kernel = kernels::active();
         let n = points.len() / m.max(1);
         let mut out = vec![0.0f64; n];
         reds_par::par_fill_chunks(&mut out, 4096, |start, acc| {
             let rows = &points[start * m..(start + acc.len()) * m];
             for tree in &self.trees {
-                for (slot, x) in rows.chunks_exact(m).enumerate() {
-                    acc[slot] += tree.predict(x);
-                }
+                kernels::accumulate_tree(kernel, &tree.flat, rows, m, acc);
             }
             for v in acc.iter_mut() {
                 *v = sigmoid(self.base_score + self.eta * *v);

@@ -1,0 +1,223 @@
+//! AVX2 kernels (stable `std::arch`, runtime-dispatched).
+//!
+//! # Safety
+//!
+//! Every function here is `#[target_feature(enable = "avx2")]` and must
+//! only be entered after [`super::avx2_supported`] returned `true` —
+//! the dispatcher in [`super`] guarantees that. The tree kernels read
+//! memory through gathered indices; [`FlatTree`]'s construction-time
+//! validation (children strictly forward and in-bounds, features
+//! `< m`, leaves self-looping) bounds every such index, so the gathers
+//! stay inside the arena and the per-row buffers.
+
+use std::arch::x86_64::*;
+
+use super::FlatTree;
+
+/// Rows traversed per vector group.
+const GROUP: usize = 4;
+
+/// One traversal step for a 4-row group: gathers the per-lane node
+/// fields, evaluates `x[feature] <= threshold` (`_CMP_LE_OQ`, matching
+/// scalar `<=` including NaN-goes-right), and advances non-leaf lanes.
+/// Leaf lanes are parked (index preserved). Returns the new index
+/// vector and whether every lane has reached a leaf.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `idx` holds in-arena node
+/// indices, and `offs + feature` stays inside `rows` for every lane —
+/// guaranteed by [`FlatTree`] validation and the caller's row layout.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn step4(
+    feature: *const i32,
+    value: *const f64,
+    right: *const i32,
+    rows: *const f64,
+    offs: __m256i,
+    idx: __m256i,
+) -> (__m256i, bool) {
+    let leaf_marker = _mm_set1_epi32(FlatTree::LEAF as i32);
+    // Per-lane node fields.
+    let feat = _mm256_i64gather_epi32::<4>(feature, idx);
+    let leaf32 = _mm_cmpeq_epi32(feat, leaf_marker);
+    if _mm_movemask_epi8(leaf32) == 0xFFFF {
+        return (idx, true);
+    }
+    let thr = _mm256_i64gather_pd::<8>(value, idx);
+    // Leaf lanes read feature 0 (always in range) — their advance is
+    // discarded by the final blend, the gather just has to be safe.
+    let feat_safe = _mm_andnot_si128(leaf32, feat);
+    let x_index = _mm256_add_epi64(_mm256_cvtepi32_epi64(feat_safe), offs);
+    let xv = _mm256_i64gather_pd::<8>(rows, x_index);
+    let le = _mm256_cmp_pd::<_CMP_LE_OQ>(xv, thr);
+    // Child selection: left child is implicitly `idx + 1`.
+    let left = _mm256_add_epi64(idx, _mm256_set1_epi64x(1));
+    let right_child = _mm256_cvtepu32_epi64(_mm256_i64gather_epi32::<4>(right, idx));
+    let advanced = _mm256_blendv_epi8(right_child, left, _mm256_castpd_si256(le));
+    let leaf64 = _mm256_cvtepi32_epi64(leaf32);
+    (_mm256_blendv_epi8(advanced, idx, leaf64), false)
+}
+
+/// Adds the leaf values at `idx` into `acc[base..base + 4]`.
+///
+/// # Safety
+///
+/// AVX2 must be available; `idx` lanes must hold leaf indices inside
+/// the arena and `acc` must hold at least `base + 4` elements.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn deposit4(value: *const f64, idx: __m256i, acc: &mut [f64], base: usize) {
+    let leaves = _mm256_i64gather_pd::<8>(value, idx);
+    let slot = acc.as_mut_ptr().add(base);
+    _mm256_storeu_pd(slot, _mm256_add_pd(_mm256_loadu_pd(slot), leaves));
+}
+
+/// Row offsets (`row · m`) for the group starting at `base`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn offsets4(base: usize, m: usize) -> __m256i {
+    _mm256_set_epi64x(
+        ((base + 3) * m) as i64,
+        ((base + 2) * m) as i64,
+        ((base + 1) * m) as i64,
+        (base * m) as i64,
+    )
+}
+
+/// Gather-based 4-wide tree traversal, two groups in flight so the
+/// eight gathers of a step pair overlap. Bit-identical to the scalar
+/// walk: the same predicate picks the same leaf for every row.
+///
+/// # Safety
+///
+/// AVX2 must be available (dispatcher-probed); `rows.len() == acc.len() * m`
+/// with `m > 0`, and `tree` must satisfy the [`FlatTree`] invariants.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn accumulate_tree(tree: &FlatTree, rows: &[f64], m: usize, acc: &mut [f64]) {
+    let feature = tree.features_raw().as_ptr() as *const i32;
+    let value = tree.values_raw().as_ptr();
+    let right = tree.rights_raw().as_ptr() as *const i32;
+    let rows_ptr = rows.as_ptr();
+    let n = acc.len();
+    let mut base = 0usize;
+    // Paired groups: independent traversal chains hide gather latency.
+    while base + 2 * GROUP <= n {
+        let offs_a = offsets4(base, m);
+        let offs_b = offsets4(base + GROUP, m);
+        let mut idx_a = _mm256_setzero_si256();
+        let mut idx_b = _mm256_setzero_si256();
+        let (mut done_a, mut done_b) = (false, false);
+        while !(done_a && done_b) {
+            if !done_a {
+                (idx_a, done_a) = step4(feature, value, right, rows_ptr, offs_a, idx_a);
+            }
+            if !done_b {
+                (idx_b, done_b) = step4(feature, value, right, rows_ptr, offs_b, idx_b);
+            }
+        }
+        deposit4(value, idx_a, acc, base);
+        deposit4(value, idx_b, acc, base + GROUP);
+        base += 2 * GROUP;
+    }
+    if base + GROUP <= n {
+        let offs = offsets4(base, m);
+        let mut idx = _mm256_setzero_si256();
+        let mut done = false;
+        while !done {
+            (idx, done) = step4(feature, value, right, rows_ptr, offs, idx);
+        }
+        deposit4(value, idx, acc, base);
+        base += GROUP;
+    }
+    // Remainder rows (n % 4): the scalar walk is exact, so mixing it in
+    // changes no bits.
+    for (lane, slot) in acc[base..].iter_mut().enumerate() {
+        let row = &rows[(base + lane) * m..(base + lane + 1) * m];
+        *slot += tree.predict(row);
+    }
+}
+
+/// Canonical squared distance with tail handling — vector blocks plus a
+/// scalar tail writing the same lane accumulators, combined in the
+/// contract order `(l0 + l2) + (l1 + l3)`.
+///
+/// # Safety
+///
+/// AVX2 must be available; `a.len() == b.len()` (dispatcher-checked).
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    let blocks = a.len() / 4;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let va = _mm256_loadu_pd(a.as_ptr().add(4 * k));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(4 * k));
+        let d = _mm256_sub_pd(va, vb);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    let tail = 4 * blocks;
+    if tail < a.len() {
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        for lane in 0..a.len() - tail {
+            let d = a[tail + lane] - b[tail + lane];
+            l[lane] += d * d;
+        }
+        return (l[0] + l[2]) + (l[1] + l[3]);
+    }
+    horizontal(acc)
+}
+
+/// `(l0 + l2) + (l1 + l3)` — the contract's horizontal combine.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn horizontal(acc: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(acc);
+    let hi = _mm256_extractf128_pd::<1>(acc);
+    let pair = _mm_add_pd(lo, hi); // (l0 + l2, l1 + l3)
+    _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
+}
+
+/// RBF expansion over zero-padded support vectors; every block is full,
+/// so the inner loop is pure vector code. `exp` stays scalar — the
+/// bit-identity contract only canonicalizes the distance reduction.
+///
+/// # Safety
+///
+/// AVX2 must be available; buffer shapes are dispatcher-checked
+/// (`svs.len() == coef.len() * m_pad`, `m_pad % 4 == 0`,
+/// `scratch.len() == m_pad`, `rows.len() == out.len() * m`).
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn rbf_expand(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    let blocks = m_pad / 4;
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
+        scratch[..m].copy_from_slice(row);
+        let x = scratch.as_ptr();
+        let mut s = bias;
+        let mut sv = svs.as_ptr();
+        for &c in coef {
+            let mut acc = _mm256_setzero_pd();
+            for k in 0..blocks {
+                let va = _mm256_loadu_pd(x.add(4 * k));
+                let vb = _mm256_loadu_pd(sv.add(4 * k));
+                let d = _mm256_sub_pd(va, vb);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+            }
+            s += c * (-gamma * horizontal(acc)).exp();
+            sv = sv.add(m_pad);
+        }
+        *slot = s;
+    }
+}

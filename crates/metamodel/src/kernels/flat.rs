@@ -1,0 +1,160 @@
+//! Branchless structure-of-arrays tree layout shared by every kernel.
+
+/// A fitted decision tree flattened into parallel arrays — the layout
+/// both the scalar and SIMD traversal kernels walk.
+///
+/// Node `i` is a **split** when `feature[i] != LEAF`: `value[i]` is its
+/// threshold, the left child sits implicitly at `i + 1` (depth-first
+/// layout), and `right[i]` is the right-child index. Node `i` is a
+/// **leaf** when `feature[i] == LEAF`: `value[i]` is the predicted
+/// value and `right[i] == i` (a self-loop, so a lane parked on a leaf
+/// can take either branch without leaving the node).
+///
+/// Construction enforces the invariants the gather-based SIMD kernels
+/// rely on for memory safety: children of a split lie strictly forward
+/// in the arena and inside it, and split features are in `0..m` — so a
+/// traversal index can never escape the arrays and always terminates.
+#[derive(Debug, Clone, Default)]
+pub struct FlatTree {
+    feature: Vec<u32>,
+    value: Vec<f64>,
+    right: Vec<u32>,
+}
+
+impl FlatTree {
+    /// Marker in [`FlatTree::feature`] for leaves.
+    pub const LEAF: u32 = u32::MAX;
+
+    /// Creates an empty arena with room for `capacity` nodes.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            feature: Vec::with_capacity(capacity),
+            value: Vec::with_capacity(capacity),
+            right: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a leaf; returns its index.
+    pub(crate) fn push_leaf(&mut self, value: f64) -> u32 {
+        let i = self.feature.len() as u32;
+        self.feature.push(Self::LEAF);
+        self.value.push(value);
+        self.right.push(i);
+        i
+    }
+
+    /// Appends a split whose right child is patched later with
+    /// [`FlatTree::set_right`]; returns its index.
+    pub(crate) fn push_split(&mut self, feature: u32, threshold: f64) -> u32 {
+        debug_assert_ne!(feature, Self::LEAF);
+        let i = self.feature.len() as u32;
+        self.feature.push(feature);
+        self.value.push(threshold);
+        self.right.push(0);
+        i
+    }
+
+    /// Patches the right-child index of split `i` once its left subtree
+    /// has been emitted.
+    pub(crate) fn set_right(&mut self, i: u32, right: u32) {
+        debug_assert!(right > i, "children must lie forward in the arena");
+        self.right[i as usize] = right;
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.feature.iter().filter(|&&f| f == Self::LEAF).count()
+    }
+
+    /// Whether node `i` is a leaf.
+    pub fn is_leaf(&self, i: usize) -> bool {
+        self.feature[i] == Self::LEAF
+    }
+
+    /// Split feature of node `i` ([`FlatTree::LEAF`] for leaves).
+    pub fn feature(&self, i: usize) -> u32 {
+        self.feature[i]
+    }
+
+    /// Threshold (splits) or predicted value (leaves) of node `i`.
+    pub fn value(&self, i: usize) -> f64 {
+        self.value[i]
+    }
+
+    /// Right-child index of node `i` (self for leaves).
+    pub fn right(&self, i: usize) -> u32 {
+        self.right[i]
+    }
+
+    /// Raw feature array — kernel-internal.
+    pub(crate) fn features_raw(&self) -> &[u32] {
+        &self.feature
+    }
+
+    /// Raw value array — kernel-internal.
+    pub(crate) fn values_raw(&self) -> &[f64] {
+        &self.value
+    }
+
+    /// Raw right-child array — kernel-internal.
+    pub(crate) fn rights_raw(&self) -> &[u32] {
+        &self.right
+    }
+
+    /// Scalar per-point traversal — the reference every batched kernel
+    /// must match bit for bit (it trivially does: the predicate
+    /// `x[feature] <= threshold` picks the same leaf everywhere).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == Self::LEAF {
+                return self.value[i];
+            }
+            i = if x[f as usize] <= self.value[i] {
+                i + 1
+            } else {
+                self.right[i] as usize
+            };
+        }
+    }
+
+    /// Checks the traversal-safety invariants over a freshly decoded
+    /// arena: non-empty, every split's children strictly forward and in
+    /// bounds (left implicitly at `i + 1`), features `< m`, and leaves
+    /// self-looping. Returns a description of the first violation.
+    pub(crate) fn validate(&self, m: usize) -> Result<(), String> {
+        let len = self.n_nodes();
+        if len == 0 {
+            return Err("tree has no nodes".into());
+        }
+        if len > u32::MAX as usize {
+            return Err("tree has too many nodes".into());
+        }
+        for i in 0..len {
+            let f = self.feature[i];
+            let right = self.right[i] as usize;
+            if f == Self::LEAF {
+                if right != i {
+                    return Err(format!("leaf {i} must self-loop (right = {right})"));
+                }
+            } else {
+                if (f as usize) >= m {
+                    return Err(format!("node {i}: feature {f} out of range (m = {m})"));
+                }
+                if i + 1 >= len || right <= i + 1 || right >= len {
+                    return Err(format!(
+                        "node {i}: children must lie strictly forward in the arena \
+                         (right = {right}, len = {len})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

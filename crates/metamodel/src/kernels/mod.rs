@@ -1,0 +1,306 @@
+//! Runtime-dispatched SIMD prediction kernels.
+//!
+//! The dominant term of the REDS cost model at paper scale is
+//! pseudo-labeling: `L = 10⁵…10⁷` metamodel evaluations, and every
+//! downstream layer (the `reds-par` fan-out, the serve micro-batcher,
+//! `reds-stream` chunk labeling) bottoms out in the per-point kernels of
+//! this crate. This module provides those kernels in two
+//! **bit-identical** implementations selected at runtime:
+//!
+//! * a portable **scalar** path (the 64-lane interleaved tree walk and a
+//!   canonical 4-lane squared-distance reduction), and
+//! * an **AVX2** path using stable `std::arch` intrinsics (gather-based
+//!   4-wide tree traversal, 4-wide RBF distance blocks), compiled on
+//!   `x86_64` and entered only after a cached `cpuid` check.
+//!
+//! ## Bit-identity contract
+//!
+//! Equivalence suites (`perf_equivalence`, `stream_equivalence`,
+//! `serve_end_to_end`) compare results to the exact bit, so the two
+//! paths must agree exactly — not merely to a tolerance:
+//!
+//! * **Tree traversal** is exact by construction: both paths evaluate
+//!   the same `x[feature] <= threshold` predicate (`_mm256_cmp_pd` with
+//!   `_CMP_LE_OQ` matches scalar `<=` including its NaN-goes-right
+//!   behaviour), reach the same leaf, and add the same leaf value.
+//! * **RBF squared distances** use one canonical reduction order — four
+//!   lane accumulators striding the dimensions, combined as
+//!   `(l0 + l2) + (l1 + l3)` — implemented identically by the scalar
+//!   loop and the AVX2 vector loop (see [`squared_distance`]).
+//!   `exp` stays scalar in both paths.
+//!
+//! Because the paths are bit-identical, dispatch may differ between
+//! machines, threads, or runs without ever changing a result.
+//!
+//! ## Selecting a kernel
+//!
+//! [`active`] resolves the kernel once per `predict_batch` call from,
+//! in priority order: a programmatic [`set_kernel`] override (used by
+//! benches and tests), the `REDS_KERNEL` environment variable
+//! (`scalar` or `avx2`), and a cached CPU-feature probe. Requesting
+//! `avx2` on hardware without it falls back to scalar, so
+//! `REDS_KERNEL=avx2` is always safe to set.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+mod flat;
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+pub use flat::FlatTree;
+
+/// A prediction-kernel implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar path; bit-identical reference for every other
+    /// backend and the only one available off `x86_64`.
+    Scalar,
+    /// 4-wide AVX2 lanes (gathered tree traversal, vector RBF blocks);
+    /// requires a runtime `avx2` feature probe.
+    Avx2,
+}
+
+impl Kernel {
+    /// Stable lowercase name (`"scalar"` / `"avx2"`), as accepted by
+    /// the `REDS_KERNEL` environment variable and reported by the
+    /// serving `info` command.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// `0` = no override, `1` = scalar, `2` = avx2.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Environment + cpuid resolution, performed once per process.
+static RESOLVED: OnceLock<Kernel> = OnceLock::new();
+
+/// Whether this process can execute the AVX2 kernels (compile target
+/// is `x86_64` **and** the CPU reports the feature). The probe result
+/// is cached by the standard library, so calling this is cheap.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Forces the kernel for subsequent [`active`] calls (`None` clears the
+/// override). Intended for benchmarks and the equivalence tests that
+/// compare backends side by side; requesting [`Kernel::Avx2`] on
+/// hardware without it still resolves to scalar.
+pub fn set_kernel(kernel: Option<Kernel>) {
+    let code = match kernel {
+        None => 0,
+        Some(Kernel::Scalar) => 1,
+        Some(Kernel::Avx2) => 2,
+    };
+    KERNEL_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// The kernel `predict_batch` implementations should use, resolved
+/// from (in priority order) the [`set_kernel`] override, the
+/// `REDS_KERNEL` environment variable, and a cached CPU-feature probe.
+/// Callers resolve this **once per batch** and thread the choice
+/// through their workers rather than re-probing per chunk.
+pub fn active() -> Kernel {
+    match KERNEL_OVERRIDE.load(Ordering::SeqCst) {
+        1 => return Kernel::Scalar,
+        2 if avx2_supported() => return Kernel::Avx2,
+        2 => return Kernel::Scalar,
+        _ => {}
+    }
+    *RESOLVED.get_or_init(|| match std::env::var("REDS_KERNEL").as_deref() {
+        Ok("scalar") => Kernel::Scalar,
+        Ok("avx2") if avx2_supported() => Kernel::Avx2,
+        // An explicit avx2 request on unsupported hardware degrades to
+        // scalar (documented), keeping REDS_KERNEL=avx2 safe anywhere.
+        Ok("avx2") => Kernel::Scalar,
+        _ if avx2_supported() => Kernel::Avx2,
+        _ => Kernel::Scalar,
+    })
+}
+
+/// Adds `tree`'s prediction for every row of `rows` (row-major, `m`
+/// columns) into `acc`, using the selected kernel. Bit-identical across
+/// kernels: traversal is exact, so every backend reaches the same leaf
+/// and adds the same value.
+pub fn accumulate_tree(kernel: Kernel, tree: &FlatTree, rows: &[f64], m: usize, acc: &mut [f64]) {
+    assert_eq!(rows.len(), acc.len() * m, "row buffer shape mismatch");
+    if acc.is_empty() {
+        return;
+    }
+    match kernel {
+        Kernel::Scalar => scalar::accumulate_tree(tree, rows, m, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the cached feature probe just succeeded (`Kernel` is
+        // a public enum, so an explicit `Avx2` cannot be trusted to
+        // imply support), and `FlatTree`'s construction-time validation
+        // bounds every index the gathers dereference.
+        Kernel::Avx2 if m > 0 && avx2_supported() => unsafe {
+            avx2::accumulate_tree(tree, rows, m, acc)
+        },
+        // m == 0 has no feature to gather (the scalar walk handles the
+        // degenerate single-leaf tree without touching `rows`);
+        // unsupported Avx2 degrades to scalar, like dispatch does.
+        _ => scalar::accumulate_tree(tree, rows, m, acc),
+    }
+}
+
+/// Canonical squared Euclidean distance `‖a − b‖²`.
+///
+/// The reduction order is part of the kernel contract: four lane
+/// accumulators `l[lane] += (a[4k+lane] − b[4k+lane])²` stride the
+/// dimensions (the tail block populates lanes `0..len % 4` only), and
+/// the total is `(l0 + l2) + (l1 + l3)` — exactly the horizontal-add
+/// order of a 256-bit register. Padding both operands with trailing
+/// zeros is a bitwise no-op (squares are `+0.0`, and `x + 0.0 == x`
+/// for every non-negative accumulator value), which is what lets the
+/// AVX2 path run on zero-padded buffers with no remainder handling.
+///
+/// **NaN caveat**: when the result is NaN (a NaN input, or `∞ − ∞`
+/// from matching infinite coordinates), every backend returns NaN but
+/// the payload/sign bits may differ — LLVM is free to commute scalar
+/// FP adds precisely because NaN payloads are unspecified, so
+/// payload-exact NaN equality cannot be promised by *any* pair of
+/// compiled implementations. All finite and infinite results are
+/// bit-exact, and downstream hard decisions (`NaN > 0.0` is `false`
+/// everywhere) are unaffected.
+pub fn squared_distance(kernel: Kernel, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::squared_distance(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the cached feature probe just succeeded.
+        Kernel::Avx2 if avx2_supported() => unsafe { avx2::squared_distance(a, b) },
+        // Explicit Avx2 without hardware support degrades to scalar.
+        _ => scalar::squared_distance(a, b),
+    }
+}
+
+/// RBF kernel expansion for a batch of rows:
+/// `out[r] = bias + Σ_i coef[i] · exp(−gamma · ‖rows[r] − sv_i‖²)`,
+/// accumulated in support-vector order.
+///
+/// `svs` is the row-major support-vector buffer whose rows are padded
+/// to `m_pad` columns (a multiple of 4, trailing zeros); `scratch` is a
+/// caller-provided buffer of at least `m_pad` elements reused across
+/// rows — the query row is copied into it zero-padded so the AVX2 path
+/// never needs a remainder loop. The scalar path reads the same padded
+/// buffers through the canonical reduction, so both are bit-identical
+/// to a per-point [`squared_distance`] over the unpadded slices.
+#[allow(clippy::too_many_arguments)]
+pub fn rbf_expand(
+    kernel: Kernel,
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    assert!(m_pad.is_multiple_of(4) && m <= m_pad, "bad padded width");
+    assert!(
+        m > 0 || out.is_empty(),
+        "zero-width rows cannot be expanded"
+    );
+    assert_eq!(svs.len(), coef.len() * m_pad, "support buffer shape");
+    assert_eq!(rows.len(), out.len() * m, "row buffer shape");
+    assert!(scratch.len() >= m_pad, "scratch must hold one padded row");
+    let scratch = &mut scratch[..m_pad];
+    scratch.fill(0.0);
+    match kernel {
+        Kernel::Scalar => scalar::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the cached feature probe just succeeded; all buffers
+        // were shape-checked above.
+        Kernel::Avx2 if avx2_supported() => unsafe {
+            avx2::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out)
+        },
+        // Explicit Avx2 without hardware support degrades to scalar.
+        _ => scalar::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out),
+    }
+}
+
+/// Rounds `m` up to the next multiple of 4 — the padded width the AVX2
+/// RBF kernel operates on (at least one block, so `m = 0` pads to 4).
+pub fn padded_width(m: usize) -> usize {
+    m.max(1).div_ceil(4) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernels available on this machine (scalar always; AVX2 when the
+    /// CPU supports it). Unit tests sweep this so the suite still
+    /// passes — scalar-only — on hardware without AVX2.
+    fn kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar];
+        if avx2_supported() {
+            ks.push(Kernel::Avx2);
+        }
+        ks
+    }
+
+    #[test]
+    fn squared_distance_matches_across_kernels_and_tails() {
+        for len in 0..13usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11).cos()).collect();
+            let want = squared_distance(Kernel::Scalar, &a, &b);
+            for k in kernels() {
+                let got = squared_distance(k, &a, &b);
+                assert_eq!(got.to_bits(), want.to_bits(), "len {len} kernel {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn squared_distance_propagates_non_finite_values() {
+        let a = [f64::INFINITY, 0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, f64::NAN, 1.0, 2.0, 3.0];
+        for k in kernels() {
+            assert!(squared_distance(k, &a, &b).is_nan(), "kernel {k:?}");
+        }
+        let a = [f64::INFINITY, 0.0];
+        let b = [0.0, 0.0];
+        for k in kernels() {
+            assert_eq!(squared_distance(k, &a, &b), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn padded_width_rounds_up_to_blocks() {
+        assert_eq!(padded_width(0), 4);
+        assert_eq!(padded_width(1), 4);
+        assert_eq!(padded_width(4), 4);
+        assert_eq!(padded_width(5), 8);
+        assert_eq!(padded_width(12), 12);
+    }
+
+    #[test]
+    fn override_forces_the_scalar_kernel() {
+        set_kernel(Some(Kernel::Scalar));
+        assert_eq!(active(), Kernel::Scalar);
+        set_kernel(None);
+        if avx2_supported() {
+            set_kernel(Some(Kernel::Avx2));
+            assert_eq!(active(), Kernel::Avx2);
+            set_kernel(None);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Portable scalar kernels — the bit-identity reference.
+//!
+//! The tree walk keeps the 64-lane software-interleaved scheme of the
+//! presorted-engine PR (independent rows advance round-robin so their
+//! node loads overlap), now over the structure-of-arrays [`FlatTree`];
+//! the RBF reduction implements the canonical 4-lane order documented
+//! on [`super::squared_distance`]. These are real production kernels —
+//! the only ones off `x86_64` — not a slow oracle.
+
+use super::FlatTree;
+
+/// Adds `tree`'s prediction for every row into `acc` (shapes already
+/// checked by the dispatcher).
+pub(super) fn accumulate_tree(tree: &FlatTree, rows: &[f64], m: usize, acc: &mut [f64]) {
+    const LANES: usize = 64;
+    let feature = tree.features_raw();
+    let value = tree.values_raw();
+    let right = tree.rights_raw();
+    let mut base = 0usize;
+    while base < acc.len() {
+        let k = LANES.min(acc.len() - base);
+        let mut idx = [0u32; LANES];
+        let mut off = [0usize; LANES];
+        for (lane, o) in off.iter_mut().enumerate().take(k) {
+            *o = (base + lane) * m;
+        }
+        // One bit per lane still walking; cleared on leaf arrival.
+        let mut live: u64 = if k == LANES {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        };
+        while live != 0 {
+            let mut scan = live;
+            while scan != 0 {
+                let lane = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                let i = idx[lane] as usize;
+                let f = feature[i];
+                if f == FlatTree::LEAF {
+                    acc[base + lane] += value[i];
+                    live &= !(1u64 << lane);
+                } else {
+                    let xv = rows[off[lane] + f as usize];
+                    idx[lane] = if xv <= value[i] {
+                        idx[lane] + 1
+                    } else {
+                        right[i]
+                    };
+                }
+            }
+        }
+        base += k;
+    }
+}
+
+/// Canonical 4-lane squared distance (see [`super::squared_distance`]
+/// for the reduction-order contract).
+pub(super) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut l = [0.0f64; 4];
+    let mut j = 0usize;
+    while j + 4 <= a.len() {
+        for (lane, acc) in l.iter_mut().enumerate() {
+            let d = a[j + lane] - b[j + lane];
+            *acc += d * d;
+        }
+        j += 4;
+    }
+    for lane in 0..a.len() - j {
+        let d = a[j + lane] - b[j + lane];
+        l[lane] += d * d;
+    }
+    (l[0] + l[2]) + (l[1] + l[3])
+}
+
+/// RBF expansion over zero-padded support vectors; the padded query in
+/// `scratch` makes every block full, which is bitwise equivalent to the
+/// tail-handling loop above (padding contributes exact `+0.0` to
+/// non-negative lane accumulators).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn rbf_expand(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
+        scratch[..m].copy_from_slice(row);
+        let mut s = bias;
+        for (&c, sv) in coef.iter().zip(svs.chunks_exact(m_pad)) {
+            let mut l = [0.0f64; 4];
+            let mut j = 0usize;
+            while j < m_pad {
+                for (lane, acc) in l.iter_mut().enumerate() {
+                    let d = scratch[j + lane] - sv[j + lane];
+                    *acc += d * d;
+                }
+                j += 4;
+            }
+            let d2 = (l[0] + l[2]) + (l[1] + l[3]);
+            s += c * (-gamma * d2).exp();
+        }
+        *slot = s;
+    }
+}

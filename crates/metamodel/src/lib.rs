@@ -13,7 +13,9 @@
 //!   logistic objective ("x");
 //! * [`Svm`] — soft-margin SVM with an RBF kernel trained by SMO ("s");
 //! * [`tune`] — small grid-search cross-validation mirroring the paper's
-//!   use of `caret`'s default tuning (§8.4.3).
+//!   use of `caret`'s default tuning (§8.4.3);
+//! * [`kernels`] — runtime-dispatched (scalar / AVX2) bit-identical
+//!   prediction kernels behind every `predict_batch` hot path.
 //!
 //! All models implement [`Metamodel`]: `predict` returns an estimate of
 //! `P(y = 1 | x)` (the SVM returns hard 0/1 decisions — the paper's "p"
@@ -23,6 +25,7 @@
 
 mod forest;
 mod gbdt;
+pub mod kernels;
 pub mod persist;
 mod svm;
 mod tree;
@@ -30,6 +33,7 @@ pub mod tune;
 
 pub use forest::{NaiveRandomForest, RandomForest, RandomForestParams};
 pub use gbdt::{Gbdt, GbdtParams};
+pub use kernels::Kernel;
 pub use persist::{PersistError, SavedModel};
 pub use svm::{Svm, SvmParams};
 pub use tree::{NaiveTree, RegressionTree, TreeParams};

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use reds_data::Dataset;
 
+use crate::kernels::{self, Kernel};
 use crate::{Metamodel, Trainer};
 
 /// SVM hyperparameters.
@@ -42,15 +43,23 @@ impl Default for SvmParams {
 pub struct Svm {
     support_points: Vec<f64>,
     support_coef: Vec<f64>, // α_i y_i
+    /// Support vectors re-laid row-major at `m_pad` columns (trailing
+    /// zeros) — the invariant layout the batched kernel reads, built
+    /// once per fitted model instead of being re-derived per row.
+    padded_svs: Vec<f64>,
+    /// `m` rounded up to a whole number of 4-lane blocks.
+    m_pad: usize,
     bias: f64,
     gamma: f64,
     m: usize,
 }
 
+/// RBF kernel value over the canonical squared-distance reduction (see
+/// [`kernels::squared_distance`] for the order contract that keeps the
+/// scalar and SIMD paths bit-identical).
 #[inline]
-fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
-    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
-    (-gamma * d2).exp()
+fn rbf(kernel: Kernel, a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    (-gamma * kernels::squared_distance(kernel, a, b)).exp()
 }
 
 impl Svm {
@@ -71,20 +80,18 @@ impl Svm {
             .collect();
         // Degenerate single-class data: constant decision.
         if y.iter().all(|&v| v > 0.0) || y.iter().all(|&v| v < 0.0) {
-            return Self {
-                support_points: Vec::new(),
-                support_coef: Vec::new(),
-                bias: y[0],
-                gamma,
-                m,
-            };
+            return Self::assemble(Vec::new(), Vec::new(), y[0], gamma, m);
         }
         // Full kernel matrix: the metamodel trains on the small initial
-        // dataset D (N ≤ a few thousand), so O(N²) memory is fine.
+        // dataset D (N ≤ a few thousand), so O(N²) memory is fine. The
+        // ISA is resolved once for the whole fit — scalar and SIMD
+        // distance reductions are bit-identical, so the fitted model
+        // does not depend on the dispatch outcome.
+        let isa = kernels::active();
         let mut kernel = vec![0.0; n * n];
         for i in 0..n {
             for j in i..n {
-                let k = rbf(data.point(i), data.point(j), gamma);
+                let k = rbf(isa, data.point(i), data.point(j), gamma);
                 kernel[i * n + j] = k;
                 kernel[j * n + i] = k;
             }
@@ -177,27 +184,70 @@ impl Svm {
                 support_coef.push(alpha[i] * y[i]);
             }
         }
+        Self::assemble(support_points, support_coef, b, gamma, m)
+    }
+
+    /// Finishes construction from the raw support set: builds the
+    /// zero-padded support-vector layout the batched kernel reads.
+    /// Shared by [`Svm::fit`], the degenerate single-class shortcut,
+    /// and [`Svm::from_json`].
+    fn assemble(
+        support_points: Vec<f64>,
+        support_coef: Vec<f64>,
+        bias: f64,
+        gamma: f64,
+        m: usize,
+    ) -> Self {
+        let m_pad = kernels::padded_width(m);
+        let mut padded_svs = vec![0.0f64; support_coef.len() * m_pad];
+        for (dst, src) in padded_svs
+            .chunks_exact_mut(m_pad)
+            .zip(support_points.chunks_exact(m.max(1)))
+        {
+            dst[..m].copy_from_slice(src);
+        }
         Self {
             support_points,
             support_coef,
-            bias: b,
+            padded_svs,
+            m_pad,
+            bias,
             gamma,
             m,
         }
     }
 
-    /// Signed decision value `Σ α_i y_i K(x_i, x) + b`.
+    /// Signed decision value `Σ α_i y_i K(x_i, x) + b`, accumulated in
+    /// support-vector order. Evaluated through the same batched kernel
+    /// as [`Metamodel::predict_batch`] (batch of one), so per-point and
+    /// batched decisions are bit-identical by construction.
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
-        let mut s = self.bias;
-        for (coef, sv) in self
-            .support_coef
-            .iter()
-            .zip(self.support_points.chunks_exact(self.m))
-        {
-            s += coef * rbf(sv, x, self.gamma);
-        }
-        s
+        // Per-point prediction sits in tuning/active-learning loops, so
+        // keep it allocation-free: a stack pad covers every realistic
+        // dimensionality (the paper's M ≤ 30), with a heap fallback.
+        let mut stack = [0.0f64; 64];
+        let mut heap: Vec<f64>;
+        let scratch: &mut [f64] = if self.m_pad <= stack.len() {
+            &mut stack
+        } else {
+            heap = vec![0.0f64; self.m_pad];
+            &mut heap
+        };
+        let mut out = [0.0f64];
+        kernels::rbf_expand(
+            kernels::active(),
+            &self.padded_svs,
+            &self.support_coef,
+            self.bias,
+            self.gamma,
+            self.m_pad,
+            x,
+            self.m,
+            scratch,
+            &mut out,
+        );
+        out[0]
     }
 
     /// Number of support vectors retained.
@@ -257,13 +307,7 @@ impl Svm {
                 support_coef.len()
             )));
         }
-        Ok(Self {
-            support_points,
-            support_coef,
-            bias,
-            gamma,
-            m,
-        })
+        Ok(Self::assemble(support_points, support_coef, bias, gamma, m))
     }
 }
 
@@ -278,16 +322,41 @@ impl Metamodel for Svm {
     }
 
     /// Rows are independent, so the kernel expansion fans out across
-    /// threads; per-row arithmetic is unchanged (bit-identical).
+    /// threads. The ISA is resolved once per call; each worker reuses
+    /// one zero-padded row scratch across its whole run (the
+    /// support-vector layout is precomputed at construction), instead
+    /// of re-deriving per-row slices inside the support-vector loop.
+    /// Per-row arithmetic follows the canonical reduction order, so the
+    /// result is bit-identical to per-point [`Metamodel::predict`] on
+    /// every backend.
     fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
         assert_eq!(m, self.m, "prediction dimensionality mismatch");
         assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+        let isa = kernels::active();
         let mut out = vec![0.0f64; points.len() / m.max(1)];
-        reds_par::par_fill_chunks(&mut out, 1024, |start, chunk| {
-            for (k, slot) in chunk.iter_mut().enumerate() {
-                *slot = self.predict(&points[(start + k) * m..(start + k + 1) * m]);
-            }
-        });
+        reds_par::par_fill_chunks_with(
+            &mut out,
+            1024,
+            || vec![0.0f64; self.m_pad],
+            |scratch, start, chunk| {
+                let rows = &points[start * m..(start + chunk.len()) * m];
+                kernels::rbf_expand(
+                    isa,
+                    &self.padded_svs,
+                    &self.support_coef,
+                    self.bias,
+                    self.gamma,
+                    self.m_pad,
+                    rows,
+                    m,
+                    scratch,
+                    chunk,
+                );
+                for v in chunk.iter_mut() {
+                    *v = if *v > 0.0 { 1.0 } else { 0.0 };
+                }
+            },
+        );
         out
     }
 }

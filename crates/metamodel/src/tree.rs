@@ -14,11 +14,13 @@
 //!   sorted order down the tree with a stable partition at each split —
 //!   the classic sklearn/ranger trick — so per-node split search is
 //!   `O(m·n)` instead of `O(m·n log n)`.
-//! * **Compact prediction arena.** Fitted nodes are 16 bytes (value or
-//!   threshold, feature id, right-child index) with the left child
-//!   implicit at `index + 1` (depth-first layout), halving the memory
-//!   footprint of the traversal; batched prediction walks several points
-//!   through the tree in interleaved lanes to hide load latency.
+//! * **Branchless structure-of-arrays arena.** Fitted nodes flatten
+//!   into the parallel `feature`/`value`/`right` arrays of
+//!   [`FlatTree`](crate::kernels::FlatTree) (left child implicit at
+//!   `index + 1`, depth-first layout); batched prediction dispatches to
+//!   the runtime-selected [`crate::kernels`] backend — the 64-lane
+//!   interleaved scalar walk or the gather-based 4-wide AVX2 kernel,
+//!   which are bit-identical.
 //!
 //! The pre-optimization tree (per-node re-sorting builder, enum-arena
 //! nodes, pointer-chasing predict) is kept as [`NaiveTree`] (hidden from
@@ -28,6 +30,8 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+use crate::kernels::FlatTree;
 
 /// Hyperparameters of a single CART tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,24 +57,14 @@ impl Default for TreeParams {
     }
 }
 
-/// Marker in [`CompactNode::feature`] for leaves.
-const LEAF: u32 = u32::MAX;
+/// Marker for leaves, mirrored from the kernel layout.
+const LEAF: u32 = FlatTree::LEAF;
 
-/// One fitted node, 16 bytes. For splits `value_or_threshold` is the
-/// threshold and `right` the right-child index (the left child is the
-/// next node in depth-first order); for leaves (`feature == LEAF`)
-/// `value_or_threshold` is the predicted value.
-#[derive(Debug, Clone, Copy)]
-struct CompactNode {
-    value_or_threshold: f64,
-    feature: u32,
-    right: u32,
-}
-
-/// A fitted CART regression tree.
+/// A fitted CART regression tree over the kernel-ready
+/// structure-of-arrays arena.
 #[derive(Debug, Clone)]
 pub struct RegressionTree {
-    nodes: Vec<CompactNode>,
+    flat: FlatTree,
     m: usize,
 }
 
@@ -87,7 +81,7 @@ struct Builder<'a> {
     targets: &'a [f64],
     m: usize,
     params: &'a TreeParams,
-    nodes: Vec<CompactNode>,
+    nodes: FlatTree,
     feature_pool: Vec<usize>,
     /// Slot → dataset row (bootstrap duplicates share a row).
     rows: Vec<u32>,
@@ -221,7 +215,7 @@ impl<'a> Builder<'a> {
             targets,
             m,
             params,
-            nodes: Vec::new(),
+            nodes: FlatTree::with_capacity(2 * s),
             feature_pool: (0..m).collect(),
             rows,
             main: (0..s as u32).collect(),
@@ -292,16 +286,8 @@ impl<'a> Builder<'a> {
         let n = hi - lo;
         let sum = self.target_sum(lo, hi);
         let mean = sum / n as f64;
-        let make_leaf = |nodes: &mut Vec<CompactNode>| {
-            nodes.push(CompactNode {
-                value_or_threshold: mean,
-                feature: LEAF,
-                right: 0,
-            });
-            (nodes.len() - 1) as u32
-        };
         if depth >= self.params.max_depth || n < self.params.min_samples_split {
-            return make_leaf(&mut self.nodes);
+            return self.nodes.push_leaf(mean);
         }
         // Candidate features: all, or a fresh random subset per split
         // (random forest's per-node feature subsampling).
@@ -319,7 +305,7 @@ impl<'a> Builder<'a> {
             }
         }
         let Some((feature, threshold, _)) = best else {
-            return make_leaf(&mut self.nodes);
+            return self.nodes.push_leaf(mean);
         };
         // Stable partition of the node order and every feature column
         // around the chosen threshold.
@@ -334,16 +320,11 @@ impl<'a> Builder<'a> {
             debug_assert_eq!(at, split_at);
             self.cols[f] = col;
         }
-        let node_id = self.nodes.len() as u32;
-        self.nodes.push(CompactNode {
-            value_or_threshold: threshold,
-            feature: feature as u32,
-            right: 0,
-        });
+        let node_id = self.nodes.push_split(feature as u32, threshold);
         let left = self.build(lo, lo + split_at, depth + 1, rng);
         debug_assert_eq!(left, node_id + 1, "left child must follow its parent");
         let right = self.build(lo + split_at, hi, depth + 1, rng);
-        self.nodes[node_id as usize].right = right;
+        self.nodes.set_right(node_id, right);
         node_id
     }
 }
@@ -406,7 +387,7 @@ impl RegressionTree {
         let root = builder.build(0, s, 0, rng);
         debug_assert_eq!(root, 0);
         Self {
-            nodes: builder.nodes,
+            flat: builder.nodes,
             m,
         }
     }
@@ -418,64 +399,13 @@ impl RegressionTree {
     /// Panics when `x.len() != self.m()`.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
-        let mut i = 0usize;
-        loop {
-            let node = self.nodes[i];
-            if node.feature == LEAF {
-                return node.value_or_threshold;
-            }
-            i = if x[node.feature as usize] <= node.value_or_threshold {
-                i + 1
-            } else {
-                node.right as usize
-            };
-        }
+        self.flat.predict(x)
     }
 
-    /// Adds this tree's prediction for every row of `rows` (row-major,
-    /// `m` columns) into `acc`. Walks several rows through the tree in
-    /// interleaved lanes so independent node loads overlap — the kernel
-    /// behind the ensemble `predict_batch` fast path. Identical
-    /// arithmetic to per-row [`RegressionTree::predict`].
-    pub(crate) fn predict_into(&self, rows: &[f64], m: usize, acc: &mut [f64]) {
-        debug_assert_eq!(rows.len(), acc.len() * m);
-        const LANES: usize = 64;
-        let nodes = self.nodes.as_slice();
-        let mut base = 0usize;
-        while base < acc.len() {
-            let k = LANES.min(acc.len() - base);
-            let mut idx = [0u32; LANES];
-            let mut off = [0usize; LANES];
-            for (lane, o) in off.iter_mut().enumerate().take(k) {
-                *o = (base + lane) * m;
-            }
-            // One bit per lane still walking; cleared on leaf arrival.
-            let mut live: u64 = if k == LANES {
-                u64::MAX
-            } else {
-                (1u64 << k) - 1
-            };
-            while live != 0 {
-                let mut scan = live;
-                while scan != 0 {
-                    let lane = scan.trailing_zeros() as usize;
-                    scan &= scan - 1;
-                    let node = nodes[idx[lane] as usize];
-                    if node.feature == LEAF {
-                        acc[base + lane] += node.value_or_threshold;
-                        live &= !(1u64 << lane);
-                    } else {
-                        let xv = rows[off[lane] + node.feature as usize];
-                        idx[lane] = if xv <= node.value_or_threshold {
-                            idx[lane] + 1
-                        } else {
-                            node.right
-                        };
-                    }
-                }
-            }
-            base += k;
-        }
+    /// The kernel-ready structure-of-arrays arena — what the batched
+    /// prediction kernels in [`crate::kernels`] traverse.
+    pub fn flat(&self) -> &FlatTree {
+        &self.flat
     }
 
     /// Number of input columns the tree was fitted on.
@@ -489,14 +419,14 @@ impl RegressionTree {
     pub(crate) fn nodes_to_json(&self) -> reds_json::Json {
         use crate::persist::f64_to_json;
         use reds_json::Json;
-        Json::arr(self.nodes.iter().map(|n| {
-            if n.feature == LEAF {
-                Json::arr([f64_to_json(n.value_or_threshold)])
+        Json::arr((0..self.flat.n_nodes()).map(|i| {
+            if self.flat.is_leaf(i) {
+                Json::arr([f64_to_json(self.flat.value(i))])
             } else {
                 Json::arr([
-                    Json::num(n.feature as f64),
-                    f64_to_json(n.value_or_threshold),
-                    Json::num(n.right as f64),
+                    Json::num(self.flat.feature(i) as f64),
+                    f64_to_json(self.flat.value(i)),
+                    Json::num(self.flat.right(i) as f64),
                 ])
             }
         }))
@@ -522,52 +452,48 @@ impl RegressionTree {
         if len > u32::MAX as usize {
             return Err(bad("tree has too many nodes"));
         }
-        let mut nodes = Vec::with_capacity(len);
+        let mut flat = FlatTree::with_capacity(len);
         for (i, node) in arr.iter().enumerate() {
             let parts = node
                 .as_array()
                 .ok_or_else(|| bad(format!("node {i} must be an array")))?;
             match parts.len() {
-                1 => nodes.push(CompactNode {
-                    value_or_threshold: f64_from_json(&parts[0])?,
-                    feature: LEAF,
-                    right: 0,
-                }),
+                1 => {
+                    flat.push_leaf(f64_from_json(&parts[0])?);
+                }
                 3 => {
                     let feature = usize_from_json(&parts[0], "split feature")?;
-                    if feature >= m {
-                        return Err(bad(format!(
-                            "node {i}: feature {feature} out of range (m = {m})"
-                        )));
-                    }
                     let threshold = f64_from_json(&parts[1])?;
                     let right = usize_from_json(&parts[2], "right child")?;
-                    if i + 1 >= len || right <= i + 1 || right >= len {
+                    if feature as u32 == LEAF {
+                        return Err(bad(format!("node {i}: feature id reserved for leaves")));
+                    }
+                    let id = flat.push_split(feature as u32, threshold);
+                    if right <= id as usize {
                         return Err(bad(format!(
                             "node {i}: children must lie strictly forward in the arena \
                              (right = {right}, len = {len})"
                         )));
                     }
-                    nodes.push(CompactNode {
-                        value_or_threshold: threshold,
-                        feature: feature as u32,
-                        right: right as u32,
-                    });
+                    flat.set_right(id, right as u32);
                 }
                 k => return Err(bad(format!("node {i} has {k} fields (expected 1 or 3)"))),
             }
         }
-        Ok(Self { nodes, m })
+        // One pass re-checks every traversal-safety invariant the SIMD
+        // gathers rely on (forward in-bounds children, features < m).
+        flat.validate(m).map_err(bad)?;
+        Ok(Self { flat, m })
     }
 
     /// Number of nodes (leaves + splits).
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.flat.n_nodes()
     }
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| n.feature == LEAF).count()
+        self.flat.n_leaves()
     }
 
     /// Every leaf as `(per-dimension bounds, leaf value)`, where bounds
@@ -587,19 +513,18 @@ impl RegressionTree {
         bounds: Vec<(f64, f64)>,
         out: &mut Vec<(Vec<(f64, f64)>, f64)>,
     ) {
-        let node = self.nodes[i];
-        if node.feature == LEAF {
-            out.push((bounds, node.value_or_threshold));
+        if self.flat.is_leaf(i) {
+            out.push((bounds, self.flat.value(i)));
             return;
         }
-        let feature = node.feature as usize;
-        let threshold = node.value_or_threshold;
+        let feature = self.flat.feature(i) as usize;
+        let threshold = self.flat.value(i);
         let mut lb = bounds.clone();
         lb[feature].1 = lb[feature].1.min(threshold);
         self.collect_leaves(i + 1, lb, out);
         let mut rb = bounds;
         rb[feature].0 = rb[feature].0.max(threshold);
-        self.collect_leaves(node.right as usize, rb, out);
+        self.collect_leaves(self.flat.right(i) as usize, rb, out);
     }
 }
 
@@ -817,6 +742,7 @@ impl NaiveTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1014,18 +940,24 @@ mod tests {
     }
 
     #[test]
-    fn interleaved_batch_traversal_matches_per_point() {
+    fn batched_kernel_traversal_matches_per_point() {
         let (pts, ys) = grid_corner();
         let mut rng = StdRng::seed_from_u64(11);
         let idx: Vec<usize> = (0..ys.len()).collect();
         let tree = RegressionTree::fit(&pts, &ys, 2, &idx, &TreeParams::default(), &mut rng);
-        // 21 rows: exercises a partial final lane group.
+        // 21 rows: exercises a partial final lane group on every kernel.
         let query: Vec<f64> = (0..21 * 2).map(|k| (k % 13) as f64 / 13.0).collect();
-        let mut acc = vec![0.5f64; 21];
-        tree.predict_into(&query, 2, &mut acc);
-        for (i, row) in query.chunks_exact(2).enumerate() {
-            let expected = 0.5 + tree.predict(row);
-            assert_eq!(acc[i].to_bits(), expected.to_bits(), "row {i}");
+        let mut available = vec![kernels::Kernel::Scalar];
+        if kernels::avx2_supported() {
+            available.push(kernels::Kernel::Avx2);
+        }
+        for kernel in available {
+            let mut acc = vec![0.5f64; 21];
+            kernels::accumulate_tree(kernel, tree.flat(), &query, 2, &mut acc);
+            for (i, row) in query.chunks_exact(2).enumerate() {
+                let expected = 0.5 + tree.predict(row);
+                assert_eq!(acc[i].to_bits(), expected.to_bits(), "{kernel:?} row {i}");
+            }
         }
     }
 

@@ -96,12 +96,35 @@ where
     U: Send,
     F: Fn(usize, &mut [U]) + Sync,
 {
+    par_fill_chunks_with(
+        out,
+        chunk_len,
+        || (),
+        |_: &mut (), start, chunk| f(start, chunk),
+    );
+}
+
+/// Like [`par_fill_chunks`], but hands every chunk invocation a
+/// per-worker scratch value created once by `init` — the pattern the
+/// SIMD prediction kernels use for padded-row and per-chunk prediction
+/// buffers, instead of allocating inside the hot loop.
+/// [`par_fill_chunks`] delegates here with a unit scratch, so there is
+/// exactly one chunk grid and the scratch never influences chunk
+/// boundaries — results stay bit-identical to a serial loop under any
+/// thread count.
+pub fn par_fill_chunks_with<U, S, I, F>(out: &mut [U], chunk_len: usize, init: I, f: F)
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [U]) + Sync,
+{
     assert!(chunk_len > 0, "chunk length must be positive");
     let n_chunks = out.len().div_ceil(chunk_len).max(1);
     let workers = max_threads().min(n_chunks);
     if workers <= 1 {
+        let mut scratch = init();
         for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
-            f(c * chunk_len, chunk);
+            f(&mut scratch, c * chunk_len, chunk);
         }
         return;
     }
@@ -111,11 +134,13 @@ where
     let run_len = n_chunks.div_ceil(workers) * chunk_len;
     std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let mut handles = Vec::new();
         for (w, run) in out.chunks_mut(run_len).enumerate() {
             handles.push(scope.spawn(move || {
+                let mut scratch = init();
                 for (c, chunk) in run.chunks_mut(chunk_len).enumerate() {
-                    f(w * run_len + c * chunk_len, chunk);
+                    f(&mut scratch, w * run_len + c * chunk_len, chunk);
                 }
             }));
         }
@@ -185,6 +210,30 @@ mod tests {
         });
         set_max_threads(None);
         assert_eq!(out, (0..10_007).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_fill_chunks_with_reuses_worker_scratch() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 3] {
+            set_max_threads(Some(threads));
+            let mut out = vec![0usize; 1_001];
+            par_fill_chunks_with(
+                &mut out,
+                16,
+                || vec![0usize; 16],
+                |scratch, start, chunk| {
+                    // Scratch is dirty from the previous chunk — the
+                    // caller owns resetting it, proving reuse.
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        scratch[k] = start + k;
+                        *slot = scratch[k];
+                    }
+                },
+            );
+            assert_eq!(out, (0..1_001).collect::<Vec<_>>(), "threads {threads}");
+        }
+        set_max_threads(None);
     }
 
     #[test]

@@ -52,11 +52,12 @@ fn main() {
     }
     let artifact = ModelArtifact::load(Path::new(&model_path)).unwrap_or_else(|e| fail(e));
     eprintln!(
-        "loaded {} metamodel for '{}' (m = {}, n_train = {})",
+        "loaded {} metamodel for '{}' (m = {}, n_train = {}, kernel = {})",
         artifact.model.family(),
         artifact.function,
         artifact.train.m(),
         artifact.train.n(),
+        reds_metamodel::kernels::active().name(),
     );
     let handle = serve(artifact, &addr, limits).unwrap_or_else(|e| fail(e));
     println!("listening on {}", handle.addr());

@@ -282,6 +282,13 @@ impl Service {
             ("seed", Json::str(self.artifact.seed.to_string())),
             ("pool_seed", Json::str(self.artifact.pool_seed.to_string())),
             ("pool_design", Json::str(self.artifact.pool_design.clone())),
+            // The prediction-kernel backend every predict_batch under
+            // this server dispatches to (scalar and avx2 answers are
+            // bit-identical; this is operational visibility only).
+            (
+                "kernel",
+                Json::str(reds_metamodel::kernels::active().name()),
+            ),
             (
                 "requests",
                 Json::num(stats.requests.load(Ordering::Relaxed) as f64),

@@ -12,7 +12,10 @@
 //!    element-sequential samplers, so **any** chunking (including
 //!    chunk = 1 and chunk ≥ L) reproduces the monolithic draw sequence
 //!    bit for bit.
-//! 2. Each chunk is pseudo-labeled (`predict_batch` on the chunk) and
+//! 2. Each chunk is pseudo-labeled (`predict_batch` on the chunk —
+//!    which dispatches to `reds_metamodel::kernels`' runtime-selected
+//!    scalar/AVX2 backend, resolved once per chunk call, bit-identical
+//!    either way) and
 //!    folded into per-column accumulators: chunk-local radix argsort
 //!    runs spilled to a temp-file run store ([`PoolBuilder`]), plus the
 //!    raw points/labels appended to a data spill — no `L × M` buffer

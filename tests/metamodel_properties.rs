@@ -117,3 +117,159 @@ proptest! {
         prop_assert_eq!(a.predict(&x), b.predict(&x));
     }
 }
+
+// ---------------------------------------------------------------------
+// Kernel bit-equivalence: the scalar and SIMD backends in
+// `reds::metamodel::kernels` must agree to the exact bit on every
+// input shape — unaligned batch sizes, remainder lanes (`len % 4 ≠ 0`),
+// non-finite feature values, and degenerate trees. These drive the
+// kernels through their explicit-`Kernel` entry points, so they are
+// free of global dispatch state and run under the parallel harness.
+// ---------------------------------------------------------------------
+
+use reds::metamodel::kernels::{self, Kernel};
+
+/// Every kernel this machine can execute (scalar always; AVX2 when the
+/// CPU has it — on scalar-only hardware the suite degenerates to
+/// scalar-vs-scalar and still validates the per-point reference).
+fn available_kernels() -> Vec<Kernel> {
+    let mut ks = vec![Kernel::Scalar];
+    if kernels::avx2_supported() {
+        ks.push(Kernel::Avx2);
+    }
+    ks
+}
+
+/// A query value that may be an ordinary coordinate or a traversal
+/// stress case (±∞ / NaN, exact threshold hits).
+fn query_value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 0.0f64..1.0,
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::NAN),
+        1 => Just(0.5f64), // likely exact threshold tie
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_kernels_agree_bitwise_with_per_point_reference(
+        d in dataset_strategy(),
+        rows in 0usize..23,
+        query in prop::collection::vec(query_value_strategy(), 0..23 * 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let idx: Vec<usize> = (0..d.n()).collect();
+        let tree = RegressionTree::fit(
+            d.points(),
+            d.labels(),
+            d.m(),
+            &idx,
+            &TreeParams::default(),
+            &mut rng,
+        );
+        let m = d.m();
+        let rows = rows.min(query.len() / m);
+        let query = &query[..rows * m];
+        // Reference: the scalar per-point walk.
+        let expected: Vec<f64> = query.chunks_exact(m).map(|x| tree.flat().predict(x)).collect();
+        for kernel in available_kernels() {
+            let mut acc = vec![0.0f64; rows];
+            kernels::accumulate_tree(kernel, tree.flat(), query, m, &mut acc);
+            for (i, (a, e)) in acc.iter().zip(&expected).enumerate() {
+                prop_assert!(
+                    a.to_bits() == e.to_bits(),
+                    "{:?} row {}: {} vs {}", kernel, i, a, e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn squared_distance_kernels_agree_bitwise(
+        len in 0usize..21,
+        raw in prop::collection::vec((query_value_strategy(), query_value_strategy()), 21),
+    ) {
+        let a: Vec<f64> = raw.iter().take(len).map(|p| p.0).collect();
+        let b: Vec<f64> = raw.iter().take(len).map(|p| p.1).collect();
+        let want = kernels::squared_distance(Kernel::Scalar, &a, &b);
+        for kernel in available_kernels() {
+            let got = kernels::squared_distance(kernel, &a, &b);
+            // NaN results must be NaN everywhere, but their payload
+            // bits are compiler-unspecified (see the kernel docs); all
+            // other results are bit-exact.
+            prop_assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "{:?} len {}: {} vs {}", kernel, len, got, want
+            );
+        }
+    }
+
+    #[test]
+    fn rbf_expansion_kernels_agree_bitwise(
+        m in 1usize..9,
+        n_sv in 0usize..6,
+        rows in 0usize..7,
+        values in prop::collection::vec(-1.0f64..1.0, 6 * 9 + 7 * 9 + 6),
+        gamma in 0.1f64..4.0,
+    ) {
+        let m_pad = kernels::padded_width(m);
+        let mut svs = vec![0.0f64; n_sv * m_pad];
+        for (i, sv) in svs.chunks_exact_mut(m_pad).enumerate() {
+            sv[..m].copy_from_slice(&values[i * m..(i + 1) * m]);
+        }
+        let coef: Vec<f64> = values[6 * 9 + 7 * 9..6 * 9 + 7 * 9 + n_sv].to_vec();
+        let query: Vec<f64> = values[6 * 9..6 * 9 + rows * m].to_vec();
+        let mut reference = vec![0.0f64; rows];
+        let mut scratch = vec![0.0f64; m_pad];
+        kernels::rbf_expand(
+            Kernel::Scalar, &svs, &coef, 0.25, gamma, m_pad, &query, m,
+            &mut scratch, &mut reference,
+        );
+        for kernel in available_kernels() {
+            let mut out = vec![0.0f64; rows];
+            kernels::rbf_expand(
+                kernel, &svs, &coef, 0.25, gamma, m_pad, &query, m,
+                &mut scratch, &mut out,
+            );
+            for (i, (a, e)) in out.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    a.to_bits() == e.to_bits() || (a.is_nan() && e.is_nan()),
+                    "{:?} row {}: {} vs {}", kernel, i, a, e
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_handle_singleton_trees_and_empty_batches() {
+    // A tree that is a single leaf (constant targets) and the empty
+    // batch must work on every backend.
+    let pts: Vec<f64> = (0..40).map(|i| i as f64).collect();
+    let ys = vec![0.25; 40];
+    let idx: Vec<usize> = (0..40).collect();
+    let tree = RegressionTree::fit(
+        &pts,
+        &ys,
+        1,
+        &idx,
+        &TreeParams::default(),
+        &mut StdRng::seed_from_u64(8),
+    );
+    assert_eq!(tree.n_nodes(), 1, "constant targets must yield one leaf");
+    for kernel in available_kernels() {
+        let mut acc = vec![0.0f64; 9]; // 9 rows: 2 groups of 4 + remainder
+        let query = vec![3.0f64; 9];
+        kernels::accumulate_tree(kernel, tree.flat(), &query, 1, &mut acc);
+        for v in &acc {
+            assert_eq!(v.to_bits(), 0.25f64.to_bits(), "{kernel:?}");
+        }
+        let mut empty: Vec<f64> = Vec::new();
+        kernels::accumulate_tree(kernel, tree.flat(), &[], 1, &mut empty);
+        assert!(empty.is_empty());
+    }
+}

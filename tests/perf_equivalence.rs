@@ -297,3 +297,72 @@ fn thread_count_never_changes_results() {
     }
     reds_par::set_max_threads(None);
 }
+
+#[test]
+fn forced_scalar_and_dispatched_kernels_are_bit_identical_end_to_end() {
+    // The REDS_KERNEL=scalar vs avx2 contract, in-process: forcing the
+    // scalar backend must not change a single bit of any model's
+    // batched predictions or of a full pipeline run. (On scalar-only
+    // hardware dispatch already resolves to scalar and this degenerates
+    // to a self-comparison, which keeps the suite portable.)
+    use reds::metamodel::kernels;
+
+    let d = dataset_for_seed(5);
+    let m = d.m();
+    let query: Vec<f64> = dataset_for_seed(55)
+        .points()
+        .iter()
+        .copied()
+        .take(101 * m) // odd row count: remainder lanes on every path
+        .collect();
+    let forest = RandomForest::fit(
+        &d,
+        &RandomForestParams {
+            n_trees: 24,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(6),
+    );
+    let gbdt = Gbdt::fit(
+        &d,
+        &GbdtParams {
+            n_rounds: 20,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    let svm = Svm::fit(&d, &SvmParams::default(), &mut StdRng::seed_from_u64(8));
+    let models: [(&str, &dyn Metamodel); 3] = [("forest", &forest), ("gbdt", &gbdt), ("svm", &svm)];
+
+    for (name, model) in models {
+        kernels::set_kernel(Some(kernels::Kernel::Scalar));
+        let scalar = model.predict_batch(&query, m);
+        kernels::set_kernel(None);
+        let dispatched = model.predict_batch(&query, m);
+        assert_eq!(scalar.len(), dispatched.len(), "{name}");
+        for (i, (a, b)) in scalar.iter().zip(&dispatched).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{name} row {i}: scalar {a} vs dispatched {b}"
+            );
+        }
+    }
+
+    // Whole pipeline (train → pseudo-label → PRIM): identical boxes.
+    let reds = Reds::random_forest(
+        RandomForestParams {
+            n_trees: 16,
+            ..Default::default()
+        },
+        RedsConfig::default().with_l(3_000),
+    );
+    kernels::set_kernel(Some(kernels::Kernel::Scalar));
+    let scalar_run = reds
+        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
+        .unwrap();
+    kernels::set_kernel(None);
+    let dispatched_run = reds
+        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
+        .unwrap();
+    assert_boxes_bits_eq(&scalar_run.boxes, &dispatched_run.boxes, "kernel pipeline");
+}

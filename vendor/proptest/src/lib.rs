@@ -228,6 +228,66 @@ pub fn test_seed(name: &str) -> u64 {
     h
 }
 
+/// See [`prop_oneof!`]: a weighted union of strategies sharing a value
+/// type; each sample picks one arm with probability proportional to
+/// its weight, then samples it.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or all weights are zero.
+    pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Self { arms, total }
+    }
+}
+
+/// Boxes one `prop_oneof!` arm (helper the macro expands to, so type
+/// inference unifies the arm value types).
+pub fn union_arm<S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight {
+                return strategy.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Weighted (`3 => strategy`) or uniform (`strategy, strategy`) choice
+/// between strategies with a common value type — the `prop_oneof!` of
+/// the real crate, minus shrinking.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $($crate::union_arm($weight as u32, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 /// Builds the RNG for one case of one test.
 pub fn case_rng(name: &str, case: u32) -> TestRng {
     StdRng::seed_from_u64(test_seed(name) ^ ((case as u64) << 32 | 0x5DEE_CE66))
@@ -236,7 +296,8 @@ pub fn case_rng(name: &str, case: u32) -> TestRng {
 /// Everything the property tests import.
 pub mod prelude {
     pub use super::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
