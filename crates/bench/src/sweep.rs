@@ -21,9 +21,10 @@ use reds_eval::checkpoint::{
 use reds_eval::stats::{friedman_test, spearman, wilcoxon_signed_rank};
 use reds_eval::workunit::{enumerate_units, stable_hash};
 use reds_eval::{
-    aggregate_units, execute_units_with, spec_fingerprint, Evaluation, ExperimentSpec, MethodOpts,
-    MethodSummary, WorkUnit, BI_FAMILY, PRIM_FAMILY,
+    aggregate_units, execute_units, execute_units_with, spec_fingerprint, Evaluation,
+    ExperimentSpec, MethodOpts, MethodSummary, WorkUnit, BI_FAMILY, PRIM_FAMILY,
 };
+use reds_fleet::UnitExecutor;
 use reds_functions::by_name;
 use reds_json::Json;
 
@@ -180,6 +181,72 @@ impl Sweep {
             .iter()
             .position(|s| s.function.name() == function && s.n == n)
     }
+
+    /// Per-spec fingerprints, aligned with [`Sweep::specs`].
+    pub fn spec_fingerprints(&self) -> &[String] {
+        &self.fingerprints
+    }
+
+    /// Every work unit of the sweep paired with its spec fingerprint,
+    /// in the deterministic enumeration order `run_shard` walks — the
+    /// unit list a fleet coordinator leases out.
+    pub fn fleet_units(&self) -> Vec<(String, WorkUnit)> {
+        let mut units = Vec::with_capacity(self.total_units());
+        for (si, spec) in self.specs.iter().enumerate() {
+            let fp = &self.fingerprints[si];
+            for unit in enumerate_units(spec) {
+                units.push((fp.clone(), unit));
+            }
+        }
+        units
+    }
+}
+
+/// Executes leased units for a fleet worker: the [`UnitExecutor`]
+/// implementation bridging `reds-fleet` to the sweep machinery.
+///
+/// Every incoming unit is validated against the spec's own
+/// deterministic enumeration (method, rep, *and* the derived seeds)
+/// before it runs, so a corrupted or foreign unit is rejected instead
+/// of silently producing a wrong-seeded result.
+pub struct SweepExecutor {
+    sweep: Sweep,
+    fingerprint: String,
+}
+
+impl SweepExecutor {
+    /// An executor serving `sweep`.
+    pub fn new(sweep: Sweep) -> Self {
+        let fingerprint = sweep.fingerprint();
+        Self { sweep, fingerprint }
+    }
+}
+
+impl UnitExecutor for SweepExecutor {
+    fn fingerprint(&self) -> String {
+        self.fingerprint.clone()
+    }
+
+    fn execute(&self, spec: &str, unit: &WorkUnit) -> Result<Evaluation, String> {
+        let si = self
+            .sweep
+            .spec_fingerprints()
+            .iter()
+            .position(|fp| fp == spec)
+            .ok_or_else(|| format!("unknown spec fingerprint {spec}"))?;
+        let spec = &self.sweep.specs[si];
+        if !enumerate_units(spec).iter().any(|u| u == unit) {
+            return Err(format!(
+                "unit {}/{} does not match the spec's enumeration (tampered seeds?)",
+                unit.method, unit.rep
+            ));
+        }
+        let mut results = execute_units(spec, std::slice::from_ref(unit));
+        match results.pop() {
+            Some((_, eval)) if results.is_empty() => Ok(eval),
+            _ => Err("executor returned an unexpected result count".to_string()),
+        }
+    }
 }
 
 /// What `run_shard` did.
@@ -256,6 +323,7 @@ pub fn run_shard(
                     spec: fp.clone(),
                     unit: unit.clone(),
                     eval: eval.clone(),
+                    attempt: 0,
                 };
                 if let Err(e) = w.append(&record) {
                     append_error = Some(e);
@@ -270,6 +338,7 @@ pub fn run_shard(
             spec: fp.clone(),
             unit,
             eval,
+            attempt: 0,
         }));
         eprintln!(
             "done: {} N={} ({} units)",

@@ -74,6 +74,20 @@ pub struct UnitRecord {
     pub unit: WorkUnit,
     /// Its result.
     pub eval: Evaluation,
+    /// Lease attempt that produced the record: `0` for in-process
+    /// execution (monolithic and sharded runs), `>= 1` when a fleet
+    /// coordinator ingested the unit from a remote worker's lease.
+    /// Results are bit-identical across attempts (stable seeding), so
+    /// this is provenance, not payload; files written before the field
+    /// existed load as attempt 0.
+    pub attempt: u32,
+}
+
+/// The identity under which completed units are deduplicated — one
+/// string per grid cell, shared by checkpoint merging, fleet lease
+/// journals, and idempotent result ingestion.
+pub fn unit_key(spec_fingerprint: &str, unit: &WorkUnit) -> String {
+    format!("{spec_fingerprint}/{}/{}", unit.method, unit.rep)
 }
 
 /// A parsed checkpoint file.
@@ -219,7 +233,9 @@ fn header_from_json(doc: &Json) -> Result<CheckpointHeader, String> {
     })
 }
 
-fn unit_to_json(u: &WorkUnit) -> Json {
+/// Wire/JSONL form of a [`WorkUnit`] (public so the fleet protocol's
+/// lease frames serialize units exactly like checkpoints do).
+pub fn unit_to_json(u: &WorkUnit) -> Json {
     Json::obj([
         ("function", Json::str(u.function.clone())),
         ("n", Json::num(u.n as f64)),
@@ -231,7 +247,8 @@ fn unit_to_json(u: &WorkUnit) -> Json {
     ])
 }
 
-fn unit_from_json(doc: &Json) -> Result<WorkUnit, String> {
+/// Inverse of [`unit_to_json`].
+pub fn unit_from_json(doc: &Json) -> Result<WorkUnit, String> {
     let field = |k: &str| doc.get(k).ok_or_else(|| format!("unit missing '{k}'"));
     Ok(WorkUnit {
         function: field("function")?
@@ -284,12 +301,18 @@ pub fn record_to_json(r: &UnitRecord) -> Json {
         ("spec", Json::str(r.spec.clone())),
         ("unit", unit_to_json(&r.unit)),
         ("eval", eval_to_json(&r.eval)),
+        ("attempt", Json::num(r.attempt as f64)),
     ])
 }
 
 /// Parses one record line (public for property tests).
 pub fn record_from_json(doc: &Json) -> Result<UnitRecord, String> {
     let field = |k: &str| doc.get(k).ok_or_else(|| format!("record missing '{k}'"));
+    // Pre-fleet checkpoints have no attempt field: in-process execution.
+    let attempt = match doc.get("attempt") {
+        None => 0,
+        Some(v) => usize_from_json(v, "attempt")? as u32,
+    };
     Ok(UnitRecord {
         spec: field("spec")?
             .as_str()
@@ -297,6 +320,7 @@ pub fn record_from_json(doc: &Json) -> Result<UnitRecord, String> {
             .to_string(),
         unit: unit_from_json(field("unit")?)?,
         eval: eval_from_json(field("eval")?)?,
+        attempt,
     })
 }
 
@@ -491,6 +515,7 @@ mod tests {
                 runtime_ms: 12.5,
                 last_box: HyperBox::from_bounds(vec![(0.25, f64::INFINITY), (-0.5, 0.5)]),
             },
+            attempt: rep as u32 % 3,
         }
     }
 
@@ -509,6 +534,7 @@ mod tests {
             && a.eval.n_irrel == b.eval.n_irrel
             && a.eval.runtime_ms.to_bits() == b.eval.runtime_ms.to_bits()
             && a.eval.last_box == b.eval.last_box
+            && a.attempt == b.attempt
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod workunit;
 
 pub use checkpoint::{
-    load_checkpoint, merge_records, CheckpointError, CheckpointHeader, CheckpointWriter,
+    load_checkpoint, merge_records, unit_key, CheckpointError, CheckpointHeader, CheckpointWriter,
     ShardCheckpoint, UnitRecord, CHECKPOINT_SCHEMA_VERSION,
 };
 pub use experiment::{

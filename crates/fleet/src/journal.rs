@@ -1,0 +1,471 @@
+//! The coordinator's lease journal: an append-only JSONL audit of
+//! every grant, ingest, and expiry, with crash-tolerant resume.
+//!
+//! The journal is the coordinator's second durable file next to the
+//! result checkpoint. The checkpoint holds *what* was computed; the
+//! journal holds *how it got there* — which lease carried each unit,
+//! at which attempt, and whether an ingested record was fresh or a
+//! duplicate of an earlier attempt. Resuming a crashed coordinator
+//! restores the per-unit attempt counters from it (so reassigned
+//! leases keep strictly increasing attempt numbers), and the
+//! fault-injection suite audits it to prove that no unit's result was
+//! accepted twice.
+//!
+//! The file format mirrors the checkpoint's durability contract: one
+//! JSON object per line, each appended with a single `write_all` +
+//! flush, a header line carrying the sweep fingerprint, and a loader
+//! that tolerates (and drops) one partial trailing line.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use reds_json::{from_str, Json};
+
+use crate::protocol::small_uint;
+
+/// Format tag of the journal's header line.
+pub const JOURNAL_FORMAT: &str = "reds-fleet-journal-v1";
+
+/// One journal line (after the header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// A lease was granted to a worker.
+    Grant {
+        /// Lease id.
+        lease: u64,
+        /// Attempt number carried by the lease.
+        attempt: u32,
+        /// Worker address the lease went to.
+        worker: String,
+        /// `unit_key`s of the leased units.
+        keys: Vec<String>,
+    },
+    /// A record arrived from a worker and was examined.
+    Ingest {
+        /// Lease that delivered the record.
+        lease: u64,
+        /// The record's attempt number.
+        attempt: u32,
+        /// The record's `unit_key`.
+        key: String,
+        /// `false`: first arrival, appended to the checkpoint.
+        /// `true`: the unit was already ingested (an earlier attempt
+        /// won); the record was discarded.
+        duplicate: bool,
+    },
+    /// A lease was given up on (deadline passed, worker lost, or
+    /// abort); its un-ingested units were requeued.
+    Expire {
+        /// The expired lease.
+        lease: u64,
+        /// Why ("deadline", "worker-lost", "abort").
+        reason: String,
+    },
+}
+
+/// Journal I/O or validation failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A fully-written line does not parse.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The journal belongs to a differently-configured sweep.
+    FingerprintMismatch {
+        /// Fingerprint of the resuming run.
+        expected: String,
+        /// Fingerprint in the journal header.
+        found: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "journal I/O error: {e}"),
+            Self::Corrupt { line, message } => {
+                write!(f, "corrupt journal at line {line}: {message}")
+            }
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal fingerprint {found} does not match this sweep ({expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn event_to_json(ev: &JournalEvent) -> Json {
+    match ev {
+        JournalEvent::Grant {
+            lease,
+            attempt,
+            worker,
+            keys,
+        } => Json::obj([
+            ("ev", Json::str("grant")),
+            ("lease", Json::num(*lease as f64)),
+            ("attempt", Json::num(*attempt as f64)),
+            ("worker", Json::str(worker.clone())),
+            ("keys", Json::arr(keys.iter().map(|k| Json::str(k.clone())))),
+        ]),
+        JournalEvent::Ingest {
+            lease,
+            attempt,
+            key,
+            duplicate,
+        } => Json::obj([
+            ("ev", Json::str("ingest")),
+            ("lease", Json::num(*lease as f64)),
+            ("attempt", Json::num(*attempt as f64)),
+            ("key", Json::str(key.clone())),
+            ("duplicate", Json::Bool(*duplicate)),
+        ]),
+        JournalEvent::Expire { lease, reason } => Json::obj([
+            ("ev", Json::str("expire")),
+            ("lease", Json::num(*lease as f64)),
+            ("reason", Json::str(reason.clone())),
+        ]),
+    }
+}
+
+fn event_from_json(doc: &Json) -> Result<JournalEvent, String> {
+    let ev = doc.get("ev").and_then(Json::as_str).ok_or("missing 'ev'")?;
+    let uint = |key: &str| {
+        doc.get(key)
+            .and_then(small_uint)
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    let text = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    Ok(match ev {
+        "grant" => JournalEvent::Grant {
+            lease: uint("lease")?,
+            attempt: uint("attempt")? as u32,
+            worker: text("worker")?,
+            keys: doc
+                .get("keys")
+                .and_then(Json::as_array)
+                .ok_or("missing 'keys'")?
+                .iter()
+                .map(|k| k.as_str().map(str::to_string).ok_or("bad key".to_string()))
+                .collect::<Result<_, _>>()?,
+        },
+        "ingest" => JournalEvent::Ingest {
+            lease: uint("lease")?,
+            attempt: uint("attempt")? as u32,
+            key: text("key")?,
+            duplicate: doc
+                .get("duplicate")
+                .and_then(Json::as_bool)
+                .ok_or("missing 'duplicate'")?,
+        },
+        "expire" => JournalEvent::Expire {
+            lease: uint("lease")?,
+            reason: text("reason")?,
+        },
+        other => return Err(format!("unknown event '{other}'")),
+    })
+}
+
+/// The coordinator state a journal replay restores.
+#[derive(Debug, Clone, Default)]
+pub struct JournalState {
+    /// Highest attempt granted so far, per `unit_key` — a resumed
+    /// coordinator keeps attempt numbers strictly increasing.
+    pub attempts: HashMap<String, u32>,
+    /// The attempt whose record was accepted, per ingested `unit_key`.
+    pub ingested: HashMap<String, u32>,
+    /// Ingests that were discarded as duplicates.
+    pub duplicates: usize,
+    /// Highest lease id seen, so new leases stay unique after resume.
+    pub max_lease: u64,
+}
+
+impl JournalState {
+    /// Folds one event into the state (also used during replay).
+    pub fn apply(&mut self, ev: &JournalEvent) {
+        match ev {
+            JournalEvent::Grant {
+                lease,
+                attempt,
+                keys,
+                ..
+            } => {
+                self.max_lease = self.max_lease.max(*lease);
+                for k in keys {
+                    let a = self.attempts.entry(k.clone()).or_insert(0);
+                    *a = (*a).max(*attempt);
+                }
+            }
+            JournalEvent::Ingest {
+                attempt,
+                key,
+                duplicate,
+                ..
+            } => {
+                if *duplicate {
+                    self.duplicates += 1;
+                } else {
+                    self.ingested.insert(key.clone(), *attempt);
+                }
+            }
+            JournalEvent::Expire { lease, .. } => {
+                self.max_lease = self.max_lease.max(*lease);
+            }
+        }
+    }
+}
+
+/// Parses a journal file: the header fingerprint, the replayed state,
+/// and the raw event list (for audits). A partial trailing line — an
+/// append interrupted by a crash — is dropped; any other malformed
+/// line is an error.
+pub fn load_journal(
+    path: &Path,
+) -> Result<(String, JournalState, Vec<JournalEvent>), JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let complete = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((first, rest)) = lines.split_first() else {
+        return Err(JournalError::Corrupt {
+            line: 1,
+            message: "empty file".to_string(),
+        });
+    };
+    let header = from_str(first).map_err(|e| JournalError::Corrupt {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    if header.get("journal").and_then(Json::as_str) != Some(JOURNAL_FORMAT) {
+        return Err(JournalError::Corrupt {
+            line: 1,
+            message: format!("header is not a {JOURNAL_FORMAT} header"),
+        });
+    }
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or(JournalError::Corrupt {
+            line: 1,
+            message: "header missing 'fingerprint'".to_string(),
+        })?
+        .to_string();
+    let mut state = JournalState::default();
+    let mut events = Vec::with_capacity(rest.len());
+    for (i, line) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        let parsed = from_str(line)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| event_from_json(&doc));
+        match parsed {
+            Ok(ev) => {
+                state.apply(&ev);
+                events.push(ev);
+            }
+            Err(message) => {
+                if last && !complete {
+                    break; // interrupted final append — recoverable
+                }
+                return Err(JournalError::Corrupt {
+                    line: i + 2,
+                    message,
+                });
+            }
+        }
+    }
+    Ok((fingerprint, state, events))
+}
+
+/// Appends lease events durably, one line per event.
+#[derive(Debug)]
+pub struct LeaseJournal {
+    file: File,
+}
+
+impl LeaseJournal {
+    /// Creates (or truncates) the journal with a fresh header.
+    pub fn create(path: &Path, fingerprint: &str) -> Result<Self, JournalError> {
+        let mut file = File::create(path)?;
+        let mut line = Json::obj([
+            ("journal", Json::str(JOURNAL_FORMAT)),
+            ("fingerprint", Json::str(fingerprint)),
+        ])
+        .to_string_compact();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        Ok(Self { file })
+    }
+
+    /// Reopens an interrupted journal: validates the fingerprint,
+    /// rewrites the valid prefix via a temp-file rename (dropping a
+    /// torn trailing line), and returns the writer plus the replayed
+    /// state.
+    pub fn resume(path: &Path, fingerprint: &str) -> Result<(Self, JournalState), JournalError> {
+        let (found, state, events) = load_journal(path)?;
+        if found != fingerprint {
+            return Err(JournalError::FingerprintMismatch {
+                expected: fingerprint.to_string(),
+                found,
+            });
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut text = Json::obj([
+                ("journal", Json::str(JOURNAL_FORMAT)),
+                ("fingerprint", Json::str(fingerprint)),
+            ])
+            .to_string_compact();
+            text.push('\n');
+            for ev in &events {
+                text.push_str(&event_to_json(ev).to_string_compact());
+                text.push('\n');
+            }
+            f.write_all(text.as_bytes())?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((Self { file }, state))
+    }
+
+    /// Appends one event as a single atomic line write.
+    pub fn record(&mut self, ev: &JournalEvent) -> Result<(), JournalError> {
+        let mut line = event_to_json(ev).to_string_compact();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("reds-journal-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::Grant {
+                lease: 1,
+                attempt: 1,
+                worker: "127.0.0.1:9".to_string(),
+                keys: vec!["fp/P/0".to_string(), "fp/P/1".to_string()],
+            },
+            JournalEvent::Ingest {
+                lease: 1,
+                attempt: 1,
+                key: "fp/P/0".to_string(),
+                duplicate: false,
+            },
+            JournalEvent::Expire {
+                lease: 1,
+                reason: "deadline".to_string(),
+            },
+            JournalEvent::Grant {
+                lease: 2,
+                attempt: 2,
+                worker: "127.0.0.1:10".to_string(),
+                keys: vec!["fp/P/1".to_string()],
+            },
+            JournalEvent::Ingest {
+                lease: 2,
+                attempt: 2,
+                key: "fp/P/1".to_string(),
+                duplicate: false,
+            },
+            JournalEvent::Ingest {
+                lease: 1,
+                attempt: 1,
+                key: "fp/P/1".to_string(),
+                duplicate: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips_and_replays_state() {
+        let path = tmp_path("roundtrip.jsonl");
+        let mut j = LeaseJournal::create(&path, "cafe").expect("create");
+        for ev in sample_events() {
+            j.record(&ev).expect("record");
+        }
+        drop(j);
+        let (fp, state, events) = load_journal(&path).expect("load");
+        assert_eq!(fp, "cafe");
+        assert_eq!(events, sample_events());
+        assert_eq!(state.max_lease, 2);
+        assert_eq!(state.attempts.get("fp/P/0"), Some(&1));
+        assert_eq!(state.attempts.get("fp/P/1"), Some(&2));
+        assert_eq!(state.ingested.get("fp/P/0"), Some(&1));
+        assert_eq!(state.ingested.get("fp/P/1"), Some(&2));
+        assert_eq!(state.duplicates, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_rewrites_it() {
+        let path = tmp_path("torn.jsonl");
+        let mut j = LeaseJournal::create(&path, "cafe").expect("create");
+        j.record(&sample_events()[0]).expect("record");
+        drop(j);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"ev\":\"ingest\",\"lease\":1,");
+        std::fs::write(&path, &text).unwrap();
+
+        let (_, state, events) = load_journal(&path).expect("tolerates the tail");
+        assert_eq!(events.len(), 1);
+        assert_eq!(state.duplicates, 0);
+
+        let (mut j, state) = LeaseJournal::resume(&path, "cafe").expect("resume");
+        assert_eq!(state.max_lease, 1);
+        j.record(&sample_events()[1]).expect("append after resume");
+        drop(j);
+        let (_, _, events) = load_journal(&path).expect("reload");
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_fingerprint_and_corrupt_interiors() {
+        let path = tmp_path("foreign.jsonl");
+        LeaseJournal::create(&path, "cafe").expect("create");
+        assert!(matches!(
+            LeaseJournal::resume(&path, "beef"),
+            Err(JournalError::FingerprintMismatch { .. })
+        ));
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n{\"ev\":\"expire\",\"lease\":1,\"reason\":\"x\"}\n");
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(
+            load_journal(&path),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

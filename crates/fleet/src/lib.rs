@@ -1,0 +1,41 @@
+//! `reds-fleet`: fault-tolerant distributed execution of REDS
+//! evaluation sweeps.
+//!
+//! The monolithic benchmark harness (`reds-bench`) enumerates a sweep
+//! into deterministic [`WorkUnit`](reds_eval::WorkUnit)s whose results
+//! are bit-identical regardless of where, when, or how many times they
+//! execute. This crate exploits that determinism to spread a sweep
+//! across unreliable machines without ever risking the report:
+//!
+//! - [`worker`] — a small TCP server that executes leased unit batches
+//!   and serves results incrementally (cursor-polled, so every request
+//!   is idempotent).
+//! - [`coordinator`] — [`run_fleet`](coordinator::run_fleet) leases
+//!   batches to workers, heartbeats via polls, reaps expired leases
+//!   back into the queue, ingests results first-wins through the PR 2
+//!   checkpoint, and records every grant/ingest/expiry in a durable
+//!   [`journal`] so a crashed coordinator resumes exactly.
+//! - [`backoff`] — seeded full-jitter exponential backoff used for
+//!   every retry schedule.
+//! - [`protocol`] — the NDJSON request/reply frames, built on
+//!   [`reds_serve::wire`].
+//! - [`proxy`] — a deterministic fault-injection proxy (drop /
+//!   duplicate / delay / truncate, per seeded plan) used by the tier-1
+//!   fault suite to prove the merged report stays byte-identical to a
+//!   monolithic run under adversarial networks.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod coordinator;
+pub mod journal;
+pub mod protocol;
+pub mod proxy;
+pub mod worker;
+
+pub use backoff::Backoff;
+pub use coordinator::{run_fleet, shutdown_workers, FleetConfig, FleetError, FleetOutcome};
+pub use journal::{load_journal, JournalError, JournalEvent, JournalState, LeaseJournal};
+pub use protocol::{FleetErrorCode, FleetRequest, HelloReply, PollReply, PROTO_VERSION};
+pub use proxy::{FaultAction, FaultPlan, FaultProxy, FaultStats};
+pub use worker::{serve_worker, UnitExecutor, WorkerConfig, WorkerHandle};

@@ -1,0 +1,536 @@
+//! The fleet wire protocol: NDJSON frames between a sweep coordinator
+//! and its workers.
+//!
+//! Frames reuse the serving layer's transport (`reds_serve::wire`) and
+//! response envelope (`{"id":…,"ok":…,"result"/"error":…}`), with a
+//! fleet-specific command set:
+//!
+//! * `fleet_hello` — handshake: protocol version and sweep fingerprint
+//!   must match, and the worker reports its active lease (if any) so a
+//!   reconnecting coordinator can resume polling or abort a stray one.
+//! * `fleet_grant` — hands the worker a *lease*: a batch of
+//!   [`WorkUnit`]s, the attempt number, the owning spec fingerprint,
+//!   and the coordinator's deadline. Re-granting the same lease id is
+//!   idempotent, so a lost response is safe to retry.
+//! * `fleet_poll` — cursor-based fetch of the lease's completed
+//!   records. Every poll doubles as a heartbeat (the coordinator
+//!   extends the lease deadline on success), and because the cursor
+//!   names the resume point, a duplicated or re-sent poll can never
+//!   double-deliver a record.
+//! * `fleet_abort` — discards a lease the coordinator no longer wants.
+//! * `fleet_shutdown` — stops the worker process.
+//!
+//! Every request carries a client-chosen `id` which the response
+//! echoes; a coordinator that re-sends after a timeout skips stale
+//! frames (lower ids) until its own answer arrives, which makes the
+//! whole protocol safe under dropped, delayed, and duplicated frames.
+
+use reds_eval::checkpoint::{record_from_json, record_to_json, unit_from_json, unit_to_json};
+use reds_eval::{UnitRecord, WorkUnit};
+use reds_json::Json;
+
+/// Version of the fleet protocol; a mismatch fails the handshake.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on one fleet frame. Lease grants carry whole unit
+/// batches and polls whole record batches, so this is roomier than the
+/// serving default — but still finite, so a corrupt peer cannot
+/// balloon memory.
+pub const MAX_FLEET_FRAME_BYTES: usize = 64 << 20;
+
+/// Machine-readable error codes of the fleet protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetErrorCode {
+    /// The frame was not valid JSON or not a valid command.
+    Parse,
+    /// The command was well-formed but semantically invalid.
+    BadRequest,
+    /// Handshake fingerprint or protocol version does not match.
+    FingerprintMismatch,
+    /// The worker already runs a different, unfinished lease.
+    Busy,
+    /// The named lease is not (or no longer) held by the worker.
+    UnknownLease,
+    /// The worker failed internally (executor error, panic).
+    Internal,
+}
+
+impl FleetErrorCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::BadRequest => "bad_request",
+            Self::FingerprintMismatch => "fingerprint_mismatch",
+            Self::Busy => "busy",
+            Self::UnknownLease => "unknown_lease",
+            Self::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`FleetErrorCode::as_str`].
+    pub fn from_wire(token: &str) -> Option<Self> {
+        Some(match token {
+            "parse" => Self::Parse,
+            "bad_request" => Self::BadRequest,
+            "fingerprint_mismatch" => Self::FingerprintMismatch,
+            "busy" => Self::Busy,
+            "unknown_lease" => Self::UnknownLease,
+            "internal" => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed coordinator → worker request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetRequest {
+    /// Handshake.
+    Hello {
+        /// Request id.
+        id: u64,
+        /// Sweep fingerprint the coordinator executes.
+        fingerprint: String,
+        /// Coordinator's protocol version.
+        proto: u32,
+    },
+    /// Lease a batch of units to the worker.
+    Grant {
+        /// Request id.
+        id: u64,
+        /// Lease id (coordinator-unique, monotonic).
+        lease: u64,
+        /// Attempt number recorded into every produced record.
+        attempt: u32,
+        /// Fingerprint of the spec every unit in the batch belongs to.
+        spec: String,
+        /// The units to execute.
+        units: Vec<WorkUnit>,
+        /// Coordinator-side lease TTL in milliseconds (informational;
+        /// the coordinator enforces it).
+        deadline_ms: u64,
+    },
+    /// Fetch completed records of a lease from `cursor` on.
+    Poll {
+        /// Request id.
+        id: u64,
+        /// Lease id.
+        lease: u64,
+        /// Number of records the coordinator has already ingested.
+        cursor: usize,
+    },
+    /// Discard a lease.
+    Abort {
+        /// Request id.
+        id: u64,
+        /// Lease id.
+        lease: u64,
+    },
+    /// Stop the worker process.
+    Shutdown {
+        /// Request id.
+        id: u64,
+    },
+}
+
+impl FleetRequest {
+    /// The request's id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Hello { id, .. }
+            | Self::Grant { id, .. }
+            | Self::Poll { id, .. }
+            | Self::Abort { id, .. }
+            | Self::Shutdown { id } => *id,
+        }
+    }
+
+    /// Wire form of the request.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::Hello {
+                id,
+                fingerprint,
+                proto,
+            } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("fleet_hello")),
+                ("fingerprint", Json::str(fingerprint.clone())),
+                ("proto", Json::num(*proto as f64)),
+            ]),
+            Self::Grant {
+                id,
+                lease,
+                attempt,
+                spec,
+                units,
+                deadline_ms,
+            } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("fleet_grant")),
+                ("lease", Json::num(*lease as f64)),
+                ("attempt", Json::num(*attempt as f64)),
+                ("spec", Json::str(spec.clone())),
+                ("units", Json::arr(units.iter().map(unit_to_json))),
+                ("deadline_ms", Json::num(*deadline_ms as f64)),
+            ]),
+            Self::Poll { id, lease, cursor } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("fleet_poll")),
+                ("lease", Json::num(*lease as f64)),
+                ("cursor", Json::num(*cursor as f64)),
+            ]),
+            Self::Abort { id, lease } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("fleet_abort")),
+                ("lease", Json::num(*lease as f64)),
+            ]),
+            Self::Shutdown { id } => Json::obj([
+                ("id", Json::num(*id as f64)),
+                ("cmd", Json::str("fleet_shutdown")),
+            ]),
+        }
+    }
+
+    /// Parses a request frame. On failure returns the best-effort id
+    /// (0 when even that is unreadable) plus code and message, ready
+    /// for [`error_response`].
+    pub fn from_json(doc: &Json) -> Result<Self, (u64, FleetErrorCode, String)> {
+        let id = doc.get("id").and_then(small_uint).unwrap_or(0);
+        let fail = |code, msg: String| Err((id, code, msg));
+        let Some(cmd) = doc.get("cmd").and_then(Json::as_str) else {
+            return fail(FleetErrorCode::Parse, "missing 'cmd'".to_string());
+        };
+        let uint = |key: &str| -> Result<u64, (u64, FleetErrorCode, String)> {
+            doc.get(key).and_then(small_uint).ok_or((
+                id,
+                FleetErrorCode::BadRequest,
+                format!("missing '{key}'"),
+            ))
+        };
+        match cmd {
+            "fleet_hello" => {
+                let fingerprint = doc
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .ok_or((
+                        id,
+                        FleetErrorCode::BadRequest,
+                        "missing 'fingerprint'".to_string(),
+                    ))?
+                    .to_string();
+                Ok(Self::Hello {
+                    id,
+                    fingerprint,
+                    proto: uint("proto")? as u32,
+                })
+            }
+            "fleet_grant" => {
+                let spec = doc
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or((id, FleetErrorCode::BadRequest, "missing 'spec'".to_string()))?
+                    .to_string();
+                let raw_units = doc.get("units").and_then(Json::as_array).ok_or((
+                    id,
+                    FleetErrorCode::BadRequest,
+                    "missing 'units'".to_string(),
+                ))?;
+                let mut units = Vec::with_capacity(raw_units.len());
+                for u in raw_units {
+                    units.push(
+                        unit_from_json(u).map_err(|e| {
+                            (id, FleetErrorCode::BadRequest, format!("bad unit: {e}"))
+                        })?,
+                    );
+                }
+                if units.is_empty() {
+                    return fail(FleetErrorCode::BadRequest, "empty lease".to_string());
+                }
+                Ok(Self::Grant {
+                    id,
+                    lease: uint("lease")?,
+                    attempt: uint("attempt")? as u32,
+                    spec,
+                    units,
+                    deadline_ms: uint("deadline_ms")?,
+                })
+            }
+            "fleet_poll" => Ok(Self::Poll {
+                id,
+                lease: uint("lease")?,
+                cursor: uint("cursor")? as usize,
+            }),
+            "fleet_abort" => Ok(Self::Abort {
+                id,
+                lease: uint("lease")?,
+            }),
+            "fleet_shutdown" => Ok(Self::Shutdown { id }),
+            other => fail(FleetErrorCode::Parse, format!("unknown command '{other}'")),
+        }
+    }
+}
+
+/// A non-negative integer that fits losslessly in `f64`.
+pub fn small_uint(v: &Json) -> Option<u64> {
+    let f = v.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0 && f <= (1u64 << 53) as f64).then_some(f as u64)
+}
+
+/// A success envelope.
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::obj([
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// An error envelope.
+pub fn error_response(id: u64, code: FleetErrorCode, message: impl Into<String>) -> Json {
+    Json::obj([
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(code.as_str())),
+                ("message", Json::str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// The worker's `fleet_hello` result payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloReply {
+    /// Stable per-process worker identity.
+    pub worker: String,
+    /// Worker's protocol version.
+    pub proto: u32,
+    /// The lease the worker is still holding, if any, with its attempt
+    /// and whether execution has finished.
+    pub active_lease: Option<(u64, u32, bool)>,
+}
+
+impl HelloReply {
+    /// Wire form.
+    pub fn to_json(&self) -> Json {
+        let (lease, attempt, done) = match self.active_lease {
+            Some((l, a, d)) => (Json::num(l as f64), Json::num(a as f64), Json::Bool(d)),
+            None => (Json::Null, Json::Null, Json::Bool(false)),
+        };
+        Json::obj([
+            ("worker", Json::str(self.worker.clone())),
+            ("proto", Json::num(self.proto as f64)),
+            ("lease", lease),
+            ("attempt", attempt),
+            ("done", done),
+        ])
+    }
+
+    /// Inverse of [`HelloReply::to_json`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let worker = doc
+            .get("worker")
+            .and_then(Json::as_str)
+            .ok_or("hello reply missing 'worker'")?
+            .to_string();
+        let proto = doc
+            .get("proto")
+            .and_then(small_uint)
+            .ok_or("hello reply missing 'proto'")? as u32;
+        let active_lease = match doc.get("lease") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let lease = small_uint(v).ok_or("hello reply: bad 'lease'")?;
+                let attempt = doc
+                    .get("attempt")
+                    .and_then(small_uint)
+                    .ok_or("hello reply: bad 'attempt'")? as u32;
+                let done = doc
+                    .get("done")
+                    .and_then(Json::as_bool)
+                    .ok_or("hello reply: bad 'done'")?;
+                Some((lease, attempt, done))
+            }
+        };
+        Ok(Self {
+            worker,
+            proto,
+            active_lease,
+        })
+    }
+}
+
+/// The worker's `fleet_poll` result payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollReply {
+    /// The polled lease.
+    pub lease: u64,
+    /// Units executed so far under this lease.
+    pub executed: usize,
+    /// `true` once every unit of the lease has a record.
+    pub done: bool,
+    /// The cursor this batch starts at (echo of the request).
+    pub base: usize,
+    /// Records from `base` on.
+    pub records: Vec<UnitRecord>,
+}
+
+impl PollReply {
+    /// Wire form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("lease", Json::num(self.lease as f64)),
+            ("executed", Json::num(self.executed as f64)),
+            ("done", Json::Bool(self.done)),
+            ("base", Json::num(self.base as f64)),
+            (
+                "records",
+                Json::arr(self.records.iter().map(record_to_json)),
+            ),
+        ])
+    }
+
+    /// Inverse of [`PollReply::to_json`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let uint = |key: &str| {
+            doc.get(key)
+                .and_then(small_uint)
+                .ok_or_else(|| format!("poll reply missing '{key}'"))
+        };
+        let raw = doc
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or("poll reply missing 'records'")?;
+        let mut records = Vec::with_capacity(raw.len());
+        for r in raw {
+            records.push(record_from_json(r).map_err(|e| format!("poll reply: bad record: {e}"))?);
+        }
+        Ok(Self {
+            lease: uint("lease")?,
+            executed: uint("executed")? as usize,
+            done: doc
+                .get("done")
+                .and_then(Json::as_bool)
+                .ok_or("poll reply missing 'done'")?,
+            base: uint("base")? as usize,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(rep: usize) -> WorkUnit {
+        WorkUnit {
+            function: "2".to_string(),
+            n: 100,
+            method: "P".to_string(),
+            method_index: 0,
+            rep,
+            rep_seed: u64::MAX - rep as u64,
+            method_seed: 77 + rep as u64,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            FleetRequest::Hello {
+                id: 1,
+                fingerprint: "cafe".to_string(),
+                proto: PROTO_VERSION,
+            },
+            FleetRequest::Grant {
+                id: 2,
+                lease: 7,
+                attempt: 3,
+                spec: "beef".to_string(),
+                units: vec![unit(0), unit(1)],
+                deadline_ms: 30_000,
+            },
+            FleetRequest::Poll {
+                id: 3,
+                lease: 7,
+                cursor: 1,
+            },
+            FleetRequest::Abort { id: 4, lease: 7 },
+            FleetRequest::Shutdown { id: 5 },
+        ];
+        for r in requests {
+            let parsed = FleetRequest::from_json(&r.to_json()).expect("parses");
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn bad_requests_carry_the_id_and_a_code() {
+        let (id, code, _) = FleetRequest::from_json(
+            &reds_json::from_str("{\"id\":9,\"cmd\":\"fleet_poll\"}").unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(id, 9);
+        assert_eq!(code, FleetErrorCode::BadRequest);
+        let (id, code, _) =
+            FleetRequest::from_json(&reds_json::from_str("{\"cmd\":\"zap\"}").unwrap())
+                .unwrap_err();
+        assert_eq!(id, 0);
+        assert_eq!(code, FleetErrorCode::Parse);
+        // An empty lease is rejected before reaching the worker state.
+        let (_, code, msg) = FleetRequest::from_json(
+            &reds_json::from_str(
+                "{\"id\":1,\"cmd\":\"fleet_grant\",\"lease\":1,\"attempt\":1,\
+                 \"spec\":\"x\",\"units\":[],\"deadline_ms\":5}",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(code, FleetErrorCode::BadRequest);
+        assert!(msg.contains("empty"), "{msg}");
+    }
+
+    #[test]
+    fn hello_and_poll_replies_round_trip() {
+        for reply in [
+            HelloReply {
+                worker: "w-1".to_string(),
+                proto: 1,
+                active_lease: None,
+            },
+            HelloReply {
+                worker: "w-2".to_string(),
+                proto: 1,
+                active_lease: Some((42, 2, true)),
+            },
+        ] {
+            assert_eq!(HelloReply::from_json(&reply.to_json()).unwrap(), reply);
+        }
+        let poll = PollReply {
+            lease: 42,
+            executed: 2,
+            done: false,
+            base: 1,
+            records: Vec::new(),
+        };
+        assert_eq!(PollReply::from_json(&poll.to_json()).unwrap(), poll);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            FleetErrorCode::Parse,
+            FleetErrorCode::BadRequest,
+            FleetErrorCode::FingerprintMismatch,
+            FleetErrorCode::Busy,
+            FleetErrorCode::UnknownLease,
+            FleetErrorCode::Internal,
+        ] {
+            assert_eq!(FleetErrorCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(FleetErrorCode::from_wire("nope"), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! Deterministic fault injection for the fleet protocol.
+//!
+//! [`FaultProxy`] sits between the coordinator and one worker and
+//! mangles traffic at *frame* granularity (one NDJSON line = one
+//! frame): it can pass, drop, duplicate, delay, or truncate-and-cut
+//! any frame in either direction, following a seeded [`FaultPlan`]
+//! consumed as a global per-direction sequence that persists across
+//! reconnections. Because the plan is data, a failing test names a
+//! seed and replays the exact same mutilation.
+//!
+//! Truncation models a torn TCP stream: the proxy forwards a prefix of
+//! the frame's bytes and then severs both sides of the bridge, which
+//! exercises the coordinator's reconnect path and the worker's
+//! torn-frame handling at once.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to do with one forwarded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward the frame unchanged.
+    Pass,
+    /// Swallow the frame entirely.
+    Drop,
+    /// Forward the frame twice back to back.
+    Duplicate,
+    /// Hold the frame for this many milliseconds, then forward it.
+    DelayMs(u64),
+    /// Forward only the first `n` bytes, then cut the bridge in both
+    /// directions (torn frame + connection loss).
+    Truncate(usize),
+}
+
+/// A per-direction script of frame actions. Frames beyond the end of
+/// a script pass through untouched.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Actions applied to frames flowing coordinator → worker.
+    pub to_worker: Vec<FaultAction>,
+    /// Actions applied to frames flowing worker → coordinator.
+    pub to_coordinator: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// A plan that forwards everything untouched.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A seeded random plan: each of the first `frames` frames in each
+    /// direction draws an action, faulty with probability
+    /// `fault_rate`. Faults are drawn from drop / duplicate / delay /
+    /// truncate with equal weight; delays stay small (≤ 40 ms) and
+    /// truncations keep a short prefix, so seeded suites stay fast.
+    pub fn seeded(seed: u64, frames: usize, fault_rate: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let direction = |rng: &mut StdRng| -> Vec<FaultAction> {
+            (0..frames)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) >= fault_rate {
+                        return FaultAction::Pass;
+                    }
+                    match rng.gen_range(0..4u32) {
+                        0 => FaultAction::Drop,
+                        1 => FaultAction::Duplicate,
+                        2 => FaultAction::DelayMs(rng.gen_range(1..=40)),
+                        _ => FaultAction::Truncate(rng.gen_range(1..=24)),
+                    }
+                })
+                .collect()
+        };
+        let to_worker = direction(&mut rng);
+        let to_coordinator = direction(&mut rng);
+        Self {
+            to_worker,
+            to_coordinator,
+        }
+    }
+}
+
+/// Counters of what the proxy actually did, across every connection
+/// it bridged.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Frames forwarded unchanged (includes beyond-plan frames).
+    pub passed: AtomicU64,
+    /// Frames swallowed.
+    pub dropped: AtomicU64,
+    /// Frames sent twice.
+    pub duplicated: AtomicU64,
+    /// Frames delayed before forwarding.
+    pub delayed: AtomicU64,
+    /// Frames truncated (each also cut the bridge).
+    pub truncated: AtomicU64,
+}
+
+struct Script {
+    actions: Vec<FaultAction>,
+    /// Global frame index for this direction — shared by every bridge
+    /// this proxy ever builds, so the plan is consumed exactly once.
+    next: Mutex<usize>,
+}
+
+impl Script {
+    fn take(&self) -> FaultAction {
+        let mut next = self.next.lock().expect("script lock");
+        let action = self
+            .actions
+            .get(*next)
+            .copied()
+            .unwrap_or(FaultAction::Pass);
+        *next += 1;
+        action
+    }
+}
+
+struct ProxyShared {
+    upstream: SocketAddr,
+    stop: AtomicBool,
+    to_worker: Script,
+    to_coordinator: Script,
+    stats: FaultStats,
+}
+
+/// A TCP proxy that perturbs NDJSON frames per a [`FaultPlan`].
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Read slice used by proxy pumps so they notice the stop flag.
+const PUMP_SLICE: Duration = Duration::from_millis(50);
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral local port bridging to
+    /// `upstream` (a worker address) under `plan`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream,
+            stop: AtomicBool::new(false),
+            to_worker: Script {
+                actions: plan.to_worker,
+                next: Mutex::new(0),
+            },
+            to_coordinator: Script {
+                actions: plan.to_coordinator,
+                next: Mutex::new(0),
+            },
+            stats: FaultStats::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::spawn(move || {
+            let mut bridges: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shared.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((downstream, _)) => {
+                        let bridge_shared = Arc::clone(&accept_shared);
+                        bridges.push(std::thread::spawn(move || {
+                            bridge(downstream, bridge_shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+                bridges.retain(|h| !h.is_finished());
+            }
+            for handle in bridges {
+                let _ = handle.join();
+            }
+        });
+        Ok(Self {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the coordinator should dial instead of the worker.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.shared.stats
+    }
+
+    /// Stops accepting and tears down existing bridges.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bridges one downstream (coordinator-side) connection to a fresh
+/// upstream (worker-side) connection, pumping frames both ways until
+/// either side closes, a truncation cuts the bridge, or the proxy
+/// stops.
+fn bridge(downstream: TcpStream, shared: Arc<ProxyShared>) {
+    let Ok(upstream) = TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(5)) else {
+        let _ = downstream.shutdown(Shutdown::Both);
+        return;
+    };
+    downstream.set_nodelay(true).ok();
+    upstream.set_nodelay(true).ok();
+    let (Ok(down_read), Ok(up_read)) = (downstream.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    let cut = Arc::new(AtomicBool::new(false));
+
+    let fwd_shared = Arc::clone(&shared);
+    let fwd_cut = Arc::clone(&cut);
+    let fwd_peer = downstream.try_clone().ok();
+    let forward = std::thread::spawn(move || {
+        pump(
+            down_read,
+            upstream,
+            fwd_peer,
+            |s| &s.to_worker,
+            fwd_shared,
+            fwd_cut,
+        );
+    });
+    let back_peer = up_read.try_clone().ok();
+    pump(
+        up_read,
+        downstream,
+        back_peer,
+        |s| &s.to_coordinator,
+        Arc::clone(&shared),
+        cut,
+    );
+    let _ = forward.join();
+}
+
+/// Reads newline-delimited frames from `from`, applies this
+/// direction's script, and writes to `to`. `peer` is the opposite
+/// direction's write side, severed on truncation.
+fn pump(
+    from: TcpStream,
+    mut to: TcpStream,
+    peer: Option<TcpStream>,
+    script: impl Fn(&ProxyShared) -> &Script,
+    shared: Arc<ProxyShared>,
+    cut: Arc<AtomicBool>,
+) {
+    from.set_read_timeout(Some(PUMP_SLICE)).ok();
+    let mut reader = BufReader::new(from);
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || cut.load(Ordering::SeqCst) {
+            break;
+        }
+        frame.clear();
+        match read_frame_bytes(&mut reader, &mut frame, &shared, &cut) {
+            ReadOutcome::Frame => {}
+            ReadOutcome::Closed => break,
+        }
+        match script(&shared).take() {
+            FaultAction::Pass => {
+                shared.stats.passed.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(&frame).and_then(|()| to.flush()).is_err() {
+                    break;
+                }
+            }
+            FaultAction::Drop => {
+                shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                shared.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                let twice = [&frame[..], &frame[..]].concat();
+                if to.write_all(&twice).and_then(|()| to.flush()).is_err() {
+                    break;
+                }
+            }
+            FaultAction::DelayMs(ms) => {
+                shared.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(ms));
+                if to.write_all(&frame).and_then(|()| to.flush()).is_err() {
+                    break;
+                }
+            }
+            FaultAction::Truncate(n) => {
+                shared.stats.truncated.fetch_add(1, Ordering::Relaxed);
+                let prefix = &frame[..n.min(frame.len())];
+                let _ = to.write_all(prefix).and_then(|()| to.flush());
+                cut.store(true, Ordering::SeqCst);
+                let _ = to.shutdown(Shutdown::Both);
+                if let Some(p) = &peer {
+                    let _ = p.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+enum ReadOutcome {
+    Frame,
+    Closed,
+}
+
+/// Accumulates one newline-terminated frame, tolerating read-timeout
+/// slices so the stop/cut flags stay responsive mid-frame.
+fn read_frame_bytes(
+    reader: &mut BufReader<TcpStream>,
+    frame: &mut Vec<u8>,
+    shared: &ProxyShared,
+    cut: &AtomicBool,
+) -> ReadOutcome {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || cut.load(Ordering::SeqCst) {
+            return ReadOutcome::Closed;
+        }
+        // fill_buf + manual newline scan: read_until would lose bytes
+        // already consumed when a timeout slice interrupts it.
+        let buf = match reader.fill_buf() {
+            Ok([]) => return ReadOutcome::Closed,
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Closed,
+        };
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            frame.extend_from_slice(&buf[..=pos]);
+            reader.consume(pos + 1);
+            return ReadOutcome::Frame;
+        }
+        let n = buf.len();
+        frame.extend_from_slice(buf);
+        reader.consume(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            // Serve a handful of connections, echoing lines back.
+            for _ in 0..8 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {
+                            if writer.write_all(line.as_bytes()).is_err() {
+                                break;
+                            }
+                            let _ = writer.flush();
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(proxy_addr: SocketAddr, msg: &str) -> Option<String> {
+        let stream = TcpStream::connect(proxy_addr).ok()?;
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+        let mut writer = stream.try_clone().ok()?;
+        writer.write_all(msg.as_bytes()).ok()?;
+        writer.flush().ok()?;
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(reply),
+        }
+    }
+
+    #[test]
+    fn clean_plan_passes_frames_through() {
+        let (upstream, _echo) = echo_upstream();
+        let proxy = FaultProxy::start(upstream, FaultPlan::clean()).expect("proxy");
+        let reply = roundtrip(proxy.addr(), "{\"id\":1}\n").expect("echo reply");
+        assert_eq!(reply, "{\"id\":1}\n");
+        assert!(proxy.stats().passed.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn drop_swallows_and_duplicate_doubles() {
+        let (upstream, _echo) = echo_upstream();
+        // First request frame dropped; second passed; echo replies
+        // duplicated.
+        let plan = FaultPlan {
+            to_worker: vec![FaultAction::Drop, FaultAction::Pass],
+            to_coordinator: vec![FaultAction::Duplicate],
+        };
+        let proxy = FaultProxy::start(upstream, plan).expect("proxy");
+        let stream = TcpStream::connect(proxy.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(b"one\n").expect("write");
+        writer.write_all(b"two\n").expect("write");
+        writer.flush().expect("flush");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "two\n", "'one' was dropped");
+        line.clear();
+        reader.read_line(&mut line).expect("read dup");
+        assert_eq!(line, "two\n", "reply was duplicated");
+        assert_eq!(proxy.stats().dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().duplicated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn truncate_cuts_the_bridge_after_a_prefix() {
+        let (upstream, _echo) = echo_upstream();
+        let plan = FaultPlan {
+            to_worker: vec![FaultAction::Pass],
+            to_coordinator: vec![FaultAction::Truncate(3)],
+        };
+        let proxy = FaultProxy::start(upstream, plan).expect("proxy");
+        let stream = TcpStream::connect(proxy.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(b"hello-world\n").expect("write");
+        writer.flush().expect("flush");
+        let mut reader = BufReader::new(stream);
+        let mut got = Vec::new();
+        use std::io::Read as _;
+        let _ = reader.read_to_end(&mut got); // until the cut closes us
+        assert_eq!(got, b"hel", "only the prefix crossed");
+        assert_eq!(proxy.stats().truncated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 64, 0.3);
+        let b = FaultPlan::seeded(42, 64, 0.3);
+        assert_eq!(a.to_worker, b.to_worker);
+        assert_eq!(a.to_coordinator, b.to_coordinator);
+        let c = FaultPlan::seeded(43, 64, 0.3);
+        assert_ne!(
+            (a.to_worker, a.to_coordinator),
+            (c.to_worker, c.to_coordinator),
+            "different seeds diverge"
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! The fleet worker: a TCP server that executes leased [`WorkUnit`]s.
+//!
+//! A worker holds at most one lease at a time. `fleet_grant` starts a
+//! background execution thread that runs the lease's units **in
+//! order**, appending one [`UnitRecord`] per finished unit to an
+//! in-memory log; `fleet_poll` serves that log from a caller-supplied
+//! cursor, so a coordinator that lost a reply (or reconnected through
+//! a flaky link) simply re-polls from its last durable cursor and can
+//! never double-ingest. Results are bit-identical to in-process
+//! execution because every unit carries its own stable seeds — the
+//! worker adds provenance (the lease's attempt number), never payload.
+//!
+//! For the fault suite, [`WorkerConfig::die_after_units`] makes the
+//! worker deterministically "crash" at a unit boundary: the Nth
+//! executed unit's record is discarded (as if the process died before
+//! writing it), the listener closes, and every connection drops —
+//! exactly what a killed process looks like to the coordinator.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use reds_eval::checkpoint::unit_key;
+use reds_eval::{Evaluation, UnitRecord, WorkUnit};
+use reds_json::Json;
+use reds_serve::wire::{self, Frame, Wait};
+
+use crate::protocol::{
+    error_response, ok_response, FleetErrorCode, FleetRequest, HelloReply, PollReply,
+    MAX_FLEET_FRAME_BYTES, PROTO_VERSION,
+};
+
+/// How often blocked reads and the execution loop wake up to check
+/// the stop/died flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Executes one work unit. The fleet crate is deliberately ignorant
+/// of *what* a sweep is — the bench layer implements this over its
+/// `Sweep`, validating that the unit's derived seeds match the spec
+/// the fingerprint names before running it.
+pub trait UnitExecutor: Send + Sync + 'static {
+    /// Fingerprint of the sweep this executor can serve; the handshake
+    /// rejects coordinators running anything else.
+    fn fingerprint(&self) -> String;
+
+    /// Runs one unit of the spec with fingerprint `spec` and returns
+    /// its evaluation, or a message when the unit is foreign.
+    fn execute(&self, spec: &str, unit: &WorkUnit) -> Result<Evaluation, String>;
+}
+
+/// Worker tuning and fault hooks.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Deterministic crash for the fault suite: after executing this
+    /// many units (across all leases), discard that unit's record and
+    /// die — close the listener and every connection without replies.
+    pub die_after_units: Option<usize>,
+}
+
+/// One granted lease and its execution progress.
+struct LeaseRun {
+    id: u64,
+    attempt: u32,
+    n_units: usize,
+    /// Completed records, in unit order; `fleet_poll` serves suffixes.
+    records: Arc<Mutex<Vec<UnitRecord>>>,
+    /// Set when the lease is aborted; the execution thread stops
+    /// appending at the next unit boundary.
+    cancelled: Arc<AtomicBool>,
+}
+
+impl LeaseRun {
+    fn executed(&self) -> usize {
+        self.records.lock().expect("records lock").len()
+    }
+
+    fn done(&self) -> bool {
+        self.executed() == self.n_units
+    }
+}
+
+struct WorkerState {
+    lease: Option<LeaseRun>,
+}
+
+/// The flags the execution thread needs to trip a deterministic
+/// death from outside the connection handlers.
+struct DeathSwitch {
+    stop: AtomicBool,
+    died: AtomicBool,
+    /// Units left before the configured deterministic death;
+    /// `usize::MAX` means never.
+    die_countdown: AtomicUsize,
+    addr: SocketAddr,
+}
+
+impl DeathSwitch {
+    /// Trips the deterministic crash: no replies, no listener, every
+    /// read loop drains out within a poll interval.
+    fn die(&self) {
+        self.died.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        self.nudge_listener();
+    }
+
+    fn nudge_listener(&self) {
+        let _ = TcpStream::connect_timeout(&self.addr, POLL_INTERVAL);
+    }
+}
+
+struct Shared<E> {
+    executor: Arc<E>,
+    worker_id: String,
+    state: Mutex<WorkerState>,
+    switch: Arc<DeathSwitch>,
+}
+
+impl<E: UnitExecutor> Shared<E> {
+    fn handle(&self, request: FleetRequest) -> (Json, bool) {
+        match request {
+            FleetRequest::Hello {
+                id,
+                fingerprint,
+                proto,
+            } => {
+                if proto != PROTO_VERSION {
+                    return (
+                        error_response(
+                            id,
+                            FleetErrorCode::FingerprintMismatch,
+                            format!("worker speaks proto {PROTO_VERSION}, coordinator {proto}"),
+                        ),
+                        false,
+                    );
+                }
+                let ours = self.executor.fingerprint();
+                if fingerprint != ours {
+                    return (
+                        error_response(
+                            id,
+                            FleetErrorCode::FingerprintMismatch,
+                            format!(
+                                "worker executes sweep {ours}, coordinator asked for {fingerprint}"
+                            ),
+                        ),
+                        false,
+                    );
+                }
+                let state = self.state.lock().expect("state lock");
+                let active_lease = state
+                    .lease
+                    .as_ref()
+                    .map(|run| (run.id, run.attempt, run.done()));
+                let reply = HelloReply {
+                    worker: self.worker_id.clone(),
+                    proto: PROTO_VERSION,
+                    active_lease,
+                };
+                (ok_response(id, reply.to_json()), false)
+            }
+            FleetRequest::Grant {
+                id,
+                lease,
+                attempt,
+                spec,
+                units,
+                deadline_ms: _,
+            } => {
+                let mut state = self.state.lock().expect("state lock");
+                if let Some(run) = &state.lease {
+                    if run.id == lease {
+                        // Idempotent re-grant: the first grant's reply
+                        // was lost; acknowledge without restarting.
+                        let accepted = run.n_units;
+                        return (
+                            ok_response(
+                                id,
+                                Json::obj([
+                                    ("lease", Json::num(lease as f64)),
+                                    ("accepted", Json::num(accepted as f64)),
+                                ]),
+                            ),
+                            false,
+                        );
+                    }
+                    if !run.done() && !run.cancelled.load(Ordering::SeqCst) {
+                        return (
+                            error_response(
+                                id,
+                                FleetErrorCode::Busy,
+                                format!("lease {} still executing", run.id),
+                            ),
+                            false,
+                        );
+                    }
+                }
+                let accepted = units.len();
+                let run = self.start_lease(lease, attempt, spec, units);
+                state.lease = Some(run);
+                (
+                    ok_response(
+                        id,
+                        Json::obj([
+                            ("lease", Json::num(lease as f64)),
+                            ("accepted", Json::num(accepted as f64)),
+                        ]),
+                    ),
+                    false,
+                )
+            }
+            FleetRequest::Poll { id, lease, cursor } => {
+                let state = self.state.lock().expect("state lock");
+                let Some(run) = state.lease.as_ref().filter(|r| r.id == lease) else {
+                    return (
+                        error_response(
+                            id,
+                            FleetErrorCode::UnknownLease,
+                            format!("lease {lease} is not held here"),
+                        ),
+                        false,
+                    );
+                };
+                let records = run.records.lock().expect("records lock");
+                let reply = PollReply {
+                    lease,
+                    executed: records.len(),
+                    done: records.len() == run.n_units,
+                    base: cursor,
+                    records: records.get(cursor..).unwrap_or(&[]).to_vec(),
+                };
+                (ok_response(id, reply.to_json()), false)
+            }
+            FleetRequest::Abort { id, lease } => {
+                let mut state = self.state.lock().expect("state lock");
+                match state.lease.as_ref().filter(|r| r.id == lease) {
+                    Some(run) => {
+                        run.cancelled.store(true, Ordering::SeqCst);
+                        state.lease = None;
+                        (
+                            ok_response(
+                                id,
+                                Json::obj([
+                                    ("lease", Json::num(lease as f64)),
+                                    ("aborted", Json::Bool(true)),
+                                ]),
+                            ),
+                            false,
+                        )
+                    }
+                    // Idempotent: aborting a lease we no longer hold
+                    // is exactly what the coordinator wanted.
+                    None => (
+                        ok_response(
+                            id,
+                            Json::obj([
+                                ("lease", Json::num(lease as f64)),
+                                ("aborted", Json::Bool(false)),
+                            ]),
+                        ),
+                        false,
+                    ),
+                }
+            }
+            FleetRequest::Shutdown { id } => (
+                ok_response(id, Json::obj([("shutdown", Json::Bool(true))])),
+                true,
+            ),
+        }
+    }
+
+    fn start_lease(
+        &self,
+        lease: u64,
+        attempt: u32,
+        spec: String,
+        units: Vec<WorkUnit>,
+    ) -> LeaseRun {
+        let records = Arc::new(Mutex::new(Vec::with_capacity(units.len())));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let run = LeaseRun {
+            id: lease,
+            attempt,
+            n_units: units.len(),
+            records: Arc::clone(&records),
+            cancelled: Arc::clone(&cancelled),
+        };
+        let executor = Arc::clone(&self.executor);
+        let switch = Arc::clone(&self.switch);
+        let worker_id = self.worker_id.clone();
+        std::thread::spawn(move || {
+            for unit in units {
+                if cancelled.load(Ordering::SeqCst) || switch.died.load(Ordering::SeqCst) {
+                    return;
+                }
+                let eval = match executor.execute(&spec, &unit) {
+                    Ok(eval) => eval,
+                    Err(message) => {
+                        // A foreign unit poisons the lease: cancel it so
+                        // `done` never comes true and the coordinator's
+                        // deadline reassigns the units elsewhere.
+                        eprintln!(
+                            "worker {worker_id}: unit {} rejected: {message}",
+                            unit_key(&spec, &unit)
+                        );
+                        cancelled.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                // Deterministic crash at a unit boundary: this unit's
+                // work happened but its record is never published —
+                // the coordinator must reassign and a later attempt's
+                // bit-identical record must win.
+                let countdown = switch.die_countdown.fetch_sub(1, Ordering::SeqCst);
+                if countdown != usize::MAX && countdown <= 1 {
+                    switch.die();
+                    return;
+                }
+                records.lock().expect("records lock").push(UnitRecord {
+                    spec: spec.clone(),
+                    unit,
+                    eval,
+                    attempt,
+                });
+            }
+        });
+        run
+    }
+}
+
+/// A running worker; keep the handle to control and join it.
+pub struct WorkerHandle<E: UnitExecutor> {
+    addr: SocketAddr,
+    shared: Arc<Shared<E>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<E: UnitExecutor> WorkerHandle<E> {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once the deterministic crash hook has fired.
+    pub fn died(&self) -> bool {
+        self.shared.switch.died.load(Ordering::SeqCst)
+    }
+
+    /// Stops the worker and joins its threads.
+    pub fn shutdown(mut self) {
+        self.shared.switch.stop.store(true, Ordering::SeqCst);
+        self.shared.switch.nudge_listener();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits for the worker to stop on its own (a coordinator's
+    /// `fleet_shutdown`, or the death hook); returns `true` when the
+    /// deterministic crash hook is what stopped it.
+    pub fn join(mut self) -> bool {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.switch.died.load(Ordering::SeqCst)
+    }
+}
+
+fn handle_connection<E: UnitExecutor>(stream: TcpStream, shared: Arc<Shared<E>>) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    loop {
+        if shared.switch.stop.load(Ordering::SeqCst) {
+            return; // a died worker drops the socket with no goodbye
+        }
+        let mut wait = || -> Wait {
+            if shared.switch.stop.load(Ordering::SeqCst) {
+                Wait::GiveUp
+            } else {
+                Wait::Retry
+            }
+        };
+        let frame = match wire::read_frame(&mut reader, MAX_FLEET_FRAME_BYTES, &mut wait) {
+            Ok(Frame::Line(line)) => line,
+            Ok(Frame::TooLarge) => {
+                let _ = wire::write_frame(
+                    &mut writer,
+                    &error_response(0, FleetErrorCode::Parse, "frame too large"),
+                );
+                return;
+            }
+            Ok(Frame::Eof) | Ok(Frame::TimedOut) | Err(_) => return,
+        };
+        let text = String::from_utf8_lossy(&frame);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match reds_json::from_str(&text) {
+            Err(e) => (
+                error_response(0, FleetErrorCode::Parse, e.to_string()),
+                false,
+            ),
+            Ok(doc) => match FleetRequest::from_json(&doc) {
+                Err((id, code, message)) => (error_response(id, code, message), false),
+                Ok(request) => shared.handle(request),
+            },
+        };
+        if shared.switch.died.load(Ordering::SeqCst) {
+            return; // death raced the request: no reply, like a kill
+        }
+        if wire::write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.switch.stop.store(true, Ordering::SeqCst);
+            shared.switch.nudge_listener();
+            return;
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves the fleet protocol
+/// with `executor` until shutdown or the configured death.
+pub fn serve_worker<E: UnitExecutor>(
+    executor: E,
+    addr: &str,
+    config: WorkerConfig,
+) -> std::io::Result<WorkerHandle<E>> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        executor: Arc::new(executor),
+        // Stable per-process identity; ports are ephemeral but unique
+        // while the worker lives, which is all the coordinator needs.
+        worker_id: format!("w-{}", addr.port()),
+        state: Mutex::new(WorkerState { lease: None }),
+        switch: Arc::new(DeathSwitch {
+            stop: AtomicBool::new(false),
+            died: AtomicBool::new(false),
+            die_countdown: AtomicUsize::new(config.die_after_units.unwrap_or(usize::MAX)),
+            addr,
+        }),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shared.switch.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = Arc::clone(&accept_shared);
+            workers.push(std::thread::spawn(move || {
+                handle_connection(stream, conn_shared);
+            }));
+            workers.retain(|h| !h.is_finished());
+        }
+        drop(listener); // a died worker refuses new connections
+        for h in workers {
+            let _ = h.join();
+        }
+    });
+    Ok(WorkerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}

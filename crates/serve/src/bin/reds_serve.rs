@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p reds-serve --bin reds_serve -- \
 //!     --model model.json [--addr 127.0.0.1:7878] \
-//!     [--max-frame-bytes N] [--max-rows N] [--max-discover-l N]
+//!     [--max-frame-bytes N] [--max-rows N] [--max-discover-l N] \
+//!     [--max-connections N]
 //! ```
 //!
 //! Prints `listening on <addr>` on stdout once ready, so scripts can
@@ -16,7 +17,7 @@ use std::process::exit;
 use reds_serve::{serve, ModelArtifact, ServeLimits};
 
 const USAGE: &str = "usage: reds_serve --model <artifact.json> [--addr HOST:PORT] \
-[--max-frame-bytes N] [--max-rows N] [--max-discover-l N]";
+[--max-frame-bytes N] [--max-rows N] [--max-discover-l N] [--max-connections N]";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
@@ -40,6 +41,7 @@ fn main() {
             "--max-frame-bytes" => limits.max_frame_bytes = parse_usize(&flag, &value("a size")),
             "--max-rows" => limits.max_rows_per_request = parse_usize(&flag, &value("a count")),
             "--max-discover-l" => limits.max_discover_l = parse_usize(&flag, &value("a count")),
+            "--max-connections" => limits.max_connections = parse_usize(&flag, &value("a count")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;

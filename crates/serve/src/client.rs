@@ -1,8 +1,13 @@
 //! A small blocking client for the serving protocol, used by the
 //! integration tests, the CI smoke test, and the `reds_client` CLI.
+//!
+//! Every read runs under a socket read timeout with a bounded retry
+//! budget — a stalled or wedged server surfaces as a structured
+//! [`ClientError::Timeout`] after the configured patience instead of
+//! blocking the calling thread forever.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -10,6 +15,17 @@ use reds_json::Json;
 use reds_subgroup::SdResult;
 
 use crate::protocol::{DiscoverParams, Request, StreamDiscoverParams};
+use crate::wire::{self, Frame, RetryBudget};
+
+/// How long each blocking read waits before re-checking its budget;
+/// the total patience is [`Client::set_timeout`]'s duration rounded up
+/// to a whole number of these slices.
+const READ_SLICE: Duration = Duration::from_millis(250);
+
+/// Replies slower than this are treated as a dead server. Generous,
+/// because `discover` at large `l` legitimately takes a while — but
+/// finite, so no caller ever hangs forever by default.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -18,9 +34,14 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server's reply could not be understood.
     Protocol(String),
+    /// No complete reply arrived within the configured read timeout.
+    Timeout {
+        /// The total patience that was exhausted.
+        after: Duration,
+    },
     /// The server answered with a structured error.
     Server {
-        /// Wire error code ("parse", "bad_request", …).
+        /// Wire error code ("parse", "bad_request", "too_busy", …).
         code: String,
         /// Server-provided description.
         message: String,
@@ -32,6 +53,9 @@ impl fmt::Display for ClientError {
         match self {
             Self::Io(e) => write!(f, "transport error: {e}"),
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Timeout { after } => {
+                write!(f, "no reply within {:.1}s", after.as_secs_f64())
+            }
             Self::Server { code, message } => write!(f, "server error [{code}]: {message}"),
         }
     }
@@ -50,23 +74,31 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    timeout: Duration,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server. Replies are awaited under
+    /// [`DEFAULT_TIMEOUT`]; adjust with [`Client::set_timeout`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        // The socket timeout paces the retry loop; the *total* patience
+        // is enforced by a RetryBudget per read, so it can be changed
+        // later without touching socket options.
+        stream.set_read_timeout(Some(READ_SLICE))?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             next_id: 1,
+            timeout: DEFAULT_TIMEOUT,
         })
     }
 
-    /// Sets a read timeout on replies (`None` blocks indefinitely).
+    /// Sets the total patience for each reply. `None` restores the
+    /// default — reads are always bounded; there is no infinite mode.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
-        self.writer.set_read_timeout(timeout)?;
+        self.timeout = timeout.unwrap_or(DEFAULT_TIMEOUT);
         Ok(())
     }
 
@@ -80,15 +112,26 @@ impl Client {
     }
 
     fn read_response(&mut self) -> Result<Json, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol(
+        let mut budget = RetryBudget::for_total(self.timeout, READ_SLICE);
+        // The server never sends a frame this large; the cap only stops
+        // a corrupted or hostile stream from ballooning client memory.
+        const MAX_RESPONSE_BYTES: usize = 256 << 20;
+        match wire::read_frame(&mut self.reader, MAX_RESPONSE_BYTES, &mut budget)? {
+            Frame::Line(line) => {
+                let text = String::from_utf8_lossy(&line);
+                reds_json::from_str(text.trim())
+                    .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+            }
+            Frame::Eof => Err(ClientError::Protocol(
                 "server closed the connection".to_string(),
-            ));
+            )),
+            Frame::TooLarge => Err(ClientError::Protocol(format!(
+                "response frame exceeds {MAX_RESPONSE_BYTES} bytes"
+            ))),
+            Frame::TimedOut => Err(ClientError::Timeout {
+                after: self.timeout,
+            }),
         }
-        reds_json::from_str(line.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
     }
 
     /// Sends a request and returns the `result` object of a successful
@@ -101,12 +144,17 @@ impl Client {
         self.writer.flush()?;
         let doc = self.read_response()?;
         let id = doc.get("id").and_then(Json::as_f64).unwrap_or(-1.0);
-        if id != sent_id as f64 {
+        let ok = doc.get("ok").and_then(Json::as_bool);
+        // Accept error frames carrying id 0 even when a different id was
+        // sent: the server answers pre-request failures that way — an
+        // admission-control `too_busy` refusal at accept time, or a
+        // frame the server could not parse back to an id.
+        if id != sent_id as f64 && !(id == 0.0 && ok == Some(false)) {
             return Err(ClientError::Protocol(format!(
                 "response id {id} does not match request id {sent_id}"
             )));
         }
-        match doc.get("ok").and_then(Json::as_bool) {
+        match ok {
             Some(true) => doc
                 .get("result")
                 .cloned()

@@ -31,6 +31,7 @@ pub mod batch;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod wire;
 
 pub use artifact::{ArtifactError, ModelArtifact, POOL_DESIGN_UNIFORM};
 pub use client::{Client, ClientError};
@@ -40,3 +41,4 @@ pub use protocol::{
 pub use server::{
     run_discover, run_discover_streaming, serve, validate_points, ServerHandle, Service,
 };
+pub use wire::{Frame, RetryBudget, Wait, WaitPolicy};

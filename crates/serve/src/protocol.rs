@@ -38,6 +38,10 @@ pub struct ServeLimits {
     /// Maximum pseudo-label sample size `L` a `discover` request may
     /// ask for.
     pub max_discover_l: usize,
+    /// Maximum concurrently served connections. A connection beyond the
+    /// cap is answered with a single `too_busy` error frame and closed
+    /// instead of spawning an unbounded handler thread.
+    pub max_connections: usize,
 }
 
 impl Default for ServeLimits {
@@ -46,6 +50,7 @@ impl Default for ServeLimits {
             max_frame_bytes: 8 * 1024 * 1024,
             max_rows_per_request: 262_144,
             max_discover_l: 1_000_000,
+            max_connections: 256,
         }
     }
 }
@@ -60,6 +65,9 @@ pub enum ErrorCode {
     BadRequest,
     /// The request exceeds a configured limit.
     TooLarge,
+    /// The server is at its concurrent-connection (or lease) capacity;
+    /// the peer should back off and retry.
+    TooBusy,
     /// The server failed internally; the request may be retried.
     Internal,
 }
@@ -71,6 +79,7 @@ impl ErrorCode {
             Self::Parse => "parse",
             Self::BadRequest => "bad_request",
             Self::TooLarge => "too_large",
+            Self::TooBusy => "too_busy",
             Self::Internal => "internal",
         }
     }
@@ -82,6 +91,7 @@ impl ErrorCode {
             "parse" => Self::Parse,
             "bad_request" => Self::BadRequest,
             "too_large" => Self::TooLarge,
+            "too_busy" => Self::TooBusy,
             _ => Self::Internal,
         }
     }
@@ -126,6 +136,11 @@ impl ServeError {
     /// A `too_large` error.
     pub fn too_large(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::TooLarge, message)
+    }
+
+    /// A `too_busy` error.
+    pub fn too_busy(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::TooBusy, message)
     }
 
     /// An `internal` error.

@@ -6,10 +6,10 @@
 //! caught and converted to `internal` errors, so a serving process
 //! never dies on a request.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ use crate::protocol::{
     error_response, ok_response, Algorithm, DiscoverParams, Request, ServeError, ServeLimits,
     StreamDiscoverParams,
 };
+use crate::wire::{self, Frame, Wait};
 
 /// How often blocked reads wake up to check the shutdown flag; bounds
 /// how long a clean shutdown can take.
@@ -175,6 +176,8 @@ pub struct Service {
     batcher: Batcher,
     limits: ServeLimits,
     connections: AtomicU64,
+    active_connections: Arc<AtomicUsize>,
+    rejected_connections: AtomicU64,
 }
 
 impl Service {
@@ -195,6 +198,8 @@ impl Service {
             batcher,
             limits,
             connections: AtomicU64::new(0),
+            active_connections: Arc::new(AtomicUsize::new(0)),
+            rejected_connections: AtomicU64::new(0),
         }
     }
 
@@ -305,6 +310,14 @@ impl Service {
                 "connections",
                 Json::num(self.connections.load(Ordering::Relaxed) as f64),
             ),
+            (
+                "active_connections",
+                Json::num(self.active_connections.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_connections",
+                Json::num(self.rejected_connections.load(Ordering::Relaxed) as f64),
+            ),
         ])
     }
 
@@ -376,106 +389,6 @@ impl Service {
     }
 }
 
-/// Outcome of reading one frame.
-enum Frame {
-    /// A complete line (newline stripped).
-    Line(Vec<u8>),
-    /// Peer closed the connection.
-    Eof,
-    /// The line exceeded the frame limit.
-    TooLarge,
-}
-
-/// Reads one newline-terminated frame with a size cap, waking every
-/// [`POLL_INTERVAL`] to check `stop`.
-fn read_frame(
-    reader: &mut BufReader<TcpStream>,
-    max_bytes: usize,
-    stop: &AtomicBool,
-) -> io::Result<Option<Frame>> {
-    let mut line = Vec::new();
-    loop {
-        let buf = match reader.fill_buf() {
-            Ok(buf) => buf,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if buf.is_empty() {
-            return Ok(Some(if line.is_empty() {
-                Frame::Eof
-            } else {
-                // Trailing frame without a final newline: accept it.
-                Frame::Line(std::mem::take(&mut line))
-            }));
-        }
-        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
-            line.extend_from_slice(&buf[..at]);
-            reader.consume(at + 1);
-            if line.len() > max_bytes {
-                return Ok(Some(Frame::TooLarge));
-            }
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            return Ok(Some(Frame::Line(line)));
-        }
-        let chunk = buf.len();
-        line.extend_from_slice(buf);
-        reader.consume(chunk);
-        if line.len() > max_bytes {
-            return Ok(Some(Frame::TooLarge));
-        }
-    }
-}
-
-/// Discards the tail of a rejected over-long line up to its newline,
-/// EOF, `max_drain` bytes, or the first read timeout (a quiet peer has
-/// finished writing). Lets the peer's blocked write complete so the
-/// already-queued error response arrives intact instead of being
-/// destroyed by a connection reset.
-fn drain_oversized_line(reader: &mut BufReader<TcpStream>, max_drain: usize) -> io::Result<()> {
-    let mut drained = 0usize;
-    loop {
-        let buf = match reader.fill_buf() {
-            Ok(buf) => buf,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Ok(())
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if buf.is_empty() {
-            return Ok(());
-        }
-        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
-            reader.consume(at + 1);
-            return Ok(());
-        }
-        let chunk = buf.len();
-        reader.consume(chunk);
-        drained += chunk;
-        if drained > max_drain {
-            return Ok(());
-        }
-    }
-}
-
 fn handle_connection(
     stream: TcpStream,
     service: Arc<Service>,
@@ -486,46 +399,50 @@ fn handle_connection(
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    // The server's patience is its shutdown flag: blocked reads retry
+    // until `stop` flips, then the connection winds down cleanly.
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let frame = match read_frame(&mut reader, service.limits().max_frame_bytes, &stop)? {
-            None | Some(Frame::Eof) => return Ok(()),
-            Some(Frame::TooLarge) => {
-                // The rest of the over-long line cannot be resynchronized
-                // safely, so answer once and drop the connection.
-                let err = ServeError::too_large(format!(
-                    "frame exceeds {} bytes",
-                    service.limits().max_frame_bytes
-                ));
-                let mut text = error_response(0, &err).to_string_compact();
-                text.push('\n');
-                writer.write_all(text.as_bytes())?;
-                writer.flush()?;
-                // Consume (and discard) the remainder of the over-long
-                // line before closing: the peer is typically still
-                // blocked writing it, and closing with unread data in
-                // the receive buffer resets the connection, destroying
-                // the error response we just queued. Bounded so an
-                // endless line cannot pin the thread.
-                drain_oversized_line(
-                    &mut reader,
-                    service.limits().max_frame_bytes.saturating_mul(8),
-                )?;
-                return Ok(());
+        let mut wait = || -> Wait {
+            if stop.load(Ordering::SeqCst) {
+                Wait::GiveUp
+            } else {
+                Wait::Retry
             }
-            Some(Frame::Line(line)) => line,
         };
+        let frame =
+            match wire::read_frame(&mut reader, service.limits().max_frame_bytes, &mut wait)? {
+                Frame::TimedOut | Frame::Eof => return Ok(()),
+                Frame::TooLarge => {
+                    // The rest of the over-long line cannot be resynchronized
+                    // safely, so answer once and drop the connection.
+                    let err = ServeError::too_large(format!(
+                        "frame exceeds {} bytes",
+                        service.limits().max_frame_bytes
+                    ));
+                    wire::write_frame(&mut writer, &error_response(0, &err))?;
+                    // Consume (and discard) the remainder of the over-long
+                    // line before closing: the peer is typically still
+                    // blocked writing it, and closing with unread data in
+                    // the receive buffer resets the connection, destroying
+                    // the error response we just queued. Bounded so an
+                    // endless line cannot pin the thread.
+                    wire::drain_oversized_line(
+                        &mut reader,
+                        service.limits().max_frame_bytes.saturating_mul(8),
+                    )?;
+                    return Ok(());
+                }
+                Frame::Line(line) => line,
+            };
         let text = String::from_utf8_lossy(&frame);
         if text.trim().is_empty() {
             continue;
         }
         let (response, shutdown) = service.handle_frame(&text);
-        let mut out = response.to_string_compact();
-        out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        writer.flush()?;
+        wire::write_frame(&mut writer, &response)?;
         if shutdown {
             stop.store(true, Ordering::SeqCst);
             // Nudge the accept loop out of its blocking accept.
@@ -596,10 +513,31 @@ pub fn serve(artifact: ModelArtifact, addr: &str, limits: ServeLimits) -> io::Re
             }
             let Ok(stream) = stream else { continue };
             accept_service.connections.fetch_add(1, Ordering::Relaxed);
+            // Admission control: beyond `max_connections` concurrently
+            // served sockets, answer with a structured `too_busy` frame
+            // and close instead of spawning an unbounded thread. The
+            // gauge is incremented *here* (not in the worker) so a burst
+            // of accepts cannot race past the cap before any worker
+            // starts.
+            let active = Arc::clone(&accept_service.active_connections);
+            if active.fetch_add(1, Ordering::SeqCst) >= accept_service.limits.max_connections {
+                active.fetch_sub(1, Ordering::SeqCst);
+                accept_service
+                    .rejected_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ServeError::too_busy(format!(
+                    "server is at its limit of {} concurrent connections; retry later",
+                    accept_service.limits.max_connections
+                ));
+                let mut stream = stream;
+                let _ = wire::write_frame(&mut stream, &error_response(0, &err));
+                continue;
+            }
             let svc = Arc::clone(&accept_service);
             let conn_stop = Arc::clone(&accept_stop);
             workers.push(std::thread::spawn(move || {
                 let _ = handle_connection(stream, svc, conn_stop, addr);
+                active.fetch_sub(1, Ordering::SeqCst);
             }));
             // Reap finished connection threads so a long-lived server
             // does not accumulate handles.

@@ -1,0 +1,251 @@
+//! NDJSON frame transport shared by every wire consumer: the serving
+//! server/client and the fleet coordinator/worker protocol.
+//!
+//! A *frame* is one newline-terminated line. The reader enforces a
+//! byte cap (a peer cannot balloon memory with an endless line) and is
+//! generic over [`BufRead`], so property tests can drive it with
+//! in-memory byte slices — including torn frames: EOF mid-payload
+//! yields the partial line, whose JSON parse then fails *cleanly* at
+//! the protocol layer instead of hanging or panicking here.
+//!
+//! Sockets are expected to carry a read timeout; every blocking wakeup
+//! (`WouldBlock`/`TimedOut`) is routed through a caller-supplied
+//! [`WaitPolicy`] so each consumer bounds its own patience: the server
+//! waits until its shutdown flag flips, clients and the fleet
+//! coordinator spend a finite retry budget and then surface a
+//! structured timeout instead of blocking a thread forever.
+
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+use reds_json::Json;
+
+/// Outcome of reading one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped). A trailing line without a
+    /// final newline before EOF is also accepted — half-transmitted
+    /// *content* is the protocol layer's problem, not the framing's.
+    Line(Vec<u8>),
+    /// Peer closed the connection before sending anything.
+    Eof,
+    /// The line exceeded the frame limit; the rest of it is unread.
+    TooLarge,
+    /// The [`WaitPolicy`] gave up before a full frame arrived.
+    TimedOut,
+}
+
+/// What to do when the underlying read would block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Try the read again (the socket's read timeout paces the loop).
+    Retry,
+    /// Stop reading; [`read_frame`] returns [`Frame::TimedOut`].
+    GiveUp,
+}
+
+/// Per-read patience of a frame consumer.
+pub trait WaitPolicy {
+    /// Called on every `WouldBlock`/`TimedOut` wakeup of the socket.
+    fn on_block(&mut self) -> Wait;
+}
+
+impl<F: FnMut() -> Wait> WaitPolicy for F {
+    fn on_block(&mut self) -> Wait {
+        self()
+    }
+}
+
+/// A [`WaitPolicy`] that retries a bounded number of wakeups and then
+/// gives up — with a socket read timeout of `t`, a budget of `n` bounds
+/// the total wait for one frame by roughly `n × t`.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    remaining: u64,
+}
+
+impl RetryBudget {
+    /// A budget of `n` wakeups.
+    pub fn new(n: u64) -> Self {
+        Self { remaining: n }
+    }
+
+    /// The budget that bounds `total` of waiting at a socket read
+    /// timeout of `per_wait` (rounded up, minimum one wakeup).
+    pub fn for_total(total: Duration, per_wait: Duration) -> Self {
+        let per = per_wait.as_millis().max(1);
+        Self::new((total.as_millis().div_ceil(per).max(1)) as u64)
+    }
+}
+
+impl WaitPolicy for RetryBudget {
+    fn on_block(&mut self) -> Wait {
+        if self.remaining == 0 {
+            Wait::GiveUp
+        } else {
+            self.remaining -= 1;
+            Wait::Retry
+        }
+    }
+}
+
+/// Reads one newline-terminated frame with a size cap. Blocking
+/// wakeups consult `wait`; genuine transport failures are returned as
+/// errors. Torn input (EOF mid-payload) comes back as a `Line` whose
+/// content the protocol layer will reject — never a panic or a hang.
+pub fn read_frame<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    wait: &mut impl WaitPolicy,
+) -> io::Result<Frame> {
+    let mut line = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                match wait.on_block() {
+                    Wait::Retry => continue,
+                    Wait::GiveUp => return Ok(Frame::TimedOut),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                Frame::Eof
+            } else {
+                // Trailing frame without a final newline: accept it.
+                Frame::Line(std::mem::take(&mut line))
+            });
+        }
+        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
+            if line.len() + at > max_bytes {
+                // Leave the newline unconsumed so the caller's
+                // drain_oversized_line stops at it instead of eating
+                // the *next* frame (stream desync).
+                reader.consume(at);
+                return Ok(Frame::TooLarge);
+            }
+            line.extend_from_slice(&buf[..at]);
+            reader.consume(at + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Frame::Line(line));
+        }
+        let chunk = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(chunk);
+        if line.len() > max_bytes {
+            return Ok(Frame::TooLarge);
+        }
+    }
+}
+
+/// Discards the tail of a rejected over-long line up to its newline,
+/// EOF, `max_drain` bytes, or the first read timeout (a quiet peer has
+/// finished writing). Lets the peer's blocked write complete so an
+/// already-queued error response arrives intact instead of being
+/// destroyed by a connection reset.
+pub fn drain_oversized_line<R: BufRead>(reader: &mut R, max_drain: usize) -> io::Result<()> {
+    let mut drained = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if let Some(at) = buf.iter().position(|&b| b == b'\n') {
+            reader.consume(at + 1);
+            return Ok(());
+        }
+        let chunk = buf.len();
+        reader.consume(chunk);
+        drained += chunk;
+        if drained > max_drain {
+            return Ok(());
+        }
+    }
+}
+
+/// Serializes `doc` as one frame (compact JSON + newline) and flushes.
+pub fn write_frame<W: Write>(writer: &mut W, doc: &Json) -> io::Result<()> {
+    let mut text = doc.to_string_compact();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn never_block() -> impl WaitPolicy {
+        || -> Wait { panic!("in-memory reads never block") }
+    }
+
+    #[test]
+    fn frames_split_on_newlines_and_accept_trailing_tail() {
+        let mut r = Cursor::new(b"{\"a\":1}\n{\"b\":2}\r\ntail".to_vec());
+        assert_eq!(
+            read_frame(&mut r, 1024, &mut never_block()).unwrap(),
+            Frame::Line(b"{\"a\":1}".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut r, 1024, &mut never_block()).unwrap(),
+            Frame::Line(b"{\"b\":2}".to_vec()),
+            "CR is stripped"
+        );
+        assert_eq!(
+            read_frame(&mut r, 1024, &mut never_block()).unwrap(),
+            Frame::Line(b"tail".to_vec()),
+            "EOF mid-payload yields the torn prefix"
+        );
+        assert_eq!(
+            read_frame(&mut r, 1024, &mut never_block()).unwrap(),
+            Frame::Eof
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_reading_them_whole() {
+        let mut r = Cursor::new(vec![b'x'; 1 << 20]);
+        assert_eq!(
+            read_frame(&mut r, 64, &mut never_block()).unwrap(),
+            Frame::TooLarge
+        );
+    }
+
+    #[test]
+    fn retry_budget_gives_up_after_n_wakeups() {
+        let mut budget = RetryBudget::new(3);
+        assert_eq!(budget.on_block(), Wait::Retry);
+        assert_eq!(budget.on_block(), Wait::Retry);
+        assert_eq!(budget.on_block(), Wait::Retry);
+        assert_eq!(budget.on_block(), Wait::GiveUp);
+        let mut total =
+            RetryBudget::for_total(Duration::from_millis(500), Duration::from_millis(200));
+        assert_eq!(total.on_block(), Wait::Retry);
+        assert_eq!(total.on_block(), Wait::Retry);
+        assert_eq!(total.on_block(), Wait::Retry);
+        assert_eq!(total.on_block(), Wait::GiveUp);
+    }
+}

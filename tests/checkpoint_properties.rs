@@ -98,6 +98,7 @@ fn arb_record() -> impl Strategy<Value = UnitRecord> {
                     runtime_ms: rt,
                     last_box,
                 },
+                attempt: (mi % 4) as u32,
             },
         )
 }
@@ -108,6 +109,7 @@ fn bits_eq(a: f64, b: f64) -> bool {
 
 fn record_eq(a: &UnitRecord, b: &UnitRecord) -> bool {
     a.spec == b.spec
+        && a.attempt == b.attempt
         && a.unit == b.unit
         && bits_eq(a.eval.pr_auc, b.eval.pr_auc)
         && bits_eq(a.eval.precision, b.eval.precision)
@@ -237,5 +239,135 @@ proptest! {
             merge_records("bbbb", &[shard]),
             Err(CheckpointError::FingerprintMismatch { .. })
         ));
+    }
+}
+
+// Satellite coverage for the fleet PR: `CheckpointWriter::resume`
+// commits its rewrite with tmp-write -> rename. A process can die
+// between those two steps in either order's aftermath — leaving a
+// stale (even hostile) `.tmp` beside an intact checkpoint, or having
+// renamed and then died before appending anything. Both must resume
+// cleanly with zero record loss.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn resume_survives_a_crash_before_the_rename(
+        records in prop::collection::vec(arb_record(), 1..8),
+        garbage in prop::collection::vec(0u32..256, 0..64),
+    ) {
+        let records = distinct(records);
+        let path = tmp_file("crash-pre-rename");
+        let header = CheckpointHeader::new("dead1", 0, 1);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+
+        // A previous resume died after writing its tmp but before the
+        // rename: the tmp's content is untrusted (here: arbitrary
+        // bytes, possibly a torn copy). The checkpoint itself is still
+        // the old, intact file.
+        let tmp = path.with_extension("tmp");
+        let bytes: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        std::fs::write(&tmp, &bytes).expect("plant stale tmp");
+
+        let (w2, resumed) = CheckpointWriter::resume(&path, &header).expect("resume");
+        drop(w2);
+        prop_assert_eq!(resumed.len(), records.len(), "no record lost to the stale tmp");
+        for (a, b) in records.iter().zip(&resumed) {
+            prop_assert!(record_eq(a, b));
+        }
+        // The commit replaced the checkpoint; the stale tmp is gone
+        // (renamed over the original), so a third resume is clean too.
+        prop_assert!(!tmp.exists(), "stale tmp must not linger");
+        let ck = load_checkpoint(&path).expect("reload");
+        prop_assert_eq!(ck.records.len(), records.len());
+        prop_assert!(!ck.truncated);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_survives_a_crash_after_the_rename(
+        records in prop::collection::vec(arb_record(), 1..8),
+        extra in arb_record(),
+    ) {
+        let mut records = distinct(records);
+        let path = tmp_file("crash-post-rename");
+        let header = CheckpointHeader::new("dead2", 0, 1);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+
+        // First resume completes its rename and then the process dies
+        // before appending anything new (writer dropped immediately).
+        let (w1, first) = CheckpointWriter::resume(&path, &header).expect("first resume");
+        drop(w1);
+        prop_assert_eq!(first.len(), records.len());
+        prop_assert!(!path.with_extension("tmp").exists());
+
+        // Second resume sees the committed rewrite and keeps working:
+        // appends land after the preserved prefix.
+        let (mut w2, second) = CheckpointWriter::resume(&path, &header).expect("second resume");
+        prop_assert_eq!(second.len(), records.len());
+        let mut extra = extra;
+        extra.unit.rep = records.iter().map(|r| r.unit.rep).max().unwrap_or(0) + 1;
+        if distinct(vec![extra.clone()]).len() == 1
+            && !records.iter().any(|r| {
+                r.spec == extra.spec
+                    && r.unit.method == extra.unit.method
+                    && r.unit.rep == extra.unit.rep
+            })
+        {
+            w2.append(&extra).expect("append after double resume");
+            records.push(extra);
+        }
+        drop(w2);
+        let ck = load_checkpoint(&path).expect("reload");
+        prop_assert_eq!(ck.records.len(), records.len(), "every record survived");
+        for (a, b) in records.iter().zip(&ck.records) {
+            prop_assert!(record_eq(a, b));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_drops_a_torn_tail_even_with_a_stale_tmp_present(
+        records in prop::collection::vec(arb_record(), 2..8),
+    ) {
+        let mut records = distinct(records);
+        if records.len() < 2 {
+            let mut clone = records[0].clone();
+            clone.unit.rep = records[0].unit.rep + 1;
+            records.push(clone);
+        }
+        let path = tmp_file("crash-torn-plus-tmp");
+        let header = CheckpointHeader::new("dead3", 0, 1);
+        let mut w = CheckpointWriter::create(&path, &header).expect("create");
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+
+        // The worst combined aftermath: the checkpoint has a torn
+        // final line (killed mid-append) AND a stale tmp from an
+        // interrupted earlier resume.
+        let full = std::fs::read_to_string(&path).expect("read");
+        let keep: Vec<&str> = full.lines().take(records.len()).collect(); // header + n-1 records
+        std::fs::write(&path, format!("{}\n{{\"spec\":\"to", keep.join("\n"))).expect("tear");
+        std::fs::write(path.with_extension("tmp"), b"{not json").expect("plant tmp");
+
+        let (w2, resumed) = CheckpointWriter::resume(&path, &header).expect("resume");
+        drop(w2);
+        prop_assert_eq!(resumed.len(), records.len() - 1, "torn tail dropped, prefix kept");
+        for (a, b) in records.iter().zip(&resumed) {
+            prop_assert!(record_eq(a, b));
+        }
+        let ck = load_checkpoint(&path).expect("reload");
+        prop_assert!(!ck.truncated, "rewrite removed the torn tail for good");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,396 @@
+//! The fleet PR's acceptance criterion: a sweep distributed over
+//! workers through `reds-fleet` produces a report **byte-identical**
+//! to the monolithic `table3` run — under clean networks, under every
+//! targeted fault (drop / duplicate / delay / truncate), under seeded
+//! random fault plans, across worker kills at unit boundaries, across
+//! a coordinator crash + resume, and through a zero-worker outage.
+//! The lease journal is audited after every run: each work unit is
+//! ingested fresh exactly once, no matter how many attempts executed.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use reds_bench::sweep::{self, Sweep, SweepExecutor};
+use reds_bench::Args;
+use reds_fleet::{
+    load_journal, run_fleet, serve_worker, FaultAction, FaultPlan, FaultProxy, FleetConfig,
+    FleetError, JournalEvent, WorkerConfig,
+};
+
+/// The tiny sweep every test distributes: two specs (`2` at N=60 plus
+/// the `mor800` row), 2 methods × 2 reps each — 8 units.
+fn tiny_sweep() -> Sweep {
+    let args = Args::from_tokens(
+        [
+            "--functions",
+            "2",
+            "--ns",
+            "60",
+            "--reps",
+            "2",
+            "--l",
+            "600",
+            "--l-bi",
+            "500",
+            "--q",
+            "3",
+            "--test",
+            "400",
+            "--methods",
+            "P,RPf",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    Sweep::table3(&args)
+}
+
+/// The monolithic reference report, computed once.
+fn oracle_report() -> &'static str {
+    static ORACLE: OnceLock<String> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let sweep = tiny_sweep();
+        let out = sweep::run_shard(&sweep, 0, 1, None, false).expect("monolithic run");
+        sweep::render(
+            &sweep,
+            &sweep::aggregate(&sweep, &out.records).expect("aggregate"),
+        )
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reds-fleet-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Fast-failure coordinator settings for loopback tests.
+fn test_config(workers: Vec<String>, seed: u64) -> FleetConfig {
+    FleetConfig {
+        workers,
+        lease_units: 3,
+        lease_ttl: Duration::from_secs(2),
+        io_timeout: Duration::from_millis(400),
+        poll_interval: Duration::from_millis(5),
+        max_request_retries: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        max_park_rounds: 200,
+        seed,
+        halt_after_ingests: None,
+    }
+}
+
+fn spawn_worker(die_after_units: Option<usize>) -> reds_fleet::WorkerHandle<SweepExecutor> {
+    serve_worker(
+        SweepExecutor::new(tiny_sweep()),
+        "127.0.0.1:0",
+        WorkerConfig { die_after_units },
+    )
+    .expect("bind worker")
+}
+
+/// Audits the journal: every unit key of the sweep was ingested with
+/// `duplicate: false` exactly once — the "no unit executed-and-ingested
+/// twice" guarantee, checked from durable evidence rather than
+/// in-memory counters.
+fn assert_exactly_once(journal_path: &Path, sweep: &Sweep) {
+    let (_, _, events) = load_journal(journal_path).expect("journal loads");
+    let mut fresh: HashMap<String, usize> = HashMap::new();
+    for event in &events {
+        if let JournalEvent::Ingest {
+            key,
+            duplicate: false,
+            ..
+        } = event
+        {
+            *fresh.entry(key.clone()).or_default() += 1;
+        }
+    }
+    let keys: Vec<String> = sweep
+        .fleet_units()
+        .iter()
+        .map(|(fp, u)| reds::eval::checkpoint::unit_key(fp, u))
+        .collect();
+    assert_eq!(
+        fresh.len(),
+        keys.len(),
+        "every unit ingested, nothing extra"
+    );
+    for key in &keys {
+        assert_eq!(
+            fresh.get(key),
+            Some(&1),
+            "unit {key} must be ingested fresh exactly once"
+        );
+    }
+}
+
+/// Runs the fleet over the given worker addresses and asserts the
+/// rendered report matches the monolithic oracle byte for byte.
+fn run_and_check(tag: &str, workers: Vec<String>, seed: u64) {
+    let sweep = tiny_sweep();
+    let dir = fresh_dir(tag);
+    let outcome = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("shard-0-of-1.jsonl"),
+        &dir.join("fleet-journal.jsonl"),
+        false,
+        &test_config(workers, seed),
+    )
+    .expect("fleet completes");
+    let report = sweep::render(
+        &sweep,
+        &sweep::aggregate(&sweep, &outcome.records).expect("aggregate"),
+    );
+    assert_eq!(
+        report,
+        oracle_report(),
+        "{tag}: fleet report must be byte-identical to the monolithic run"
+    );
+    // Fleet-executed records carry attempt provenance.
+    assert!(
+        outcome.records.iter().all(|r| r.attempt >= 1),
+        "{tag}: fleet records must record their lease attempt"
+    );
+    assert_exactly_once(&dir.join("fleet-journal.jsonl"), &sweep);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_two_worker_fleet_matches_monolithic() {
+    let w1 = spawn_worker(None);
+    let w2 = spawn_worker(None);
+    run_and_check(
+        "clean",
+        vec![w1.addr().to_string(), w2.addr().to_string()],
+        1,
+    );
+    w1.shutdown();
+    w2.shutdown();
+}
+
+/// Fault plans 1–4: each targeted fault class on its own, applied to
+/// the only worker's traffic, must not change a byte of the report.
+#[test]
+fn targeted_fault_plans_keep_reports_identical() {
+    let plans: [(&str, FaultPlan); 4] = [
+        (
+            "drop",
+            FaultPlan {
+                // Swallow early requests and one reply.
+                to_worker: vec![FaultAction::Drop, FaultAction::Pass, FaultAction::Drop],
+                to_coordinator: vec![FaultAction::Pass, FaultAction::Drop],
+            },
+        ),
+        (
+            "duplicate",
+            FaultPlan {
+                to_worker: vec![FaultAction::Duplicate; 6],
+                to_coordinator: vec![FaultAction::Duplicate; 6],
+            },
+        ),
+        (
+            "delay",
+            FaultPlan {
+                to_worker: vec![FaultAction::DelayMs(60); 4],
+                to_coordinator: vec![FaultAction::DelayMs(60); 4],
+            },
+        ),
+        (
+            "truncate",
+            FaultPlan {
+                // Tear the hello reply mid-frame, then a later reply.
+                to_worker: vec![FaultAction::Pass; 3],
+                to_coordinator: vec![
+                    FaultAction::Truncate(5),
+                    FaultAction::Pass,
+                    FaultAction::Truncate(9),
+                ],
+            },
+        ),
+    ];
+    for (name, plan) in plans {
+        let worker = spawn_worker(None);
+        let proxy = FaultProxy::start(worker.addr(), plan).expect("proxy");
+        run_and_check(&format!("fault-{name}"), vec![proxy.addr().to_string()], 2);
+        drop(proxy);
+        worker.shutdown();
+    }
+}
+
+/// Fault plans 5+: seeded random mixes of all fault classes in both
+/// directions. A failure names its seed for exact replay.
+#[test]
+fn seeded_fault_plans_keep_reports_identical() {
+    for seed in [11u64, 12, 13] {
+        let worker = spawn_worker(None);
+        let plan = FaultPlan::seeded(seed, 48, 0.3);
+        let proxy = FaultProxy::start(worker.addr(), plan).expect("proxy");
+        run_and_check(
+            &format!("seeded-{seed}"),
+            vec![proxy.addr().to_string()],
+            seed,
+        );
+        drop(proxy);
+        worker.shutdown();
+    }
+}
+
+#[test]
+fn worker_killed_mid_sweep_is_reassigned() {
+    // Worker 1 dies abruptly after its second unit (that unit's record
+    // is discarded — executed but never acknowledged); worker 2 picks
+    // up the expired lease's remainder.
+    let doomed = spawn_worker(Some(2));
+    let healthy = spawn_worker(None);
+    run_and_check(
+        "worker-kill",
+        vec![doomed.addr().to_string(), healthy.addr().to_string()],
+        3,
+    );
+    assert!(doomed.died(), "the doomed worker's crash hook must fire");
+    healthy.shutdown();
+}
+
+#[test]
+fn coordinator_crash_resume_completes_exactly_once() {
+    let sweep = tiny_sweep();
+    let dir = fresh_dir("halt-resume");
+    let worker = spawn_worker(None);
+    let workers = vec![worker.addr().to_string()];
+
+    // First coordinator "crashes" (halts) after 3 durable ingests.
+    let mut config = test_config(workers.clone(), 4);
+    config.halt_after_ingests = Some(3);
+    let partial = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("shard-0-of-1.jsonl"),
+        &dir.join("fleet-journal.jsonl"),
+        false,
+        &config,
+    )
+    .expect("halted run still returns");
+    assert!(partial.halted, "halt hook fired");
+    assert!(partial.ingested >= 3);
+
+    // A second coordinator resumes from the same durable files.
+    let outcome = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("shard-0-of-1.jsonl"),
+        &dir.join("fleet-journal.jsonl"),
+        true,
+        &test_config(workers, 5),
+    )
+    .expect("resumed run completes");
+    assert_eq!(
+        outcome.records.len(),
+        sweep.total_units(),
+        "resume ends with exactly one record per unit"
+    );
+    let report = sweep::render(
+        &sweep,
+        &sweep::aggregate(&sweep, &outcome.records).expect("aggregate"),
+    );
+    assert_eq!(report, oracle_report(), "resumed report is byte-identical");
+    assert_exactly_once(&dir.join("fleet-journal.jsonl"), &sweep);
+    worker.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_workers_parks_then_resumes_without_losing_work() {
+    let sweep = tiny_sweep();
+    let dir = fresh_dir("parked");
+
+    // No worker listening anywhere: the coordinator parks, burns its
+    // park budget, and gives up with a resumable error.
+    let mut config = test_config(vec!["127.0.0.1:9".to_string()], 6);
+    config.max_park_rounds = 3;
+    let err = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("shard-0-of-1.jsonl"),
+        &dir.join("fleet-journal.jsonl"),
+        false,
+        &config,
+    )
+    .expect_err("no workers -> fleet lost");
+    match err {
+        FleetError::FleetLost { pending } => assert_eq!(pending, sweep.total_units()),
+        other => panic!("expected FleetLost, got {other}"),
+    }
+
+    // Workers come back; a resume finishes the sweep.
+    let worker = spawn_worker(None);
+    let outcome = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("shard-0-of-1.jsonl"),
+        &dir.join("fleet-journal.jsonl"),
+        true,
+        &test_config(vec![worker.addr().to_string()], 7),
+    )
+    .expect("resume after outage");
+    let report = sweep::render(
+        &sweep,
+        &sweep::aggregate(&sweep, &outcome.records).expect("aggregate"),
+    );
+    assert_eq!(
+        report,
+        oracle_report(),
+        "post-outage report is byte-identical"
+    );
+    assert_exactly_once(&dir.join("fleet-journal.jsonl"), &sweep);
+    worker.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn config_errors_are_rejected_up_front() {
+    let sweep = tiny_sweep();
+    let dir = fresh_dir("config");
+    let err = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("s.jsonl"),
+        &dir.join("j.jsonl"),
+        false,
+        &test_config(Vec::new(), 0),
+    )
+    .expect_err("no workers configured");
+    assert!(matches!(err, FleetError::Config(_)));
+
+    // A worker serving a *different* sweep is refused at handshake.
+    let other_args = Args::from_tokens(
+        ["--functions", "2", "--ns", "70", "--reps", "1"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let worker = serve_worker(
+        SweepExecutor::new(Sweep::table3(&other_args)),
+        "127.0.0.1:0",
+        WorkerConfig::default(),
+    )
+    .expect("bind");
+    let err = run_fleet(
+        &sweep.fingerprint(),
+        &sweep.fleet_units(),
+        &dir.join("s.jsonl"),
+        &dir.join("j.jsonl"),
+        false,
+        &test_config(vec![worker.addr().to_string()], 0),
+    )
+    .expect_err("fingerprint mismatch");
+    assert!(
+        matches!(err, FleetError::Config(_)),
+        "mismatched sweeps must fail fast, not retry forever"
+    );
+    worker.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

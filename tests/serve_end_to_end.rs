@@ -412,3 +412,99 @@ fn saved_model_round_trip_is_bit_identical_for_every_family() {
         );
     }
 }
+
+/// Admission control: with the connection cap at 1, a second client is
+/// turned away with a structured `too_busy` error instead of hanging,
+/// and a slot freed by a disconnect is reusable.
+#[test]
+fn connections_beyond_the_cap_get_too_busy_and_slots_are_reclaimed() {
+    let artifact = corner_artifact(0xADA);
+    let limits = ServeLimits {
+        max_connections: 1,
+        ..Default::default()
+    };
+    let server = spawn_served_copy(&artifact, limits);
+    let addr = server.addr();
+
+    let mut admitted = Client::connect(addr).expect("first client connects");
+    admitted.info().expect("admitted client is served");
+
+    // The cap is enforced at accept time: the rejected client still
+    // gets a parseable error frame before the socket closes.
+    let mut rejected = Client::connect(addr).expect("TCP connect still succeeds");
+    match rejected.info() {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "too_busy");
+            assert!(
+                message.contains("limit of 1"),
+                "message names the cap: {message}"
+            );
+        }
+        other => panic!("expected a too_busy error, got {other:?}"),
+    }
+    let info = admitted.info().expect("info after rejection");
+    assert_eq!(
+        info.get("rejected_connections").and_then(Json::as_f64),
+        Some(1.0),
+        "the rejection is counted: {info:?}"
+    );
+    assert_eq!(
+        info.get("active_connections").and_then(Json::as_f64),
+        Some(1.0),
+        "only the admitted client holds a slot"
+    );
+
+    // Freeing the slot re-admits new clients (the gauge decrement runs
+    // after the handler exits, so poll briefly).
+    drop(admitted);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect(addr).expect("reconnect");
+        match retry.info() {
+            Ok(_) => break,
+            Err(ClientError::Server { ref code, .. }) if code == "too_busy" => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "slot was never reclaimed"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error while re-admitting: {other}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A server that accepts and then never answers must not hang the
+/// client: the bounded read budget surfaces a structured timeout.
+#[test]
+fn silent_servers_trip_the_client_read_timeout() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mute = std::thread::spawn(move || {
+        // Accept, read the request, reply with nothing, keep the
+        // socket open past the client's patience.
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        std::thread::sleep(Duration::from_secs(4));
+        drop(stream);
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_millis(600)))
+        .expect("set timeout");
+    let started = std::time::Instant::now();
+    match client.info() {
+        Err(ClientError::Timeout { after }) => {
+            assert_eq!(after, Duration::from_millis(600));
+            assert!(
+                started.elapsed() < Duration::from_secs(3),
+                "client must give up near its budget, not hang"
+            );
+        }
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+    mute.join().expect("mute server thread");
+}

@@ -177,6 +177,7 @@ fn kill_and_resume_matches_monolithic() {
                     spec: fp.clone(),
                     unit,
                     eval,
+                    attempt: 0,
                 })
                 .expect("append");
             }
@@ -198,6 +199,7 @@ fn kill_and_resume_matches_monolithic() {
                 spec: fp.clone(),
                 unit,
                 eval,
+                attempt: 0,
             })
             .expect("append");
         }
