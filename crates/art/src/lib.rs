@@ -1,0 +1,104 @@
+//! `reds-art` — the `.redsart` zero-copy artifact container.
+//!
+//! A versioned, checksummed, 8-byte-aligned binary format holding the
+//! two data shapes the REDS hot paths are built on:
+//!
+//! * **model sections** — [`FlatTree`](reds_metamodel::FlatTree)
+//!   structure-of-arrays arenas (feature `u32`, value `f64`, right
+//!   `u32`) plus forest/GBDT/SVM metadata, laid out so a reader can
+//!   hand the mapped arrays straight to the prediction kernels;
+//! * **column sections** — `(key u64, row u32)` sorted runs in exactly
+//!   the record layout `reds-stream` spills, rank-addressable when
+//!   merged to a single run.
+//!
+//! The reader ([`ArtFile::open`]) memory-maps the file and refuses to
+//! expose a single byte of payload before the full verification chain
+//! passes: magic, version, recorded-vs-actual length, a whole-file
+//! FNV-1a checksum, per-section bounds/alignment/checksums, and then
+//! the same structural validation `reds-json` loading performs
+//! (`FlatTree` invariants via [`FlatView::new`](reds_metamodel::FlatView),
+//! shape checks on SVM/dataset buffers). A crafted `.redsart` can no
+//! more loop `predict` or read out of bounds than a crafted JSON model
+//! document can — and because FNV-1a's per-byte step is a bijection on
+//! the 64-bit state, *any* single-byte corruption of a valid file is
+//! guaranteed to change the whole-file digest and be rejected.
+//!
+//! `reds-json` remains the interchange format; `.redsart` is the
+//! deployment format — a serve process opens a model in O(1) with zero
+//! JSON parsing, and a fleet of processes shares the arenas through
+//! the page cache.
+//!
+//! See `docs/artifact-format.md` for the byte-level layout.
+
+#![warn(missing_docs)]
+
+mod bytes;
+mod layout;
+mod read;
+mod write;
+
+pub use bytes::ArtBytes;
+pub use layout::{
+    FAMILY_FOREST, FAMILY_GBDT, FAMILY_SVM, HEADER_LEN, MAGIC, SECTION_COLUMN, SECTION_DATASET,
+    SECTION_META, SECTION_MODEL, TOC_ENTRY_LEN, VERSION,
+};
+pub use read::{ArtFile, ArtMeta, ColumnSection, MappedArtifact, MappedModel, SectionInfo};
+pub use write::{write_model_artifact, ArtWriter, ModelArtifactSpec};
+
+/// Structured failure while writing, opening, or validating a
+/// `.redsart` file. Every malformed input surfaces as one of these —
+/// the readers never panic on file contents.
+#[derive(Debug)]
+pub enum ArtError {
+    /// Underlying filesystem / mapping failure.
+    Io(std::io::Error),
+    /// The bytes violate the format: truncated, bad magic, checksum
+    /// mismatch, out-of-bounds section, or a payload failing the same
+    /// structural validation the JSON loaders enforce.
+    Corrupt(String),
+    /// Well-formed but not loadable here: unsupported version, or a
+    /// required section is missing/duplicated.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ArtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtError::Io(e) => write!(f, "artifact io error: {e}"),
+            ArtError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            ArtError::Unsupported(msg) => write!(f, "unsupported artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtError {}
+
+impl From<std::io::Error> for ArtError {
+    fn from(e: std::io::Error) -> Self {
+        ArtError::Io(e)
+    }
+}
+
+/// Shorthand for a [`ArtError::Corrupt`] constructor.
+pub(crate) fn corrupt(msg: impl Into<String>) -> ArtError {
+    ArtError::Corrupt(msg.into())
+}
+
+/// FNV-1a 64-bit offset basis (same constants as `reds-stream`'s pool
+/// digest).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64 state.
+///
+/// Each byte's step `h ← (h ⊕ b) · p` is a bijection on `u64` (the
+/// prime is odd, hence invertible mod 2⁶⁴), so two equal-length byte
+/// streams differing in exactly one byte can never collide — the
+/// property the byte-flip rejection guarantee rests on.
+pub(crate) fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state = (state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    state
+}

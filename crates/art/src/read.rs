@@ -1,0 +1,723 @@
+//! Verified memory-mapped `.redsart` reader.
+//!
+//! [`ArtFile::open`] runs the full verification chain before any
+//! payload is exposed, in this order:
+//!
+//! 1. length ≥ header, magic, version;
+//! 2. recorded file length == actual length (catches truncation and
+//!    extension);
+//! 3. whole-file FNV-1a checksum (computed with the checksum field
+//!    zeroed) — rejects **every** single-byte corruption, because the
+//!    FNV step is a bijection on the 64-bit state;
+//! 4. table-of-contents bounds: 8-aligned section offsets inside the
+//!    payload area, per-section payload checksums;
+//! 5. on typed access, bounds-checked little-endian decoding plus the
+//!    same structural validation the JSON loaders run (`FlatView::new`
+//!    arena invariants, SVM/dataset shape checks, sorted-run checks).
+//!
+//! Only after all of that do borrowed views (tree arenas, column
+//! records) come out of the mapping — so serving a `.redsart` performs
+//! zero JSON parsing and zero copies of model bytes, at the same trust
+//! level as the JSON path.
+
+use std::collections::BinaryHeap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+use reds_data::Dataset;
+use reds_metamodel::{FlatView, Metamodel, Svm};
+
+use crate::bytes::ArtBytes;
+use crate::layout::{
+    cast_f64s, cast_u32s, Cur, FAMILY_FOREST, FAMILY_GBDT, FAMILY_SVM, FNV_FIELD_OFFSET,
+    HEADER_LEN, MAGIC, SECTION_COLUMN, SECTION_DATASET, SECTION_META, SECTION_MODEL, TOC_ENTRY_LEN,
+    VERSION,
+};
+use crate::{corrupt, fnv1a, ArtError, FNV_OFFSET};
+
+/// One table-of-contents entry, as exposed to callers.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionInfo {
+    /// Section kind code (`SECTION_*`; unknown kinds are tolerated for
+    /// forward compatibility — they are checksummed but never parsed).
+    pub kind: u32,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+struct Section {
+    kind: u32,
+    range: Range<usize>,
+}
+
+/// A verified, memory-mapped `.redsart` file.
+pub struct ArtFile {
+    bytes: Arc<ArtBytes>,
+    sections: Vec<Section>,
+}
+
+impl ArtFile {
+    /// Maps `path` and runs the verification chain (see module docs).
+    pub fn open(path: &Path) -> Result<Self, ArtError> {
+        let bytes = Arc::new(ArtBytes::open(path)?);
+        Self::from_bytes(bytes)
+    }
+
+    /// Verifies an already-loaded buffer (the mmap-free entry point,
+    /// also used by the byte-mutation tests).
+    pub fn from_bytes(bytes: Arc<ArtBytes>) -> Result<Self, ArtError> {
+        let buf: &[u8] = &bytes;
+        if buf.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "file of {} bytes is shorter than the {HEADER_LEN}-byte header",
+                buf.len()
+            )));
+        }
+        if buf[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a .redsart file)"));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(ArtError::Unsupported(format!(
+                "format version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let section_count = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
+        let toc_offset = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let file_len = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+        let stored_fnv = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
+        if file_len != buf.len() as u64 {
+            return Err(corrupt(format!(
+                "recorded length {file_len} != actual length {} (truncated or extended)",
+                buf.len()
+            )));
+        }
+        // TOC geometry: the writer always places it last, so its end
+        // must coincide exactly with the file end. This bounds
+        // `section_count` before any multiplication can overflow.
+        let toc_len = (section_count as u64).checked_mul(TOC_ENTRY_LEN as u64);
+        let toc_end = toc_len.and_then(|l| toc_offset.checked_add(l));
+        if toc_offset < HEADER_LEN as u64
+            || toc_offset % 8 != 0
+            || toc_end != Some(buf.len() as u64)
+        {
+            return Err(corrupt("table of contents does not span to the file end"));
+        }
+        // Whole-file checksum, with the checksum field itself zeroed.
+        let mut digest = fnv1a(FNV_OFFSET, &buf[..FNV_FIELD_OFFSET]);
+        digest = fnv1a(digest, &[0u8; 8]);
+        digest = fnv1a(digest, &buf[FNV_FIELD_OFFSET + 8..]);
+        if digest != stored_fnv {
+            return Err(corrupt(format!(
+                "file checksum mismatch (stored {stored_fnv:#018x}, computed {digest:#018x})"
+            )));
+        }
+        // Per-section bounds, alignment, and payload checksums.
+        let toc_offset = toc_offset as usize;
+        let mut sections = Vec::with_capacity(section_count);
+        for i in 0..section_count {
+            let e = &buf[toc_offset + i * TOC_ENTRY_LEN..toc_offset + (i + 1) * TOC_ENTRY_LEN];
+            let kind = u32::from_le_bytes(e[..4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+            let fnv = u64::from_le_bytes(e[24..32].try_into().expect("8 bytes"));
+            let end = offset.checked_add(len);
+            if offset < HEADER_LEN as u64
+                || offset % 8 != 0
+                || end.is_none()
+                || end > Some(toc_offset as u64)
+            {
+                return Err(corrupt(format!("section {i} is out of bounds")));
+            }
+            let range = offset as usize..(offset + len) as usize;
+            if fnv1a(FNV_OFFSET, &buf[range.clone()]) != fnv {
+                return Err(corrupt(format!(
+                    "section {i} (kind {kind}) checksum mismatch"
+                )));
+            }
+            sections.push(Section { kind, range });
+        }
+        Ok(Self { bytes, sections })
+    }
+
+    /// The table of contents (unknown kinds included).
+    pub fn sections(&self) -> Vec<SectionInfo> {
+        self.sections
+            .iter()
+            .map(|s| SectionInfo {
+                kind: s.kind,
+                len: s.range.len(),
+            })
+            .collect()
+    }
+
+    fn payload(&self, idx: usize) -> &[u8] {
+        &self.bytes[self.sections[idx].range.clone()]
+    }
+
+    fn find_unique(&self, kind: u32, name: &str) -> Result<usize, ArtError> {
+        let mut found = None;
+        for (i, s) in self.sections.iter().enumerate() {
+            if s.kind == kind {
+                if found.is_some() {
+                    return Err(ArtError::Unsupported(format!(
+                        "multiple {name} sections (expected exactly one)"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| ArtError::Unsupported(format!("no {name} section")))
+    }
+
+    /// Decodes the metadata section.
+    pub fn meta(&self) -> Result<ArtMeta, ArtError> {
+        let idx = self.find_unique(SECTION_META, "metadata")?;
+        let mut cur = Cur::new(self.payload(idx));
+        let family = cur.u32("meta family")?;
+        let m = cur.u32("meta m")? as usize;
+        let seed = cur.u64("meta seed")?;
+        let pool_seed = cur.u64("meta pool seed")?;
+        let pool_design = cur.u32("meta pool design")?;
+        let function_len = cur.u32("meta function length")? as usize;
+        let function = std::str::from_utf8(cur.take(function_len, "meta function name")?)
+            .map_err(|_| corrupt("function name is not valid UTF-8"))?
+            .to_string();
+        cur.finish("metadata")?;
+        Ok(ArtMeta {
+            family,
+            m,
+            seed,
+            pool_seed,
+            pool_design,
+            function,
+        })
+    }
+
+    /// Decodes and validates the model section into a zero-copy model.
+    pub fn model(&self) -> Result<MappedModel, ArtError> {
+        let idx = self.find_unique(SECTION_MODEL, "model")?;
+        MappedModel::parse(Arc::clone(&self.bytes), self.sections[idx].range.clone())
+    }
+
+    /// Decodes and validates the dataset section (copied out of the
+    /// mapping into an owned [`Dataset`] — discovery needs mutable
+    /// masks over it anyway; the zero-copy guarantee covers model and
+    /// column bytes).
+    pub fn dataset(&self) -> Result<Dataset, ArtError> {
+        let idx = self.find_unique(SECTION_DATASET, "dataset")?;
+        let payload = self.payload(idx);
+        let mut cur = Cur::new(payload);
+        let n = cur.count("dataset row count")?;
+        let m = cur.count("dataset column count")?;
+        let cells = n
+            .checked_mul(m)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(|| corrupt("dataset size overflows"))?;
+        let points = cast_f64s(cur.take(cells, "dataset points")?, "dataset points")?.to_vec();
+        let labels = cast_f64s(
+            cur.take(
+                n.checked_mul(8)
+                    .ok_or_else(|| corrupt("dataset size overflows"))?,
+                "dataset labels",
+            )?,
+            "dataset labels",
+        )?
+        .to_vec();
+        cur.finish("dataset")?;
+        Dataset::new(points, labels, m).map_err(|e| corrupt(format!("dataset rejected: {e}")))
+    }
+
+    /// Decodes and validates every column section, in file order.
+    pub fn columns(&self) -> Result<Vec<ColumnSection>, ArtError> {
+        let mut out = Vec::new();
+        for (i, s) in self.sections.iter().enumerate() {
+            if s.kind == SECTION_COLUMN {
+                out.push(ColumnSection::parse(
+                    Arc::clone(&self.bytes),
+                    self.sections[i].range.clone(),
+                )?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Decoded metadata section: which model this artifact holds and the
+/// seeds that reproduce its pools.
+#[derive(Debug, Clone)]
+pub struct ArtMeta {
+    /// Family code (`FAMILY_*`).
+    pub family: u32,
+    /// Input dimensionality.
+    pub m: usize,
+    /// Training RNG seed.
+    pub seed: u64,
+    /// Pseudo-labeling pool RNG seed.
+    pub pool_seed: u64,
+    /// Pool design code (1 = uniform).
+    pub pool_design: u32,
+    /// Benchmark-function name.
+    pub function: String,
+}
+
+/// Byte ranges of one tree's arenas inside the mapping.
+struct TreeRef {
+    feature: Range<usize>,
+    value: Range<usize>,
+    right: Range<usize>,
+}
+
+enum ModelKind {
+    Forest {
+        trees: Vec<TreeRef>,
+    },
+    Gbdt {
+        base_score: f64,
+        eta: f64,
+        trees: Vec<TreeRef>,
+    },
+    // The SVM's kernel-facing layout (zero-padded support vectors) is
+    // an implementation detail of `reds-metamodel`, so the support set
+    // is materialized into an owned model at load time — it is tiny
+    // next to tree ensembles, and delegation makes bit-identity
+    // trivial.
+    Svm(Box<Svm>),
+}
+
+/// A fitted model whose tree arenas live in (and are borrowed from) a
+/// mapped `.redsart` file.
+///
+/// Implements [`Metamodel`] with the same accumulation order, chunking
+/// and kernel dispatch as the in-memory models, so predictions are
+/// bit-identical to the `reds-json` load path.
+pub struct MappedModel {
+    bytes: Arc<ArtBytes>,
+    m: usize,
+    kind: ModelKind,
+}
+
+/// The sigmoid used by `Gbdt` — duplicated expression-for-expression
+/// (`1 / (1 + e^{-z})`) so mapped GBDT margins squash bit-identically.
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl MappedModel {
+    fn parse(bytes: Arc<ArtBytes>, range: Range<usize>) -> Result<Self, ArtError> {
+        let base = range.start;
+        let payload = &bytes[range.clone()];
+        let mut cur = Cur::new(payload);
+        let family = cur.u32("model family")?;
+        let m = cur.u32("model m")? as usize;
+        if m == 0 {
+            return Err(corrupt("'m' must be positive"));
+        }
+        let kind = match family {
+            FAMILY_FOREST => {
+                let n_trees = cur.count("tree count")?;
+                let trees = parse_trees(&mut cur, base, n_trees, m)?;
+                ModelKind::Forest { trees }
+            }
+            FAMILY_GBDT => {
+                let base_score = cur.f64("base score")?;
+                let eta = cur.f64("eta")?;
+                let n_trees = cur.count("tree count")?;
+                let trees = parse_trees(&mut cur, base, n_trees, m)?;
+                ModelKind::Gbdt {
+                    base_score,
+                    eta,
+                    trees,
+                }
+            }
+            FAMILY_SVM => {
+                let gamma = cur.f64("gamma")?;
+                let bias = cur.f64("bias")?;
+                let n_sv = cur.count("support vector count")?;
+                let coef_bytes = n_sv
+                    .checked_mul(8)
+                    .ok_or_else(|| corrupt("support set size overflows"))?;
+                let coef = cast_f64s(cur.take(coef_bytes, "coefficients")?, "coefficients")?;
+                let point_bytes = coef_bytes
+                    .checked_mul(m)
+                    .ok_or_else(|| corrupt("support set size overflows"))?;
+                let points = cast_f64s(cur.take(point_bytes, "support points")?, "support points")?;
+                let svm = Svm::from_parts(points.to_vec(), coef.to_vec(), bias, gamma, m)
+                    .map_err(corrupt)?;
+                ModelKind::Svm(Box::new(svm))
+            }
+            other => {
+                return Err(ArtError::Unsupported(format!(
+                    "unknown model family code {other}"
+                )))
+            }
+        };
+        cur.finish("model")?;
+        if let ModelKind::Forest { trees } | ModelKind::Gbdt { trees, .. } = &kind {
+            if trees.is_empty() {
+                return Err(corrupt("ensemble has no trees"));
+            }
+        }
+        Ok(Self { bytes, m, kind })
+    }
+
+    /// Rebuilds the borrowed arena view for one tree.
+    ///
+    /// The ranges were produced by `parse_trees`, which validated the
+    /// exact same memory through `FlatView::new` at load time, so the
+    /// unchecked construction here (once per tree per batch) is sound
+    /// as long as the mapping is immutable — the documented contract
+    /// of [`ArtBytes`].
+    fn view(&self, t: &TreeRef) -> FlatView<'_> {
+        let feature = cast_u32s(&self.bytes[t.feature.clone()], "features").expect("validated");
+        let value = cast_f64s(&self.bytes[t.value.clone()], "values").expect("validated");
+        let right = cast_u32s(&self.bytes[t.right.clone()], "rights").expect("validated");
+        // SAFETY: `FlatView::new` checked these exact slices (same
+        // ranges, same immutable buffer) during `parse`.
+        unsafe { FlatView::new_unchecked(feature, value, right) }
+    }
+
+    /// Family tag, in the paper's lettering ("f", "x", "s").
+    pub fn family(&self) -> &'static str {
+        match &self.kind {
+            ModelKind::Forest { .. } => "f",
+            ModelKind::Gbdt { .. } => "x",
+            ModelKind::Svm(_) => "s",
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+/// Parses `n_trees` consecutive tree arenas, returning validated byte
+/// ranges (absolute, into the file buffer). `n_trees` is untrusted: no
+/// allocation is sized from it — the vector grows only as trees
+/// actually parse, and every tree consumes at least its 8-byte header,
+/// so a huge count simply truncates.
+fn parse_trees(
+    cur: &mut Cur<'_>,
+    base: usize,
+    n_trees: usize,
+    m: usize,
+) -> Result<Vec<TreeRef>, ArtError> {
+    let mut trees = Vec::new();
+    for _ in 0..n_trees {
+        let n = cur.count("node count")?;
+        let u32_bytes = n
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("arena size overflows"))?;
+        let f64_bytes = n
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("arena size overflows"))?;
+        let feat_start = base + cur.pos();
+        let feature = cast_u32s(cur.take(u32_bytes, "features")?, "features")?;
+        cur.align(8)?;
+        let val_start = base + cur.pos();
+        let value = cast_f64s(cur.take(f64_bytes, "values")?, "values")?;
+        let right_start = base + cur.pos();
+        let right = cast_u32s(cur.take(u32_bytes, "rights")?, "rights")?;
+        cur.align(8)?;
+        // The same structural validation `FlatTree::validate` runs on
+        // JSON-decoded arenas: this is what makes a crafted file unable
+        // to loop `predict` or escape the arena via a gather.
+        FlatView::new(feature, value, right, m).map_err(corrupt)?;
+        trees.push(TreeRef {
+            feature: feat_start..feat_start + u32_bytes,
+            value: val_start..val_start + f64_bytes,
+            right: right_start..right_start + u32_bytes,
+        });
+    }
+    Ok(trees)
+}
+
+impl Metamodel for MappedModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match &self.kind {
+            ModelKind::Forest { trees } => {
+                let sum: f64 = trees.iter().map(|t| self.view(t).predict(x)).sum();
+                sum / trees.len() as f64
+            }
+            ModelKind::Gbdt {
+                base_score,
+                eta,
+                trees,
+            } => {
+                assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
+                let sum: f64 = trees.iter().map(|t| self.view(t).predict(x)).sum();
+                sigmoid(base_score + eta * sum)
+            }
+            ModelKind::Svm(s) => s.predict(x),
+        }
+    }
+
+    /// Mirrors the in-memory `predict_batch` implementations exactly —
+    /// same kernel resolution, same 4096-row chunking, same tree-major
+    /// accumulation order, same final squash — so the mapped path is
+    /// bit-identical to the JSON path on every input.
+    fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
+        match &self.kind {
+            ModelKind::Forest { trees } => {
+                assert_eq!(m, self.m, "prediction dimensionality mismatch");
+                assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+                let kernel = reds_metamodel::kernels::active();
+                let n = points.len() / m.max(1);
+                let mut out = vec![0.0f64; n];
+                reds_par::par_fill_chunks(&mut out, 4096, |start, acc| {
+                    let rows = &points[start * m..(start + acc.len()) * m];
+                    for tree in trees {
+                        reds_metamodel::kernels::accumulate_tree_view(
+                            kernel,
+                            self.view(tree),
+                            rows,
+                            m,
+                            acc,
+                        );
+                    }
+                    let n_trees = trees.len() as f64;
+                    for v in acc.iter_mut() {
+                        *v /= n_trees;
+                    }
+                });
+                out
+            }
+            ModelKind::Gbdt {
+                base_score,
+                eta,
+                trees,
+            } => {
+                assert_eq!(m, self.m, "prediction dimensionality mismatch");
+                assert!(points.len().is_multiple_of(m.max(1)), "ragged point buffer");
+                let kernel = reds_metamodel::kernels::active();
+                let n = points.len() / m.max(1);
+                let mut out = vec![0.0f64; n];
+                reds_par::par_fill_chunks(&mut out, 4096, |start, acc| {
+                    let rows = &points[start * m..(start + acc.len()) * m];
+                    for tree in trees {
+                        reds_metamodel::kernels::accumulate_tree_view(
+                            kernel,
+                            self.view(tree),
+                            rows,
+                            m,
+                            acc,
+                        );
+                    }
+                    for v in acc.iter_mut() {
+                        *v = sigmoid(base_score + eta * *v);
+                    }
+                });
+                out
+            }
+            ModelKind::Svm(s) => s.predict_batch(points, m),
+        }
+    }
+}
+
+/// A complete mapped model artifact — the `.redsart` counterpart of
+/// the `reds-serve` JSON artifact.
+pub struct MappedArtifact {
+    /// Benchmark-function name.
+    pub function: String,
+    /// Training RNG seed.
+    pub seed: u64,
+    /// Pool RNG seed.
+    pub pool_seed: u64,
+    /// Pool design code (1 = uniform).
+    pub pool_design: u32,
+    /// The zero-copy model.
+    pub model: MappedModel,
+    /// Owned training dataset (serves `discover`).
+    pub train: Dataset,
+}
+
+impl MappedArtifact {
+    /// Opens and cross-validates a packed model artifact: sections
+    /// present exactly once, family/dimensionality consistent between
+    /// metadata, model, and training data, training set non-empty.
+    pub fn open(path: &Path) -> Result<Self, ArtError> {
+        let file = ArtFile::open(path)?;
+        let meta = file.meta()?;
+        let model = file.model()?;
+        let train = file.dataset()?;
+        let family_code = match model.family() {
+            "f" => FAMILY_FOREST,
+            "x" => FAMILY_GBDT,
+            _ => FAMILY_SVM,
+        };
+        if meta.family != family_code {
+            return Err(corrupt("metadata family disagrees with the model section"));
+        }
+        if meta.m != model.m() || train.m() != model.m() {
+            return Err(corrupt(format!(
+                "dimensionality mismatch: meta m = {}, model m = {}, train m = {}",
+                meta.m,
+                model.m(),
+                train.m()
+            )));
+        }
+        if train.n() == 0 {
+            return Err(corrupt("training set is empty"));
+        }
+        Ok(Self {
+            function: meta.function,
+            seed: meta.seed,
+            pool_seed: meta.pool_seed,
+            pool_design: meta.pool_design,
+            model,
+            train,
+        })
+    }
+}
+
+/// One column's sorted `(key u64, row u32)` runs, borrowed from the
+/// mapping — the on-disk twin of `reds-stream`'s spill runs. With a
+/// single merged run the records are **rank-addressable**: record `i`
+/// is the `i`-th smallest `(key, row)` of the column.
+pub struct ColumnSection {
+    bytes: Arc<ArtBytes>,
+    column: usize,
+    n_rows: usize,
+    /// Per-run byte ranges of the packed 12-byte records.
+    runs: Vec<Range<usize>>,
+}
+
+impl ColumnSection {
+    fn parse(bytes: Arc<ArtBytes>, range: Range<usize>) -> Result<Self, ArtError> {
+        let base = range.start;
+        let payload = &bytes[range.clone()];
+        let mut cur = Cur::new(payload);
+        let column = cur.u32("column index")? as usize;
+        let reserved = cur.u32("column reserved")?;
+        if reserved != 0 {
+            return Err(corrupt("column reserved field must be zero"));
+        }
+        let n_rows = cur.count("column row count")?;
+        let run_count = cur.count("run count")?;
+        // Take the run-length table before allocating from its size.
+        let table_bytes = run_count
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("run table size overflows"))?;
+        let table = cur.take(table_bytes, "run lengths")?;
+        let mut runs = Vec::with_capacity(table.len() / 8);
+        let mut total = 0usize;
+        let mut pos = base + cur.pos();
+        for chunk in table.chunks_exact(8) {
+            let len = usize::try_from(u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+                .map_err(|_| corrupt("run length does not fit this address space"))?;
+            let byte_len = len
+                .checked_mul(12)
+                .ok_or_else(|| corrupt("run size overflows"))?;
+            runs.push(pos..pos + byte_len);
+            pos += byte_len;
+            total = total
+                .checked_add(len)
+                .ok_or_else(|| corrupt("run lengths overflow"))?;
+        }
+        if total != n_rows {
+            return Err(corrupt(format!(
+                "run lengths sum to {total}, column records {n_rows} rows"
+            )));
+        }
+        let record_bytes = n_rows
+            .checked_mul(12)
+            .ok_or_else(|| corrupt("record area overflows"))?;
+        cur.take(record_bytes, "column records")?;
+        cur.align(8)?;
+        cur.finish("column")?;
+        Ok(Self {
+            bytes,
+            column,
+            n_rows,
+            runs,
+        })
+    }
+
+    /// Which dataset column these runs sort.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Total records across all runs.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of sorted runs (1 = fully merged, rank-addressable).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Record `i` of run `run` (packed little-endian decode — records
+    /// are 12 bytes, so they are read byte-wise, not cast).
+    pub fn record(&self, run: usize, i: usize) -> (u64, u32) {
+        let r = &self.bytes[self.runs[run].clone()];
+        let rec = &r[i * 12..(i + 1) * 12];
+        let key = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let row = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+        (key, row)
+    }
+
+    /// The `rank`-th smallest `(key, row)` of a fully merged column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column holds more than one run (merge first) or
+    /// `rank` is out of range.
+    pub fn rank(&self, rank: usize) -> (u64, u32) {
+        assert_eq!(self.runs.len(), 1, "rank addressing needs a merged column");
+        self.record(0, rank)
+    }
+
+    /// K-way-merges the runs in ascending `(key, row)` order, emitting
+    /// rows — the exact algorithm (and therefore the exact order) of
+    /// `reds-stream`'s spill merge. Validates along the way that every
+    /// run is strictly increasing and every row is in range; a file
+    /// violating that is rejected, not mis-merged.
+    pub fn merged_order(&self) -> Result<Vec<u32>, ArtError> {
+        let run_len = |r: usize| self.runs[r].len() / 12;
+        let mut order = Vec::with_capacity(self.n_rows);
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>> =
+            BinaryHeap::with_capacity(self.runs.len());
+        let mut cursors = vec![0usize; self.runs.len()];
+        for (r, cursor) in cursors.iter_mut().enumerate() {
+            if run_len(r) > 0 {
+                let (key, row) = self.record(r, 0);
+                heap.push(std::cmp::Reverse((key, row, r)));
+                *cursor = 1;
+            }
+        }
+        let mut last: Option<(u64, u32)> = None;
+        while let Some(std::cmp::Reverse((key, row, r))) = heap.pop() {
+            if (row as usize) >= self.n_rows {
+                return Err(corrupt(format!(
+                    "column {} references row {row} of {}",
+                    self.column, self.n_rows
+                )));
+            }
+            order.push(row);
+            // Strictness across the merged stream implies strictness
+            // within every run, and catches duplicated rows early
+            // (each row id appears exactly once per column).
+            if let Some(prev) = last {
+                if prev >= (key, row) {
+                    return Err(corrupt(format!(
+                        "column {} runs are not strictly sorted",
+                        self.column
+                    )));
+                }
+            }
+            last = Some((key, row));
+            let i = cursors[r];
+            if i < run_len(r) {
+                let (k, w) = self.record(r, i);
+                heap.push(std::cmp::Reverse((k, w, r)));
+                cursors[r] = i + 1;
+            }
+        }
+        Ok(order)
+    }
+}

@@ -7,6 +7,10 @@
 //!     [--trees 200] [--rounds 150] --out model.json
 //! ```
 //!
+//! `--out model.redsart` writes the mmap-able binary artifact instead
+//! of JSON (see `docs/artifact-format.md`); both load identically in
+//! `reds_serve`.
+//!
 //! The training run mirrors one repetition of the paper's experiments:
 //! a Latin-hypercube design of `N` points on `[0,1]^M`, labelled by the
 //! simulation function, fitted with the chosen metamodel family's
@@ -84,10 +88,17 @@ fn main() {
         seed,
         pool_seed,
         pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
-        model,
+        model: model.into(),
         train,
     };
-    if let Err(e) = artifact.save(Path::new(&out)) {
+    // `.redsart` targets get the mmap-able binary container; anything
+    // else stays on the `reds-json` interchange format.
+    let result = if out.ends_with(".redsart") {
+        artifact.save_art(Path::new(&out))
+    } else {
+        artifact.save(Path::new(&out))
+    };
+    if let Err(e) = result {
         eprintln!("error: cannot save {out}: {e}");
         std::process::exit(1);
     }

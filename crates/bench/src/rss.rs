@@ -26,13 +26,22 @@ fn read_status_kb(field: &str) -> Option<u64> {
 }
 
 /// Parses `"<field>:   <n> kB"` out of a `/proc/<pid>/status` document.
+///
+/// A line that merely *starts* with `field` (`VmRSSAnon` when asked for
+/// `VmRSS`, say) is not a match: the prefix must be followed by `:`.
+/// Such near-misses skip to the next line rather than aborting the
+/// scan — an earlier version `?`-returned from inside the loop, so one
+/// prefix-sharing line could hide the real field below it.
 fn parse_status_kb(status: &str, field: &str) -> Option<u64> {
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix(field) {
-            let rest = rest.strip_prefix(':')?.trim();
-            let digits = rest.split_whitespace().next()?;
-            return digits.parse().ok();
-        }
+        let Some(rest) = line.strip_prefix(field) else {
+            continue;
+        };
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let digits = rest.split_whitespace().next()?;
+        return digits.parse().ok();
     }
     None
 }
@@ -47,6 +56,19 @@ mod tests {
         assert_eq!(parse_status_kb(doc, "VmRSS"), Some(123_456));
         assert_eq!(parse_status_kb(doc, "VmHWM"), Some(234_567));
         assert_eq!(parse_status_kb(doc, "VmSwap"), None);
+    }
+
+    #[test]
+    fn prefix_sharing_line_does_not_hide_the_real_field() {
+        // `VmRSSx` shares the `VmRSS` prefix but is a different field;
+        // it appears *before* the real one, which the buggy
+        // early-return parser never reached.
+        let doc = "Name:\tcargo\nVmRSSx:\t  999 kB\nVmRSS:\t  123456 kB\n";
+        assert_eq!(parse_status_kb(doc, "VmRSS"), Some(123_456));
+        // A document with only the near-miss yields None, not a wrong
+        // number.
+        let near_miss_only = "VmRSSx:\t  999 kB\n";
+        assert_eq!(parse_status_kb(near_miss_only, "VmRSS"), None);
     }
 
     #[test]

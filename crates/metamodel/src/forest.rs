@@ -92,6 +92,13 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// The fitted trees in ensemble order — the order predictions
+    /// accumulate in, which serializers (`reds-json`, `reds-art`) must
+    /// preserve for bit-identical round trips.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
     /// Number of input columns.
     pub fn m(&self) -> usize {
         self.m

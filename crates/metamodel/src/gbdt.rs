@@ -292,6 +292,23 @@ impl Gbdt {
         self.trees.len()
     }
 
+    /// The fitted base score (log-odds prior added to every margin).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// The fitted learning rate applied to the summed tree outputs.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Borrowed flat arenas in boosting order — the order margins
+    /// accumulate in, which serializers (`reds-json`, `reds-art`) must
+    /// preserve for bit-identical round trips.
+    pub fn arenas(&self) -> impl ExactSizeIterator<Item = &FlatTree> {
+        self.trees.iter().map(|t| &t.flat)
+    }
+
     /// Number of input columns the ensemble was fitted on.
     pub fn m(&self) -> usize {
         self.m

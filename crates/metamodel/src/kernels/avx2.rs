@@ -12,7 +12,7 @@
 
 use std::arch::x86_64::*;
 
-use super::FlatTree;
+use super::{FlatTree, FlatView};
 
 /// Rows traversed per vector group.
 const GROUP: usize = 4;
@@ -95,10 +95,10 @@ unsafe fn offsets4(base: usize, m: usize) -> __m256i {
 /// AVX2 must be available (dispatcher-probed); `rows.len() == acc.len() * m`
 /// with `m > 0`, and `tree` must satisfy the [`FlatTree`] invariants.
 #[target_feature(enable = "avx2")]
-pub(super) unsafe fn accumulate_tree(tree: &FlatTree, rows: &[f64], m: usize, acc: &mut [f64]) {
-    let feature = tree.features_raw().as_ptr() as *const i32;
-    let value = tree.values_raw().as_ptr();
-    let right = tree.rights_raw().as_ptr() as *const i32;
+pub(super) unsafe fn accumulate_tree(tree: FlatView<'_>, rows: &[f64], m: usize, acc: &mut [f64]) {
+    let feature = tree.features().as_ptr() as *const i32;
+    let value = tree.values().as_ptr();
+    let right = tree.rights().as_ptr() as *const i32;
     let rows_ptr = rows.as_ptr();
     let n = acc.len();
     let mut base = 0usize;

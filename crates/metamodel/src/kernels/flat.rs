@@ -21,6 +21,142 @@ pub struct FlatTree {
     right: Vec<u32>,
 }
 
+/// A borrowed view over a flat tree arena — the same three parallel
+/// arrays as [`FlatTree`], but without owning them.
+///
+/// This is the layout boundary that lets `reds-art` map fitted models
+/// straight off disk: a validated `(feature, value, right)` triple
+/// anywhere in memory (a `FlatTree`, an mmap'd artifact section)
+/// traverses through exactly the same scalar and SIMD kernels.
+///
+/// Views constructed with [`FlatView::new`] are checked against the
+/// full traversal-safety invariants; [`FlatView::new_unchecked`]
+/// defers that guarantee to the caller (for arenas validated once at
+/// load time and re-viewed per batch).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'a> {
+    feature: &'a [u32],
+    value: &'a [f64],
+    right: &'a [u32],
+}
+
+/// Shared invariant check over raw arenas: non-empty, equal-length
+/// arrays, every split's children strictly forward and in bounds (left
+/// implicitly at `i + 1`), features `< m`, and leaves self-looping.
+/// Returns a description of the first violation.
+fn validate_arena(feature: &[u32], value: &[f64], right: &[u32], m: usize) -> Result<(), String> {
+    let len = feature.len();
+    if value.len() != len || right.len() != len {
+        return Err(format!(
+            "arena arrays disagree in length ({len} features, {} values, {} rights)",
+            value.len(),
+            right.len()
+        ));
+    }
+    if len == 0 {
+        return Err("tree has no nodes".into());
+    }
+    if len > u32::MAX as usize {
+        return Err("tree has too many nodes".into());
+    }
+    for i in 0..len {
+        let f = feature[i];
+        let r = right[i] as usize;
+        if f == FlatTree::LEAF {
+            if r != i {
+                return Err(format!("leaf {i} must self-loop (right = {r})"));
+            }
+        } else {
+            if (f as usize) >= m {
+                return Err(format!("node {i}: feature {f} out of range (m = {m})"));
+            }
+            if i + 1 >= len || r <= i + 1 || r >= len {
+                return Err(format!(
+                    "node {i}: children must lie strictly forward in the arena \
+                     (right = {r}, len = {len})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl<'a> FlatView<'a> {
+    /// Builds a validated view over raw arenas (see [`FlatTree`] for
+    /// the invariants). The returned view is safe to traverse through
+    /// every kernel backend.
+    pub fn new(
+        feature: &'a [u32],
+        value: &'a [f64],
+        right: &'a [u32],
+        m: usize,
+    ) -> Result<Self, String> {
+        validate_arena(feature, value, right, m)?;
+        Ok(Self {
+            feature,
+            value,
+            right,
+        })
+    }
+
+    /// Builds a view without re-running validation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the arrays satisfy the
+    /// [`FlatTree`] invariants for the `m` the view will be traversed
+    /// with — e.g. because [`FlatView::new`] validated the same memory
+    /// earlier and it has not changed since. The SIMD kernels issue
+    /// unchecked gathers through these indices.
+    pub unsafe fn new_unchecked(feature: &'a [u32], value: &'a [f64], right: &'a [u32]) -> Self {
+        debug_assert_eq!(feature.len(), value.len());
+        debug_assert_eq!(feature.len(), right.len());
+        Self {
+            feature,
+            value,
+            right,
+        }
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Raw feature array (`LEAF` marks leaves).
+    pub fn features(&self) -> &'a [u32] {
+        self.feature
+    }
+
+    /// Raw value array (thresholds for splits, predictions for leaves).
+    pub fn values(&self) -> &'a [f64] {
+        self.value
+    }
+
+    /// Raw right-child array (self-loops on leaves).
+    pub fn rights(&self) -> &'a [u32] {
+        self.right
+    }
+
+    /// Scalar per-point traversal — the reference every batched kernel
+    /// must match bit for bit (it trivially does: the predicate
+    /// `x[feature] <= threshold` picks the same leaf everywhere).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == FlatTree::LEAF {
+                return self.value[i];
+            }
+            i = if x[f as usize] <= self.value[i] {
+                i + 1
+            } else {
+                self.right[i] as usize
+            };
+        }
+    }
+}
+
 impl FlatTree {
     /// Marker in [`FlatTree::feature`] for leaves.
     pub const LEAF: u32 = u32::MAX;
@@ -61,6 +197,16 @@ impl FlatTree {
         self.right[i as usize] = right;
     }
 
+    /// Borrowed view over the arena. Construction already enforced the
+    /// traversal invariants, so the view needs no re-validation.
+    pub fn view(&self) -> FlatView<'_> {
+        // SAFETY: every `FlatTree` constructor path either builds the
+        // arena through push_leaf/push_split/set_right (depth-first,
+        // children forward by construction) or validates via
+        // `validate` before exposure.
+        unsafe { FlatView::new_unchecked(&self.feature, &self.value, &self.right) }
+    }
+
     /// Number of nodes (leaves + splits).
     pub fn n_nodes(&self) -> usize {
         self.feature.len()
@@ -91,70 +237,17 @@ impl FlatTree {
         self.right[i]
     }
 
-    /// Raw feature array — kernel-internal.
-    pub(crate) fn features_raw(&self) -> &[u32] {
-        &self.feature
-    }
-
-    /// Raw value array — kernel-internal.
-    pub(crate) fn values_raw(&self) -> &[f64] {
-        &self.value
-    }
-
-    /// Raw right-child array — kernel-internal.
-    pub(crate) fn rights_raw(&self) -> &[u32] {
-        &self.right
-    }
-
     /// Scalar per-point traversal — the reference every batched kernel
     /// must match bit for bit (it trivially does: the predicate
     /// `x[feature] <= threshold` picks the same leaf everywhere).
     pub fn predict(&self, x: &[f64]) -> f64 {
-        let mut i = 0usize;
-        loop {
-            let f = self.feature[i];
-            if f == Self::LEAF {
-                return self.value[i];
-            }
-            i = if x[f as usize] <= self.value[i] {
-                i + 1
-            } else {
-                self.right[i] as usize
-            };
-        }
+        self.view().predict(x)
     }
 
     /// Checks the traversal-safety invariants over a freshly decoded
-    /// arena: non-empty, every split's children strictly forward and in
-    /// bounds (left implicitly at `i + 1`), features `< m`, and leaves
-    /// self-looping. Returns a description of the first violation.
+    /// arena (see [`FlatView::new`] for the rules). Returns a
+    /// description of the first violation.
     pub(crate) fn validate(&self, m: usize) -> Result<(), String> {
-        let len = self.n_nodes();
-        if len == 0 {
-            return Err("tree has no nodes".into());
-        }
-        if len > u32::MAX as usize {
-            return Err("tree has too many nodes".into());
-        }
-        for i in 0..len {
-            let f = self.feature[i];
-            let right = self.right[i] as usize;
-            if f == Self::LEAF {
-                if right != i {
-                    return Err(format!("leaf {i} must self-loop (right = {right})"));
-                }
-            } else {
-                if (f as usize) >= m {
-                    return Err(format!("node {i}: feature {f} out of range (m = {m})"));
-                }
-                if i + 1 >= len || right <= i + 1 || right >= len {
-                    return Err(format!(
-                        "node {i}: children must lie strictly forward in the arena \
-                         (right = {right}, len = {len})"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        validate_arena(&self.feature, &self.value, &self.right, m)
     }
 }

@@ -50,7 +50,7 @@ mod scalar;
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 
-pub use flat::FlatTree;
+pub use flat::{FlatTree, FlatView};
 
 /// A prediction-kernel implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,21 @@ pub fn active() -> Kernel {
 /// kernels: traversal is exact, so every backend reaches the same leaf
 /// and adds the same value.
 pub fn accumulate_tree(kernel: Kernel, tree: &FlatTree, rows: &[f64], m: usize, acc: &mut [f64]) {
+    accumulate_tree_view(kernel, tree.view(), rows, m, acc)
+}
+
+/// [`accumulate_tree`] over a borrowed arena view — the entry point for
+/// memory-mapped trees (`reds-art`), whose arenas live outside any
+/// `FlatTree`. The view must satisfy the [`FlatTree`] invariants for
+/// this `m` ([`FlatView::new`] checks them): the AVX2 backend gathers
+/// through the arena indices unchecked.
+pub fn accumulate_tree_view(
+    kernel: Kernel,
+    tree: FlatView<'_>,
+    rows: &[f64],
+    m: usize,
+    acc: &mut [f64],
+) {
     assert_eq!(rows.len(), acc.len() * m, "row buffer shape mismatch");
     if acc.is_empty() {
         return;
@@ -145,8 +160,9 @@ pub fn accumulate_tree(kernel: Kernel, tree: &FlatTree, rows: &[f64], m: usize, 
         #[cfg(target_arch = "x86_64")]
         // SAFETY: the cached feature probe just succeeded (`Kernel` is
         // a public enum, so an explicit `Avx2` cannot be trusted to
-        // imply support), and `FlatTree`'s construction-time validation
-        // bounds every index the gathers dereference.
+        // imply support), and the view's validation (at `FlatView::new`
+        // or `FlatTree` construction) bounds every index the gathers
+        // dereference.
         Kernel::Avx2 if m > 0 && avx2_supported() => unsafe {
             avx2::accumulate_tree(tree, rows, m, acc)
         },

@@ -72,8 +72,13 @@ pub fn f64_from_json(doc: &Json) -> Result<f64, PersistError> {
     }
 }
 
-/// Decodes a non-negative integer stored as a JSON number.
-pub(crate) fn usize_from_json(doc: &Json, what: &str) -> Result<usize, PersistError> {
+/// Decodes a non-negative integer stored as a JSON number, rejecting
+/// negatives, fractions, and anything above `u32::MAX` — so the result
+/// fits `usize` losslessly on every supported target (including 32-bit
+/// ones, where a bare `as usize` would silently truncate). The single
+/// integer-decode helper for every model-document loader (this crate's
+/// persistence and `reds-serve` artifacts alike).
+pub fn usize_from_json(doc: &Json, what: &str) -> Result<usize, PersistError> {
     let v = doc
         .as_f64()
         .ok_or_else(|| bad(format!("{what} must be a number")))?;

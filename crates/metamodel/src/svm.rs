@@ -250,6 +250,52 @@ impl Svm {
         out[0]
     }
 
+    /// Builds an SVM from a raw support set, validating the buffer
+    /// shape (`support_points.len() == support_coef.len() × m`,
+    /// `m > 0`). This is the deserialization entry point for binary
+    /// loaders (`reds-art`): the zero-padded kernel layout is an
+    /// internal detail rebuilt here, never part of a wire format.
+    pub fn from_parts(
+        support_points: Vec<f64>,
+        support_coef: Vec<f64>,
+        bias: f64,
+        gamma: f64,
+        m: usize,
+    ) -> Result<Self, String> {
+        if m == 0 {
+            return Err("'m' must be positive".into());
+        }
+        if support_points.len() != support_coef.len() * m {
+            return Err(format!(
+                "support buffer of {} values does not match {} coefficients × m = {m}",
+                support_points.len(),
+                support_coef.len()
+            ));
+        }
+        Ok(Self::assemble(support_points, support_coef, bias, gamma, m))
+    }
+
+    /// Kernel width γ of the RBF kernel.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Bias term `b` of the decision function.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Dual coefficients `α_i y_i`, in accumulation order.
+    pub fn support_coef(&self) -> &[f64] {
+        &self.support_coef
+    }
+
+    /// Row-major unpadded support-vector buffer
+    /// (`n_support × m` values).
+    pub fn support_points(&self) -> &[f64] {
+        &self.support_points
+    }
+
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support_coef.len()

@@ -10,10 +10,11 @@
 use std::fmt;
 use std::path::Path;
 
+use reds_art::{MappedArtifact, MappedModel, ModelArtifactSpec};
 use reds_data::Dataset;
 use reds_json::Json;
-use reds_metamodel::persist::{f64_from_json, f64_to_json};
-use reds_metamodel::SavedModel;
+use reds_metamodel::persist::{f64_from_json, f64_to_json, usize_from_json};
+use reds_metamodel::{Metamodel, SavedModel};
 
 /// Current artifact schema version; bumped on incompatible changes.
 /// Version 2 added the pool-generation provenance (`pool_seed`,
@@ -27,6 +28,98 @@ pub const POOL_DESIGN_UNIFORM: &str = "uniform";
 
 /// Document-type marker distinguishing artifacts from other REDS JSON.
 pub const ARTIFACT_KIND: &str = "reds-model-artifact";
+
+/// `reds-art` pool-design code for [`POOL_DESIGN_UNIFORM`].
+const ART_POOL_DESIGN_UNIFORM: u32 = 1;
+
+/// Which on-disk format an artifact was loaded from (reported by the
+/// server's `info` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFormat {
+    /// `reds-json` interchange document.
+    Json,
+    /// Memory-mapped `.redsart` binary container.
+    Art,
+}
+
+impl ArtifactFormat {
+    /// Stable lowercase name (`"reds-json"` / `"redsart"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactFormat::Json => "reds-json",
+            ArtifactFormat::Art => "redsart",
+        }
+    }
+}
+
+/// The model inside a [`ModelArtifact`]: either parsed from
+/// `reds-json` (owned) or memory-mapped from a `.redsart` container
+/// (zero-copy arenas). Both predict through the same kernels with the
+/// same accumulation order, so serving results are bit-identical
+/// regardless of variant.
+pub enum ServedModel {
+    /// Owned model decoded from the JSON interchange format.
+    Json(SavedModel),
+    /// Zero-copy model borrowed from a mapped `.redsart` file.
+    Mapped(MappedModel),
+}
+
+impl ServedModel {
+    /// Family tag ("f", "x", "s").
+    pub fn family(&self) -> &'static str {
+        match self {
+            ServedModel::Json(m) => m.family(),
+            ServedModel::Mapped(m) => m.family(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn m(&self) -> usize {
+        match self {
+            ServedModel::Json(m) => m.m(),
+            ServedModel::Mapped(m) => m.m(),
+        }
+    }
+
+    /// Which format this model came from.
+    pub fn format(&self) -> ArtifactFormat {
+        match self {
+            ServedModel::Json(_) => ArtifactFormat::Json,
+            ServedModel::Mapped(_) => ArtifactFormat::Art,
+        }
+    }
+
+    /// The JSON-interchange form, when this model has one (mapped
+    /// models are deployment-only; repack from the source JSON).
+    pub fn as_saved(&self) -> Option<&SavedModel> {
+        match self {
+            ServedModel::Json(m) => Some(m),
+            ServedModel::Mapped(_) => None,
+        }
+    }
+}
+
+impl From<SavedModel> for ServedModel {
+    fn from(m: SavedModel) -> Self {
+        ServedModel::Json(m)
+    }
+}
+
+impl Metamodel for ServedModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            ServedModel::Json(m) => m.predict(x),
+            ServedModel::Mapped(m) => m.predict(x),
+        }
+    }
+
+    fn predict_batch(&self, points: &[f64], m: usize) -> Vec<f64> {
+        match self {
+            ServedModel::Json(model) => model.predict_batch(points, m),
+            ServedModel::Mapped(model) => model.predict_batch(points, m),
+        }
+    }
+}
 
 /// A fitted metamodel plus its training data, ready to serve.
 pub struct ModelArtifact {
@@ -43,8 +136,8 @@ pub struct ModelArtifact {
     /// [`POOL_DESIGN_UNIFORM`]; recorded so future designs cannot be
     /// confused with old artifacts).
     pub pool_design: String,
-    /// The fitted metamodel.
-    pub model: SavedModel,
+    /// The fitted metamodel (owned JSON decode or mapped `.redsart`).
+    pub model: ServedModel,
     /// The training dataset `D` — the validation anchor for `discover`.
     pub train: Dataset,
 }
@@ -58,6 +151,8 @@ pub enum ArtifactError {
     Parse(reds_json::ParseError),
     /// The document is valid JSON but not a valid artifact.
     Format(String),
+    /// A `.redsart` file failed its verification chain.
+    Art(reds_art::ArtError),
 }
 
 impl fmt::Display for ArtifactError {
@@ -66,6 +161,7 @@ impl fmt::Display for ArtifactError {
             Self::Io(e) => write!(f, "cannot read artifact: {e}"),
             Self::Parse(e) => write!(f, "artifact is not valid JSON: {e}"),
             Self::Format(m) => write!(f, "invalid artifact: {m}"),
+            Self::Art(e) => write!(f, "invalid artifact: {e}"),
         }
     }
 }
@@ -78,13 +174,36 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
+impl From<reds_art::ArtError> for ArtifactError {
+    fn from(e: reds_art::ArtError) -> Self {
+        Self::Art(e)
+    }
+}
+
 fn format_err(message: impl Into<String>) -> ArtifactError {
     ArtifactError::Format(message.into())
 }
 
 impl ModelArtifact {
+    /// Which on-disk format this artifact was loaded from (or will
+    /// save to).
+    pub fn format(&self) -> ArtifactFormat {
+        self.model.format()
+    }
+
     /// Serializes the artifact (model, training data, provenance).
+    ///
+    /// # Panics
+    ///
+    /// Panics for mapped (`.redsart`-loaded) artifacts — they have no
+    /// JSON form; `reds-json` is authored by the fitting tools and
+    /// packed *into* `.redsart`, never regenerated from it. [`ModelArtifact::save`]
+    /// returns a structured error instead of panicking.
     pub fn to_json(&self) -> Json {
+        let model = self
+            .model
+            .as_saved()
+            .expect("mapped artifacts have no JSON form");
         Json::obj([
             ("kind", Json::str(ARTIFACT_KIND)),
             ("schema_version", Json::num(ARTIFACT_SCHEMA_VERSION as f64)),
@@ -94,9 +213,9 @@ impl ModelArtifact {
             ("seed", Json::str(self.seed.to_string())),
             ("pool_seed", Json::str(self.pool_seed.to_string())),
             ("pool_design", Json::str(self.pool_design.clone())),
-            ("family", Json::str(self.model.family())),
+            ("family", Json::str(model.family())),
             ("m", Json::num(self.train.m() as f64)),
-            ("model", self.model.to_json()),
+            ("model", model.to_json()),
             (
                 "train",
                 Json::obj([
@@ -155,11 +274,17 @@ impl ModelArtifact {
             }
             (pool_seed, pool_design)
         };
-        let m = doc
-            .get("m")
-            .and_then(Json::as_f64)
-            .filter(|v| *v >= 1.0 && v.fract() == 0.0)
-            .ok_or_else(|| format_err("'m' must be a positive integer"))? as usize;
+        // Checked decode (shared with `metamodel::persist`): rejects
+        // negatives, fractions, and values above `u32::MAX`, so a
+        // 32-bit target can never silently truncate `m`.
+        let m = usize_from_json(
+            doc.get("m").ok_or_else(|| format_err("missing 'm'"))?,
+            "'m'",
+        )
+        .map_err(|e| format_err(e.to_string()))?;
+        if m == 0 {
+            return Err(format_err("'m' must be a positive integer"));
+        }
         let model = SavedModel::from_json(
             doc.get("model")
                 .ok_or_else(|| format_err("missing 'model'"))?,
@@ -201,24 +326,98 @@ impl ModelArtifact {
             seed,
             pool_seed,
             pool_design,
-            model,
+            model: ServedModel::Json(model),
             train,
         })
     }
 
-    /// Writes the artifact as pretty JSON.
+    /// Writes the artifact as pretty JSON. Only JSON-backed artifacts
+    /// can be saved this way — mapped ones have no JSON form.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        if self.model.as_saved().is_none() {
+            return Err(format_err(
+                "a mapped .redsart artifact cannot be re-saved as JSON; \
+                 pack from the source reds-json artifact instead",
+            ));
+        }
         let mut text = self.to_json().to_string_pretty();
         text.push('\n');
         std::fs::write(path, text)?;
         Ok(())
     }
 
-    /// Reads and validates an artifact file.
+    /// Packs the artifact into the `.redsart` zero-copy container.
+    /// Like [`ModelArtifact::save`], this needs the JSON-backed model
+    /// (packing is a one-way step from interchange to deployment).
+    pub fn save_art(&self, path: &Path) -> Result<(), ArtifactError> {
+        let model = self.model.as_saved().ok_or_else(|| {
+            format_err("a mapped .redsart artifact is already packed; copy the file instead")
+        })?;
+        if self.pool_design != POOL_DESIGN_UNIFORM {
+            return Err(format_err(format!(
+                "unsupported pool design '{}' (this build packs '{POOL_DESIGN_UNIFORM}')",
+                self.pool_design
+            )));
+        }
+        reds_art::write_model_artifact(
+            path,
+            &ModelArtifactSpec {
+                function: &self.function,
+                seed: self.seed,
+                pool_seed: self.pool_seed,
+                pool_design: ART_POOL_DESIGN_UNIFORM,
+                model,
+                train: &self.train,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Reads and validates an artifact file in either format, sniffed
+    /// from the file's leading bytes: `.redsart` containers are
+    /// memory-mapped with zero JSON parsing of model bytes; anything
+    /// else takes the JSON interchange path.
     pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        if file_has_art_magic(path)? {
+            return Self::load_art(path);
+        }
         let text = std::fs::read_to_string(path)?;
         let doc = reds_json::from_str(&text).map_err(ArtifactError::Parse)?;
         Self::from_json(&doc)
+    }
+
+    /// Maps and validates a `.redsart` artifact.
+    pub fn load_art(path: &Path) -> Result<Self, ArtifactError> {
+        let mapped = MappedArtifact::open(path)?;
+        if mapped.pool_design != ART_POOL_DESIGN_UNIFORM {
+            return Err(format_err(format!(
+                "unsupported pool design code {} (this build serves '{POOL_DESIGN_UNIFORM}')",
+                mapped.pool_design
+            )));
+        }
+        Ok(Self {
+            function: mapped.function,
+            seed: mapped.seed,
+            pool_seed: mapped.pool_seed,
+            pool_design: POOL_DESIGN_UNIFORM.to_string(),
+            model: ServedModel::Mapped(mapped.model),
+            train: mapped.train,
+        })
+    }
+}
+
+/// Whether `path` starts with the `.redsart` magic (format sniffing —
+/// extensions lie, leading bytes don't).
+fn file_has_art_magic(path: &Path) -> Result<bool, std::io::Error> {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    let mut file = std::fs::File::open(path)?;
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(head == reds_art::MAGIC),
+        // Shorter than 8 bytes: not a .redsart; let the JSON parser
+        // produce its structured error.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
     }
 }
 
@@ -249,9 +448,34 @@ mod tests {
             seed,
             pool_seed: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
             pool_design: POOL_DESIGN_UNIFORM.to_string(),
-            model: SavedModel::Forest(model),
+            model: SavedModel::Forest(model).into(),
             train,
         }
+    }
+
+    #[test]
+    fn redsart_round_trip_is_bit_identical_and_reports_its_format() {
+        use reds_metamodel::Metamodel;
+        let artifact = tiny_artifact(21);
+        let dir = std::env::temp_dir().join(format!("reds-artifact-art-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.redsart");
+        artifact.save_art(&path).expect("pack");
+        let loaded = ModelArtifact::load(&path).expect("map");
+        assert_eq!(loaded.format(), ArtifactFormat::Art);
+        assert_eq!(artifact.format(), ArtifactFormat::Json);
+        assert_eq!(loaded.function, artifact.function);
+        assert_eq!(loaded.seed, artifact.seed);
+        assert_eq!(loaded.pool_seed, artifact.pool_seed);
+        assert_eq!(loaded.train, artifact.train);
+        let q: Vec<f64> = (0..64).map(|i| (i % 13) as f64 / 13.0).collect();
+        let a = artifact.model.predict_batch(&q, 2);
+        let b = loaded.model.predict_batch(&q, 2);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        // Mapped artifacts cannot round back into JSON.
+        assert!(loaded.save(&dir.join("back.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod protocol;
 pub mod server;
 pub mod wire;
 
-pub use artifact::{ArtifactError, ModelArtifact, POOL_DESIGN_UNIFORM};
+pub use artifact::{
+    ArtifactError, ArtifactFormat, ModelArtifact, ServedModel, POOL_DESIGN_UNIFORM,
+};
 pub use client::{Client, ClientError};
 pub use protocol::{
     Algorithm, DiscoverParams, ErrorCode, Request, ServeError, ServeLimits, StreamDiscoverParams,

@@ -282,6 +282,9 @@ impl Service {
         Json::obj([
             ("function", Json::str(self.artifact.function.clone())),
             ("family", Json::str(self.artifact.model.family())),
+            // Which on-disk format the artifact came from: "reds-json"
+            // (parsed) or "redsart" (memory-mapped, zero-copy).
+            ("format", Json::str(self.artifact.format().name())),
             ("m", Json::num(self.artifact.train.m() as f64)),
             ("n_train", Json::num(self.artifact.train.n() as f64)),
             ("seed", Json::str(self.artifact.seed.to_string())),
@@ -584,7 +587,7 @@ mod tests {
                 seed: 41,
                 pool_seed: 4100,
                 pool_design: crate::artifact::POOL_DESIGN_UNIFORM.to_string(),
-                model: SavedModel::Forest(model),
+                model: SavedModel::Forest(model).into(),
                 train,
             },
             ServeLimits {

@@ -15,6 +15,9 @@
 //!   digest instead: `O(chunk + runs)` peak memory end to end, used by
 //!   the peak-RSS benches and as the cross-mode equivalence witness.
 
+use std::path::Path;
+
+use reds_art::{ArtFile, ArtWriter, SECTION_COLUMN, SECTION_DATASET};
 use reds_data::{argsort_stable, ord_key, Dataset, SortedView};
 
 use crate::spill::{ColumnRuns, FloatSpill, RunWriter, SpillDir};
@@ -269,6 +272,138 @@ impl PoolBuilder {
             spilled_bytes: spilled,
         })
     }
+
+    /// Merges the spilled runs directly into a `.redsart` artifact at
+    /// `path`: one fully merged (single-run, rank-addressable)
+    /// [`SECTION_COLUMN`] per input column plus one [`SECTION_DATASET`]
+    /// streamed straight from the data spill — at no point does an
+    /// `O(L)` row-order or point buffer exist in memory. The returned
+    /// stats (digest included) equal [`PoolBuilder::finish_stats`] of
+    /// the same pushes, and [`load_art_pool`] reconstructs the exact
+    /// [`StreamedPool`] that [`PoolBuilder::finish_pool`] would have
+    /// built.
+    pub fn finish_art(self, path: &Path) -> Result<StreamStats, StreamError> {
+        if self.rows == 0 {
+            return Err(StreamError::ZeroRows);
+        }
+        let rows = self.rows;
+        let (runs, runs_per_column, mut spilled) = Self::merged_columns(self.columns, rows)?;
+        let mut writer = ArtWriter::create(path)?;
+        let mut fnv = Fnv::new();
+        for (j, col) in runs.iter().enumerate() {
+            writer.begin_section(SECTION_COLUMN)?;
+            writer.write(&(j as u32).to_le_bytes())?;
+            writer.write(&0u32.to_le_bytes())?; // reserved
+            writer.write(&(rows as u64).to_le_bytes())?;
+            writer.write(&1u64.to_le_bytes())?; // run count: fully merged
+            writer.write(&(rows as u64).to_le_bytes())?; // the run's length
+                                                         // `merge`'s emit callback is infallible; park the first
+                                                         // writer error and surface it right after.
+            let mut write_err: Option<reds_art::ArtError> = None;
+            col.merge(|row, key| {
+                fnv.update(&row.to_le_bytes());
+                if write_err.is_none() {
+                    if let Err(e) = writer.write_record(key, row) {
+                        write_err = Some(e);
+                    }
+                }
+            })?;
+            if let Some(e) = write_err {
+                return Err(e.into());
+            }
+            writer.pad_to_8()?;
+            writer.end_section()?;
+        }
+        spilled += self.points.spilled_bytes() + self.labels.spilled_bytes();
+        writer.begin_section(SECTION_DATASET)?;
+        writer.write(&(rows as u64).to_le_bytes())?;
+        writer.write(&(self.m as u64).to_le_bytes())?;
+        let mut write_err: Option<reds_art::ArtError> = None;
+        self.points.for_each(|v| {
+            if write_err.is_none() {
+                if let Err(e) = writer.write(&v.to_bits().to_le_bytes()) {
+                    write_err = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = write_err {
+            return Err(e.into());
+        }
+        let mut write_err: Option<reds_art::ArtError> = None;
+        self.labels.for_each(|v| {
+            fnv.update(&v.to_bits().to_le_bytes());
+            if write_err.is_none() {
+                if let Err(e) = writer.write(&v.to_bits().to_le_bytes()) {
+                    write_err = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = write_err {
+            return Err(e.into());
+        }
+        writer.end_section()?;
+        writer.finish()?;
+        Ok(StreamStats {
+            rows: rows as u64,
+            m: self.m,
+            label_sum: self.label_sum,
+            positives: self.positives,
+            digest: fnv.0,
+            runs_per_column,
+            spilled_bytes: spilled,
+        })
+    }
+}
+
+/// Loads a pool artifact written by [`PoolBuilder::finish_art`] back
+/// into a [`StreamedPool`] — checksum-verified, structurally validated
+/// (every column present exactly once, each a permutation of the
+/// dataset's rows), and bit-identical to what
+/// [`PoolBuilder::finish_pool`] would have produced from the same
+/// pushes.
+pub fn load_art_pool(path: &Path) -> Result<StreamedPool, StreamError> {
+    let file = ArtFile::open(path)?;
+    let dataset = file.dataset()?;
+    let sections = file.columns()?;
+    let mut cols: Vec<Option<Vec<u32>>> = vec![None; dataset.m()];
+    for section in &sections {
+        let j = section.column();
+        if j >= dataset.m() {
+            return Err(StreamError::CorruptSpill {
+                column: j,
+                detail: format!("artifact sorts column {j} of an m = {} pool", dataset.m()),
+            });
+        }
+        if cols[j].is_some() {
+            return Err(StreamError::CorruptSpill {
+                column: j,
+                detail: "artifact holds column twice".into(),
+            });
+        }
+        if section.n_rows() != dataset.n() {
+            return Err(StreamError::CorruptSpill {
+                column: j,
+                detail: format!(
+                    "column sorts {} rows, dataset has {}",
+                    section.n_rows(),
+                    dataset.n()
+                ),
+            });
+        }
+        cols[j] = Some(section.merged_order()?);
+    }
+    let cols = cols
+        .into_iter()
+        .enumerate()
+        .map(|(j, col)| {
+            col.ok_or(StreamError::CorruptSpill {
+                column: j,
+                detail: "artifact is missing this column's sort order".into(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let view = SortedView::from_presorted_columns(cols, dataset.n())?;
+    Ok(StreamedPool { dataset, view })
 }
 
 #[cfg(test)]
@@ -345,6 +480,40 @@ mod tests {
                 labels.iter().filter(|&&y| y > 0.5).count() as u64
             );
         }
+    }
+
+    #[test]
+    fn art_round_trip_is_bit_identical_to_finish_pool() {
+        let m = 3;
+        let n = 157;
+        let (points, labels) = demo_points(n, m);
+        let reference = build_chunked(&points, &labels, m, 13)
+            .unwrap()
+            .finish_pool()
+            .unwrap();
+        let ref_stats = build_chunked(&points, &labels, m, 13)
+            .unwrap()
+            .finish_stats()
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("reds-stream-art-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.redsart");
+        let stats = build_chunked(&points, &labels, m, 13)
+            .unwrap()
+            .finish_art(&path)
+            .unwrap();
+        // Same digest/counters as digest mode (the equivalence witness
+        // the benches rely on) ...
+        assert_eq!(stats.digest, ref_stats.digest);
+        assert_eq!(stats.rows, ref_stats.rows);
+        assert_eq!(stats.positives, ref_stats.positives);
+        // ... and the loaded pool is the exact finish_pool result.
+        let loaded = load_art_pool(&path).unwrap();
+        assert_eq!(loaded.dataset, reference.dataset);
+        for j in 0..m {
+            assert_eq!(loaded.view.column(j), reference.view.column(j), "col {j}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

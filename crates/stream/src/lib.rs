@@ -44,7 +44,7 @@ mod pipeline;
 mod source;
 mod spill;
 
-pub use build::{digest_pool, PoolBuilder, StreamStats, StreamedPool};
+pub use build::{digest_pool, load_art_pool, PoolBuilder, StreamStats, StreamedPool};
 pub use pipeline::{stream_pool, stream_scan, Labeling};
 pub use source::{ChunkSource, SamplerSource, SliceSource, StreamSampler};
 pub use spill::SpillDir;
@@ -150,6 +150,8 @@ pub enum StreamError {
     ZeroRows,
     /// Final assembly of the dataset / sorted view failed.
     Data(reds_data::DataError),
+    /// Writing or reading a `.redsart` column artifact failed.
+    Art(reds_art::ArtError),
 }
 
 impl fmt::Display for StreamError {
@@ -179,6 +181,7 @@ impl fmt::Display for StreamError {
             Self::Predict(msg) => write!(f, "chunk prediction failed: {msg}"),
             Self::ZeroRows => write!(f, "the chunk source produced no rows"),
             Self::Data(e) => write!(f, "cannot assemble streamed pool: {e}"),
+            Self::Art(e) => write!(f, "pool artifact failure: {e}"),
         }
     }
 }
@@ -188,8 +191,15 @@ impl std::error::Error for StreamError {
         match self {
             Self::Io(e) => Some(e),
             Self::Data(e) => Some(e),
+            Self::Art(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<reds_art::ArtError> for StreamError {
+    fn from(e: reds_art::ArtError) -> Self {
+        Self::Art(e)
     }
 }
 

@@ -1,0 +1,212 @@
+//! Hardening and equivalence suite for the `.redsart` artifact format.
+//!
+//! Two acceptance bars of the artifact PR:
+//!
+//! * **Corruption is rejected, structurally.** Flipping any single byte
+//!   of a valid `.redsart` file, or truncating it at any length, makes
+//!   the loader return a structured error — never a panic, hang, or
+//!   out-of-bounds read. The whole-file FNV-1a checksum (computed with
+//!   its own header field zeroed) guarantees this deterministically:
+//!   the per-byte FNV step is a bijection on the 64-bit state, so any
+//!   single-byte change of an equal-length file changes the digest.
+//! * **Bit-identical serving.** For all three metamodel families, the
+//!   mapped model predicts bit-identically to the `reds-json` load
+//!   path, and a served `discover` returns the same boxes.
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::data::Dataset;
+use reds::metamodel::{
+    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, SavedModel, Svm, SvmParams,
+};
+use reds_serve::{run_discover, ArtifactFormat, DiscoverParams, ModelArtifact};
+
+/// A small labelled dataset with an interesting corner.
+fn corner_data(n: usize, m: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_fn((0..n * m).map(|_| rng.gen::<f64>()).collect(), m, |x| {
+        if x.iter().all(|&v| v > 0.4) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .unwrap()
+}
+
+fn fit_family(family: &str, train: &Dataset, rng: &mut StdRng) -> SavedModel {
+    match family {
+        "f" => {
+            let params = RandomForestParams {
+                n_trees: 5,
+                ..Default::default()
+            };
+            SavedModel::Forest(RandomForest::fit(train, &params, rng))
+        }
+        "x" => {
+            let params = GbdtParams {
+                n_rounds: 5,
+                ..Default::default()
+            };
+            SavedModel::Gbdt(Gbdt::fit(train, &params, rng))
+        }
+        "s" => SavedModel::Svm(Svm::fit(train, &SvmParams::default(), rng)),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn tiny_artifact(family: &str, seed: u64) -> ModelArtifact {
+    let train = corner_data(60, 2, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = fit_family(family, &train, &mut rng);
+    ModelArtifact {
+        function: "corner".to_string(),
+        seed,
+        pool_seed: seed.wrapping_add(1000),
+        pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
+        model: model.into(),
+        train,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reds-art-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every single-byte flip of a valid artifact is rejected with a
+/// structured error, and so is every truncation length — the loader
+/// never panics (a panic would abort this very test) and never reads
+/// out of bounds.
+#[test]
+fn every_single_byte_corruption_is_rejected() {
+    let dir = temp_dir("mutate");
+    let clean = dir.join("clean.redsart");
+    tiny_artifact("f", 5).save_art(&clean).unwrap();
+    let original = std::fs::read(&clean).unwrap();
+    assert!(
+        ModelArtifact::load_art(&clean).is_ok(),
+        "the unmutated file must load"
+    );
+
+    let mutant = dir.join("mutant.redsart");
+    for i in 0..original.len() {
+        let mut bytes = original.clone();
+        bytes[i] ^= 1; // the smallest possible corruption
+        std::fs::write(&mutant, &bytes).unwrap();
+        let err = ModelArtifact::load_art(&mutant)
+            .err()
+            .unwrap_or_else(|| panic!("flipping byte {i} of {} went undetected", original.len()));
+        // Structured, not empty: the error renders a message.
+        assert!(!err.to_string().is_empty());
+    }
+    for len in 0..original.len() {
+        std::fs::write(&mutant, &original[..len]).unwrap();
+        assert!(
+            ModelArtifact::load_art(&mutant).is_err(),
+            "truncation to {len} of {} bytes went undetected",
+            original.len()
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// For every family: the `.redsart` and `reds-json` load paths predict
+/// bit-identically and discover the same boxes.
+#[test]
+fn mapped_models_are_bit_identical_to_json_for_all_families() {
+    let dir = temp_dir("bitid");
+    for family in ["f", "x", "s"] {
+        for seed in [3u64, 17] {
+            let artifact = tiny_artifact(family, seed);
+            let json_path = dir.join(format!("{family}-{seed}.json"));
+            let art_path = dir.join(format!("{family}-{seed}.redsart"));
+            artifact.save(&json_path).unwrap();
+            artifact.save_art(&art_path).unwrap();
+            let from_json = ModelArtifact::load(&json_path).unwrap();
+            let from_art = ModelArtifact::load(&art_path).unwrap();
+            assert_eq!(from_json.format(), ArtifactFormat::Json);
+            assert_eq!(from_art.format(), ArtifactFormat::Art);
+            assert_eq!(from_art.function, from_json.function);
+            assert_eq!(from_art.seed, from_json.seed);
+            assert_eq!(from_art.pool_seed, from_json.pool_seed);
+            assert_eq!(from_art.train, from_json.train);
+
+            let m = artifact.train.m();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+            let probe: Vec<f64> = (0..500 * m).map(|_| rng.gen::<f64>()).collect();
+            let a = from_json.model.predict_batch(&probe, m);
+            let b = from_art.model.predict_batch(&probe, m);
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "family {family}, seed {seed}: prediction {i} differs ({x} vs {y})"
+                );
+            }
+            for row in probe.chunks_exact(m).take(32) {
+                assert_eq!(
+                    from_json.model.predict(row).to_bits(),
+                    from_art.model.predict(row).to_bits()
+                );
+            }
+
+            let params = DiscoverParams {
+                l: 4_000,
+                seed,
+                ..Default::default()
+            };
+            let discover = |a: &ModelArtifact| {
+                run_discover(
+                    |points| Ok(a.model.predict_batch(&points, m)),
+                    m,
+                    &a.train,
+                    &params,
+                )
+                .unwrap()
+            };
+            assert_eq!(
+                discover(&from_json),
+                discover(&from_art),
+                "family {family}, seed {seed}: served discover diverges"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Format sniffing goes by leading bytes, not extension: a `.redsart`
+/// blob under a `.json` name still maps, and vice versa.
+#[test]
+fn format_sniffing_ignores_the_extension() {
+    let dir = temp_dir("sniff");
+    let artifact = tiny_artifact("f", 9);
+    let lying_json = dir.join("model.json");
+    artifact.save_art(&lying_json).unwrap();
+    let loaded = ModelArtifact::load(&lying_json).unwrap();
+    assert_eq!(loaded.format(), ArtifactFormat::Art);
+    let lying_art = dir.join("model.redsart");
+    artifact.save(&lying_art).unwrap();
+    let loaded = ModelArtifact::load(&lying_art).unwrap();
+    assert_eq!(loaded.format(), ArtifactFormat::Json);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The mapped reader also rejects files that are well-formed at the
+/// container level but structurally invalid — here, an empty file and
+/// a non-artifact file.
+#[test]
+fn junk_files_are_rejected() {
+    let dir = temp_dir("junk");
+    let path = dir.join("junk.redsart");
+    std::fs::write(&path, b"").unwrap();
+    assert!(ModelArtifact::load_art(&path).is_err());
+    std::fs::write(&path, b"REDSART1 but then garbage follows").unwrap();
+    assert!(ModelArtifact::load_art(&path).is_err());
+    assert!(Path::new(&path).exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

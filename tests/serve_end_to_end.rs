@@ -40,7 +40,7 @@ fn corner_artifact(seed: u64) -> ModelArtifact {
         seed,
         pool_seed: seed.wrapping_add(9_000),
         pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
-        model: SavedModel::Forest(model),
+        model: SavedModel::Forest(model).into(),
         train,
     }
 }
