@@ -421,37 +421,41 @@ fn file_has_art_magic(path: &Path) -> Result<bool, std::io::Error> {
     }
 }
 
+/// A small deterministic forest artifact shared by this crate's unit
+/// tests (batch, registry, server).
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) fn tiny_artifact(seed: u64) -> ModelArtifact {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use reds_metamodel::{RandomForest, RandomForestParams};
 
-    pub(crate) fn tiny_artifact(seed: u64) -> ModelArtifact {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let train = Dataset::from_fn((0..120 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
-            if x[0] > 0.5 && x[1] > 0.5 {
-                1.0
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
-        let params = RandomForestParams {
-            n_trees: 12,
-            ..Default::default()
-        };
-        let model = RandomForest::fit(&train, &params, &mut rng);
-        ModelArtifact {
-            function: "corner".to_string(),
-            seed,
-            pool_seed: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
-            pool_design: POOL_DESIGN_UNIFORM.to_string(),
-            model: SavedModel::Forest(model).into(),
-            train,
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = Dataset::from_fn((0..120 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+        if x[0] > 0.5 && x[1] > 0.5 {
+            1.0
+        } else {
+            0.0
         }
+    })
+    .unwrap();
+    let params = RandomForestParams {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let model = RandomForest::fit(&train, &params, &mut rng);
+    ModelArtifact {
+        function: "corner".to_string(),
+        seed,
+        pool_seed: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+        pool_design: POOL_DESIGN_UNIFORM.to_string(),
+        model: SavedModel::Forest(model).into(),
+        train,
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
 
     #[test]
     fn redsart_round_trip_is_bit_identical_and_reports_its_format() {

@@ -1,0 +1,96 @@
+//! Exponential backoff with full jitter, deterministic under a seed.
+//!
+//! Every retrier in the serving stack — a client re-issuing a
+//! `too_busy` request, the fleet coordinator reconnecting to a worker,
+//! a timed-out request, a parked round with zero live workers — runs
+//! through one of these schedules: the delay for attempt `k` is drawn
+//! uniformly from `[0, min(cap, base · 2^k)]` ("full jitter", which
+//! de-synchronises a fleet of retriers better than truncated binary
+//! backoff). The draw comes from a seeded [`StdRng`], so a test
+//! replaying the same fault plan sees the same delays.
+//!
+//! The schedule lives in `reds-serve` (the lowest crate in the serving
+//! stack) and is re-exported by `reds-fleet`, so the client, router,
+//! and coordinator all share one implementation.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic full-jitter backoff schedule.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and ceiling-capped at `cap`,
+    /// jittered by the stream of `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The delay before the next retry; each call advances the
+    /// schedule one attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 · base caps the doubling itself
+        self.attempt = self.attempt.saturating_add(1);
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap)
+            .as_millis() as u64;
+        Duration::from_millis(self.rng.gen_range(0..=ceiling))
+    }
+
+    /// Retries spent since construction or the last [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the schedule over after a success (the jitter stream
+    /// keeps advancing, so resets do not replay delays).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_under_the_growing_ceiling_and_the_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(160);
+        let mut b = Backoff::new(base, cap, 7);
+        for k in 0..12 {
+            let ceiling = base.saturating_mul(1 << k.min(20)).min(cap);
+            let d = b.next_delay();
+            assert!(d <= ceiling, "attempt {k}: {d:?} > {ceiling:?}");
+        }
+        assert_eq!(b.attempts(), 12);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= base);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4), "different seeds diverge");
+    }
+}

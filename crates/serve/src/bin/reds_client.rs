@@ -1,23 +1,32 @@
-//! Command-line client for a running `reds_serve` process.
+//! Command-line client for a running `reds_serve` (or `reds_router`)
+//! process.
 //!
 //! ```text
 //! reds_client --addr 127.0.0.1:7878 --cmd info
 //! reds_client --addr … --cmd predict_batch --m 2 --points 0.1,0.9,0.4,0.2
 //! reds_client --addr … --cmd discover --l 2000 --seed 7 --algorithm prim
 //! reds_client --addr … --cmd discover_streaming --l 2000000 --chunk-rows 65536
+//! reds_client --addr … --cmd swap --path next.redsart [--model champion]
 //! reds_client --addr … --cmd shutdown
 //! ```
+//!
+//! `--model` addresses a named registry model (default model
+//! otherwise). `too_busy` refusals are retried with jittered
+//! exponential backoff (up to `--busy-retries` attempts, base delay
+//! `--retry-base-ms`); `--no-retry` fails fast instead.
 //!
 //! Prints the server's `result` object as compact JSON on stdout.
 //! Exits 0 on success, 1 on a server/transport error, 2 on bad usage.
 
 use std::process::exit;
+use std::time::Duration;
 
-use reds_serve::{Algorithm, Client, DiscoverParams, StreamDiscoverParams};
+use reds_serve::{Algorithm, Backoff, Client, DiscoverParams, StreamDiscoverParams};
 
 const USAGE: &str = "usage: reds_client --addr HOST:PORT \
---cmd <info|predict_batch|discover|discover_streaming|shutdown> \
-[--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X] [--chunk-rows N]";
+--cmd <info|predict_batch|discover|discover_streaming|swap|shutdown> \
+[--model NAME] [--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X] \
+[--chunk-rows N] [--path ARTIFACT] [--busy-retries N] [--retry-base-ms N] [--no-retry]";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
@@ -28,11 +37,15 @@ fn fail(message: impl std::fmt::Display) -> ! {
 fn main() {
     let mut addr = String::new();
     let mut cmd = String::new();
+    let mut model: Option<String> = None;
     let mut m = 0usize;
     let mut points: Vec<f64> = Vec::new();
     let mut params = DiscoverParams::default();
     let mut seed_given = false;
     let mut chunk_rows = 0usize;
+    let mut swap_path = String::new();
+    let mut busy_retries = 5u32;
+    let mut retry_base_ms = 50u64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
@@ -42,6 +55,8 @@ fn main() {
         match flag.as_str() {
             "--addr" => addr = value("host:port"),
             "--cmd" => cmd = value("a command"),
+            "--model" => model = Some(value("a model name")),
+            "--path" => swap_path = value("a file path"),
             "--m" => {
                 let raw = value("an integer");
                 m = raw
@@ -91,6 +106,19 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail(format!("--bnd expects a number, got '{raw}'")));
             }
+            "--busy-retries" => {
+                let raw = value("an integer");
+                busy_retries = raw.parse().unwrap_or_else(|_| {
+                    fail(format!("--busy-retries expects an integer, got '{raw}'"))
+                });
+            }
+            "--retry-base-ms" => {
+                let raw = value("milliseconds");
+                retry_base_ms = raw.parse().unwrap_or_else(|_| {
+                    fail(format!("--retry-base-ms expects an integer, got '{raw}'"))
+                });
+            }
+            "--no-retry" => busy_retries = 0,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -105,19 +133,34 @@ fn main() {
         eprintln!("error: {e}");
         exit(1);
     });
+    if busy_retries > 0 {
+        // Full-jitter exponential backoff, seeded per process so
+        // colliding clients spread out instead of retrying in lockstep.
+        client.set_busy_retry(
+            busy_retries,
+            Backoff::new(
+                Duration::from_millis(retry_base_ms),
+                Duration::from_secs(5),
+                u64::from(std::process::id()) ^ 0x5eed,
+            ),
+        );
+    }
+    let model = model.as_deref();
     let outcome = match cmd.as_str() {
         "info" => client.info().map(|j| j.to_string_compact()),
         "predict_batch" => {
             if m == 0 {
                 fail("predict_batch needs --m and --points");
             }
-            client.predict_batch(&points, m).map(|preds| {
-                reds_json::Json::arr(preds.into_iter().map(reds_json::Json::num))
-                    .to_string_compact()
-            })
+            client
+                .predict_batch_on(model, &points, m)
+                .map(|(_, preds)| {
+                    reds_json::Json::arr(preds.into_iter().map(reds_json::Json::num))
+                        .to_string_compact()
+                })
         }
         "discover" => client
-            .discover(&params)
+            .discover_on(model, &params)
             .map(|r| r.to_json().to_string_compact()),
         "discover_streaming" => {
             let stream_params = StreamDiscoverParams {
@@ -130,8 +173,16 @@ fn main() {
                 chunk_rows,
             };
             client
-                .discover_streaming(&stream_params)
+                .discover_streaming_on(model, &stream_params)
                 .map(|r| r.to_json().to_string_compact())
+        }
+        "swap" => {
+            if swap_path.is_empty() {
+                fail("swap needs --path");
+            }
+            client
+                .swap(model, &swap_path)
+                .map(|j| j.to_string_compact())
         }
         "shutdown" => client
             .shutdown()

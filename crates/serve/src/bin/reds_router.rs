@@ -1,0 +1,82 @@
+//! The shard-routing front binary: fan `predict_batch` requests across
+//! a fleet of `reds_serve` worker processes over the same NDJSON
+//! protocol, reassembling answers bit-identically.
+//!
+//! ```text
+//! cargo run --release -p reds-serve --bin reds_router -- \
+//!     --shard 127.0.0.1:7879 --shard 127.0.0.1:7880 \
+//!     [--addr 127.0.0.1:7878] [--max-frame-bytes N] [--max-rows N] \
+//!     [--max-connections N] [--propagate-shutdown]
+//! ```
+//!
+//! Clients connect to the router exactly as they would to a single
+//! `reds_serve`: `predict_batch` is split row-contiguously across the
+//! shards, `discover`/`discover_streaming` route whole to one shard by
+//! seed, `swap` broadcasts so the fleet flips together, and `info`
+//! aggregates per-shard state. With `--propagate-shutdown`, a client
+//! `shutdown` stops the workers too.
+//!
+//! Prints `listening on <addr>` on stdout once ready.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use reds_serve::reactor::ConnGauges;
+use reds_serve::{poller_backend, serve_handler, Router, ServeLimits};
+
+const USAGE: &str = "usage: reds_router --shard HOST:PORT [--shard HOST:PORT]… \
+[--addr HOST:PORT] [--max-frame-bytes N] [--max-rows N] [--max-connections N] \
+[--propagate-shutdown]";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut shards: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut limits = ServeLimits::default();
+    let mut propagate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format!("{flag} expects {what}")))
+        };
+        match flag.as_str() {
+            "--shard" => shards.push(value("host:port")),
+            "--addr" => addr = value("host:port"),
+            "--max-frame-bytes" => limits.max_frame_bytes = parse_usize(&flag, &value("a size")),
+            "--max-rows" => limits.max_rows_per_request = parse_usize(&flag, &value("a count")),
+            "--max-connections" => limits.max_connections = parse_usize(&flag, &value("a count")),
+            "--propagate-shutdown" => propagate = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    if shards.is_empty() {
+        fail("at least one --shard is required");
+    }
+    eprintln!(
+        "routing across {} shard(s) over the {} reactor: {}",
+        shards.len(),
+        poller_backend(),
+        shards.join(", "),
+    );
+    let router = Arc::new(Router::new(shards, limits.clone()).propagate_shutdown(propagate));
+    let gauges = Arc::new(ConnGauges::default());
+    let handle = serve_handler(router, &addr, limits, gauges).unwrap_or_else(|e| fail(e));
+    println!("listening on {}", handle.addr());
+    handle.join();
+    eprintln!("shutdown complete");
+}
+
+fn parse_usize(flag: &str, raw: &str) -> usize {
+    raw.parse()
+        .unwrap_or_else(|_| fail(format!("{flag} expects an integer, got '{raw}'")))
+}

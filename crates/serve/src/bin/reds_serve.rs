@@ -1,23 +1,31 @@
-//! The serving binary: load a model artifact, serve it over TCP until
-//! a client sends `shutdown` (or the process is killed).
+//! The serving binary: load one or more model artifacts into the
+//! versioned registry and serve them over TCP until a client sends
+//! `shutdown` (or the process is killed).
 //!
 //! ```text
 //! cargo run --release -p reds-serve --bin reds_serve -- \
-//!     --model model.json [--addr 127.0.0.1:7878] \
+//!     --model model.json [--load NAME=PATH]… [--addr 127.0.0.1:7878] \
 //!     [--max-frame-bytes N] [--max-rows N] [--max-discover-l N] \
-//!     [--max-connections N]
+//!     [--max-connections N] [--queue-depth N] [--max-discovers N] \
+//!     [--max-models N] [--drain-ms N]
 //! ```
+//!
+//! `--model` becomes the registry's default model; each `--load`
+//! registers an additional named model. Any model can later be
+//! hot-swapped with the `swap` command without dropping a request.
 //!
 //! Prints `listening on <addr>` on stdout once ready, so scripts can
 //! wait for the line before connecting.
 
 use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
 
-use reds_serve::{serve, ModelArtifact, ServeLimits};
+use reds_serve::{poller_backend, serve_service, ModelArtifact, ServeLimits, Service};
 
-const USAGE: &str = "usage: reds_serve --model <artifact.json> [--addr HOST:PORT] \
-[--max-frame-bytes N] [--max-rows N] [--max-discover-l N] [--max-connections N]";
+const USAGE: &str = "usage: reds_serve --model <artifact.json> [--load NAME=PATH]… \
+[--addr HOST:PORT] [--max-frame-bytes N] [--max-rows N] [--max-discover-l N] \
+[--max-connections N] [--queue-depth N] [--max-discovers N] [--max-models N] [--drain-ms N]";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
@@ -27,6 +35,7 @@ fn fail(message: impl std::fmt::Display) -> ! {
 
 fn main() {
     let mut model_path = String::new();
+    let mut extra_models: Vec<(String, String)> = Vec::new();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut limits = ServeLimits::default();
     let mut args = std::env::args().skip(1);
@@ -37,11 +46,26 @@ fn main() {
         };
         match flag.as_str() {
             "--model" => model_path = value("a file path"),
+            "--load" => {
+                let raw = value("NAME=PATH");
+                let (name, path) = raw
+                    .split_once('=')
+                    .unwrap_or_else(|| fail(format!("--load expects NAME=PATH, got '{raw}'")));
+                extra_models.push((name.to_string(), path.to_string()));
+            }
             "--addr" => addr = value("host:port"),
             "--max-frame-bytes" => limits.max_frame_bytes = parse_usize(&flag, &value("a size")),
             "--max-rows" => limits.max_rows_per_request = parse_usize(&flag, &value("a count")),
             "--max-discover-l" => limits.max_discover_l = parse_usize(&flag, &value("a count")),
             "--max-connections" => limits.max_connections = parse_usize(&flag, &value("a count")),
+            "--queue-depth" => limits.queue_depth = parse_usize(&flag, &value("a count")),
+            "--max-discovers" => {
+                limits.max_active_discovers = parse_usize(&flag, &value("a count"))
+            }
+            "--max-models" => limits.max_models = parse_usize(&flag, &value("a count")),
+            "--drain-ms" => {
+                limits.swap_drain_ms = parse_usize(&flag, &value("milliseconds")) as u64
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -54,14 +78,35 @@ fn main() {
     }
     let artifact = ModelArtifact::load(Path::new(&model_path)).unwrap_or_else(|e| fail(e));
     eprintln!(
-        "loaded {} metamodel for '{}' (m = {}, n_train = {}, kernel = {})",
+        "loaded {} metamodel for '{}' ({}, m = {}, n_train = {}, kernel = {})",
         artifact.model.family(),
         artifact.function,
+        artifact.format().name(),
         artifact.train.m(),
         artifact.train.n(),
         reds_metamodel::kernels::active().name(),
     );
-    let handle = serve(artifact, &addr, limits).unwrap_or_else(|e| fail(e));
+    let service = Service::new(artifact, limits);
+    for (name, path) in &extra_models {
+        let extra = ModelArtifact::load(Path::new(path)).unwrap_or_else(|e| fail(e));
+        eprintln!(
+            "loaded {} metamodel for '{}' ({}, m = {}) as model '{name}'",
+            extra.model.family(),
+            extra.function,
+            extra.format().name(),
+            extra.train.m(),
+        );
+        service
+            .registry()
+            .install(name, extra)
+            .unwrap_or_else(|e| fail(e.message));
+    }
+    eprintln!(
+        "serving {} model(s) over the {} reactor",
+        service.registry().len(),
+        poller_backend(),
+    );
+    let handle = serve_service(Arc::new(service), &addr).unwrap_or_else(|e| fail(e));
     println!("listening on {}", handle.addr());
     handle.join();
     eprintln!("shutdown complete");

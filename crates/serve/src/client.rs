@@ -1,19 +1,25 @@
 //! A small blocking client for the serving protocol, used by the
-//! integration tests, the CI smoke test, and the `reds_client` CLI.
+//! integration tests, the CI smoke test, the shard [`router`]
+//! (crate::router), and the `reds_client` CLI.
 //!
 //! Every read runs under a socket read timeout with a bounded retry
 //! budget — a stalled or wedged server surfaces as a structured
 //! [`ClientError::Timeout`] after the configured patience instead of
-//! blocking the calling thread forever.
+//! blocking the calling thread forever. `too_busy` refusals (a full
+//! prediction queue, or admission control at accept time) can
+//! optionally be retried with jittered exponential [`Backoff`],
+//! reconnecting per attempt because the server may have closed the
+//! refused connection.
 
 use std::fmt;
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use reds_json::Json;
 use reds_subgroup::SdResult;
 
+use crate::backoff::Backoff;
 use crate::protocol::{DiscoverParams, Request, StreamDiscoverParams};
 use crate::wire::{self, Frame, RetryBudget};
 
@@ -69,19 +75,30 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry policy for `too_busy` refusals.
+struct BusyRetry {
+    retries: u32,
+    backoff: Backoff,
+}
+
 /// One connection to a serving process.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
     next_id: u64,
     timeout: Duration,
+    busy: Option<BusyRetry>,
 }
 
 impl Client {
     /// Connects to a running server. Replies are awaited under
     /// [`DEFAULT_TIMEOUT`]; adjust with [`Client::set_timeout`].
+    /// `too_busy` refusals are returned immediately; opt into retries
+    /// with [`Client::set_busy_retry`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
         stream.set_nodelay(true).ok();
         // The socket timeout paces the retry loop; the *total* patience
         // is enforced by a RetryBudget per read, so it can be changed
@@ -90,8 +107,10 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            peer,
             next_id: 1,
             timeout: DEFAULT_TIMEOUT,
+            busy: None,
         })
     }
 
@@ -99,6 +118,30 @@ impl Client {
     /// default — reads are always bounded; there is no infinite mode.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.timeout = timeout.unwrap_or(DEFAULT_TIMEOUT);
+        Ok(())
+    }
+
+    /// Enables retrying `too_busy` server refusals: up to `retries`
+    /// extra attempts, sleeping a jittered exponential delay drawn from
+    /// `backoff` between attempts. Each retry reconnects, because an
+    /// admission-control refusal closes the rejected connection.
+    pub fn set_busy_retry(&mut self, retries: u32, backoff: Backoff) {
+        self.busy = Some(BusyRetry { retries, backoff });
+    }
+
+    /// Disables `too_busy` retries (the default).
+    pub fn clear_busy_retry(&mut self) {
+        self.busy = None;
+    }
+
+    /// Reconnects to the same peer, replacing the underlying stream;
+    /// the id counter and timeout carry over.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_SLICE))?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
         Ok(())
     }
 
@@ -135,8 +178,35 @@ impl Client {
     }
 
     /// Sends a request and returns the `result` object of a successful
-    /// response, or the structured server error.
+    /// response, or the structured server error. With
+    /// [`Client::set_busy_retry`] enabled, `too_busy` refusals are
+    /// retried under jittered exponential backoff.
     pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        if let Some(b) = self.busy.as_mut() {
+            b.backoff.reset();
+        }
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.call_once(request);
+            let busy =
+                matches!(&outcome, Err(ClientError::Server { code, .. }) if code == "too_busy");
+            if !busy {
+                return outcome;
+            }
+            let delay = match self.busy.as_mut() {
+                Some(b) if attempt < b.retries => b.backoff.next_delay(),
+                _ => return outcome,
+            };
+            attempt += 1;
+            std::thread::sleep(delay);
+            // The refusal may have come with a closed connection
+            // (accept-time admission control does that); a fresh
+            // connection covers both cases.
+            self.reconnect()?;
+        }
+    }
+
+    fn call_once(&mut self, request: &Request) -> Result<Json, ClientError> {
         let sent_id = request.id();
         let mut text = request.to_json().to_string_compact();
         text.push('\n');
@@ -183,54 +253,103 @@ impl Client {
         id
     }
 
-    /// Predicts every row of a row-major buffer with `m` columns.
+    /// Predicts every row of a row-major buffer with `m` columns
+    /// against the server's default model.
     pub fn predict_batch(&mut self, points: &[f64], m: usize) -> Result<Vec<f64>, ClientError> {
+        self.predict_batch_on(None, points, m)
+            .map(|(_, preds)| preds)
+    }
+
+    /// Predicts against a named registry model (`None` = the default),
+    /// also returning the registry version that served the batch.
+    pub fn predict_batch_on(
+        &mut self,
+        model: Option<&str>,
+        points: &[f64],
+        m: usize,
+    ) -> Result<(u64, Vec<f64>), ClientError> {
         let id = self.fresh_id();
         let result = self.call(&Request::PredictBatch {
             id,
             points: points.to_vec(),
             m,
+            model: model.map(str::to_string),
         })?;
         let arr = result
             .get("predictions")
             .and_then(Json::as_array)
             .ok_or_else(|| ClientError::Protocol("missing 'predictions'".to_string()))?;
-        arr.iter()
+        let preds = arr
+            .iter()
             .map(|v| {
                 // Numbers plus the "inf"/"-inf"/"nan" markers, matching
                 // the server's (and the model files') encoding.
                 reds_metamodel::persist::f64_from_json(v)
                     .map_err(|_| ClientError::Protocol("non-numeric prediction".to_string()))
             })
-            .collect()
+            .collect::<Result<Vec<f64>, ClientError>>()?;
+        let version = result.get("version").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        Ok((version, preds))
     }
 
-    /// Runs scenario discovery on the server.
+    /// Runs scenario discovery on the server's default model.
     pub fn discover(&mut self, params: &DiscoverParams) -> Result<SdResult, ClientError> {
+        self.discover_on(None, params)
+    }
+
+    /// Runs scenario discovery on a named registry model.
+    pub fn discover_on(
+        &mut self,
+        model: Option<&str>,
+        params: &DiscoverParams,
+    ) -> Result<SdResult, ClientError> {
         let id = self.fresh_id();
         let result = self.call(&Request::Discover {
             id,
             params: params.clone(),
+            model: model.map(str::to_string),
         })?;
         SdResult::from_json(&result)
             .ok_or_else(|| ClientError::Protocol("unparseable 'boxes'".to_string()))
     }
 
-    /// Runs streaming scenario discovery on the server. Omitting the
-    /// seed (`params.seed = None`) asks the server to stream the pool
-    /// recorded in its artifact (`pool_seed`), reproducible from the
-    /// artifact file alone.
+    /// Runs streaming scenario discovery on the server's default
+    /// model. Omitting the seed (`params.seed = None`) asks the server
+    /// to stream the pool recorded in its artifact (`pool_seed`),
+    /// reproducible from the artifact file alone.
     pub fn discover_streaming(
         &mut self,
+        params: &StreamDiscoverParams,
+    ) -> Result<SdResult, ClientError> {
+        self.discover_streaming_on(None, params)
+    }
+
+    /// Runs streaming scenario discovery on a named registry model.
+    pub fn discover_streaming_on(
+        &mut self,
+        model: Option<&str>,
         params: &StreamDiscoverParams,
     ) -> Result<SdResult, ClientError> {
         let id = self.fresh_id();
         let result = self.call(&Request::DiscoverStreaming {
             id,
             params: params.clone(),
+            model: model.map(str::to_string),
         })?;
         SdResult::from_json(&result)
             .ok_or_else(|| ClientError::Protocol("unparseable 'boxes'".to_string()))
+    }
+
+    /// Hot-swaps a registry model (`None` = the default) to the
+    /// artifact at `path` on the server's filesystem; returns the
+    /// swap outcome object (new version, drain report).
+    pub fn swap(&mut self, model: Option<&str>, path: &str) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        self.call(&Request::Swap {
+            id,
+            model: model.map(str::to_string),
+            path: path.to_string(),
+        })
     }
 
     /// Fetches the model/server description.

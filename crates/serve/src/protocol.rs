@@ -42,6 +42,20 @@ pub struct ServeLimits {
     /// cap is answered with a single `too_busy` error frame and closed
     /// instead of spawning an unbounded handler thread.
     pub max_connections: usize,
+    /// Maximum jobs waiting in one model's micro-batch queue. A request
+    /// arriving at a full queue is answered with `too_busy` immediately
+    /// (explicit per-model backpressure) instead of queueing without
+    /// bound.
+    pub queue_depth: usize,
+    /// Maximum `discover`/`discover_streaming` requests computing at
+    /// once across all models; requests beyond the cap get `too_busy`.
+    pub max_active_discovers: usize,
+    /// Maximum models the registry will hold.
+    pub max_models: usize,
+    /// How long a hot swap waits for in-flight requests against the old
+    /// version to finish before reporting `drained: false` (the old
+    /// mapping is still released only when its last request completes).
+    pub swap_drain_ms: u64,
 }
 
 impl Default for ServeLimits {
@@ -51,6 +65,10 @@ impl Default for ServeLimits {
             max_rows_per_request: 262_144,
             max_discover_l: 1_000_000,
             max_connections: 256,
+            queue_depth: 512,
+            max_active_discovers: 8,
+            max_models: 16,
+            swap_drain_ms: 5_000,
         }
     }
 }
@@ -237,6 +255,8 @@ pub enum Request {
         points: Vec<f64>,
         /// Declared number of columns.
         m: usize,
+        /// Registry model to query; `None` is the default model.
+        model: Option<String>,
     },
     /// Run scenario discovery with the loaded model.
     Discover {
@@ -244,6 +264,8 @@ pub enum Request {
         id: u64,
         /// Discovery parameters.
         params: DiscoverParams,
+        /// Registry model to query; `None` is the default model.
+        model: Option<String>,
     },
     /// Run scenario discovery through the streaming pipeline.
     DiscoverStreaming {
@@ -251,8 +273,21 @@ pub enum Request {
         id: u64,
         /// Streaming discovery parameters.
         params: StreamDiscoverParams,
+        /// Registry model to query; `None` is the default model.
+        model: Option<String>,
     },
-    /// Describe the loaded model and server counters.
+    /// Hot-swap a registry model to a new artifact loaded from a path
+    /// on the server's filesystem.
+    Swap {
+        /// Echoed request id.
+        id: u64,
+        /// Registry model to replace (created when new); `None` is the
+        /// default model.
+        model: Option<String>,
+        /// Server-side path of the `.redsart` / reds-json artifact.
+        path: String,
+    },
+    /// Describe the loaded models and server counters.
     Info {
         /// Echoed request id.
         id: u64,
@@ -271,42 +306,75 @@ impl Request {
             Self::PredictBatch { id, .. }
             | Self::Discover { id, .. }
             | Self::DiscoverStreaming { id, .. }
+            | Self::Swap { id, .. }
             | Self::Info { id }
             | Self::Shutdown { id } => *id,
         }
     }
 
+    /// The registry model the request targets (`None` for the default
+    /// model and for commands without a model field).
+    pub fn model(&self) -> Option<&str> {
+        match self {
+            Self::PredictBatch { model, .. }
+            | Self::Discover { model, .. }
+            | Self::DiscoverStreaming { model, .. }
+            | Self::Swap { model, .. } => model.as_deref(),
+            Self::Info { .. } | Self::Shutdown { .. } => None,
+        }
+    }
+
     /// Serializes the request to its wire object (used by the client).
     pub fn to_json(&self) -> Json {
+        // An absent model means "the default model"; it must stay
+        // absent on the wire (same convention as the streaming seed).
+        let push_model = |pairs: &mut Vec<(&str, Json)>, model: &Option<String>| {
+            if let Some(model) = model {
+                pairs.push(("model", Json::str(model.clone())));
+            }
+        };
         match self {
-            Self::PredictBatch { id, points, m } => Json::obj([
-                ("id", Json::num(*id as f64)),
-                ("cmd", Json::str("predict_batch")),
-                ("m", Json::num(*m as f64)),
-                // Datasets (and validate_points) allow ±∞ coordinates,
-                // and JSON numbers cannot carry them — reuse the
-                // persistence layer's marker-string encoding so typed
-                // clients can send exactly what an in-process call
-                // accepts. NaN travels too, and is then rejected at the
-                // boundary with its row/column.
-                (
-                    "points",
-                    Json::arr(
-                        points
-                            .iter()
-                            .map(|&v| reds_metamodel::persist::f64_to_json(v)),
+            Self::PredictBatch {
+                id,
+                points,
+                m,
+                model,
+            } => {
+                let mut pairs = vec![
+                    ("id", Json::num(*id as f64)),
+                    ("cmd", Json::str("predict_batch")),
+                    ("m", Json::num(*m as f64)),
+                    // Datasets (and validate_points) allow ±∞
+                    // coordinates, and JSON numbers cannot carry them —
+                    // reuse the persistence layer's marker-string
+                    // encoding so typed clients can send exactly what an
+                    // in-process call accepts. NaN travels too, and is
+                    // then rejected at the boundary with its row/column.
+                    (
+                        "points",
+                        Json::arr(
+                            points
+                                .iter()
+                                .map(|&v| reds_metamodel::persist::f64_to_json(v)),
+                        ),
                     ),
-                ),
-            ]),
-            Self::Discover { id, params } => Json::obj([
-                ("id", Json::num(*id as f64)),
-                ("cmd", Json::str("discover")),
-                ("l", Json::num(params.l as f64)),
-                ("seed", Json::str(params.seed.to_string())),
-                ("algorithm", Json::str(params.algorithm.as_str())),
-                ("bnd", Json::num(params.bnd)),
-            ]),
-            Self::DiscoverStreaming { id, params } => {
+                ];
+                push_model(&mut pairs, model);
+                Json::obj(pairs)
+            }
+            Self::Discover { id, params, model } => {
+                let mut pairs = vec![
+                    ("id", Json::num(*id as f64)),
+                    ("cmd", Json::str("discover")),
+                    ("l", Json::num(params.l as f64)),
+                    ("seed", Json::str(params.seed.to_string())),
+                    ("algorithm", Json::str(params.algorithm.as_str())),
+                    ("bnd", Json::num(params.bnd)),
+                ];
+                push_model(&mut pairs, model);
+                Json::obj(pairs)
+            }
+            Self::DiscoverStreaming { id, params, model } => {
                 let mut pairs = vec![
                     ("id", Json::num(*id as f64)),
                     ("cmd", Json::str("discover_streaming")),
@@ -320,6 +388,16 @@ impl Request {
                 if let Some(seed) = params.seed {
                     pairs.push(("seed", Json::str(seed.to_string())));
                 }
+                push_model(&mut pairs, model);
+                Json::obj(pairs)
+            }
+            Self::Swap { id, model, path } => {
+                let mut pairs = vec![
+                    ("id", Json::num(*id as f64)),
+                    ("cmd", Json::str("swap")),
+                    ("path", Json::str(path.clone())),
+                ];
+                push_model(&mut pairs, model);
                 Json::obj(pairs)
             }
             Self::Info { id } => {
@@ -371,7 +449,12 @@ impl Request {
                         ))
                     })?);
                 }
-                Ok(Self::PredictBatch { id, points, m })
+                Ok(Self::PredictBatch {
+                    id,
+                    points,
+                    m,
+                    model: decode_model(doc)?,
+                })
             }
             "discover" => {
                 let params = DiscoverParams {
@@ -380,7 +463,11 @@ impl Request {
                     algorithm: decode_algorithm(doc)?,
                     bnd: decode_bnd(doc)?,
                 };
-                Ok(Self::Discover { id, params })
+                Ok(Self::Discover {
+                    id,
+                    params,
+                    model: decode_model(doc)?,
+                })
             }
             "discover_streaming" => {
                 let params = StreamDiscoverParams {
@@ -391,15 +478,44 @@ impl Request {
                     bnd: decode_bnd(doc)?,
                     chunk_rows: get_usize("chunk_rows", Some(0))?,
                 };
-                Ok(Self::DiscoverStreaming { id, params })
+                Ok(Self::DiscoverStreaming {
+                    id,
+                    params,
+                    model: decode_model(doc)?,
+                })
+            }
+            "swap" => {
+                let path = doc
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ServeError::parse("missing string field 'path'"))?;
+                if path.is_empty() {
+                    return Err(ServeError::parse("'path' must be non-empty"));
+                }
+                Ok(Self::Swap {
+                    id,
+                    model: decode_model(doc)?,
+                    path: path.to_string(),
+                })
             }
             "info" => Ok(Self::Info { id }),
             "shutdown" => Ok(Self::Shutdown { id }),
             other => Err(ServeError::parse(format!(
                 "unknown command '{other}' (expected predict_batch, discover, \
-                 discover_streaming, info, shutdown)"
+                 discover_streaming, swap, info, shutdown)"
             ))),
         }
+    }
+}
+
+/// Decodes the optional `model` field (`None` = the default model).
+fn decode_model(doc: &Json) -> Result<Option<String>, ServeError> {
+    match doc.get("model") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(name) if !name.is_empty() => Ok(Some(name.to_string())),
+            _ => Err(ServeError::parse("'model' must be a non-empty string")),
+        },
     }
 }
 
@@ -498,6 +614,13 @@ mod tests {
                 id: 7,
                 points: vec![0.25, 0.5, 0.75, 1.0],
                 m: 2,
+                model: None,
+            },
+            Request::PredictBatch {
+                id: 13,
+                points: vec![0.25, 0.5],
+                m: 2,
+                model: Some("champion".to_string()),
             },
             Request::Discover {
                 id: 8,
@@ -507,6 +630,7 @@ mod tests {
                     algorithm: Algorithm::BestInterval,
                     bnd: 0.25,
                 },
+                model: Some("challenger".to_string()),
             },
             Request::DiscoverStreaming {
                 id: 11,
@@ -517,6 +641,7 @@ mod tests {
                     bnd: 0.5,
                     chunk_rows: 65_536,
                 },
+                model: None,
             },
             Request::DiscoverStreaming {
                 id: 12,
@@ -524,6 +649,17 @@ mod tests {
                     seed: None, // "use the artifact's pool seed"
                     ..StreamDiscoverParams::default()
                 },
+                model: None,
+            },
+            Request::Swap {
+                id: 14,
+                model: Some("champion".to_string()),
+                path: "/models/next.redsart".to_string(),
+            },
+            Request::Swap {
+                id: 15,
+                model: None,
+                path: "model.json".to_string(),
             },
             Request::Info { id: 9 },
             Request::Shutdown { id: 10 },
@@ -544,6 +680,7 @@ mod tests {
             id: 1,
             points: vec![f64::INFINITY, 0.5, f64::NEG_INFINITY, 1.0],
             m: 2,
+            model: None,
         };
         let text = req.to_json().to_string_compact();
         assert!(
@@ -578,6 +715,13 @@ mod tests {
             (r#"{"cmd":"discover","seed":9007199254740994}"#, "seed"),
             (r#"{"cmd":"discover","seed":1e300}"#, "seed"),
             (r#"{"cmd":"discover","bnd":"x"}"#, "bnd"),
+            (
+                r#"{"cmd":"predict_batch","m":2,"points":[],"model":7}"#,
+                "model",
+            ),
+            (r#"{"cmd":"discover","model":""}"#, "model"),
+            (r#"{"cmd":"swap"}"#, "path"),
+            (r#"{"cmd":"swap","path":""}"#, "path"),
         ] {
             let doc = reds_json::from_str(text).expect("valid JSON");
             let err = Request::from_json(&doc).expect_err(text);

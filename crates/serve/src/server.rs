@@ -1,38 +1,35 @@
-//! The threaded TCP server.
+//! The serving front: request handling over the readiness reactor.
 //!
-//! One accept loop, one thread per connection, one shared
-//! [`Batcher`](crate::batch::Batcher) worker owning the model. Every
-//! request is answered with a structured response — handler panics are
-//! caught and converted to `internal` errors, so a serving process
-//! never dies on a request.
+//! One [`reactor`](crate::reactor) thread owns every socket; complete
+//! frames are served by a small executor pool against a
+//! [`ModelRegistry`] of independently versioned, hot-swappable models,
+//! each with its own bounded micro-batch queue. Every request is
+//! answered with a structured response — handler panics are caught and
+//! converted to `internal` errors, so a serving process never dies on
+//! a request.
 
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reds_data::Dataset;
 use reds_json::Json;
-use reds_metamodel::Metamodel;
 use reds_subgroup::{BestInterval, Prim, SdResult, SubgroupDiscovery};
 
 use reds_stream::{stream_pool, Labeling, SamplerSource, StreamConfig, StreamSampler};
 
 use crate::artifact::ModelArtifact;
-use crate::batch::Batcher;
 use crate::protocol::{
     error_response, ok_response, Algorithm, DiscoverParams, Request, ServeError, ServeLimits,
     StreamDiscoverParams,
 };
-use crate::wire::{self, Frame, Wait};
-
-/// How often blocked reads wake up to check the shutdown flag; bounds
-/// how long a clean shutdown can take.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+use crate::reactor::{poller_backend, spawn_reactor, ConnGauges, FrameHandler, Waker};
+use crate::registry::{ModelEntry, ModelRegistry, SwapOutcome};
 
 /// Validates a query buffer at the request boundary: declared width
 /// must match the model, the buffer must tile into whole rows, no
@@ -81,7 +78,7 @@ pub fn validate_points(
 /// artifact's original training data (`D_val = D`, §8.5).
 ///
 /// `predict` abstracts over the direct model call (tests, offline use)
-/// and the server's shared batching worker — both produce identical
+/// and the server's pinned registry version — both produce identical
 /// bits, so served and in-process discovery agree exactly.
 pub fn run_discover(
     predict: impl Fn(Vec<f64>) -> Result<Vec<f64>, ServeError>,
@@ -170,36 +167,46 @@ pub fn run_discover_streaming(
     Ok(result)
 }
 
-/// The request handler shared by every connection.
+/// The request handler shared by every connection: a model registry,
+/// the configured limits, and the server-wide gauges.
 pub struct Service {
-    artifact: Arc<ModelArtifact>,
-    batcher: Batcher,
+    registry: Arc<ModelRegistry>,
     limits: ServeLimits,
-    connections: AtomicU64,
-    active_connections: Arc<AtomicUsize>,
-    rejected_connections: AtomicU64,
+    gauges: Arc<ConnGauges>,
+    active_discovers: AtomicUsize,
+}
+
+/// RAII slot in the discover gate (and the per-model discover gauge);
+/// released even when the discover panics, because `handle_frame`'s
+/// catch-unwind unwinds through it.
+struct DiscoverSlot<'a> {
+    service: &'a Service,
+    entry: &'a ModelEntry,
+}
+
+impl Drop for DiscoverSlot<'_> {
+    fn drop(&mut self) {
+        self.service.active_discovers.fetch_sub(1, Ordering::SeqCst);
+        self.entry.discover_finished();
+    }
 }
 
 impl Service {
-    /// Builds the service and spawns its prediction worker.
+    /// Builds a single-model service: `artifact` becomes the default
+    /// registry entry and its prediction worker spawns.
     pub fn new(artifact: ModelArtifact, limits: ServeLimits) -> Self {
-        let artifact = Arc::new(artifact);
-        // The batching worker needs its own handle to the model; clone
-        // through the Arc'd artifact is not possible (SavedModel is not
-        // Clone), so the artifact is shared and the worker borrows the
-        // model through it.
-        let model_ref = Arc::clone(&artifact);
-        let batcher = Batcher::spawn_with(
-            move |points, m| model_ref.model.predict_batch(points, m),
-            artifact.train.m(),
-        );
+        let registry = Arc::new(ModelRegistry::new(artifact, &limits));
+        Self::with_registry(registry, limits)
+    }
+
+    /// Builds the service over an existing (possibly multi-model)
+    /// registry.
+    pub fn with_registry(registry: Arc<ModelRegistry>, limits: ServeLimits) -> Self {
         Self {
-            artifact,
-            batcher,
+            registry,
             limits,
-            connections: AtomicU64::new(0),
-            active_connections: Arc::new(AtomicUsize::new(0)),
-            rejected_connections: AtomicU64::new(0),
+            gauges: Arc::new(ConnGauges::default()),
+            active_discovers: AtomicUsize::new(0),
         }
     }
 
@@ -208,40 +215,56 @@ impl Service {
         &self.limits
     }
 
-    /// The served artifact.
-    pub fn artifact(&self) -> &ModelArtifact {
-        &self.artifact
+    /// The model registry this service answers from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
     }
 
-    /// Validated prediction through the shared batching worker.
-    pub fn predict(&self, points: Vec<f64>, m: usize) -> Result<Vec<f64>, ServeError> {
-        validate_points(&points, m, self.artifact.train.m(), &self.limits)?;
-        self.batcher.predict(points)
+    /// The connection gauges the reactor maintains for this service.
+    pub fn gauges(&self) -> &Arc<ConnGauges> {
+        &self.gauges
     }
 
-    /// Served scenario discovery (see [`run_discover`]).
-    pub fn discover(&self, params: &DiscoverParams) -> Result<SdResult, ServeError> {
-        if params.l > self.limits.max_discover_l {
-            return Err(ServeError::too_large(format!(
-                "l = {} exceeds the limit of {}",
-                params.l, self.limits.max_discover_l
+    /// Validated prediction through the addressed model's micro-batch
+    /// queue; returns the registry version that served the batch along
+    /// with the predictions.
+    pub fn predict(
+        &self,
+        points: Vec<f64>,
+        m: usize,
+        model: Option<&str>,
+    ) -> Result<(u64, Vec<f64>), ServeError> {
+        let entry = self.registry.get(model)?;
+        validate_points(&points, m, entry.m(), &self.limits)?;
+        entry.predict(points)
+    }
+
+    fn begin_discover<'a>(
+        &'a self,
+        entry: &'a Arc<ModelEntry>,
+    ) -> Result<DiscoverSlot<'a>, ServeError> {
+        let prev = self.active_discovers.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.limits.max_active_discovers {
+            self.active_discovers.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::too_busy(format!(
+                "server is at its limit of {} concurrent discover requests; retry later",
+                self.limits.max_active_discovers
             )));
         }
-        run_discover(
-            |points| self.batcher.predict(points),
-            self.artifact.train.m(),
-            &self.artifact.train,
-            params,
-        )
+        entry.discover_started();
+        Ok(DiscoverSlot {
+            service: self,
+            entry,
+        })
     }
 
-    /// Served streaming scenario discovery (see
-    /// [`run_discover_streaming`]). A request without an explicit seed
-    /// streams the artifact's recorded `pool_seed`, so the run is
-    /// reproducible from the artifact file alone.
-    pub fn discover_streaming(
+    /// Served scenario discovery (see [`run_discover`]); the whole run
+    /// predicts against one pinned registry version, so a swap landing
+    /// mid-run never mixes models inside a single result.
+    pub fn discover(
         &self,
-        params: &StreamDiscoverParams,
+        params: &DiscoverParams,
+        model: Option<&str>,
     ) -> Result<SdResult, ServeError> {
         if params.l > self.limits.max_discover_l {
             return Err(ServeError::too_large(format!(
@@ -249,9 +272,40 @@ impl Service {
                 params.l, self.limits.max_discover_l
             )));
         }
+        let entry = self.registry.get(model)?;
+        let _slot = self.begin_discover(&entry)?;
+        let version = entry.current();
+        let m = entry.m();
+        run_discover(
+            |points| Ok(version.predict_batch(&points, m)),
+            m,
+            &version.artifact.train,
+            params,
+        )
+    }
+
+    /// Served streaming scenario discovery (see
+    /// [`run_discover_streaming`]). A request without an explicit seed
+    /// streams the pinned version's recorded `pool_seed`, so the run
+    /// is reproducible from the artifact file alone.
+    pub fn discover_streaming(
+        &self,
+        params: &StreamDiscoverParams,
+        model: Option<&str>,
+    ) -> Result<SdResult, ServeError> {
+        if params.l > self.limits.max_discover_l {
+            return Err(ServeError::too_large(format!(
+                "l = {} exceeds the limit of {}",
+                params.l, self.limits.max_discover_l
+            )));
+        }
+        let entry = self.registry.get(model)?;
+        let _slot = self.begin_discover(&entry)?;
+        let version = entry.current();
+        let m = entry.m();
         let resolved = DiscoverParams {
             l: params.l,
-            seed: params.seed.unwrap_or(self.artifact.pool_seed),
+            seed: params.seed.unwrap_or(version.artifact.pool_seed),
             algorithm: params.algorithm,
             bnd: params.bnd,
         };
@@ -268,28 +322,50 @@ impl Service {
         let floor = params.l.div_ceil(MAX_RUNS_PER_COLUMN);
         let stream = StreamConfig::new().with_chunk_rows(requested.max(floor));
         run_discover_streaming(
-            |points| self.batcher.predict(points),
-            self.artifact.train.m(),
-            &self.artifact.train,
+            |points| Ok(version.predict_batch(&points, m)),
+            m,
+            &version.artifact.train,
             &resolved,
             &stream,
         )
     }
 
-    /// The `info` result object.
+    /// Hot-swaps a registry model to the artifact at `path` (loaded and
+    /// validated before the flip — a bad file never interrupts
+    /// serving).
+    pub fn swap(&self, model: Option<&str>, path: &str) -> Result<SwapOutcome, ServeError> {
+        let artifact = ModelArtifact::load(Path::new(path)).map_err(|e| {
+            ServeError::bad_request(format!("cannot load artifact from '{path}': {e}"))
+        })?;
+        self.registry.swap(model, artifact)
+    }
+
+    /// The `info` result object: the default model's fields at the top
+    /// level (wire compatibility), the full registry under `"models"`.
     pub fn info(&self) -> Json {
-        let stats = self.batcher.stats();
+        let entry = self
+            .registry
+            .get(None)
+            .expect("registry always holds its default model");
+        let current = entry.current();
+        let stats = entry.stats();
         Json::obj([
-            ("function", Json::str(self.artifact.function.clone())),
-            ("family", Json::str(self.artifact.model.family())),
+            ("function", Json::str(current.artifact.function.clone())),
+            ("family", Json::str(current.artifact.model.family())),
             // Which on-disk format the artifact came from: "reds-json"
             // (parsed) or "redsart" (memory-mapped, zero-copy).
-            ("format", Json::str(self.artifact.format().name())),
-            ("m", Json::num(self.artifact.train.m() as f64)),
-            ("n_train", Json::num(self.artifact.train.n() as f64)),
-            ("seed", Json::str(self.artifact.seed.to_string())),
-            ("pool_seed", Json::str(self.artifact.pool_seed.to_string())),
-            ("pool_design", Json::str(self.artifact.pool_design.clone())),
+            ("format", Json::str(current.artifact.format().name())),
+            ("m", Json::num(entry.m() as f64)),
+            ("n_train", Json::num(current.artifact.train.n() as f64)),
+            ("seed", Json::str(current.artifact.seed.to_string())),
+            (
+                "pool_seed",
+                Json::str(current.artifact.pool_seed.to_string()),
+            ),
+            (
+                "pool_design",
+                Json::str(current.artifact.pool_design.clone()),
+            ),
             // The prediction-kernel backend every predict_batch under
             // this server dispatches to (scalar and avx2 answers are
             // bit-identical; this is operational visibility only).
@@ -297,6 +373,9 @@ impl Service {
                 "kernel",
                 Json::str(reds_metamodel::kernels::active().name()),
             ),
+            // The readiness backend the connection core multiplexes on.
+            ("reactor", Json::str(poller_backend())),
+            ("version", Json::num(current.version as f64)),
             (
                 "requests",
                 Json::num(stats.requests.load(Ordering::Relaxed) as f64),
@@ -311,16 +390,24 @@ impl Service {
             ),
             (
                 "connections",
-                Json::num(self.connections.load(Ordering::Relaxed) as f64),
+                Json::num(self.gauges.connections.load(Ordering::Relaxed) as f64),
             ),
             (
                 "active_connections",
-                Json::num(self.active_connections.load(Ordering::Relaxed) as f64),
+                Json::num(self.gauges.active_connections.load(Ordering::Relaxed) as f64),
             ),
             (
                 "rejected_connections",
-                Json::num(self.rejected_connections.load(Ordering::Relaxed) as f64),
+                Json::num(self.gauges.rejected_connections.load(Ordering::Relaxed) as f64),
             ),
+            (
+                "active_discovers",
+                Json::num(self.active_discovers.load(Ordering::Relaxed) as f64),
+            ),
+            // Registry state: every loaded model with its format,
+            // active version, swap count, and queue depth/capacity —
+            // swaps and backpressure are observable from the wire.
+            ("models", self.registry.info()),
         ])
     }
 
@@ -358,29 +445,50 @@ impl Service {
 
     fn dispatch(&self, request: Request) -> (Json, bool) {
         match request {
-            Request::PredictBatch { id, points, m } => match self.predict(points, m) {
-                Ok(preds) => (
+            Request::PredictBatch {
+                id,
+                points,
+                m,
+                model,
+            } => match self.predict(points, m, model.as_deref()) {
+                Ok((version, preds)) => (
                     ok_response(
                         id,
                         // Marker-encoded like the request side: a loaded
                         // model with non-finite leaves must answer the
                         // same values over the socket as in-process
                         // (Json::num would collapse them to null).
-                        Json::obj([(
-                            "predictions",
-                            Json::arr(preds.into_iter().map(reds_metamodel::persist::f64_to_json)),
-                        )]),
+                        Json::obj([
+                            (
+                                "predictions",
+                                Json::arr(
+                                    preds.into_iter().map(reds_metamodel::persist::f64_to_json),
+                                ),
+                            ),
+                            // Which registry version answered — the
+                            // client-visible half of the hot-swap
+                            // attribution story.
+                            ("version", Json::num(version as f64)),
+                        ]),
                     ),
                     false,
                 ),
                 Err(e) => (error_response(id, &e), false),
             },
-            Request::Discover { id, params } => match self.discover(&params) {
-                Ok(result) => (ok_response(id, result.to_json()), false),
-                Err(e) => (error_response(id, &e), false),
-            },
-            Request::DiscoverStreaming { id, params } => match self.discover_streaming(&params) {
-                Ok(result) => (ok_response(id, result.to_json()), false),
+            Request::Discover { id, params, model } => {
+                match self.discover(&params, model.as_deref()) {
+                    Ok(result) => (ok_response(id, result.to_json()), false),
+                    Err(e) => (error_response(id, &e), false),
+                }
+            }
+            Request::DiscoverStreaming { id, params, model } => {
+                match self.discover_streaming(&params, model.as_deref()) {
+                    Ok(result) => (ok_response(id, result.to_json()), false),
+                    Err(e) => (error_response(id, &e), false),
+                }
+            }
+            Request::Swap { id, model, path } => match self.swap(model.as_deref(), &path) {
+                Ok(outcome) => (ok_response(id, outcome.to_json()), false),
                 Err(e) => (error_response(id, &e), false),
             },
             Request::Info { id } => (ok_response(id, self.info()), false),
@@ -392,66 +500,9 @@ impl Service {
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    service: Arc<Service>,
-    stop: Arc<AtomicBool>,
-    addr: SocketAddr,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    // The server's patience is its shutdown flag: blocked reads retry
-    // until `stop` flips, then the connection winds down cleanly.
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let mut wait = || -> Wait {
-            if stop.load(Ordering::SeqCst) {
-                Wait::GiveUp
-            } else {
-                Wait::Retry
-            }
-        };
-        let frame =
-            match wire::read_frame(&mut reader, service.limits().max_frame_bytes, &mut wait)? {
-                Frame::TimedOut | Frame::Eof => return Ok(()),
-                Frame::TooLarge => {
-                    // The rest of the over-long line cannot be resynchronized
-                    // safely, so answer once and drop the connection.
-                    let err = ServeError::too_large(format!(
-                        "frame exceeds {} bytes",
-                        service.limits().max_frame_bytes
-                    ));
-                    wire::write_frame(&mut writer, &error_response(0, &err))?;
-                    // Consume (and discard) the remainder of the over-long
-                    // line before closing: the peer is typically still
-                    // blocked writing it, and closing with unread data in
-                    // the receive buffer resets the connection, destroying
-                    // the error response we just queued. Bounded so an
-                    // endless line cannot pin the thread.
-                    wire::drain_oversized_line(
-                        &mut reader,
-                        service.limits().max_frame_bytes.saturating_mul(8),
-                    )?;
-                    return Ok(());
-                }
-                Frame::Line(line) => line,
-            };
-        let text = String::from_utf8_lossy(&frame);
-        if text.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = service.handle_frame(&text);
-        wire::write_frame(&mut writer, &response)?;
-        if shutdown {
-            stop.store(true, Ordering::SeqCst);
-            // Nudge the accept loop out of its blocking accept.
-            let _ = TcpStream::connect(addr);
-            return Ok(());
-        }
+impl FrameHandler for Service {
+    fn handle_frame(&self, line: &str) -> (Json, bool) {
+        Service::handle_frame(self, line)
     }
 }
 
@@ -460,32 +511,27 @@ fn handle_connection(
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    service: Arc<Service>,
+    waker: Waker,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The bound address (useful with port 0).
+    /// The bound address (useful with `127.0.0.1:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// The shared service (for in-process equivalence tests).
-    pub fn service(&self) -> &Arc<Service> {
-        &self.service
-    }
-
-    /// `true` once the server has stopped accepting connections.
+    /// `true` once shutdown has been requested or served.
     pub fn is_shut_down(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and waits for the accept loop and all
-    /// connection threads to finish.
+    /// Requests shutdown and waits for the reactor (and its executors)
+    /// to wind down.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.waker.nudge();
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
@@ -493,69 +539,44 @@ impl ServerHandle {
     /// Waits for the server to stop on its own (a client's `shutdown`
     /// command), joining every thread.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
-/// spawns the accept loop.
+/// starts the reactor serving `artifact` as the default model.
 pub fn serve(artifact: ModelArtifact, addr: &str, limits: ServeLimits) -> io::Result<ServerHandle> {
+    let service = Arc::new(Service::new(artifact, limits));
+    serve_service(service, addr)
+}
+
+/// Starts the reactor over an already-built [`Service`] (multi-model
+/// registries enter here).
+pub fn serve_service(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
+    let limits = service.limits().clone();
+    let gauges = Arc::clone(service.gauges());
+    serve_handler(service, addr, limits, gauges)
+}
+
+/// Starts the reactor over any [`FrameHandler`] — the shard router
+/// reuses the entire connection core this way.
+pub fn serve_handler(
+    handler: Arc<dyn FrameHandler>,
+    addr: &str,
+    limits: ServeLimits,
+    gauges: Arc<ConnGauges>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let service = Arc::new(Service::new(artifact, limits));
     let stop = Arc::new(AtomicBool::new(false));
-    let accept_service = Arc::clone(&service);
-    let accept_stop = Arc::clone(&stop);
-    let accept_thread = std::thread::spawn(move || {
-        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for stream in listener.incoming() {
-            if accept_stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            accept_service.connections.fetch_add(1, Ordering::Relaxed);
-            // Admission control: beyond `max_connections` concurrently
-            // served sockets, answer with a structured `too_busy` frame
-            // and close instead of spawning an unbounded thread. The
-            // gauge is incremented *here* (not in the worker) so a burst
-            // of accepts cannot race past the cap before any worker
-            // starts.
-            let active = Arc::clone(&accept_service.active_connections);
-            if active.fetch_add(1, Ordering::SeqCst) >= accept_service.limits.max_connections {
-                active.fetch_sub(1, Ordering::SeqCst);
-                accept_service
-                    .rejected_connections
-                    .fetch_add(1, Ordering::Relaxed);
-                let err = ServeError::too_busy(format!(
-                    "server is at its limit of {} concurrent connections; retry later",
-                    accept_service.limits.max_connections
-                ));
-                let mut stream = stream;
-                let _ = wire::write_frame(&mut stream, &error_response(0, &err));
-                continue;
-            }
-            let svc = Arc::clone(&accept_service);
-            let conn_stop = Arc::clone(&accept_stop);
-            workers.push(std::thread::spawn(move || {
-                let _ = handle_connection(stream, svc, conn_stop, addr);
-                active.fetch_sub(1, Ordering::SeqCst);
-            }));
-            // Reap finished connection threads so a long-lived server
-            // does not accumulate handles.
-            workers.retain(|h| !h.is_finished());
-        }
-        // Connection threads observe the stop flag within POLL_INTERVAL.
-        for h in workers {
-            let _ = h.join();
-        }
-    });
+    let parts = spawn_reactor(listener, handler, limits, gauges, Arc::clone(&stop))?;
     Ok(ServerHandle {
         addr,
         stop,
-        accept_thread: Some(accept_thread),
-        service,
+        waker: parts.waker,
+        thread: Some(parts.thread),
     })
 }
 
@@ -564,7 +585,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use reds_metamodel::{RandomForest, RandomForestParams, SavedModel};
+    use reds_metamodel::{Metamodel, RandomForest, RandomForestParams, SavedModel};
 
     fn tiny_service() -> Service {
         let mut rng = StdRng::seed_from_u64(41);
@@ -633,12 +654,24 @@ mod tests {
     fn service_predict_matches_direct_model_call_bitwise() {
         let service = tiny_service();
         let query: Vec<f64> = (0..40).map(|i| (i % 7) as f64 / 7.0).collect();
-        let served = service.predict(query.clone(), 2).expect("serves");
-        let direct = service.artifact().model.predict_batch(&query, 2);
+        let (version, served) = service.predict(query.clone(), 2, None).expect("serves");
+        assert_eq!(version, 1, "fresh registry serves version 1");
+        let current = service.registry().get(None).unwrap().current();
+        let direct = current.artifact.model.predict_batch(&query, 2);
         assert_eq!(served.len(), direct.len());
         for (a, b) in served.iter().zip(&direct) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn unknown_model_is_a_bad_request() {
+        let service = tiny_service();
+        let err = service
+            .predict(vec![0.5, 0.5], 2, Some("nonexistent"))
+            .expect_err("unknown model");
+        assert_eq!(err.code, crate::protocol::ErrorCode::BadRequest);
+        assert!(err.message.contains("nonexistent"), "{}", err.message);
     }
 
     #[test]
@@ -649,11 +682,12 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let served = service.discover(&params).expect("discovers");
+        let served = service.discover(&params, None).expect("discovers");
+        let current = service.registry().get(None).unwrap().current();
         let direct = run_discover(
-            |pts| Ok(service.artifact().model.predict_batch(&pts, 2)),
+            |pts| Ok(current.artifact.model.predict_batch(&pts, 2)),
             2,
-            &service.artifact().train,
+            &current.artifact.train,
             &params,
         )
         .expect("runs");
@@ -669,16 +703,19 @@ mod tests {
             seed: 13,
             ..Default::default()
         };
-        let monolithic = service.discover(&params).expect("discovers");
+        let monolithic = service.discover(&params, None).expect("discovers");
         for chunk_rows in [0usize, 1, 311, 10_000] {
             let streamed = service
-                .discover_streaming(&StreamDiscoverParams {
-                    l: params.l,
-                    seed: Some(params.seed),
-                    algorithm: params.algorithm,
-                    bnd: params.bnd,
-                    chunk_rows,
-                })
+                .discover_streaming(
+                    &StreamDiscoverParams {
+                        l: params.l,
+                        seed: Some(params.seed),
+                        algorithm: params.algorithm,
+                        bnd: params.bnd,
+                        chunk_rows,
+                    },
+                    None,
+                )
                 .expect("streams");
             assert_eq!(streamed, monolithic, "chunk_rows = {chunk_rows}");
         }
@@ -687,31 +724,47 @@ mod tests {
     #[test]
     fn streaming_without_a_seed_serves_the_artifact_pool() {
         let service = tiny_service();
+        let pool_seed = service
+            .registry()
+            .get(None)
+            .unwrap()
+            .current()
+            .artifact
+            .pool_seed;
         let from_artifact = service
-            .discover_streaming(&StreamDiscoverParams {
-                l: 1_500,
-                seed: None,
-                ..Default::default()
-            })
+            .discover_streaming(
+                &StreamDiscoverParams {
+                    l: 1_500,
+                    seed: None,
+                    ..Default::default()
+                },
+                None,
+            )
             .expect("streams");
         // Explicitly requesting the recorded pool seed must reproduce
         // the same boxes — a served run is recoverable from the
         // artifact file alone.
         let explicit = service
-            .discover_streaming(&StreamDiscoverParams {
-                l: 1_500,
-                seed: Some(service.artifact().pool_seed),
-                ..Default::default()
-            })
+            .discover_streaming(
+                &StreamDiscoverParams {
+                    l: 1_500,
+                    seed: Some(pool_seed),
+                    ..Default::default()
+                },
+                None,
+            )
             .expect("streams");
         assert_eq!(from_artifact, explicit);
         // And it equals the monolithic path at the same resolved seed.
         let monolithic = service
-            .discover(&DiscoverParams {
-                l: 1_500,
-                seed: service.artifact().pool_seed,
-                ..Default::default()
-            })
+            .discover(
+                &DiscoverParams {
+                    l: 1_500,
+                    seed: pool_seed,
+                    ..Default::default()
+                },
+                None,
+            )
             .expect("discovers");
         assert_eq!(from_artifact, monolithic);
     }
@@ -724,19 +777,25 @@ mod tests {
         // runs stay bounded — and the result is unchanged, because
         // chunking never affects the boxes.
         let clamped = service
-            .discover_streaming(&StreamDiscoverParams {
-                l: 3_000,
-                seed: Some(5),
-                chunk_rows: 1,
-                ..Default::default()
-            })
+            .discover_streaming(
+                &StreamDiscoverParams {
+                    l: 3_000,
+                    seed: Some(5),
+                    chunk_rows: 1,
+                    ..Default::default()
+                },
+                None,
+            )
             .expect("clamped stream serves");
         let monolithic = service
-            .discover(&DiscoverParams {
-                l: 3_000,
-                seed: 5,
-                ..Default::default()
-            })
+            .discover(
+                &DiscoverParams {
+                    l: 3_000,
+                    seed: 5,
+                    ..Default::default()
+                },
+                None,
+            )
             .expect("discovers");
         assert_eq!(clamped, monolithic);
     }
@@ -745,12 +804,47 @@ mod tests {
     fn streaming_respects_the_discover_l_limit() {
         let service = tiny_service();
         let err = service
-            .discover_streaming(&StreamDiscoverParams {
-                l: 4_001, // limit is 4_000 in tiny_service
-                ..Default::default()
-            })
+            .discover_streaming(
+                &StreamDiscoverParams {
+                    l: 4_001, // limit is 4_000 in tiny_service
+                    ..Default::default()
+                },
+                None,
+            )
             .unwrap_err();
         assert_eq!(err.code, crate::protocol::ErrorCode::TooLarge);
+    }
+
+    #[test]
+    fn discover_gate_rejects_beyond_the_cap() {
+        let service = tiny_service();
+        // Saturate the gate artificially; the next discover must bounce
+        // with too_busy instead of piling onto the executor pool.
+        let cap = service.limits().max_active_discovers;
+        service.active_discovers.store(cap, Ordering::SeqCst);
+        let err = service
+            .discover(
+                &DiscoverParams {
+                    l: 500,
+                    ..Default::default()
+                },
+                None,
+            )
+            .expect_err("gate rejects");
+        assert_eq!(err.code, crate::protocol::ErrorCode::TooBusy);
+        assert!(err.message.contains("discover"), "{}", err.message);
+        service.active_discovers.store(0, Ordering::SeqCst);
+        // And the slot is released after a served run.
+        service
+            .discover(
+                &DiscoverParams {
+                    l: 500,
+                    ..Default::default()
+                },
+                None,
+            )
+            .expect("serves after release");
+        assert_eq!(service.active_discovers.load(Ordering::SeqCst), 0);
     }
 
     #[test]
@@ -773,6 +867,14 @@ mod tests {
             ),
             ("{\"id\":6,\"cmd\":\"discover\",\"l\":100000}", "too_large"),
             ("{\"id\":7,\"cmd\":\"discover\",\"l\":0}", "bad_request"),
+            (
+                "{\"id\":8,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[1,2],\"model\":\"ghost\"}",
+                "bad_request",
+            ),
+            (
+                "{\"id\":9,\"cmd\":\"swap\",\"path\":\"/nonexistent/model.redsart\"}",
+                "bad_request",
+            ),
         ] {
             let (resp, shutdown) = service.handle_frame(line);
             assert!(!shutdown, "{line}");
@@ -811,19 +913,28 @@ mod tests {
             "{\"id\":1,\"cmd\":\"predict_batch\",\"m\":2,\"points\":[0.9,0.9,0.1,0.1]}",
         );
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
-        let preds = resp
-            .get("result")
-            .and_then(|r| r.get("predictions"))
+        let result = resp.get("result").expect("result");
+        let preds = result
+            .get("predictions")
             .and_then(Json::as_array)
             .expect("predictions");
         assert_eq!(preds.len(), 2);
-        let (resp, _) = service.handle_frame("{\"id\":2,\"cmd\":\"info\"}");
         assert_eq!(
-            resp.get("result")
-                .and_then(|r| r.get("family"))
-                .and_then(Json::as_str),
-            Some("f")
+            result.get("version").and_then(Json::as_f64),
+            Some(1.0),
+            "predict answers carry the serving version"
         );
+        let (resp, _) = service.handle_frame("{\"id\":2,\"cmd\":\"info\"}");
+        let info = resp.get("result").expect("info result");
+        assert_eq!(info.get("family").and_then(Json::as_str), Some("f"));
+        assert_eq!(info.get("version").and_then(Json::as_f64), Some(1.0));
+        let models = info.get("models").and_then(Json::as_array).expect("models");
+        assert_eq!(models.len(), 1);
+        assert_eq!(
+            models[0].get("name").and_then(Json::as_str),
+            Some(crate::registry::DEFAULT_MODEL)
+        );
+        assert!(models[0].get("queue_capacity").is_some());
         let (resp, shutdown) = service.handle_frame("{\"id\":3,\"cmd\":\"shutdown\"}");
         assert!(shutdown);
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));

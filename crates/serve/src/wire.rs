@@ -148,6 +148,141 @@ pub fn read_frame<R: BufRead>(
     }
 }
 
+/// One framing event produced by the push-based [`FrameBuffer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete line (newline stripped, trailing CR stripped).
+    Frame(Vec<u8>),
+    /// The accumulating line exceeded the frame limit. The buffer has
+    /// switched to discard mode: subsequent bytes of the over-long
+    /// line are counted but not stored, until its newline arrives.
+    TooLarge,
+    /// The newline terminating a previously rejected over-long line
+    /// was consumed; normal framing resumes with the next byte.
+    DrainEnd,
+}
+
+/// Incremental NDJSON framing for readiness-driven (non-blocking)
+/// readers: bytes are *pushed* as they arrive instead of pulled from a
+/// [`BufRead`].
+///
+/// This is the same framing policy as [`read_frame`] — one newline per
+/// frame, CR stripped, a hard byte cap per line — expressed as a state
+/// machine the epoll reactor can feed from arbitrary read chunks. The
+/// cap semantics match the blocking reader exactly: a line of exactly
+/// `max_bytes` is accepted, one byte more is rejected, and the
+/// rejected line's tail is *discarded in place* (the push equivalent
+/// of [`drain_oversized_line`]) so an already-queued error response
+/// can still reach the peer before the connection closes.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    max_bytes: usize,
+    line: Vec<u8>,
+    discarding: bool,
+    discarded: usize,
+}
+
+impl FrameBuffer {
+    /// A fresh decoder with the given per-line byte cap.
+    pub fn new(max_bytes: usize) -> Self {
+        Self {
+            max_bytes,
+            line: Vec::new(),
+            discarding: false,
+            discarded: 0,
+        }
+    }
+
+    /// `true` while the buffer is discarding the tail of a rejected
+    /// over-long line (between [`FrameEvent::TooLarge`] and
+    /// [`FrameEvent::DrainEnd`]).
+    pub fn discarding(&self) -> bool {
+        self.discarding
+    }
+
+    /// Bytes discarded so far from the current over-long line — the
+    /// caller's drain budget (a peer writing an endless line must not
+    /// pin the connection forever).
+    pub fn discarded(&self) -> usize {
+        self.discarded
+    }
+
+    /// Feeds `input`, stopping at the first complete event. Returns
+    /// the number of bytes consumed and the event, if any; callers
+    /// loop until the whole chunk is consumed:
+    ///
+    /// ```ignore
+    /// let mut off = 0;
+    /// while off < chunk.len() {
+    ///     let (used, event) = fb.push(&chunk[off..]);
+    ///     off += used;
+    ///     if let Some(event) = event { /* … */ }
+    /// }
+    /// ```
+    pub fn push(&mut self, input: &[u8]) -> (usize, Option<FrameEvent>) {
+        if input.is_empty() {
+            return (0, None);
+        }
+        if self.discarding {
+            return match input.iter().position(|&b| b == b'\n') {
+                Some(at) => {
+                    self.discarded += at + 1;
+                    self.discarding = false;
+                    (at + 1, Some(FrameEvent::DrainEnd))
+                }
+                None => {
+                    self.discarded += input.len();
+                    (input.len(), None)
+                }
+            };
+        }
+        match input.iter().position(|&b| b == b'\n') {
+            Some(at) => {
+                // Same predicate as read_frame: content longer than the
+                // cap is rejected even when its newline is in sight.
+                if self.line.len() + at > self.max_bytes {
+                    self.line.clear();
+                    self.discarding = true;
+                    self.discarded = at;
+                    // The newline itself is left for the discard branch,
+                    // which reports DrainEnd on the next push.
+                    return (at, Some(FrameEvent::TooLarge));
+                }
+                let mut line = std::mem::take(&mut self.line);
+                line.extend_from_slice(&input[..at]);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                (at + 1, Some(FrameEvent::Frame(line)))
+            }
+            None => {
+                if self.line.len() + input.len() > self.max_bytes {
+                    self.line.clear();
+                    self.discarding = true;
+                    self.discarded = input.len();
+                    return (input.len(), Some(FrameEvent::TooLarge));
+                }
+                self.line.extend_from_slice(input);
+                (input.len(), None)
+            }
+        }
+    }
+
+    /// The torn trailing line at EOF, if any — the push equivalent of
+    /// [`read_frame`] accepting a final frame without its newline.
+    pub fn take_trailing(&mut self) -> Option<Vec<u8>> {
+        if self.discarding || self.line.is_empty() {
+            None
+        } else {
+            let mut line = std::mem::take(&mut self.line);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            Some(line)
+        }
+    }
+}
+
 /// Discards the tail of a rejected over-long line up to its newline,
 /// EOF, `max_drain` bytes, or the first read timeout (a quiet peer has
 /// finished writing). Lets the peer's blocked write complete so an

@@ -1,0 +1,380 @@
+//! Hot-swap registry tests: the proof obligations of the versioned
+//! serving fleet.
+//!
+//! * **Hammer.** Threads predict continuously while versions flip
+//!   underneath them: zero dropped requests, zero mixed-version
+//!   batches, versions observed in monotonic order — in-process and
+//!   over a real socket.
+//! * **Drain-before-unmap.** An old version stays alive exactly as
+//!   long as some request holds it pinned, observed through a `Weak`
+//!   handle; the swap reports whether the drain window sufficed.
+//! * **Monotonicity.** Property test: any interleaving of swaps,
+//!   predictions, and reads yields strictly increasing installed
+//!   versions and non-decreasing served versions.
+//! * **Isolation.** A wedged, backlogged model rejects with `too_busy`
+//!   while its neighbours keep serving.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::data::Dataset;
+use reds::metamodel::{Metamodel, RandomForest, RandomForestParams, SavedModel};
+use reds_json::Json;
+use reds_serve::registry::{ModelVersion, PredictShim};
+use reds_serve::{serve, Client, ModelArtifact, ModelRegistry, ServeLimits};
+
+fn corner_artifact(seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = Dataset::from_fn((0..120 * 2).map(|_| rng.gen::<f64>()).collect(), 2, |x| {
+        if x[0] > 0.55 && x[1] > 0.55 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .unwrap();
+    let params = RandomForestParams {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let model = RandomForest::fit(&train, &params, &mut rng);
+    ModelArtifact {
+        function: "corner".to_string(),
+        seed,
+        pool_seed: seed.wrapping_add(9_000),
+        pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
+        model: SavedModel::Forest(model).into(),
+        train,
+    }
+}
+
+/// A shim version whose every prediction is the version number itself —
+/// any mixed-version batch becomes immediately visible in the output.
+fn tagged_version(version: u64) -> Arc<ModelVersion> {
+    let shim: PredictShim = Box::new(move |points, m| Some(vec![version as f64; points.len() / m]));
+    Arc::new(ModelVersion::with_shim(
+        version,
+        corner_artifact(1_000 + version),
+        shim,
+    ))
+}
+
+#[test]
+fn hot_swap_hammer_drops_nothing_and_never_mixes_versions() {
+    const SWAPS: u64 = 20;
+    const THREADS: usize = 4;
+    let limits = ServeLimits::default();
+    let registry = ModelRegistry::new(corner_artifact(11), &limits);
+    let entry = registry.get(None).expect("default model");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let hammers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let entry = Arc::clone(&entry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut served = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let rows = 1 + served % 5;
+                    let (version, preds) = entry
+                        .predict(vec![0.25; rows * 2])
+                        .expect("no request may be dropped during a swap");
+                    assert_eq!(preds.len(), rows);
+                    assert!(
+                        version >= last,
+                        "served version went backwards: {version} after {last}"
+                    );
+                    // Versions ≥ 2 are tagged shims: every prediction
+                    // equals the version, so one stray row from another
+                    // version would fail here.
+                    if version >= 2 {
+                        for p in &preds {
+                            assert_eq!(
+                                p.to_bits(),
+                                (version as f64).to_bits(),
+                                "mixed-version batch at version {version}"
+                            );
+                        }
+                    }
+                    last = version;
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    for version in 2..=SWAPS + 1 {
+        let outcome = entry.install_version(tagged_version(version), Duration::from_secs(5));
+        assert_eq!(outcome.version, version);
+        assert_eq!(outcome.previous, version - 1);
+        assert!(
+            outcome.drained,
+            "version {} still pinned after the drain window",
+            version - 1
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: usize = hammers.into_iter().map(|t| t.join().expect("hammer")).sum();
+    assert!(total > 0, "hammer threads served nothing");
+    assert_eq!(entry.swap_count(), SWAPS);
+    assert_eq!(entry.current().version, SWAPS + 1);
+}
+
+#[test]
+fn socket_hot_swap_serves_exactly_one_model_per_reply() {
+    let after = corner_artifact(22);
+    let dir = std::env::temp_dir().join(format!("reds-swap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let next_path = dir.join("next.json");
+    after.save(&next_path).expect("next artifact saves");
+
+    let handle =
+        serve(corner_artifact(21), "127.0.0.1:0", ServeLimits::default()).expect("server binds");
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 30;
+    let swapped = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let before = corner_artifact(21);
+            let after = corner_artifact(22);
+            let swapped = Arc::clone(&swapped);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let mut last = 0u64;
+                let mut saw_new = false;
+                for r in 0..REQUESTS {
+                    let rows = 1 + (c + r) % 4;
+                    let query: Vec<f64> = (0..rows * 2)
+                        .map(|i| ((i * 13 + c * 7 + r * 3) % 29) as f64 / 29.0)
+                        .collect();
+                    let (version, served) = client
+                        .predict_batch_on(None, &query, 2)
+                        .expect("no request may fail across the swap");
+                    assert!(version >= last, "version went backwards over the socket");
+                    last = version;
+                    // Every reply must match ONE artifact bitwise —
+                    // the one its reported version names.
+                    let expect = if version >= 2 {
+                        saw_new = true;
+                        after.model.predict_batch(&query, 2)
+                    } else {
+                        before.model.predict_batch(&query, 2)
+                    };
+                    assert_eq!(served.len(), expect.len());
+                    for (a, b) in served.iter().zip(&expect) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "reply at version {version} mixes models"
+                        );
+                    }
+                    if swapped.load(Ordering::Relaxed) && !saw_new {
+                        // Keep hammering a little past the swap so the
+                        // new version is actually observed.
+                        continue;
+                    }
+                }
+                saw_new
+            })
+        })
+        .collect();
+
+    // Let the hammer run, then flip the model live.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut controller = Client::connect(addr).expect("controller connects");
+    let outcome = controller
+        .swap(None, next_path.to_str().unwrap())
+        .expect("swap serves");
+    assert_eq!(outcome.get("version").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(outcome.get("previous").and_then(Json::as_f64), Some(1.0));
+    swapped.store(true, Ordering::Relaxed);
+
+    let mut any_new = false;
+    for t in hammers {
+        any_new |= t.join().expect("socket hammer");
+    }
+
+    // Post-swap requests serve the new version...
+    let (version, served) = controller
+        .predict_batch_on(None, &[0.9, 0.9], 2)
+        .expect("post-swap predict");
+    assert_eq!(version, 2);
+    let expect = after.model.predict_batch(&[0.9, 0.9], 2);
+    assert_eq!(served[0].to_bits(), expect[0].to_bits());
+    let _ = any_new; // the controller's own post-swap check is authoritative
+                     // ...and the registry reports the swap.
+    let info = controller.info().expect("info");
+    assert_eq!(info.get("version").and_then(Json::as_f64), Some(2.0));
+    let models = info.get("models").and_then(Json::as_array).expect("models");
+    assert_eq!(models[0].get("swaps").and_then(Json::as_f64), Some(1.0));
+
+    controller.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_versions_live_exactly_as_long_as_a_request_pins_them() {
+    let limits = ServeLimits::default();
+    let registry = ModelRegistry::new(corner_artifact(31), &limits);
+    let entry = registry.get(None).expect("default model");
+
+    // Pin version 1 the way an in-flight request would.
+    let pinned = entry.current();
+    let weak = Arc::downgrade(&pinned);
+
+    // Swap with a short drain window while the pin is held.
+    let outcome = entry
+        .swap(corner_artifact(32), Duration::from_millis(50))
+        .expect("swap");
+    assert_eq!(outcome.version, 2);
+    assert!(
+        !outcome.drained,
+        "drain must report failure while a request still pins v1"
+    );
+    assert!(
+        weak.upgrade().is_some(),
+        "v1 must stay alive (mapped) while pinned"
+    );
+
+    // New work already serves version 2 — the flip never waited.
+    let (version, _) = entry.predict(vec![0.5, 0.5]).expect("predicts");
+    assert_eq!(version, 2);
+
+    // Releasing the last pin frees the old version (drop = unmap for
+    // mmap-backed artifacts).
+    drop(pinned);
+    let mut freed = false;
+    for _ in 0..200 {
+        if weak.upgrade().is_none() {
+            freed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(freed, "v1 must be dropped once the last pin releases");
+}
+
+#[test]
+fn a_wedged_backlogged_model_never_blocks_its_neighbours() {
+    let limits = ServeLimits {
+        queue_depth: 1,
+        ..Default::default()
+    };
+    let registry = ModelRegistry::new(corner_artifact(51), &limits);
+    registry
+        .install("canary", corner_artifact(52))
+        .expect("installs");
+    let canary = registry.get(Some("canary")).expect("canary");
+
+    // Wedge the canary's worker: the shim blocks until released,
+    // signalling once the worker has actually entered it.
+    let entered = Arc::new((Mutex::new(false), Condvar::new()));
+    let release = Arc::new((Mutex::new(false), Condvar::new()));
+    let (entered2, release2) = (Arc::clone(&entered), Arc::clone(&release));
+    let shim: PredictShim = Box::new(move |_, _| {
+        let (lock, cv) = &*entered2;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let (lock, cv) = &*release2;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+        None
+    });
+    canary.install_version(
+        Arc::new(ModelVersion::with_shim(2, corner_artifact(53), shim)),
+        Duration::from_millis(10),
+    );
+
+    // First request occupies the worker inside the shim…
+    let c1 = Arc::clone(&canary);
+    let t1 = std::thread::spawn(move || c1.predict(vec![0.2, 0.2]));
+    {
+        let (lock, cv) = &*entered;
+        let mut inside = lock.lock().unwrap();
+        while !*inside {
+            inside = cv.wait(inside).unwrap();
+        }
+    }
+    // …the second fills the depth-1 queue…
+    let c2 = Arc::clone(&canary);
+    let t2 = std::thread::spawn(move || c2.predict(vec![0.3, 0.3]));
+    while canary.queue_depth() < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …and the third is refused immediately with too_busy.
+    let err = canary.predict(vec![0.4, 0.4]).expect_err("queue is full");
+    assert_eq!(err.code, reds_serve::ErrorCode::TooBusy);
+    assert!(err.message.contains("depth limit of 1"), "{}", err.message);
+
+    // The default model is completely unaffected by its wedged
+    // neighbour — per-model queues isolate backpressure.
+    let (version, preds) = registry
+        .get(None)
+        .unwrap()
+        .predict(vec![0.6, 0.6])
+        .expect("default model still serves");
+    assert_eq!(version, 1);
+    assert_eq!(preds.len(), 1);
+
+    // Release the canary; the queued work completes.
+    {
+        let (lock, cv) = &*release;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    t1.join().expect("t1").expect("first canary request serves");
+    t2.join()
+        .expect("t2")
+        .expect("queued canary request serves");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any interleaving of swaps, predictions, and current-version
+    /// reads keeps installed versions strictly increasing, served
+    /// versions non-decreasing, and a served version never ahead of
+    /// the latest install.
+    #[test]
+    fn version_order_is_monotonic_under_any_interleaving(ops in prop::collection::vec(0u32..3, 1..20)) {
+        let limits = ServeLimits::default();
+        let registry = ModelRegistry::new(corner_artifact(41), &limits);
+        let entry = registry.get(None).expect("default model");
+        let mut installed = 1u64;
+        let mut served = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let outcome = entry
+                        .swap(corner_artifact(42), Duration::from_millis(200))
+                        .expect("swap");
+                    prop_assert!(outcome.version > installed);
+                    prop_assert_eq!(outcome.previous, installed);
+                    installed = outcome.version;
+                }
+                1 => {
+                    let (version, preds) = entry.predict(vec![0.1, 0.9]).expect("predicts");
+                    prop_assert_eq!(preds.len(), 1);
+                    prop_assert!(version >= served, "served version regressed");
+                    prop_assert!(version <= installed, "served a version never installed");
+                    served = version;
+                }
+                _ => {
+                    prop_assert_eq!(entry.current().version, installed);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Shard-routing equivalence: a router fanning `predict_batch` across
+//! worker serving processes must be indistinguishable — bit for bit —
+//! from one single-process server loaded with the same artifact, for
+//! every model family (forest "f", GBDT "x", SVM "s").
+//!
+//! Also pins the fleet behaviours: broadcast swap flips every shard,
+//! front-enforced limits reject before any shard is touched, and
+//! shard-side errors surface as structured errors at the router.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reds::data::Dataset;
+use reds::metamodel::{
+    Gbdt, GbdtParams, Metamodel, RandomForest, RandomForestParams, SavedModel, Svm, SvmParams,
+};
+use reds_json::Json;
+use reds_serve::reactor::ConnGauges;
+use reds_serve::{
+    serve, serve_handler, Algorithm, Client, ClientError, DiscoverParams, ModelArtifact, Router,
+    ServeLimits, ServerHandle,
+};
+
+/// Deterministic artifact per (family, seed): calling it twice yields
+/// bit-identical models, so workers and the reference server can be
+/// loaded independently.
+fn family_artifact(family: &str, seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = Dataset::from_fn((0..180 * 3).map(|_| rng.gen::<f64>()).collect(), 3, |x| {
+        if x[0] > 0.3 && x[1] < 0.8 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+    .unwrap();
+    let model = match family {
+        "f" => SavedModel::Forest(RandomForest::fit(
+            &train,
+            &RandomForestParams {
+                n_trees: 15,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed ^ 7),
+        )),
+        "x" => SavedModel::Gbdt(Gbdt::fit(
+            &train,
+            &GbdtParams {
+                n_rounds: 20,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed ^ 8),
+        )),
+        "s" => SavedModel::Svm(Svm::fit(
+            &train,
+            &SvmParams::default(),
+            &mut StdRng::seed_from_u64(seed ^ 9),
+        )),
+        other => panic!("unknown family {other}"),
+    };
+    ModelArtifact {
+        function: format!("slab-{family}"),
+        seed,
+        pool_seed: seed.wrapping_add(7_700),
+        pool_design: reds_serve::POOL_DESIGN_UNIFORM.to_string(),
+        model: model.into(),
+        train,
+    }
+}
+
+/// Two shard workers + a router over them, all serving `artifact`.
+fn spawn_fleet(family: &str, seed: u64) -> (ServerHandle, Vec<ServerHandle>) {
+    let workers: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            serve(
+                family_artifact(family, seed),
+                "127.0.0.1:0",
+                ServeLimits::default(),
+            )
+            .expect("worker binds")
+        })
+        .collect();
+    let limits = ServeLimits::default();
+    let router = Arc::new(
+        Router::new(
+            workers.iter().map(|w| w.addr().to_string()).collect(),
+            limits.clone(),
+        )
+        .propagate_shutdown(true),
+    );
+    let front = serve_handler(
+        router,
+        "127.0.0.1:0",
+        limits,
+        Arc::new(ConnGauges::default()),
+    )
+    .expect("router binds");
+    (front, workers)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: row {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn routed_answers_are_bit_identical_to_a_single_server_for_every_family() {
+    for family in ["f", "x", "s"] {
+        let seed = 60;
+        let (front, workers) = spawn_fleet(family, seed);
+        let reference = serve(
+            family_artifact(family, seed),
+            "127.0.0.1:0",
+            ServeLimits::default(),
+        )
+        .expect("reference binds");
+
+        let mut routed = Client::connect(front.addr()).expect("connects to router");
+        let mut single = Client::connect(reference.addr()).expect("connects to reference");
+
+        // Row counts around the split boundaries: 1 row leaves one
+        // shard idle, odd counts split unevenly, and an ∞ coordinate
+        // exercises the marker encoding through the reassembly.
+        for rows in [1usize, 2, 3, 7, 23] {
+            let mut query: Vec<f64> = (0..rows * 3)
+                .map(|i| ((i * 17 + rows) % 31) as f64 / 31.0)
+                .collect();
+            query[0] = f64::INFINITY;
+            let via_router = routed
+                .predict_batch(&query, 3)
+                .expect("router serves predict");
+            let via_single = single
+                .predict_batch(&query, 3)
+                .expect("reference serves predict");
+            assert_bits_eq(
+                &via_router,
+                &via_single,
+                &format!("family {family}, {rows} rows"),
+            );
+        }
+
+        // discover routes whole to one shard; every shard serves the
+        // same artifact, so the answer equals the single server's.
+        let params = DiscoverParams {
+            l: 800,
+            seed: 17,
+            algorithm: Algorithm::Prim,
+            ..Default::default()
+        };
+        let via_router = routed.discover(&params).expect("router serves discover");
+        let via_single = single.discover(&params).expect("reference discover");
+        assert_eq!(via_router, via_single, "family {family}: discover differs");
+
+        // The router's info names its shards.
+        let info = routed.info().expect("router info");
+        assert_eq!(info.get("router").and_then(Json::as_bool), Some(true));
+        assert_eq!(info.get("shards").and_then(Json::as_f64), Some(2.0));
+        let per_shard = info
+            .get("shard_info")
+            .and_then(Json::as_array)
+            .expect("shard_info");
+        assert_eq!(per_shard.len(), 2);
+        for shard in per_shard {
+            assert_eq!(
+                shard.get("family").and_then(Json::as_str),
+                Some(family),
+                "shard serves the same family"
+            );
+        }
+
+        single.shutdown().expect("reference shutdown");
+        reference.join();
+        // Router shutdown propagates to both workers.
+        routed.shutdown().expect("router shutdown");
+        front.join();
+        for w in workers {
+            w.join();
+        }
+    }
+}
+
+#[test]
+fn broadcast_swap_flips_every_shard_and_stays_bit_identical() {
+    let (front, workers) = spawn_fleet("f", 61);
+    let next = family_artifact("f", 62);
+    let dir = std::env::temp_dir().join(format!("reds-router-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let next_path = dir.join("next.json");
+    next.save(&next_path).expect("saves");
+
+    let mut client = Client::connect(front.addr()).expect("connects");
+    let outcome = client
+        .swap(None, next_path.to_str().unwrap())
+        .expect("broadcast swap serves");
+    let shards = outcome
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("per-shard outcomes");
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert_eq!(shard.get("version").and_then(Json::as_f64), Some(2.0));
+    }
+
+    // Post-swap routed answers equal the new model in-process.
+    let query: Vec<f64> = (0..11 * 3).map(|i| ((i * 5) % 23) as f64 / 23.0).collect();
+    let (version, served) = client
+        .predict_batch_on(None, &query, 3)
+        .expect("post-swap predict");
+    assert_eq!(version, 2, "both shards answer from the new version");
+    assert_bits_eq(
+        &served,
+        &next.model.predict_batch(&query, 3),
+        "post-swap routed",
+    );
+
+    client.shutdown().expect("shutdown");
+    front.join();
+    for w in workers {
+        w.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_enforces_limits_up_front_and_surfaces_shard_errors() {
+    // Workers accept up to the default row cap; the router is capped
+    // tighter, so a request whose *halves* each shard would happily
+    // serve must still be rejected whole at the front.
+    let workers: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            serve(
+                family_artifact("f", 63),
+                "127.0.0.1:0",
+                ServeLimits::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let limits = ServeLimits {
+        max_rows_per_request: 1_000,
+        ..Default::default()
+    };
+    let router = Arc::new(
+        Router::new(
+            workers.iter().map(|w| w.addr().to_string()).collect(),
+            limits.clone(),
+        )
+        .propagate_shutdown(true),
+    );
+    let front = serve_handler(
+        router,
+        "127.0.0.1:0",
+        limits,
+        Arc::new(ConnGauges::default()),
+    )
+    .expect("router binds");
+    let mut client = Client::connect(front.addr()).expect("connects");
+
+    let huge = vec![0.5; 2_001 * 3];
+    let err = client.predict_batch(&huge, 3).expect_err("too large");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "too_large"),
+        other => panic!("expected a server error, got {other}"),
+    }
+
+    // Width mismatch: only the shards know the model's m, so the error
+    // comes back from a shard, tagged as such.
+    let err = client.predict_batch(&[0.1, 0.2], 2).expect_err("wrong m");
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, "bad_request");
+            assert!(message.contains("shard"), "{message}");
+            assert!(message.contains("expects 3 columns"), "{message}");
+        }
+        other => panic!("expected a server error, got {other}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    front.join();
+    for w in workers {
+        w.join();
+    }
+}

@@ -9,7 +9,9 @@ use std::io::{BufRead, Cursor, Read};
 
 use proptest::prelude::*;
 use reds_json::Json;
-use reds_serve::wire::{drain_oversized_line, read_frame, write_frame, Frame, Wait, WaitPolicy};
+use reds_serve::wire::{
+    drain_oversized_line, read_frame, write_frame, Frame, FrameBuffer, FrameEvent, Wait, WaitPolicy,
+};
 
 const MAX: usize = 1 << 16;
 
@@ -216,5 +218,113 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The reactor's push decoder and the blocking pull decoder are
+    /// the same codec: fed identical bytes under arbitrary chunking
+    /// (TCP segmentation), they emit identical frame sequences —
+    /// including a torn trailing line at EOF.
+    #[test]
+    fn push_decoder_matches_pull_decoder_under_any_chunking(
+        docs in prop::collection::vec(arb_doc(), 1..8),
+        tail in prop::collection::vec(0u32..26, 0..12),
+        chunks in prop::collection::vec(1usize..40, 0..64),
+    ) {
+        let mut bytes = Vec::new();
+        for doc in &docs {
+            write_frame(&mut bytes, doc).expect("write");
+        }
+        // A torn trailing line (no newline before EOF).
+        bytes.extend(tail.iter().map(|c| b'a' + *c as u8));
+
+        // Pull side: the blocking reader the client uses.
+        let mut pull_lines = Vec::new();
+        let mut reader = Cursor::new(bytes.clone());
+        loop {
+            match read_frame(&mut reader, MAX, &mut never_block()).expect("read") {
+                Frame::Line(line) => pull_lines.push(line),
+                Frame::Eof => break,
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+
+        // Push side: the reactor's incremental decoder, fed the same
+        // bytes in arbitrary chunks.
+        let mut fb = FrameBuffer::new(MAX);
+        let mut push_lines = Vec::new();
+        let (mut at, mut chunk_i) = (0usize, 0usize);
+        while at < bytes.len() {
+            let take = chunks
+                .get(chunk_i)
+                .copied()
+                .unwrap_or(usize::MAX)
+                .clamp(1, bytes.len() - at);
+            chunk_i += 1;
+            let mut chunk = &bytes[at..at + take];
+            at += take;
+            while !chunk.is_empty() {
+                let (used, event) = fb.push(chunk);
+                prop_assert!(used > 0, "push must always make progress");
+                chunk = &chunk[used..];
+                match event {
+                    Some(FrameEvent::Frame(line)) => push_lines.push(line),
+                    Some(other) => prop_assert!(false, "unexpected event {:?}", other),
+                    None => {}
+                }
+            }
+        }
+        if let Some(torn) = fb.take_trailing() {
+            push_lines.push(torn);
+        }
+        prop_assert_eq!(push_lines, pull_lines);
+    }
+
+    /// The push decoder rejects an oversized line exactly once, drains
+    /// it, and decodes the next frame intact — the same
+    /// reject-drain-resync contract as read_frame + drain_oversized_line,
+    /// under any chunking.
+    #[test]
+    fn push_decoder_rejects_and_resyncs_like_the_pull_decoder(
+        filler in 1usize..2048,
+        doc in arb_doc(),
+        chunks in prop::collection::vec(1usize..32, 0..48),
+    ) {
+        let cap = 256usize;
+        let mut bytes = vec![b'x'; cap + filler];
+        bytes.push(b'\n');
+        write_frame(&mut bytes, &doc).expect("write");
+
+        let mut fb = FrameBuffer::new(cap);
+        let mut events: Vec<&str> = Vec::new();
+        let mut lines = Vec::new();
+        let (mut at, mut chunk_i) = (0usize, 0usize);
+        while at < bytes.len() {
+            let take = chunks
+                .get(chunk_i)
+                .copied()
+                .unwrap_or(usize::MAX)
+                .clamp(1, bytes.len() - at);
+            chunk_i += 1;
+            let mut chunk = &bytes[at..at + take];
+            at += take;
+            while !chunk.is_empty() {
+                let (used, event) = fb.push(chunk);
+                chunk = &chunk[used..];
+                match event {
+                    Some(FrameEvent::Frame(line)) => {
+                        events.push("frame");
+                        lines.push(line);
+                    }
+                    Some(FrameEvent::TooLarge) => events.push("too_large"),
+                    Some(FrameEvent::DrainEnd) => events.push("drain_end"),
+                    None => prop_assert!(used > 0, "push must always make progress"),
+                }
+            }
+        }
+        prop_assert_eq!(events, vec!["too_large", "drain_end", "frame"]);
+        prop_assert!(!fb.discarding(), "decoder must resync after the bad line");
+        prop_assert!(fb.take_trailing().is_none());
+        let back = reds_json::from_str(&String::from_utf8_lossy(&lines[0])).expect("parse");
+        prop_assert_eq!(back.to_string_compact(), doc.to_string_compact());
     }
 }
