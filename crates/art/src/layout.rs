@@ -31,6 +31,10 @@ pub const SECTION_MODEL: u32 = 2;
 pub const SECTION_DATASET: u32 = 3;
 /// Section kind: one column's `(key u64, row u32)` sorted runs.
 pub const SECTION_COLUMN: u32 = 4;
+/// Section kind: one column's page index — fixed-size-page min/max key
+/// fences over the column's merged record order (out-of-core readers
+/// use them for page skipping and tie-run boundary detection).
+pub const SECTION_PAGE_INDEX: u32 = 5;
 
 /// Model family code: random forest ("f").
 pub const FAMILY_FOREST: u32 = 0;

@@ -35,14 +35,16 @@
 mod bytes;
 mod layout;
 mod read;
+mod scan;
 mod write;
 
 pub use bytes::ArtBytes;
 pub use layout::{
     FAMILY_FOREST, FAMILY_GBDT, FAMILY_SVM, HEADER_LEN, MAGIC, SECTION_COLUMN, SECTION_DATASET,
-    SECTION_META, SECTION_MODEL, TOC_ENTRY_LEN, VERSION,
+    SECTION_META, SECTION_MODEL, SECTION_PAGE_INDEX, TOC_ENTRY_LEN, VERSION,
 };
 pub use read::{ArtFile, ArtMeta, ColumnSection, MappedArtifact, MappedModel, SectionInfo};
+pub use scan::{ArtScan, PageIndex, ScanSection, DEFAULT_PAGE_ROWS};
 pub use write::{write_model_artifact, ArtWriter, ModelArtifactSpec};
 
 /// Structured failure while writing, opening, or validating a

@@ -242,6 +242,17 @@ impl ArtFile {
         }
         Ok(out)
     }
+
+    /// Decodes and validates every page-index section, in file order.
+    pub fn page_indexes(&self) -> Result<Vec<crate::PageIndex>, ArtError> {
+        let mut out = Vec::new();
+        for s in &self.sections {
+            if s.kind == crate::SECTION_PAGE_INDEX {
+                out.push(crate::PageIndex::parse(&self.bytes[s.range.clone()])?);
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Decoded metadata section: which model this artifact holds and the

@@ -1,0 +1,345 @@
+//! Streaming (mmap-free) `.redsart` verification and positioned reads.
+//!
+//! The mmap reader ([`ArtFile`](crate::ArtFile)) is the right tool when
+//! the whole artifact is welcome in the address space. The out-of-core
+//! search path is the opposite case: its entire point is that resident
+//! memory stays bounded by a page-cache budget, and mapping the file
+//! would make every touched page count against the process — peak-RSS
+//! accounting under `mmap` reflects the file size, not the working set.
+//!
+//! [`ArtScan`] therefore verifies the **identical** chain
+//! `ArtFile::from_bytes` runs — header, recorded length, whole-file
+//! FNV-1a with the digest field zeroed, TOC geometry, per-section
+//! bounds/alignment/checksums — using only a bounded streaming buffer,
+//! and then serves positioned reads (`pread`) against the verified
+//! byte ranges. Any single-byte corruption is rejected up front for
+//! the same bijection reason as the mmap path.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use crate::layout::{Cur, FNV_FIELD_OFFSET, HEADER_LEN, MAGIC, TOC_ENTRY_LEN, VERSION};
+use crate::{corrupt, fnv1a, ArtError, FNV_OFFSET};
+
+/// One verified section as the streaming reader exposes it: absolute
+/// payload position instead of a borrowed slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanSection {
+    /// Section kind code (`SECTION_*`).
+    pub kind: u32,
+    /// Absolute file offset of the payload's first byte.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// A verified `.redsart` file served by positioned reads instead of a
+/// memory mapping (see the module docs for why out-of-core readers
+/// must not map).
+pub struct ArtScan {
+    file: File,
+    file_len: u64,
+    sections: Vec<ScanSection>,
+}
+
+/// Streams `len` bytes starting at `offset` through the FNV state.
+fn fnv_range(file: &mut File, offset: u64, len: u64, mut state: u64) -> Result<u64, ArtError> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut reader = BufReader::with_capacity(256 * 1024, file);
+    let mut remaining = len;
+    let mut buf = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(buf.len() as u64) as usize;
+        reader
+            .read_exact(&mut buf[..want])
+            .map_err(|_| corrupt("file shrank while being verified"))?;
+        state = fnv1a(state, &buf[..want]);
+        remaining -= want as u64;
+    }
+    Ok(state)
+}
+
+impl ArtScan {
+    /// Opens and verifies `path` with bounded memory: the same checks,
+    /// in the same order, as [`ArtFile::from_bytes`](crate::ArtFile) —
+    /// just streamed instead of mapped.
+    pub fn open(path: &Path) -> Result<Self, ArtError> {
+        let mut file = File::open(path)?;
+        let actual_len = file.metadata()?.len();
+        if actual_len < HEADER_LEN as u64 {
+            return Err(corrupt(format!(
+                "file of {actual_len} bytes is shorter than the {HEADER_LEN}-byte header"
+            )));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact_at(&mut header, 0)?;
+        if header[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a .redsart file)"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(ArtError::Unsupported(format!(
+                "format version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let section_count =
+            u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        let toc_offset = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let file_len = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        let stored_fnv = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
+        if file_len != actual_len {
+            return Err(corrupt(format!(
+                "recorded length {file_len} != actual length {actual_len} (truncated or extended)"
+            )));
+        }
+        let toc_len = (section_count as u64).checked_mul(TOC_ENTRY_LEN as u64);
+        let toc_end = toc_len.and_then(|l| toc_offset.checked_add(l));
+        if toc_offset < HEADER_LEN as u64 || toc_offset % 8 != 0 || toc_end != Some(file_len) {
+            return Err(corrupt("table of contents does not span to the file end"));
+        }
+        // Whole-file checksum with the digest field zeroed, in one
+        // sequential bounded-buffer pass.
+        let mut digest = fnv1a(FNV_OFFSET, &header[..FNV_FIELD_OFFSET]);
+        digest = fnv1a(digest, &[0u8; 8]);
+        digest = fnv_range(
+            &mut file,
+            (FNV_FIELD_OFFSET + 8) as u64,
+            file_len - (FNV_FIELD_OFFSET + 8) as u64,
+            digest,
+        )?;
+        if digest != stored_fnv {
+            return Err(corrupt(format!(
+                "file checksum mismatch (stored {stored_fnv:#018x}, computed {digest:#018x})"
+            )));
+        }
+        // The TOC itself: geometry bounds it to the file tail, and the
+        // count is bounded by the file length, so this allocation is
+        // safe.
+        let mut toc = vec![0u8; section_count * TOC_ENTRY_LEN];
+        file.read_exact_at(&mut toc, toc_offset)?;
+        let mut sections = Vec::with_capacity(section_count);
+        for (i, e) in toc.chunks_exact(TOC_ENTRY_LEN).enumerate() {
+            let kind = u32::from_le_bytes(e[..4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+            let fnv = u64::from_le_bytes(e[24..32].try_into().expect("8 bytes"));
+            let end = offset.checked_add(len);
+            if offset < HEADER_LEN as u64
+                || offset % 8 != 0
+                || end.is_none()
+                || end > Some(toc_offset)
+            {
+                return Err(corrupt(format!("section {i} is out of bounds")));
+            }
+            if fnv_range(&mut file, offset, len, FNV_OFFSET)? != fnv {
+                return Err(corrupt(format!(
+                    "section {i} (kind {kind}) checksum mismatch"
+                )));
+            }
+            sections.push(ScanSection { kind, offset, len });
+        }
+        Ok(Self {
+            file,
+            file_len,
+            sections,
+        })
+    }
+
+    /// The verified table of contents.
+    pub fn sections(&self) -> &[ScanSection] {
+        &self.sections
+    }
+
+    /// Reads exactly `buf.len()` bytes at absolute file offset
+    /// `offset` (a `pread` — no shared cursor, safe under interleaved
+    /// readers). The range must lie inside the verified file.
+    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), ArtError> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .filter(|&e| e <= self.file_len)
+            .ok_or_else(|| corrupt("positioned read beyond the verified file"))?;
+        let _ = end;
+        self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+}
+
+/// Default records-per-page for writers that emit page indexes: small
+/// enough that a 64 MiB cache holds thousands of pages, large enough
+/// (48 KiB of records) to amortize the `pread` per fetch.
+pub const DEFAULT_PAGE_ROWS: u32 = 4096;
+
+/// A decoded `SECTION_PAGE_INDEX` payload: one column's per-page
+/// min/max key fences at the page size the writer chose.
+///
+/// Layout (little-endian): `column u32`, `page_rows u32`,
+/// `n_pages u64`, then `n_pages × (min_key u64, max_key u64)`.
+/// `docs/artifact-format.md` is the normative description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageIndex {
+    /// Column the fences describe.
+    pub column: u32,
+    /// Records per page the fences were computed at.
+    pub page_rows: u32,
+    /// `(min_key, max_key)` of each page, in page order.
+    pub fences: Vec<(u64, u64)>,
+}
+
+impl PageIndex {
+    /// Parses and validates one page-index payload: fence keys must be
+    /// internally ordered (`min ≤ max`) and monotone across pages
+    /// (`max[p] ≤ min[p+1]` — the column is sorted; equality marks a
+    /// tie run crossing the page boundary).
+    pub fn parse(payload: &[u8]) -> Result<Self, ArtError> {
+        let mut cur = Cur::new(payload);
+        let column = cur.u32("page index column")?;
+        let page_rows = cur.u32("page index page_rows")?;
+        if page_rows == 0 {
+            return Err(corrupt("page index declares zero rows per page"));
+        }
+        let n_pages = cur.count("page index page count")?;
+        let mut fences = Vec::with_capacity(n_pages.min(payload.len() / 16));
+        let mut prev_max: Option<u64> = None;
+        for p in 0..n_pages {
+            let min = cur.u64("page fence min key")?;
+            let max = cur.u64("page fence max key")?;
+            if min > max {
+                return Err(corrupt(format!("page {p} fence has min > max")));
+            }
+            if let Some(pm) = prev_max {
+                if pm > min {
+                    return Err(corrupt(format!(
+                        "page {p} fence is not monotone with its predecessor"
+                    )));
+                }
+            }
+            prev_max = Some(max);
+            fences.push((min, max));
+        }
+        cur.finish("page index")?;
+        Ok(Self {
+            column,
+            page_rows,
+            fences,
+        })
+    }
+
+    /// `true` when the tie run ending page `p` continues into page
+    /// `p + 1` (the pages share a key at the boundary).
+    pub fn tie_spans_boundary(&self, p: usize) -> bool {
+        p + 1 < self.fences.len() && self.fences[p].1 == self.fences[p + 1].0
+    }
+
+    /// Encodes the payload this parser reads (the writer-side dual).
+    pub fn encode(column: u32, page_rows: u32, fences: &[(u64, u64)]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 16 * fences.len());
+        buf.extend_from_slice(&column.to_le_bytes());
+        buf.extend_from_slice(&page_rows.to_le_bytes());
+        buf.extend_from_slice(&(fences.len() as u64).to_le_bytes());
+        for &(min, max) in fences {
+            buf.extend_from_slice(&min.to_le_bytes());
+            buf.extend_from_slice(&max.to_le_bytes());
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArtWriter;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("reds-art-scan-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.redsart")
+    }
+
+    fn tiny_artifact(path: &Path) {
+        let mut w = ArtWriter::create(path).unwrap();
+        w.section(42, b"payload-a").unwrap();
+        w.section(
+            crate::SECTION_PAGE_INDEX,
+            &PageIndex::encode(0, 2, &[(1, 5), (5, 9)]),
+        )
+        .unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn scan_agrees_with_the_mapped_reader() {
+        let path = scratch("agree");
+        tiny_artifact(&path);
+        let scan = ArtScan::open(&path).unwrap();
+        let mapped = crate::ArtFile::open(&path).unwrap();
+        let msecs = mapped.sections();
+        assert_eq!(scan.sections().len(), msecs.len());
+        for (s, m) in scan.sections().iter().zip(&msecs) {
+            assert_eq!(s.kind, m.kind);
+            assert_eq!(s.len as usize, m.len);
+        }
+        // Positioned reads return the exact payload bytes.
+        let sec = scan.sections()[0];
+        let mut buf = vec![0u8; sec.len as usize];
+        scan.read_exact_at(&mut buf, sec.offset).unwrap();
+        assert_eq!(&buf, b"payload-a");
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let path = scratch("flip");
+        tiny_artifact(&path);
+        let pristine = std::fs::read(&path).unwrap();
+        for i in 0..pristine.len() {
+            let mut bad = pristine.clone();
+            bad[i] ^= 0xff;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(ArtScan::open(&path).is_err(), "byte {i} flip accepted");
+        }
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(ArtScan::open(&path).is_ok());
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let path = scratch("trunc");
+        tiny_artifact(&path);
+        let pristine = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &pristine[..pristine.len() - 1]).unwrap();
+        assert!(ArtScan::open(&path).is_err());
+        let mut longer = pristine.clone();
+        longer.push(0);
+        std::fs::write(&path, &longer).unwrap();
+        assert!(ArtScan::open(&path).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_refused() {
+        let path = scratch("oob");
+        tiny_artifact(&path);
+        let scan = ArtScan::open(&path).unwrap();
+        let mut buf = [0u8; 16];
+        let err = scan.read_exact_at(&mut buf, u64::MAX - 4).unwrap_err();
+        assert!(matches!(err, ArtError::Corrupt(_)));
+    }
+
+    #[test]
+    fn page_index_round_trips_and_validates() {
+        let payload = PageIndex::encode(3, 4, &[(1, 2), (2, 7), (9, 9)]);
+        let idx = PageIndex::parse(&payload).unwrap();
+        assert_eq!(idx.column, 3);
+        assert_eq!(idx.page_rows, 4);
+        assert_eq!(idx.fences, vec![(1, 2), (2, 7), (9, 9)]);
+        assert!(idx.tie_spans_boundary(0));
+        assert!(!idx.tie_spans_boundary(1));
+        assert!(!idx.tie_spans_boundary(2));
+        // min > max inside a page.
+        assert!(PageIndex::parse(&PageIndex::encode(0, 1, &[(5, 1)])).is_err());
+        // Non-monotone across pages.
+        assert!(PageIndex::parse(&PageIndex::encode(0, 1, &[(1, 9), (2, 3)])).is_err());
+        // Zero page_rows.
+        assert!(PageIndex::parse(&PageIndex::encode(0, 0, &[])).is_err());
+    }
+}

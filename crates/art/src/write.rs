@@ -36,12 +36,31 @@ struct OpenSection {
 
 /// Streams sections into a `.redsart` file; [`ArtWriter::finish`]
 /// seals it (TOC, header, whole-file checksum).
+///
+/// A writer dropped before a successful `finish` — an early error
+/// return or a panic mid-write — **removes its partial file**: a
+/// half-written artifact would fail every checksum anyway, so nothing
+/// is lost, and no torn `.redsart` orphans accumulate next to the
+/// caller's outputs.
 pub struct ArtWriter {
-    out: BufWriter<File>,
+    /// `None` only transiently inside [`ArtWriter::finish`].
+    out: Option<BufWriter<File>>,
     path: PathBuf,
     offset: u64,
     toc: Vec<TocEntry>,
     cur: Option<OpenSection>,
+    finished: bool,
+}
+
+impl Drop for ArtWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Close the handle before unlinking; best effort — cleanup
+            // must never turn an unwind into an abort.
+            self.out = None;
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 impl ArtWriter {
@@ -56,12 +75,17 @@ impl ArtWriter {
         let mut out = BufWriter::new(file);
         out.write_all(&[0u8; HEADER_LEN])?;
         Ok(Self {
-            out,
+            out: Some(out),
             path: path.to_path_buf(),
             offset: HEADER_LEN as u64,
             toc: Vec::new(),
             cur: None,
+            finished: false,
         })
+    }
+
+    fn out(&mut self) -> &mut BufWriter<File> {
+        self.out.as_mut().expect("writer already finished")
     }
 
     /// Opens a new section of `kind`. Sections cannot nest.
@@ -80,7 +104,10 @@ impl ArtWriter {
     pub fn write(&mut self, bytes: &[u8]) -> Result<(), ArtError> {
         let cur = self.cur.as_mut().expect("no open section");
         cur.fnv = fnv1a(cur.fnv, bytes);
-        self.out.write_all(bytes)?;
+        self.out
+            .as_mut()
+            .expect("writer already finished")
+            .write_all(bytes)?;
         self.offset += bytes.len() as u64;
         Ok(())
     }
@@ -145,7 +172,7 @@ impl ArtWriter {
         let rem = (self.offset % 8) as usize;
         if rem != 0 {
             let pad = [0u8; 7];
-            self.out.write_all(&pad[..8 - rem])?;
+            self.out().write_all(&pad[..8 - rem])?;
             self.offset += (8 - rem) as u64;
         }
         Ok(())
@@ -159,29 +186,26 @@ impl ArtWriter {
     }
 
     /// Writes the TOC, patches the header, computes the whole-file
-    /// checksum in a sequential re-read, and patches it in.
-    pub fn finish(self) -> Result<(), ArtError> {
+    /// checksum in a sequential re-read, and patches it in. Only a
+    /// writer that returns `Ok` from here leaves a file on disk; every
+    /// other exit path (error, panic, plain drop) removes the partial
+    /// artifact.
+    pub fn finish(mut self) -> Result<(), ArtError> {
         assert!(self.cur.is_none(), "unclosed section");
-        let Self {
-            mut out,
-            path,
-            offset,
-            toc,
-            ..
-        } = self;
-        let toc_offset = offset;
-        for e in &toc {
+        let mut out = self.out.take().expect("writer already finished");
+        let toc_offset = self.offset;
+        for e in &self.toc {
             out.write_all(&e.kind.to_le_bytes())?;
             out.write_all(&0u32.to_le_bytes())?;
             out.write_all(&e.offset.to_le_bytes())?;
             out.write_all(&e.len.to_le_bytes())?;
             out.write_all(&e.fnv.to_le_bytes())?;
         }
-        let file_len = toc_offset + (toc.len() * TOC_ENTRY_LEN) as u64;
+        let file_len = toc_offset + (self.toc.len() * TOC_ENTRY_LEN) as u64;
         let mut header = [0u8; HEADER_LEN];
         header[..8].copy_from_slice(&MAGIC);
         header[8..12].copy_from_slice(&VERSION.to_le_bytes());
-        header[12..16].copy_from_slice(&(toc.len() as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&(self.toc.len() as u32).to_le_bytes());
         header[16..24].copy_from_slice(&toc_offset.to_le_bytes());
         header[24..32].copy_from_slice(&file_len.to_le_bytes());
         // [32..40] (file fnv) and [40..48] (reserved) stay zero for
@@ -207,7 +231,7 @@ impl ArtWriter {
         file.write_all(&digest.to_le_bytes())?;
         file.sync_all()?;
         drop(file);
-        let _ = path; // kept for symmetry with future atomic-rename writers
+        self.finished = true;
         Ok(())
     }
 }
@@ -337,4 +361,55 @@ pub fn write_model_artifact(path: &Path, spec: &ModelArtifactSpec<'_>) -> Result
     w.end_section()?;
 
     w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("reds-art-write-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.redsart")
+    }
+
+    #[test]
+    fn dropped_writer_removes_its_partial_file() {
+        let path = scratch("drop");
+        let mut w = ArtWriter::create(&path).unwrap();
+        w.begin_section(7).unwrap();
+        w.write(b"half a section").unwrap();
+        assert!(path.exists(), "file exists while the writer is live");
+        drop(w);
+        assert!(
+            !path.exists(),
+            "dropped-without-finish writer left an orphan"
+        );
+    }
+
+    #[test]
+    fn finished_writer_keeps_its_file() {
+        let path = scratch("keep");
+        let mut w = ArtWriter::create(&path).unwrap();
+        w.section(7, b"payload").unwrap();
+        w.finish().unwrap();
+        assert!(path.exists());
+        crate::ArtFile::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn panic_mid_write_removes_the_partial_file() {
+        let path = scratch("panic");
+        let p = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut w = ArtWriter::create(&p).unwrap();
+            w.begin_section(7).unwrap();
+            w.write(b"about to unwind").unwrap();
+            panic!("simulated failure mid-section");
+        });
+        assert!(result.is_err());
+        assert!(!path.exists(), "unwound writer left an orphan");
+    }
 }

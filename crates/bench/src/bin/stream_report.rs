@@ -10,8 +10,15 @@
 //! cargo run --release -p reds-bench --bin stream_report -- \
 //!     [--l 2000000] [--m 12] [--chunk-rows 65536] [--n 400] [--trees 50] \
 //!     [--seed 7] [--discover-l 100000] [--out-dir .] [--spill-dir DIR] \
-//!     [--construct-only]
+//!     [--construct-only] [--ooc [--mem-budget MIB]]
 //! ```
+//!
+//! `--ooc` adds an `ooc-discover` measurement — the same discovery
+//! served through `Reds::discover_out_of_core` (scratch `.redsart`
+//! artifact + paged search) — which must be bit-identical to the
+//! monolithic boxes and, when `--mem-budget` (MiB) is given, keep its
+//! peak RSS below that budget. The dedicated `ooc_report` binary runs
+//! the fuller out-of-core gate.
 //!
 //! Each measured configuration runs in its **own subprocess** (the
 //! binary re-execs itself with `--measure <mode>`): `VmHWM` is a
@@ -40,7 +47,8 @@ use reds_stream::{digest_pool, stream_scan, Labeling, SamplerSource, StreamSampl
 use reds_subgroup::{Prim, SdResult};
 
 const USAGE: &str = "usage: stream_report [--l N] [--m N] [--chunk-rows N] [--n N] \
-[--trees N] [--seed N] [--discover-l N] [--out-dir DIR] [--spill-dir DIR] [--construct-only]";
+[--trees N] [--seed N] [--discover-l N] [--out-dir DIR] [--spill-dir DIR] [--construct-only] \
+[--ooc] [--mem-budget MIB]";
 
 const BND: f64 = 0.5;
 
@@ -187,7 +195,7 @@ fn run_measure(mode: &str, spec: &Spec) {
                 ],
             )
         }
-        "mono-discover" | "stream-discover" => {
+        "mono-discover" | "stream-discover" | "ooc-discover" => {
             let train = train_data(spec);
             let params = RandomForestParams {
                 n_trees: spec.trees,
@@ -195,12 +203,22 @@ fn run_measure(mode: &str, spec: &Spec) {
             };
             let reds = Reds::random_forest(params, RedsConfig::default().with_l(spec.l));
             let mut rng = StdRng::seed_from_u64(spec.seed);
-            let result = if mode == "mono-discover" {
-                reds.run(&train, &Prim::default(), &mut rng)
-                    .unwrap_or_else(|e| cli_fail(format!("pipeline failed: {e}"), ""))
-            } else {
-                reds.discover_streaming(&train, &Prim::default(), &mut rng, &spec.stream_config())
-                    .unwrap_or_else(|e| cli_fail(format!("streaming pipeline failed: {e}"), ""))
+            let result = match mode {
+                "mono-discover" => reds
+                    .run(&train, &Prim::default(), &mut rng)
+                    .unwrap_or_else(|e| cli_fail(format!("pipeline failed: {e}"), "")),
+                "stream-discover" => reds
+                    .discover_streaming(&train, &Prim::default(), &mut rng, &spec.stream_config())
+                    .unwrap_or_else(|e| cli_fail(format!("streaming pipeline failed: {e}"), "")),
+                _ => reds
+                    .discover_out_of_core(
+                        &train,
+                        &Prim::default(),
+                        &mut rng,
+                        &spec.stream_config(),
+                        &reds_core::OocConfig::default(),
+                    )
+                    .unwrap_or_else(|e| cli_fail(format!("out-of-core pipeline failed: {e}"), "")),
             };
             (
                 boxes_digest(&result),
@@ -320,6 +338,10 @@ fn main() {
 
     // ----- full discovery (bit-identity of the boxes) ----------------
     let mut discover_identical = None;
+    let mut ooc_identical = None;
+    let mut ooc_under_budget = None;
+    let with_ooc = args.has_flag("ooc");
+    let mem_budget_mib = args.get_usize("mem-budget", 0);
     if !construct_only {
         let mono_d = spawn_measure("mono-discover", &spec, discover_l);
         let stream_d = spawn_measure("stream-discover", &spec, discover_l);
@@ -329,6 +351,31 @@ fn main() {
             failures.push(format!(
                 "discover boxes differ between mono and stream at L = {discover_l}"
             ));
+        }
+        if with_ooc {
+            let ooc_d = spawn_measure("ooc-discover", &spec, discover_l);
+            let same = field_str(&mono_d, "digest") == field_str(&ooc_d, "digest");
+            ooc_identical = Some(same);
+            if !same {
+                failures.push(format!(
+                    "discover boxes differ between mono and out-of-core at L = {discover_l}"
+                ));
+            }
+            if mem_budget_mib > 0 {
+                if let Some(peak) = field_f64(&ooc_d, "peak_rss_bytes") {
+                    let budget = (mem_budget_mib << 20) as f64;
+                    let below = peak < budget;
+                    ooc_under_budget = Some(below);
+                    if !below {
+                        failures.push(format!(
+                            "ooc-discover peak RSS {:.0} MiB is not below the {} MiB budget",
+                            peak / (1 << 20) as f64,
+                            mem_budget_mib
+                        ));
+                    }
+                }
+            }
+            rows.push(ooc_d);
         }
         rows.push(mono_d);
         rows.push(stream_d);
@@ -345,6 +392,14 @@ fn main() {
         (
             "discover_bit_identical",
             discover_identical.map_or(Json::Null, Json::Bool),
+        ),
+        (
+            "ooc_bit_identical",
+            ooc_identical.map_or(Json::Null, Json::Bool),
+        ),
+        (
+            "ooc_peak_below_budget",
+            ooc_under_budget.map_or(Json::Null, Json::Bool),
         ),
         (
             "stream_peak_below_lxm_buffer",

@@ -53,6 +53,15 @@ pub enum StreamingError {
     Pipeline(RedsError),
     /// A failure specific to the streaming machinery.
     Stream(reds_stream::StreamError),
+    /// A failure of the out-of-core store (artifact verification,
+    /// paged I/O, mask scratch file).
+    OutOfCore(reds_ooc::OocError),
+    /// The subgroup algorithm (or its configuration — e.g. PRIM with
+    /// pasting) has no out-of-core code path.
+    NoPagedPath {
+        /// `SubgroupDiscovery::name` of the algorithm.
+        algorithm: &'static str,
+    },
 }
 
 impl std::fmt::Display for StreamingError {
@@ -60,6 +69,10 @@ impl std::fmt::Display for StreamingError {
         match self {
             Self::Pipeline(e) => e.fmt(f),
             Self::Stream(e) => e.fmt(f),
+            Self::OutOfCore(e) => e.fmt(f),
+            Self::NoPagedPath { algorithm } => {
+                write!(f, "algorithm {algorithm} has no out-of-core code path")
+            }
         }
     }
 }
@@ -69,6 +82,8 @@ impl std::error::Error for StreamingError {
         match self {
             Self::Pipeline(e) => Some(e),
             Self::Stream(e) => Some(e),
+            Self::OutOfCore(e) => Some(e),
+            Self::NoPagedPath { .. } => None,
         }
     }
 }
@@ -82,6 +97,12 @@ impl From<RedsError> for StreamingError {
 impl From<reds_stream::StreamError> for StreamingError {
     fn from(e: reds_stream::StreamError) -> Self {
         Self::Stream(e)
+    }
+}
+
+impl From<reds_ooc::OocError> for StreamingError {
+    fn from(e: reds_ooc::OocError) -> Self {
+        Self::OutOfCore(e)
     }
 }
 

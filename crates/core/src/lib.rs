@@ -34,3 +34,5 @@ pub use pipeline::{NewPointSampler, Reds, RedsConfig};
 // Streaming configuration re-exported so `Reds::discover_streaming`
 // callers need no direct `reds-stream` dependency.
 pub use reds_stream::{StreamConfig, StreamError, DEFAULT_CHUNK_ROWS};
+// Out-of-core configuration re-exported for `Reds::discover_out_of_core`.
+pub use reds_ooc::{OocConfig, OocError, OocPool, OocStats, DEFAULT_CACHE_BYTES};

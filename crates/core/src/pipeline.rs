@@ -1,16 +1,41 @@
 //! The REDS pipeline (Algorithm 4).
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reds_data::Dataset;
 use reds_metamodel::{GbdtParams, Metamodel, RandomForestParams, SvmParams, Trainer};
+use reds_ooc::{OocConfig, OocPool};
 use reds_sampling::{logit_normal, mixed_design, uniform};
 use reds_stream::{
-    stream_pool, Labeling, SamplerSource, SliceSource, StreamConfig, StreamError, StreamSampler,
+    stream_art, stream_pool, Labeling, SamplerSource, SliceSource, StreamConfig, StreamError,
+    StreamSampler,
 };
 use reds_subgroup::{SdResult, SubgroupDiscovery};
 
 use crate::{RedsError, StreamingError};
+
+/// A unique scratch path for the pool artifact of one out-of-core run,
+/// under the stream config's spill parent (or the system temp dir).
+fn scratch_artifact_path(stream: &StreamConfig) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let parent = stream.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    parent.join(format!("reds-ooc-{}-{seq}.redsart", std::process::id()))
+}
+
+/// Removes the scratch artifact when the run ends, error paths
+/// included (the in-flight write itself is covered by `ArtWriter`'s
+/// own drop guard).
+struct ScratchFile(PathBuf);
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
 
 /// Distribution from which REDS draws the `L` new points (Algorithm 4,
 /// line 3). Must match the distribution `p(x)` of the original data —
@@ -286,6 +311,73 @@ impl Reds {
         *rng = source.into_rng();
         let mut sd_rng = StdRng::seed_from_u64(rng.gen());
         Ok(sd.discover_presorted(&pool.dataset, pool.view, d, &mut sd_rng))
+    }
+
+    /// Out-of-core REDS: like [`Reds::discover_streaming`], but the
+    /// pseudo-labeled pool is **never materialized in memory at all**.
+    /// The streaming pipeline writes it to a `.redsart` artifact
+    /// (sorted columns with per-page key fences), and subgroup
+    /// discovery runs against a paged, rank-addressable column store
+    /// over that artifact ([`reds_ooc::OocPool`]) whose resident set is
+    /// bounded by [`OocConfig::cache_bytes`] — independent of `L`. The
+    /// validation data `d` (the paper's `D_val = D`) stays in memory.
+    ///
+    /// The discovered boxes are bit-identical to [`Reds::run`] and
+    /// [`Reds::discover_streaming`] with the same `rng`: the store
+    /// serves every scan in the exact `(value, row)` /
+    /// ascending-row orders of the in-memory `SortedView` path, and
+    /// the generic peel/search implementations keep every float
+    /// summation in the same association.
+    ///
+    /// The artifact and the membership-mask scratch file live beside
+    /// the spill directory (`stream.spill_dir`, defaulting to the
+    /// system temp dir) and are removed when the run ends, on error
+    /// paths included.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Reds::discover_streaming`] reports, plus
+    /// [`StreamingError::OutOfCore`] for artifact/paging failures and
+    /// [`StreamingError::NoPagedPath`] when `sd` (or its configuration
+    /// — e.g. PRIM with pasting) cannot run without random access to
+    /// the full pool.
+    pub fn discover_out_of_core(
+        &self,
+        d: &Dataset,
+        sd: &dyn SubgroupDiscovery,
+        rng: &mut StdRng,
+        stream: &StreamConfig,
+        ooc: &OocConfig,
+    ) -> Result<SdResult, StreamingError> {
+        if self.config.l == 0 {
+            return Err(RedsError::ZeroNewPoints.into());
+        }
+        let model = self.train_metamodel(d, rng)?;
+        let sampler = self.config.sampler.streamable()?;
+        let mut source = SamplerSource::new(sampler, self.config.l, d.m(), rng.clone());
+        let art_path = scratch_artifact_path(stream);
+        if let Some(parent) = art_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let _guard = ScratchFile(art_path.clone());
+        stream_art(
+            &mut source,
+            &mut |points, m| Ok(model.predict_batch(points, m)),
+            self.labeling(),
+            stream,
+            &art_path,
+            ooc.page_rows,
+        )?;
+        // Adopt the advanced generator state so the SD seed below (and
+        // anything the caller draws later) matches the monolithic path.
+        *rng = source.into_rng();
+        let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+        let mut pool = OocPool::open(&art_path, ooc)?;
+        let result = sd.discover_paged(&mut pool, d, &mut sd_rng);
+        drop(pool);
+        result.ok_or(StreamingError::NoPagedPath {
+            algorithm: sd.name(),
+        })
     }
 
     /// Streaming variant of [`Reds::run_on_pool`]: pseudo-labels a
@@ -598,6 +690,81 @@ mod tests {
         assert!(matches!(
             err,
             crate::StreamingError::Stream(StreamError::NanInPoint { row: 3, column: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_core_discover_is_bit_identical_to_run() {
+        let d = corner_data(150, 80);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(2_000));
+        for sd in [
+            &Prim::default() as &dyn SubgroupDiscovery,
+            &BestInterval::default(),
+        ] {
+            let reference = reds.run(&d, sd, &mut StdRng::seed_from_u64(81)).unwrap();
+            // Pathological page sizes and a tiny cache stress paging;
+            // bit-identity must hold regardless.
+            for (page_rows, cache) in [(1u32, 1usize << 10), (257, 64 << 10), (4096, 48 << 20)] {
+                let ooc = OocConfig::new()
+                    .with_page_rows(page_rows)
+                    .with_cache_bytes(cache);
+                let paged = reds
+                    .discover_out_of_core(
+                        &d,
+                        sd,
+                        &mut StdRng::seed_from_u64(81),
+                        &StreamConfig::new().with_chunk_rows(173),
+                        &ooc,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    bounds_bits(&reference),
+                    bounds_bits(&paged),
+                    "{} page_rows = {page_rows}",
+                    sd.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_leaves_the_rng_in_the_monolithic_state() {
+        let d = corner_data(100, 90);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(500));
+        let mut rng_a = StdRng::seed_from_u64(91);
+        let mut rng_b = StdRng::seed_from_u64(91);
+        reds.run(&d, &Prim::default(), &mut rng_a).unwrap();
+        reds.discover_out_of_core(
+            &d,
+            &Prim::default(),
+            &mut rng_b,
+            &StreamConfig::new().with_chunk_rows(37),
+            &OocConfig::new(),
+        )
+        .unwrap();
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn pasting_prim_has_no_paged_path() {
+        let d = corner_data(80, 95);
+        let reds = Reds::random_forest(quick_forest(), RedsConfig::default().with_l(500));
+        let prim = Prim::new(reds_subgroup::PrimParams {
+            paste: true,
+            ..Default::default()
+        });
+        let err = reds
+            .discover_out_of_core(
+                &d,
+                &prim,
+                &mut StdRng::seed_from_u64(96),
+                &StreamConfig::new(),
+                &OocConfig::new(),
+            )
+            .expect_err("pasting needs random access");
+        assert!(matches!(
+            err,
+            crate::StreamingError::NoPagedPath { algorithm: "P" }
         ));
     }
 

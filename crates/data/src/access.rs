@@ -1,0 +1,268 @@
+//! Backing-agnostic column access for subgroup search.
+//!
+//! PRIM peeling and BestInterval only ever touch a pool through a
+//! narrow surface: sorted-column scans from either end, label sums in
+//! fixed orders, row deactivation at a value bound, and sequential
+//! row iteration. [`ColumnAccess`] names that surface, so one generic
+//! search implementation runs over both the in-memory
+//! [`SortedView`]-backed pool ([`ViewAccess`]) and the out-of-core
+//! paged column store (`reds-ooc`), with **bit-identical** results:
+//! every method pins down the exact floating-point visit order the
+//! in-memory path uses, and both backings honor it.
+//!
+//! All methods take `&mut self` because a paged backing mutates its
+//! page cache on every read; the in-memory implementation simply
+//! ignores the mutability.
+
+use crate::{Dataset, SortedView};
+
+/// Callback of [`ColumnAccess::scan_column_points`]:
+/// `f(value, row, point, label)`.
+pub type PointVisitor<'a> = dyn FnMut(f64, u32, &[f64], f64) + 'a;
+
+/// The column/row surface subgroup search consumes, generic over the
+/// storage backing (in-memory [`SortedView`] or an out-of-core paged
+/// store).
+///
+/// Ordering contracts (the bit-identity guarantees rest on these):
+///
+/// * column scans visit active entries in ascending (front) or
+///   descending (back) `(value, row id)` order — the `SortedView`
+///   total order;
+/// * [`active_label_sum`](ColumnAccess::active_label_sum) sums labels
+///   of active rows in **ascending row order**;
+/// * [`scan_rows`](ColumnAccess::scan_rows) visits **all** rows (the
+///   membership mask is not consulted) in ascending row order;
+/// * deactivation is monotone — a deactivated row never comes back.
+pub trait ColumnAccess {
+    /// Number of input dimensions.
+    fn m(&self) -> usize;
+
+    /// Total number of rows in the pool (active or not).
+    fn n_rows(&self) -> usize;
+
+    /// Number of rows still active.
+    fn n_active(&self) -> usize;
+
+    /// `true` when `row` is still active.
+    fn is_active(&mut self, row: u32) -> bool;
+
+    /// The label of `row`.
+    fn label(&mut self, row: u32) -> f64;
+
+    /// Sum of the labels of all **active** rows, accumulated in
+    /// ascending row order.
+    fn active_label_sum(&mut self) -> f64;
+
+    /// Visits the active entries of `dim`'s sorted column front to
+    /// back — ascending `(value, row id)` — until `f` returns `false`
+    /// or the column is exhausted.
+    fn scan_active_front(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool);
+
+    /// Visits the active entries of `dim`'s sorted column back to
+    /// front — descending `(value, row id)` — until `f` returns
+    /// `false` or the column is exhausted.
+    fn scan_active_back(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool);
+
+    /// Visits the active entries of `dim`'s sorted column front to
+    /// back, handing `f` the full point and label of each row:
+    /// `f(value, row, point, label)`.
+    fn scan_column_points(&mut self, dim: usize, f: &mut PointVisitor<'_>);
+
+    /// Visits **every** row (the membership mask is not consulted) in
+    /// ascending row order: `f(row, point, label)`.
+    fn scan_rows(&mut self, f: &mut dyn FnMut(u32, &[f64], f64));
+
+    /// Deactivates every active row whose value in `dim` is strictly
+    /// below `bound` (a PRIM "low" cut — the new lower bound is
+    /// inclusive). Returns the number of rows removed.
+    fn deactivate_below(&mut self, dim: usize, bound: f64) -> usize;
+
+    /// Deactivates every active row whose value in `dim` is strictly
+    /// above `bound` (a PRIM "high" cut). Returns the number of rows
+    /// removed.
+    fn deactivate_above(&mut self, dim: usize, bound: f64) -> usize;
+}
+
+/// The in-memory [`ColumnAccess`] backing: a [`SortedView`] over a
+/// [`Dataset`], plus the ascending active-row list the PRIM peel loop
+/// historically carried (so label sums cost `O(n_active)`, not `O(n)`).
+pub struct ViewAccess<'a> {
+    d: &'a Dataset,
+    view: SortedView,
+    /// Active rows in ascending row order (mirrors the view's mask).
+    in_rows: Vec<u32>,
+}
+
+impl<'a> ViewAccess<'a> {
+    /// Wraps a dataset and its sorted view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the view's active-row count disagrees with the
+    /// dataset (the view must have been built over `d`, with no rows
+    /// deactivated yet).
+    pub fn new(d: &'a Dataset, view: SortedView) -> Self {
+        assert_eq!(
+            view.n_active(),
+            d.n(),
+            "view must be fresh over the dataset"
+        );
+        let in_rows = (0..d.n() as u32).collect();
+        Self { d, view, in_rows }
+    }
+}
+
+impl ColumnAccess for ViewAccess<'_> {
+    fn m(&self) -> usize {
+        self.d.m()
+    }
+
+    fn n_rows(&self) -> usize {
+        self.d.n()
+    }
+
+    fn n_active(&self) -> usize {
+        self.view.n_active()
+    }
+
+    fn is_active(&mut self, row: u32) -> bool {
+        self.view.is_active(row as usize)
+    }
+
+    fn label(&mut self, row: u32) -> f64 {
+        self.d.label(row as usize)
+    }
+
+    fn active_label_sum(&mut self) -> f64 {
+        self.in_rows.iter().map(|&i| self.d.label(i as usize)).sum()
+    }
+
+    fn scan_active_front(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool) {
+        for &row in self.view.column(dim) {
+            if !f(self.d.value(row as usize, dim), row) {
+                break;
+            }
+        }
+    }
+
+    fn scan_active_back(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool) {
+        for &row in self.view.column(dim).iter().rev() {
+            if !f(self.d.value(row as usize, dim), row) {
+                break;
+            }
+        }
+    }
+
+    fn scan_column_points(&mut self, dim: usize, f: &mut PointVisitor<'_>) {
+        for &row in self.view.column(dim) {
+            let i = row as usize;
+            f(self.d.value(i, dim), row, self.d.point(i), self.d.label(i));
+        }
+    }
+
+    fn scan_rows(&mut self, f: &mut dyn FnMut(u32, &[f64], f64)) {
+        for (row, (point, label)) in self.d.iter().enumerate() {
+            f(row as u32, point, label);
+        }
+    }
+
+    fn deactivate_below(&mut self, dim: usize, bound: f64) -> usize {
+        let removed = self.view.retain_at_least(self.d, dim, bound);
+        if removed > 0 {
+            let d = self.d;
+            self.in_rows.retain(|&i| d.value(i as usize, dim) >= bound);
+        }
+        removed
+    }
+
+    fn deactivate_above(&mut self, dim: usize, bound: f64) -> usize {
+        let removed = self.view.retain_at_most(self.d, dim, bound);
+        if removed > 0 {
+            let d = self.d;
+            self.in_rows.retain(|&i| d.value(i as usize, dim) <= bound);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // Column 0: 3 1 2 1 0 ; column 1: 5 4 3 2 1
+        Dataset::new(
+            vec![3.0, 5.0, 1.0, 4.0, 2.0, 3.0, 1.0, 2.0, 0.0, 1.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn front_scan_visits_sorted_order_and_stops() {
+        let d = toy();
+        let mut a = ViewAccess::new(&d, SortedView::new(&d));
+        let mut seen = Vec::new();
+        a.scan_active_front(0, &mut |v, row| {
+            seen.push((v, row));
+            seen.len() < 3
+        });
+        assert_eq!(seen, vec![(0.0, 4), (1.0, 1), (1.0, 3)]);
+        seen.clear();
+        a.scan_active_back(0, &mut |v, row| {
+            seen.push((v, row));
+            true
+        });
+        assert_eq!(seen.first(), Some(&(3.0, 0)));
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn deactivation_tracks_the_view_and_label_sums() {
+        let d = toy();
+        let mut a = ViewAccess::new(&d, SortedView::new(&d));
+        assert_eq!(a.active_label_sum(), 2.0);
+        assert_eq!(a.deactivate_below(0, 1.0), 1); // row 4 (value 0)
+        assert_eq!(a.n_active(), 4);
+        assert!(!a.is_active(4));
+        assert_eq!(a.active_label_sum(), 2.0);
+        assert_eq!(a.deactivate_above(1, 3.0), 2); // rows 0 (5), 1 (4)
+        assert_eq!(a.n_active(), 2);
+        assert_eq!(a.active_label_sum(), 1.0);
+        let mut rows = Vec::new();
+        a.scan_active_front(1, &mut |_, row| {
+            rows.push(row);
+            true
+        });
+        assert_eq!(rows, vec![3, 2]);
+    }
+
+    #[test]
+    fn scan_rows_ignores_the_mask() {
+        let d = toy();
+        let mut a = ViewAccess::new(&d, SortedView::new(&d));
+        a.deactivate_below(0, 10.0);
+        assert_eq!(a.n_active(), 0);
+        let mut count = 0;
+        a.scan_rows(&mut |row, point, label| {
+            assert_eq!(point, d.point(row as usize));
+            assert_eq!(label, d.label(row as usize));
+            count += 1;
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn column_point_scan_hands_full_rows() {
+        let d = toy();
+        let mut a = ViewAccess::new(&d, SortedView::new(&d));
+        let mut seen = Vec::new();
+        a.scan_column_points(1, &mut |v, row, point, label| {
+            assert_eq!(v, point[1]);
+            seen.push((row, label));
+        });
+        assert_eq!(seen, vec![(4, 0.0), (3, 1.0), (2, 0.0), (1, 1.0), (0, 0.0)]);
+    }
+}

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+mod access;
 mod bootstrap;
 mod dataset;
 mod error;
@@ -21,9 +22,10 @@ mod folds;
 mod sorted;
 mod split;
 
+pub use access::{ColumnAccess, PointVisitor, ViewAccess};
 pub use bootstrap::bootstrap_sample;
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use folds::KFold;
-pub use sorted::{argsort_stable, ord_key, SortedView};
+pub use sorted::{argsort_stable, ord_key, ord_key_inverse, SortedView};
 pub use split::{train_test_split, Split};

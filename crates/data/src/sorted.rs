@@ -194,6 +194,22 @@ pub fn ord_key(v: f64) -> u64 {
     }
 }
 
+/// Inverse of [`ord_key`]: recovers the exact `f64` bits a key was
+/// built from (the mapping is a bijection on the 64-bit space).
+///
+/// Out-of-core column readers rely on this: a `(key, row)` record
+/// carries the value itself, so sorted-column scans never need to
+/// touch the row-major point pages.
+#[inline]
+pub fn ord_key_inverse(key: u64) -> f64 {
+    let b = if key & (1 << 63) != 0 {
+        key & !(1 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(b)
+}
+
 /// Stable LSD radix argsort: returns the row ids `0..n` ordered by
 /// `(keys[row], row)`. `O(n)` per 8-bit digit, skipping digits on
 /// which all keys agree — typically 3–5 effective passes on real data,
@@ -239,6 +255,24 @@ pub fn argsort_stable(keys: &[u64]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ord_key_round_trips_exact_bits() {
+        for v in [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            0.5,
+            2.0,
+            f64::INFINITY,
+            f64::NAN,
+        ] {
+            let back = ord_key_inverse(ord_key(v));
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+    }
 
     #[test]
     fn ord_key_matches_total_cmp() {

@@ -1,0 +1,279 @@
+//! The shared LRU page cache with a hard byte budget.
+//!
+//! One cache serves three page kinds — decoded column records, label
+//! blocks, point blocks — because a single budget is what the memory
+//! gate reasons about. Pages are handed out as `Rc` slices, so a
+//! caller can keep iterating a page it already fetched while the cache
+//! evicts behind its back; at most O(1) pages per in-flight scan
+//! outlive their cache slot.
+//!
+//! Recency is tracked with a lazily invalidated queue: every touch
+//! pushes a fresh `(key, generation)` ticket and bumps the slot's
+//! generation; eviction pops tickets from the front and skips the
+//! stale ones. That keeps both `get` and `insert` O(1) amortized
+//! without a doubly linked list.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// One decoded column record: the value (already through
+/// `ord_key_inverse`) and its row id. 16 bytes in cache for 12 on
+/// disk — the budget counts the in-memory size.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Rec {
+    pub value: f64,
+    pub row: u32,
+}
+
+/// What a cache slot holds.
+#[derive(Clone)]
+pub(crate) enum Page {
+    /// A page of one column's sorted records.
+    Records(Rc<[Rec]>),
+    /// A page of `f64`s (labels or packed points).
+    Floats(Rc<[f64]>),
+}
+
+impl Page {
+    fn bytes(&self) -> usize {
+        match self {
+            Page::Records(r) => r.len() * std::mem::size_of::<Rec>(),
+            Page::Floats(f) => f.len() * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// Which of the store's backing arrays a page belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum PageKind {
+    /// `(key, row)` records of one column.
+    Records,
+    /// The label array.
+    Labels,
+    /// The row-major point array.
+    Points,
+}
+
+/// Cache key: (kind, column, page number). Labels/points ignore the
+/// column (stored as 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PageKey {
+    pub kind: PageKind,
+    pub col: u32,
+    pub page: u64,
+}
+
+struct Slot {
+    page: Page,
+    generation: u64,
+    bytes: usize,
+}
+
+/// LRU page cache with a hard byte budget. The budget bounds what the
+/// cache *retains*; the page currently being inserted is always kept
+/// (evicting everything else if need be), so a budget smaller than one
+/// page degrades to cache-nothing rather than deadlock.
+pub(crate) struct PageCache {
+    budget: usize,
+    used: usize,
+    map: HashMap<PageKey, Slot>,
+    lru: VecDeque<(PageKey, u64)>,
+    next_generation: u64,
+    /// Fetches served from cache.
+    pub hits: u64,
+    /// Fetches that had to load from disk.
+    pub misses: u64,
+}
+
+impl PageCache {
+    pub(crate) fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            used: 0,
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            next_generation: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bytes currently retained.
+    #[cfg(test)]
+    pub(crate) fn used(&self) -> usize {
+        self.used
+    }
+
+    fn ticket(&mut self) -> u64 {
+        let g = self.next_generation;
+        self.next_generation += 1;
+        g
+    }
+
+    /// Drops stale tickets once they outnumber the live ones. Without
+    /// this, a working set that fits the budget never evicts, so the
+    /// queue would grow by one ticket per touch — unbounded over a
+    /// long search. Retain preserves order, so recency is unchanged;
+    /// triggering at 2× live keeps the sweep amortized O(1) per touch.
+    fn compact(&mut self) {
+        if self.lru.len() > self.map.len() * 2 + 64 {
+            let map = &self.map;
+            self.lru
+                .retain(|&(key, g)| map.get(&key).is_some_and(|s| s.generation == g));
+        }
+    }
+
+    /// Looks a page up, refreshing its recency.
+    pub(crate) fn get(&mut self, key: PageKey) -> Option<Page> {
+        let g = self.ticket();
+        let slot = self.map.get_mut(&key)?;
+        slot.generation = g;
+        let page = slot.page.clone();
+        self.lru.push_back((key, g));
+        self.hits += 1;
+        self.compact();
+        Some(page)
+    }
+
+    /// Inserts a freshly loaded page, evicting least-recently-used
+    /// pages until the budget holds again.
+    pub(crate) fn insert(&mut self, key: PageKey, page: Page) -> Page {
+        self.misses += 1;
+        let bytes = page.bytes();
+        let g = self.ticket();
+        if let Some(old) = self.map.insert(
+            key,
+            Slot {
+                page: page.clone(),
+                generation: g,
+                bytes,
+            },
+        ) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        self.lru.push_back((key, g));
+        while self.used > self.budget {
+            let Some((victim, ticket)) = self.lru.pop_front() else {
+                break;
+            };
+            if victim == key {
+                // Never evict the page being handed out; re-queue its
+                // ticket only if it is the live one.
+                if self
+                    .map
+                    .get(&victim)
+                    .is_some_and(|s| s.generation == ticket)
+                {
+                    self.lru.push_back((victim, ticket));
+                    // Everything older was already popped; if the new
+                    // page alone exceeds the budget, stop.
+                    if self.lru.len() == 1 {
+                        break;
+                    }
+                }
+                continue;
+            }
+            let stale = self.map.get(&victim).is_none_or(|s| s.generation != ticket);
+            if stale {
+                continue;
+            }
+            let slot = self.map.remove(&victim).expect("checked above");
+            self.used -= slot.bytes;
+        }
+        self.compact();
+        page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floats(n: usize, fill: f64) -> Page {
+        Page::Floats(vec![fill; n].into())
+    }
+
+    fn key(kind: PageKind, col: u32, page: u64) -> PageKey {
+        PageKey { kind, col, page }
+    }
+
+    #[test]
+    fn budget_is_a_hard_ceiling_on_retained_bytes() {
+        let mut c = PageCache::new(64 * 8); // room for 64 f64s
+        for p in 0..32 {
+            c.insert(key(PageKind::Labels, 0, p), floats(16, p as f64));
+            assert!(c.used() <= 64 * 8, "page {p}: used {} bytes", c.used());
+        }
+    }
+
+    #[test]
+    fn recently_used_pages_survive_eviction() {
+        let mut c = PageCache::new(4 * 16 * 8);
+        for p in 0..4 {
+            c.insert(key(PageKind::Labels, 0, p), floats(16, p as f64));
+        }
+        // Touch page 0, then overflow: 0 must survive, 1 must go.
+        assert!(c.get(key(PageKind::Labels, 0, 0)).is_some());
+        c.insert(key(PageKind::Labels, 0, 4), floats(16, 4.0));
+        assert!(
+            c.get(key(PageKind::Labels, 0, 0)).is_some(),
+            "refreshed page evicted"
+        );
+        assert!(
+            c.get(key(PageKind::Labels, 0, 1)).is_none(),
+            "LRU page retained"
+        );
+    }
+
+    #[test]
+    fn an_oversized_page_is_still_served() {
+        let mut c = PageCache::new(8); // under one page
+        let page = c.insert(key(PageKind::Labels, 0, 0), floats(16, 1.0));
+        let Page::Floats(f) = page else { panic!() };
+        assert_eq!(f.len(), 16);
+        // The next insert replaces it.
+        c.insert(key(PageKind::Labels, 0, 1), floats(16, 2.0));
+        assert!(c.get(key(PageKind::Labels, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn ticket_queue_stays_bounded_when_nothing_evicts() {
+        // A working set under budget never triggers eviction; the
+        // recency queue must still not grow per touch.
+        let mut c = PageCache::new(1 << 20);
+        for p in 0..8 {
+            c.insert(key(PageKind::Labels, 0, p), floats(16, p as f64));
+        }
+        for i in 0..100_000u64 {
+            assert!(c.get(key(PageKind::Labels, 0, i % 8)).is_some());
+        }
+        assert!(
+            c.lru.len() <= c.map.len() * 2 + 64,
+            "queue holds {} tickets for {} live pages",
+            c.lru.len(),
+            c.map.len()
+        );
+    }
+
+    #[test]
+    fn kinds_and_columns_do_not_collide() {
+        let mut c = PageCache::new(1 << 20);
+        c.insert(key(PageKind::Labels, 0, 0), floats(4, 1.0));
+        c.insert(key(PageKind::Points, 0, 0), floats(4, 2.0));
+        c.insert(
+            key(PageKind::Records, 3, 0),
+            Page::Records(vec![Rec { value: 0.5, row: 7 }; 4].into()),
+        );
+        let Some(Page::Floats(l)) = c.get(key(PageKind::Labels, 0, 0)) else {
+            panic!()
+        };
+        assert_eq!(l[0], 1.0);
+        let Some(Page::Floats(p)) = c.get(key(PageKind::Points, 0, 0)) else {
+            panic!()
+        };
+        assert_eq!(p[0], 2.0);
+        assert!(c.get(key(PageKind::Records, 3, 0)).is_some());
+        assert!(c.get(key(PageKind::Records, 2, 0)).is_none());
+    }
+}

@@ -1,0 +1,806 @@
+//! [`OocPool`]: the paged, rank-addressable column store.
+//!
+//! Opens a `.redsart` pool artifact (streaming-verified, never
+//! mapped), validates that every column is fully merged and carries a
+//! page index, and serves [`ColumnAccess`] over it:
+//!
+//! * a column's sorted records are addressed by **rank** — rank `r`
+//!   lives in page `r / page_rows` at a fixed byte offset, one `pread`
+//!   away;
+//! * per-column **watermarks** `[lo, hi)` bracket the ranks that can
+//!   still be active: PRIM cuts only ever trim the ends of a sorted
+//!   column, so everything outside the bracket is inactive by
+//!   construction;
+//! * pages *inside* the bracket that a scan observes with zero active
+//!   rows are marked **dead** and skipped without I/O from then on —
+//!   sound because deactivation is monotone (rows never reactivate);
+//! * the active-row mask is the paged scratch file of
+//!   [`mask`](crate::mask), not a resident vector.
+//!
+//! Every visit order matches the in-memory
+//! [`ViewAccess`](reds_data::ViewAccess) exactly; the equivalence
+//! tests drive both through identical cut sequences and require
+//! bit-identical observations.
+
+use std::path::Path;
+use std::rc::Rc;
+
+use reds_art::{
+    ArtScan, PageIndex, ScanSection, SECTION_COLUMN, SECTION_DATASET, SECTION_PAGE_INDEX,
+};
+use reds_data::{ord_key_inverse, ColumnAccess, PointVisitor};
+
+use crate::cache::{Page, PageCache, PageKey, PageKind, Rec};
+use crate::mask::{PagedMask, MASK_PAGE_BYTES};
+use crate::{OocConfig, OocError};
+
+/// Why a read that passed full verification at open time can still be
+/// trusted to succeed: the only failures left are catastrophic
+/// filesystem ones, which have no better answer than stopping.
+const READ_EXPECT: &str = "verified pool artifact became unreadable mid-search";
+const MASK_EXPECT: &str = "membership mask scratch file became unusable mid-search";
+
+struct ColMeta {
+    /// Absolute file offset of the column's first 12-byte record.
+    records_off: u64,
+    /// Decoded per-page (min value, max value) fences.
+    fences: Vec<(f64, f64)>,
+    /// First rank that can still be active.
+    lo: usize,
+    /// One past the last rank that can still be active.
+    hi: usize,
+    /// Pages observed with zero active rows — skipped without I/O.
+    dead: Vec<bool>,
+}
+
+/// Cache / I/O counters of an [`OocPool`], for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OocStats {
+    /// Page fetches served from the cache.
+    pub cache_hits: u64,
+    /// Page fetches that went to disk.
+    pub cache_misses: u64,
+}
+
+/// An out-of-core pool: [`ColumnAccess`] served from a verified
+/// `.redsart` artifact through a budgeted page cache and a paged
+/// membership mask. See the [module docs](self).
+pub struct OocPool {
+    scan: ArtScan,
+    n: usize,
+    m: usize,
+    page_rows: usize,
+    points_off: u64,
+    labels_off: u64,
+    cols: Vec<ColMeta>,
+    cache: PageCache,
+    mask: PagedMask,
+    n_active: usize,
+}
+
+fn unsupported(msg: impl Into<String>) -> OocError {
+    OocError::Unsupported(msg.into())
+}
+
+impl OocPool {
+    /// Opens and validates a pool artifact written by
+    /// `reds_stream::PoolBuilder::finish_art`. Creates the membership
+    /// mask scratch file beside it (`<artifact>.mask`, removed when
+    /// the pool drops), with every row active.
+    pub fn open(path: &Path, cfg: &OocConfig) -> Result<Self, OocError> {
+        let scan = ArtScan::open(path)?;
+        let mut dataset: Option<ScanSection> = None;
+        let mut col_secs: Vec<ScanSection> = Vec::new();
+        let mut idx_secs: Vec<ScanSection> = Vec::new();
+        for &s in scan.sections() {
+            match s.kind {
+                SECTION_DATASET if dataset.is_none() => dataset = Some(s),
+                SECTION_DATASET => return Err(unsupported("multiple dataset sections")),
+                SECTION_COLUMN => col_secs.push(s),
+                SECTION_PAGE_INDEX => idx_secs.push(s),
+                _ => {}
+            }
+        }
+        let dataset = dataset.ok_or_else(|| unsupported("no dataset section"))?;
+
+        // Dataset geometry: n, m, then n·m points and n labels.
+        let mut head = [0u8; 16];
+        scan.read_exact_at(&mut head, dataset.offset)?;
+        let n = u64::from_le_bytes(head[..8].try_into().expect("8 bytes")) as usize;
+        let m = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")) as usize;
+        let body = (n as u64)
+            .checked_mul(m as u64)
+            .and_then(|c| c.checked_add(n as u64))
+            .and_then(|c| c.checked_mul(8))
+            .and_then(|c| c.checked_add(16));
+        if n == 0 || m == 0 || body != Some(dataset.len) {
+            return Err(unsupported(format!(
+                "dataset section of {} bytes does not hold an n = {n}, m = {m} pool",
+                dataset.len
+            )));
+        }
+        let points_off = dataset.offset + 16;
+        let labels_off = points_off + (n * m * 8) as u64;
+
+        // Columns: exactly one fully merged section per dimension.
+        let mut records: Vec<Option<u64>> = vec![None; m];
+        for s in &col_secs {
+            let mut head = [0u8; 32];
+            scan.read_exact_at(&mut head, s.offset)?;
+            let col = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+            let n_rows = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+            let run_count = u64::from_le_bytes(head[16..24].try_into().expect("8 bytes"));
+            if col >= m {
+                return Err(unsupported(format!("column {col} of an m = {m} pool")));
+            }
+            if run_count != 1 {
+                return Err(unsupported(format!(
+                    "column {col} holds {run_count} runs; the out-of-core store needs fully \
+                     merged (rank-addressable) columns"
+                )));
+            }
+            let run_len = u64::from_le_bytes(head[24..32].try_into().expect("8 bytes"));
+            if n_rows != n as u64 || run_len != n as u64 {
+                return Err(unsupported(format!(
+                    "column {col} sorts {n_rows} rows, dataset has {n}"
+                )));
+            }
+            let payload = (32 + 12 * n as u64).next_multiple_of(8);
+            if s.len != payload {
+                return Err(unsupported(format!(
+                    "column {col} section is {} bytes, expected {payload}",
+                    s.len
+                )));
+            }
+            if records[col].replace(s.offset + 32).is_some() {
+                return Err(unsupported(format!("column {col} appears twice")));
+            }
+        }
+
+        // Page indexes: one per column, all at the same page size.
+        let mut indexes: Vec<Option<PageIndex>> = (0..m).map(|_| None).collect();
+        let mut page_rows: Option<u32> = None;
+        for s in &idx_secs {
+            let mut payload = vec![0u8; s.len as usize];
+            scan.read_exact_at(&mut payload, s.offset)?;
+            let idx = PageIndex::parse(&payload)?;
+            let col = idx.column as usize;
+            if col >= m {
+                return Err(unsupported(format!(
+                    "page index for column {col} of m = {m}"
+                )));
+            }
+            if *page_rows.get_or_insert(idx.page_rows) != idx.page_rows {
+                return Err(unsupported("columns are paged at different page sizes"));
+            }
+            if idx.fences.len() != n.div_ceil(idx.page_rows as usize) {
+                return Err(unsupported(format!(
+                    "column {col} page index covers {} pages of {} rows for an n = {n} pool",
+                    idx.fences.len(),
+                    idx.page_rows
+                )));
+            }
+            if indexes[col].replace(idx).is_some() {
+                return Err(unsupported(format!("column {col} has two page indexes")));
+            }
+        }
+        let page_rows =
+            page_rows.ok_or_else(|| unsupported("artifact has no page indexes"))? as usize;
+
+        let mut cols = Vec::with_capacity(m);
+        for (col, (records_off, idx)) in records.into_iter().zip(indexes).enumerate() {
+            let records_off = records_off
+                .ok_or_else(|| unsupported(format!("column {col} has no column section")))?;
+            let idx = idx.ok_or_else(|| unsupported(format!("column {col} has no page index")))?;
+            let fences = idx
+                .fences
+                .iter()
+                .map(|&(lo, hi)| (ord_key_inverse(lo), ord_key_inverse(hi)))
+                .collect::<Vec<_>>();
+            let n_pages = fences.len();
+            cols.push(ColMeta {
+                records_off,
+                fences,
+                lo: 0,
+                hi: n,
+                dead: vec![false; n_pages],
+            });
+        }
+
+        let mut mask_name = path.as_os_str().to_os_string();
+        mask_name.push(".mask");
+        let mask_pages = ((cfg.cache_bytes / 8) / MASK_PAGE_BYTES).max(2);
+        let mask = PagedMask::create(Path::new(&mask_name), n, mask_pages)?;
+
+        Ok(Self {
+            scan,
+            n,
+            m,
+            page_rows,
+            points_off,
+            labels_off,
+            cols,
+            cache: PageCache::new(cfg.cache_bytes),
+            mask,
+            n_active: n,
+        })
+    }
+
+    /// Records per page (the artifact's page-index granularity).
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> OocStats {
+        OocStats {
+            cache_hits: self.cache.hits,
+            cache_misses: self.cache.misses,
+        }
+    }
+
+    fn records_page(&mut self, col: usize, page: usize) -> Rc<[Rec]> {
+        let key = PageKey {
+            kind: PageKind::Records,
+            col: col as u32,
+            page: page as u64,
+        };
+        if let Some(Page::Records(r)) = self.cache.get(key) {
+            return r;
+        }
+        let base = page * self.page_rows;
+        let rows = self.page_rows.min(self.n - base);
+        let mut buf = vec![0u8; rows * 12];
+        self.scan
+            .read_exact_at(&mut buf, self.cols[col].records_off + (base * 12) as u64)
+            .expect(READ_EXPECT);
+        let recs: Rc<[Rec]> = buf
+            .chunks_exact(12)
+            .map(|r| Rec {
+                value: ord_key_inverse(u64::from_le_bytes(r[..8].try_into().expect("8 bytes"))),
+                row: u32::from_le_bytes(r[8..12].try_into().expect("4 bytes")),
+            })
+            .collect();
+        self.cache.insert(key, Page::Records(recs.clone()));
+        recs
+    }
+
+    fn floats_page(
+        &mut self,
+        kind: PageKind,
+        offset: u64,
+        stride: usize,
+        page: usize,
+    ) -> Rc<[f64]> {
+        let key = PageKey {
+            kind,
+            col: 0,
+            page: page as u64,
+        };
+        if let Some(Page::Floats(f)) = self.cache.get(key) {
+            return f;
+        }
+        let base = page * self.page_rows;
+        let rows = self.page_rows.min(self.n - base);
+        let mut buf = vec![0u8; rows * stride * 8];
+        self.scan
+            .read_exact_at(&mut buf, offset + (base * stride * 8) as u64)
+            .expect(READ_EXPECT);
+        let vals: Rc<[f64]> = buf
+            .chunks_exact(8)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().expect("8 bytes"))))
+            .collect();
+        self.cache.insert(key, Page::Floats(vals.clone()));
+        vals
+    }
+
+    fn labels_page(&mut self, page: usize) -> Rc<[f64]> {
+        self.floats_page(PageKind::Labels, self.labels_off, 1, page)
+    }
+
+    fn points_page(&mut self, page: usize) -> Rc<[f64]> {
+        self.floats_page(PageKind::Points, self.points_off, self.m, page)
+    }
+}
+
+impl ColumnAccess for OocPool {
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    fn is_active(&mut self, row: u32) -> bool {
+        self.mask.is_set(row).expect(MASK_EXPECT)
+    }
+
+    fn label(&mut self, row: u32) -> f64 {
+        let page = row as usize / self.page_rows;
+        let labels = self.labels_page(page);
+        labels[row as usize % self.page_rows]
+    }
+
+    fn active_label_sum(&mut self) -> f64 {
+        // -0.0 is the additive identity `Iterator::sum::<f64>` folds
+        // from; starting at +0.0 would differ bitwise on empty or
+        // all-negative-zero sums.
+        let mut sum = -0.0;
+        let mut labels: Option<(usize, Rc<[f64]>)> = None;
+        for mask_page in 0..self.mask.n_pages() {
+            let bits = self.mask.page_bits(mask_page).expect(MASK_EXPECT);
+            let base_row = mask_page as usize * MASK_PAGE_BYTES * 8;
+            for (i, &byte) in bits.iter().enumerate() {
+                let mut rest = byte;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let row = base_row + i * 8 + bit;
+                    let page = row / self.page_rows;
+                    if labels.as_ref().map(|(p, _)| *p) != Some(page) {
+                        labels = Some((page, self.labels_page(page)));
+                    }
+                    sum += labels.as_ref().expect("just set").1[row % self.page_rows];
+                }
+            }
+        }
+        sum
+    }
+
+    fn scan_active_front(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool) {
+        let page_rows = self.page_rows;
+        let (lo, hi) = (self.cols[dim].lo, self.cols[dim].hi);
+        let mut rank = lo;
+        'outer: while rank < hi {
+            let p = rank / page_rows;
+            let page_end = ((p + 1) * page_rows).min(hi);
+            if self.cols[dim].dead[p] {
+                rank = page_end;
+                continue;
+            }
+            let recs = self.records_page(dim, p);
+            let base = p * page_rows;
+            let mut any_active = false;
+            for idx in (rank - base)..(page_end - base) {
+                let r = recs[idx];
+                rank += 1;
+                if self.mask.is_set(r.row).expect(MASK_EXPECT) {
+                    any_active = true;
+                    if !f(r.value, r.row) {
+                        break 'outer;
+                    }
+                }
+            }
+            if !any_active {
+                self.cols[dim].dead[p] = true;
+            }
+        }
+    }
+
+    fn scan_active_back(&mut self, dim: usize, f: &mut dyn FnMut(f64, u32) -> bool) {
+        let page_rows = self.page_rows;
+        let (lo, hi) = (self.cols[dim].lo, self.cols[dim].hi);
+        let mut rank = hi;
+        'outer: while rank > lo {
+            let p = (rank - 1) / page_rows;
+            let page_start = (p * page_rows).max(lo);
+            if self.cols[dim].dead[p] {
+                rank = page_start;
+                continue;
+            }
+            let recs = self.records_page(dim, p);
+            let base = p * page_rows;
+            let mut any_active = false;
+            for idx in ((page_start - base)..(rank - base)).rev() {
+                let r = recs[idx];
+                rank -= 1;
+                if self.mask.is_set(r.row).expect(MASK_EXPECT) {
+                    any_active = true;
+                    if !f(r.value, r.row) {
+                        break 'outer;
+                    }
+                }
+            }
+            if !any_active {
+                self.cols[dim].dead[p] = true;
+            }
+        }
+    }
+
+    fn scan_column_points(&mut self, dim: usize, f: &mut PointVisitor<'_>) {
+        let page_rows = self.page_rows;
+        let m = self.m;
+        let (lo, hi) = (self.cols[dim].lo, self.cols[dim].hi);
+        let mut rank = lo;
+        while rank < hi {
+            let p = rank / page_rows;
+            let page_end = ((p + 1) * page_rows).min(hi);
+            if self.cols[dim].dead[p] {
+                rank = page_end;
+                continue;
+            }
+            let recs = self.records_page(dim, p);
+            let base = p * page_rows;
+            let mut any_active = false;
+            for idx in (rank - base)..(page_end - base) {
+                let r = recs[idx];
+                rank += 1;
+                if self.mask.is_set(r.row).expect(MASK_EXPECT) {
+                    any_active = true;
+                    let row = r.row as usize;
+                    let dpage = row / page_rows;
+                    let points = self.points_page(dpage);
+                    let labels = self.labels_page(dpage);
+                    let in_page = row % page_rows;
+                    f(
+                        r.value,
+                        r.row,
+                        &points[in_page * m..(in_page + 1) * m],
+                        labels[in_page],
+                    );
+                }
+            }
+            if !any_active {
+                self.cols[dim].dead[p] = true;
+            }
+        }
+    }
+
+    fn scan_rows(&mut self, f: &mut dyn FnMut(u32, &[f64], f64)) {
+        let page_rows = self.page_rows;
+        let m = self.m;
+        let mut row = 0usize;
+        while row < self.n {
+            let p = row / page_rows;
+            let end = ((p + 1) * page_rows).min(self.n);
+            let points = self.points_page(p);
+            let labels = self.labels_page(p);
+            for r in row..end {
+                let in_page = r % page_rows;
+                f(
+                    r as u32,
+                    &points[in_page * m..(in_page + 1) * m],
+                    labels[in_page],
+                );
+            }
+            row = end;
+        }
+    }
+
+    fn deactivate_below(&mut self, dim: usize, bound: f64) -> usize {
+        let page_rows = self.page_rows;
+        let (lo, hi) = (self.cols[dim].lo, self.cols[dim].hi);
+        let mut removed = 0usize;
+        let mut rank = lo;
+        'outer: while rank < hi {
+            let p = rank / page_rows;
+            let page_end = ((p + 1) * page_rows).min(hi);
+            if self.cols[dim].dead[p] {
+                if self.cols[dim].fences[p].1 < bound {
+                    // Whole (inactive) page below the bound: the cut
+                    // continues past it with zero I/O.
+                    rank = page_end;
+                    continue;
+                }
+                // The cut ends inside this all-inactive page; nothing
+                // left to deactivate anywhere (the column is sorted).
+                break;
+            }
+            let recs = self.records_page(dim, p);
+            let base = p * page_rows;
+            for idx in (rank - base)..(page_end - base) {
+                let r = recs[idx];
+                if r.value < bound {
+                    if self.mask.clear(r.row).expect(MASK_EXPECT) {
+                        removed += 1;
+                    }
+                    rank += 1;
+                } else {
+                    break 'outer;
+                }
+            }
+        }
+        self.cols[dim].lo = rank;
+        self.n_active -= removed;
+        removed
+    }
+
+    fn deactivate_above(&mut self, dim: usize, bound: f64) -> usize {
+        let page_rows = self.page_rows;
+        let (lo, hi) = (self.cols[dim].lo, self.cols[dim].hi);
+        let mut removed = 0usize;
+        let mut rank = hi;
+        'outer: while rank > lo {
+            let p = (rank - 1) / page_rows;
+            let page_start = (p * page_rows).max(lo);
+            if self.cols[dim].dead[p] {
+                if self.cols[dim].fences[p].0 > bound {
+                    rank = page_start;
+                    continue;
+                }
+                break;
+            }
+            let recs = self.records_page(dim, p);
+            let base = p * page_rows;
+            for idx in ((page_start - base)..(rank - base)).rev() {
+                let r = recs[idx];
+                if r.value > bound {
+                    if self.mask.clear(r.row).expect(MASK_EXPECT) {
+                        removed += 1;
+                    }
+                    rank -= 1;
+                } else {
+                    break 'outer;
+                }
+            }
+        }
+        self.cols[dim].hi = rank;
+        self.n_active -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use reds_data::{Dataset, SortedView, ViewAccess};
+    use reds_stream::{PoolBuilder, StreamConfig};
+
+    /// Values with heavy ties, negatives, and -0.0/0.0 pairs.
+    fn demo(n: usize, m: usize) -> Dataset {
+        let points: Vec<f64> = (0..n * m)
+            .map(|i| match (i * 7919) % 11 {
+                0 => -0.0,
+                1 => 0.0,
+                k => (k as f64 - 5.0) / 3.0,
+            })
+            .collect();
+        let labels: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        Dataset::new(points, labels, m).unwrap()
+    }
+
+    fn write_art(d: &Dataset, page_rows: u32, tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reds-ooc-store-{}-{tag}-{page_rows}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.redsart");
+        let mut b = PoolBuilder::new(d.m(), &StreamConfig::new()).unwrap();
+        // Odd chunking on purpose — merged order must not depend on it.
+        let mut row = 0;
+        while row < d.n() {
+            let take = 17.min(d.n() - row);
+            b.push_chunk(
+                &d.points()[row * d.m()..(row + take) * d.m()],
+                &d.labels()[row..row + take],
+            )
+            .unwrap();
+            row += take;
+        }
+        b.finish_art(&path, page_rows).unwrap();
+        path
+    }
+
+    fn front(a: &mut dyn ColumnAccess, dim: usize) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        a.scan_active_front(dim, &mut |v, r| {
+            out.push((v, r));
+            true
+        });
+        out
+    }
+
+    fn back(a: &mut dyn ColumnAccess, dim: usize) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        a.scan_active_back(dim, &mut |v, r| {
+            out.push((v, r));
+            true
+        });
+        out
+    }
+
+    fn assert_same_state(ooc: &mut OocPool, mem: &mut ViewAccess<'_>, what: &str) {
+        assert_eq!(ooc.n_active(), mem.n_active(), "{what}: n_active");
+        assert_eq!(
+            ooc.active_label_sum().to_bits(),
+            mem.active_label_sum().to_bits(),
+            "{what}: label sum"
+        );
+        for row in 0..ooc.n_rows() as u32 {
+            assert_eq!(ooc.is_active(row), mem.is_active(row), "{what}: row {row}");
+        }
+        for dim in 0..ooc.m() {
+            assert_eq!(front(ooc, dim), front(mem, dim), "{what}: front dim {dim}");
+            assert_eq!(back(ooc, dim), back(mem, dim), "{what}: back dim {dim}");
+        }
+    }
+
+    #[test]
+    fn fresh_pool_matches_view_access_in_every_order() {
+        let d = demo(157, 3);
+        for page_rows in [1u32, 7, 64, 157, 400] {
+            let path = write_art(&d, page_rows, "fresh");
+            let mut ooc = OocPool::open(&path, &OocConfig::new()).unwrap();
+            let mut mem = ViewAccess::new(&d, SortedView::new(&d));
+            assert_eq!(ooc.page_rows(), page_rows as usize);
+            assert_same_state(&mut ooc, &mut mem, &format!("page_rows {page_rows}"));
+            // scan_rows ignores the mask and hands exact points.
+            let mut rows = 0;
+            ooc.scan_rows(&mut |row, point, label| {
+                assert_eq!(point, d.point(row as usize));
+                assert_eq!(label, d.label(row as usize));
+                rows += 1;
+            });
+            assert_eq!(rows, d.n());
+            std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cut_sequences_match_under_pathological_page_sizes_and_tiny_cache() {
+        let d = demo(211, 3);
+        let cuts: Vec<(usize, bool, f64)> = vec![
+            (0, true, -1.0),
+            (1, false, 1.2),
+            (0, true, 0.0), // lands on the -0.0 / 0.0 tie boundary
+            (2, false, 0.4),
+            (1, true, -0.3),
+            (0, false, 0.9),
+            (2, true, 2.5), // cuts everything below a high bound
+        ];
+        for page_rows in [1u32, 3, 50, 300] {
+            // 256-byte cache: nearly every fetch is a miss — correctness
+            // must not depend on residency.
+            for cache_bytes in [256usize, 1 << 20] {
+                let path = write_art(&d, page_rows, "cuts");
+                let cfg = OocConfig::new().with_cache_bytes(cache_bytes);
+                let mut ooc = OocPool::open(&path, &cfg).unwrap();
+                let mut mem = ViewAccess::new(&d, SortedView::new(&d));
+                for (i, &(dim, below, bound)) in cuts.iter().enumerate() {
+                    let (a, b) = if below {
+                        (
+                            ooc.deactivate_below(dim, bound),
+                            mem.deactivate_below(dim, bound),
+                        )
+                    } else {
+                        (
+                            ooc.deactivate_above(dim, bound),
+                            mem.deactivate_above(dim, bound),
+                        )
+                    };
+                    assert_eq!(a, b, "cut {i} removal count (page_rows {page_rows})");
+                    assert_same_state(
+                        &mut ooc,
+                        &mut mem,
+                        &format!("after cut {i}, page_rows {page_rows}, cache {cache_bytes}"),
+                    );
+                }
+                std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn column_point_scan_matches_and_serves_full_rows() {
+        let d = demo(90, 2);
+        let path = write_art(&d, 8, "points");
+        let mut ooc = OocPool::open(&path, &OocConfig::new()).unwrap();
+        let mut mem = ViewAccess::new(&d, SortedView::new(&d));
+        ooc.deactivate_below(0, 0.2);
+        mem.deactivate_below(0, 0.2);
+        for dim in 0..d.m() {
+            let mut got = Vec::new();
+            ooc.scan_column_points(dim, &mut |v, row, point, label| {
+                got.push((v, row, point.to_vec(), label));
+            });
+            let mut want = Vec::new();
+            mem.scan_column_points(dim, &mut |v, row, point, label| {
+                want.push((v, row, point.to_vec(), label));
+            });
+            assert_eq!(got, want, "dim {dim}");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn artifact_without_page_index_is_rejected() {
+        // A model artifact has no column/page-index sections at all.
+        let d = demo(20, 2);
+        let path = write_art(&d, 4, "reject");
+        // Truncate the mask requirement instead: open against a file
+        // missing page indexes. Build one via ArtWriter without them.
+        let dir = path.parent().unwrap();
+        let bare = dir.join("bare.redsart");
+        {
+            let mut w = reds_art::ArtWriter::create(&bare).unwrap();
+            w.begin_section(SECTION_DATASET).unwrap();
+            w.write(&2u64.to_le_bytes()).unwrap();
+            w.write(&1u64.to_le_bytes()).unwrap();
+            for v in [0.5f64, 0.25, 1.0, 0.0] {
+                w.write(&v.to_bits().to_le_bytes()).unwrap();
+            }
+            w.end_section().unwrap();
+            w.finish().unwrap();
+        }
+        match OocPool::open(&bare, &OocConfig::new()) {
+            Err(OocError::Unsupported(msg)) => {
+                assert!(msg.contains("page index"), "got: {msg}")
+            }
+            Err(other) => panic!("expected Unsupported, got {other:?}"),
+            Ok(_) => panic!("expected Unsupported, got a pool"),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The paged store and the in-memory view stay bit-identical
+        /// across arbitrary peel sequences, page sizes, tie layouts,
+        /// and cache budgets — the membership mask, the label sums,
+        /// and every scan order.
+        #[test]
+        fn arbitrary_peels_stay_bit_identical(
+            n in 1usize..120,
+            m in 1usize..4,
+            page_rows in 1u32..140,
+            cache_kb in 0usize..3,
+            tie_mod in 2u64..12,
+            cuts in prop::collection::vec(
+                (0usize..4, prop::bool::ANY, -6i32..6),
+                0..12
+            ),
+            case in 0u64..u64::MAX,
+        ) {
+            let points: Vec<f64> = (0..n * m)
+                .map(|i| {
+                    let k = (i as u64 * 2654435761) % tie_mod;
+                    (k as f64 - tie_mod as f64 / 2.0) / 2.0
+                })
+                .collect();
+            let labels: Vec<f64> =
+                (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+            let d = Dataset::new(points, labels, m).unwrap();
+            let dir = std::env::temp_dir()
+                .join(format!("reds-ooc-prop-{}-{case}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("pool.redsart");
+            let mut b = PoolBuilder::new(m, &StreamConfig::new()).unwrap();
+            b.push_chunk(d.points(), d.labels()).unwrap();
+            b.finish_art(&path, page_rows).unwrap();
+            let cfg = OocConfig::new().with_cache_bytes(cache_kb << 10);
+            let mut ooc = OocPool::open(&path, &cfg).unwrap();
+            let mut mem = ViewAccess::new(&d, SortedView::new(&d));
+            for &(dim_raw, below, bound_raw) in &cuts {
+                let dim = dim_raw % m;
+                let bound = bound_raw as f64 / 4.0;
+                let (a, b) = if below {
+                    (ooc.deactivate_below(dim, bound), mem.deactivate_below(dim, bound))
+                } else {
+                    (ooc.deactivate_above(dim, bound), mem.deactivate_above(dim, bound))
+                };
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(ooc.n_active(), mem.n_active());
+                prop_assert_eq!(
+                    ooc.active_label_sum().to_bits(),
+                    mem.active_label_sum().to_bits()
+                );
+                for row in 0..n as u32 {
+                    prop_assert_eq!(ooc.is_active(row), mem.is_active(row));
+                }
+                for dim in 0..m {
+                    prop_assert_eq!(front(&mut ooc, dim), front(&mut mem, dim));
+                    prop_assert_eq!(back(&mut ooc, dim), back(&mut mem, dim));
+                }
+            }
+            drop(ooc);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! reds_client --addr 127.0.0.1:7878 --cmd info
 //! reds_client --addr … --cmd predict_batch --m 2 --points 0.1,0.9,0.4,0.2
 //! reds_client --addr … --cmd discover --l 2000 --seed 7 --algorithm prim
-//! reds_client --addr … --cmd discover_streaming --l 2000000 --chunk-rows 65536
+//! reds_client --addr … --cmd discover_streaming --l 2000000 --chunk-rows 65536 [--ooc]
 //! reds_client --addr … --cmd swap --path next.redsart [--model champion]
 //! reds_client --addr … --cmd shutdown
 //! ```
@@ -26,7 +26,7 @@ use reds_serve::{Algorithm, Backoff, Client, DiscoverParams, StreamDiscoverParam
 const USAGE: &str = "usage: reds_client --addr HOST:PORT \
 --cmd <info|predict_batch|discover|discover_streaming|swap|shutdown> \
 [--model NAME] [--m N --points a,b,…] [--l N] [--seed N] [--algorithm prim|bi] [--bnd X] \
-[--chunk-rows N] [--path ARTIFACT] [--busy-retries N] [--retry-base-ms N] [--no-retry]";
+[--chunk-rows N] [--ooc] [--path ARTIFACT] [--busy-retries N] [--retry-base-ms N] [--no-retry]";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
@@ -43,6 +43,7 @@ fn main() {
     let mut params = DiscoverParams::default();
     let mut seed_given = false;
     let mut chunk_rows = 0usize;
+    let mut ooc = false;
     let mut swap_path = String::new();
     let mut busy_retries = 5u32;
     let mut retry_base_ms = 50u64;
@@ -118,6 +119,7 @@ fn main() {
                     fail(format!("--retry-base-ms expects an integer, got '{raw}'"))
                 });
             }
+            "--ooc" => ooc = true,
             "--no-retry" => busy_retries = 0,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -171,6 +173,7 @@ fn main() {
                 algorithm: params.algorithm,
                 bnd: params.bnd,
                 chunk_rows,
+                ooc,
             };
             client
                 .discover_streaming_on(model, &stream_params)

@@ -228,8 +228,17 @@ pub struct StreamDiscoverParams {
     pub algorithm: Algorithm,
     /// Hard-label threshold `bnd` on the metamodel output.
     pub bnd: f64,
-    /// Rows per streamed chunk; `0` selects the server default.
+    /// Rows per streamed chunk; `0` selects the server default. On the
+    /// wire, `0` is spelled by **omitting** the field — an explicit
+    /// `"chunk_rows": 0` is rejected with `bad_request`, so a client
+    /// that meant to pick a chunk size never silently gets the default.
     pub chunk_rows: usize,
+    /// Serve the request through the out-of-core paged column store
+    /// (`reds-ooc`) instead of the in-memory pool: the pseudo-labelled
+    /// pool is written as a scratch `.redsart` artifact and the search
+    /// pages it in under a bounded cache. Boxes are bit-identical to
+    /// the in-memory path. Absent on the wire means `false`.
+    pub ooc: bool,
 }
 
 impl Default for StreamDiscoverParams {
@@ -240,6 +249,7 @@ impl Default for StreamDiscoverParams {
             algorithm: Algorithm::Prim,
             bnd: 0.5,
             chunk_rows: 0,
+            ooc: false,
         }
     }
 }
@@ -381,8 +391,16 @@ impl Request {
                     ("l", Json::num(params.l as f64)),
                     ("algorithm", Json::str(params.algorithm.as_str())),
                     ("bnd", Json::num(params.bnd)),
-                    ("chunk_rows", Json::num(params.chunk_rows as f64)),
                 ];
+                // chunk_rows = 0 means "server default" in the typed
+                // params; the wire spells that by omission (an explicit
+                // 0 on the wire is rejected on decode).
+                if params.chunk_rows > 0 {
+                    pairs.push(("chunk_rows", Json::num(params.chunk_rows as f64)));
+                }
+                if params.ooc {
+                    pairs.push(("ooc", Json::Bool(true)));
+                }
                 // An absent seed means "use the artifact's pool seed";
                 // it must stay absent on the wire.
                 if let Some(seed) = params.seed {
@@ -470,13 +488,23 @@ impl Request {
                 })
             }
             "discover_streaming" => {
+                let chunk_rows = get_usize("chunk_rows", Some(0))?;
+                if chunk_rows == 0 && doc.get("chunk_rows").is_some() {
+                    // An explicit 0 is almost certainly a client bug
+                    // (a miscomputed chunk size); silently substituting
+                    // the server default would mask it.
+                    return Err(ServeError::bad_request(
+                        "'chunk_rows' must be positive; omit the field for the server default",
+                    ));
+                }
                 let params = StreamDiscoverParams {
                     l: get_usize("l", Some(StreamDiscoverParams::default().l))?,
                     // `None` (field absent) = the artifact's pool seed.
                     seed: decode_seed(doc)?,
                     algorithm: decode_algorithm(doc)?,
                     bnd: decode_bnd(doc)?,
-                    chunk_rows: get_usize("chunk_rows", Some(0))?,
+                    chunk_rows,
+                    ooc: decode_ooc(doc)?,
                 };
                 Ok(Self::DiscoverStreaming {
                     id,
@@ -555,6 +583,16 @@ fn decode_algorithm(doc: &Json) -> Result<Algorithm, ServeError> {
         Some(other) => Err(ServeError::bad_request(format!(
             "unknown algorithm {other:?} (expected \"prim\" or \"bi\")"
         ))),
+    }
+}
+
+/// Decodes the optional `ooc` flag (`false` when absent).
+fn decode_ooc(doc: &Json) -> Result<bool, ServeError> {
+    match doc.get("ooc") {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServeError::parse("'ooc' must be a boolean")),
     }
 }
 
@@ -640,6 +678,7 @@ mod tests {
                     algorithm: Algorithm::Prim,
                     bnd: 0.5,
                     chunk_rows: 65_536,
+                    ooc: false,
                 },
                 model: None,
             },
@@ -650,6 +689,15 @@ mod tests {
                     ..StreamDiscoverParams::default()
                 },
                 model: None,
+            },
+            Request::DiscoverStreaming {
+                id: 16,
+                params: StreamDiscoverParams {
+                    l: 50_000,
+                    ooc: true, // chunk_rows 0 travels as an absent field
+                    ..StreamDiscoverParams::default()
+                },
+                model: Some("champion".to_string()),
             },
             Request::Swap {
                 id: 14,
@@ -715,6 +763,7 @@ mod tests {
             (r#"{"cmd":"discover","seed":9007199254740994}"#, "seed"),
             (r#"{"cmd":"discover","seed":1e300}"#, "seed"),
             (r#"{"cmd":"discover","bnd":"x"}"#, "bnd"),
+            (r#"{"cmd":"discover_streaming","ooc":1}"#, "ooc"),
             (
                 r#"{"cmd":"predict_batch","m":2,"points":[],"model":7}"#,
                 "model",
@@ -734,6 +783,26 @@ mod tests {
             Request::from_json(&doc).unwrap_err().code,
             ErrorCode::BadRequest
         );
+    }
+
+    #[test]
+    fn explicit_zero_chunk_rows_is_a_bad_request() {
+        // The typed default (chunk_rows = 0 = "server default") must
+        // stay decodable when the field is simply absent …
+        let doc = reds_json::from_str(r#"{"cmd":"discover_streaming","l":100}"#).unwrap();
+        let Request::DiscoverStreaming { params, .. } = Request::from_json(&doc).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(params.chunk_rows, 0);
+        assert!(!params.ooc);
+        // … but a client explicitly sending 0 gets a structured
+        // rejection instead of a silent substitution.
+        let doc =
+            reds_json::from_str(r#"{"cmd":"discover_streaming","l":100,"chunk_rows":0}"#).unwrap();
+        let err = Request::from_json(&doc).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("chunk_rows"), "{}", err.message);
+        assert!(err.message.contains("omit"), "{}", err.message);
     }
 
     #[test]

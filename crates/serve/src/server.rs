@@ -11,17 +11,18 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reds_data::Dataset;
 use reds_json::Json;
+use reds_ooc::{OocConfig, OocPool};
 use reds_subgroup::{BestInterval, Prim, SdResult, SubgroupDiscovery};
 
-use reds_stream::{stream_pool, Labeling, SamplerSource, StreamConfig, StreamSampler};
+use reds_stream::{stream_art, stream_pool, Labeling, SamplerSource, StreamConfig, StreamSampler};
 
 use crate::artifact::ModelArtifact;
 use crate::protocol::{
@@ -167,6 +168,101 @@ pub fn run_discover_streaming(
     Ok(result)
 }
 
+/// A unique scratch path for a served out-of-core run's `.redsart`
+/// artifact, under the stream config's spill directory (or the system
+/// temp directory).
+fn scratch_artifact_path(stream: &StreamConfig) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let parent = stream.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    parent.join(format!(
+        "reds-serve-ooc-{}-{seq}.redsart",
+        std::process::id()
+    ))
+}
+
+/// Removes the scratch artifact when the run ends — success, error, or
+/// panic alike (the discover executor's catch-unwind unwinds through
+/// it).
+struct ScratchFile(PathBuf);
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Serves one `discover` request **out of core**: the pseudo-labelled
+/// pool streams straight into a scratch `.redsart` artifact (sorted,
+/// paged, fenced columns — never materialized in memory), and the
+/// subgroup search pages it back in through a bounded cache
+/// (`reds-ooc`).
+///
+/// Boxes are **bit-identical** to [`run_discover`] and
+/// [`run_discover_streaming`] with the same resolved `params`: the
+/// paged search replays the exact floating-point visit order of the
+/// in-memory path. The scratch artifact is removed when the run ends.
+pub fn run_discover_streaming_ooc(
+    predict: impl Fn(Vec<f64>) -> Result<Vec<f64>, ServeError>,
+    m: usize,
+    train: &Dataset,
+    params: &DiscoverParams,
+    stream: &StreamConfig,
+    ooc: &OocConfig,
+) -> Result<SdResult, ServeError> {
+    if params.l == 0 {
+        return Err(ServeError::bad_request("discover needs l > 0"));
+    }
+    let rng = StdRng::seed_from_u64(params.seed);
+    let mut source = SamplerSource::new(StreamSampler::Uniform, params.l, m, rng);
+    // Same typed-error capture as run_discover_streaming: the client
+    // sees the predictor's original code, not a re-wrap.
+    let captured: std::cell::RefCell<Option<ServeError>> = std::cell::RefCell::new(None);
+    let mut chunk_predict = |points: &[f64], _m: usize| {
+        predict(points.to_vec()).map_err(|e| {
+            let msg = e.to_string();
+            *captured.borrow_mut() = Some(e);
+            reds_stream::StreamError::Predict(msg)
+        })
+    };
+    let art_path = scratch_artifact_path(stream);
+    if let Some(parent) = art_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _guard = ScratchFile(art_path.clone());
+    let outcome = stream_art(
+        &mut source,
+        &mut chunk_predict,
+        Labeling::Hard { bnd: params.bnd },
+        stream,
+        &art_path,
+        ooc.page_rows,
+    );
+    let _ = chunk_predict;
+    if let Err(e) = outcome {
+        return Err(captured
+            .into_inner()
+            .unwrap_or_else(|| ServeError::internal(format!("out-of-core pipeline failed: {e}"))));
+    }
+    let mut rng = source.into_rng();
+    let mut sd_rng = StdRng::seed_from_u64(rng.gen());
+    let mut pool = OocPool::open(&art_path, ooc)
+        .map_err(|e| ServeError::internal(format!("cannot open scratch artifact: {e}")))?;
+    let result = match params.algorithm {
+        Algorithm::Prim => Prim::default().discover_paged(&mut pool, train, &mut sd_rng),
+        Algorithm::BestInterval => {
+            BestInterval::default().discover_paged(&mut pool, train, &mut sd_rng)
+        }
+    };
+    drop(pool);
+    result.ok_or_else(|| {
+        ServeError::internal(format!(
+            "algorithm \"{}\" has no out-of-core code path",
+            params.algorithm.as_str()
+        ))
+    })
+}
+
 /// The request handler shared by every connection: a model registry,
 /// the configured limits, and the server-wide gauges.
 pub struct Service {
@@ -299,6 +395,15 @@ impl Service {
                 params.l, self.limits.max_discover_l
             )));
         }
+        // A chunk above the largest admissible pool can never take
+        // effect (chunks are clamped to l rows) — reject it as a
+        // client bug rather than silently serving something else.
+        if params.chunk_rows > self.limits.max_discover_l {
+            return Err(ServeError::bad_request(format!(
+                "chunk_rows = {} exceeds the discover limit of {} and cannot take effect",
+                params.chunk_rows, self.limits.max_discover_l
+            )));
+        }
         let entry = self.registry.get(model)?;
         let _slot = self.begin_discover(&entry)?;
         let version = entry.current();
@@ -321,6 +426,16 @@ impl Service {
             .effective_chunk_rows();
         let floor = params.l.div_ceil(MAX_RUNS_PER_COLUMN);
         let stream = StreamConfig::new().with_chunk_rows(requested.max(floor));
+        if params.ooc {
+            return run_discover_streaming_ooc(
+                |points| Ok(version.predict_batch(&points, m)),
+                m,
+                &version.artifact.train,
+                &resolved,
+                &stream,
+                &OocConfig::default(),
+            );
+        }
         run_discover_streaming(
             |points| Ok(version.predict_batch(&points, m)),
             m,
@@ -704,7 +819,9 @@ mod tests {
             ..Default::default()
         };
         let monolithic = service.discover(&params, None).expect("discovers");
-        for chunk_rows in [0usize, 1, 311, 10_000] {
+        // 4_000 > l exercises the clamp-to-l path while staying inside
+        // the max_discover_l cap (anything above it is a bad_request).
+        for chunk_rows in [0usize, 1, 311, 4_000] {
             let streamed = service
                 .discover_streaming(
                     &StreamDiscoverParams {
@@ -713,6 +830,7 @@ mod tests {
                         algorithm: params.algorithm,
                         bnd: params.bnd,
                         chunk_rows,
+                        ooc: false,
                     },
                     None,
                 )
@@ -798,6 +916,63 @@ mod tests {
             )
             .expect("discovers");
         assert_eq!(clamped, monolithic);
+    }
+
+    #[test]
+    fn ooc_discover_streaming_is_bit_identical_to_in_memory() {
+        let service = tiny_service();
+        let params = DiscoverParams {
+            l: 2_500,
+            seed: 21,
+            ..Default::default()
+        };
+        let monolithic = service.discover(&params, None).expect("discovers");
+        for algorithm in [Algorithm::Prim, Algorithm::BestInterval] {
+            let monolithic = if algorithm == params.algorithm {
+                monolithic.clone()
+            } else {
+                service
+                    .discover(
+                        &DiscoverParams {
+                            algorithm,
+                            ..params.clone()
+                        },
+                        None,
+                    )
+                    .expect("discovers")
+            };
+            let ooc = service
+                .discover_streaming(
+                    &StreamDiscoverParams {
+                        l: params.l,
+                        seed: Some(params.seed),
+                        algorithm,
+                        bnd: params.bnd,
+                        chunk_rows: 311,
+                        ooc: true,
+                    },
+                    None,
+                )
+                .expect("serves out of core");
+            assert_eq!(ooc, monolithic, "{}", algorithm.as_str());
+        }
+    }
+
+    #[test]
+    fn oversized_chunk_rows_is_a_bad_request() {
+        let service = tiny_service();
+        let err = service
+            .discover_streaming(
+                &StreamDiscoverParams {
+                    l: 1_000,
+                    chunk_rows: 4_001, // max_discover_l is 4_000
+                    ..Default::default()
+                },
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, crate::protocol::ErrorCode::BadRequest);
+        assert!(err.message.contains("chunk_rows"), "{}", err.message);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use std::path::Path;
 
-use reds_art::{ArtFile, ArtWriter, SECTION_COLUMN, SECTION_DATASET};
+use reds_art::{
+    ArtFile, ArtWriter, PageIndex, SECTION_COLUMN, SECTION_DATASET, SECTION_PAGE_INDEX,
+};
 use reds_data::{argsort_stable, ord_key, Dataset, SortedView};
 
 use crate::spill::{ColumnRuns, FloatSpill, RunWriter, SpillDir};
@@ -275,21 +277,31 @@ impl PoolBuilder {
 
     /// Merges the spilled runs directly into a `.redsart` artifact at
     /// `path`: one fully merged (single-run, rank-addressable)
-    /// [`SECTION_COLUMN`] per input column plus one [`SECTION_DATASET`]
+    /// [`SECTION_COLUMN`] per input column, one
+    /// [`SECTION_PAGE_INDEX`] of per-page min/max key fences at
+    /// `page_rows` records per page (the out-of-core reader's skip
+    /// structure — see [`PageIndex`]), plus one [`SECTION_DATASET`]
     /// streamed straight from the data spill — at no point does an
-    /// `O(L)` row-order or point buffer exist in memory. The returned
-    /// stats (digest included) equal [`PoolBuilder::finish_stats`] of
-    /// the same pushes, and [`load_art_pool`] reconstructs the exact
-    /// [`StreamedPool`] that [`PoolBuilder::finish_pool`] would have
-    /// built.
-    pub fn finish_art(self, path: &Path) -> Result<StreamStats, StreamError> {
+    /// `O(L)` row-order or point buffer exist in memory (the fences
+    /// are `O(L / page_rows)`). The returned stats (digest included)
+    /// equal [`PoolBuilder::finish_stats`] of the same pushes, and
+    /// [`load_art_pool`] reconstructs the exact [`StreamedPool`] that
+    /// [`PoolBuilder::finish_pool`] would have built.
+    pub fn finish_art(self, path: &Path, page_rows: u32) -> Result<StreamStats, StreamError> {
         if self.rows == 0 {
             return Err(StreamError::ZeroRows);
+        }
+        if page_rows == 0 {
+            return Err(StreamError::CorruptSpill {
+                column: 0,
+                detail: "page_rows must be positive".into(),
+            });
         }
         let rows = self.rows;
         let (runs, runs_per_column, mut spilled) = Self::merged_columns(self.columns, rows)?;
         let mut writer = ArtWriter::create(path)?;
         let mut fnv = Fnv::new();
+        let mut fences: Vec<(u64, u64)> = Vec::with_capacity(rows.div_ceil(page_rows as usize));
         for (j, col) in runs.iter().enumerate() {
             writer.begin_section(SECTION_COLUMN)?;
             writer.write(&(j as u32).to_le_bytes())?;
@@ -300,8 +312,18 @@ impl PoolBuilder {
                                                          // `merge`'s emit callback is infallible; park the first
                                                          // writer error and surface it right after.
             let mut write_err: Option<reds_art::ArtError> = None;
+            fences.clear();
+            let mut rank = 0u64;
             col.merge(|row, key| {
                 fnv.update(&row.to_le_bytes());
+                // Records arrive in ascending key order, so the page's
+                // min is its first key and its max its latest.
+                if rank.is_multiple_of(page_rows as u64) {
+                    fences.push((key, key));
+                } else if let Some(last) = fences.last_mut() {
+                    last.1 = key;
+                }
+                rank += 1;
                 if write_err.is_none() {
                     if let Err(e) = writer.write_record(key, row) {
                         write_err = Some(e);
@@ -313,6 +335,10 @@ impl PoolBuilder {
             }
             writer.pad_to_8()?;
             writer.end_section()?;
+            writer.section(
+                SECTION_PAGE_INDEX,
+                &PageIndex::encode(j as u32, page_rows, &fences),
+            )?;
         }
         spilled += self.points.spilled_bytes() + self.labels.spilled_bytes();
         writer.begin_section(SECTION_DATASET)?;
@@ -500,7 +526,7 @@ mod tests {
         let path = dir.join("pool.redsart");
         let stats = build_chunked(&points, &labels, m, 13)
             .unwrap()
-            .finish_art(&path)
+            .finish_art(&path, 16)
             .unwrap();
         // Same digest/counters as digest mode (the equivalence witness
         // the benches rely on) ...
@@ -514,6 +540,105 @@ mod tests {
             assert_eq!(loaded.view.column(j), reference.view.column(j), "col {j}");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn art_page_index_fences_match_the_merged_records() {
+        let m = 2;
+        let n = 157;
+        let (points, labels) = demo_points(n, m);
+        let dir = std::env::temp_dir().join(format!("reds-stream-pidx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for page_rows in [1u32, 7, 64, n as u32, n as u32 + 100] {
+            let path = dir.join(format!("pool-{page_rows}.redsart"));
+            build_chunked(&points, &labels, m, 13)
+                .unwrap()
+                .finish_art(&path, page_rows)
+                .unwrap();
+            let file = ArtFile::open(&path).unwrap();
+            let cols = file.columns().unwrap();
+            let indexes = file.page_indexes().unwrap();
+            assert_eq!(indexes.len(), m, "page_rows = {page_rows}");
+            for idx in indexes {
+                assert_eq!(idx.page_rows, page_rows);
+                assert_eq!(idx.fences.len(), n.div_ceil(page_rows as usize));
+                let col = cols
+                    .iter()
+                    .find(|c| c.column() == idx.column as usize)
+                    .unwrap();
+                for (p, &(min, max)) in idx.fences.iter().enumerate() {
+                    let lo = p * page_rows as usize;
+                    let hi = (lo + page_rows as usize).min(n) - 1;
+                    assert_eq!(min, col.record(0, lo).0, "page_rows {page_rows} page {p}");
+                    assert_eq!(max, col.record(0, hi).0, "page_rows {page_rows} page {p}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_page_rows_is_rejected() {
+        let m = 2;
+        let (points, labels) = demo_points(20, m);
+        let dir = std::env::temp_dir().join(format!("reds-stream-zpr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.redsart");
+        let err = build_chunked(&points, &labels, m, 7)
+            .unwrap()
+            .finish_art(&path, 0)
+            .unwrap_err();
+        assert!(matches!(err, StreamError::CorruptSpill { .. }));
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_merge_leaves_no_orphaned_artifact() {
+        // Satellite: a k-way merge that dies mid-write must not leave a
+        // torn `.redsart` next to the caller's outputs. Corrupting one
+        // column's run-store magic makes `merge` fail *after* the
+        // writer has streamed earlier columns; the writer's RAII
+        // cleanup must then unlink the partial file.
+        let m = 3;
+        // Enough rows that each column's run store exceeds its write
+        // buffer — the magic header must be on disk to corrupt it.
+        let (points, labels) = demo_points(1200, m);
+        let parent =
+            std::env::temp_dir().join(format!("reds-stream-orphan-{}", std::process::id()));
+        std::fs::create_dir_all(&parent).unwrap();
+        let cfg = StreamConfig::new().with_spill_dir(&parent);
+        let mut builder = PoolBuilder::new(m, &cfg).unwrap();
+        builder.push_chunk(&points, &labels).unwrap();
+        // Corrupt the *last* column's spilled run file so columns 0..2
+        // merge (and hit the artifact) before the failure. In-place
+        // write (no truncation) — the builder's handle stays valid.
+        let spill_dir = std::fs::read_dir(&parent)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.is_dir())
+            .expect("spill dir exists under the caller-provided parent");
+        let run_file = spill_dir.join(format!("col{}.runs", m - 1));
+        {
+            use std::os::unix::fs::FileExt;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&run_file)
+                .unwrap();
+            assert!(
+                f.metadata().unwrap().len() > 0,
+                "run store has flushed bytes to corrupt"
+            );
+            f.write_at(&[0xff], 0).unwrap(); // break the run-store magic
+        }
+        let art_path = parent.join("pool.redsart");
+        let err = builder.finish_art(&art_path, 16).unwrap_err();
+        assert!(matches!(err, StreamError::CorruptSpill { .. }));
+        assert!(
+            !art_path.exists(),
+            "failed merge left an orphaned artifact behind"
+        );
+        std::fs::remove_dir_all(&parent).unwrap();
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod source;
 mod spill;
 
 pub use build::{digest_pool, load_art_pool, PoolBuilder, StreamStats, StreamedPool};
-pub use pipeline::{stream_pool, stream_scan, Labeling};
+pub use pipeline::{stream_art, stream_pool, stream_scan, Labeling};
 pub use source::{ChunkSource, SamplerSource, SliceSource, StreamSampler};
 pub use spill::SpillDir;
 

@@ -87,6 +87,23 @@ pub fn stream_pool(
     drive(source, predict, labeling, cfg)?.finish_pool()
 }
 
+/// Like [`stream_pool`] but finishes into a `.redsart` pool artifact
+/// at `path` (merged columns + page-index fences at `page_rows`
+/// records per page + dataset) without materializing anything of size
+/// `O(L)` in memory — the construction half of the out-of-core
+/// discovery path ([`crate::load_art_pool`] or `reds-ooc` read it
+/// back).
+pub fn stream_art(
+    source: &mut dyn ChunkSource,
+    predict: &mut ChunkPredict<'_>,
+    labeling: Labeling,
+    cfg: &StreamConfig,
+    path: &std::path::Path,
+    page_rows: u32,
+) -> Result<StreamStats, StreamError> {
+    drive(source, predict, labeling, cfg)?.finish_art(path, page_rows)
+}
+
 /// Like [`stream_pool`] but finishes into a digest + stats without
 /// materializing anything of size `O(L)` — the bounded-memory witness
 /// used by the peak-RSS benches.

@@ -15,7 +15,7 @@
 //! `O(M·N)` per refinement instead of `O(M·N log N)`.
 
 use rand::rngs::StdRng;
-use reds_data::{Dataset, SortedView};
+use reds_data::{ColumnAccess, Dataset, SortedView, ViewAccess};
 
 use crate::{HyperBox, SdResult, SubgroupDiscovery};
 
@@ -53,11 +53,19 @@ impl BestInterval {
         Self { params }
     }
 
-    /// WRAcc of `b` on `d` (also exposed through `reds-metrics`; kept
-    /// here so the search needs no cross-crate call).
-    fn wracc(b: &HyperBox, d: &Dataset, pos_rate: f64) -> f64 {
-        let (n, np) = b.count(d);
-        (np - n * pos_rate) / d.n() as f64
+    /// WRAcc of `b` over the store's rows: a full sequential row scan,
+    /// accumulating `(n, n⁺)` in ascending row order — the association
+    /// of [`HyperBox::count`] on the materialized pool.
+    fn wracc(b: &HyperBox, store: &mut dyn ColumnAccess, pos_rate: f64) -> f64 {
+        let mut n = 0.0;
+        let mut np = 0.0;
+        store.scan_rows(&mut |_, point, label| {
+            if b.contains(point) {
+                n += 1.0;
+                np += label;
+            }
+        });
+        (np - n * pos_rate) / store.n_rows() as f64
     }
 
     /// The exact best WRAcc refinement of `b` along `dim`: the interval
@@ -66,8 +74,7 @@ impl BestInterval {
     /// `dim` — no per-refinement sort.
     fn best_interval(
         b: &HyperBox,
-        d: &Dataset,
-        view: &SortedView,
+        store: &mut dyn ColumnAccess,
         dim: usize,
         pos_rate: f64,
     ) -> HyperBox {
@@ -78,18 +85,16 @@ impl BestInterval {
         // Group ties on the fly: the column is already value-sorted, and
         // an interval boundary cannot separate equal values.
         let mut groups: Vec<(f64, f64)> = Vec::new();
-        for &row in view.column(dim) {
-            let x = d.point(row as usize);
-            if !slab.contains(x) {
-                continue;
+        store.scan_column_points(dim, &mut |v, _row, point, label| {
+            if !slab.contains(point) {
+                return;
             }
-            let v = x[dim];
-            let w = d.label(row as usize) - pos_rate;
+            let w = label - pos_rate;
             match groups.last_mut() {
                 Some((gv, gw)) if *gv == v => *gw += w,
                 _ => groups.push((v, w)),
             }
-        }
+        });
         if groups.is_empty() {
             return b.clone();
         }
@@ -129,18 +134,20 @@ impl BestInterval {
 }
 
 impl BestInterval {
-    /// The beam search on an externally built [`SortedView`] of `d` —
-    /// shared by [`SubgroupDiscovery::discover`] (which argsorts here)
-    /// and [`SubgroupDiscovery::discover_presorted`] (which reuses the
-    /// streaming pipeline's out-of-core merge).
-    fn search(&self, d: &Dataset, view: &SortedView) -> SdResult {
-        let m = d.m();
+    /// The beam search against any [`ColumnAccess`] backing — the
+    /// single implementation behind the in-memory path ([`ViewAccess`])
+    /// and the out-of-core paged store. BI never deactivates rows, so
+    /// the store must be handed in fresh (every row active).
+    fn search_store(&self, store: &mut dyn ColumnAccess) -> SdResult {
+        let m = store.m();
         let max_restricted = self.params.max_restricted.unwrap_or(m).min(m);
-        let pos_rate = d.pos_rate();
         let start = HyperBox::unbounded(m);
-        if d.is_empty() {
+        if store.n_rows() == 0 {
             return SdResult { boxes: vec![start] };
         }
+        // With every row active this is `Σ labels / N` summed in
+        // ascending row order — bitwise `Dataset::pos_rate`.
+        let pos_rate = store.active_label_sum() / store.n_rows() as f64;
         let mut beam: Vec<HyperBox> = vec![start];
         for _ in 0..self.params.max_iterations {
             // Candidate pool: current beam plus every one-dimension
@@ -148,7 +155,7 @@ impl BestInterval {
             let mut candidates: Vec<HyperBox> = beam.clone();
             for b in &beam {
                 for dim in 0..m {
-                    let refined = Self::best_interval(b, d, view, dim, pos_rate);
+                    let refined = Self::best_interval(b, store, dim, pos_rate);
                     if refined.n_restricted() <= max_restricted
                         && candidates.iter().all(|c| c.bounds() != refined.bounds())
                     {
@@ -156,10 +163,20 @@ impl BestInterval {
                     }
                 }
             }
-            candidates.sort_by(|a, b| {
-                Self::wracc(b, d, pos_rate).total_cmp(&Self::wracc(a, d, pos_rate))
-            });
-            candidates.truncate(self.params.beam_size);
+            // WRAcc of each candidate is a full pool scan, so score once
+            // and stable-sort on the cached values — the permutation a
+            // comparator recomputing WRAcc would produce, at a fraction
+            // of the scans.
+            let mut scored: Vec<(HyperBox, f64)> = candidates
+                .into_iter()
+                .map(|c| {
+                    let w = Self::wracc(&c, store, pos_rate);
+                    (c, w)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            scored.truncate(self.params.beam_size);
+            let candidates: Vec<HyperBox> = scored.into_iter().map(|(c, _)| c).collect();
             if candidates == beam {
                 break;
             }
@@ -169,11 +186,20 @@ impl BestInterval {
             boxes: vec![beam.into_iter().next().expect("beam is never empty")],
         }
     }
+
+    /// The beam search on an externally built [`SortedView`] of `d` —
+    /// shared by [`SubgroupDiscovery::discover`] (which argsorts here)
+    /// and [`SubgroupDiscovery::discover_presorted`] (which reuses the
+    /// streaming pipeline's out-of-core merge).
+    fn search(&self, d: &Dataset, view: SortedView) -> SdResult {
+        let mut store = ViewAccess::new(d, view);
+        self.search_store(&mut store)
+    }
 }
 
 impl SubgroupDiscovery for BestInterval {
     fn discover(&self, d: &Dataset, _d_val: &Dataset, _rng: &mut StdRng) -> SdResult {
-        self.search(d, &SortedView::new(d))
+        self.search(d, SortedView::new(d))
     }
 
     fn discover_presorted(
@@ -183,7 +209,16 @@ impl SubgroupDiscovery for BestInterval {
         _d_val: &Dataset,
         _rng: &mut StdRng,
     ) -> SdResult {
-        self.search(d, &view)
+        self.search(d, view)
+    }
+
+    fn discover_paged(
+        &self,
+        store: &mut dyn ColumnAccess,
+        _d_val: &Dataset,
+        _rng: &mut StdRng,
+    ) -> Option<SdResult> {
+        Some(self.search_store(store))
     }
 
     fn name(&self) -> &'static str {
@@ -279,6 +314,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let result = BestInterval::default().discover(&d, &d, &mut rng);
         assert_eq!(result.boxes.len(), 1);
+    }
+
+    #[test]
+    fn discover_paged_over_a_view_matches_discover_bitwise() {
+        for seed in 0..4 {
+            let d = band_data(300, 20 + seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bi = BestInterval::new(BiParams {
+                beam_size: 3,
+                ..Default::default()
+            });
+            let direct = bi.discover(&d, &d, &mut rng);
+            let mut store = ViewAccess::new(&d, SortedView::new(&d));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let paged = bi
+                .discover_paged(&mut store, &d, &mut rng)
+                .expect("BI always supports the paged path");
+            assert_eq!(direct.boxes, paged.boxes, "seed {seed}");
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use prim::{NaivePrim, PeelCriterion, Prim, PrimParams};
 pub use rule::Rule;
 
 use rand::rngs::StdRng;
-use reds_data::{Dataset, SortedView};
+use reds_data::{ColumnAccess, Dataset, SortedView};
 
 /// Result of one run of a subgroup-discovery algorithm: an ordered
 /// sequence of boxes. For PRIM this is the peeling trajectory (coarsest
@@ -110,6 +110,29 @@ pub trait SubgroupDiscovery {
     ) -> SdResult {
         let _ = view;
         self.discover(d, d_val, rng)
+    }
+
+    /// Runs the algorithm against a [`ColumnAccess`] backing instead of
+    /// a materialized [`Dataset`] — the out-of-core entry point. The
+    /// validation data `d_val` (the paper's `D_val = D`, the original
+    /// training rows) stays in memory; only the pseudo-labeled pool is
+    /// behind the paged store.
+    ///
+    /// Implementations must visit the store in the exact orders the
+    /// [`ColumnAccess`] contract pins down, so the result is
+    /// **bit-identical** to [`SubgroupDiscovery::discover`] on the
+    /// materialized pool. Returns `None` when the algorithm (or the
+    /// chosen hyperparameters) cannot run without random access to the
+    /// full pool — the default, overridden by [`Prim`] (except with
+    /// pasting enabled) and [`BestInterval`].
+    fn discover_paged(
+        &self,
+        store: &mut dyn ColumnAccess,
+        d_val: &Dataset,
+        rng: &mut StdRng,
+    ) -> Option<SdResult> {
+        let _ = (store, d_val, rng);
+        None
     }
 
     /// Short name for experiment reports ("P", "PB", "BI", …).

@@ -26,7 +26,7 @@
 //! trajectories.
 
 use rand::rngs::StdRng;
-use reds_data::{Dataset, SortedView};
+use reds_data::{ColumnAccess, Dataset, SortedView, ViewAccess};
 
 use crate::{HyperBox, SdResult, SubgroupDiscovery};
 
@@ -148,56 +148,72 @@ impl Prim {
         view: SortedView,
         d_val: &Dataset,
     ) -> (Vec<HyperBox>, Vec<Option<f64>>) {
-        let m = d.m();
+        let mut store = ViewAccess::new(d, view);
+        self.peel_store(&mut store, d_val)
+    }
+
+    /// The peeling phase against any [`ColumnAccess`] backing — the
+    /// single implementation behind both the in-memory path
+    /// ([`ViewAccess`]) and the out-of-core paged store. The store's
+    /// ordering contract keeps every float summation in the order the
+    /// naive reference uses, so trajectories are bit-identical across
+    /// backings.
+    ///
+    /// Validation rows stay in memory (`D_val = D` is the original
+    /// training data, not the pool) and are filtered incrementally: a
+    /// cut only ever removes validation rows through the freshly moved
+    /// face, so no full `contains` rescan is needed.
+    fn peel_store(
+        &self,
+        store: &mut dyn ColumnAccess,
+        d_val: &Dataset,
+    ) -> (Vec<HyperBox>, Vec<Option<f64>>) {
+        let m = store.m();
         let mut boxes = vec![HyperBox::unbounded(m)];
         let mut val_rows: Vec<u32> = (0..d_val.n() as u32).collect();
         let mut precisions = vec![mean_label(d_val, &val_rows)];
-        if d.is_empty() {
+        if store.n_rows() == 0 {
             return (boxes, precisions);
         }
-        let mut view = view;
-        // Active training rows in ascending order; only used for the
-        // per-step label total, which keeps float summation order
-        // identical to the naive reference.
-        let mut in_rows: Vec<u32> = (0..d.n() as u32).collect();
         let mut current = HyperBox::unbounded(m);
         loop {
-            if in_rows.len() < self.params.min_points.max(2)
+            if store.n_active() < self.params.min_points.max(2)
                 || val_rows.len() < self.params.min_points
             {
                 break;
             }
-            let total_pos = label_sum(d, &in_rows);
-            let Some(best) = self.best_peel(d, &view, total_pos) else {
+            // Ascending-row-order label total: the summation order that
+            // keeps the scores bit-identical to the naive reference.
+            let total_pos = store.active_label_sum();
+            let Some(best) = self.best_peel_store(store, total_pos) else {
                 break;
             };
             if best.low {
                 current.set_lower(best.dim, best.new_bound);
-                view.retain_at_least(d, best.dim, best.new_bound);
-                in_rows.retain(|&i| d.value(i as usize, best.dim) >= best.new_bound);
+                store.deactivate_below(best.dim, best.new_bound);
                 val_rows.retain(|&i| d_val.value(i as usize, best.dim) >= best.new_bound);
             } else {
                 current.set_upper(best.dim, best.new_bound);
-                view.retain_at_most(d, best.dim, best.new_bound);
-                in_rows.retain(|&i| d.value(i as usize, best.dim) <= best.new_bound);
+                store.deactivate_above(best.dim, best.new_bound);
                 val_rows.retain(|&i| d_val.value(i as usize, best.dim) <= best.new_bound);
             }
-            debug_assert_eq!(in_rows.len(), best.n_after);
-            debug_assert_eq!(view.n_active(), best.n_after);
+            debug_assert_eq!(store.n_active(), best.n_after);
             boxes.push(current.clone());
             precisions.push(mean_label(d_val, &val_rows));
         }
         (boxes, precisions)
     }
 
-    /// Evaluates all `2M` peeling candidates on the presorted columns
-    /// and returns the one with the highest score, or `None` when no
-    /// dimension can be cut (all in-box values equal everywhere).
+    /// Evaluates all `2M` peeling candidates and returns the one with
+    /// the highest score, or `None` when no dimension can be cut (all
+    /// in-box values equal everywhere).
     ///
-    /// Per dimension this touches `O(α·n)` entries plus the tie run at
-    /// the quantile — no sorting.
-    fn best_peel(&self, d: &Dataset, view: &SortedView, total_pos: f64) -> Option<Candidate> {
-        let n_in = view.n_active();
+    /// A cut can only ever touch the `k + 1` lowest (or highest) active
+    /// entries of a column, so per dimension this buffers `O(α·n)`
+    /// entries from each end of the sorted column — no sorting, and no
+    /// random access into the store.
+    fn best_peel_store(&self, store: &mut dyn ColumnAccess, total_pos: f64) -> Option<Candidate> {
+        let n_in = store.n_active();
         let k = ((self.params.alpha * n_in as f64).floor() as usize).max(1);
         if k >= n_in {
             return None;
@@ -209,21 +225,39 @@ impl Prim {
                 best = Some(cand);
             }
         };
-        for dim in 0..view.m() {
-            let col = view.column(dim);
-            let value = |rank: usize| d.value(col[rank] as usize, dim);
+        let mut front: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let mut back: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        for dim in 0..store.m() {
+            // `front[r]` is the active entry at rank `r`; `back[i]` the
+            // one at rank `n_in − 1 − i`.
+            front.clear();
+            store.scan_active_front(dim, &mut |v, row| {
+                front.push((v, row));
+                front.len() < k + 1
+            });
+            back.clear();
+            store.scan_active_back(dim, &mut |v, row| {
+                back.push((v, row));
+                back.len() < k + 1
+            });
             // Low cut: the new lower bound is the value at rank k; every
             // point strictly below it is peeled off, points equal to it
             // stay. Ties straddling the α-quantile therefore shrink the
             // removed count below k (possibly to zero, killing the
             // candidate) — they never split.
-            let low_bound = value(k);
+            let low_bound = front[k].0;
             let mut removed_low = k;
-            while removed_low > 0 && value(removed_low - 1) == low_bound {
+            while removed_low > 0 && front[removed_low - 1].0 == low_bound {
                 removed_low -= 1;
             }
             if removed_low > 0 && removed_low < n_in {
-                let removed_pos = label_sum(d, &col[..removed_low]);
+                // Removed labels summed in forward column order — the
+                // association of the in-memory `label_sum`; −0.0 is the
+                // identity `Iterator::sum::<f64>` folds from.
+                let mut removed_pos = -0.0;
+                for &(_, row) in &front[..removed_low] {
+                    removed_pos += store.label(row);
+                }
                 let n_after = n_in - removed_low;
                 let mean_after = (total_pos - removed_pos) / n_after as f64;
                 consider(Candidate {
@@ -235,14 +269,18 @@ impl Prim {
                 });
             }
             // High cut, mirrored: remove points strictly above the value
-            // at rank n − 1 − k.
-            let high_bound = value(n_in - 1 - k);
+            // at rank n − 1 − k. The removed tail is still summed in
+            // forward column order, hence the reversed back buffer.
+            let high_bound = back[k].0;
             let mut removed_high = k;
-            while removed_high > 0 && value(n_in - removed_high) == high_bound {
+            while removed_high > 0 && back[removed_high - 1].0 == high_bound {
                 removed_high -= 1;
             }
             if removed_high > 0 && removed_high < n_in {
-                let removed_pos = label_sum(d, &col[n_in - removed_high..]);
+                let mut removed_pos = -0.0;
+                for &(_, row) in back[..removed_high].iter().rev() {
+                    removed_pos += store.label(row);
+                }
                 let n_after = n_in - removed_high;
                 let mean_after = (total_pos - removed_pos) / n_after as f64;
                 consider(Candidate {
@@ -325,16 +363,11 @@ impl Prim {
         }
     }
 
-    /// Shared trajectory-truncation and pasting logic of Algorithm 1,
-    /// line 5: keep the box with the highest validation precision and
-    /// all preceding boxes. Ties on validation precision favour the
-    /// earlier (larger) box: equal purity at higher recall dominates.
-    fn finish(
-        &self,
-        d: &Dataset,
-        mut boxes: Vec<HyperBox>,
-        precisions: Vec<Option<f64>>,
-    ) -> SdResult {
+    /// Trajectory truncation of Algorithm 1, line 5: keep the box with
+    /// the highest validation precision and all preceding boxes. Ties
+    /// on validation precision favour the earlier (larger) box: equal
+    /// purity at higher recall dominates.
+    fn truncate_at_best(mut boxes: Vec<HyperBox>, precisions: &[Option<f64>]) -> Vec<HyperBox> {
         let best = precisions
             .iter()
             .enumerate()
@@ -343,6 +376,12 @@ impl Prim {
             .map(|(i, _)| i)
             .unwrap_or(boxes.len() - 1);
         boxes.truncate(best + 1);
+        boxes
+    }
+
+    /// Truncation plus the optional pasting phase.
+    fn finish(&self, d: &Dataset, boxes: Vec<HyperBox>, precisions: Vec<Option<f64>>) -> SdResult {
+        let mut boxes = Self::truncate_at_best(boxes, &precisions);
         if self.params.paste {
             if let Some(last) = boxes.pop() {
                 boxes.push(self.paste(d, &last));
@@ -367,6 +406,23 @@ impl SubgroupDiscovery for Prim {
     ) -> SdResult {
         let (boxes, precisions) = self.peel_with_view(d, view, d_val);
         self.finish(d, boxes, precisions)
+    }
+
+    fn discover_paged(
+        &self,
+        store: &mut dyn ColumnAccess,
+        d_val: &Dataset,
+        _rng: &mut StdRng,
+    ) -> Option<SdResult> {
+        if self.params.paste {
+            // Pasting re-expands the box through arbitrary slabs of the
+            // pool — random access the paged store does not serve.
+            return None;
+        }
+        let (boxes, precisions) = self.peel_store(store, d_val);
+        Some(SdResult {
+            boxes: Self::truncate_at_best(boxes, &precisions),
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -746,5 +802,32 @@ mod tests {
             let reference = NaivePrim::default().peel_trajectory(&d);
             assert_eq!(full, reference, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn discover_paged_over_a_view_matches_discover_bitwise() {
+        for seed in 0..4 {
+            let d = corner_data(300, 200 + seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let direct = Prim::default().discover(&d, &d, &mut rng);
+            let mut store = ViewAccess::new(&d, SortedView::new(&d));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let paged = Prim::default()
+                .discover_paged(&mut store, &d, &mut rng)
+                .expect("PRIM without pasting supports the paged path");
+            assert_eq!(direct.boxes, paged.boxes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pasting_declines_the_paged_path() {
+        let d = corner_data(100, 42);
+        let prim = Prim::new(PrimParams {
+            paste: true,
+            ..Default::default()
+        });
+        let mut store = ViewAccess::new(&d, SortedView::new(&d));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(prim.discover_paged(&mut store, &d, &mut rng).is_none());
     }
 }

@@ -179,6 +179,65 @@ fn mapped_models_are_bit_identical_to_json_for_all_families() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The same XOR-every-byte bar for a *pool* artifact — one that
+/// carries COLUMN, PAGE_INDEX, and DATASET sections (the out-of-core
+/// store's input): both the materializing reader ([`ArtFile`]) and the
+/// streaming-verify reader ([`ArtScan`], which `OocPool::open` uses)
+/// reject every single-byte corruption and every truncation with a
+/// structured error.
+#[test]
+fn every_pool_artifact_corruption_is_rejected_by_both_readers() {
+    use reds_art::{ArtFile, ArtScan};
+    use reds_stream::{PoolBuilder, StreamConfig};
+
+    let dir = temp_dir("pool-mutate");
+    let clean = dir.join("pool.redsart");
+    let (n, m) = (60usize, 2usize);
+    let points: Vec<f64> = (0..n * m)
+        .map(|i| ((i * 7919) % 97) as f64 / 97.0)
+        .collect();
+    let labels: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    let mut builder = PoolBuilder::new(m, &StreamConfig::new()).unwrap();
+    builder.push_chunk(&points, &labels).unwrap();
+    builder.finish_art(&clean, 16).unwrap();
+    let original = std::fs::read(&clean).unwrap();
+    assert!(
+        ArtFile::open(&clean).is_ok(),
+        "the unmutated file must load"
+    );
+    assert!(
+        ArtScan::open(&clean).is_ok(),
+        "the unmutated file must scan"
+    );
+
+    let mutant = dir.join("mutant.redsart");
+    for i in 0..original.len() {
+        let mut bytes = original.clone();
+        bytes[i] ^= 1;
+        std::fs::write(&mutant, &bytes).unwrap();
+        let err = ArtFile::open(&mutant)
+            .err()
+            .unwrap_or_else(|| panic!("ArtFile missed a flip of byte {i}"));
+        assert!(!err.to_string().is_empty());
+        let err = ArtScan::open(&mutant)
+            .err()
+            .unwrap_or_else(|| panic!("ArtScan missed a flip of byte {i}"));
+        assert!(!err.to_string().is_empty());
+    }
+    for len in 0..original.len() {
+        std::fs::write(&mutant, &original[..len]).unwrap();
+        assert!(
+            ArtFile::open(&mutant).is_err(),
+            "ArtFile missed truncation to {len}"
+        );
+        assert!(
+            ArtScan::open(&mutant).is_err(),
+            "ArtScan missed truncation to {len}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Format sniffing goes by leading bytes, not extension: a `.redsart`
 /// blob under a `.json` name still maps, and vice versa.
 #[test]

@@ -172,10 +172,24 @@ fn discover_streaming_over_the_socket_matches_the_monolithic_discover() {
                     algorithm,
                     bnd: 0.5,
                     chunk_rows,
+                    ooc: false,
                 })
                 .expect("streamed served discover");
             assert_eq!(streamed, monolithic, "{algorithm:?} chunk {chunk_rows}");
         }
+        // The out-of-core path (pool spilled to a scratch .redsart
+        // artifact, search paging it back in) serves the same bits.
+        let ooc = client
+            .discover_streaming(&StreamDiscoverParams {
+                l: 2_000,
+                seed: Some(17),
+                algorithm,
+                bnd: 0.5,
+                chunk_rows: 0,
+                ooc: true,
+            })
+            .expect("out-of-core served discover");
+        assert_eq!(ooc, monolithic, "{algorithm:?} out-of-core");
     }
 
     // Seedless streaming serves the artifact's recorded pool — equal to
@@ -196,6 +210,65 @@ fn discover_streaming_over_the_socket_matches_the_monolithic_discover() {
         })
         .expect("explicit-pool discover");
     assert_eq!(from_artifact, explicit);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Regression: a raw frame carrying an explicit `"chunk_rows": 0` must
+/// be rejected with a structured `bad_request` at the wire boundary —
+/// not silently substituted with the server default — and the
+/// connection must keep serving. Absurdly large chunks are rejected
+/// the same way at the service level.
+#[test]
+fn explicit_zero_chunk_rows_is_rejected_over_the_socket() {
+    let artifact = corner_artifact(7);
+    let handle = spawn_served_copy(&artifact, ServeLimits::default());
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let resp = client
+        .send_raw_line(r#"{"id":1,"cmd":"discover_streaming","l":500,"chunk_rows":0}"#)
+        .expect("error response arrives");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{resp}"
+    );
+    let message = resp
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .expect("error message");
+    assert!(message.contains("chunk_rows"), "{message}");
+    assert!(message.contains("omit"), "{message}");
+
+    // A chunk beyond the largest admissible pool can never take effect.
+    let huge = format!(
+        r#"{{"id":2,"cmd":"discover_streaming","l":500,"chunk_rows":{}}}"#,
+        ServeLimits::default().max_discover_l + 1
+    );
+    let resp = client.send_raw_line(&huge).expect("error response arrives");
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{resp}"
+    );
+
+    // The connection survives both rejections, and omitting the field
+    // (the documented way to ask for the server default) still serves.
+    let served = client
+        .discover_streaming(&StreamDiscoverParams {
+            l: 500,
+            seed: Some(3),
+            ..Default::default()
+        })
+        .expect("default chunking still serves");
+    assert!(!served.boxes.is_empty());
 
     client.shutdown().expect("shutdown");
     handle.join();
