@@ -309,11 +309,12 @@ pub struct MappedModel {
     kind: ModelKind,
 }
 
-/// The sigmoid used by `Gbdt` — duplicated expression-for-expression
-/// (`1 / (1 + e^{-z})`) so mapped GBDT margins squash bit-identically.
+/// The sigmoid used by `Gbdt` — same expression, same resolved
+/// [`reds_metamodel::kernels::exp`] backend, so mapped GBDT margins
+/// squash bit-identically to the JSON load path.
 #[inline]
 fn sigmoid(z: f64) -> f64 {
-    1.0 / (1.0 + (-z).exp())
+    1.0 / (1.0 + reds_metamodel::kernels::exp(-z))
 }
 
 impl MappedModel {
@@ -517,9 +518,7 @@ impl Metamodel for MappedModel {
                             acc,
                         );
                     }
-                    for v in acc.iter_mut() {
-                        *v = sigmoid(base_score + eta * *v);
-                    }
+                    reds_metamodel::kernels::sigmoid_margins(kernel, *base_score, *eta, acc);
                 });
                 out
             }

@@ -246,12 +246,16 @@ fn main() {
 
     // -------- Kernels: scalar vs runtime-dispatched SIMD --------
     //
-    // Times every metamodel family's `predict_batch` under the forced
-    // scalar backend and under runtime dispatch, asserts the outputs
-    // are bit-identical (the kernel contract), and gates the batched
-    // forest/GBDT predict at ≥ 1.5× when the dispatched backend is
-    // actually SIMD.
+    // Times every metamodel family's `predict_batch` under three
+    // configurations — forced scalar with libm `exp` (the
+    // pre-vexp baseline), forced scalar with the polynomial `exp`, and
+    // runtime dispatch — asserts the two polynomial runs are
+    // bit-identical (the kernel contract; libm is a deliberately
+    // different function), and gates forest/GBDT at ≥ 1.5×
+    // dispatched-vs-scalar and SVM at ≥ 2.5× dispatched-vs-scalar-libm
+    // when the dispatched backend is actually SIMD.
     let dispatched = kernels::active();
+    let exp_backend = kernels::vexp::backend();
     let gbdt = Gbdt::fit(
         &train,
         &GbdtParams::default(),
@@ -259,7 +263,8 @@ fn main() {
     );
     let svm = Svm::fit(&train, &SvmParams::default(), &mut StdRng::seed_from_u64(6));
     let mut kernel_rows = Vec::new();
-    let mut gated_speedups: Vec<(&str, f64)> = Vec::new();
+    let mut gated_speedups: Vec<(&str, f64, f64)> = Vec::new();
+    let mut svm_libm_speedup = 1.0f64;
     let families: [(&str, &dyn Metamodel, bool); 3] = [
         ("forest", &fast_forest, true),
         ("gbdt", &gbdt, true),
@@ -267,6 +272,9 @@ fn main() {
     ];
     for (family, model, gated) in families {
         kernels::set_kernel(Some(kernels::Kernel::Scalar));
+        kernels::vexp::set_backend(Some(kernels::ExpBackend::Libm));
+        let (libm_ms, _) = time_best(reps, || model.predict_batch(&query, m));
+        kernels::vexp::set_backend(None);
         let (scalar_ms, scalar_preds) = time_best(reps, || model.predict_batch(&query, m));
         kernels::set_kernel(None);
         let (simd_ms, simd_preds) = time_best(reps, || model.predict_batch(&query, m));
@@ -281,27 +289,34 @@ fn main() {
             dispatched.name()
         );
         let kernel_speedup = scalar_ms / simd_ms;
+        let libm_speedup = libm_ms / simd_ms;
         println!(
-            "kernels/{family} l={l}: scalar {scalar_ms:.0} ms, {} {simd_ms:.0} ms \
-             ({kernel_speedup:.2}x), identical: {identical}",
+            "kernels/{family} l={l}: scalar-libm {libm_ms:.0} ms, scalar {scalar_ms:.0} ms, \
+             {} {simd_ms:.0} ms ({kernel_speedup:.2}x vs scalar, {libm_speedup:.2}x vs libm), \
+             identical: {identical}",
             dispatched.name()
         );
         if gated {
-            gated_speedups.push((family, kernel_speedup));
+            gated_speedups.push((family, kernel_speedup, libm_speedup));
+        } else {
+            svm_libm_speedup = libm_speedup;
         }
         kernel_rows.push(Json::obj([
             ("family", Json::str(family)),
             ("l", Json::num(l as f64)),
             ("m", Json::num(m as f64)),
+            ("scalar_libm_ms", Json::num(libm_ms)),
             ("scalar_ms", Json::num(scalar_ms)),
             ("dispatched_ms", Json::num(simd_ms)),
             ("speedup", Json::num(kernel_speedup)),
+            ("speedup_vs_libm", Json::num(libm_speedup)),
             ("identical_predictions", Json::Bool(identical)),
-            ("gated", Json::Bool(gated)),
+            ("gated", Json::Bool(gated || family == "svm")),
         ]));
     }
     let kernels_doc = Json::obj([
         ("dispatched", Json::str(dispatched.name())),
+        ("exp_backend", Json::str(exp_backend.name())),
         ("avx2_supported", Json::Bool(kernels::avx2_supported())),
         ("threads", Json::num(reds_par::max_threads() as f64)),
         ("families", Json::Arr(kernel_rows)),
@@ -322,13 +337,24 @@ fn main() {
         failed = true;
     }
     if l >= 80_000 && dispatched != kernels::Kernel::Scalar {
-        for (family, s) in gated_speedups {
+        for (family, s, _) in gated_speedups {
             if s < 1.5 {
                 eprintln!(
                     "WARNING: {family} kernel speedup {s:.2}x below the 1.5x acceptance target"
                 );
                 failed = true;
             }
+        }
+        // The SVM is exp-bound, so its gate measures the whole vexp
+        // story: dispatched polynomial SIMD vs the scalar-libm
+        // baseline the pre-vexp kernels were stuck at. Only meaningful
+        // when the polynomial backend is active.
+        if exp_backend == kernels::ExpBackend::Poly && svm_libm_speedup < 2.5 {
+            eprintln!(
+                "WARNING: svm dispatched-vs-scalar-libm speedup {svm_libm_speedup:.2}x below \
+                 the 2.5x acceptance target"
+            );
+            failed = true;
         }
     }
     if failed {

@@ -168,9 +168,13 @@ impl<'a> GradBuilder<'a> {
     }
 }
 
+/// Logistic squash through the resolved [`kernels::exp`] backend — the
+/// same exponential (canonical polynomial, or libm under
+/// `REDS_EXP=libm`) the batched [`kernels::sigmoid_margins`] kernel
+/// evaluates, so per-point and batched predictions agree bitwise.
 #[inline]
 fn sigmoid(z: f64) -> f64 {
-    1.0 / (1.0 + (-z).exp())
+    1.0 / (1.0 + kernels::exp(-z))
 }
 
 /// A fitted gradient-boosted tree ensemble.
@@ -485,9 +489,7 @@ impl Metamodel for Gbdt {
             for tree in &self.trees {
                 kernels::accumulate_tree(kernel, &tree.flat, rows, m, acc);
             }
-            for v in acc.iter_mut() {
-                *v = sigmoid(self.base_score + self.eta * *v);
-            }
+            kernels::sigmoid_margins(kernel, self.base_score, self.eta, acc);
         });
         out
     }

@@ -179,15 +179,142 @@ unsafe fn horizontal(acc: __m256d) -> f64 {
     _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
 }
 
-/// RBF expansion over zero-padded support vectors; every block is full,
-/// so the inner loop is pure vector code. `exp` stays scalar — the
-/// bit-identity contract only canonicalizes the distance reduction.
+/// One distance step, flavored: `d2 + (xj − sv)²` as a fused
+/// multiply-add or a mul + add pair.
 ///
 /// # Safety
 ///
-/// AVX2 must be available; buffer shapes are dispatcher-checked
-/// (`svs.len() == coef.len() * m_pad`, `m_pad % 4 == 0`,
-/// `scratch.len() == m_pad`, `rows.len() == out.len() * m`).
+/// AVX2 must be enabled in the calling context; `FMA = true`
+/// additionally requires the `fma` feature.
+#[inline(always)]
+unsafe fn d2_step<const FMA: bool>(d2: __m256d, xj: __m256d, sv: __m256d) -> __m256d {
+    let d = _mm256_sub_pd(xj, sv);
+    if FMA {
+        _mm256_fmadd_pd(d, d, d2)
+    } else {
+        _mm256_add_pd(d2, _mm256_mul_pd(d, d))
+    }
+}
+
+/// Flavored coefficient accumulation `acc + c·e`.
+///
+/// # Safety
+///
+/// Same feature requirements as [`d2_step`].
+#[inline(always)]
+unsafe fn coef_step<const FMA: bool>(acc: __m256d, c: __m256d, e: __m256d) -> __m256d {
+    if FMA {
+        _mm256_fmadd_pd(c, e, acc)
+    } else {
+        _mm256_add_pd(acc, _mm256_mul_pd(c, e))
+    }
+}
+
+/// RBF expansion over lane-interleaved support-vector panels: the
+/// distance accumulation, the `−γ·d²` scaling, the polynomial `exp`,
+/// and the coefficient multiply-accumulate all stay in one 256-bit
+/// register per panel of 4 support vectors — no scalar `exp` call ever
+/// interrupts the loop. Mirrors the scalar panel loop operation for
+/// operation, flavor for flavor (see [`super::rbf_expand`] for the
+/// contract).
+///
+/// # Safety
+///
+/// AVX2 (plus FMA when `FMA = true`) must be enabled in the calling
+/// context; buffer shapes are dispatcher-checked
+/// (`svs.len() == coef.len() * m_pad`, `coef.len() % 4 == 0`,
+/// `m_pad % 4 == 0`, `rows.len() == out.len() * m`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn rbf_expand_core<const FMA: bool>(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    out: &mut [f64],
+) {
+    let neg_gamma = _mm256_set1_pd(-gamma);
+    let n_panels = coef.len() / 4;
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
+        // The query row is read in place: only the m real dimensions
+        // participate (the padded tail is a bitwise no-op per the
+        // contract), so no padded scratch copy exists.
+        let x = row.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut panel = svs.as_ptr();
+        let mut p = 0usize;
+        // Four panels in flight with one merged dimension loop: each
+        // broadcast of x[j] feeds all four panels, and the serial
+        // latency chains that bound a single panel (the d² accumulation,
+        // the Horner chain inside the exp) are independent across
+        // panels, so running four overlaps them toward the machine's FP
+        // throughput limit. The accumulator updates stay in panel
+        // order, so results are unchanged down to the bit vs the
+        // one-panel-at-a-time loop the scalar path runs.
+        while p + 4 <= n_panels {
+            let p1 = panel.add(4 * m_pad);
+            let p2 = panel.add(8 * m_pad);
+            let p3 = panel.add(12 * m_pad);
+            let mut d0 = _mm256_setzero_pd();
+            let mut d1 = _mm256_setzero_pd();
+            let mut d2 = _mm256_setzero_pd();
+            let mut d3 = _mm256_setzero_pd();
+            for j in 0..m {
+                let xj = _mm256_set1_pd(*x.add(j));
+                d0 = d2_step::<FMA>(d0, xj, _mm256_loadu_pd(panel.add(4 * j)));
+                d1 = d2_step::<FMA>(d1, xj, _mm256_loadu_pd(p1.add(4 * j)));
+                d2 = d2_step::<FMA>(d2, xj, _mm256_loadu_pd(p2.add(4 * j)));
+                d3 = d2_step::<FMA>(d3, xj, _mm256_loadu_pd(p3.add(4 * j)));
+            }
+            let e0 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d0));
+            let e1 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d1));
+            let e2 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d2));
+            let e3 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d3));
+            let c = coef.as_ptr().add(4 * p);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c), e0);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c.add(4)), e1);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c.add(8)), e2);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c.add(12)), e3);
+            panel = panel.add(16 * m_pad);
+            p += 4;
+        }
+        // Remainder panels in pairs, then one: still overlapped where
+        // possible, still in panel order.
+        if p + 2 <= n_panels {
+            let p1 = panel.add(4 * m_pad);
+            let mut d0 = _mm256_setzero_pd();
+            let mut d1 = _mm256_setzero_pd();
+            for j in 0..m {
+                let xj = _mm256_set1_pd(*x.add(j));
+                d0 = d2_step::<FMA>(d0, xj, _mm256_loadu_pd(panel.add(4 * j)));
+                d1 = d2_step::<FMA>(d1, xj, _mm256_loadu_pd(p1.add(4 * j)));
+            }
+            let e0 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d0));
+            let e1 = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d1));
+            let c = coef.as_ptr().add(4 * p);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c), e0);
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(c.add(4)), e1);
+            panel = panel.add(8 * m_pad);
+            p += 2;
+        }
+        if p < n_panels {
+            let d = panel_d2::<FMA>(x, panel, m);
+            let e = super::vexp::avx2::exp4_core::<FMA>(_mm256_mul_pd(neg_gamma, d));
+            acc = coef_step::<FMA>(acc, _mm256_loadu_pd(coef.as_ptr().add(4 * p)), e);
+        }
+        *slot = bias + horizontal(acc);
+    }
+}
+
+/// Plain-flavor RBF expansion (hardware without FMA).
+///
+/// # Safety
+///
+/// AVX2 must be available; shapes dispatcher-checked (see
+/// [`rbf_expand_core`]).
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
 pub(super) unsafe fn rbf_expand(
@@ -198,26 +325,106 @@ pub(super) unsafe fn rbf_expand(
     m_pad: usize,
     rows: &[f64],
     m: usize,
-    scratch: &mut [f64],
     out: &mut [f64],
 ) {
-    let blocks = m_pad / 4;
-    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
-        scratch[..m].copy_from_slice(row);
-        let x = scratch.as_ptr();
-        let mut s = bias;
-        let mut sv = svs.as_ptr();
-        for &c in coef {
-            let mut acc = _mm256_setzero_pd();
-            for k in 0..blocks {
-                let va = _mm256_loadu_pd(x.add(4 * k));
-                let vb = _mm256_loadu_pd(sv.add(4 * k));
-                let d = _mm256_sub_pd(va, vb);
-                acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
-            }
-            s += c * (-gamma * horizontal(acc)).exp();
-            sv = sv.add(m_pad);
-        }
-        *slot = s;
+    rbf_expand_core::<false>(svs, coef, bias, gamma, m_pad, rows, m, out)
+}
+
+/// Fused-flavor RBF expansion.
+///
+/// # Safety
+///
+/// AVX2 **and** FMA must be available; shapes dispatcher-checked (see
+/// [`rbf_expand_core`]).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn rbf_expand_fused(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    out: &mut [f64],
+) {
+    rbf_expand_core::<true>(svs, coef, bias, gamma, m_pad, rows, m, out)
+}
+
+/// `−γ`-ready squared distances of one lane-interleaved panel against
+/// the query row's `m` real dimensions: lane `l` accumulates panel
+/// member `l`'s d² dimension-sequentially, exactly like the scalar
+/// panel loop.
+///
+/// # Safety
+///
+/// AVX2 (plus FMA when `FMA = true`) must be enabled in the calling
+/// context; `x` must hold `m` readable values and `panel` must hold at
+/// least `4 · m`.
+#[inline(always)]
+unsafe fn panel_d2<const FMA: bool>(x: *const f64, panel: *const f64, m: usize) -> __m256d {
+    let mut d2 = _mm256_setzero_pd();
+    for j in 0..m {
+        let xj = _mm256_set1_pd(*x.add(j));
+        d2 = d2_step::<FMA>(d2, xj, _mm256_loadu_pd(panel.add(4 * j)));
     }
+    d2
+}
+
+/// Squashes accumulated GBDT margins into probabilities in place, 4
+/// lanes at a time through the polynomial `exp`; the remainder runs the
+/// scalar loop, which is element-wise identical. The margin step stays
+/// a plain mul + add in every flavor (matching per-point
+/// `Gbdt::margin`); only the `exp` internals are flavored.
+///
+/// # Safety
+///
+/// AVX2 (plus FMA when `FMA = true`) must be enabled in the calling
+/// context.
+#[inline(always)]
+unsafe fn sigmoid_margins_core<const FMA: bool>(
+    base: f64,
+    eta: f64,
+    acc: &mut [f64],
+    tail: fn(f64, f64, &mut [f64]),
+) {
+    let base_v = _mm256_set1_pd(base);
+    let eta_v = _mm256_set1_pd(eta);
+    let one = _mm256_set1_pd(1.0);
+    let sign = _mm256_set1_pd(-0.0);
+    let blocks = acc.len() / 4;
+    for k in 0..blocks {
+        let ptr = acc.as_mut_ptr().add(4 * k);
+        let v = _mm256_loadu_pd(ptr);
+        let z = _mm256_add_pd(base_v, _mm256_mul_pd(eta_v, v));
+        // `−z` is a sign-bit flip in IEEE, exactly like scalar negation.
+        let e = super::vexp::avx2::exp4_core::<FMA>(_mm256_xor_pd(z, sign));
+        _mm256_storeu_pd(ptr, _mm256_div_pd(one, _mm256_add_pd(one, e)));
+    }
+    tail(base, eta, &mut acc[4 * blocks..]);
+}
+
+/// Plain-flavor sigmoid squash.
+///
+/// # Safety
+///
+/// AVX2 must be available (dispatcher-probed).
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn sigmoid_margins(base: f64, eta: f64, acc: &mut [f64]) {
+    sigmoid_margins_core::<false>(base, eta, acc, |base, eta, tail| {
+        super::scalar::sigmoid_margins(base, eta, tail, super::vexp::exp_poly_core::<false>)
+    });
+}
+
+/// Fused-flavor sigmoid squash.
+///
+/// # Safety
+///
+/// AVX2 **and** FMA must be available (dispatcher-probed).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sigmoid_margins_fused(base: f64, eta: f64, acc: &mut [f64]) {
+    sigmoid_margins_core::<true>(base, eta, acc, |base, eta, tail| {
+        // SAFETY: this closure only runs from the fma-enabled wrapper.
+        unsafe { super::scalar::sigmoid_margins_fused(base, eta, tail) }
+    });
 }

@@ -27,7 +27,15 @@
 //!   lane accumulators striding the dimensions, combined as
 //!   `(l0 + l2) + (l1 + l3)` — implemented identically by the scalar
 //!   loop and the AVX2 vector loop (see [`squared_distance`]).
-//!   `exp` stays scalar in both paths.
+//! * **`exp`** (the RBF expansion, the GBDT sigmoid) evaluates one
+//!   canonical range-reduced polynomial whose scalar and 4-wide AVX2
+//!   implementations share every operation and blend rule (see
+//!   [`vexp`]), so vectorizing it changes no bits between backends.
+//!   The polynomial (and the RBF multiply-accumulates around it) comes
+//!   in a fused (FMA) and a plain arithmetic flavor, resolved once per
+//!   process from the CPU ([`vexp::fma_supported`]) and always shared
+//!   by both backends. `REDS_EXP=libm` routes both backends through
+//!   scalar libm instead, as an A/B escape hatch.
 //!
 //! Because the paths are bit-identical, dispatch may differ between
 //! machines, threads, or runs without ever changing a result.
@@ -46,11 +54,13 @@ use std::sync::OnceLock;
 
 mod flat;
 mod scalar;
+pub mod vexp;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 
 pub use flat::{FlatTree, FlatView};
+pub use vexp::{exp, ExpBackend};
 
 /// A prediction-kernel implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,15 +216,30 @@ pub fn squared_distance(kernel: Kernel, a: &[f64], b: &[f64]) -> f64 {
 
 /// RBF kernel expansion for a batch of rows:
 /// `out[r] = bias + Σ_i coef[i] · exp(−gamma · ‖rows[r] − sv_i‖²)`,
-/// accumulated in support-vector order.
+/// accumulated in the canonical panel order below.
 ///
-/// `svs` is the row-major support-vector buffer whose rows are padded
-/// to `m_pad` columns (a multiple of 4, trailing zeros); `scratch` is a
-/// caller-provided buffer of at least `m_pad` elements reused across
-/// rows — the query row is copied into it zero-padded so the AVX2 path
-/// never needs a remainder loop. The scalar path reads the same padded
-/// buffers through the canonical reduction, so both are bit-identical
-/// to a per-point [`squared_distance`] over the unpadded slices.
+/// `svs` is the **panel-interleaved** support-vector buffer built at
+/// `Svm::assemble`: support vectors grouped 4 to a panel (count padded
+/// with zero vectors and zero coefficients), each panel laid out
+/// dimension-major (`panel[4·j + lane]` = dimension `j` of panel
+/// member `lane`, `j < m_pad`, `m_pad` a multiple of 4 with trailing
+/// zero dimensions). `coef` is padded to `4 · n_panels` to match.
+///
+/// The canonical accumulation order is part of the kernel contract:
+/// per panel, lane `l` accumulates `d²` for panel member `l` over the
+/// `m` real dimensions sequentially, the four `coef·exp(−γ·d²)`
+/// products add into four running lane sums across panels, and the
+/// result is `bias + ((s0 + s2) + (s1 + s3))`. Both backends implement
+/// exactly this order (the AVX2 path holds each panel in one register
+/// end-to-end — distances, `exp`, and coefficient multiply-accumulate
+/// never leave registers), in the arithmetic flavor
+/// [`vexp::fma_supported`] resolves, so scalar and SIMD are
+/// bit-identical. The padded dimensions `m..m_pad` are **skipped**:
+/// both the query padding and the stored padding are exactly zero, so
+/// each skipped step would compute `d2 + (0 − 0)² = d2` — a bitwise
+/// no-op (`x + 0.0 == x` for the non-negative accumulator) that no
+/// backend needs to execute. Under `REDS_EXP=libm` both kernels route
+/// through the scalar loop with libm `exp` instead.
 #[allow(clippy::too_many_arguments)]
 pub fn rbf_expand(
     kernel: Kernel,
@@ -225,7 +250,6 @@ pub fn rbf_expand(
     m_pad: usize,
     rows: &[f64],
     m: usize,
-    scratch: &mut [f64],
     out: &mut [f64],
 ) {
     assert!(m_pad.is_multiple_of(4) && m <= m_pad, "bad padded width");
@@ -233,21 +257,129 @@ pub fn rbf_expand(
         m > 0 || out.is_empty(),
         "zero-width rows cannot be expanded"
     );
+    assert!(
+        coef.len().is_multiple_of(4),
+        "coefficients must fill panels"
+    );
     assert_eq!(svs.len(), coef.len() * m_pad, "support buffer shape");
     assert_eq!(rows.len(), out.len() * m, "row buffer shape");
-    assert!(scratch.len() >= m_pad, "scratch must hold one padded row");
-    let scratch = &mut scratch[..m_pad];
-    scratch.fill(0.0);
-    match kernel {
-        Kernel::Scalar => scalar::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out),
+    match (kernel, vexp::backend()) {
+        // The libm escape hatch: both kernel backends take the scalar
+        // panel loop (plain flavor) so the A/B toggles exactly one
+        // thing — which exp.
+        (_, ExpBackend::Libm) => {
+            scalar::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, out, f64::exp)
+        }
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: the cached feature probe just succeeded; all buffers
+        // SAFETY: the cached feature probes just succeeded; all buffers
         // were shape-checked above.
-        Kernel::Avx2 if avx2_supported() => unsafe {
-            avx2::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out)
+        (Kernel::Avx2, ExpBackend::Poly) if avx2_supported() => unsafe {
+            if vexp::fma_supported() {
+                avx2::rbf_expand_fused(svs, coef, bias, gamma, m_pad, rows, m, out)
+            } else {
+                avx2::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, out)
+            }
         },
-        // Explicit Avx2 without hardware support degrades to scalar.
-        _ => scalar::rbf_expand(svs, coef, bias, gamma, m_pad, rows, m, scratch, out),
+        // Scalar request, or explicit Avx2 without hardware support —
+        // in the same arithmetic flavor the AVX2 path would use, so the
+        // two backends stay bit-identical on every machine.
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            if vexp::fma_supported() {
+                // SAFETY: the cached feature probe just succeeded.
+                unsafe { scalar::rbf_expand_fused(svs, coef, bias, gamma, m_pad, rows, m, out) }
+                return;
+            }
+            scalar::rbf_expand(
+                svs,
+                coef,
+                bias,
+                gamma,
+                m_pad,
+                rows,
+                m,
+                out,
+                vexp::exp_poly_core::<false>,
+            )
+        }
+    }
+}
+
+/// Squashes accumulated GBDT margins into probabilities in place:
+/// `acc[i] ← 1 / (1 + exp(−(base + eta·acc[i])))` — the batched,
+/// `vexp`-vectorized form of the per-point sigmoid. Element-wise with
+/// one canonical op order (`mul`, `add`, negate, `exp`, `add`, `div`),
+/// so scalar and AVX2 agree bitwise on every element, and per-point
+/// `Gbdt::predict` (which squashes through [`vexp::exp`]) matches the
+/// batch by construction. Under `REDS_EXP=libm` both backends take the
+/// scalar loop with libm `exp`.
+pub fn sigmoid_margins(kernel: Kernel, base: f64, eta: f64, acc: &mut [f64]) {
+    match (kernel, vexp::backend()) {
+        (_, ExpBackend::Libm) => scalar::sigmoid_margins(base, eta, acc, f64::exp),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the cached feature probes just succeeded.
+        (Kernel::Avx2, ExpBackend::Poly) if avx2_supported() => unsafe {
+            if vexp::fma_supported() {
+                avx2::sigmoid_margins_fused(base, eta, acc)
+            } else {
+                avx2::sigmoid_margins(base, eta, acc)
+            }
+        },
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            if vexp::fma_supported() {
+                // SAFETY: the cached feature probe just succeeded.
+                unsafe { scalar::sigmoid_margins_fused(base, eta, acc) }
+                return;
+            }
+            scalar::sigmoid_margins(base, eta, acc, vexp::exp_poly_core::<false>)
+        }
+    }
+}
+
+/// Element-wise `exp` over a slice under explicit kernel and backend —
+/// the raw `vexp` entry point, primarily for the equivalence suites
+/// and benches (production paths go through [`rbf_expand`] /
+/// [`sigmoid_margins`], which resolve the backend themselves).
+pub fn exp_in_place(kernel: Kernel, backend: ExpBackend, xs: &mut [f64]) {
+    match (kernel, backend) {
+        (_, ExpBackend::Libm) => {
+            for v in xs.iter_mut() {
+                *v = v.exp();
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the cached feature probes just succeeded.
+        (Kernel::Avx2, ExpBackend::Poly) if avx2_supported() => unsafe {
+            use std::arch::x86_64::*;
+            let blocks = xs.len() / 4;
+            let fused = vexp::fma_supported();
+            for k in 0..blocks {
+                let ptr = xs.as_mut_ptr().add(4 * k);
+                let x = _mm256_loadu_pd(ptr);
+                let e = if fused {
+                    vexp::avx2::exp4_fused(x)
+                } else {
+                    vexp::avx2::exp4(x)
+                };
+                _mm256_storeu_pd(ptr, e);
+            }
+            // The tail's `exp_poly` resolves the same flavor.
+            for v in &mut xs[4 * blocks..] {
+                *v = vexp::exp_poly(*v);
+            }
+        },
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            if vexp::fma_supported() {
+                // SAFETY: the cached feature probe just succeeded.
+                unsafe { vexp::exp_slice_fused(xs) }
+                return;
+            }
+            for v in xs.iter_mut() {
+                *v = vexp::exp_poly_core::<false>(*v);
+            }
+        }
     }
 }
 

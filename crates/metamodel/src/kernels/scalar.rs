@@ -73,12 +73,24 @@ pub(super) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     (l[0] + l[2]) + (l[1] + l[3])
 }
 
-/// RBF expansion over zero-padded support vectors; the padded query in
-/// `scratch` makes every block full, which is bitwise equivalent to the
-/// tail-handling loop above (padding contributes exact `+0.0` to
-/// non-negative lane accumulators).
+/// RBF expansion over the lane-interleaved support-vector panels (see
+/// [`super::rbf_expand`] for the layout and reduction contract),
+/// generic over the arithmetic flavor. One panel = 4 support vectors;
+/// lane `l` of the distance/accumulator arrays tracks panel member
+/// `l`, exactly like one 256-bit register in the AVX2 path — every
+/// multiply-accumulate (fused or plain, per the flavor) lands in the
+/// same order. Only the `m` real dimensions are visited: the padded
+/// tail is a bitwise no-op by the contract, so the query row is read
+/// in place with no padded scratch copy. `E` selects the exp
+/// implementation (canonical polynomial, or libm for the
+/// `REDS_EXP=libm` escape hatch).
+///
+/// `FMA = true` instantiations must only run inside an
+/// `#[target_feature(enable = "fma")]` context (see
+/// [`rbf_expand_fused`]).
 #[allow(clippy::too_many_arguments)]
-pub(super) fn rbf_expand(
+#[inline(always)]
+fn rbf_expand_body<const FMA: bool, E: Fn(f64) -> f64>(
     svs: &[f64],
     coef: &[f64],
     bias: f64,
@@ -86,25 +98,105 @@ pub(super) fn rbf_expand(
     m_pad: usize,
     rows: &[f64],
     m: usize,
-    scratch: &mut [f64],
+    out: &mut [f64],
+    exp: E,
+) {
+    let neg_gamma = -gamma;
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
+        let mut acc = [0.0f64; 4];
+        for (cp, panel) in coef.chunks_exact(4).zip(svs.chunks_exact(4 * m_pad)) {
+            let mut d2 = [0.0f64; 4];
+            for (j, &xj) in row.iter().enumerate() {
+                for (lane, l) in d2.iter_mut().enumerate() {
+                    let d = xj - panel[4 * j + lane];
+                    *l = if FMA { d.mul_add(d, *l) } else { *l + d * d };
+                }
+            }
+            for (lane, l) in acc.iter_mut().enumerate() {
+                let e = exp(neg_gamma * d2[lane]);
+                *l = if FMA {
+                    cp[lane].mul_add(e, *l)
+                } else {
+                    *l + cp[lane] * e
+                };
+            }
+        }
+        *slot = bias + ((acc[0] + acc[2]) + (acc[1] + acc[3]));
+    }
+}
+
+/// Plain-flavor RBF panel loop — the libm escape hatch and hardware
+/// without FMA.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn rbf_expand<E: Fn(f64) -> f64>(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
+    out: &mut [f64],
+    exp: E,
+) {
+    rbf_expand_body::<false, E>(svs, coef, bias, gamma, m_pad, rows, m, out, exp)
+}
+
+/// Fused-flavor RBF panel loop with the fused polynomial `exp`,
+/// compiled with hardware FMA.
+///
+/// # Safety
+///
+/// The `fma` feature must be available (dispatcher-probed).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn rbf_expand_fused(
+    svs: &[f64],
+    coef: &[f64],
+    bias: f64,
+    gamma: f64,
+    m_pad: usize,
+    rows: &[f64],
+    m: usize,
     out: &mut [f64],
 ) {
-    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(m.max(1))) {
-        scratch[..m].copy_from_slice(row);
-        let mut s = bias;
-        for (&c, sv) in coef.iter().zip(svs.chunks_exact(m_pad)) {
-            let mut l = [0.0f64; 4];
-            let mut j = 0usize;
-            while j < m_pad {
-                for (lane, acc) in l.iter_mut().enumerate() {
-                    let d = scratch[j + lane] - sv[j + lane];
-                    *acc += d * d;
-                }
-                j += 4;
-            }
-            let d2 = (l[0] + l[2]) + (l[1] + l[3]);
-            s += c * (-gamma * d2).exp();
-        }
-        *slot = s;
+    rbf_expand_body::<true, _>(
+        svs,
+        coef,
+        bias,
+        gamma,
+        m_pad,
+        rows,
+        m,
+        out,
+        super::vexp::exp_poly_core::<true>,
+    )
+}
+
+/// Squashes accumulated GBDT margins into probabilities in place:
+/// `v ← 1 / (1 + exp(−(base + eta·v)))`. The margin step is a plain
+/// mul + add in **every** flavor — per-point `Gbdt::margin` computes
+/// `base + eta·Σ` with plain ops, and per-point ≡ batch bit-identity
+/// is part of the contract; only the `exp` internals are flavored.
+/// Element-wise — the AVX2 path performs the identical op sequence 4
+/// lanes at a time, so remainder handling there can reuse this loop
+/// bit-identically.
+pub(super) fn sigmoid_margins<E: Fn(f64) -> f64>(base: f64, eta: f64, acc: &mut [f64], exp: E) {
+    for v in acc.iter_mut() {
+        let z = base + eta * *v;
+        *v = 1.0 / (1.0 + exp(-z));
     }
+}
+
+/// [`sigmoid_margins`] with the fused polynomial `exp`, compiled with
+/// hardware FMA (the margin step stays unfused — see above).
+///
+/// # Safety
+///
+/// The `fma` feature must be available (dispatcher-probed).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+pub(super) unsafe fn sigmoid_margins_fused(base: f64, eta: f64, acc: &mut [f64]) {
+    sigmoid_margins(base, eta, acc, super::vexp::exp_poly_core::<true>)
 }

@@ -1,0 +1,416 @@
+//! Vectorizable polynomial `exp` — one canonical algorithm, two
+//! bit-identical implementations.
+//!
+//! The RBF expansion and the GBDT sigmoid both bottom out in `exp`,
+//! and libm's `exp` is a scalar call that serializes an otherwise
+//! fully-vector inner loop (the SVM kernel was the one family stuck at
+//! ~1.1× after the SIMD PR precisely because of it). This module
+//! provides the replacement: a range-reduced polynomial `exp`
+//! implemented twice — [`exp_poly`] (scalar) and `exp4` (4-wide AVX2,
+//! `x86_64` only) — that are **bit-identical by construction**: the
+//! same reduction, the same evaluation order, and the same
+//! special-value blend rules. IEEE-754 fully determines every
+//! individual `+`/`−`/`×`/`÷`/fused-multiply-add, so matching the
+//! operation sequence matches every output bit.
+//!
+//! ## The canonical algorithm
+//!
+//! ```text
+//! z  = x · log2(e)
+//! k  = round-to-nearest-even(z)            # 2^52+2^51 shift trick
+//! r  = (x − k·LN2_HI) − k·LN2_LO           # |r| ≤ ln2/2, two-part ln2
+//! p  = Σ_{i=0}^{13} r^i / i!               # Horner, one step per coefficient
+//! e  = (p · 2^(k1)) · 2^(k2)               # k1 = k>>1, k2 = k − k1
+//! ```
+//!
+//! * `LN2_HI` has its 20 low mantissa bits zeroed, so `k·LN2_HI` is
+//!   exact for every `|k| ≤ 2^19` that can occur (`|k| ≤ 1075` here)
+//!   and the reduction costs one rounding.
+//! * The degree-13 Taylor polynomial's truncation error on
+//!   `|r| ≤ ln2/2` is `≈ r¹⁴/14! < 5·10⁻¹⁸` — far below the rounding
+//!   noise of the Horner chain, which dominates the ULP budget.
+//! * Two-step scaling (`k1 = k >> 1`, arithmetic shift, so
+//!   `k1 + k2 = k` exactly) keeps both exponents in the normal range
+//!   for every surviving `k ∈ [−1075, 1024]`: overflow to `+∞` and
+//!   gradual underflow into denormals happen in the final IEEE
+//!   multiplies, identically in both paths.
+//!
+//! ## Arithmetic flavors (FMA)
+//!
+//! AVX2 does not imply the `fma` feature, and a fused step rounds
+//! differently from a separate mul + add — so the polynomial exists in
+//! two **flavors** with identical structure:
+//!
+//! * **fused** — every `a·b + c` of the reduction, the Horner chain,
+//!   and the kernels' distance/coefficient accumulation is a single
+//!   fused multiply-add (scalar `f64::mul_add`, vector
+//!   `_mm256_fmadd_pd`/`_mm256_fnmadd_pd`). One rounding per step:
+//!   faster on every FMA machine *and* slightly closer to libm.
+//! * **plain** — the same steps as separate mul + add pairs, for
+//!   hardware without FMA.
+//!
+//! [`fma_supported`] resolves the flavor once per process from the
+//! CPU, and **both** the scalar and the AVX2 implementation consult
+//! it — so scalar ≡ SIMD bit-identity holds on every machine, while
+//! (like any compiler or libm upgrade) results may differ between an
+//! FMA machine and a non-FMA machine. Nothing in REDS pins bits across
+//! machines; the equivalence suites compare backends within one
+//! process.
+//!
+//! ## Special values (blend rules)
+//!
+//! | input                            | output                |
+//! |----------------------------------|-----------------------|
+//! | `x ≥ 709.78271289338408…`, `+∞`  | `+∞`                  |
+//! | `x ≤ −745.13321910194122…`, `−∞` | `+0.0`                |
+//! | `NaN`                            | the input NaN, payload
+//! |                                  | and sign preserved    |
+//! | denormal `x`                     | ordinary path (`k = 0`, `p ≈ 1 + x`) |
+//!
+//! Both cutoffs are the exact doubles where libm's `exp` overflows /
+//! underflows, so the special-value blends agree with libm bit-for-bit
+//! on every side of every boundary.
+//!
+//! The scalar path takes early returns; the AVX2 path computes the
+//! ordinary lanes unconditionally (garbage in special lanes is fine —
+//! the shift trick and `cvt` never fault) and blends the same three
+//! cases in the same priority order. Unlike the squared-distance
+//! kernels, NaN results here are payload-exact across backends: the
+//! blend returns the *input* bits untouched.
+//!
+//! ## Backend selection (`REDS_EXP`)
+//!
+//! [`backend`] resolves once per process from the [`set_backend`]
+//! override, then the `REDS_EXP` environment variable (`poly` or
+//! `libm`), defaulting to `poly`. `libm` is an A/B escape hatch that
+//! routes **both** kernel backends through the scalar libm `exp` —
+//! useful for bisecting whether a numerical difference comes from the
+//! polynomial or from something else — at the cost of the SIMD win.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Smallest `x` with `exp(x) = +∞` — `709.78271289338408…`, measured
+/// as the exact double where libm's `exp` first overflows, so the
+/// blend agrees with libm on both sides of the boundary.
+pub const EXP_OVERFLOW: f64 = f64::from_bits(0x4086_2E42_FEFA_39F0);
+
+/// Largest `x` with `exp(x) = +0.0` — `−745.13321910194122…`, the
+/// exact double where libm's `exp` last underflows to zero (one ULP
+/// up gives the smallest denormal).
+pub const EXP_UNDERFLOW: f64 = f64::from_bits(0xC087_4910_D52D_3052);
+
+/// `2^52 + 2^51`: adding and subtracting this rounds `|z| < 2^51` to
+/// the nearest integer (ties to even) using the FPU's native rounding.
+const SHIFT: f64 = 6_755_399_441_055_744.0;
+
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+
+/// `ln 2` split so that `k · LN2_HI` is exact (20 trailing mantissa
+/// zeros) for every reduced `|k| ≤ 2^19`.
+const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000); // 6.93147180369123816490e-1
+const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76); // 1.90821492927058770002e-10
+
+/// Taylor coefficients `1/i!` for `i = 13 … 2` (Horner order; the
+/// trailing `… · r + 1) · r + 1` steps are spelled out in the kernels).
+const POLY: [f64; 12] = [
+    1.0 / 6_227_020_800.0, // 1/13!
+    1.0 / 479_001_600.0,   // 1/12!
+    1.0 / 39_916_800.0,    // 1/11!
+    1.0 / 3_628_800.0,     // 1/10!
+    1.0 / 362_880.0,       // 1/9!
+    1.0 / 40_320.0,        // 1/8!
+    1.0 / 5_040.0,         // 1/7!
+    1.0 / 720.0,           // 1/6!
+    1.0 / 120.0,           // 1/5!
+    1.0 / 24.0,            // 1/4!
+    1.0 / 6.0,             // 1/3!
+    1.0 / 2.0,             // 1/2!
+];
+
+/// Which `exp` implementation the kernels evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpBackend {
+    /// The canonical polynomial above — vectorizable, scalar ≡ AVX2
+    /// bit-identical, a few ULP from libm.
+    Poly,
+    /// Scalar libm `exp` in **both** kernel backends (the SIMD RBF and
+    /// sigmoid paths fall back to their scalar loops). A/B debugging
+    /// escape hatch, not a production configuration.
+    Libm,
+}
+
+impl ExpBackend {
+    /// Stable lowercase name (`"poly"` / `"libm"`), as accepted by the
+    /// `REDS_EXP` environment variable and reported by `serve info`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExpBackend::Poly => "poly",
+            ExpBackend::Libm => "libm",
+        }
+    }
+}
+
+/// `0` = no override, `1` = poly, `2` = libm.
+static EXP_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `REDS_EXP` resolution, performed once per process.
+static RESOLVED: OnceLock<ExpBackend> = OnceLock::new();
+
+/// Forces the exp backend for subsequent [`backend`] calls (`None`
+/// clears the override). For benches and A/B comparisons; the
+/// equivalence tests prefer the explicit-backend entry points.
+pub fn set_backend(backend: Option<ExpBackend>) {
+    let code = match backend {
+        None => 0,
+        Some(ExpBackend::Poly) => 1,
+        Some(ExpBackend::Libm) => 2,
+    };
+    EXP_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// The exp backend the kernels should evaluate, resolved from (in
+/// priority order) the [`set_backend`] override, the `REDS_EXP`
+/// environment variable, and the `poly` default. Like the kernel ISA,
+/// callers resolve this once per batch.
+pub fn backend() -> ExpBackend {
+    match EXP_OVERRIDE.load(Ordering::SeqCst) {
+        1 => return ExpBackend::Poly,
+        2 => return ExpBackend::Libm,
+        _ => {}
+    }
+    *RESOLVED.get_or_init(|| match std::env::var("REDS_EXP").as_deref() {
+        Ok("libm") => ExpBackend::Libm,
+        // Unrecognized values fall through to the default rather than
+        // erroring: REDS_EXP is an operational knob, and `poly` is
+        // always a safe answer.
+        _ => ExpBackend::Poly,
+    })
+}
+
+/// Whether this process evaluates the polynomial in its **fused**
+/// flavor (hardware FMA). Both the scalar and the AVX2 kernels consult
+/// this one probe, so the flavor — and therefore every result bit —
+/// always agrees between backends. The standard library caches the
+/// cpuid, so calling this is cheap.
+pub fn fma_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The canonical polynomial core, generic over the arithmetic flavor.
+///
+/// `FMA = true` instantiations must only run inside an
+/// `#[target_feature(enable = "fma")]` context — `mul_add` otherwise
+/// lowers to the (correct but slow) libm `fma` call.
+#[inline(always)]
+pub(super) fn exp_poly_core<const FMA: bool>(x: f64) -> f64 {
+    // Blend rules, in the same priority order the vector path applies
+    // them (NaN checked first here because the range tests would let it
+    // fall through to the core).
+    if x.is_nan() {
+        return x;
+    }
+    if x >= EXP_OVERFLOW {
+        return f64::INFINITY;
+    }
+    if x <= EXP_UNDERFLOW {
+        return 0.0;
+    }
+    // Range reduction. `z + SHIFT − SHIFT` rounds to the nearest
+    // integer (ties to even); the conversion to i32 is exact because
+    // kf is integral and |kf| ≤ 1076.
+    let z = x * LOG2E;
+    let kf = (z + SHIFT) - SHIFT;
+    let ki = kf as i32;
+    // Two-part reduction: fused `−(kf·c) + t` (fnmadd; negating kf is
+    // an exact sign flip, so `(−kf)·c ≡ −(kf·c)`) or mul + sub.
+    let (t, r);
+    if FMA {
+        t = (-kf).mul_add(LN2_HI, x);
+        r = (-kf).mul_add(LN2_LO, t);
+    } else {
+        t = x - kf * LN2_HI;
+        r = t - kf * LN2_LO;
+    }
+    // Degree-13 Horner chain, one `p·r + c` step per coefficient.
+    let mut p = POLY[0];
+    for &c in &POLY[1..] {
+        p = if FMA { p.mul_add(r, c) } else { p * r + c };
+    }
+    p = if FMA { p.mul_add(r, 1.0) } else { p * r + 1.0 };
+    p = if FMA { p.mul_add(r, 1.0) } else { p * r + 1.0 };
+    // Two-step 2^k scaling: k1 + k2 = k with both halves in the normal
+    // exponent range, so overflow/denormal rounding happens in the
+    // final IEEE multiplies exactly as the vector path does it. Plain
+    // multiplies in both flavors.
+    let k1 = ki >> 1;
+    let k2 = ki - k1;
+    let s1 = f64::from_bits(((k1 + 1023) as u64) << 52);
+    let s2 = f64::from_bits(((k2 + 1023) as u64) << 52);
+    (p * s1) * s2
+}
+
+/// Fused-flavor scalar polynomial, compiled with hardware FMA.
+///
+/// # Safety
+///
+/// The `fma` feature must be available ([`fma_supported`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+#[inline]
+pub(super) unsafe fn exp_poly_fused(x: f64) -> f64 {
+    exp_poly_core::<true>(x)
+}
+
+/// Fused-flavor scalar polynomial over a whole slice — one FMA-compiled
+/// loop, so the per-element flavor dispatch (and the call that blocks
+/// inlining) is hoisted out of the hot path.
+///
+/// # Safety
+///
+/// The `fma` feature must be available ([`fma_supported`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+pub(super) unsafe fn exp_slice_fused(xs: &mut [f64]) {
+    for v in xs.iter_mut() {
+        *v = exp_poly_core::<true>(*v);
+    }
+}
+
+/// Scalar canonical polynomial `exp` — the bit-identity reference for
+/// the AVX2 lanes, in the flavor this machine runs ([`fma_supported`]).
+#[inline]
+pub fn exp_poly(x: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if fma_supported() {
+        // SAFETY: the cached feature probe just succeeded.
+        return unsafe { exp_poly_fused(x) };
+    }
+    exp_poly_core::<false>(x)
+}
+
+/// Scalar `exp` under an explicit backend.
+#[inline]
+pub fn exp_with(backend: ExpBackend, x: f64) -> f64 {
+    match backend {
+        ExpBackend::Poly => exp_poly(x),
+        ExpBackend::Libm => x.exp(),
+    }
+}
+
+/// Scalar `exp` under the resolved backend — what per-point prediction
+/// paths (`Gbdt::predict`'s sigmoid, the SVM trainer's kernel matrix)
+/// call so they stay consistent with the batched kernels.
+#[inline]
+pub fn exp(x: f64) -> f64 {
+    exp_with(backend(), x)
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(super) mod avx2 {
+    //! 4-wide AVX2 lanes of the canonical algorithm. Every arithmetic
+    //! step mirrors [`super::exp_poly_core`] exactly, flavor for
+    //! flavor: `_mm256_fmadd_pd`/`_mm256_fnmadd_pd` where the fused
+    //! scalar has `mul_add`, `_mm256_mul_pd`/`_mm256_add_pd` pairs
+    //! where the plain scalar has `*` and `+`, the same `SHIFT`
+    //! rounding, the same two-step scaling, the same blend priority.
+
+    use std::arch::x86_64::*;
+
+    use super::{EXP_OVERFLOW, EXP_UNDERFLOW, LN2_HI, LN2_LO, LOG2E, POLY, SHIFT};
+
+    /// The 4-lane polynomial core, generic over the arithmetic flavor
+    /// (must mirror `exp_poly_core` step for step).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled in the calling context; `FMA = true`
+    /// additionally requires the `fma` feature.
+    #[inline(always)]
+    pub(in crate::kernels) unsafe fn exp4_core<const FMA: bool>(x: __m256d) -> __m256d {
+        // Core path, computed for every lane; special lanes produce
+        // garbage (never faults: the shift trick and `cvt` are plain
+        // arithmetic) that the blends below discard.
+        let z = _mm256_mul_pd(x, _mm256_set1_pd(LOG2E));
+        let shift = _mm256_set1_pd(SHIFT);
+        let kf = _mm256_sub_pd(_mm256_add_pd(z, shift), shift);
+        // kf is integral and tiny in every non-garbage lane, so the
+        // (round-to-nearest) conversion is exact, matching `as i32`.
+        let ki = _mm256_cvtpd_epi32(kf);
+        let (t, r);
+        if FMA {
+            t = _mm256_fnmadd_pd(kf, _mm256_set1_pd(LN2_HI), x);
+            r = _mm256_fnmadd_pd(kf, _mm256_set1_pd(LN2_LO), t);
+        } else {
+            t = _mm256_sub_pd(x, _mm256_mul_pd(kf, _mm256_set1_pd(LN2_HI)));
+            r = _mm256_sub_pd(t, _mm256_mul_pd(kf, _mm256_set1_pd(LN2_LO)));
+        }
+        let mut p = _mm256_set1_pd(POLY[0]);
+        for &c in &POLY[1..] {
+            let cv = _mm256_set1_pd(c);
+            p = if FMA {
+                _mm256_fmadd_pd(p, r, cv)
+            } else {
+                _mm256_add_pd(_mm256_mul_pd(p, r), cv)
+            };
+        }
+        let one = _mm256_set1_pd(1.0);
+        for _ in 0..2 {
+            p = if FMA {
+                _mm256_fmadd_pd(p, r, one)
+            } else {
+                _mm256_add_pd(_mm256_mul_pd(p, r), one)
+            };
+        }
+        // Two-step scaling: k1 = ki >> 1 (arithmetic), k2 = ki − k1,
+        // biased and shifted into the exponent field.
+        let k1 = _mm_srai_epi32::<1>(ki);
+        let k2 = _mm_sub_epi32(ki, k1);
+        let bias = _mm_set1_epi32(1023);
+        let s1 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_cvtepi32_epi64(
+            _mm_add_epi32(k1, bias),
+        )));
+        let s2 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_cvtepi32_epi64(
+            _mm_add_epi32(k2, bias),
+        )));
+        let core = _mm256_mul_pd(_mm256_mul_pd(p, s1), s2);
+        // Blend rules, same priority as the scalar early returns:
+        // overflow, underflow, then NaN (which passes the input bits
+        // through untouched — payload-exact).
+        let ovf = _mm256_cmp_pd::<_CMP_GE_OQ>(x, _mm256_set1_pd(EXP_OVERFLOW));
+        let und = _mm256_cmp_pd::<_CMP_LE_OQ>(x, _mm256_set1_pd(EXP_UNDERFLOW));
+        let nan = _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x);
+        let mut e = _mm256_blendv_pd(core, _mm256_set1_pd(f64::INFINITY), ovf);
+        e = _mm256_blendv_pd(e, _mm256_setzero_pd(), und);
+        _mm256_blendv_pd(e, x, nan)
+    }
+
+    /// 4-lane canonical polynomial `exp`, plain flavor.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (dispatcher-probed).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn exp4(x: __m256d) -> __m256d {
+        exp4_core::<false>(x)
+    }
+
+    /// 4-lane canonical polynomial `exp`, fused flavor.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 **and** FMA must be available (dispatcher-probed).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub unsafe fn exp4_fused(x: __m256d) -> __m256d {
+        exp4_core::<true>(x)
+    }
+}

@@ -43,10 +43,15 @@ impl Default for SvmParams {
 pub struct Svm {
     support_points: Vec<f64>,
     support_coef: Vec<f64>, // α_i y_i
-    /// Support vectors re-laid row-major at `m_pad` columns (trailing
-    /// zeros) — the invariant layout the batched kernel reads, built
-    /// once per fitted model instead of being re-derived per row.
-    padded_svs: Vec<f64>,
+    /// Support vectors re-laid in the lane-interleaved panel layout the
+    /// batched kernel reads (4 support vectors per panel, dimensions
+    /// padded to `m_pad`, panel count padded with zero vectors) — built
+    /// once per fitted model instead of being re-derived per row. See
+    /// [`kernels::rbf_expand`] for the layout contract.
+    panel_svs: Vec<f64>,
+    /// `support_coef` zero-padded to a whole number of panels; the
+    /// padding contributes exact `+0.0` terms to the accumulation.
+    panel_coef: Vec<f64>,
     /// `m` rounded up to a whole number of 4-lane blocks.
     m_pad: usize,
     bias: f64,
@@ -56,10 +61,12 @@ pub struct Svm {
 
 /// RBF kernel value over the canonical squared-distance reduction (see
 /// [`kernels::squared_distance`] for the order contract that keeps the
-/// scalar and SIMD paths bit-identical).
+/// scalar and SIMD paths bit-identical). The exponential goes through
+/// the resolved [`kernels::exp`] backend so fit-time kernel values obey
+/// the same `REDS_EXP` switch as prediction.
 #[inline]
 fn rbf(kernel: Kernel, a: &[f64], b: &[f64], gamma: f64) -> f64 {
-    (-gamma * kernels::squared_distance(kernel, a, b)).exp()
+    kernels::exp(-gamma * kernels::squared_distance(kernel, a, b))
 }
 
 impl Svm {
@@ -188,7 +195,8 @@ impl Svm {
     }
 
     /// Finishes construction from the raw support set: builds the
-    /// zero-padded support-vector layout the batched kernel reads.
+    /// lane-interleaved panel layout the batched kernel reads (the
+    /// cache-blocking decision lives here, once per fitted model).
     /// Shared by [`Svm::fit`], the degenerate single-class shortcut,
     /// and [`Svm::from_json`].
     fn assemble(
@@ -199,17 +207,26 @@ impl Svm {
         m: usize,
     ) -> Self {
         let m_pad = kernels::padded_width(m);
-        let mut padded_svs = vec![0.0f64; support_coef.len() * m_pad];
-        for (dst, src) in padded_svs
-            .chunks_exact_mut(m_pad)
-            .zip(support_points.chunks_exact(m.max(1)))
-        {
-            dst[..m].copy_from_slice(src);
+        let n_panels = support_coef.len().div_ceil(4);
+        let mut panel_coef = vec![0.0f64; 4 * n_panels];
+        panel_coef[..support_coef.len()].copy_from_slice(&support_coef);
+        // `panel_svs[p·4·m_pad + 4·j + lane]` = dimension `j` of support
+        // vector `4p + lane`; missing lanes and dimensions stay zero,
+        // and with a zero coefficient a zero vector contributes an
+        // exact `+0.0` to the kernel accumulation.
+        let mut panel_svs = vec![0.0f64; n_panels * 4 * m_pad];
+        for (i, sv) in support_points.chunks_exact(m.max(1)).enumerate() {
+            let panel = &mut panel_svs[(i / 4) * 4 * m_pad..(i / 4 + 1) * 4 * m_pad];
+            let lane = i % 4;
+            for (j, &v) in sv.iter().enumerate() {
+                panel[4 * j + lane] = v;
+            }
         }
         Self {
             support_points,
             support_coef,
-            padded_svs,
+            panel_svs,
+            panel_coef,
             m_pad,
             bias,
             gamma,
@@ -223,28 +240,19 @@ impl Svm {
     /// batched decisions are bit-identical by construction.
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.m, "prediction dimensionality mismatch");
-        // Per-point prediction sits in tuning/active-learning loops, so
-        // keep it allocation-free: a stack pad covers every realistic
-        // dimensionality (the paper's M ≤ 30), with a heap fallback.
-        let mut stack = [0.0f64; 64];
-        let mut heap: Vec<f64>;
-        let scratch: &mut [f64] = if self.m_pad <= stack.len() {
-            &mut stack
-        } else {
-            heap = vec![0.0f64; self.m_pad];
-            &mut heap
-        };
+        // Per-point prediction sits in tuning/active-learning loops;
+        // the kernel reads the query row in place (padded dimensions
+        // are a contract-level no-op), so this allocates nothing.
         let mut out = [0.0f64];
         kernels::rbf_expand(
             kernels::active(),
-            &self.padded_svs,
-            &self.support_coef,
+            &self.panel_svs,
+            &self.panel_coef,
             self.bias,
             self.gamma,
             self.m_pad,
             x,
             self.m,
-            scratch,
             &mut out,
         );
         out[0]
@@ -368,10 +376,10 @@ impl Metamodel for Svm {
     }
 
     /// Rows are independent, so the kernel expansion fans out across
-    /// threads. The ISA is resolved once per call; each worker reuses
-    /// one zero-padded row scratch across its whole run (the
-    /// support-vector layout is precomputed at construction), instead
-    /// of re-deriving per-row slices inside the support-vector loop.
+    /// threads. The ISA is resolved once per call; the kernel reads
+    /// each worker's rows in place (the support-vector layout is
+    /// precomputed at construction, and padded dimensions are a
+    /// contract-level no-op, so no per-worker row scratch exists).
     /// Per-row arithmetic follows the canonical reduction order, so the
     /// result is bit-identical to per-point [`Metamodel::predict`] on
     /// every backend.
@@ -383,19 +391,18 @@ impl Metamodel for Svm {
         reds_par::par_fill_chunks_with(
             &mut out,
             1024,
-            || vec![0.0f64; self.m_pad],
-            |scratch, start, chunk| {
+            || (),
+            |(), start, chunk| {
                 let rows = &points[start * m..(start + chunk.len()) * m];
                 kernels::rbf_expand(
                     isa,
-                    &self.padded_svs,
-                    &self.support_coef,
+                    &self.panel_svs,
+                    &self.panel_coef,
                     self.bias,
                     self.gamma,
                     self.m_pad,
                     rows,
                     m,
-                    scratch,
                     chunk,
                 );
                 for v in chunk.iter_mut() {

@@ -78,13 +78,14 @@ fn main() {
     }
     let artifact = ModelArtifact::load(Path::new(&model_path)).unwrap_or_else(|e| fail(e));
     eprintln!(
-        "loaded {} metamodel for '{}' ({}, m = {}, n_train = {}, kernel = {})",
+        "loaded {} metamodel for '{}' ({}, m = {}, n_train = {}, kernel = {}, exp = {})",
         artifact.model.family(),
         artifact.function,
         artifact.format().name(),
         artifact.train.m(),
         artifact.train.n(),
         reds_metamodel::kernels::active().name(),
+        reds_metamodel::kernels::vexp::backend().name(),
     );
     let service = Service::new(artifact, limits);
     for (name, path) in &extra_models {

@@ -488,6 +488,14 @@ impl Service {
                 "kernel",
                 Json::str(reds_metamodel::kernels::active().name()),
             ),
+            // The exp backend those kernels evaluate (`poly` unless the
+            // REDS_EXP=libm escape hatch is active — unlike the kernel
+            // field, this one *does* change low-order result bits, so
+            // fleet operators need to see it).
+            (
+                "exp",
+                Json::str(reds_metamodel::kernels::vexp::backend().name()),
+            ),
             // The readiness backend the connection core multiplexes on.
             ("reactor", Json::str(poller_backend())),
             ("version", Json::num(current.version as f64)),

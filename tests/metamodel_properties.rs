@@ -216,24 +216,31 @@ proptest! {
         values in prop::collection::vec(-1.0f64..1.0, 6 * 9 + 7 * 9 + 6),
         gamma in 0.1f64..4.0,
     ) {
+        // Build the lane-interleaved panel layout `Svm::assemble`
+        // produces: 4 support vectors per panel (zero-padded lanes and
+        // dimensions), coefficients padded to whole panels.
         let m_pad = kernels::padded_width(m);
-        let mut svs = vec![0.0f64; n_sv * m_pad];
-        for (i, sv) in svs.chunks_exact_mut(m_pad).enumerate() {
-            sv[..m].copy_from_slice(&values[i * m..(i + 1) * m]);
+        let n_panels = n_sv.div_ceil(4);
+        let mut svs = vec![0.0f64; n_panels * 4 * m_pad];
+        for i in 0..n_sv {
+            let panel = &mut svs[(i / 4) * 4 * m_pad..(i / 4 + 1) * 4 * m_pad];
+            for j in 0..m {
+                panel[4 * j + i % 4] = values[i * m + j];
+            }
         }
-        let coef: Vec<f64> = values[6 * 9 + 7 * 9..6 * 9 + 7 * 9 + n_sv].to_vec();
+        let mut coef = vec![0.0f64; 4 * n_panels];
+        coef[..n_sv].copy_from_slice(&values[6 * 9 + 7 * 9..6 * 9 + 7 * 9 + n_sv]);
         let query: Vec<f64> = values[6 * 9..6 * 9 + rows * m].to_vec();
         let mut reference = vec![0.0f64; rows];
-        let mut scratch = vec![0.0f64; m_pad];
         kernels::rbf_expand(
             Kernel::Scalar, &svs, &coef, 0.25, gamma, m_pad, &query, m,
-            &mut scratch, &mut reference,
+            &mut reference,
         );
         for kernel in available_kernels() {
             let mut out = vec![0.0f64; rows];
             kernels::rbf_expand(
                 kernel, &svs, &coef, 0.25, gamma, m_pad, &query, m,
-                &mut scratch, &mut out,
+                &mut out,
             );
             for (i, (a, e)) in out.iter().zip(&reference).enumerate() {
                 prop_assert!(
@@ -243,6 +250,133 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// vexp: the canonical polynomial `exp` behind the RBF expansion and the
+// GBDT sigmoid. Scalar and AVX2 must agree payload-exactly on *every*
+// 64-bit input pattern (unlike squared_distance, vexp blends the input
+// NaN bits through untouched), the polynomial must stay within a small
+// ULP envelope of libm across the finite range, and results are never
+// negative. These drive the explicit-backend `exp_in_place` entry
+// point, so they are free of global dispatch state.
+// ---------------------------------------------------------------------
+
+use reds::metamodel::kernels::{vexp, ExpBackend};
+
+/// ULP distance between two non-negative floats (`exp` never produces a
+/// negative or `-0.0` result, so the bit patterns order monotonically).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+/// An `exp` input that may be any 64-bit pattern (all NaN payloads, all
+/// denormals, ±∞) or a value from the numerically interesting ranges.
+fn exp_input_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        3 => (u64::MIN..=u64::MAX).prop_map(f64::from_bits),
+        3 => -750.0f64..710.0,
+        2 => -1.0f64..1.0, // the RBF hot range: −γ·d² near zero
+        1 => (1u64..=4_503_599_627_370_495u64).prop_map(f64::from_bits), // denormals
+        1 => prop_oneof![
+            Just(f64::INFINITY), Just(f64::NEG_INFINITY), Just(f64::NAN),
+            Just(vexp::EXP_OVERFLOW), Just(vexp::EXP_UNDERFLOW),
+            Just(0.0), Just(-0.0),
+        ],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vexp_kernels_agree_payload_exactly_on_any_bit_pattern(
+        xs in prop::collection::vec(exp_input_strategy(), 0..23),
+    ) {
+        let expected: Vec<f64> = xs.iter().map(|&x| vexp::exp_poly(x)).collect();
+        for kernel in available_kernels() {
+            let mut out = xs.clone();
+            kernels::exp_in_place(kernel, ExpBackend::Poly, &mut out);
+            for (i, (a, e)) in out.iter().zip(&expected).enumerate() {
+                // Payload-exact, NaN included: vexp blends input bits.
+                prop_assert!(
+                    a.to_bits() == e.to_bits(),
+                    "{:?} lane {}: exp({}) = {:016x} vs {:016x}",
+                    kernel, i, xs[i], a.to_bits(), e.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vexp_stays_within_the_ulp_contract_of_libm(
+        xs in prop::collection::vec(-750.0f64..710.0, 1..64),
+    ) {
+        for &x in &xs {
+            let got = vexp::exp_poly(x);
+            let want = x.exp();
+            prop_assert!(
+                ulp_distance(got, want) <= 2,
+                "exp_poly({}) = {:e} is {} ULP from libm {:e}",
+                x, got, ulp_distance(got, want), want
+            );
+        }
+    }
+
+    #[test]
+    fn vexp_is_never_negative_and_weakly_monotone(
+        xs in prop::collection::vec(exp_input_strategy(), 1..64),
+        base in -745.0f64..709.0,
+    ) {
+        for &x in &xs {
+            let e = vexp::exp_poly(x);
+            prop_assert!(
+                e.is_nan() || e.to_bits() >> 63 == 0,
+                "exp_poly({}) = {} has its sign bit set", x, e
+            );
+        }
+        // Weak monotonicity on a coarse grid: a 1e-3 step moves exp by
+        // ~0.1%, far beyond the polynomial's ULP-level noise, so
+        // ordering must be preserved (strict per-ULP monotonicity is
+        // not promised across 2^k boundaries).
+        let mut prev = vexp::exp_poly(base);
+        for step in 1..=20 {
+            let next = vexp::exp_poly(base + step as f64 * 1e-3);
+            prop_assert!(next >= prev, "exp not monotone at {} + {}e-3", base, step);
+            prev = next;
+        }
+    }
+}
+
+#[test]
+fn vexp_special_values_match_the_documented_table() {
+    use reds::metamodel::kernels::vexp::{EXP_OVERFLOW, EXP_UNDERFLOW};
+    // Overflow / underflow thresholds and the values straddling them.
+    assert_eq!(vexp::exp_poly(EXP_OVERFLOW), f64::INFINITY);
+    assert_eq!(vexp::exp_poly(f64::INFINITY), f64::INFINITY);
+    assert!(vexp::exp_poly(next_down(EXP_OVERFLOW)).is_finite());
+    assert_eq!(vexp::exp_poly(EXP_UNDERFLOW).to_bits(), 0);
+    assert_eq!(vexp::exp_poly(f64::NEG_INFINITY).to_bits(), 0);
+    // (One ULP above the cutoff still rounds to zero — the threshold
+    // sits essentially at ln 2⁻¹⁰⁷⁵ — so probe a bit further in.)
+    assert!(vexp::exp_poly(-745.0) > 0.0);
+    // NaN payloads pass through bit-exactly, sign included.
+    for bits in [0x7FF8_0000_0000_0001u64, 0xFFF8_DEAD_BEEF_0001u64] {
+        assert_eq!(vexp::exp_poly(f64::from_bits(bits)).to_bits(), bits);
+    }
+    // exp(0) is exactly 1; denormal inputs land there too.
+    assert_eq!(vexp::exp_poly(0.0), 1.0);
+    assert_eq!(vexp::exp_poly(-0.0), 1.0);
+    assert_eq!(vexp::exp_poly(f64::from_bits(1)), 1.0);
+    // Deep negative inputs produce denormal outputs, same as libm.
+    let deep = vexp::exp_poly(-744.5);
+    assert!(deep > 0.0 && !deep.is_normal(), "exp(-744.5) = {deep:e}");
+}
+
+/// `f64::next_down` (stable since 1.86) spelled out so the suite
+/// builds on the MSRV toolchain.
+fn next_down(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
 }
 
 #[test]

@@ -348,21 +348,82 @@ fn forced_scalar_and_dispatched_kernels_are_bit_identical_end_to_end() {
         }
     }
 
-    // Whole pipeline (train → pseudo-label → PRIM): identical boxes.
-    let reds = Reds::random_forest(
-        RandomForestParams {
-            n_trees: 16,
-            ..Default::default()
-        },
-        RedsConfig::default().with_l(3_000),
-    );
-    kernels::set_kernel(Some(kernels::Kernel::Scalar));
-    let scalar_run = reds
-        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
-        .unwrap();
-    kernels::set_kernel(None);
-    let dispatched_run = reds
-        .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
-        .unwrap();
-    assert_boxes_bits_eq(&scalar_run.boxes, &dispatched_run.boxes, "kernel pipeline");
+    // Whole pipelines (train → pseudo-label → PRIM) for all three
+    // metamodel families: identical boxes. The GBDT and SVM runs push
+    // the vectorized `exp` (sigmoid finalization, RBF expansion)
+    // through the full discovery loop, not just `predict_batch`.
+    let config = || RedsConfig::default().with_l(3_000);
+    let pipelines: [(&str, Reds); 3] = [
+        (
+            "forest",
+            Reds::random_forest(
+                RandomForestParams {
+                    n_trees: 16,
+                    ..Default::default()
+                },
+                config(),
+            ),
+        ),
+        (
+            "gbdt",
+            Reds::xgboost(
+                GbdtParams {
+                    n_rounds: 15,
+                    ..Default::default()
+                },
+                config(),
+            ),
+        ),
+        ("svm", Reds::svm(SvmParams::default(), config())),
+    ];
+    for (name, reds) in &pipelines {
+        kernels::set_kernel(Some(kernels::Kernel::Scalar));
+        let scalar_run = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        kernels::set_kernel(None);
+        let dispatched_run = reds
+            .run(&d, &Prim::default(), &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_boxes_bits_eq(
+            &scalar_run.boxes,
+            &dispatched_run.boxes,
+            &format!("{name} kernel pipeline"),
+        );
+    }
+}
+
+#[test]
+fn exp_backends_agree_everywhere_poly_is_within_contract() {
+    // The polynomial and libm exp are different functions (that is the
+    // point of the REDS_EXP escape hatch), but they must stay within
+    // the documented 2-ULP envelope on the RBF/sigmoid operating range
+    // and agree exactly on special values. Explicit-backend entry
+    // points only — no global state, safe under the parallel harness.
+    use reds::metamodel::kernels::{self, ExpBackend, Kernel};
+
+    let mut xs: Vec<f64> = (-7400..=7090).map(|k| k as f64 * 0.1).collect();
+    xs.extend([
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        kernels::vexp::EXP_OVERFLOW,
+        kernels::vexp::EXP_UNDERFLOW,
+        f64::MIN_POSITIVE / 2.0,
+    ]);
+    let mut poly = xs.clone();
+    kernels::exp_in_place(Kernel::Scalar, ExpBackend::Poly, &mut poly);
+    let mut libm = xs.clone();
+    kernels::exp_in_place(Kernel::Scalar, ExpBackend::Libm, &mut libm);
+    for ((&x, &p), &l) in xs.iter().zip(&poly).zip(&libm) {
+        let ulp = p.to_bits().abs_diff(l.to_bits());
+        assert!(
+            ulp <= 2,
+            "exp({x}): poly {p:e} is {ulp} ULP from libm {l:e}"
+        );
+        if !x.is_finite() || x == 0.0 {
+            assert_eq!(p.to_bits(), l.to_bits(), "special value exp({x})");
+        }
+    }
 }

@@ -109,6 +109,18 @@ fn concurrent_clients_get_answers_identical_to_in_process_calls() {
     let batches = info.get("batches").and_then(Json::as_f64).unwrap();
     assert_eq!(requests as usize, CLIENTS * REQUESTS);
     assert!(batches >= 1.0 && batches <= requests);
+    // Operational visibility: the resolved kernel and exp backends are
+    // reported so a fleet operator can audit what a shard runs.
+    for (field, expected) in [
+        ("kernel", reds::metamodel::kernels::active().name()),
+        ("exp", reds::metamodel::kernels::vexp::backend().name()),
+    ] {
+        assert_eq!(
+            info.get(field).and_then(Json::as_str),
+            Some(expected),
+            "info field '{field}'"
+        );
+    }
 
     client.shutdown().expect("shutdown");
     handle.join();
